@@ -1,0 +1,261 @@
+package imfant
+
+// Repository-level benchmarks: one per table and figure of the paper's
+// evaluation (§VI). Each benchmark drives the same code path as
+// cmd/mfsabench but at a reduced scale so `go test -bench=.` completes in
+// minutes on a laptop; run `mfsabench -all -paper` for the full-scale
+// regeneration. Per-experiment details live in DESIGN.md and EXPERIMENTS.md.
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/experiments"
+	"repro/internal/pipeline"
+	"repro/internal/similarity"
+)
+
+// benchOpts returns a scaled-down experiment configuration over a single
+// dataset, to keep a benchmark iteration well-bounded.
+func benchOpts(abbr string) experiments.Opts {
+	o := experiments.Default()
+	o.Datasets = []string{abbr}
+	o.StreamSize = 32 << 10
+	o.Reps = 1
+	o.Ms = []int{1, 10, 0}
+	o.Threads = []int{1, 2, 4}
+	o.SimilaritySample = 60
+	return o
+}
+
+func newRunner(b *testing.B, abbr string) *experiments.Runner {
+	b.Helper()
+	r, err := experiments.New(benchOpts(abbr))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return r
+}
+
+// BenchmarkFig1Indel measures the Fig. 1 computation: all-pairs normalized
+// INDEL similarity of a ruleset (bit-parallel LCS underneath).
+func BenchmarkFig1Indel(b *testing.B) {
+	s, err := dataset.ByAbbr("BRO")
+	if err != nil {
+		b.Fatal(err)
+	}
+	pats := s.Patterns()[:60]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		similarity.DatasetSimilarity(pats)
+	}
+}
+
+// BenchmarkTable1Characteristics measures the Table I pipeline: compiling a
+// whole dataset to optimized standalone FSAs and aggregating its
+// characteristics.
+func BenchmarkTable1Characteristics(b *testing.B) {
+	s, err := dataset.ByAbbr("PEN")
+	if err != nil {
+		b.Fatal(err)
+	}
+	pats := s.Patterns()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := pipeline.Compile(pats, 1, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		states := 0
+		for _, a := range out.FSAs {
+			states += a.NumStates
+		}
+		if states == 0 {
+			b.Fatal("no states")
+		}
+	}
+}
+
+// BenchmarkFig7Compression measures the Fig. 7 path: the full merge sweep
+// plus compression accounting (dominated by Algorithm 1).
+func BenchmarkFig7Compression(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := newRunner(b, "BRO")
+		if _, err := r.Fig7(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig8CompilationStages measures the Fig. 8 path: repeated
+// full-pipeline compilations with per-stage timing.
+func BenchmarkFig8CompilationStages(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := newRunner(b, "PEN")
+		if _, err := r.Fig8(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2Activity measures the Table II path: the fully merged MFSA
+// traversal with activation-set statistics enabled.
+func BenchmarkTable2Activity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := newRunner(b, "BRO")
+		if _, err := r.Table2(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig9SingleThread measures the Fig. 9 path: the single-thread
+// execution sweep across merging factors with throughput accounting.
+func BenchmarkFig9SingleThread(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := newRunner(b, "BRO")
+		if _, err := r.Fig9(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig10MultiThread measures the Fig. 10 path: the M × T sweep with
+// the work-pool executor.
+func BenchmarkFig10MultiThread(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := newRunner(b, "BRO")
+		if _, err := r.Fig10(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIMFAntThroughput isolates the engine hot loop — the per-byte
+// cost of iMFAnt on a fully merged dataset MFSA — reporting bytes/s.
+func BenchmarkIMFAntThroughput(b *testing.B) {
+	s, err := dataset.ByAbbr("BRO")
+	if err != nil {
+		b.Fatal(err)
+	}
+	out, err := pipeline.Compile(s.Patterns(), 0, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := engine.NewProgram(out.MFSAs[0])
+	in := s.Stream(64<<10, 0)
+	runner := engine.NewRunner(p)
+	b.SetBytes(int64(len(in)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runner.Run(in, engine.Config{})
+	}
+}
+
+// BenchmarkINFAntBaseline isolates the baseline: the same ruleset executed
+// as separate per-RE automata on one thread (the M=1 configuration the
+// paper compares against).
+func BenchmarkINFAntBaseline(b *testing.B) {
+	s, err := dataset.ByAbbr("BRO")
+	if err != nil {
+		b.Fatal(err)
+	}
+	out, err := pipeline.Compile(s.Patterns(), 1, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	programs := make([]*engine.Program, len(out.MFSAs))
+	for i, z := range out.MFSAs {
+		programs[i] = engine.NewProgram(z)
+	}
+	in := s.Stream(64<<10, 0)
+	b.SetBytes(int64(len(in)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		engine.RunParallel(programs, in, 1, engine.Config{})
+	}
+}
+
+// BenchmarkPublicAPICompile measures end-user compile latency through the
+// public facade.
+func BenchmarkPublicAPICompile(b *testing.B) {
+	s, err := dataset.ByAbbr("PEN")
+	if err != nil {
+		b.Fatal(err)
+	}
+	pats := s.Patterns()[:60]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compile(pats, Options{MergeFactor: 0}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationMinSubPath measures the merge-heuristic ablation: the
+// compression/run-time trade-off of the Merging Structure length threshold.
+func BenchmarkAblationMinSubPath(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := newRunner(b, "PEN")
+		if _, err := r.Ablation(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBaselineSpectrum measures the NFA/MFSA/DFA/D2FA representation
+// comparison (the §II spectrum study).
+func BenchmarkBaselineSpectrum(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := newRunner(b, "BRO")
+		if _, err := r.Baseline(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStride2 measures the 2-stride experiment path (multi-striding,
+// §VII related work).
+func BenchmarkStride2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := newRunner(b, "BRO")
+		if _, err := r.Stride(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCCRefine measures the partial CC-merging study (the §VI-A
+// proposed improvement).
+func BenchmarkCCRefine(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := newRunner(b, "PRO")
+		if _, err := r.CCRefine(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkClustering measures the similarity-clustered grouping study
+// (§VIII future work).
+func BenchmarkClustering(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := newRunner(b, "BRO")
+		if _, err := r.Clustering(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDecompose measures the literal-prefilter decomposition study
+// (Hyperscan-style related work [6]).
+func BenchmarkDecompose(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := newRunner(b, "BRO")
+		if _, err := r.Decompose(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/anml"
+	"repro/internal/mfsa"
+	"repro/internal/nfa"
+)
+
+func writeTestANML(t *testing.T, path string, patterns ...string) {
+	t.Helper()
+	fsas := make([]*nfa.NFA, len(patterns))
+	for i, p := range patterns {
+		n, err := nfa.Compile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fsas[i] = n
+	}
+	z, err := mfsa.Merge(fsas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := anml.Write(f, z); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadANML(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "rules.anml")
+	writeTestANML(t, path, "abc", "abd")
+	zs, err := loadANML(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(zs) != 1 || zs[0].NumFSAs() != 2 {
+		t.Fatalf("loaded %d documents, R=%d", len(zs), zs[0].NumFSAs())
+	}
+	if _, err := loadANML(filepath.Join(dir, "missing.anml")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestLoadStream(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "stream.bin")
+	if err := os.WriteFile(path, []byte("payload"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	in, err := loadStream(path, "", 0)
+	if err != nil || string(in) != "payload" {
+		t.Fatalf("in=%q err=%v", in, err)
+	}
+	gen, err := loadStream("", "BRO", 4096)
+	if err != nil || len(gen) != 4096 {
+		t.Fatalf("generated len=%d err=%v", len(gen), err)
+	}
+	if _, err := loadStream(path, "BRO", 0); err == nil {
+		t.Fatal("both sources accepted")
+	}
+	if _, err := loadStream("", "", 0); err == nil {
+		t.Fatal("no source accepted")
+	}
+	if _, err := loadStream("", "NOPE", 16); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}

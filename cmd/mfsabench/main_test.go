@@ -1,0 +1,40 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestIntListSet(t *testing.T) {
+	var l intList
+	if err := l.Set("1,2,all,50"); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Set("100"); err != nil {
+		t.Fatal(err)
+	}
+	want := intList{1, 2, 0, 50, 100}
+	if !reflect.DeepEqual(l, want) {
+		t.Fatalf("got %v, want %v", l, want)
+	}
+	if err := l.Set("x"); err == nil {
+		t.Fatal("bad integer accepted")
+	}
+	if l.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestStrListSet(t *testing.T) {
+	var l strList
+	if err := l.Set("bro, ds9 ,PEN"); err != nil {
+		t.Fatal(err)
+	}
+	want := strList{"BRO", "DS9", "PEN"}
+	if !reflect.DeepEqual(l, want) {
+		t.Fatalf("got %v, want %v", l, want)
+	}
+	if l.String() != "BRO,DS9,PEN" {
+		t.Fatalf("String=%q", l.String())
+	}
+}

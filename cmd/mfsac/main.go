@@ -1,0 +1,189 @@
+// Command mfsac is the MFSA compiler: it runs the paper's multi-level
+// compilation framework (§IV) over a ruleset of POSIX EREs — front-end
+// analysis, Thompson construction, single-FSA optimization, merging with a
+// chosen merging factor M, and extended-ANML generation — and reports the
+// per-stage times and the compression achieved.
+//
+// Usage:
+//
+//	mfsac -rules rules.txt -m 50 -o out.anml
+//	mfsac -dataset BRO -m 0 -o bro.anml        # synthetic benchmark ruleset
+//
+// The rules file holds one ERE per line; blank lines and lines starting
+// with '#' are skipped. -m 0 merges the entire ruleset into one MFSA
+// ("M = all"); -m 1 disables merging.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/anml"
+	"repro/internal/dataset"
+	"repro/internal/metrics"
+	"repro/internal/mfsa"
+	"repro/internal/pipeline"
+	"repro/internal/snort"
+)
+
+func main() {
+	var (
+		rulesPath = flag.String("rules", "", "file with one POSIX ERE per line")
+		snortPath = flag.String("snort", "", "Snort rules file (content/pcre options are translated)")
+		dsAbbr    = flag.String("dataset", "", "synthetic dataset abbreviation (BRO, DS9, PEN, PRO, RG1, TCP)")
+		m         = flag.Int("m", 0, "merging factor M (0 = all, 1 = no merging)")
+		outPath   = flag.String("o", "", "output extended-ANML path (default: stats only)")
+		stePath   = flag.String("ste", "", "also emit homogeneous (STE) ANML to this path")
+		dotPath   = flag.String("dot", "", "also emit a Graphviz rendering to this path")
+		quiet     = flag.Bool("q", false, "suppress the stats report")
+	)
+	flag.Parse()
+
+	patterns, err := loadRules(*rulesPath, *dsAbbr, *snortPath)
+	if err != nil {
+		fatal(err)
+	}
+
+	var sink *os.File
+	if *outPath != "" {
+		sink, err = os.Create(*outPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer sink.Close()
+	}
+
+	var out *pipeline.Output
+	if sink != nil {
+		out, err = pipeline.Compile(patterns, *m, sink)
+	} else {
+		out, err = pipeline.Compile(patterns, *m, nil)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	if *stePath != "" {
+		f, err := os.Create(*stePath)
+		if err != nil {
+			fatal(err)
+		}
+		for _, z := range out.MFSAs {
+			if err := anml.WriteSTE(f, anml.Homogenize(z)); err != nil {
+				f.Close()
+				fatal(err)
+			}
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	if *dotPath != "" {
+		f, err := os.Create(*dotPath)
+		if err != nil {
+			fatal(err)
+		}
+		for _, z := range out.MFSAs {
+			if err := mfsa.WriteDOT(f, z); err != nil {
+				f.Close()
+				fatal(err)
+			}
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	if *quiet {
+		return
+	}
+	c := metrics.MeasureCompression(out.FSAs, out.MFSAs)
+	fmt.Printf("rules:        %d\n", len(out.FSAs))
+	fmt.Printf("merging M:    %s → %d MFSA(s)\n", mLabel(*m), len(out.MFSAs))
+	fmt.Printf("states:       %d → %d  (%.2f%% compression)\n", c.StatesBefore, c.StatesAfter, c.StatesPct())
+	fmt.Printf("transitions:  %d → %d  (%.2f%% compression)\n", c.TransBefore, c.TransAfter, c.TransPct())
+	fmt.Printf("anml bytes:   %d\n", out.ANMLBytes)
+	t := out.Times
+	fmt.Printf("stages:       FE %v | AST→FSA %v | ME-single %v | ME-merging %v | BE %v | total %v\n",
+		t.FrontEnd, t.ASTToFSA, t.SingleME, t.MergeME, t.BackEnd, t.Total())
+}
+
+func mLabel(m int) string {
+	if m <= 0 {
+		return "all"
+	}
+	return fmt.Sprintf("%d", m)
+}
+
+func loadRules(path, abbr, snortPath string) ([]string, error) {
+	sources := 0
+	for _, s := range []string{path, abbr, snortPath} {
+		if s != "" {
+			sources++
+		}
+	}
+	if sources > 1 {
+		return nil, fmt.Errorf("mfsac: -rules, -dataset and -snort are mutually exclusive")
+	}
+	switch {
+	case snortPath != "":
+		f, err := os.Open(snortPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		rules, skipped, err := snort.ParseRules(f)
+		if err != nil {
+			return nil, err
+		}
+		if len(rules) == 0 {
+			return nil, fmt.Errorf("mfsac: no translatable rules in %s", snortPath)
+		}
+		if skipped > 0 {
+			fmt.Fprintf(os.Stderr, "mfsac: skipped %d rules without content/pcre options\n", skipped)
+		}
+		out := make([]string, len(rules))
+		for i, r := range rules {
+			out[i] = r.Pattern
+		}
+		return out, nil
+	case abbr != "":
+		s, err := dataset.ByAbbr(abbr)
+		if err != nil {
+			return nil, err
+		}
+		return s.Patterns(), nil
+	case path != "":
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		var out []string
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			out = append(out, line)
+		}
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		if len(out) == 0 {
+			return nil, fmt.Errorf("mfsac: no rules in %s", path)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("mfsac: provide -rules FILE or -dataset ABBR")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

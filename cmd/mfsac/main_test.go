@@ -1,0 +1,94 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestLoadRulesFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "rules.txt")
+	content := "# comment\nGET /a\n\nGET /b\n  cmd\\.exe  \n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rules, err := loadRules(path, "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"GET /a", "GET /b", `cmd\.exe`}
+	if len(rules) != len(want) {
+		t.Fatalf("rules=%v", rules)
+	}
+	for i := range want {
+		if rules[i] != want[i] {
+			t.Fatalf("rule %d = %q, want %q", i, rules[i], want[i])
+		}
+	}
+}
+
+func TestLoadRulesDataset(t *testing.T) {
+	rules, err := loadRules("", "BRO", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 217 {
+		t.Fatalf("rules=%d", len(rules))
+	}
+}
+
+func TestLoadRulesErrors(t *testing.T) {
+	if _, err := loadRules("", "", ""); err == nil {
+		t.Fatal("no source accepted")
+	}
+	if _, err := loadRules("x", "BRO", ""); err == nil {
+		t.Fatal("both sources accepted")
+	}
+	if _, err := loadRules("/nonexistent/rules", "", ""); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	if _, err := loadRules("", "NOPE", ""); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+	dir := t.TempDir()
+	empty := filepath.Join(dir, "empty.txt")
+	if err := os.WriteFile(empty, []byte("# only comments\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadRules(empty, "", ""); err == nil {
+		t.Fatal("empty ruleset accepted")
+	}
+}
+
+func TestMLabel(t *testing.T) {
+	if mLabel(0) != "all" || mLabel(5) != "5" {
+		t.Fatal("mLabel wrong")
+	}
+}
+
+func TestLoadRulesSnort(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "rules.snort")
+	content := `# test ruleset
+alert tcp any any -> any 80 (msg:"admin"; content:"GET /admin";)
+alert tcp any any -> any any (pcre:"/cmd[0-9]+/";)
+alert icmp any any -> any any (msg:"no pattern"; sid:9;)
+`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rules, err := loadRules("", "", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 2 {
+		t.Fatalf("rules=%v", rules)
+	}
+	if rules[0] != "GET /admin" || rules[1] != "cmd[0-9]+" {
+		t.Fatalf("rules=%v", rules)
+	}
+	if _, err := loadRules("x", "", path); err == nil {
+		t.Fatal("multiple sources accepted")
+	}
+}

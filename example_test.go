@@ -1,0 +1,63 @@
+package imfant_test
+
+import (
+	"bytes"
+	"fmt"
+
+	imfant "repro"
+)
+
+// The basic workflow: compile a ruleset into one MFSA and scan a payload.
+func ExampleCompile() {
+	rs, err := imfant.Compile([]string{"GET /admin", "cmd\\.exe"}, imfant.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(rs.NumRules(), "rules in", rs.NumAutomata(), "automaton")
+	// Output: 2 rules in 1 automaton
+}
+
+func ExampleRuleset_FindAll() {
+	rs := imfant.MustCompile([]string{"ab+c", "bc"}, imfant.Options{})
+	for _, m := range rs.FindAll([]byte("xabbc")) {
+		fmt.Printf("rule %d ends at %d\n", m.Rule, m.End)
+	}
+	// Output:
+	// rule 0 ends at 4
+	// rule 1 ends at 4
+}
+
+func ExampleRuleset_Compression() {
+	// Morphologically similar rules share most of their automaton.
+	rs := imfant.MustCompile([]string{
+		"User-Agent: curl", "User-Agent: wget", "User-Agent: nmap",
+	}, imfant.Options{})
+	states, _ := rs.Compression()
+	fmt.Println(states > 50)
+	// Output: true
+}
+
+func ExampleRuleset_NewStreamMatcher() {
+	rs := imfant.MustCompile([]string{"needle"}, imfant.Options{})
+	sm := rs.NewStreamMatcher(func(m imfant.Match) {
+		fmt.Println("match ending at", m.End)
+	})
+	sm.Write([]byte("hay nee")) // the match spans this chunk boundary
+	sm.Write([]byte("dle hay"))
+	sm.Close()
+	// Output: match ending at 9
+}
+
+func ExampleRuleset_WriteANML() {
+	rs := imfant.MustCompile([]string{"abc", "abd"}, imfant.Options{})
+	var buf bytes.Buffer
+	if err := rs.WriteANML(&buf); err != nil {
+		panic(err)
+	}
+	reloaded, err := imfant.LoadANML(&buf, imfant.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(reloaded.Count([]byte("xxabdxx")))
+	// Output: 1
+}

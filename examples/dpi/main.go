@@ -1,0 +1,137 @@
+// Deep packet inspection: the motivating scenario of the paper's
+// introduction. A Snort-style signature set is compiled at several merging
+// factors and executed over synthetic HTTP traffic, comparing the naive
+// one-FSA-per-rule execution (M=1) with merged MFSAs in single- and
+// multi-threaded configurations.
+//
+//	go run ./examples/dpi
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"strings"
+	"time"
+
+	imfant "repro"
+)
+
+// signatures is a web-attack ruleset in the style of Snort/Bro HTTP rules:
+// heavily shared prefixes ("GET /", "User-Agent:") are exactly the
+// morphological similarity the MFSA merging exploits.
+var signatures = []string{
+	`GET /admin/config\.php`,
+	`GET /admin/login\.php`,
+	`GET /cgi-bin/phf`,
+	`GET /cgi-bin/test-cgi`,
+	`GET /cgi-bin/[a-z]{1,12}\.(cgi|pl)`,
+	`GET /scripts/\.\./`,
+	`GET /msadc/`,
+	`GET /_vti_bin/`,
+	`POST /admin/upload`,
+	`POST /cgi-bin/formmail`,
+	`POST /xmlrpc\.php`,
+	`HEAD /backup`,
+	`User-Agent: sqlmap`,
+	`User-Agent: nikto`,
+	`User-Agent: nmap`,
+	`User-Agent: masscan`,
+	`cmd\.exe(\?|/c)`,
+	`/etc/passwd`,
+	`/etc/shadow`,
+	`\.\./\.\./\.\./`,
+	`SELECT .{1,48}FROM`,
+	`UNION SELECT`,
+	`INSERT INTO`,
+	`DROP TABLE`,
+	`<script>alert`,
+	`javascript:`,
+	`onerror=`,
+	`eval\(`,
+	`base64_decode\(`,
+	`wget http`,
+	`curl http`,
+	`chmod \+x`,
+	`/bin/sh`,
+	`nc -l -p [0-9]{2,5}`,
+	`\x90{8,}`,
+	`\x41{16,}`,
+	`%00%00`,
+	`%u9090`,
+	`Content-Length: 99999`,
+	`Transfer-Encoding: chunked.{0,16}chunked`,
+}
+
+func trafficStream(size int) []byte {
+	r := rand.New(rand.NewSource(7))
+	lines := []string{
+		"GET /index.html HTTP/1.1", "Host: example.com",
+		"User-Agent: Mozilla/5.0", "Accept: */*",
+		"POST /api/v2/items HTTP/1.1", "Content-Type: application/json",
+		"GET /static/app.js HTTP/1.1", "Cookie: session=",
+	}
+	attacks := []string{
+		"GET /cgi-bin/phf?Qalias=x HTTP/1.0",
+		"User-Agent: sqlmap/1.7",
+		"id=1 UNION SELECT password FROM users",
+		"GET /scripts/../../winnt/cmd.exe?/c+dir",
+		"\x90\x90\x90\x90\x90\x90\x90\x90\x90\x90",
+	}
+	var sb strings.Builder
+	for sb.Len() < size {
+		if r.Intn(20) == 0 {
+			sb.WriteString(attacks[r.Intn(len(attacks))])
+		} else {
+			sb.WriteString(lines[r.Intn(len(lines))])
+		}
+		sb.WriteString("\r\n")
+	}
+	return []byte(sb.String()[:size])
+}
+
+func main() {
+	traffic := trafficStream(512 << 10)
+	fmt.Printf("scanning %d KiB of traffic with %d signatures\n\n", len(traffic)>>10, len(signatures))
+
+	type cfg struct {
+		name    string
+		m       int
+		threads int
+	}
+	configs := []cfg{
+		{"multiple FSAs, 1 thread (naive)", 1, 1},
+		{"multiple FSAs, 4 threads", 1, 4},
+		{"MFSA M=8, 1 thread", 8, 1},
+		{"MFSA M=all, 1 thread", 0, 1},
+		{"MFSA M=all, 4 threads", 0, 4},
+	}
+	var baseline time.Duration
+	for _, c := range configs {
+		rs, err := imfant.Compile(signatures, imfant.Options{MergeFactor: c.m})
+		if err != nil {
+			log.Fatal(err)
+		}
+		start := time.Now()
+		alerts := rs.CountParallel(traffic, c.threads)
+		elapsed := time.Since(start)
+		if baseline == 0 {
+			baseline = elapsed
+		}
+		sp, _ := rs.Compression()
+		fmt.Printf("%-34s %4d automata  %6.2f%% state compression  %9v  %5.2fx  (%d alerts)\n",
+			c.name, rs.NumAutomata(), sp, elapsed.Round(10*time.Microsecond),
+			float64(baseline)/float64(elapsed), alerts)
+	}
+
+	// Show the actual alerts for a small excerpt.
+	fmt.Println("\nfirst alerts in the stream:")
+	rs := imfant.MustCompile(signatures, imfant.Options{})
+	shown := 0
+	rs.Scan(traffic, func(m imfant.Match) {
+		if shown < 5 {
+			fmt.Printf("  offset %6d  rule %2d  %s\n", m.End, m.Rule, m.Pattern)
+			shown++
+		}
+	})
+}

@@ -1,0 +1,39 @@
+// Quickstart: compile a small ruleset into an MFSA and scan a payload.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	imfant "repro"
+)
+
+func main() {
+	rules := []string{
+		`GET /admin`,
+		`GET /cgi-bin/[a-z]{2,8}\.cgi`,
+		`cmd\.exe`,
+		`SELECT .{1,32}FROM`,
+		`\x90{4,}`, // NOP sled
+	}
+
+	// MergeFactor 0 merges all rules into one Multi-RE FSA; the activation
+	// function keeps per-rule matches exact.
+	rs, err := imfant.Compile(rules, imfant.Options{MergeFactor: 0})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	statesPct, transPct := rs.Compression()
+	fmt.Printf("compiled %d rules into %d automaton(s)\n", rs.NumRules(), rs.NumAutomata())
+	fmt.Printf("merging saved %.1f%% states and %.1f%% transitions\n", statesPct, transPct)
+
+	payload := []byte("POST /x HTTP/1.1\r\n\r\nGET /cgi-bin/phf.cgi?cmd.exe " +
+		"SELECT name FROM users \x90\x90\x90\x90\x90")
+	for _, m := range rs.FindAll(payload) {
+		fmt.Printf("rule %d %-28q matched, ending at offset %d\n", m.Rule, m.Pattern, m.End)
+	}
+	fmt.Printf("total matches: %d\n", rs.Count(payload))
+}

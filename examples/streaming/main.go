@@ -1,0 +1,51 @@
+// Streaming: scan a stream incrementally through the io.WriteCloser
+// matcher — the deployment shape of a DPI tap, where packets arrive in
+// chunks and matches must be exact across chunk boundaries.
+//
+//	go run ./examples/streaming
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"log"
+
+	imfant "repro"
+)
+
+func main() {
+	rules := []string{
+		`USER [a-z0-9_]{1,16}`,
+		`PASS [^\r\n]{1,32}`,
+		`RETR /etc/passwd`,
+		`\x00\x00\x00\x17`, // suspicious length prefix
+		`quit$`,
+	}
+	rs, err := imfant.Compile(rules, imfant.Options{MergeFactor: 0})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	session := []byte("220 ftp ready\r\nUSER alice\r\nPASS hunter2\r\n" +
+		"RETR /etc/passwd\r\n\x00\x00\x00\x17payload...\r\nquit")
+
+	// Feed the "capture" in 7-byte chunks, as a NIC tap would. Matches
+	// straddling chunk boundaries are still found, with absolute offsets.
+	sm := rs.NewStreamMatcher(func(m imfant.Match) {
+		fmt.Printf("  offset %3d  rule %d  %s\n", m.End, m.Rule, m.Pattern)
+	})
+	if _, err := io.CopyBuffer(sm, bytes.NewReader(session), make([]byte, 7)); err != nil {
+		log.Fatal(err)
+	}
+	if err := sm.Close(); err != nil { // required: flushes the $-anchored rules
+		log.Fatal(err)
+	}
+	fmt.Printf("total alerts: %d\n", sm.Matches())
+
+	// The same session scanned in one shot reports identical matches.
+	if int64(len(rs.FindAll(session))) != sm.Matches() {
+		log.Fatal("chunked and whole-buffer scans disagree")
+	}
+	fmt.Println("chunked scan verified against whole-buffer scan")
+}

@@ -1,0 +1,280 @@
+// Package imfant is a multi-regular-expression matching library built on
+// the Multi-RE Finite State Automaton (MFSA) model of "One Automaton to
+// Rule Them All: Beyond Multiple Regular Expressions Execution" (CGO 2024).
+//
+// A Ruleset compiles a set of POSIX ERE patterns through the paper's
+// multi-level framework — lexical/syntactic analysis, Thompson construction,
+// single-FSA optimization (ε-removal, loop expansion, multiplicity
+// simplification), and merging of morphologically identical sub-paths into
+// MFSAs — and executes them with the iMFAnt engine, which tracks the
+// activation function so each merged RE's matches stay exact.
+//
+// Quick start:
+//
+//	rs, err := imfant.Compile([]string{"GET /admin", "cmd\\.exe"}, imfant.Options{})
+//	if err != nil { ... }
+//	for _, m := range rs.FindAll(payload) {
+//		fmt.Printf("rule %d (%s) matched ending at %d\n", m.Rule, m.Pattern, m.End)
+//	}
+package imfant
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/anml"
+	"repro/internal/engine"
+	"repro/internal/metrics"
+	"repro/internal/mfsa"
+	"repro/internal/pipeline"
+)
+
+// Options configures compilation and matching.
+type Options struct {
+	// MergeFactor is the paper's M: how many REs are merged into each
+	// MFSA. The ruleset is split into ⌈N/M⌉ sequential groups. Zero (or
+	// a value ≥ the ruleset size) merges everything into one MFSA
+	// ("M = all"), which maximizes compression; 1 disables merging and
+	// degenerates to plain iNFAnt over per-RE NFAs.
+	MergeFactor int
+	// KeepOnMatch disables the paper's Eq. 5 pop: a rule stays active
+	// after matching, so every longer match of the same path is also
+	// reported. Off by default (paper semantics).
+	KeepOnMatch bool
+}
+
+// Match is one reported match.
+type Match struct {
+	// Rule is the index of the pattern within the compiled ruleset.
+	Rule int
+	// Pattern is the rule's source text.
+	Pattern string
+	// End is the offset of the last byte of the match (inclusive).
+	End int
+}
+
+// StageTimes reports the cost of each compilation stage (§IV, Fig. 8).
+type StageTimes struct {
+	FrontEnd, ASTToFSA, SingleFSAOpt, Merging, ANMLGen time.Duration
+}
+
+// Total returns the end-to-end compilation time.
+func (st StageTimes) Total() time.Duration {
+	return st.FrontEnd + st.ASTToFSA + st.SingleFSAOpt + st.Merging + st.ANMLGen
+}
+
+// Ruleset is a compiled, immutable set of regular expressions ready for
+// matching. Create one with Compile or LoadANML. A Ruleset is safe for
+// concurrent use; per-goroutine scratch state lives in Matchers.
+type Ruleset struct {
+	patterns []string
+	mfsas    []*mfsa.MFSA
+	programs []*engine.Program
+	times    StageTimes
+	comp     metrics.Compression
+	opts     Options
+}
+
+// Compile builds a Ruleset from POSIX ERE patterns.
+func Compile(patterns []string, opts Options) (*Ruleset, error) {
+	if len(patterns) == 0 {
+		return nil, fmt.Errorf("imfant: empty ruleset")
+	}
+	out, err := pipeline.Compile(patterns, opts.MergeFactor, nil)
+	if err != nil {
+		return nil, err
+	}
+	rs := &Ruleset{
+		patterns: append([]string(nil), patterns...),
+		mfsas:    out.MFSAs,
+		opts:     opts,
+		times: StageTimes{
+			FrontEnd:     out.Times.FrontEnd,
+			ASTToFSA:     out.Times.ASTToFSA,
+			SingleFSAOpt: out.Times.SingleME,
+			Merging:      out.Times.MergeME,
+			ANMLGen:      out.Times.BackEnd,
+		},
+		comp: metrics.MeasureCompression(out.FSAs, out.MFSAs),
+	}
+	rs.programs = make([]*engine.Program, len(out.MFSAs))
+	for i, z := range out.MFSAs {
+		rs.programs[i] = engine.NewProgram(z)
+	}
+	return rs, nil
+}
+
+// MustCompile is Compile for rulesets known to be valid; it panics on error.
+func MustCompile(patterns []string, opts Options) *Ruleset {
+	rs, err := Compile(patterns, opts)
+	if err != nil {
+		panic(err)
+	}
+	return rs
+}
+
+// NumRules returns the number of compiled patterns.
+func (rs *Ruleset) NumRules() int { return len(rs.patterns) }
+
+// NumAutomata returns the number of MFSAs (⌈N/M⌉).
+func (rs *Ruleset) NumAutomata() int { return len(rs.programs) }
+
+// Patterns returns the rule sources in compilation order.
+func (rs *Ruleset) Patterns() []string {
+	return append([]string(nil), rs.patterns...)
+}
+
+// States returns the total number of MFSA states.
+func (rs *Ruleset) States() int {
+	t := 0
+	for _, z := range rs.mfsas {
+		t += z.NumStates
+	}
+	return t
+}
+
+// Transitions returns the total number of MFSA transitions.
+func (rs *Ruleset) Transitions() int {
+	t := 0
+	for _, z := range rs.mfsas {
+		t += z.NumTrans()
+	}
+	return t
+}
+
+// Compression returns the state and transition compression percentages of
+// merging versus the standalone optimized FSAs (§VI-A). Rulesets loaded
+// from ANML report the same numbers via the serialized per-FSA metadata.
+func (rs *Ruleset) Compression() (statesPct, transPct float64) {
+	return rs.comp.StatesPct(), rs.comp.TransPct()
+}
+
+// CompileTimes returns the per-stage compilation cost. Zero for rulesets
+// loaded from ANML.
+func (rs *Ruleset) CompileTimes() StageTimes { return rs.times }
+
+// WriteANML serializes every MFSA of the ruleset as concatenated
+// extended-ANML documents (§IV-E).
+func (rs *Ruleset) WriteANML(w io.Writer) error {
+	for _, z := range rs.mfsas {
+		if err := anml.Write(w, z); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadANML reads one or more concatenated extended-ANML documents into an
+// executable Ruleset.
+func LoadANML(r io.Reader, opts Options) (*Ruleset, error) {
+	zs, err := anml.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("imfant: %w", err)
+	}
+	rs := &Ruleset{opts: opts}
+	ruleMax := -1
+	for _, z := range zs {
+		rs.mfsas = append(rs.mfsas, z)
+		rs.programs = append(rs.programs, engine.NewProgram(z))
+		for _, info := range z.FSAs {
+			if info.RuleID > ruleMax {
+				ruleMax = info.RuleID
+			}
+			rs.comp.StatesBefore += info.NumStates
+			rs.comp.TransBefore += info.NumTrans
+		}
+		rs.comp.StatesAfter += z.NumStates
+		rs.comp.TransAfter += z.NumTrans()
+	}
+	if len(rs.mfsas) == 0 {
+		return nil, fmt.Errorf("imfant: no ANML documents found")
+	}
+	rs.patterns = make([]string, ruleMax+1)
+	for _, z := range rs.mfsas {
+		for _, info := range z.FSAs {
+			rs.patterns[info.RuleID] = info.Pattern
+		}
+	}
+	return rs, nil
+}
+
+// FindAll scans input and returns every match of every rule, ordered by end
+// offset and then rule index. For large inputs with many matches prefer
+// Scan or Count.
+func (rs *Ruleset) FindAll(input []byte) []Match {
+	var out []Match
+	rs.Scan(input, func(m Match) { out = append(out, m) })
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].End != out[j].End {
+			return out[i].End < out[j].End
+		}
+		return out[i].Rule < out[j].Rule
+	})
+	return out
+}
+
+// Scan streams every match to fn, automaton by automaton.
+func (rs *Ruleset) Scan(input []byte, fn func(Match)) {
+	for _, p := range rs.programs {
+		rules := p.Rules()
+		cfg := engine.Config{
+			KeepOnMatch: rs.opts.KeepOnMatch,
+			OnMatch: func(fsa, end int) {
+				fn(Match{Rule: rules[fsa].RuleID, Pattern: rules[fsa].Pattern, End: end})
+			},
+		}
+		engine.Run(p, input, cfg)
+	}
+}
+
+// Count returns the total number of match events in input.
+func (rs *Ruleset) Count(input []byte) int64 {
+	var total int64
+	for _, p := range rs.programs {
+		total += engine.Run(p, input, engine.Config{KeepOnMatch: rs.opts.KeepOnMatch}).Matches
+	}
+	return total
+}
+
+// CountPerRule returns the number of match events per rule, indexed like
+// the compiled patterns.
+func (rs *Ruleset) CountPerRule(input []byte) []int64 {
+	out := make([]int64, len(rs.patterns))
+	for _, p := range rs.programs {
+		res := engine.Run(p, input, engine.Config{KeepOnMatch: rs.opts.KeepOnMatch})
+		for fsa, c := range res.PerFSA {
+			out[p.Rules()[fsa].RuleID] += c
+		}
+	}
+	return out
+}
+
+// CountParallel scans input with the paper's multi-threaded scheme
+// (§VI-C2): a pool of `threads` workers each executing whole MFSAs until
+// none remain. It returns the total match count.
+func (rs *Ruleset) CountParallel(input []byte, threads int) int64 {
+	results := engine.RunParallel(rs.programs, input, threads, engine.Config{KeepOnMatch: rs.opts.KeepOnMatch})
+	return engine.TotalMatches(results)
+}
+
+// Activity runs the Table II instrumentation: the average number of
+// (active state, active FSA) pairs per input symbol and the maximum number
+// of distinct simultaneously-active FSAs.
+func (rs *Ruleset) Activity(input []byte) (avgActive float64, maxActive int) {
+	var pairs int64
+	var symbols int64
+	for _, p := range rs.programs {
+		res := engine.Run(p, input, engine.Config{Stats: true, KeepOnMatch: rs.opts.KeepOnMatch})
+		pairs += res.ActivePairsTotal
+		symbols = int64(res.Symbols)
+		if res.MaxActiveFSAs > maxActive {
+			maxActive = res.MaxActiveFSAs
+		}
+	}
+	if symbols == 0 {
+		return 0, maxActive
+	}
+	return float64(pairs) / float64(symbols), maxActive
+}

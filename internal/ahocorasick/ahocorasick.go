@@ -1,0 +1,145 @@
+// Package ahocorasick implements the classic Aho–Corasick multi-string
+// matching automaton. It is the string-matching substrate of the
+// decomposition baseline (§I, §VII: Hyperscan-style regex decomposition
+// extracts literal factors, matches them with a string matcher, and delays
+// FSA execution until a factor hits).
+//
+// The automaton is built in the standard three steps — trie (goto
+// function), BFS failure links, and output sets — and then flattened into a
+// fully-resolved dense next table, so scanning is one table lookup per
+// input byte, like a DFA.
+package ahocorasick
+
+import (
+	"fmt"
+)
+
+// Matcher is an immutable multi-pattern string matcher; build with New.
+type Matcher struct {
+	next     []int32   // nodes × 256, fully resolved
+	outputs  [][]int32 // pattern ids emitted at each node
+	patterns [][]byte
+	nodes    int
+}
+
+// New builds a matcher over the given patterns. Empty patterns are
+// rejected; duplicate patterns are allowed and each reports separately.
+func New(patterns [][]byte) (*Matcher, error) {
+	for i, p := range patterns {
+		if len(p) == 0 {
+			return nil, fmt.Errorf("ahocorasick: pattern %d is empty", i)
+		}
+	}
+	// Trie construction.
+	trie := []acNode{{children: map[byte]int32{}}}
+	for pi, p := range patterns {
+		cur := int32(0)
+		for _, c := range p {
+			nxt, ok := trie[cur].children[c]
+			if !ok {
+				nxt = int32(len(trie))
+				trie = append(trie, acNode{children: map[byte]int32{}})
+				trie[cur].children[c] = nxt
+			}
+			cur = nxt
+		}
+		trie[cur].out = append(trie[cur].out, int32(pi))
+	}
+	// Failure links, BFS order; outputs are merged down the links.
+	queue := make([]int32, 0, len(trie))
+	for _, child := range trie[0].children {
+		trie[child].fail = 0
+		queue = append(queue, child)
+	}
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		for c, v := range trie[u].children {
+			f := trie[u].fail
+			for {
+				if w, ok := trie[f].children[c]; ok && w != v {
+					trie[v].fail = w
+					break
+				}
+				if f == 0 {
+					trie[v].fail = 0
+					break
+				}
+				f = trie[f].fail
+			}
+			trie[v].out = append(trie[v].out, trie[trie[v].fail].out...)
+			queue = append(queue, v)
+		}
+	}
+	// Flatten into a resolved next table: next(u, c) follows failure
+	// links until a goto edge exists (or the root).
+	m := &Matcher{
+		next:     make([]int32, len(trie)*256),
+		outputs:  make([][]int32, len(trie)),
+		patterns: patterns,
+		nodes:    len(trie),
+	}
+	for u := range trie {
+		m.outputs[u] = trie[u].out
+		for c := 0; c < 256; c++ {
+			m.next[u*256+c] = resolve(trie, int32(u), byte(c))
+		}
+	}
+	return m, nil
+}
+
+// acNode is a trie node during construction.
+type acNode struct {
+	children map[byte]int32
+	out      []int32
+	fail     int32
+}
+
+func resolve(trie []acNode, u int32, c byte) int32 {
+	for {
+		if v, ok := trie[u].children[c]; ok {
+			return v
+		}
+		if u == 0 {
+			return 0
+		}
+		u = trie[u].fail
+	}
+}
+
+// NumNodes returns the automaton size in trie nodes.
+func (m *Matcher) NumNodes() int { return m.nodes }
+
+// NumPatterns returns the number of patterns.
+func (m *Matcher) NumPatterns() int { return len(m.patterns) }
+
+// Scan reports every occurrence of every pattern: fn receives the pattern
+// id and the offset of its last byte. Occurrences of different patterns at
+// the same offset are each reported.
+func (m *Matcher) Scan(input []byte, fn func(pattern, end int)) {
+	state := int32(0)
+	for pos := 0; pos < len(input); pos++ {
+		state = m.next[int(state)<<8|int(input[pos])]
+		for _, pi := range m.outputs[state] {
+			fn(int(pi), pos)
+		}
+	}
+}
+
+// Hits returns, per pattern, whether it occurs at least once in input —
+// the prefilter query of the decomposition matcher. It short-circuits when
+// every pattern has been seen.
+func (m *Matcher) Hits(input []byte) []bool {
+	hits := make([]bool, len(m.patterns))
+	remaining := len(m.patterns)
+	state := int32(0)
+	for pos := 0; pos < len(input) && remaining > 0; pos++ {
+		state = m.next[int(state)<<8|int(input[pos])]
+		for _, pi := range m.outputs[state] {
+			if !hits[pi] {
+				hits[pi] = true
+				remaining--
+			}
+		}
+	}
+	return hits
+}

@@ -1,0 +1,198 @@
+package ahocorasick
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+type hit struct{ pattern, end int }
+
+func scanAll(m *Matcher, input []byte) []hit {
+	var out []hit
+	m.Scan(input, func(p, e int) { out = append(out, hit{p, e}) })
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].end != out[j].end {
+			return out[i].end < out[j].end
+		}
+		return out[i].pattern < out[j].pattern
+	})
+	return out
+}
+
+// naive finds all occurrences by brute-force substring comparison.
+func naive(patterns [][]byte, input []byte) []hit {
+	var out []hit
+	for pi, p := range patterns {
+		for i := 0; i+len(p) <= len(input); i++ {
+			if bytes.Equal(input[i:i+len(p)], p) {
+				out = append(out, hit{pi, i + len(p) - 1})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].end != out[j].end {
+			return out[i].end < out[j].end
+		}
+		return out[i].pattern < out[j].pattern
+	})
+	return out
+}
+
+func pats(ss ...string) [][]byte {
+	out := make([][]byte, len(ss))
+	for i, s := range ss {
+		out[i] = []byte(s)
+	}
+	return out
+}
+
+func TestClassicExample(t *testing.T) {
+	// The canonical Aho–Corasick example: {he, she, his, hers} on "ushers".
+	m, err := New(pats("he", "she", "his", "hers"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := scanAll(m, []byte("ushers"))
+	want := []hit{{0, 3}, {1, 3}, {3, 5}} // she@3, he@3, hers@5
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("hits %v, want %v", got, want)
+	}
+}
+
+func TestOverlapsAndNesting(t *testing.T) {
+	m, err := New(pats("aa", "aaa", "a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := scanAll(m, []byte("aaaa"))
+	want := naive(pats("aa", "aaa", "a"), []byte("aaaa"))
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("hits %v, want %v", got, want)
+	}
+}
+
+func TestDuplicatePatterns(t *testing.T) {
+	m, err := New(pats("ab", "ab"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := scanAll(m, []byte("ab"))
+	if len(got) != 2 {
+		t.Fatalf("hits %v, want both duplicates", got)
+	}
+}
+
+func TestEmptyPatternRejected(t *testing.T) {
+	if _, err := New(pats("a", "")); err == nil {
+		t.Fatal("empty pattern accepted")
+	}
+}
+
+func TestHits(t *testing.T) {
+	m, err := New(pats("foo", "bar", "baz"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := m.Hits([]byte("xx bar yy foo"))
+	if !hits[0] || !hits[1] || hits[2] {
+		t.Fatalf("hits %v", hits)
+	}
+	none := m.Hits([]byte("nothing here"))
+	for _, h := range none {
+		if h {
+			t.Fatalf("phantom hit: %v", none)
+		}
+	}
+}
+
+func TestBinaryPatterns(t *testing.T) {
+	p := [][]byte{{0x00, 0xff}, {0xff, 0x00, 0xff}}
+	m, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := []byte{0xff, 0x00, 0xff, 0x00, 0xff}
+	got := scanAll(m, in)
+	want := naive(p, in)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("hits %v, want %v", got, want)
+	}
+}
+
+func TestQuickMatchesNaive(t *testing.T) {
+	r := rand.New(rand.NewSource(51))
+	f := func() bool {
+		np := 1 + r.Intn(6)
+		patterns := make([][]byte, np)
+		for i := range patterns {
+			p := make([]byte, 1+r.Intn(5))
+			for k := range p {
+				p[k] = byte('a' + r.Intn(3))
+			}
+			patterns[i] = p
+		}
+		m, err := New(patterns)
+		if err != nil {
+			return false
+		}
+		in := make([]byte, r.Intn(48))
+		for k := range in {
+			in[k] = byte('a' + r.Intn(3))
+		}
+		got := scanAll(m, in)
+		want := naive(patterns, in)
+		if len(got) == 0 && len(want) == 0 {
+			return true
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Logf("patterns=%q input=%q: %v want %v", patterns, in, got, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNumAccessors(t *testing.T) {
+	m, err := New(pats("ab", "cd"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumPatterns() != 2 {
+		t.Fatal("NumPatterns")
+	}
+	if m.NumNodes() != 5 { // root + a,b + c,d
+		t.Fatalf("NumNodes=%d", m.NumNodes())
+	}
+}
+
+func BenchmarkScan(b *testing.B) {
+	patterns := make([][]byte, 100)
+	r := rand.New(rand.NewSource(6))
+	for i := range patterns {
+		p := make([]byte, 4+r.Intn(12))
+		for k := range p {
+			p[k] = byte('a' + r.Intn(26))
+		}
+		patterns[i] = p
+	}
+	m, err := New(patterns)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := make([]byte, 64<<10)
+	for k := range in {
+		in[k] = byte('a' + r.Intn(26))
+	}
+	b.SetBytes(int64(len(in)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Scan(in, func(int, int) {})
+	}
+}

@@ -1,0 +1,272 @@
+// Package anml implements the Back-End of the compilation framework
+// (§IV-E): lowering MFSAs to an Automata Network Markup Language
+// representation, and the inverse reader used by the iMFAnt pre-processing.
+//
+// Standard ANML has no notion of multi-RE belonging, so — like the paper —
+// this dialect extends it: every <transition> carries a `belongs` attribute
+// listing the merged FSAs the transition derives from, and every <rule>
+// element records one merged RE with its initial and final states and
+// anchors. Symbol sets are serialized twice: a human-readable ERE class in
+// `symbols`, and a canonical hexadecimal range list in `symbol-hex` that
+// the reader parses back byte-exactly. ε-moves cannot be represented
+// (ANML does not support them), which is why ε-removal is mandatory before
+// this stage (§IV-C).
+package anml
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/charset"
+	"repro/internal/mfsa"
+)
+
+// Version identifies the dialect emitted by this package.
+const Version = "imfant-anml/1"
+
+type xmlDoc struct {
+	XMLName xml.Name  `xml:"mfsa"`
+	Version string    `xml:"version,attr"`
+	States  int       `xml:"states,attr"`
+	Rules   []xmlRule `xml:"rule"`
+	Trans   []xmlTran `xml:"transition"`
+}
+
+type xmlRule struct {
+	ID          int    `xml:"id,attr"`
+	RuleID      int    `xml:"rule-id,attr"`
+	Pattern     string `xml:"pattern,attr"`
+	Init        int32  `xml:"init,attr"`
+	Finals      string `xml:"finals,attr"`
+	AnchorStart bool   `xml:"anchor-start,attr,omitempty"`
+	AnchorEnd   bool   `xml:"anchor-end,attr,omitempty"`
+	NumStates   int    `xml:"fsa-states,attr"`
+	NumTrans    int    `xml:"fsa-trans,attr"`
+}
+
+type xmlTran struct {
+	From      int32  `xml:"from,attr"`
+	To        int32  `xml:"to,attr"`
+	Symbols   string `xml:"symbols,attr"`
+	SymbolHex string `xml:"symbol-hex,attr"`
+	Belongs   string `xml:"belongs,attr"`
+}
+
+// Write serializes z in the extended-ANML dialect.
+func Write(w io.Writer, z *mfsa.MFSA) error {
+	doc := xmlDoc{Version: Version, States: z.NumStates}
+	for _, info := range z.FSAs {
+		doc.Rules = append(doc.Rules, xmlRule{
+			ID:          info.ID,
+			RuleID:      info.RuleID,
+			Pattern:     info.Pattern,
+			Init:        info.Init,
+			Finals:      encodeIDs32(info.Finals),
+			AnchorStart: info.AnchorStart,
+			AnchorEnd:   info.AnchorEnd,
+			NumStates:   info.NumStates,
+			NumTrans:    info.NumTrans,
+		})
+	}
+	for i, t := range z.Trans {
+		doc.Trans = append(doc.Trans, xmlTran{
+			From:      t.From,
+			To:        t.To,
+			Symbols:   t.Label.String(),
+			SymbolHex: EncodeSymbols(t.Label),
+			Belongs:   encodeIDs(z.Bel[i].IDs()),
+		})
+	}
+	if _, err := io.WriteString(w, xml.Header); err != nil {
+		return err
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("anml: encode: %w", err)
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}
+
+// Read parses an extended-ANML document back into an MFSA.
+func Read(r io.Reader) (*mfsa.MFSA, error) {
+	var doc xmlDoc
+	if err := xml.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("anml: decode: %w", err)
+	}
+	if doc.Version != Version {
+		return nil, fmt.Errorf("anml: unsupported version %q (want %q)", doc.Version, Version)
+	}
+	n := len(doc.Rules)
+	trans := make([]mfsa.Transition, len(doc.Trans))
+	bel := make([]mfsa.BelongSet, len(doc.Trans))
+	for i, t := range doc.Trans {
+		set, err := DecodeSymbols(t.SymbolHex)
+		if err != nil {
+			return nil, fmt.Errorf("anml: transition %d: %v", i, err)
+		}
+		trans[i] = mfsa.Transition{From: t.From, To: t.To, Label: set}
+		ids, err := decodeIDs(t.Belongs)
+		if err != nil {
+			return nil, fmt.Errorf("anml: transition %d belongs: %v", i, err)
+		}
+		b := mfsa.NewBelongSet(n)
+		for _, id := range ids {
+			if id < 0 || id >= n {
+				return nil, fmt.Errorf("anml: transition %d belongs to unknown FSA %d", i, id)
+			}
+			b.Set(id)
+		}
+		bel[i] = b
+	}
+	fsas := make([]mfsa.FSAInfo, n)
+	for i, rl := range doc.Rules {
+		finals, err := decodeIDs(rl.Finals)
+		if err != nil {
+			return nil, fmt.Errorf("anml: rule %d finals: %v", i, err)
+		}
+		info := mfsa.FSAInfo{
+			ID:          rl.ID,
+			RuleID:      rl.RuleID,
+			Pattern:     rl.Pattern,
+			Init:        rl.Init,
+			AnchorStart: rl.AnchorStart,
+			AnchorEnd:   rl.AnchorEnd,
+			NumStates:   rl.NumStates,
+			NumTrans:    rl.NumTrans,
+		}
+		for _, f := range finals {
+			info.Finals = append(info.Finals, int32(f))
+		}
+		fsas[i] = info
+	}
+	return mfsa.Assemble(doc.States, trans, bel, fsas)
+}
+
+// EncodeSymbols renders a symbol set as a canonical hexadecimal range list,
+// e.g. "61-63,78" for [a-cx].
+func EncodeSymbols(s charset.Set) string {
+	var sb strings.Builder
+	bs := s.Bytes()
+	for i := 0; i < len(bs); {
+		j := i
+		for j+1 < len(bs) && bs[j+1] == bs[j]+1 {
+			j++
+		}
+		if sb.Len() > 0 {
+			sb.WriteByte(',')
+		}
+		if j == i {
+			fmt.Fprintf(&sb, "%02x", bs[i])
+		} else {
+			fmt.Fprintf(&sb, "%02x-%02x", bs[i], bs[j])
+		}
+		i = j + 1
+	}
+	return sb.String()
+}
+
+// DecodeSymbols parses the canonical hexadecimal range list produced by
+// EncodeSymbols.
+func DecodeSymbols(s string) (charset.Set, error) {
+	var out charset.Set
+	if s == "" {
+		return out, fmt.Errorf("empty symbol set")
+	}
+	for _, part := range strings.Split(s, ",") {
+		lo, hi, ok := strings.Cut(part, "-")
+		l, err := strconv.ParseUint(lo, 16, 8)
+		if err != nil {
+			return out, fmt.Errorf("bad symbol range %q", part)
+		}
+		h := l
+		if ok {
+			h, err = strconv.ParseUint(hi, 16, 8)
+			if err != nil || h < l {
+				return out, fmt.Errorf("bad symbol range %q", part)
+			}
+		}
+		for c := l; c <= h; c++ {
+			out.Add(byte(c))
+		}
+	}
+	return out, nil
+}
+
+func encodeIDs(ids []int) string {
+	parts := make([]string, len(ids))
+	for i, id := range ids {
+		parts[i] = strconv.Itoa(id)
+	}
+	return strings.Join(parts, ",")
+}
+
+func encodeIDs32(ids []int32) string {
+	parts := make([]string, len(ids))
+	for i, id := range ids {
+		parts[i] = strconv.Itoa(int(id))
+	}
+	return strings.Join(parts, ",")
+}
+
+func decodeIDs(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad id %q", p)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// SplitDocuments cuts a byte stream of concatenated extended-ANML documents
+// at the closing </mfsa> tags. The XML decoder reads ahead, so concatenated
+// documents must be split before Read. Trailing non-document garbage is
+// returned as a final fragment for Read to reject.
+func SplitDocuments(raw []byte) []string {
+	const closer = "</mfsa>"
+	s := string(raw)
+	var out []string
+	for {
+		i := strings.Index(s, closer)
+		if i < 0 {
+			if strings.TrimSpace(s) != "" {
+				out = append(out, s)
+			}
+			return out
+		}
+		out = append(out, s[:i+len(closer)])
+		s = s[i+len(closer):]
+	}
+}
+
+// ReadAll parses every document in a concatenated extended-ANML stream.
+func ReadAll(r io.Reader) ([]*mfsa.MFSA, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	docs := SplitDocuments(raw)
+	if len(docs) == 0 {
+		return nil, fmt.Errorf("anml: no documents found")
+	}
+	out := make([]*mfsa.MFSA, len(docs))
+	for i, doc := range docs {
+		z, err := Read(strings.NewReader(doc))
+		if err != nil {
+			return nil, fmt.Errorf("anml: document %d: %w", i, err)
+		}
+		out[i] = z
+	}
+	return out, nil
+}

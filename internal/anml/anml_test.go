@@ -1,0 +1,256 @@
+package anml
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/charset"
+	"repro/internal/engine"
+	"repro/internal/mfsa"
+	"repro/internal/nfa"
+)
+
+func mergePatterns(t testing.TB, patterns ...string) *mfsa.MFSA {
+	t.Helper()
+	fsas := make([]*nfa.NFA, len(patterns))
+	for i, p := range patterns {
+		n, err := nfa.Compile(p)
+		if err != nil {
+			t.Fatalf("compile %q: %v", p, err)
+		}
+		n.ID = i
+		fsas[i] = n
+	}
+	z, err := mfsa.Merge(fsas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return z
+}
+
+func TestRoundTripStructure(t *testing.T) {
+	z := mergePatterns(t, "a[gj](lm|cd)", "kja[gj]cd", "^x+y$")
+	var buf bytes.Buffer
+	if err := Write(&buf, z); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumStates != z.NumStates || got.NumTrans() != z.NumTrans() || got.NumFSAs() != z.NumFSAs() {
+		t.Fatalf("shape changed: %v vs %v", got, z)
+	}
+	for j := range z.FSAs {
+		a, b := z.FSAs[j], got.FSAs[j]
+		if a.Init != b.Init || a.Pattern != b.Pattern || a.RuleID != b.RuleID ||
+			a.AnchorStart != b.AnchorStart || a.AnchorEnd != b.AnchorEnd ||
+			!reflect.DeepEqual(a.Finals, b.Finals) {
+			t.Fatalf("FSA %d metadata changed:\n%+v\n%+v", j, a, b)
+		}
+	}
+	// Transitions are sorted COO on both sides; compare directly.
+	for i := range z.Trans {
+		if z.Trans[i] != got.Trans[i] {
+			t.Fatalf("transition %d: %v vs %v", i, z.Trans[i], got.Trans[i])
+		}
+		if !z.Bel[i].Equal(got.Bel[i]) {
+			t.Fatalf("bel %d: %v vs %v", i, z.Bel[i], got.Bel[i])
+		}
+	}
+}
+
+func TestRoundTripExecutes(t *testing.T) {
+	z := mergePatterns(t, "(ad|cb)ab", "a(b|c)")
+	var buf bytes.Buffer
+	if err := Write(&buf, z); err != nil {
+		t.Fatal(err)
+	}
+	rt, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := []byte("acbab")
+	want := engine.Matches(engine.NewProgram(z), in, engine.Config{})
+	got := engine.Matches(engine.NewProgram(rt), in, engine.Config{})
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("matches %v, want %v", got, want)
+	}
+}
+
+func TestWriteContainsExtension(t *testing.T) {
+	z := mergePatterns(t, "^abc", "abd")
+	var buf bytes.Buffer
+	if err := Write(&buf, z); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{"belongs=", "symbol-hex=", "anchor-start=", "<mfsa", "version=\"imfant-anml/1\""} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output lacks %q", want)
+		}
+	}
+	// The shared 'a' transition must belong to both FSAs.
+	if !strings.Contains(s, `belongs="0,1"`) {
+		t.Error("no transition with belongs=\"0,1\"")
+	}
+}
+
+func TestSymbolsCodec(t *testing.T) {
+	cases := []charset.Set{
+		charset.Single('a'),
+		charset.Range('a', 'z'),
+		charset.Of(0, 255),
+		charset.Any(),
+		charset.Of('x'),
+		charset.Range('0', '9').Union(charset.Single('_')),
+	}
+	for _, s := range cases {
+		enc := EncodeSymbols(s)
+		dec, err := DecodeSymbols(enc)
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if !dec.Equal(s) {
+			t.Fatalf("round trip %v → %q → %v", s, enc, dec)
+		}
+	}
+}
+
+func TestQuickSymbolsCodec(t *testing.T) {
+	r := rand.New(rand.NewSource(55))
+	f := func() bool {
+		var s charset.Set
+		for i, n := 0, 1+r.Intn(40); i < n; i++ {
+			s.Add(byte(r.Intn(256)))
+		}
+		dec, err := DecodeSymbols(EncodeSymbols(s))
+		return err == nil && dec.Equal(s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeSymbolsErrors(t *testing.T) {
+	for _, in := range []string{"", "zz", "61-", "-61", "63-61", "61,,62", "611"} {
+		if _, err := DecodeSymbols(in); err == nil {
+			t.Errorf("%q: no error", in)
+		}
+	}
+}
+
+func TestReadRejectsBadDocs(t *testing.T) {
+	cases := map[string]string{
+		"not xml":     "hello",
+		"bad version": `<mfsa version="other/9" states="1"></mfsa>`,
+		"no rules":    `<mfsa version="imfant-anml/1" states="1"></mfsa>`,
+		"bad belongs": `<mfsa version="imfant-anml/1" states="2">
+			<rule id="0" rule-id="0" pattern="a" init="0" finals="1" fsa-states="2" fsa-trans="1"/>
+			<transition from="0" to="1" symbol-hex="61" belongs="7"/></mfsa>`,
+		"state range": `<mfsa version="imfant-anml/1" states="1">
+			<rule id="0" rule-id="0" pattern="a" init="0" finals="0" fsa-states="1" fsa-trans="1"/>
+			<transition from="0" to="5" symbol-hex="61" belongs="0"/></mfsa>`,
+		"empty belongs": `<mfsa version="imfant-anml/1" states="2">
+			<rule id="0" rule-id="0" pattern="a" init="0" finals="1" fsa-states="2" fsa-trans="1"/>
+			<transition from="0" to="1" symbol-hex="61" belongs=""/></mfsa>`,
+	}
+	for name, doc := range cases {
+		if _, err := Read(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestQuickRoundTripRandomMerges(t *testing.T) {
+	r := rand.New(rand.NewSource(56))
+	frags := []string{"ab", "bc", "a[xy]", "k+", "(p|q)r", "m{2,3}"}
+	f := func() bool {
+		m := 1 + r.Intn(4)
+		patterns := make([]string, m)
+		for i := range patterns {
+			patterns[i] = frags[r.Intn(len(frags))] + frags[r.Intn(len(frags))]
+		}
+		z := mergePatterns(t, patterns...)
+		var buf bytes.Buffer
+		if err := Write(&buf, z); err != nil {
+			return false
+		}
+		rt, err := Read(&buf)
+		if err != nil {
+			t.Logf("read: %v", err)
+			return false
+		}
+		if rt.NumStates != z.NumStates || rt.NumTrans() != z.NumTrans() {
+			return false
+		}
+		in := make([]byte, 16)
+		alpha := []byte("abcxykpqrm")
+		for i := range in {
+			in[i] = alpha[r.Intn(len(alpha))]
+		}
+		a := engine.Run(engine.NewProgram(z), in, engine.Config{})
+		b := engine.Run(engine.NewProgram(rt), in, engine.Config{})
+		return a.Matches == b.Matches && reflect.DeepEqual(a.PerFSA, b.PerFSA)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkWrite(b *testing.B) {
+	patterns := make([]string, 40)
+	for i := range patterns {
+		patterns[i] = "GET /app" + string(rune('a'+i%26)) + "/[a-z]{2,4}"
+	}
+	z := mergePatterns(b, patterns...)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := Write(&buf, z); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestSplitDocumentsAndReadAll(t *testing.T) {
+	z1 := mergePatterns(t, "ab", "ac")
+	z2 := mergePatterns(t, "xy")
+	var buf bytes.Buffer
+	if err := Write(&buf, z1); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&buf, z2); err != nil {
+		t.Fatal(err)
+	}
+	docs := SplitDocuments(buf.Bytes())
+	if len(docs) != 2 {
+		t.Fatalf("docs=%d", len(docs))
+	}
+	zs, err := ReadAll(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(zs) != 2 || zs[0].NumFSAs() != 2 || zs[1].NumFSAs() != 1 {
+		t.Fatalf("read %d documents", len(zs))
+	}
+	// Trailing garbage becomes a fragment Read rejects.
+	buf.WriteString("<mfsa trailing garbage")
+	if _, err := ReadAll(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("trailing garbage accepted")
+	}
+	if _, err := ReadAll(strings.NewReader("")); err == nil {
+		t.Fatal("empty stream accepted")
+	}
+}
+
+func TestNetworkString(t *testing.T) {
+	net := Homogenize(mergePatterns(t, "ab"))
+	if !strings.Contains(net.String(), "STEs") {
+		t.Fatalf("String=%q", net.String())
+	}
+}

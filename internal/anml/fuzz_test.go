@@ -1,0 +1,52 @@
+package anml
+
+import (
+	"repro/internal/mfsa"
+	"repro/internal/nfa"
+	"strings"
+	"testing"
+)
+
+// FuzzDecodeSymbols checks the symbol-hex codec never panics and that every
+// accepted encoding re-encodes canonically.
+func FuzzDecodeSymbols(f *testing.F) {
+	for _, seed := range []string{
+		"61", "61-63", "61-63,78", "00-ff", "zz", "", "61-", "-61",
+		"63-61", "0a,0d", "61,61,61",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, enc string) {
+		set, err := DecodeSymbols(enc)
+		if err != nil {
+			return
+		}
+		re := EncodeSymbols(set)
+		back, err := DecodeSymbols(re)
+		if err != nil {
+			t.Fatalf("canonical form %q does not decode: %v", re, err)
+		}
+		if !back.Equal(set) {
+			t.Fatalf("canonicalization changed the set: %q → %q", enc, re)
+		}
+	})
+}
+
+// FuzzRead checks the extended-ANML reader never panics on arbitrary input.
+func FuzzRead(f *testing.F) {
+	if a, err := nfa.Compile("ab"); err == nil {
+		if b, err := nfa.Compile("ac"); err == nil {
+			if z, err := mfsa.Merge([]*nfa.NFA{a, b}); err == nil {
+				var sb strings.Builder
+				_ = Write(&sb, z)
+				f.Add(sb.String())
+			}
+		}
+	}
+	f.Add("<mfsa></mfsa>")
+	f.Add("not xml at all")
+	f.Add(`<mfsa version="imfant-anml/1" states="1"><rule id="0"/></mfsa>`)
+	f.Fuzz(func(t *testing.T, doc string) {
+		_, _ = Read(strings.NewReader(doc)) // must not panic
+	})
+}

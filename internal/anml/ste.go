@@ -1,0 +1,243 @@
+package anml
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/charset"
+	"repro/internal/mfsa"
+)
+
+// This file implements the homogeneous (STE-based) ANML dialect of the
+// Micron Automata Processor — the format the ANMLZoo datasets use and the
+// one the paper's back-end name refers to. Homogeneous automata put symbol
+// sets on states (State Transition Elements) instead of edges: an STE fires
+// on input position i when its symbol set matches the byte and it was
+// activated at i−1 (or it is a start element). The transition-labeled MFSA
+// is homogenized by splitting every state by incoming label; belonging
+// survives as an attribute on the activation edges, the same extension the
+// transition dialect uses.
+
+// STE is one state-transition element of a homogeneous network.
+type STE struct {
+	ID      string
+	Symbols charset.Set
+	// Start marks elements that may fire at any input position
+	// ("all-input") or only at offset 0 ("start-of-data"). Empty for
+	// non-start elements.
+	Start string
+	// Reports lists rules whose match ends when this STE fires.
+	Reports []int
+	// Activates lists outgoing activation edges.
+	Activates []Activation
+}
+
+// Activation is one activate-on-match edge, carrying the belonging
+// extension.
+type Activation struct {
+	Target  string
+	Belongs []int
+}
+
+// Network is a homogeneous automata network.
+type Network struct {
+	ID   string
+	STEs []STE
+}
+
+// Homogenize converts an MFSA into a homogeneous network by the standard
+// state-splitting construction: each (state, incoming label) pair becomes
+// one STE; an STE (q, L) is a start element when some transition s→q on L
+// leaves an initial state s (all-input for unanchored rules, start-of-data
+// for ^-anchored ones); it reports rule j when q is final for j; and it
+// activates (q′, L′) when the MFSA has a transition q→q′ on L′, with that
+// transition's belonging attached to the edge.
+func Homogenize(z *mfsa.MFSA) *Network {
+	type skey struct {
+		state mfsa.StateID
+		label charset.Set
+	}
+	ids := make(map[skey]int)
+	var stes []STE
+	steOf := func(state mfsa.StateID, label charset.Set) int {
+		k := skey{state, label}
+		if i, ok := ids[k]; ok {
+			return i
+		}
+		i := len(stes)
+		ids[k] = i
+		stes = append(stes, STE{
+			ID:      fmt.Sprintf("q%d_%d", state, i),
+			Symbols: label,
+		})
+		return i
+	}
+
+	// First pass: create the split states.
+	for _, t := range z.Trans {
+		steOf(t.To, t.Label)
+	}
+	// Second pass: start flags — (q, L) is a start element when some
+	// L-labeled transition into q leaves an initial state.
+	for _, t := range z.Trans {
+		if !z.InitMask[t.From].Any() {
+			continue
+		}
+		ste := &stes[steOf(t.To, t.Label)]
+		anchored := true
+		z.InitMask[t.From].ForEach(func(j int) {
+			if !z.FSAs[j].AnchorStart {
+				anchored = false
+			}
+		})
+		if anchored {
+			if ste.Start == "" {
+				ste.Start = "start-of-data"
+			}
+		} else {
+			ste.Start = "all-input"
+		}
+	}
+	// Reports, computed exactly: (q, L) reports j when q ∈ F_j and some
+	// incoming transition labeled L belongs to j.
+	reportSets := make(map[int]map[int]struct{})
+	for i, t := range z.Trans {
+		dst := steOf(t.To, t.Label)
+		fin := z.FinalMask[t.To]
+		if !fin.Any() {
+			continue
+		}
+		z.Bel[i].ForEach(func(j int) {
+			if fin.Has(j) {
+				if reportSets[dst] == nil {
+					reportSets[dst] = make(map[int]struct{})
+				}
+				reportSets[dst][j] = struct{}{}
+			}
+		})
+	}
+	for dst, set := range reportSets {
+		for j := range set {
+			stes[dst].Reports = append(stes[dst].Reports, j)
+		}
+		sort.Ints(stes[dst].Reports)
+	}
+	// Activation edges: (q, L) → (q′, L′) for every MFSA transition
+	// q → q′ on L′; every split of q carries the same out-edges.
+	outEdges := make(map[mfsa.StateID][]Activation)
+	for i, t := range z.Trans {
+		dst := steOf(t.To, t.Label)
+		outEdges[t.From] = append(outEdges[t.From], Activation{
+			Target:  stes[dst].ID,
+			Belongs: z.Bel[i].IDs(),
+		})
+	}
+	for k, i := range ids {
+		stes[i].Activates = append(stes[i].Activates, outEdges[k.state]...)
+	}
+	for i := range stes {
+		sort.Slice(stes[i].Activates, func(a, b int) bool {
+			return stes[i].Activates[a].Target < stes[i].Activates[b].Target
+		})
+	}
+	return &Network{ID: "mfsa", STEs: stes}
+}
+
+// xml structures for the homogeneous dialect.
+type xmlNetwork struct {
+	XMLName xml.Name `xml:"automata-network"`
+	ID      string   `xml:"id,attr"`
+	STEs    []xmlSTE `xml:"state-transition-element"`
+}
+
+type xmlSTE struct {
+	ID        string   `xml:"id,attr"`
+	SymbolSet string   `xml:"symbol-set,attr"`
+	Start     string   `xml:"start,attr,omitempty"`
+	Reports   []xmlRep `xml:"report-on-match"`
+	Activates []xmlAct `xml:"activate-on-match"`
+}
+
+type xmlRep struct {
+	Rule int `xml:"reportcode,attr"`
+}
+
+type xmlAct struct {
+	Element string `xml:"element,attr"`
+	Belongs string `xml:"belongs,attr,omitempty"`
+}
+
+// WriteSTE serializes the network as homogeneous ANML XML.
+func WriteSTE(w io.Writer, net *Network) error {
+	doc := xmlNetwork{ID: net.ID}
+	for _, s := range net.STEs {
+		xs := xmlSTE{ID: s.ID, SymbolSet: s.Symbols.String(), Start: s.Start}
+		for _, rep := range s.Reports {
+			xs.Reports = append(xs.Reports, xmlRep{Rule: rep})
+		}
+		for _, a := range s.Activates {
+			xs.Activates = append(xs.Activates, xmlAct{Element: a.Target, Belongs: encodeIDs(a.Belongs)})
+		}
+		doc.STEs = append(doc.STEs, xs)
+	}
+	if _, err := io.WriteString(w, xml.Header); err != nil {
+		return err
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("anml: encode STE: %w", err)
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}
+
+// SimulateSTE runs the homogeneous network over input with KeepOnMatch scan
+// semantics, ignoring belonging (every report STE reports its rules when it
+// fires). It exists to test that homogenization preserves per-rule matching
+// for single-rule networks and aggregated matching generally.
+func SimulateSTE(net *Network, input []byte) []int {
+	idx := make(map[string]int, len(net.STEs))
+	for i, s := range net.STEs {
+		idx[s.ID] = i
+	}
+	active := make([]bool, len(net.STEs))
+	next := make([]bool, len(net.STEs))
+	var ends []int
+	for pos := 0; pos < len(input); pos++ {
+		c := input[pos]
+		for i := range next {
+			next[i] = false
+		}
+		fired := false
+		reported := false
+		for i := range net.STEs {
+			s := &net.STEs[i]
+			enabled := active[i] || s.Start == "all-input" || (s.Start == "start-of-data" && pos == 0)
+			if !enabled || !s.Symbols.Contains(c) {
+				continue
+			}
+			fired = true
+			if len(s.Reports) > 0 && !reported {
+				ends = append(ends, pos)
+				reported = true
+			}
+			for _, a := range s.Activates {
+				next[idx[a.Target]] = true
+			}
+		}
+		_ = fired
+		active, next = next, active
+	}
+	return ends
+}
+
+// steString is a debugging helper rendering the network compactly.
+func (n *Network) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "network %s: %d STEs", n.ID, len(n.STEs))
+	return sb.String()
+}

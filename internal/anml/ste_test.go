@@ -1,0 +1,158 @@
+package anml
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/engine"
+)
+
+func TestHomogenizeSmall(t *testing.T) {
+	z := mergePatterns(t, "ab")
+	net := Homogenize(z)
+	// Two transitions with distinct (state, label): STEs a and b.
+	if len(net.STEs) != 2 {
+		t.Fatalf("STEs=%d, want 2", len(net.STEs))
+	}
+	var starts, reports int
+	for _, s := range net.STEs {
+		if s.Start != "" {
+			starts++
+		}
+		if len(s.Reports) > 0 {
+			reports++
+		}
+	}
+	if starts != 1 || reports != 1 {
+		t.Fatalf("starts=%d reports=%d", starts, reports)
+	}
+}
+
+func TestHomogenizeSplitsByIncomingLabel(t *testing.T) {
+	// (a|b)x after multiplicity merging has one [ab] arc, then x: the x
+	// state keeps a single STE. But a(x|y)x-style re-entry with distinct
+	// labels must split.
+	z := mergePatterns(t, "(ab|cb)d")
+	net := Homogenize(z)
+	// states: start -a-> p -b-> q; start -c-> r -b-> q; q -d-> f.
+	// STEs: (p,a), (r,c), (q,b) [shared if both b-arcs converge], (f,d).
+	// Either way every STE has a uniform symbol set.
+	for _, s := range net.STEs {
+		if s.Symbols.IsEmpty() {
+			t.Fatalf("empty STE symbol set: %+v", s)
+		}
+	}
+}
+
+func TestHomogenizeStartKinds(t *testing.T) {
+	z := mergePatterns(t, "^ab")
+	net := Homogenize(z)
+	found := false
+	for _, s := range net.STEs {
+		if s.Start == "start-of-data" {
+			found = true
+		}
+		if s.Start == "all-input" {
+			t.Fatalf("anchored rule produced all-input STE")
+		}
+	}
+	if !found {
+		t.Fatal("no start-of-data STE")
+	}
+}
+
+func TestSimulateSTEMatchesEngine(t *testing.T) {
+	// Single-rule networks: the STE simulator must agree with iMFAnt in
+	// KeepOnMatch mode on distinct end offsets.
+	patterns := []string{"abc", "a+b", "x[yz]w", "(ab|ba)c", "a{2,3}"}
+	r := rand.New(rand.NewSource(61))
+	for _, pat := range patterns {
+		z := mergePatterns(t, pat)
+		net := Homogenize(z)
+		p := engine.NewProgram(z)
+		for trial := 0; trial < 20; trial++ {
+			in := make([]byte, r.Intn(24))
+			for i := range in {
+				in[i] = byte('a' + r.Intn(4))
+			}
+			got := dedupInts(SimulateSTE(net, in))
+			want := engine.DistinctEnds(engine.Matches(p, in, engine.Config{KeepOnMatch: true}), 1)[0]
+			if want == nil {
+				want = []int{}
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s input %q: ste %v engine %v", pat, in, got, want)
+			}
+		}
+	}
+}
+
+func dedupInts(xs []int) []int {
+	m := map[int]struct{}{}
+	for _, x := range xs {
+		m[x] = struct{}{}
+	}
+	out := make([]int, 0, len(m))
+	for x := range m {
+		out = append(out, x)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func TestQuickHomogenizePreservesMatching(t *testing.T) {
+	r := rand.New(rand.NewSource(62))
+	frags := []string{"a", "b", "ab", "a[bc]", "b+", "c?"}
+	f := func() bool {
+		pat := frags[r.Intn(len(frags))] + frags[r.Intn(len(frags))]
+		z := mergePatterns(t, pat)
+		net := Homogenize(z)
+		p := engine.NewProgram(z)
+		in := make([]byte, r.Intn(16))
+		for i := range in {
+			in[i] = byte('a' + r.Intn(3))
+		}
+		got := dedupInts(SimulateSTE(net, in))
+		want := engine.DistinctEnds(engine.Matches(p, in, engine.Config{KeepOnMatch: true}), 1)[0]
+		if want == nil {
+			want = []int{}
+		}
+		return reflect.DeepEqual(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteSTEFormat(t *testing.T) {
+	z := mergePatterns(t, "abc", "abd")
+	net := Homogenize(z)
+	var buf bytes.Buffer
+	if err := WriteSTE(&buf, net); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"<automata-network", "state-transition-element", "symbol-set=",
+		"activate-on-match", "report-on-match", `start="all-input"`, "belongs=",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("STE output lacks %q", want)
+		}
+	}
+}
+
+func TestHomogenizeSTECountBounded(t *testing.T) {
+	// The split is by (state, incoming label): STE count is bounded by
+	// the transition count.
+	z := mergePatterns(t, "GET /abc", "GET /abd", "POST /x")
+	net := Homogenize(z)
+	if len(net.STEs) > z.NumTrans() {
+		t.Fatalf("STEs=%d > transitions=%d", len(net.STEs), z.NumTrans())
+	}
+}

@@ -1,0 +1,276 @@
+// Package charset implements fixed-size 256-bit symbol sets.
+//
+// A Set is the label of an automaton transition: the set of input bytes that
+// enable the transition. Single-character transitions are singleton sets;
+// character classes (CCs, §IV-C of the paper) are arbitrary sets. Sets are
+// value types (four machine words) and compare with ==, which is exactly the
+// label-equality test Algorithm 1 performs when searching mergeable
+// sub-paths.
+package charset
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Set is a set of byte values in [0, 255], represented as a 256-bit bitmap.
+// The zero value is the empty set and is ready to use.
+type Set struct {
+	w [4]uint64
+}
+
+// Single returns the singleton set {b}.
+func Single(b byte) Set {
+	var s Set
+	s.Add(b)
+	return s
+}
+
+// Range returns the set of all bytes in [lo, hi]. It returns the empty set
+// when lo > hi.
+func Range(lo, hi byte) Set {
+	var s Set
+	for c := int(lo); c <= int(hi); c++ {
+		s.Add(byte(c))
+	}
+	return s
+}
+
+// Any returns the set of all 256 byte values.
+func Any() Set {
+	return Set{w: [4]uint64{^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0)}}
+}
+
+// AnyNoNL returns the set matched by the ERE dot: every byte except '\n'.
+func AnyNoNL() Set {
+	s := Any()
+	s.Remove('\n')
+	return s
+}
+
+// Of returns the set containing exactly the given bytes.
+func Of(bs ...byte) Set {
+	var s Set
+	for _, b := range bs {
+		s.Add(b)
+	}
+	return s
+}
+
+// FromString returns the set of bytes occurring in str.
+func FromString(str string) Set {
+	var s Set
+	for i := 0; i < len(str); i++ {
+		s.Add(str[i])
+	}
+	return s
+}
+
+// Add inserts b into the set.
+func (s *Set) Add(b byte) {
+	s.w[b>>6] |= 1 << (b & 63)
+}
+
+// Remove deletes b from the set.
+func (s *Set) Remove(b byte) {
+	s.w[b>>6] &^= 1 << (b & 63)
+}
+
+// Contains reports whether b is in the set.
+func (s Set) Contains(b byte) bool {
+	return s.w[b>>6]&(1<<(b&63)) != 0
+}
+
+// IsEmpty reports whether the set has no elements.
+func (s Set) IsEmpty() bool {
+	return s.w == [4]uint64{}
+}
+
+// Len returns the number of bytes in the set. The paper's Table I reports
+// the total CC length of a dataset as the sum of Len over all CC-labeled
+// transitions.
+func (s Set) Len() int {
+	return bits.OnesCount64(s.w[0]) + bits.OnesCount64(s.w[1]) +
+		bits.OnesCount64(s.w[2]) + bits.OnesCount64(s.w[3])
+}
+
+// IsSingle reports whether the set is a singleton, returning its element.
+func (s Set) IsSingle() (byte, bool) {
+	if s.Len() != 1 {
+		return 0, false
+	}
+	return s.Min(), true
+}
+
+// Min returns the smallest byte in the set; it returns 0 for the empty set.
+func (s Set) Min() byte {
+	for i, w := range s.w {
+		if w != 0 {
+			return byte(i*64 + bits.TrailingZeros64(w))
+		}
+	}
+	return 0
+}
+
+// Max returns the largest byte in the set; it returns 0 for the empty set.
+func (s Set) Max() byte {
+	for i := 3; i >= 0; i-- {
+		if s.w[i] != 0 {
+			return byte(i*64 + 63 - bits.LeadingZeros64(s.w[i]))
+		}
+	}
+	return 0
+}
+
+// Union returns s ∪ t.
+func (s Set) Union(t Set) Set {
+	return Set{w: [4]uint64{s.w[0] | t.w[0], s.w[1] | t.w[1], s.w[2] | t.w[2], s.w[3] | t.w[3]}}
+}
+
+// Intersect returns s ∩ t.
+func (s Set) Intersect(t Set) Set {
+	return Set{w: [4]uint64{s.w[0] & t.w[0], s.w[1] & t.w[1], s.w[2] & t.w[2], s.w[3] & t.w[3]}}
+}
+
+// Diff returns s \ t.
+func (s Set) Diff(t Set) Set {
+	return Set{w: [4]uint64{s.w[0] &^ t.w[0], s.w[1] &^ t.w[1], s.w[2] &^ t.w[2], s.w[3] &^ t.w[3]}}
+}
+
+// Complement returns the set of bytes not in s.
+func (s Set) Complement() Set {
+	return Any().Diff(s)
+}
+
+// Equal reports whether s and t contain exactly the same bytes. Algorithm 1
+// merges CC transitions only when their classes are identical (set Y, Eq. 1).
+func (s Set) Equal(t Set) bool {
+	return s.w == t.w
+}
+
+// Overlaps reports whether s ∩ t is non-empty.
+func (s Set) Overlaps(t Set) bool {
+	return !s.Intersect(t).IsEmpty()
+}
+
+// Bytes returns the elements of the set in increasing order.
+func (s Set) Bytes() []byte {
+	out := make([]byte, 0, s.Len())
+	s.ForEach(func(b byte) { out = append(out, b) })
+	return out
+}
+
+// ForEach calls fn for every byte in the set, in increasing order.
+func (s Set) ForEach(fn func(byte)) {
+	for i, w := range s.w {
+		for w != 0 {
+			b := byte(i*64 + bits.TrailingZeros64(w))
+			fn(b)
+			w &= w - 1
+		}
+	}
+}
+
+// Hash returns a 64-bit mixing hash of the set, usable to bucket transition
+// labels during the merge search.
+func (s Set) Hash() uint64 {
+	const m = 0x9e3779b97f4a7c15
+	h := uint64(0)
+	for _, w := range s.w {
+		h ^= w
+		h *= m
+		h ^= h >> 29
+	}
+	return h
+}
+
+// String renders the set as an ERE-compatible bracket expression, or as the
+// bare character for singletons. It is used by the ANML writer and debug
+// output.
+func (s Set) String() string {
+	if s.IsEmpty() {
+		return "[]"
+	}
+	if s.Equal(Any()) {
+		return "[\\x00-\\xff]"
+	}
+	if b, ok := s.IsSingle(); ok {
+		return escapeByte(b)
+	}
+	var sb strings.Builder
+	sb.WriteByte('[')
+	// Emit maximal runs as ranges.
+	bs := s.Bytes()
+	for i := 0; i < len(bs); {
+		j := i
+		for j+1 < len(bs) && bs[j+1] == bs[j]+1 {
+			j++
+		}
+		switch {
+		case j == i:
+			sb.WriteString(escapeByte(bs[i]))
+		case j == i+1:
+			sb.WriteString(escapeByte(bs[i]))
+			sb.WriteString(escapeByte(bs[j]))
+		default:
+			sb.WriteString(escapeByte(bs[i]))
+			sb.WriteByte('-')
+			sb.WriteString(escapeByte(bs[j]))
+		}
+		i = j + 1
+	}
+	sb.WriteByte(']')
+	return sb.String()
+}
+
+func escapeByte(b byte) string {
+	switch b {
+	case '\\', ']', '[', '-', '^':
+		return "\\" + string(b)
+	case '\n':
+		return `\n`
+	case '\r':
+		return `\r`
+	case '\t':
+		return `\t`
+	}
+	if b < 0x20 || b >= 0x7f {
+		return fmt.Sprintf("\\x%02x", b)
+	}
+	return string(b)
+}
+
+// Posix returns the named POSIX character class ([:alpha:] etc.). The second
+// result is false for unknown names.
+func Posix(name string) (Set, bool) {
+	switch name {
+	case "alpha":
+		return Range('A', 'Z').Union(Range('a', 'z')), true
+	case "digit":
+		return Range('0', '9'), true
+	case "alnum":
+		return Range('0', '9').Union(Range('A', 'Z')).Union(Range('a', 'z')), true
+	case "upper":
+		return Range('A', 'Z'), true
+	case "lower":
+		return Range('a', 'z'), true
+	case "space":
+		return Of(' ', '\t', '\n', '\v', '\f', '\r'), true
+	case "blank":
+		return Of(' ', '\t'), true
+	case "punct":
+		return Range('!', '/').Union(Range(':', '@')).Union(Range('[', '`')).Union(Range('{', '~')), true
+	case "print":
+		return Range(0x20, 0x7e), true
+	case "graph":
+		return Range(0x21, 0x7e), true
+	case "cntrl":
+		return Range(0x00, 0x1f).Union(Single(0x7f)), true
+	case "xdigit":
+		return Range('0', '9').Union(Range('A', 'F')).Union(Range('a', 'f')), true
+	case "word":
+		return Range('0', '9').Union(Range('A', 'Z')).Union(Range('a', 'z')).Union(Single('_')), true
+	}
+	return Set{}, false
+}

@@ -1,0 +1,343 @@
+package charset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmpty(t *testing.T) {
+	var s Set
+	if !s.IsEmpty() {
+		t.Fatal("zero Set must be empty")
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len of empty = %d, want 0", s.Len())
+	}
+	for c := 0; c < 256; c++ {
+		if s.Contains(byte(c)) {
+			t.Fatalf("empty set contains %d", c)
+		}
+	}
+}
+
+func TestAddRemoveContains(t *testing.T) {
+	var s Set
+	for _, b := range []byte{0, 1, 63, 64, 127, 128, 200, 255} {
+		s.Add(b)
+		if !s.Contains(b) {
+			t.Fatalf("after Add(%d), Contains=false", b)
+		}
+	}
+	if s.Len() != 8 {
+		t.Fatalf("Len=%d, want 8", s.Len())
+	}
+	s.Remove(64)
+	if s.Contains(64) {
+		t.Fatal("Remove(64) did not remove")
+	}
+	if s.Len() != 7 {
+		t.Fatalf("Len=%d, want 7", s.Len())
+	}
+}
+
+func TestSingle(t *testing.T) {
+	for c := 0; c < 256; c++ {
+		s := Single(byte(c))
+		got, ok := s.IsSingle()
+		if !ok || got != byte(c) {
+			t.Fatalf("Single(%d).IsSingle() = %d,%v", c, got, ok)
+		}
+		if s.Len() != 1 {
+			t.Fatalf("Single(%d).Len() = %d", c, s.Len())
+		}
+	}
+}
+
+func TestRange(t *testing.T) {
+	s := Range('a', 'f')
+	if s.Len() != 6 {
+		t.Fatalf("Len=%d, want 6", s.Len())
+	}
+	for c := byte('a'); c <= 'f'; c++ {
+		if !s.Contains(c) {
+			t.Fatalf("missing %c", c)
+		}
+	}
+	if s.Contains('g') || s.Contains('`') {
+		t.Fatal("range contains out-of-range byte")
+	}
+	if !Range(5, 4).IsEmpty() {
+		t.Fatal("inverted range must be empty")
+	}
+	full := Range(0, 255)
+	if !full.Equal(Any()) {
+		t.Fatal("Range(0,255) != Any()")
+	}
+}
+
+func TestAnyNoNL(t *testing.T) {
+	s := AnyNoNL()
+	if s.Contains('\n') {
+		t.Fatal("AnyNoNL contains newline")
+	}
+	if s.Len() != 255 {
+		t.Fatalf("Len=%d, want 255", s.Len())
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	s := Of(10, 200, 42)
+	if s.Min() != 10 {
+		t.Fatalf("Min=%d", s.Min())
+	}
+	if s.Max() != 200 {
+		t.Fatalf("Max=%d", s.Max())
+	}
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a := Range('a', 'm')
+	b := Range('h', 'z')
+	u := a.Union(b)
+	if u.Len() != 26 {
+		t.Fatalf("union len=%d, want 26", u.Len())
+	}
+	i := a.Intersect(b)
+	if !i.Equal(Range('h', 'm')) {
+		t.Fatalf("intersect = %v", i)
+	}
+	d := a.Diff(b)
+	if !d.Equal(Range('a', 'g')) {
+		t.Fatalf("diff = %v", d)
+	}
+	if !a.Overlaps(b) {
+		t.Fatal("a should overlap b")
+	}
+	if a.Overlaps(Range('n', 'z')) {
+		t.Fatal("disjoint sets reported overlapping")
+	}
+	c := a.Complement()
+	if c.Len() != 256-13 {
+		t.Fatalf("complement len=%d", c.Len())
+	}
+	if !c.Union(a).Equal(Any()) {
+		t.Fatal("s ∪ ¬s != Any")
+	}
+}
+
+func TestBytesOrdered(t *testing.T) {
+	s := Of(200, 3, 77, 3)
+	bs := s.Bytes()
+	want := []byte{3, 77, 200}
+	if len(bs) != len(want) {
+		t.Fatalf("Bytes=%v", bs)
+	}
+	for i := range want {
+		if bs[i] != want[i] {
+			t.Fatalf("Bytes=%v, want %v", bs, want)
+		}
+	}
+}
+
+func TestFromString(t *testing.T) {
+	s := FromString("hello")
+	if s.Len() != 4 { // h e l o
+		t.Fatalf("Len=%d, want 4", s.Len())
+	}
+	for _, c := range []byte("helo") {
+		if !s.Contains(c) {
+			t.Fatalf("missing %c", c)
+		}
+	}
+}
+
+func TestStringRoundTrips(t *testing.T) {
+	cases := []struct {
+		s    Set
+		want string
+	}{
+		{Single('a'), "a"},
+		{Single('\n'), `\n`},
+		{Single(0x00), `\x00`},
+		{Of('a', 'b', 'c'), "[a-c]"},
+		{Of('a', 'c'), "[ac]"},
+		{Of('a', 'b'), "[ab]"},
+		{Set{}, "[]"},
+		{Any(), "[\\x00-\\xff]"},
+	}
+	for _, c := range cases {
+		if got := c.s.String(); got != c.want {
+			t.Errorf("String(%v bytes) = %q, want %q", c.s.Bytes(), got, c.want)
+		}
+	}
+}
+
+func TestPosixClasses(t *testing.T) {
+	digit, ok := Posix("digit")
+	if !ok || digit.Len() != 10 {
+		t.Fatalf("digit: ok=%v len=%d", ok, digit.Len())
+	}
+	alnum, _ := Posix("alnum")
+	if alnum.Len() != 62 {
+		t.Fatalf("alnum len=%d, want 62", alnum.Len())
+	}
+	word, _ := Posix("word")
+	if word.Len() != 63 || !word.Contains('_') {
+		t.Fatalf("word len=%d", word.Len())
+	}
+	space, _ := Posix("space")
+	if space.Len() != 6 {
+		t.Fatalf("space len=%d", space.Len())
+	}
+	if _, ok := Posix("nope"); ok {
+		t.Fatal("unknown class accepted")
+	}
+	// alpha ∪ digit == alnum
+	alpha, _ := Posix("alpha")
+	if !alpha.Union(digit).Equal(alnum) {
+		t.Fatal("alpha ∪ digit != alnum")
+	}
+	// print = graph ∪ {space char}
+	print_, _ := Posix("print")
+	graph, _ := Posix("graph")
+	if !graph.Union(Single(' ')).Equal(print_) {
+		t.Fatal("graph ∪ ' ' != print")
+	}
+}
+
+func randomSet(r *rand.Rand) Set {
+	var s Set
+	n := r.Intn(64)
+	for i := 0; i < n; i++ {
+		s.Add(byte(r.Intn(256)))
+	}
+	return s
+}
+
+func TestQuickUnionCommutative(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	f := func() bool {
+		a, b := randomSet(r), randomSet(r)
+		return a.Union(b).Equal(b.Union(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDeMorgan(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	f := func() bool {
+		a, b := randomSet(r), randomSet(r)
+		lhs := a.Union(b).Complement()
+		rhs := a.Complement().Intersect(b.Complement())
+		return lhs.Equal(rhs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickLenMatchesContains(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	f := func() bool {
+		s := randomSet(r)
+		n := 0
+		for c := 0; c < 256; c++ {
+			if s.Contains(byte(c)) {
+				n++
+			}
+		}
+		return n == s.Len()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickHashEqualSets(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	f := func() bool {
+		s := randomSet(r)
+		u := s.Union(Set{}) // copy
+		return s.Hash() == u.Hash()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickForEachOrdered(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	f := func() bool {
+		s := randomSet(r)
+		prev := -1
+		ok := true
+		s.ForEach(func(b byte) {
+			if int(b) <= prev {
+				ok = false
+			}
+			prev = int(b)
+		})
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSetUnion(b *testing.B) {
+	x := Range('a', 'z')
+	y := Range('0', '9')
+	for i := 0; i < b.N; i++ {
+		x = x.Union(y)
+	}
+	_ = x
+}
+
+func BenchmarkSetContains(b *testing.B) {
+	s := Range('a', 'z')
+	for i := 0; i < b.N; i++ {
+		_ = s.Contains(byte(i))
+	}
+}
+
+func TestMinMaxEmpty(t *testing.T) {
+	var s Set
+	if s.Min() != 0 || s.Max() != 0 {
+		t.Fatal("empty set Min/Max must be 0")
+	}
+	hi := Single(250)
+	if hi.Min() != 250 || hi.Max() != 250 {
+		t.Fatal("high-byte Min/Max")
+	}
+}
+
+func TestEscapeByteForms(t *testing.T) {
+	cases := map[byte]string{
+		'\\': `\\`, ']': `\]`, '[': `\[`, '-': `\-`, '^': `\^`,
+		'\r': `\r`, '\t': `\t`, 0x7f: `\x7f`, 0x1f: `\x1f`, 'A': "A",
+	}
+	for b, want := range cases {
+		if got := Single(b).String(); got != want {
+			t.Errorf("Single(%d).String() = %q, want %q", b, got, want)
+		}
+	}
+}
+
+func TestPosixRemainingClasses(t *testing.T) {
+	for name, wantLen := range map[string]int{
+		"upper": 26, "lower": 26, "blank": 2, "punct": 32,
+		"print": 95, "graph": 94, "cntrl": 33, "xdigit": 22,
+	} {
+		s, ok := Posix(name)
+		if !ok {
+			t.Errorf("Posix(%q) unknown", name)
+			continue
+		}
+		if s.Len() != wantLen {
+			t.Errorf("Posix(%q).Len() = %d, want %d", name, s.Len(), wantLen)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+// Package cluster implements the similarity-driven RE grouping the paper
+// lists as future work (§VIII: "we plan to devise a systematic similarity
+// RE analysis for possible clustering techniques"). Instead of sampling the
+// input REs sequentially into M-sized groups (§VI), rules are grouped
+// greedily by normalized INDEL similarity so that each MFSA merges the
+// rules most likely to share sub-paths.
+package cluster
+
+import (
+	"sort"
+
+	"repro/internal/similarity"
+)
+
+// GroupBySimilarity partitions rule indices into groups of at most m,
+// greedily: the lowest-index unassigned rule seeds a group and pulls in the
+// m−1 unassigned rules most similar to it (ties broken by index, so the
+// result is deterministic). m ≤ 0 yields one group with every rule.
+//
+// The cost is the all-pairs similarity matrix, O(n²) INDEL computations —
+// the analysis cost the paper's future-work clustering would pay.
+func GroupBySimilarity(patterns []string, m int) [][]int {
+	n := len(patterns)
+	if n == 0 {
+		return nil
+	}
+	if m <= 0 || m >= n {
+		all := make([]int, n)
+		for i := range all {
+			all[i] = i
+		}
+		return [][]int{all}
+	}
+	// Similarity matrix (symmetric, zero diagonal).
+	sim := make([][]float64, n)
+	for i := range sim {
+		sim[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			s := similarity.Similarity(patterns[i], patterns[j])
+			sim[i][j], sim[j][i] = s, s
+		}
+	}
+	assigned := make([]bool, n)
+	var groups [][]int
+	for seed := 0; seed < n; seed++ {
+		if assigned[seed] {
+			continue
+		}
+		assigned[seed] = true
+		group := []int{seed}
+		// Candidates: unassigned rules by descending similarity to
+		// the seed.
+		var cands []int
+		for j := 0; j < n; j++ {
+			if !assigned[j] {
+				cands = append(cands, j)
+			}
+		}
+		sort.SliceStable(cands, func(a, b int) bool {
+			return sim[seed][cands[a]] > sim[seed][cands[b]]
+		})
+		for _, j := range cands {
+			if len(group) >= m {
+				break
+			}
+			assigned[j] = true
+			group = append(group, j)
+		}
+		sort.Ints(group)
+		groups = append(groups, group)
+	}
+	return groups
+}
+
+// IntraSimilarity returns the average pairwise similarity within each group
+// and overall — the quality metric clustering optimizes.
+func IntraSimilarity(patterns []string, groups [][]int) (perGroup []float64, overall float64) {
+	perGroup = make([]float64, len(groups))
+	var total float64
+	var pairs int64
+	for g, group := range groups {
+		var sum float64
+		var cnt int64
+		for i := 0; i < len(group); i++ {
+			for j := i + 1; j < len(group); j++ {
+				s := similarity.Similarity(patterns[group[i]], patterns[group[j]])
+				sum += s
+				cnt++
+			}
+		}
+		if cnt > 0 {
+			perGroup[g] = sum / float64(cnt)
+		}
+		total += sum
+		pairs += cnt
+	}
+	if pairs > 0 {
+		overall = total / float64(pairs)
+	}
+	return perGroup, overall
+}

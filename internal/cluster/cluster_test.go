@@ -1,0 +1,132 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGroupBySimilarityBasics(t *testing.T) {
+	patterns := []string{
+		"GET /aaa", "xyzxyzxy", "GET /aab", "xyzxyzxx", "GET /aac", "qqqq",
+	}
+	groups := GroupBySimilarity(patterns, 3)
+	if len(groups) != 2 {
+		t.Fatalf("groups=%v", groups)
+	}
+	// The GET rules must cluster together.
+	find := func(idx int) int {
+		for g, group := range groups {
+			for _, i := range group {
+				if i == idx {
+					return g
+				}
+			}
+		}
+		return -1
+	}
+	if find(0) != find(2) || find(0) != find(4) {
+		t.Fatalf("GET rules split: %v", groups)
+	}
+	if find(1) != find(3) {
+		t.Fatalf("xyz rules split: %v", groups)
+	}
+}
+
+func TestGroupBySimilarityEdgeCases(t *testing.T) {
+	if got := GroupBySimilarity(nil, 5); got != nil {
+		t.Fatalf("empty: %v", got)
+	}
+	one := GroupBySimilarity([]string{"a"}, 5)
+	if len(one) != 1 || len(one[0]) != 1 {
+		t.Fatalf("singleton: %v", one)
+	}
+	all := GroupBySimilarity([]string{"a", "b", "c"}, 0)
+	if len(all) != 1 || len(all[0]) != 3 {
+		t.Fatalf("m=0: %v", all)
+	}
+}
+
+func TestQuickGroupsPartition(t *testing.T) {
+	r := rand.New(rand.NewSource(81))
+	f := func() bool {
+		n := 1 + r.Intn(24)
+		m := 1 + r.Intn(8)
+		patterns := make([]string, n)
+		for i := range patterns {
+			b := make([]byte, 2+r.Intn(8))
+			for k := range b {
+				b[k] = byte('a' + r.Intn(4))
+			}
+			patterns[i] = string(b)
+		}
+		groups := GroupBySimilarity(patterns, m)
+		seen := make([]bool, n)
+		for _, group := range groups {
+			if len(group) == 0 || len(group) > m {
+				t.Logf("bad group size %d (m=%d)", len(group), m)
+				return false
+			}
+			for _, i := range group {
+				if seen[i] {
+					t.Logf("rule %d assigned twice", i)
+					return false
+				}
+				seen[i] = true
+			}
+		}
+		for i, ok := range seen {
+			if !ok {
+				t.Logf("rule %d unassigned", i)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClusteringImprovesIntraSimilarity(t *testing.T) {
+	// Interleave two very different families; sequential grouping mixes
+	// them, clustering must not.
+	var patterns []string
+	for i := 0; i < 12; i++ {
+		if i%2 == 0 {
+			patterns = append(patterns, "GET /page"+string(rune('a'+i)))
+		} else {
+			patterns = append(patterns, "zqwk"+string(rune('a'+i))+"mvnx")
+		}
+	}
+	seq := [][]int{{0, 1, 2, 3}, {4, 5, 6, 7}, {8, 9, 10, 11}}
+	_, seqSim := IntraSimilarity(patterns, seq)
+	clustered := GroupBySimilarity(patterns, 4)
+	_, cluSim := IntraSimilarity(patterns, clustered)
+	if cluSim <= seqSim {
+		t.Fatalf("clustered similarity %.3f not better than sequential %.3f", cluSim, seqSim)
+	}
+}
+
+func TestIntraSimilarityDegenerate(t *testing.T) {
+	per, overall := IntraSimilarity([]string{"a"}, [][]int{{0}})
+	if per[0] != 0 || overall != 0 {
+		t.Fatal("singleton group similarity must be 0")
+	}
+}
+
+func BenchmarkGroupBySimilarity(b *testing.B) {
+	patterns := make([]string, 120)
+	r := rand.New(rand.NewSource(5))
+	for i := range patterns {
+		bs := make([]byte, 10+r.Intn(20))
+		for k := range bs {
+			bs[k] = byte('a' + r.Intn(26))
+		}
+		patterns[i] = string(bs)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GroupBySimilarity(patterns, 10)
+	}
+}

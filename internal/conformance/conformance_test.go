@@ -1,0 +1,211 @@
+// Package conformance differentially tests every matcher implementation in
+// the repository against the same random rulesets and inputs: the iMFAnt
+// bitset engine (1-word and multi-word paths), the 2-stride engine, the
+// chunked/streaming path, the subset-construction DFA, the D²FA, the
+// decomposition prefilter matcher, and the naive reference oracle. Any
+// disagreement on the distinct (rule, end-offset) match sets is a bug in at
+// least one of them.
+package conformance
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/decompose"
+	"repro/internal/dfa"
+	"repro/internal/engine"
+	"repro/internal/mfsa"
+	"repro/internal/nfa"
+)
+
+// ends normalizes a match-event list to sorted distinct end offsets per
+// rule, with empty (not nil) slices.
+func norm(out [][]int) [][]int {
+	for i := range out {
+		if out[i] == nil {
+			out[i] = []int{}
+		}
+	}
+	return out
+}
+
+func randPattern(r *rand.Rand) string {
+	frags := []string{"a", "b", "c", "ab", "bc", "ca", "a[bc]", "(ab|ba)", "b+", "c?", "a{2,3}", "[abc]c"}
+	s := ""
+	for i, n := 0, 1+r.Intn(3); i < n; i++ {
+		s += frags[r.Intn(len(frags))]
+	}
+	return s
+}
+
+func TestQuickAllEnginesAgree(t *testing.T) {
+	r := rand.New(rand.NewSource(2024))
+	f := func() bool {
+		m := 1 + r.Intn(5)
+		patterns := make([]string, m)
+		fsas := make([]*nfa.NFA, m)
+		for i := range patterns {
+			patterns[i] = randPattern(r)
+			n, err := nfa.Compile(patterns[i])
+			if err != nil {
+				return false
+			}
+			n.ID = i
+			fsas[i] = n
+		}
+		z, err := mfsa.Merge(fsas)
+		if err != nil {
+			return false
+		}
+		in := make([]byte, r.Intn(40))
+		for i := range in {
+			in[i] = byte('a' + r.Intn(3))
+		}
+		cfg := engine.Config{KeepOnMatch: true}
+
+		// 1. Reference oracle.
+		want := norm(engine.ReferenceScanAll(fsas, in, true))
+
+		results := map[string][][]int{}
+
+		// 2. iMFAnt (merged).
+		p := engine.NewProgram(z)
+		results["imfant"] = norm(engine.DistinctEnds(engine.Matches(p, in, cfg), m))
+
+		// 3. iMFAnt chunked.
+		{
+			var events []engine.MatchEvent
+			c := cfg
+			c.OnMatch = func(fsa, end int) { events = append(events, engine.MatchEvent{FSA: fsa, End: end}) }
+			runner := engine.NewRunner(p)
+			runner.Begin(c)
+			for i := 0; i < len(in); i += 3 {
+				end := i + 3
+				if end > len(in) {
+					end = len(in)
+				}
+				runner.Feed(in[i:end], end == len(in))
+			}
+			if len(in) == 0 {
+				runner.Feed(nil, true)
+			}
+			runner.End()
+			results["chunked"] = norm(engine.DistinctEnds(events, m))
+		}
+
+		// 4. 2-stride.
+		if sp, err := engine.NewStrideProgram(z); err == nil {
+			var events []engine.MatchEvent
+			c := cfg
+			c.OnMatch = func(fsa, end int) { events = append(events, engine.MatchEvent{FSA: fsa, End: end}) }
+			engine.NewStrideRunner(sp).Run(in, c)
+			results["stride2"] = norm(engine.DistinctEnds(events, m))
+		}
+
+		// 5. DFA and D²FA.
+		if d, err := dfa.FromNFAs(fsas, 1<<14); err == nil {
+			results["dfa"] = norm(dfaEnds(d.Match, in, m))
+			c := dfa.Compress(d)
+			results["d2fa"] = norm(dfaEnds(c.Match, in, m))
+		}
+
+		// 6. Decomposition matcher.
+		if dm, err := decompose.New(patterns, true); err == nil {
+			sets := make([]map[int]struct{}, m)
+			for i := range sets {
+				sets[i] = map[int]struct{}{}
+			}
+			dm.Scan(in, func(rule, end int) { sets[rule][end] = struct{}{} })
+			out := make([][]int, m)
+			for i, s := range sets {
+				for e := range s {
+					out[i] = append(out[i], e)
+				}
+				sort.Ints(out[i])
+			}
+			results["decompose"] = norm(out)
+		}
+
+		for name, got := range results {
+			if !reflect.DeepEqual(got, want) {
+				t.Logf("%s disagrees with oracle\npatterns=%v input=%q\n%s=%v\noracle=%v",
+					name, patterns, in, name, got, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func dfaEnds(match func([]byte, func(int, int)) int64, in []byte, m int) [][]int {
+	sets := make([]map[int]struct{}, m)
+	for i := range sets {
+		sets[i] = map[int]struct{}{}
+	}
+	match(in, func(rule, end int) { sets[rule][end] = struct{}{} })
+	out := make([][]int, m)
+	for i, s := range sets {
+		for e := range s {
+			out[i] = append(out[i], e)
+		}
+		sort.Ints(out[i])
+	}
+	return out
+}
+
+// TestQuickPopSemanticsEnginesAgree covers the Eq. 5 pop mode for the
+// engines that implement it (DFA-family and decomposition use keep
+// semantics by construction).
+func TestQuickPopSemanticsEnginesAgree(t *testing.T) {
+	r := rand.New(rand.NewSource(2025))
+	f := func() bool {
+		m := 1 + r.Intn(4)
+		patterns := make([]string, m)
+		fsas := make([]*nfa.NFA, m)
+		for i := range patterns {
+			patterns[i] = randPattern(r)
+			n, err := nfa.Compile(patterns[i])
+			if err != nil {
+				return false
+			}
+			fsas[i] = n
+		}
+		z, err := mfsa.Merge(fsas)
+		if err != nil {
+			return false
+		}
+		in := make([]byte, r.Intn(32))
+		for i := range in {
+			in[i] = byte('a' + r.Intn(3))
+		}
+		cfg := engine.Config{}
+		want := norm(engine.ReferenceScanAll(fsas, in, false))
+		p := engine.NewProgram(z)
+		if got := norm(engine.DistinctEnds(engine.Matches(p, in, cfg), m)); !reflect.DeepEqual(got, want) {
+			t.Logf("imfant pop: patterns=%v input=%q %v want %v", patterns, in, got, want)
+			return false
+		}
+		sp, err := engine.NewStrideProgram(z)
+		if err != nil {
+			return true
+		}
+		var events []engine.MatchEvent
+		c := cfg
+		c.OnMatch = func(fsa, end int) { events = append(events, engine.MatchEvent{FSA: fsa, End: end}) }
+		engine.NewStrideRunner(sp).Run(in, c)
+		if got := norm(engine.DistinctEnds(events, m)); !reflect.DeepEqual(got, want) {
+			t.Logf("stride pop: patterns=%v input=%q %v want %v", patterns, in, got, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Fatal(err)
+	}
+}

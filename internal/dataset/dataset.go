@@ -1,0 +1,320 @@
+// Package dataset synthesizes the six evaluation rulesets of §VI (Table I).
+//
+// The paper evaluates on Bro217, Dotstar09, PowerEN, Protomata, Ranges1 and
+// TCP (from Becchi et al.'s workload and ANMLZoo). Those rule files are not
+// redistributable here, so each dataset is replaced by a deterministic,
+// seeded generator that reproduces its published shape: the number of REs,
+// the rough per-RE state/transition counts after single-FSA optimization,
+// the character-class volume, and — crucially for this paper — the
+// intra-dataset morphological similarity, obtained by drawing rules from
+// shared sub-pattern pools. See DESIGN.md ("Substitutions") for the
+// rationale; EXPERIMENTS.md records measured-vs-published characteristics.
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Spec describes one synthetic dataset.
+type Spec struct {
+	Name string // full name, e.g. "Bro217"
+	Abbr string // the paper's abbreviation, e.g. "BRO"
+	// NumREs matches Table I.
+	NumREs int
+	// Seed fixes the generator; same Spec → same ruleset, always.
+	Seed int64
+	// StreamAlphabet is the byte population of the stream background.
+	StreamAlphabet []byte
+	// gen produces one rule given the dataset's shared fragment pools.
+	gen func(r *rand.Rand, p *pools) string
+}
+
+// Datasets returns the six benchmark dataset specs in the paper's order.
+func Datasets() []Spec {
+	return []Spec{
+		{Name: "Bro217", Abbr: "BRO", NumREs: 217, Seed: 0xB20, StreamAlphabet: printable(), gen: genBro},
+		{Name: "Dotstar09", Abbr: "DS9", NumREs: 299, Seed: 0xD59, StreamAlphabet: printable(), gen: genDotstar},
+		{Name: "PowerEN", Abbr: "PEN", NumREs: 300, Seed: 0x9E4, StreamAlphabet: printable(), gen: genPowerEN},
+		{Name: "Protomata", Abbr: "PRO", NumREs: 300, Seed: 0x960, StreamAlphabet: []byte(aminoAlphabet), gen: genProtomata},
+		{Name: "Ranges1", Abbr: "RG1", NumREs: 299, Seed: 0x261, StreamAlphabet: printable(), gen: genRanges},
+		{Name: "ExactMatch/TCP", Abbr: "TCP", NumREs: 300, Seed: 0x7C9, StreamAlphabet: bytesAll(), gen: genTCP},
+	}
+}
+
+// ByAbbr returns the dataset with the given abbreviation.
+func ByAbbr(abbr string) (Spec, error) {
+	for _, s := range Datasets() {
+		if s.Abbr == abbr {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("dataset: unknown abbreviation %q", abbr)
+}
+
+// Patterns generates the dataset's rules, deterministically.
+func (s Spec) Patterns() []string {
+	r := rand.New(rand.NewSource(s.Seed))
+	p := newPools(r)
+	out := make([]string, s.NumREs)
+	for i := range out {
+		out[i] = s.gen(r, p)
+	}
+	return out
+}
+
+const aminoAlphabet = "ACDEFGHIKLMNPQRSTVWY"
+
+func printable() []byte {
+	out := make([]byte, 0, 95)
+	for c := byte(0x20); c <= 0x7e; c++ {
+		out = append(out, c)
+	}
+	return out
+}
+
+func bytesAll() []byte {
+	out := make([]byte, 256)
+	for i := range out {
+		out[i] = byte(i)
+	}
+	return out
+}
+
+// pools holds the shared fragments each dataset draws from; sharing is what
+// produces the INDEL similarity of Fig. 1 and the mergeable sub-paths the
+// MFSA exploits.
+type pools struct {
+	httpPrefixes []string
+	broWords     []string
+	words        []string
+	longWords    []string
+	suffixes     []string
+	motifs       []string
+	hexRuns      []string
+}
+
+// wordAlphabet deliberately contains no ERE metacharacters, so pool words
+// are literal patterns.
+const wordAlphabet = "abcdefghijklmnopqrstuvwxyz0123456789_"
+
+func newPools(r *rand.Rand) *pools {
+	p := &pools{
+		httpPrefixes: []string{
+			"GET /", "POST /", "HEAD /", "GET /cgi-bin/", "GET /scripts/",
+			"User-Agent: ", "Host: ", "Cookie: ", "Referer: ", "POST /cgi-bin/",
+			"Content-Type: ", "GET /admin/",
+		},
+		suffixes: []string{
+			"\\.php", "\\.cgi", "\\.exe", "\\.dll", "\\.asp", "\\.jsp",
+			" HTTP", "\\.\\./", "%00", "id=",
+		},
+	}
+	// Word pools are themselves randomly generated once per dataset, so
+	// rules share them heavily; the pool size tunes the intra-dataset
+	// similarity of Fig. 1.
+	p.broWords = randWords(r, 40, 4, 8, wordAlphabet)
+	p.words = randWords(r, 28, 4, 9, wordAlphabet)
+	p.longWords = randWords(r, 18, 10, 20, wordAlphabet+"/")
+	p.motifs = randWords(r, 56, 3, 6, aminoAlphabet)
+	p.hexRuns = randWords(r, 24, 3, 7, "") // filled below with \xHH runs
+	for i := range p.hexRuns {
+		n := 2 + r.Intn(4)
+		s := ""
+		for k := 0; k < n; k++ {
+			s += fmt.Sprintf("\\x%02x", r.Intn(256))
+		}
+		p.hexRuns[i] = s
+	}
+	return p
+}
+
+func randWords(r *rand.Rand, count, minLen, maxLen int, alphabet string) []string {
+	out := make([]string, count)
+	for i := range out {
+		if alphabet == "" {
+			continue
+		}
+		n := minLen + r.Intn(maxLen-minLen+1)
+		b := make([]byte, n)
+		for k := range b {
+			b[k] = alphabet[r.Intn(len(alphabet))]
+		}
+		out[i] = string(b)
+	}
+	return out
+}
+
+func pick(r *rand.Rand, xs []string) string { return xs[r.Intn(len(xs))] }
+
+// fresh returns a rule-unique literal word of length in [min, max]. Every
+// generator plants one so that no two rules are entirely pool-composed —
+// real rulesets always carry rule-specific content, which is what keeps the
+// paper's compression below total collapse.
+func fresh(r *rand.Rand, min, max int) string {
+	n := min + r.Intn(max-min+1)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = wordAlphabet[r.Intn(len(wordAlphabet))]
+	}
+	return string(b)
+}
+
+// genBro emulates Bro217: short HTTP signature rules (~12 optimized states)
+// with heavily shared prefixes — the most self-similar dataset in Fig. 1.
+func genBro(r *rand.Rand, p *pools) string {
+	// Skew toward the GET-family prefixes so rule pairs share long runs,
+	// reproducing BRO's position as the most self-similar dataset.
+	var s string
+	if r.Intn(100) < 70 {
+		s = p.httpPrefixes[r.Intn(4)]
+	} else {
+		s = pick(r, p.httpPrefixes)
+	}
+	if r.Intn(2) == 0 {
+		s += pick(r, p.broWords)
+	} else {
+		s += fresh(r, 4, 8)
+	}
+	if r.Intn(100) < 60 {
+		s += p.suffixes[r.Intn(len(p.suffixes))]
+	}
+	// Keep the optimized automaton near 13 states, but retain at least
+	// one rule-specific atom beyond the shared prefix so rules stay
+	// distinct.
+	return clipPattern(s, 13+r.Intn(5))
+}
+
+// genDotstar emulates Dotstar09: pairs of literals joined by an unbounded
+// gap (the classic `lit1.*lit2` DPI shape), ~43 optimized states, CCs only
+// from the dot.
+func genDotstar(r *rand.Rand, p *pools) string {
+	a := pick(r, p.longWords) + fresh(r, 4, 9)
+	b := pick(r, p.longWords)
+	if r.Intn(2) == 0 {
+		b = fresh(r, 8, 14)
+	}
+	s := a + ".*" + b
+	if r.Intn(100) < 30 {
+		s += ".*" + pick(r, p.words)
+	}
+	return s
+}
+
+// genPowerEN emulates PowerEN: mid-length mostly-literal rules (~15 states)
+// with almost no character classes (Table I: 152 total CC chars).
+func genPowerEN(r *rand.Rand, p *pools) string {
+	s := clipPattern(pick(r, p.words)+fresh(r, 4, 7)+pick(r, p.words), 13+r.Intn(4))
+	if r.Intn(100) < 12 {
+		s += "[0-9]"
+	}
+	return s
+}
+
+// genProtomata emulates Protomata: PROSITE-style protein motifs over the
+// 20-letter amino alphabet — short automata (~12 states) but very CC-heavy
+// (Table I: 11905 total CC chars), which drives the high run-time active
+// counts of Table II.
+func genProtomata(r *rand.Rand, p *pools) string {
+	s := pick(r, p.motifs)
+	// PROSITE motifs vary widely in length; the length spread keeps the
+	// average pairwise normalized similarity near the Fig. 1 band.
+	elems := 1 + r.Intn(6)
+	for e := 0; e < elems; e++ {
+		switch r.Intn(4) {
+		case 0: // x — any amino acid (20-char class)
+			s += "[" + aminoAlphabet + "]"
+			if r.Intn(2) == 0 {
+				s += fmt.Sprintf("{%d,%d}", 1+r.Intn(2), 2+r.Intn(2))
+			}
+		case 1: // small alternative class
+			k := 2 + r.Intn(4)
+			perm := r.Perm(len(aminoAlphabet))[:k]
+			cls := "["
+			for _, i := range perm {
+				cls += string(aminoAlphabet[i])
+			}
+			s += cls + "]"
+		case 2: // rule-specific residue run
+			n := 2 + r.Intn(4)
+			b := make([]byte, n)
+			for i := range b {
+				b[i] = aminoAlphabet[r.Intn(len(aminoAlphabet))]
+			}
+			s += string(b)
+		default:
+			s += pick(r, p.motifs)
+		}
+	}
+	return s
+}
+
+// genRanges emulates Ranges1: long mostly-literal rules (~42 states) with a
+// sprinkle of short ranges (Table I: ~5.6 CC chars per rule).
+func genRanges(r *rand.Rand, p *pools) string {
+	s := pick(r, p.longWords) + fresh(r, 6, 12)
+	lo := byte('a') + byte(r.Intn(10))
+	span := byte(3 + r.Intn(4))
+	s += fmt.Sprintf("[%c-%c]", lo, lo+span)
+	s += pick(r, p.longWords)
+	if r.Intn(2) == 0 {
+		s += fresh(r, 4, 9)
+	}
+	return s
+}
+
+// genTCP emulates the TCP/ExactMatch class: binary header signatures mixing
+// hex-escaped literal runs, short classes and bounded repetitions
+// (~30 states, ~8 CC chars per rule).
+func genTCP(r *rand.Rand, p *pools) string {
+	// ExactMatch-class signatures: mostly exact literal strings with a
+	// sprinkle of hex runs, short classes, and bounded repetitions. Fresh
+	// per-rule words keep the similarity moderate; the shared pools and
+	// hex runs provide the mergeable sub-paths.
+	freshWord := func() string {
+		n := 4 + r.Intn(8)
+		b := make([]byte, n)
+		for k := range b {
+			b[k] = wordAlphabet[r.Intn(len(wordAlphabet))]
+		}
+		return string(b)
+	}
+	s := freshWord()
+	blocks := 2 + r.Intn(3)
+	for b := 0; b < blocks; b++ {
+		switch r.Intn(6) {
+		case 0:
+			s += fmt.Sprintf("[\\x%02x-\\x%02x]", 0x20+r.Intn(64), 0x60+r.Intn(64))
+		case 1:
+			s += pick(r, p.hexRuns) + fmt.Sprintf("{%d,%d}", 1+r.Intn(2), 2+r.Intn(3))
+		case 2, 3:
+			s += pick(r, p.words)
+		default:
+			s += freshWord()
+		}
+	}
+	s += pick(r, p.hexRuns)
+	return s
+}
+
+// clipPattern truncates a pattern to roughly maxAtoms literal atoms without
+// splitting an escape sequence.
+func clipPattern(s string, maxAtoms int) string {
+	atoms, i := 0, 0
+	for i < len(s) && atoms < maxAtoms {
+		if s[i] == '\\' {
+			if i+1 < len(s) && s[i+1] == 'x' {
+				i += 4
+			} else {
+				i += 2
+			}
+		} else {
+			i++
+		}
+		atoms++
+	}
+	if i > len(s) {
+		i = len(s)
+	}
+	return s[:i]
+}

@@ -1,0 +1,214 @@
+package dataset
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/nfa"
+	"repro/internal/rex"
+	"repro/internal/similarity"
+)
+
+func TestDatasetsRegistry(t *testing.T) {
+	ds := Datasets()
+	if len(ds) != 6 {
+		t.Fatalf("datasets=%d, want 6", len(ds))
+	}
+	wantREs := map[string]int{"BRO": 217, "DS9": 299, "PEN": 300, "PRO": 300, "RG1": 299, "TCP": 300}
+	for _, s := range ds {
+		if wantREs[s.Abbr] != s.NumREs {
+			t.Errorf("%s: NumREs=%d, want %d (Table I)", s.Abbr, s.NumREs, wantREs[s.Abbr])
+		}
+		if len(s.StreamAlphabet) == 0 {
+			t.Errorf("%s: empty stream alphabet", s.Abbr)
+		}
+	}
+	if _, err := ByAbbr("BRO"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByAbbr("NOPE"); err == nil {
+		t.Fatal("unknown abbr accepted")
+	}
+}
+
+func TestPatternsDeterministic(t *testing.T) {
+	for _, s := range Datasets() {
+		a := s.Patterns()
+		b := s.Patterns()
+		if len(a) != s.NumREs {
+			t.Fatalf("%s: %d patterns, want %d", s.Abbr, len(a), s.NumREs)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: nondeterministic pattern %d", s.Abbr, i)
+			}
+		}
+	}
+}
+
+func TestAllPatternsCompile(t *testing.T) {
+	for _, s := range Datasets() {
+		for i, p := range s.Patterns() {
+			n, err := nfa.Compile(p)
+			if err != nil {
+				t.Errorf("%s rule %d %q: %v", s.Abbr, i, p, err)
+				continue
+			}
+			if n.NumStates < 2 {
+				t.Errorf("%s rule %d %q: degenerate (%d states)", s.Abbr, i, p, n.NumStates)
+			}
+		}
+	}
+}
+
+// TestShapeNearTableI loosely checks that each synthetic dataset lands in
+// the neighbourhood of its published Table I characteristics (±40% on avg
+// states; CC volume ordering PRO ≫ others, PEN ≈ 0).
+func TestShapeNearTableI(t *testing.T) {
+	wantAvgStates := map[string]float64{
+		"BRO": 13.19, "DS9": 43.08, "PEN": 15.75, "PRO": 12.34, "RG1": 43.18, "TCP": 30.35,
+	}
+	ccTotal := map[string]int{}
+	for _, s := range Datasets() {
+		states, trans, cc := 0, 0, 0
+		pats := s.Patterns()
+		for _, p := range pats {
+			n, err := nfa.Compile(p)
+			if err != nil {
+				t.Fatalf("%s: %v", s.Abbr, err)
+			}
+			states += n.NumStates
+			trans += len(n.Trans)
+			cc += n.CCLen()
+		}
+		ccTotal[s.Abbr] = cc
+		avg := float64(states) / float64(len(pats))
+		want := wantAvgStates[s.Abbr]
+		if avg < want*0.6 || avg > want*1.4 {
+			t.Errorf("%s: avg states %.2f outside ±40%% of Table I %.2f", s.Abbr, avg, want)
+		}
+		if trans == 0 {
+			t.Errorf("%s: no transitions", s.Abbr)
+		}
+		t.Logf("%s: avg states %.2f (paper %.2f), total trans %d, total CC %d",
+			s.Abbr, avg, want, trans, cc)
+	}
+	if !(ccTotal["PRO"] > 3*ccTotal["DS9"]) {
+		t.Errorf("PRO CC volume (%d) should dominate DS9 (%d) as in Table I", ccTotal["PRO"], ccTotal["DS9"])
+	}
+	if ccTotal["PEN"] > 1000 {
+		t.Errorf("PEN CC volume %d should be near zero (Table I: 152)", ccTotal["PEN"])
+	}
+}
+
+// TestSimilarityBand checks the Fig. 1 property the merging exploits: every
+// dataset exhibits substantial intra-dataset morphological similarity, with
+// the cross-dataset average near the paper's 0.34. (The exact per-dataset
+// ranking is attenuated in the synthetic sets — PRO's 20-letter alphabet
+// raises its random-baseline LCS — see EXPERIMENTS.md.)
+func TestSimilarityBand(t *testing.T) {
+	total := 0.0
+	for _, s := range Datasets() {
+		pats := s.Patterns()
+		// Subsample pairs for speed: first 80 patterns.
+		if len(pats) > 80 {
+			pats = pats[:80]
+		}
+		sim := similarity.DatasetSimilarity(pats)
+		total += sim
+		if sim < 0.2 || sim > 0.6 {
+			t.Errorf("%s: similarity %.3f outside the plausible Fig. 1 band", s.Abbr, sim)
+		}
+		t.Logf("%s: normalized INDEL similarity %.3f", s.Abbr, sim)
+	}
+	avg := total / 6
+	if avg < 0.25 || avg > 0.45 {
+		t.Errorf("cross-dataset average %.3f, paper reports 0.34", avg)
+	}
+}
+
+func TestStreamDeterministicAndSized(t *testing.T) {
+	s, _ := ByAbbr("BRO")
+	a := s.Stream(8192, 0)
+	b := s.Stream(8192, 0)
+	if len(a) != 8192 {
+		t.Fatalf("size=%d", len(a))
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("stream not deterministic")
+	}
+	c := s.Stream(8192, 128)
+	if bytes.Equal(a, c) {
+		t.Fatal("plantEvery has no effect")
+	}
+}
+
+func TestStreamContainsPlantedMatches(t *testing.T) {
+	// Planted samples must make the ruleset actually fire: scan a small
+	// stream with the first rules of each dataset and require matches.
+	for _, s := range Datasets() {
+		in := s.Stream(16384, 256)
+		var total int
+		for _, p := range s.Patterns()[:40] {
+			n, err := nfa.Compile(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += len(engine.ReferenceScan(n, in, false))
+		}
+		if total == 0 {
+			t.Errorf("%s: no rule matches in a planted stream", s.Abbr)
+		}
+	}
+}
+
+func TestSampleStringAccepted(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for _, s := range Datasets() {
+		for _, p := range s.Patterns()[:25] {
+			ast := rex.MustParse(p)
+			n, err := nfa.Compile(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for k := 0; k < 4; k++ {
+				sample := SampleString(r, ast)
+				if !nfa.Accepts(n, sample) {
+					t.Fatalf("%s: sample %q of %q rejected", s.Abbr, sample, p)
+				}
+			}
+		}
+	}
+}
+
+func TestSampleStringRepeats(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	ast := rex.MustParse("a{2,4}b*")
+	for i := 0; i < 20; i++ {
+		got := SampleString(r, ast)
+		n := 0
+		for n < len(got) && got[n] == 'a' {
+			n++
+		}
+		if n < 2 || n > 4 {
+			t.Fatalf("sample %q violates {2,4}", got)
+		}
+	}
+}
+
+func BenchmarkPatterns(b *testing.B) {
+	s, _ := ByAbbr("DS9")
+	for i := 0; i < b.N; i++ {
+		s.Patterns()
+	}
+}
+
+func BenchmarkStream1MB(b *testing.B) {
+	s, _ := ByAbbr("BRO")
+	b.SetBytes(1 << 20)
+	for i := 0; i < b.N; i++ {
+		s.Stream(1<<20, 0)
+	}
+}

@@ -1,0 +1,87 @@
+package dataset
+
+import (
+	"math/rand"
+
+	"repro/internal/rex"
+)
+
+// SampleString generates a string accepted by the expression rooted at ast,
+// choosing alternation branches and repetition counts at random. Unbounded
+// repetitions are sampled with at most two extra iterations. Anchor nodes
+// contribute nothing (the caller decides where to plant the sample).
+func SampleString(r *rand.Rand, ast *rex.Node) []byte {
+	var out []byte
+	var walk func(n *rex.Node)
+	walk = func(n *rex.Node) {
+		switch n.Op {
+		case rex.OpLit:
+			bs := n.Set.Bytes()
+			out = append(out, bs[r.Intn(len(bs))])
+		case rex.OpConcat:
+			for _, s := range n.Subs {
+				walk(s)
+			}
+		case rex.OpAlt:
+			walk(n.Subs[r.Intn(len(n.Subs))])
+		case rex.OpRepeat:
+			max := n.Max
+			if max == rex.Inf {
+				max = n.Min + 2
+			}
+			k := n.Min
+			if max > n.Min {
+				k += r.Intn(max - n.Min + 1)
+			}
+			for i := 0; i < k; i++ {
+				walk(n.Subs[0])
+			}
+		}
+	}
+	walk(ast)
+	return out
+}
+
+// Stream synthesizes an input stream of the given size for the dataset:
+// background bytes drawn from the dataset's alphabet, with substrings
+// sampled from randomly chosen rules planted at random offsets so that the
+// traversal produces non-trivial match and active-set behaviour (the 1 MB
+// data input of §VI-C). plantEvery controls the average gap between planted
+// samples; 0 selects the default of 512 bytes. Anchored rules are skipped
+// when planting (their samples would rarely be valid mid-stream).
+//
+// The result is deterministic for a given spec, size and seed offset.
+func (s Spec) Stream(size, plantEvery int) []byte {
+	if plantEvery <= 0 {
+		plantEvery = 512
+	}
+	r := rand.New(rand.NewSource(s.Seed ^ 0x57_12_EA_4D))
+	patterns := s.Patterns()
+	asts := make([]*rex.Node, 0, len(patterns))
+	for _, p := range patterns {
+		ast, err := rex.Parse(p)
+		if err != nil {
+			continue // generators only emit valid patterns; be safe anyway
+		}
+		hasAnchor := false
+		ast.Walk(func(n *rex.Node) {
+			if n.Op == rex.OpAnchor {
+				hasAnchor = true
+			}
+		})
+		if !hasAnchor {
+			asts = append(asts, ast)
+		}
+	}
+	out := make([]byte, 0, size+64)
+	for len(out) < size {
+		gap := plantEvery/2 + r.Intn(plantEvery)
+		for i := 0; i < gap && len(out) < size; i++ {
+			out = append(out, s.StreamAlphabet[r.Intn(len(s.StreamAlphabet))])
+		}
+		if len(asts) > 0 && len(out) < size {
+			out = append(out, SampleString(r, asts[r.Intn(len(asts))])...)
+		}
+	}
+	return out[:size]
+}

@@ -1,0 +1,211 @@
+// Package decompose implements the regex-decomposition baseline of the
+// paper's related work (§I, §VII — Wang et al.'s Hyperscan [6]): each RE is
+// analyzed for a required literal factor, a string that must occur in every
+// match; the factors of the whole ruleset are matched in one pass with an
+// Aho–Corasick automaton, and the full automaton of a rule is executed only
+// when its factor actually appears in the input ("delaying FSA execution
+// until the string matching analysis is required"). Rules without a usable
+// factor always run their automaton.
+package decompose
+
+import (
+	"fmt"
+
+	"repro/internal/ahocorasick"
+	"repro/internal/engine"
+	"repro/internal/mfsa"
+	"repro/internal/nfa"
+	"repro/internal/rex"
+)
+
+// Factor returns the longest literal string guaranteed to occur in every
+// match of the expression, or ok=false when no factor of at least minLen
+// bytes exists. Only the mandatory concatenation spine contributes:
+// alternations, optional parts (min-0 repeats) and character classes break
+// factors, while counted repeats of literals extend them.
+func Factor(ast *rex.Node, minLen int) (string, bool) {
+	best := ""
+	cur := make([]byte, 0, 32)
+	flush := func() {
+		if len(cur) > len(best) {
+			best = string(cur)
+		}
+		cur = cur[:0]
+	}
+	var walk func(n *rex.Node)
+	walk = func(n *rex.Node) {
+		switch n.Op {
+		case rex.OpLit:
+			if b, ok := n.Set.IsSingle(); ok {
+				cur = append(cur, b)
+				return
+			}
+			flush()
+		case rex.OpConcat:
+			for _, s := range n.Subs {
+				walk(s)
+			}
+		case rex.OpRepeat:
+			if n.Min == 0 {
+				flush()
+				return
+			}
+			// The body occurs at least Min times consecutively; a
+			// literal body extends the run Min times, then breaks
+			// the run unless the repetition is exact.
+			if lit, ok := literalString(n.Subs[0]); ok {
+				for i := 0; i < n.Min; i++ {
+					cur = append(cur, lit...)
+				}
+				if n.Max != n.Min {
+					flush()
+				}
+				return
+			}
+			// Non-literal mandatory body: contributes its own
+			// factors but breaks the surrounding run.
+			flush()
+			walk(n.Subs[0])
+			flush()
+		case rex.OpAlt, rex.OpAnchor, rex.OpEmpty:
+			flush()
+		}
+	}
+	walk(ast)
+	flush()
+	if len(best) >= minLen {
+		return best, true
+	}
+	return "", false
+}
+
+func literalString(n *rex.Node) (string, bool) {
+	switch n.Op {
+	case rex.OpLit:
+		if b, ok := n.Set.IsSingle(); ok {
+			return string(b), true
+		}
+	case rex.OpConcat:
+		out := make([]byte, 0, len(n.Subs))
+		for _, s := range n.Subs {
+			b, ok := s.Set.IsSingle()
+			if s.Op != rex.OpLit || !ok {
+				return "", false
+			}
+			out = append(out, b)
+		}
+		return string(out), true
+	}
+	return "", false
+}
+
+// Matcher is a decomposed ruleset: an Aho–Corasick prefilter over the
+// extracted factors plus one compiled automaton per rule for confirmation.
+type Matcher struct {
+	patterns []string
+	programs []*engine.Program
+	// factorOf[rule] is the prefilter pattern index, or -1 when the rule
+	// has no usable factor and always runs.
+	factorOf []int
+	ac       *ahocorasick.Matcher
+	// alwaysRun lists rules without factors.
+	alwaysRun []int
+	keep      bool
+}
+
+// MinFactorLen is the shortest literal factor worth prefiltering; shorter
+// strings hit too often to skip any work.
+const MinFactorLen = 3
+
+// New compiles a decomposed matcher. keepOnMatch selects the engine's match
+// semantics, as in engine.Config.
+func New(patterns []string, keepOnMatch bool) (*Matcher, error) {
+	m := &Matcher{
+		patterns: patterns,
+		programs: make([]*engine.Program, len(patterns)),
+		factorOf: make([]int, len(patterns)),
+		keep:     keepOnMatch,
+	}
+	var factors [][]byte
+	for i, pat := range patterns {
+		ast, err := rex.Parse(pat)
+		if err != nil {
+			return nil, fmt.Errorf("decompose: rule %d: %w", i, err)
+		}
+		a, err := nfa.Build(ast)
+		if err != nil {
+			return nil, fmt.Errorf("decompose: rule %d: %w", i, err)
+		}
+		a.ID = i
+		a.Pattern = pat
+		if err := nfa.Optimize(a); err != nil {
+			return nil, fmt.Errorf("decompose: rule %d: %w", i, err)
+		}
+		z, err := mfsa.Merge([]*nfa.NFA{a})
+		if err != nil {
+			return nil, err
+		}
+		m.programs[i] = engine.NewProgram(z)
+		if f, ok := Factor(ast, MinFactorLen); ok {
+			m.factorOf[i] = len(factors)
+			factors = append(factors, []byte(f))
+		} else {
+			m.factorOf[i] = -1
+			m.alwaysRun = append(m.alwaysRun, i)
+		}
+	}
+	if len(factors) > 0 {
+		ac, err := ahocorasick.New(factors)
+		if err != nil {
+			return nil, err
+		}
+		m.ac = ac
+	}
+	return m, nil
+}
+
+// NumFilterable returns how many rules carry a prefilter factor.
+func (m *Matcher) NumFilterable() int {
+	return len(m.patterns) - len(m.alwaysRun)
+}
+
+// Stats of one decomposed scan.
+type Stats struct {
+	// Matches is the total engine match-event count.
+	Matches int64
+	// Triggered is the number of filterable rules whose factor occurred
+	// (and whose automaton therefore ran).
+	Triggered int
+	// Skipped is the number of filterable rules whose automaton was
+	// skipped entirely.
+	Skipped int
+}
+
+// Scan prefilters input and runs only the triggered (or unfilterable)
+// rules' automata over it.
+func (m *Matcher) Scan(input []byte, onMatch func(rule, end int)) Stats {
+	var st Stats
+	run := func(rule int) {
+		cfg := engine.Config{KeepOnMatch: m.keep}
+		if onMatch != nil {
+			cfg.OnMatch = func(_, end int) { onMatch(rule, end) }
+		}
+		st.Matches += engine.Run(m.programs[rule], input, cfg).Matches
+	}
+	var hits []bool
+	if m.ac != nil {
+		hits = m.ac.Hits(input)
+	}
+	for rule, fi := range m.factorOf {
+		switch {
+		case fi < 0:
+			run(rule)
+		case hits[fi]:
+			st.Triggered++
+			run(rule)
+		default:
+			st.Skipped++
+		}
+	}
+	return st
+}

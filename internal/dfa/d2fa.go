@@ -1,0 +1,181 @@
+package dfa
+
+import (
+	"math/bits"
+
+	"repro/internal/mfsa"
+)
+
+// D2FA is a default-transition-compressed DFA in the spirit of the paper's
+// related work (§II, §VII; Kumar et al. [48], Ficara et al. [39]): a state
+// stores explicitly only the transitions that differ from its default
+// state's, and resolution follows the default chain until an explicit entry
+// is found. Since under scan semantics most rows mostly agree with the
+// restart row, chains here have depth ≤ 2 by construction (state → BFS
+// parent → root), bounding the per-byte work.
+type D2FA struct {
+	NumStates int
+	Start     int32
+	Accept    []mfsa.BelongSet
+	// Default[q] is the state q defers to, or -1 (root only).
+	Default []int32
+	// Explicit transitions per state: a 256-bit presence bitmap plus the
+	// packed successor array in byte order.
+	bitmap [][4]uint64
+	packed [][]int32
+	// NumRules is carried over from the source DFA.
+	NumRules int
+}
+
+// Compress builds a D2FA from a dense DFA. Each non-root state picks as
+// default whichever of {root, BFS parent} shares more row entries, and
+// stores only the differing entries.
+func Compress(d *DFA) *D2FA {
+	c := &D2FA{
+		NumStates: d.NumStates,
+		Start:     d.Start,
+		Accept:    d.Accept,
+		Default:   make([]int32, d.NumStates),
+		bitmap:    make([][4]uint64, d.NumStates),
+		packed:    make([][]int32, d.NumStates),
+		NumRules:  d.NumRules,
+	}
+	// BFS parents from the root.
+	parent := make([]int32, d.NumStates)
+	for i := range parent {
+		parent[i] = -1
+	}
+	queue := []int32{d.Start}
+	seen := make([]bool, d.NumStates)
+	seen[d.Start] = true
+	for len(queue) > 0 {
+		q := queue[0]
+		queue = queue[1:]
+		row := d.Next[int(q)*256 : int(q)*256+256]
+		for _, to := range row {
+			if !seen[to] {
+				seen[to] = true
+				parent[to] = q
+				queue = append(queue, to)
+			}
+		}
+	}
+
+	overlap := func(q, ref int32) int {
+		a := d.Next[int(q)*256 : int(q)*256+256]
+		b := d.Next[int(ref)*256 : int(ref)*256+256]
+		n := 0
+		for i := range a {
+			if a[i] == b[i] {
+				n++
+			}
+		}
+		return n
+	}
+
+	for q := int32(0); q < int32(d.NumStates); q++ {
+		if q == d.Start {
+			// Root: fully explicit, no default.
+			c.Default[q] = -1
+			c.storeRow(q, d, -1)
+			continue
+		}
+		def := d.Start
+		best := overlap(q, d.Start)
+		if p := parent[q]; p >= 0 && p != q {
+			if po := overlap(q, p); po > best {
+				best, def = po, p
+			}
+		}
+		// A parent default could itself default to the root, so chains
+		// are ≤ 2 long; no cycles since parent edges form a tree rooted
+		// at Start and Start defers to nothing.
+		c.Default[q] = def
+		c.storeRow(q, d, def)
+	}
+	return c
+}
+
+// storeRow records the entries of q's dense row that differ from the
+// default state's row (all of them when def < 0).
+func (c *D2FA) storeRow(q int32, d *DFA, def int32) {
+	row := d.Next[int(q)*256 : int(q)*256+256]
+	var refRow []int32
+	if def >= 0 {
+		refRow = d.Next[int(def)*256 : int(def)*256+256]
+	}
+	var bm [4]uint64
+	var packed []int32
+	for ch := 0; ch < 256; ch++ {
+		if refRow != nil && row[ch] == refRow[ch] {
+			continue
+		}
+		bm[ch>>6] |= 1 << (uint(ch) & 63)
+		packed = append(packed, row[ch])
+	}
+	c.bitmap[q] = bm
+	c.packed[q] = packed
+}
+
+// StoredTransitions returns the number of explicitly stored transitions
+// plus one default pointer per state — the compressed footprint to compare
+// against the dense DFA's TableEntries.
+func (c *D2FA) StoredTransitions() int {
+	n := 0
+	for _, p := range c.packed {
+		n += len(p)
+	}
+	return n + c.NumStates
+}
+
+// next resolves the successor of q on byte ch, following the default chain.
+func (c *D2FA) next(q int32, ch byte) int32 {
+	for {
+		bm := &c.bitmap[q]
+		w, b := ch>>6, uint(ch)&63
+		if bm[w]&(1<<b) != 0 {
+			// Rank of ch among the set bits.
+			idx := bits.OnesCount64(bm[w] & ((1 << b) - 1))
+			for i := byte(0); i < w; i++ {
+				idx += bits.OnesCount64(bm[i])
+			}
+			return c.packed[q][idx]
+		}
+		q = c.Default[q]
+	}
+}
+
+// Match scans input exactly like DFA.Match, resolving transitions through
+// the default chains.
+func (c *D2FA) Match(input []byte, onMatch func(rule, end int)) int64 {
+	var matches int64
+	q := c.Start
+	for pos := 0; pos < len(input); pos++ {
+		q = c.next(q, input[pos])
+		if acc := c.Accept[q]; acc != nil {
+			acc.ForEach(func(r int) {
+				matches++
+				if onMatch != nil {
+					onMatch(r, pos)
+				}
+			})
+		}
+	}
+	return matches
+}
+
+// MaxChainDepth returns the longest default chain, a latency metric for
+// default-compressed DFAs (bounded by 2 for this construction).
+func (c *D2FA) MaxChainDepth() int {
+	max := 0
+	for q := int32(0); q < int32(c.NumStates); q++ {
+		depth := 0
+		for cur := c.Default[q]; cur >= 0; cur = c.Default[cur] {
+			depth++
+		}
+		if depth > max {
+			max = depth
+		}
+	}
+	return max
+}

@@ -1,0 +1,239 @@
+// Package dfa implements the deterministic baseline the paper positions
+// MFSAs against (§II, §VII): subset-construction DFAs with their
+// state-explosion behaviour, a dense-table matcher with one transition per
+// input byte, and the default-transition compression of the D²FA line of
+// work (Kumar et al., the paper's [48]) that trades table size for
+// default-chain traversals.
+//
+// The DFA is built for scan semantics — the rule start states are treated
+// as always active, the classic DPI "prefix-closed" determinization — so
+// match events (rule, end offset) are directly comparable with the iMFAnt
+// engine in KeepOnMatch mode.
+package dfa
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"repro/internal/mfsa"
+	"repro/internal/nfa"
+)
+
+// DFA is a deterministic automaton over the byte alphabet with a dense
+// 256-way transition table and per-state rule-acceptance sets. Under scan
+// semantics every entry is live (the worst case is "only the restart
+// states survive"), so traversal is exactly one table lookup per byte.
+type DFA struct {
+	NumStates int
+	Start     int32
+	// Next holds NumStates×256 entries; Next[q*256+c] is the successor
+	// of q on byte c.
+	Next []int32
+	// Accept[q] is the set of rules whose match ends when q is entered
+	// (nil for non-accepting states).
+	Accept []mfsa.BelongSet
+	// NumRules is the number of rules the automaton recognizes.
+	NumRules int
+}
+
+// ErrStateExplosion reports that subset construction exceeded the state
+// budget — the exponential blow-up of §II that motivates NFA-based engines.
+type ErrStateExplosion struct {
+	Limit int
+}
+
+func (e *ErrStateExplosion) Error() string {
+	return fmt.Sprintf("dfa: subset construction exceeded %d states", e.Limit)
+}
+
+// FromNFAs determinizes a group of optimized NFAs into one scan DFA,
+// failing with ErrStateExplosion if more than maxStates subsets arise.
+// Anchored rules are rejected (the scan determinization has no notion of
+// stream boundaries).
+func FromNFAs(fsas []*nfa.NFA, maxStates int) (*DFA, error) {
+	if len(fsas) == 0 {
+		return nil, fmt.Errorf("dfa: empty rule group")
+	}
+	if maxStates <= 0 {
+		maxStates = 1 << 16
+	}
+	// Combine the NFAs into one automaton over a shared global state
+	// space, with per-rule state offsets.
+	type gtrans struct {
+		to    int32
+		label [4]uint64
+	}
+	var offset []int32
+	total := int32(0)
+	for _, a := range fsas {
+		if a.AnchorStart || a.AnchorEnd {
+			return nil, fmt.Errorf("dfa: anchored rule %q not supported by scan determinization", a.Pattern)
+		}
+		if len(a.Eps) > 0 || len(a.Loops) > 0 {
+			return nil, fmt.Errorf("dfa: rule %q is not optimized", a.Pattern)
+		}
+		offset = append(offset, total)
+		total += int32(a.NumStates)
+	}
+	adj := make([][]int32, total)
+	var trans []gtrans
+	acceptRule := make([]int, total)
+	for i := range acceptRule {
+		acceptRule[i] = -1
+	}
+	starts := make([]int32, len(fsas))
+	for r, a := range fsas {
+		for _, t := range a.Trans {
+			gt := gtrans{to: offset[r] + t.To}
+			for c := 0; c < 256; c++ {
+				if t.Label.Contains(byte(c)) {
+					gt.label[c>>6] |= 1 << (uint(c) & 63)
+				}
+			}
+			adj[offset[r]+t.From] = append(adj[offset[r]+t.From], int32(len(trans)))
+			trans = append(trans, gt)
+		}
+		for _, f := range a.Finals {
+			acceptRule[offset[r]+f] = r
+		}
+		starts[r] = offset[r] + a.Start
+	}
+
+	key := func(ss []int32) string {
+		b := make([]byte, 0, len(ss)*4)
+		for _, s := range ss {
+			b = append(b, byte(s), byte(s>>8), byte(s>>16), byte(s>>24))
+		}
+		return string(b)
+	}
+	canon := func(set map[int32]struct{}) []int32 {
+		out := make([]int32, 0, len(set))
+		for s := range set {
+			out = append(out, s)
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		return out
+	}
+
+	startSet := make(map[int32]struct{}, len(starts))
+	for _, s := range starts {
+		startSet[s] = struct{}{}
+	}
+	startStates := canon(startSet)
+
+	// A DFA state is a (closure subset, acceptance) pair: acceptance is
+	// computed from the states actually reached by a transition, before
+	// the scan closure re-injects the start states — otherwise a rule
+	// whose NFA start is final (it accepts ε) would fire on every byte,
+	// while the match semantics report matches only on transition
+	// arrivals (empty matches are never reported).
+	fullKey := func(states []int32, acc mfsa.BelongSet) string {
+		k := key(states)
+		if acc != nil {
+			b := []byte(k)
+			for _, w := range acc {
+				for i := 0; i < 8; i++ {
+					b = append(b, byte(w>>(8*i)))
+				}
+			}
+			k = string(b)
+		}
+		return k
+	}
+
+	index := map[string]int32{fullKey(startStates, nil): 0}
+	subsets := [][]int32{startStates}
+	d := &DFA{Start: 0, NumRules: len(fsas)}
+	// No input consumed yet: the start state accepts nothing.
+	d.Accept = append(d.Accept, nil)
+
+	for head := 0; head < len(subsets); head++ {
+		cur := subsets[head]
+		var succ [256]map[int32]struct{}
+		for _, q := range cur {
+			for _, ti := range adj[q] {
+				t := &trans[ti]
+				for w := 0; w < 4; w++ {
+					word := t.label[w]
+					for word != 0 {
+						c := w*64 + bits.TrailingZeros64(word)
+						if succ[c] == nil {
+							succ[c] = make(map[int32]struct{}, 4)
+						}
+						succ[c][t.to] = struct{}{}
+						word &= word - 1
+					}
+				}
+			}
+		}
+		row := make([]int32, 256)
+		for c := 0; c < 256; c++ {
+			var states []int32
+			var acc mfsa.BelongSet
+			if succ[c] == nil {
+				states = startStates // scan restart only, no arrival
+			} else {
+				acc = acceptSet(canon(succ[c]), acceptRule, len(fsas))
+				for _, s := range starts {
+					succ[c][s] = struct{}{}
+				}
+				states = canon(succ[c])
+			}
+			k := fullKey(states, acc)
+			id, ok := index[k]
+			if !ok {
+				id = int32(len(subsets))
+				if int(id) >= maxStates {
+					return nil, &ErrStateExplosion{Limit: maxStates}
+				}
+				index[k] = id
+				subsets = append(subsets, states)
+				d.Accept = append(d.Accept, acc)
+			}
+			row[c] = id
+		}
+		d.Next = append(d.Next, row...)
+	}
+	d.NumStates = len(subsets)
+	return d, nil
+}
+
+func acceptSet(states []int32, acceptRule []int, numRules int) mfsa.BelongSet {
+	var set mfsa.BelongSet
+	for _, q := range states {
+		if r := acceptRule[q]; r >= 0 {
+			if set == nil {
+				set = mfsa.NewBelongSet(numRules)
+			}
+			set.Set(r)
+		}
+	}
+	return set
+}
+
+// TableEntries returns the dense-table size in transitions (states × 256),
+// the memory-footprint metric default-transition compression attacks.
+func (d *DFA) TableEntries() int { return d.NumStates * 256 }
+
+// Match scans input and calls onMatch for every (rule, end offset) event:
+// whenever the automaton enters a state accepting rule r after consuming
+// the byte at offset end. It returns the total event count. One table
+// lookup per byte — the §II upper-bound traversal cost that makes DFAs
+// attractive despite their size.
+func (d *DFA) Match(input []byte, onMatch func(rule, end int)) int64 {
+	var matches int64
+	q := d.Start
+	for pos := 0; pos < len(input); pos++ {
+		q = d.Next[int(q)<<8|int(input[pos])]
+		if acc := d.Accept[q]; acc != nil {
+			acc.ForEach(func(r int) {
+				matches++
+				if onMatch != nil {
+					onMatch(r, pos)
+				}
+			})
+		}
+	}
+	return matches
+}

@@ -1,0 +1,250 @@
+package dfa
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/mfsa"
+	"repro/internal/nfa"
+)
+
+func compileAll(t testing.TB, patterns ...string) []*nfa.NFA {
+	t.Helper()
+	out := make([]*nfa.NFA, len(patterns))
+	for i, p := range patterns {
+		n, err := nfa.Compile(p)
+		if err != nil {
+			t.Fatalf("compile %q: %v", p, err)
+		}
+		n.ID = i
+		out[i] = n
+	}
+	return out
+}
+
+func dfaEnds(d interface {
+	Match([]byte, func(int, int)) int64
+}, input []byte, numRules int) [][]int {
+	sets := make([]map[int]struct{}, numRules)
+	for i := range sets {
+		sets[i] = map[int]struct{}{}
+	}
+	d.Match(input, func(r, end int) { sets[r][end] = struct{}{} })
+	out := make([][]int, numRules)
+	for i, s := range sets {
+		ends := make([]int, 0, len(s))
+		for e := range s {
+			ends = append(ends, e)
+		}
+		sort.Ints(ends)
+		out[i] = ends
+	}
+	return out
+}
+
+func TestDFAMatchesLiteral(t *testing.T) {
+	fsas := compileAll(t, "abc")
+	d, err := FromNFAs(fsas, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := dfaEnds(d, []byte("xxabcabcx"), 1)
+	want := [][]int{{4, 7}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("ends %v, want %v", got, want)
+	}
+}
+
+func TestDFAOverlappingRules(t *testing.T) {
+	fsas := compileAll(t, "ab", "b")
+	d, err := FromNFAs(fsas, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := dfaEnds(d, []byte("abab"), 2)
+	want := [][]int{{1, 3}, {1, 3}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("ends %v, want %v", got, want)
+	}
+}
+
+func TestDFARejectsAnchoredAndRaw(t *testing.T) {
+	fsas := compileAll(t, "^ab")
+	if _, err := FromNFAs(fsas, 0); err == nil {
+		t.Fatal("anchored rule accepted")
+	}
+	if _, err := FromNFAs(nil, 0); err == nil {
+		t.Fatal("empty group accepted")
+	}
+}
+
+func TestDFAStateExplosion(t *testing.T) {
+	// The §II motivation: dotstar patterns explode under determinization.
+	patterns := []string{
+		"aa.*bb", "cc.*dd", "ee.*ff", "gg.*hh", "ii.*jj",
+		"kk.*ll", "mm.*nn", "oo.*pp", "qq.*rr", "ss.*tt",
+	}
+	fsas := compileAll(t, patterns...)
+	if _, err := FromNFAs(fsas, 200); err == nil {
+		t.Fatal("expected state explosion under a tight budget")
+	} else if _, ok := err.(*ErrStateExplosion); !ok {
+		t.Fatalf("error type %T: %v", err, err)
+	}
+	// The equivalent NFA/MFSA representation stays small.
+	z, err := mfsa.Merge(fsas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z.NumStates > 100 {
+		t.Fatalf("MFSA states=%d, expected compact", z.NumStates)
+	}
+}
+
+// TestQuickDFAMatchesIMFAnt checks the deterministic baseline against the
+// iMFAnt engine in KeepOnMatch mode (the DFA reports every accepting entry,
+// with no pop).
+func TestQuickDFAMatchesIMFAnt(t *testing.T) {
+	r := rand.New(rand.NewSource(91))
+	frags := []string{"a", "b", "ab", "bc", "a[bc]", "c?", "(ab|ba)", "b+"}
+	f := func() bool {
+		m := 1 + r.Intn(4)
+		patterns := make([]string, m)
+		for i := range patterns {
+			patterns[i] = frags[r.Intn(len(frags))] + frags[r.Intn(len(frags))]
+		}
+		fsas := compileAll(t, patterns...)
+		d, err := FromNFAs(fsas, 1<<14)
+		if err != nil {
+			t.Logf("dfa %v: %v", patterns, err)
+			return false
+		}
+		z, err := mfsa.Merge(fsas)
+		if err != nil {
+			return false
+		}
+		p := engine.NewProgram(z)
+		in := make([]byte, r.Intn(40))
+		for i := range in {
+			in[i] = byte('a' + r.Intn(3))
+		}
+		got := dfaEnds(d, in, m)
+		want := engine.DistinctEnds(engine.Matches(p, in, engine.Config{KeepOnMatch: true}), m)
+		for j := range want {
+			w := want[j]
+			if w == nil {
+				w = []int{}
+			}
+			if !reflect.DeepEqual(got[j], w) {
+				t.Logf("patterns=%v input=%q rule %d: dfa %v imfant %v", patterns, in, j, got[j], w)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestD2FAEquivalentToDFA(t *testing.T) {
+	fsas := compileAll(t, "GET /a", "GET /b", "cmd", "x[yz]+w")
+	d, err := FromNFAs(fsas, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Compress(d)
+	r := rand.New(rand.NewSource(17))
+	in := make([]byte, 4096)
+	alpha := []byte("GET /abcmdxyzw ")
+	for i := range in {
+		in[i] = alpha[r.Intn(len(alpha))]
+	}
+	if !reflect.DeepEqual(dfaEnds(d, in, 4), dfaEnds(c, in, 4)) {
+		t.Fatal("D2FA and DFA disagree")
+	}
+}
+
+func TestD2FACompresses(t *testing.T) {
+	s, err := dataset.ByAbbr("BRO")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsas := compileAll(t, s.Patterns()[:40]...)
+	d, err := FromNFAs(fsas, 1<<15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Compress(d)
+	dense := d.TableEntries()
+	stored := c.StoredTransitions()
+	if stored >= dense/2 {
+		t.Fatalf("weak compression: %d of %d dense entries", stored, dense)
+	}
+	if depth := c.MaxChainDepth(); depth > 2 {
+		t.Fatalf("default chain depth %d, want ≤ 2", depth)
+	}
+	t.Logf("dense %d entries → %d stored (%.1f%%), chain depth %d",
+		dense, stored, 100*float64(stored)/float64(dense), c.MaxChainDepth())
+}
+
+func TestQuickD2FAEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(92))
+	frags := []string{"ab", "bc", "ca", "a+", "[ab]c"}
+	f := func() bool {
+		m := 1 + r.Intn(3)
+		patterns := make([]string, m)
+		for i := range patterns {
+			patterns[i] = frags[r.Intn(len(frags))] + frags[r.Intn(len(frags))]
+		}
+		fsas := compileAll(t, patterns...)
+		d, err := FromNFAs(fsas, 1<<14)
+		if err != nil {
+			return false
+		}
+		c := Compress(d)
+		in := make([]byte, r.Intn(64))
+		for i := range in {
+			in[i] = byte('a' + r.Intn(3))
+		}
+		return reflect.DeepEqual(dfaEnds(d, in, m), dfaEnds(c, in, m))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkDFAMatch(b *testing.B) {
+	s, _ := dataset.ByAbbr("BRO")
+	fsas := compileAll(b, s.Patterns()[:40]...)
+	d, err := FromNFAs(fsas, 1<<15)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := s.Stream(64<<10, 0)
+	b.SetBytes(int64(len(in)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Match(in, nil)
+	}
+}
+
+func BenchmarkD2FAMatch(b *testing.B) {
+	s, _ := dataset.ByAbbr("BRO")
+	fsas := compileAll(b, s.Patterns()[:40]...)
+	d, err := FromNFAs(fsas, 1<<15)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := Compress(d)
+	in := s.Stream(64<<10, 0)
+	b.SetBytes(int64(len(in)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Match(in, nil)
+	}
+}

@@ -1,0 +1,66 @@
+package engine
+
+import (
+	"sync"
+)
+
+// RunParallel executes a pool of programs over the same input using the
+// multi-threaded scheme of §VI-C2: a fixed pool of `threads` workers, each
+// taking one automaton at a time from the remaining ones until all are
+// executed. The returned results are indexed like programs; the caller
+// measures wall-clock latency around this call, which corresponds to the
+// paper's "latency to compute all the REs of a benchmark".
+//
+// threads ≤ 0 selects one worker per program.
+func RunParallel(programs []*Program, input []byte, threads int, cfg Config) []Result {
+	if len(programs) == 0 {
+		return nil
+	}
+	if threads <= 0 || threads > len(programs) {
+		threads = len(programs)
+	}
+	results := make([]Result, len(programs))
+	if threads == 1 {
+		for i, p := range programs {
+			results[i] = Run(p, input, cfg)
+		}
+		return results
+	}
+	var next int64
+	var mu sync.Mutex
+	take := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		if next >= int64(len(programs)) {
+			return -1
+		}
+		i := int(next)
+		next++
+		return i
+	}
+	var wg sync.WaitGroup
+	wg.Add(threads)
+	for t := 0; t < threads; t++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := take()
+				if i < 0 {
+					return
+				}
+				results[i] = Run(programs[i], input, cfg)
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
+// TotalMatches sums the match counts of a result set.
+func TotalMatches(results []Result) int64 {
+	var t int64
+	for _, r := range results {
+		t += r.Matches
+	}
+	return t
+}

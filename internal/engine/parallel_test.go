@@ -1,0 +1,137 @@
+package engine
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/mfsa"
+	"repro/internal/nfa"
+)
+
+func buildPrograms(t testing.TB, m int, patterns []string) []*Program {
+	t.Helper()
+	fsas := make([]*nfa.NFA, len(patterns))
+	for i, pat := range patterns {
+		n, err := nfa.Compile(pat)
+		if err != nil {
+			t.Fatalf("compile %q: %v", pat, err)
+		}
+		n.ID = i
+		fsas[i] = n
+	}
+	groups, err := mfsa.MergeGroups(fsas, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := make([]*Program, len(groups))
+	for i, z := range groups {
+		ps[i] = NewProgram(z)
+	}
+	return ps
+}
+
+func TestRunParallelMatchesSequential(t *testing.T) {
+	patterns := []string{"abc", "abd", "bcd", "a[bc]d", "cc+", "(ab|cd)e", "xyz", "x+y"}
+	rnd := rand.New(rand.NewSource(33))
+	in := make([]byte, 4096)
+	alpha := []byte("abcdexyz")
+	for i := range in {
+		in[i] = alpha[rnd.Intn(len(alpha))]
+	}
+	for _, m := range []int{1, 2, 4, 8} {
+		ps := buildPrograms(t, m, patterns)
+		seq := RunParallel(ps, in, 1, Config{})
+		for _, threads := range []int{2, 3, 8, 16} {
+			par := RunParallel(ps, in, threads, Config{})
+			for i := range seq {
+				if seq[i].Matches != par[i].Matches {
+					t.Fatalf("M=%d T=%d program %d: %d vs %d matches",
+						m, threads, i, seq[i].Matches, par[i].Matches)
+				}
+				if !reflect.DeepEqual(seq[i].PerFSA, par[i].PerFSA) {
+					t.Fatalf("M=%d T=%d program %d: per-FSA mismatch", m, threads, i)
+				}
+			}
+		}
+	}
+}
+
+func TestRunParallelEmpty(t *testing.T) {
+	if got := RunParallel(nil, []byte("x"), 4, Config{}); got != nil {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestRunParallelThreadClamping(t *testing.T) {
+	ps := buildPrograms(t, 1, []string{"ab", "cd"})
+	res := RunParallel(ps, []byte("abcd"), 100, Config{})
+	if len(res) != 2 {
+		t.Fatalf("results=%d", len(res))
+	}
+	if res[0].Matches != 1 || res[1].Matches != 1 {
+		t.Fatalf("matches %d %d", res[0].Matches, res[1].Matches)
+	}
+	res = RunParallel(ps, []byte("abcd"), -1, Config{})
+	if TotalMatches(res) != 2 {
+		t.Fatalf("total=%d", TotalMatches(res))
+	}
+}
+
+func TestTotalMatches(t *testing.T) {
+	rs := []Result{{Matches: 3}, {Matches: 4}}
+	if TotalMatches(rs) != 7 {
+		t.Fatal("TotalMatches wrong")
+	}
+}
+
+func BenchmarkRunParallel(b *testing.B) {
+	patterns := make([]string, 32)
+	for i := range patterns {
+		patterns[i] = "p" + string(rune('a'+i%26)) + "[xy]z+"
+	}
+	ps := buildPrograms(b, 4, patterns)
+	in := make([]byte, 32<<10)
+	rnd := rand.New(rand.NewSource(2))
+	for i := range in {
+		in[i] = byte('a' + rnd.Intn(26))
+	}
+	b.SetBytes(int64(len(in)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RunParallel(ps, in, 4, Config{})
+	}
+}
+
+func TestPoolMatchesRunParallel(t *testing.T) {
+	patterns := []string{"abc", "bcd", "a[bc]", "c+"}
+	ps := buildPrograms(t, 2, patterns)
+	rnd := rand.New(rand.NewSource(44))
+	in := make([]byte, 2048)
+	for i := range in {
+		in[i] = byte('a' + rnd.Intn(4))
+	}
+	want := RunParallel(ps, in, 1, Config{})
+	pool := NewPool(ps)
+	for _, threads := range []int{1, 2, 4, -1} {
+		got := pool.Run(in, threads, Config{})
+		for i := range want {
+			if got[i].Matches != want[i].Matches || !reflect.DeepEqual(got[i].PerFSA, want[i].PerFSA) {
+				t.Fatalf("threads=%d program %d mismatch", threads, i)
+			}
+		}
+	}
+	// Repeated runs must not leak state.
+	again := pool.Run(in, 2, Config{})
+	for i := range want {
+		if again[i].Matches != want[i].Matches {
+			t.Fatalf("pool reuse leaked state at program %d", i)
+		}
+	}
+}
+
+func TestPoolEmpty(t *testing.T) {
+	if got := NewPool(nil).Run([]byte("x"), 2, Config{}); got != nil {
+		t.Fatalf("got %v", got)
+	}
+}

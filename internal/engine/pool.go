@@ -1,0 +1,63 @@
+package engine
+
+import "sync"
+
+// Pool executes a fixed set of programs repeatedly, reusing one Runner per
+// program so repeated measurements (the 15–30 reps of §VI) do not pay
+// per-run state-vector allocations. A Pool is safe for sequential reuse;
+// concurrent Run calls on the same Pool are not allowed (the runners are
+// shared).
+type Pool struct {
+	programs []*Program
+	runners  []*Runner
+}
+
+// NewPool builds a reusable execution pool over programs.
+func NewPool(programs []*Program) *Pool {
+	p := &Pool{programs: programs, runners: make([]*Runner, len(programs))}
+	for i, prog := range programs {
+		p.runners[i] = NewRunner(prog)
+	}
+	return p
+}
+
+// Run executes every program over input on `threads` workers with the
+// work-queue scheme of §VI-C2, returning per-program results. threads ≤ 0
+// uses one worker per program.
+func (p *Pool) Run(input []byte, threads int, cfg Config) []Result {
+	n := len(p.programs)
+	if n == 0 {
+		return nil
+	}
+	if threads <= 0 || threads > n {
+		threads = n
+	}
+	results := make([]Result, n)
+	if threads == 1 {
+		for i, r := range p.runners {
+			results[i] = r.Run(input, cfg)
+		}
+		return results
+	}
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	wg.Add(threads)
+	for t := 0; t < threads; t++ {
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= n {
+					return
+				}
+				results[i] = p.runners[i].Run(input, cfg)
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}

@@ -1,0 +1,124 @@
+// Package engine implements the execution layer of the paper (§V): the
+// iNFAnt algorithm for plain NFAs and its extension iMFAnt for MFSAs, plus
+// the multi-threaded executor used in the §VI-C evaluation and a naive
+// reference matcher that serves as a correctness oracle in tests.
+//
+// Following iNFAnt, the pre-processing step links every symbol of the
+// 256-character alphabet to the transitions it enables; execution keeps a
+// state vector of active states. The iMFAnt extension stores, for each
+// active state, the value of the activation function J — the set of merged
+// FSAs still valid on some path reaching that state — and applies the
+// update rules of Eqs. 4–6 on every move.
+package engine
+
+import (
+	"repro/internal/mfsa"
+)
+
+// Program is the executable form of an MFSA: the iMFAnt-compliant structure
+// produced from the extended-ANML representation during pre-processing.
+// A Program is immutable and safe for concurrent Run calls.
+type Program struct {
+	numStates int
+	numFSAs   int
+	words     int // ⌈numFSAs/64⌉, the stride of every per-state bitset
+
+	trans []progTrans
+	// bel holds the flattened belonging sets, words per transition.
+	bel []uint64
+	// lists[c] indexes the transitions enabled by symbol c.
+	lists [256][]int32
+
+	// initAlways[q·words+w]: FSAs whose initial state is q and that may
+	// start at any offset. initAtZero: same, for ^-anchored FSAs.
+	initAlways []uint64
+	initAtZero []uint64
+	// finalMask[q·words+w]: FSAs for which q is accepting.
+	finalMask []uint64
+	// endAnchored: FSAs carrying a $ anchor (matches only at stream end).
+	endAnchored []uint64
+
+	hasInit []bool // quick test: any init bit at state q
+
+	rules []RuleInfo
+}
+
+// progTrans is one transition in the executable layout.
+type progTrans struct {
+	from, to int32
+}
+
+// RuleInfo identifies one merged RE inside a Program.
+type RuleInfo struct {
+	FSA     int // identifier j within the MFSA
+	RuleID  int // index within the whole ruleset
+	Pattern string
+}
+
+// NewProgram lowers an MFSA into the iMFAnt executable structure. The cost
+// is the algorithm pre-processing mentioned in §V and is excluded from the
+// matching time, as in the paper.
+func NewProgram(z *mfsa.MFSA) *Program {
+	w := (z.NumFSAs() + 63) / 64
+	if w == 0 {
+		w = 1
+	}
+	p := &Program{
+		numStates:   z.NumStates,
+		numFSAs:     z.NumFSAs(),
+		words:       w,
+		trans:       make([]progTrans, len(z.Trans)),
+		bel:         make([]uint64, len(z.Trans)*w),
+		initAlways:  make([]uint64, z.NumStates*w),
+		initAtZero:  make([]uint64, z.NumStates*w),
+		finalMask:   make([]uint64, z.NumStates*w),
+		endAnchored: make([]uint64, w),
+		hasInit:     make([]bool, z.NumStates),
+	}
+	for i, t := range z.Trans {
+		p.trans[i] = progTrans{from: int32(t.From), to: int32(t.To)}
+		copy(p.bel[i*w:(i+1)*w], z.Bel[i])
+		t.Label.ForEach(func(c byte) {
+			p.lists[c] = append(p.lists[c], int32(i))
+		})
+	}
+	for q := 0; q < z.NumStates; q++ {
+		copy(p.finalMask[q*w:(q+1)*w], z.FinalMask[q])
+	}
+	for _, info := range z.FSAs {
+		word, bit := info.ID>>6, uint(info.ID)&63
+		if info.AnchorStart {
+			p.initAtZero[int(info.Init)*w+word] |= 1 << bit
+		} else {
+			p.initAlways[int(info.Init)*w+word] |= 1 << bit
+		}
+		p.hasInit[info.Init] = true
+		if info.AnchorEnd {
+			p.endAnchored[word] |= 1 << bit
+		}
+		p.rules = append(p.rules, RuleInfo{FSA: info.ID, RuleID: info.RuleID, Pattern: info.Pattern})
+	}
+	return p
+}
+
+// NumStates returns the number of automaton states.
+func (p *Program) NumStates() int { return p.numStates }
+
+// NumFSAs returns the number of merged FSAs (R).
+func (p *Program) NumFSAs() int { return p.numFSAs }
+
+// NumTrans returns the number of transitions.
+func (p *Program) NumTrans() int { return len(p.trans) }
+
+// Rules returns the per-FSA rule metadata, indexed by FSA identifier.
+func (p *Program) Rules() []RuleInfo { return p.rules }
+
+// ListDensity returns the average number of transitions enabled per symbol,
+// a proxy for the per-byte traversal cost of iNFAnt-family algorithms.
+func (p *Program) ListDensity() float64 {
+	t := 0
+	for c := 0; c < 256; c++ {
+		t += len(p.lists[c])
+	}
+	return float64(t) / 256
+}

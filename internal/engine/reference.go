@@ -1,0 +1,93 @@
+package engine
+
+import (
+	"sort"
+
+	"repro/internal/nfa"
+)
+
+// ReferenceScan is the correctness oracle: a deliberately naive,
+// implementation-independent scanner that runs one standalone FSA with the
+// same semantics as iMFAnt — transitions from the initial state are always
+// enabled (subject to a ^ anchor), a match is emitted whenever an enabled
+// transition reaches a final state (subject to a $ anchor), and, unless
+// keepOnMatch, the accepting arrival is not kept active (the Eq. 5 pop).
+//
+// It uses plain maps and per-FSA simulation, sharing no code with the
+// bitset engine, so agreement between the two is meaningful evidence.
+func ReferenceScan(a *nfa.NFA, input []byte, keepOnMatch bool) []int {
+	type void = struct{}
+	active := make(map[nfa.StateID]void)
+	next := make(map[nfa.StateID]void)
+	var ends []int
+	last := len(input) - 1
+	for pos := 0; pos < len(input); pos++ {
+		c := input[pos]
+		clearMap(next)
+		matchedHere := false
+		for _, t := range a.Trans {
+			if !t.Label.Contains(c) {
+				continue
+			}
+			_, srcActive := active[t.From]
+			if !srcActive && t.From == a.Start {
+				srcActive = !a.AnchorStart || pos == 0
+			}
+			if !srcActive {
+				continue
+			}
+			if a.IsFinal(t.To) && (!a.AnchorEnd || pos == last) {
+				if !matchedHere {
+					ends = append(ends, pos)
+					matchedHere = true
+				}
+				if !keepOnMatch {
+					continue
+				}
+			}
+			next[t.To] = void{}
+		}
+		active, next = next, active
+	}
+	return ends
+}
+
+func clearMap(m map[nfa.StateID]struct{}) {
+	for k := range m {
+		delete(m, k)
+	}
+}
+
+// ReferenceScanAll runs ReferenceScan for every FSA in the group and
+// returns, per FSA, the sorted list of distinct match end offsets.
+func ReferenceScanAll(fsas []*nfa.NFA, input []byte, keepOnMatch bool) [][]int {
+	out := make([][]int, len(fsas))
+	for j, a := range fsas {
+		out[j] = ReferenceScan(a, input, keepOnMatch)
+	}
+	return out
+}
+
+// DistinctEnds reduces engine match events to, per FSA, the sorted distinct
+// end offsets — the comparable form against ReferenceScanAll. (The engine
+// can report the same (FSA, end) once per accepting state; the oracle
+// reports each end once.)
+func DistinctEnds(events []MatchEvent, numFSAs int) [][]int {
+	sets := make([]map[int]struct{}, numFSAs)
+	for i := range sets {
+		sets[i] = make(map[int]struct{})
+	}
+	for _, e := range events {
+		sets[e.FSA][e.End] = struct{}{}
+	}
+	out := make([][]int, numFSAs)
+	for i, s := range sets {
+		ends := make([]int, 0, len(s))
+		for e := range s {
+			ends = append(ends, e)
+		}
+		sort.Ints(ends)
+		out[i] = ends
+	}
+	return out
+}

@@ -1,0 +1,278 @@
+package engine
+
+import "math/bits"
+
+// Config tunes a Run. The zero value reproduces the paper's semantics.
+type Config struct {
+	// KeepOnMatch disables the Eq. 5 pop: after emitting a match for FSA
+	// j at state q2, j stays active so longer matches of the same path
+	// are also reported. The paper pops (zero value).
+	KeepOnMatch bool
+	// Stats enables the per-symbol active-FSA accounting of Table II at
+	// a modest traversal overhead.
+	Stats bool
+	// OnMatch, when non-nil, is invoked for every match with the FSA
+	// identifier and the end offset of the match (inclusive). Matches of
+	// the same FSA at the same offset through different final states are
+	// reported once per final state.
+	OnMatch func(fsa, end int)
+}
+
+// Result aggregates one Run.
+type Result struct {
+	// Matches is the total number of (FSA, end-offset, final-state)
+	// match events.
+	Matches int64
+	// PerFSA counts matches per merged-FSA identifier.
+	PerFSA []int64
+	// Symbols is the number of input bytes processed.
+	Symbols int
+
+	// ActivePairsTotal sums, over all input symbols, the number of
+	// (active state, active FSA) pairs in the state vector — the paper's
+	// "total number of active FSAs during MFSA traversal" (Table II).
+	ActivePairsTotal int64
+	// MaxActiveFSAs is the largest number of distinct FSAs
+	// simultaneously active after any single symbol.
+	MaxActiveFSAs int
+}
+
+// AvgActive returns the average number of active (state, FSA) pairs per
+// input symbol, the Avg row of Table II.
+func (r Result) AvgActive() float64 {
+	if r.Symbols == 0 {
+		return 0
+	}
+	return float64(r.ActivePairsTotal) / float64(r.Symbols)
+}
+
+// vector is a reusable iMFAnt state vector: the per-state activation sets
+// J(q) plus the dirty list that lets two buffers swap without full clears.
+type vector struct {
+	j      []uint64 // numStates × words
+	dirty  []int32  // states with any bit set
+	member []bool   // member[q]: q is in dirty
+}
+
+func newVector(states, words int) *vector {
+	return &vector{
+		j:      make([]uint64, states*words),
+		member: make([]bool, states),
+		dirty:  make([]int32, 0, 64),
+	}
+}
+
+func (v *vector) reset(words int) {
+	for _, q := range v.dirty {
+		base := int(q) * words
+		for w := 0; w < words; w++ {
+			v.j[base+w] = 0
+		}
+		v.member[q] = false
+	}
+	v.dirty = v.dirty[:0]
+}
+
+// Runner holds the reusable buffers for repeated executions of one Program.
+// It is not safe for concurrent use; create one Runner per goroutine.
+type Runner struct {
+	p        *Program
+	cur, nxt *vector
+	tmp      []uint64
+	emitted  []uint64
+
+	// Chunked-scan state (Begin/Feed/End).
+	cfg    Config
+	res    Result
+	offset int
+}
+
+// NewRunner returns an execution context for p.
+func NewRunner(p *Program) *Runner {
+	return &Runner{
+		p:       p,
+		cur:     newVector(p.numStates, p.words),
+		nxt:     newVector(p.numStates, p.words),
+		tmp:     make([]uint64, p.words),
+		emitted: make([]uint64, p.words),
+	}
+}
+
+// Run executes the iMFAnt algorithm over input (§V): for every input
+// character, every transition enabled by that character is evaluated; a
+// move is performed when the transition leaves an initial or active state
+// and the activation-function update Jnew = (J(q1) ∪ inits(q1)) ∩ bel(t)
+// (Eqs. 4 and 6) is non-empty; reaching a state final for an FSA in Jnew
+// emits a match for it (Eq. 5). When no valid transition fires, the active
+// paths die and matching restarts at the next character, as in iNFAnt.
+func (r *Runner) Run(input []byte, cfg Config) Result {
+	r.Begin(cfg)
+	r.Feed(input, true)
+	return r.End()
+}
+
+// Begin starts a (possibly chunked) scan, resetting all traversal state.
+// Follow with any number of Feed calls and one End.
+func (r *Runner) Begin(cfg Config) {
+	W := r.p.words
+	r.cfg = cfg
+	r.res = Result{PerFSA: make([]int64, r.p.numFSAs)}
+	r.offset = 0
+	r.cur.reset(W)
+	r.nxt.reset(W)
+}
+
+// Feed consumes the next chunk of the stream. Set final on the last chunk
+// so that $-anchored rules can match at the true stream end; Feed with
+// final=false treats no byte as the end. Match offsets reported through
+// Config.OnMatch are absolute stream offsets. Active paths carry across
+// chunk boundaries, so splitting a stream into chunks never changes the
+// reported matches.
+func (r *Runner) Feed(chunk []byte, final bool) {
+	p := r.p
+	W := p.words
+	if W == 1 {
+		r.feedW1(chunk, final)
+		return
+	}
+	cfg := r.cfg
+	res := &r.res
+	res.Symbols += len(chunk)
+	last := len(chunk) - 1
+
+	for pos := 0; pos < len(chunk); pos++ {
+		c := chunk[pos]
+		cur, nxt := r.cur, r.nxt
+		atEnd := final && pos == last
+		streamStart := r.offset == 0 && pos == 0
+		for _, ti := range p.lists[c] {
+			t := &p.trans[ti]
+			srcBase := int(t.from) * W
+			belBase := int(ti) * W
+
+			// Jnew = (J(q1) ∪ inits(q1)) ∩ bel(t).
+			any := uint64(0)
+			for w := 0; w < W; w++ {
+				v := cur.j[srcBase+w] | p.initAlways[srcBase+w]
+				if streamStart {
+					v |= p.initAtZero[srcBase+w]
+				}
+				v &= p.bel[belBase+w]
+				r.tmp[w] = v
+				any |= v
+			}
+			if any == 0 {
+				continue
+			}
+
+			dstBase := int(t.to) * W
+			// Matches: FSAs in Jnew for which q2 is final, honoring
+			// the $ anchor.
+			matched := uint64(0)
+			for w := 0; w < W; w++ {
+				m := r.tmp[w] & p.finalMask[dstBase+w]
+				if !atEnd {
+					m &^= p.endAnchored[w]
+				}
+				r.emitted[w] = m
+				matched |= m
+			}
+			if matched != 0 {
+				for w := 0; w < W; w++ {
+					m := r.emitted[w]
+					for m != 0 {
+						bit := m & (-m)
+						fsa := w*64 + trailingZeros(bit)
+						res.Matches++
+						res.PerFSA[fsa]++
+						if cfg.OnMatch != nil {
+							cfg.OnMatch(fsa, r.offset+pos)
+						}
+						m &= m - 1
+					}
+					if !cfg.KeepOnMatch {
+						r.tmp[w] &^= r.emitted[w] // Eq. 5 pop
+					}
+				}
+			}
+
+			// Activate q2 with the surviving set.
+			any = 0
+			for w := 0; w < W; w++ {
+				any |= r.tmp[w]
+			}
+			if any == 0 {
+				continue
+			}
+			if !nxt.member[t.to] {
+				nxt.member[t.to] = true
+				nxt.dirty = append(nxt.dirty, t.to)
+			}
+			for w := 0; w < W; w++ {
+				nxt.j[dstBase+w] |= r.tmp[w]
+			}
+		}
+
+		if cfg.Stats {
+			var union [8]uint64 // enough for words ≤ 8; grown below if needed
+			un := union[:W:W]
+			if W > len(union) {
+				un = make([]uint64, W)
+			}
+			pairs := int64(0)
+			for _, q := range nxt.dirty {
+				base := int(q) * W
+				for w := 0; w < W; w++ {
+					v := nxt.j[base+w]
+					pairs += int64(popcount(v))
+					un[w] |= v
+				}
+			}
+			res.ActivePairsTotal += pairs
+			distinct := 0
+			for w := 0; w < W; w++ {
+				distinct += popcount(un[w])
+			}
+			if distinct > res.MaxActiveFSAs {
+				res.MaxActiveFSAs = distinct
+			}
+		}
+
+		cur.reset(W)
+		r.cur, r.nxt = nxt, cur
+	}
+	r.offset += len(chunk)
+}
+
+// End finishes a chunked scan and returns the accumulated result.
+func (r *Runner) End() Result {
+	return r.res
+}
+
+// Run is the convenience single-shot entry point; it allocates a fresh
+// Runner. Hot paths should reuse a Runner.
+func Run(p *Program, input []byte, cfg Config) Result {
+	return NewRunner(p).Run(input, cfg)
+}
+
+// Matches runs p over input and returns every (FSA id, end offset) match
+// pair in traversal order. Intended for tests and examples on small inputs.
+func Matches(p *Program, input []byte, cfg Config) []MatchEvent {
+	var out []MatchEvent
+	cfg.OnMatch = func(fsa, end int) {
+		out = append(out, MatchEvent{FSA: fsa, End: end})
+	}
+	Run(p, input, cfg)
+	return out
+}
+
+// MatchEvent is one match: FSA is the merged-FSA identifier within its
+// MFSA; End is the offset of the last matched byte.
+type MatchEvent struct {
+	FSA int
+	End int
+}
+
+func trailingZeros(x uint64) int { return bits.TrailingZeros64(x) }
+
+func popcount(x uint64) int { return bits.OnesCount64(x) }

@@ -1,0 +1,387 @@
+package engine
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mfsa"
+	"repro/internal/nfa"
+)
+
+func compileGroup(t testing.TB, patterns ...string) ([]*nfa.NFA, *mfsa.MFSA, *Program) {
+	t.Helper()
+	fsas := make([]*nfa.NFA, len(patterns))
+	for i, p := range patterns {
+		n, err := nfa.Compile(p)
+		if err != nil {
+			t.Fatalf("compile %q: %v", p, err)
+		}
+		n.ID = i
+		fsas[i] = n
+	}
+	z, err := mfsa.Merge(fsas)
+	if err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	if err := mfsa.Validate(z, fsas); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	return fsas, z, NewProgram(z)
+}
+
+func ends(t *testing.T, p *Program, input string, cfg Config) [][]int {
+	t.Helper()
+	return DistinctEnds(Matches(p, []byte(input), cfg), p.NumFSAs())
+}
+
+func TestPaperFigure6(t *testing.T) {
+	// §V walk-through: merging (ad|cb)ab with a(b|c) and matching acbab
+	// yields ac and ab for FSA 2 and cbab for FSA 1.
+	_, _, p := compileGroup(t, "(ad|cb)ab", "a(b|c)")
+	got := ends(t, p, "acbab", Config{})
+	want := [][]int{{4}, {1, 4}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("matches %v, want %v", got, want)
+	}
+}
+
+func TestPaperFigure3(t *testing.T) {
+	// §III-B walk-through: z from bcdegh and def. s1 = degh dies at the
+	// branch (no match); s2 = bcdef matches def only.
+	_, _, p := compileGroup(t, "bcdegh", "def")
+	if got := ends(t, p, "degh", Config{}); len(got[0]) != 0 || len(got[1]) != 0 {
+		t.Fatalf("degh matched: %v", got)
+	}
+	got := ends(t, p, "bcdef", Config{})
+	want := [][]int{{}, {4}}
+	if len(got[0]) != 0 || !reflect.DeepEqual(got[1], want[1]) {
+		t.Fatalf("bcdef matches %v, want %v", got, want)
+	}
+	// The full a1 string matches both: bcdegh contains def? No: d,e,g —
+	// def requires f. Only a1 matches.
+	got = ends(t, p, "bcdegh", Config{})
+	if !reflect.DeepEqual(got[0], []int{5}) || len(got[1]) != 0 {
+		t.Fatalf("bcdegh matches %v", got)
+	}
+}
+
+func TestNoFalseCrossLanguage(t *testing.T) {
+	// §III-B: merging a[gj](lm|cd) and kja[gj]cd must not accept kjaglm.
+	_, _, p := compileGroup(t, "a[gj](lm|cd)", "kja[gj]cd")
+	got := ends(t, p, "kjaglm", Config{})
+	// a1 matches "aglm" (ends at 5); a2 must NOT match.
+	if len(got[1]) != 0 {
+		t.Fatalf("FSA 2 false match: %v", got)
+	}
+	if !reflect.DeepEqual(got[0], []int{5}) {
+		t.Fatalf("FSA 1 matches %v, want [5]", got[0])
+	}
+	// And the true a2 string still matches.
+	got = ends(t, p, "kjagcd", Config{})
+	if !reflect.DeepEqual(got[1], []int{5}) {
+		t.Fatalf("kjagcd FSA 2 matches %v, want [5]", got[1])
+	}
+}
+
+func TestScanRestartsAfterDeadPaths(t *testing.T) {
+	_, _, p := compileGroup(t, "abc")
+	got := ends(t, p, "ababcabc", Config{})
+	if !reflect.DeepEqual(got[0], []int{4, 7}) {
+		t.Fatalf("matches %v, want [4 7]", got[0])
+	}
+}
+
+func TestOverlappingMatches(t *testing.T) {
+	_, _, p := compileGroup(t, "aa")
+	got := ends(t, p, "aaaa", Config{})
+	if !reflect.DeepEqual(got[0], []int{1, 2, 3}) {
+		t.Fatalf("matches %v, want [1 2 3]", got[0])
+	}
+}
+
+func TestPopVsKeepSemantics(t *testing.T) {
+	// ab*: with the Eq. 5 pop only the shortest match per start survives;
+	// with KeepOnMatch every extension is reported.
+	_, _, p := compileGroup(t, "ab*")
+	pop := ends(t, p, "abb", Config{})
+	if !reflect.DeepEqual(pop[0], []int{0}) {
+		t.Fatalf("pop matches %v, want [0]", pop[0])
+	}
+	keep := ends(t, p, "abb", Config{KeepOnMatch: true})
+	if !reflect.DeepEqual(keep[0], []int{0, 1, 2}) {
+		t.Fatalf("keep matches %v, want [0 1 2]", keep[0])
+	}
+}
+
+func TestAnchors(t *testing.T) {
+	_, _, p := compileGroup(t, "^ab", "ab$", "ab")
+	got := ends(t, p, "abxab", Config{})
+	if !reflect.DeepEqual(got[0], []int{1}) { // ^ab only at the start
+		t.Fatalf("^ab matches %v", got[0])
+	}
+	if !reflect.DeepEqual(got[1], []int{4}) { // ab$ only at the end
+		t.Fatalf("ab$ matches %v", got[1])
+	}
+	if !reflect.DeepEqual(got[2], []int{1, 4}) {
+		t.Fatalf("ab matches %v", got[2])
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	_, _, p := compileGroup(t, "ab", "a*")
+	res := Run(p, nil, Config{Stats: true})
+	if res.Matches != 0 || res.Symbols != 0 {
+		t.Fatalf("empty input result %+v", res)
+	}
+}
+
+func TestPerFSACounts(t *testing.T) {
+	_, _, p := compileGroup(t, "ab", "b")
+	res := Run(p, []byte("abab"), Config{})
+	if res.PerFSA[0] != 2 || res.PerFSA[1] != 2 {
+		t.Fatalf("per-FSA %v", res.PerFSA)
+	}
+	if res.Matches != 4 {
+		t.Fatalf("matches=%d", res.Matches)
+	}
+}
+
+func TestStatsActivity(t *testing.T) {
+	_, _, p := compileGroup(t, "a+b", "a+c")
+	res := Run(p, []byte("aaaa"), Config{Stats: true})
+	if res.ActivePairsTotal == 0 {
+		t.Fatal("no activity recorded")
+	}
+	if res.MaxActiveFSAs != 2 {
+		t.Fatalf("MaxActiveFSAs=%d, want 2", res.MaxActiveFSAs)
+	}
+	if res.AvgActive() <= 0 {
+		t.Fatalf("AvgActive=%f", res.AvgActive())
+	}
+	// Without stats the counters stay zero.
+	res = Run(p, []byte("aaaa"), Config{})
+	if res.ActivePairsTotal != 0 || res.MaxActiveFSAs != 0 {
+		t.Fatal("stats recorded when disabled")
+	}
+}
+
+func TestRunnerReuse(t *testing.T) {
+	_, _, p := compileGroup(t, "abc", "bcd")
+	r := NewRunner(p)
+	first := r.Run([]byte("abcd"), Config{})
+	second := r.Run([]byte("abcd"), Config{})
+	if first.Matches != second.Matches {
+		t.Fatalf("runner not reusable: %d vs %d", first.Matches, second.Matches)
+	}
+	// State must not leak across runs.
+	third := r.Run([]byte("zzz"), Config{})
+	if third.Matches != 0 {
+		t.Fatalf("state leaked: %d matches", third.Matches)
+	}
+}
+
+func TestMatchesDeterministic(t *testing.T) {
+	_, _, p := compileGroup(t, "ab", "a[bc]")
+	a := Matches(p, []byte("abacab"), Config{})
+	b := Matches(p, []byte("abacab"), Config{})
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("nondeterministic matches")
+	}
+}
+
+// --- oracle equivalence ---
+
+func randPattern(r *rand.Rand) string {
+	frags := []string{"a", "b", "c", "ab", "bc", "a[bc]", "(ab|ba)", "a*", "b+", "c?", "a{2,3}", "[abc]"}
+	s := ""
+	for i, n := 0, 1+r.Intn(4); i < n; i++ {
+		s += frags[r.Intn(len(frags))]
+	}
+	return s
+}
+
+func randInput(r *rand.Rand, n int) []byte {
+	alpha := []byte("abc")
+	in := make([]byte, n)
+	for i := range in {
+		in[i] = alpha[r.Intn(3)]
+	}
+	return in
+}
+
+func TestQuickIMFAntMatchesOracle(t *testing.T) {
+	for _, keep := range []bool{false, true} {
+		r := rand.New(rand.NewSource(21))
+		f := func() bool {
+			m := 1 + r.Intn(5)
+			patterns := make([]string, m)
+			for i := range patterns {
+				patterns[i] = randPattern(r)
+			}
+			fsas := make([]*nfa.NFA, m)
+			for i, pat := range patterns {
+				n, err := nfa.Compile(pat)
+				if err != nil {
+					return false
+				}
+				fsas[i] = n
+			}
+			z, err := mfsa.Merge(fsas)
+			if err != nil {
+				return false
+			}
+			p := NewProgram(z)
+			in := randInput(r, r.Intn(24))
+			cfg := Config{KeepOnMatch: keep}
+			got := DistinctEnds(Matches(p, in, cfg), m)
+			want := ReferenceScanAll(fsas, in, keep)
+			for j := range fsas {
+				w := want[j]
+				if w == nil {
+					w = []int{}
+				}
+				if !reflect.DeepEqual(got[j], w) {
+					t.Logf("keep=%v patterns=%v input=%q FSA %d: engine %v oracle %v",
+						keep, patterns, in, j, got[j], w)
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+			t.Fatalf("keep=%v: %v", keep, err)
+		}
+	}
+}
+
+func TestQuickMergedEqualsUnmerged(t *testing.T) {
+	// The headline correctness claim: one MFSA reports exactly the same
+	// per-RE matches as the standalone FSAs run one by one (M = 1).
+	r := rand.New(rand.NewSource(22))
+	f := func() bool {
+		m := 2 + r.Intn(4)
+		patterns := make([]string, m)
+		fsas := make([]*nfa.NFA, m)
+		for i := range patterns {
+			patterns[i] = randPattern(r)
+			n, err := nfa.Compile(patterns[i])
+			if err != nil {
+				return false
+			}
+			fsas[i] = n
+		}
+		z, err := mfsa.Merge(fsas)
+		if err != nil {
+			return false
+		}
+		merged := NewProgram(z)
+		in := randInput(r, r.Intn(32))
+		got := DistinctEnds(Matches(merged, in, Config{}), m)
+		for j, a := range fsas {
+			zj, err := mfsa.Merge([]*nfa.NFA{a})
+			if err != nil {
+				return false
+			}
+			single := NewProgram(zj)
+			w := DistinctEnds(Matches(single, in, Config{}), 1)[0]
+			if !reflect.DeepEqual(got[j], w) {
+				t.Logf("patterns=%v input=%q FSA %d: merged %v single %v",
+					patterns, in, j, got[j], w)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestListDensity(t *testing.T) {
+	_, _, p := compileGroup(t, "[ab]c")
+	// [ab] contributes to 2 symbol lists, c to 1: density 3/256.
+	if got := p.ListDensity(); got != 3.0/256 {
+		t.Fatalf("density=%f", got)
+	}
+}
+
+func BenchmarkRunSingle(b *testing.B) {
+	fsas := make([]*nfa.NFA, 1)
+	n, err := nfa.Compile("(GET|POST) /[a-z]{1,8}/x")
+	if err != nil {
+		b.Fatal(err)
+	}
+	fsas[0] = n
+	z, err := mfsa.Merge(fsas)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := NewProgram(z)
+	in := make([]byte, 64<<10)
+	rnd := rand.New(rand.NewSource(1))
+	for i := range in {
+		in[i] = byte('a' + rnd.Intn(26))
+	}
+	r := NewRunner(p)
+	b.SetBytes(int64(len(in)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Run(in, Config{})
+	}
+}
+
+// TestWideRulesetGenericPath forces the multi-word (W > 1) engine path with
+// a ruleset of more than 64 rules and cross-checks it against the oracle —
+// the W == 1 fast path and the generic loop must agree.
+func TestWideRulesetGenericPath(t *testing.T) {
+	var patterns []string
+	for i := 0; i < 70; i++ {
+		patterns = append(patterns, string(rune('a'+i%3))+string(rune('a'+(i/3)%3))+string(rune('a'+(i/9)%3)))
+	}
+	patterns = append(patterns, "ab*c", "^aa", "cc$")
+	fsas := make([]*nfa.NFA, len(patterns))
+	for i, pat := range patterns {
+		n, err := nfa.Compile(pat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fsas[i] = n
+	}
+	z, err := mfsa.Merge(fsas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewProgram(z)
+	if p.words < 2 {
+		t.Fatalf("expected multi-word program, words=%d", p.words)
+	}
+	r := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 25; trial++ {
+		in := make([]byte, r.Intn(64))
+		for i := range in {
+			in[i] = byte('a' + r.Intn(3))
+		}
+		for _, keep := range []bool{false, true} {
+			cfg := Config{KeepOnMatch: keep}
+			got := DistinctEnds(Matches(p, in, cfg), len(patterns))
+			want := ReferenceScanAll(fsas, in, keep)
+			for j := range fsas {
+				w := want[j]
+				if w == nil {
+					w = []int{}
+				}
+				if !reflect.DeepEqual(got[j], w) {
+					t.Fatalf("keep=%v input %q rule %d (%s): engine %v oracle %v",
+						keep, in, j, patterns[j], got[j], w)
+				}
+			}
+		}
+	}
+	// Stats path for W > 1.
+	res := Run(p, []byte("aaabbbccc"), Config{Stats: true})
+	if res.ActivePairsTotal <= 0 || res.MaxActiveFSAs <= 0 {
+		t.Fatalf("stats %+v", res)
+	}
+}

@@ -1,0 +1,152 @@
+package engine
+
+import (
+	"math/rand"
+	"reflect"
+	"repro/internal/mfsa"
+	"repro/internal/nfa"
+	"testing"
+	"testing/quick"
+)
+
+// chunkedMatches splits input at the given cut points and scans it through
+// Begin/Feed/End, returning the match events with absolute offsets.
+func chunkedMatches(p *Program, input []byte, cuts []int, cfg Config) []MatchEvent {
+	var out []MatchEvent
+	cfg.OnMatch = func(fsa, end int) {
+		out = append(out, MatchEvent{FSA: fsa, End: end})
+	}
+	r := NewRunner(p)
+	r.Begin(cfg)
+	prev := 0
+	for _, cut := range cuts {
+		r.Feed(input[prev:cut], false)
+		prev = cut
+	}
+	r.Feed(input[prev:], true)
+	r.End()
+	return out
+}
+
+func TestChunkingInvariance(t *testing.T) {
+	_, _, p := compileGroup(t, "abc", "b+c", "a[bc]*d")
+	input := []byte("xabcxbbbcxabbcdxabcd")
+	want := Matches(p, input, Config{})
+	for _, cuts := range [][]int{
+		{},
+		{1},
+		{10},
+		{len(input) - 1},
+		{1, 2, 3},
+		{5, 10, 15},
+		{2, 2, 2}, // empty middle chunk
+	} {
+		got := chunkedMatches(p, input, cuts, Config{})
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("cuts %v: %v, want %v", cuts, got, want)
+		}
+	}
+}
+
+func TestChunkingAnchors(t *testing.T) {
+	_, _, p := compileGroup(t, "^ab", "cd$")
+	input := []byte("abxcd")
+	want := Matches(p, input, Config{})
+	// ^ must only fire on the true stream start, $ only on the true end,
+	// regardless of chunking.
+	got := chunkedMatches(p, input, []int{2, 4}, Config{})
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("chunked %v, want %v", got, want)
+	}
+	// A non-final Feed ending exactly at "cd" must not fire the $ rule.
+	r := NewRunner(p)
+	var events []MatchEvent
+	cfg := Config{OnMatch: func(fsa, end int) { events = append(events, MatchEvent{fsa, end}) }}
+	r.Begin(cfg)
+	r.Feed([]byte("abxcd"), false)
+	for _, e := range events {
+		if e.FSA == 1 {
+			t.Fatalf("$ rule fired before stream end: %v", events)
+		}
+	}
+	r.Feed(nil, true)
+	r.End()
+}
+
+func TestChunkingMatchSpansBoundary(t *testing.T) {
+	_, _, p := compileGroup(t, "hello")
+	input := []byte("xxhelloxx")
+	got := chunkedMatches(p, input, []int{4}, Config{}) // split inside "hello"
+	if len(got) != 1 || got[0].End != 6 {
+		t.Fatalf("boundary-spanning match lost: %v", got)
+	}
+}
+
+func TestBeginResetsState(t *testing.T) {
+	_, _, p := compileGroup(t, "ab")
+	r := NewRunner(p)
+	r.Begin(Config{})
+	r.Feed([]byte("a"), false)
+	// Restart: the pending 'a' must be forgotten.
+	r.Begin(Config{})
+	r.Feed([]byte("b"), true)
+	if res := r.End(); res.Matches != 0 {
+		t.Fatalf("state leaked across Begin: %d matches", res.Matches)
+	}
+}
+
+func TestQuickChunkingEqualsWhole(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	f := func() bool {
+		m := 1 + r.Intn(4)
+		patterns := make([]string, m)
+		for i := range patterns {
+			patterns[i] = randPattern(r)
+		}
+		p, err := compilePatterns(patterns)
+		if err != nil {
+			return true
+		}
+		in := randInput(r, 1+r.Intn(48))
+		want := Matches(p, in, Config{})
+		// Random cut points.
+		nCuts := r.Intn(4)
+		cuts := make([]int, nCuts)
+		for i := range cuts {
+			cuts[i] = r.Intn(len(in) + 1)
+		}
+		// cuts must be nondecreasing
+		for i := 1; i < len(cuts); i++ {
+			if cuts[i] < cuts[i-1] {
+				cuts[i] = cuts[i-1]
+			}
+		}
+		got := chunkedMatches(p, in, cuts, Config{})
+		if !reflect.DeepEqual(got, want) {
+			t.Logf("patterns=%v input=%q cuts=%v: %v want %v", patterns, in, cuts, got, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// compilePatterns merges patterns into one Program without a testing.T, for
+// property tests that skip invalid random inputs.
+func compilePatterns(patterns []string) (*Program, error) {
+	fsas := make([]*nfa.NFA, len(patterns))
+	for i, pat := range patterns {
+		n, err := nfa.Compile(pat)
+		if err != nil {
+			return nil, err
+		}
+		fsas[i] = n
+	}
+	z, err := mfsa.Merge(fsas)
+	if err != nil {
+		return nil, err
+	}
+	return NewProgram(z), nil
+}

@@ -1,0 +1,311 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/charset"
+	"repro/internal/mfsa"
+)
+
+// This file implements a 2-stride variant of iMFAnt — the multi-striding
+// optimization of the paper's related work (§VII: Avalle et al. [28],
+// Becchi & Crowley [40]): the automaton consumes two input symbols per
+// traversal step by fusing pairs of adjacent transitions ahead of time. The
+// activation-function algebra is applied twice per fused pair (a loop
+// unrolling of Eqs. 4–6), so per-rule matching is unchanged; the paper's
+// caveat that multi-stride complexity "comprises all the k-characters
+// combinations of adjacent transitions" shows up here as the
+// indeg×outdeg pair blow-up that NewStrideProgram bounds.
+
+// stridePair is a fused transition pair q →L1 r →L2 s.
+type stridePair struct {
+	from, mid, to int32
+	second        charset.Set
+	bel1, bel2    int32 // transition indices into the base Program
+}
+
+// StrideProgram executes an MFSA two bytes per step. Build with
+// NewStrideProgram; immutable and safe for concurrent StrideRunner use.
+type StrideProgram struct {
+	base  *Program
+	pairs []stridePair
+	// lists[c1] indexes pairs whose first label contains c1.
+	lists [256][]int32
+	// initLists[c] indexes base transitions leaving an initial state,
+	// per enabling symbol — the mid-step rule-start pass.
+	initLists [256][]int32
+	// finalLists[c] indexes base transitions arriving at an accepting
+	// state, per enabling symbol — the mid-step match-report pass (a
+	// first-byte arrival must report even when no pair continues on the
+	// second byte).
+	finalLists [256][]int32
+}
+
+// maxStridePairs bounds the fused-pair table; beyond it the quadratic
+// blow-up makes striding counterproductive.
+const maxStridePairs = 1 << 22
+
+// NewStrideProgram fuses the MFSA's adjacent transition pairs. It fails
+// when the pair table would exceed maxStridePairs.
+func NewStrideProgram(z *mfsa.MFSA) (*StrideProgram, error) {
+	base := NewProgram(z)
+	sp := &StrideProgram{base: base}
+	// Adjacency by mid state.
+	in := make([][]int32, base.numStates)
+	out := make([][]int32, base.numStates)
+	for i, t := range z.Trans {
+		in[t.To] = append(in[t.To], int32(i))
+		out[t.From] = append(out[t.From], int32(i))
+	}
+	for mid := 0; mid < base.numStates; mid++ {
+		if len(in[mid])*len(out[mid]) == 0 {
+			continue
+		}
+		if len(sp.pairs)+len(in[mid])*len(out[mid]) > maxStridePairs {
+			return nil, fmt.Errorf("engine: 2-stride pair table exceeds %d entries", maxStridePairs)
+		}
+		for _, t1 := range in[mid] {
+			for _, t2 := range out[mid] {
+				pi := int32(len(sp.pairs))
+				sp.pairs = append(sp.pairs, stridePair{
+					from:   int32(z.Trans[t1].From),
+					mid:    int32(mid),
+					to:     int32(z.Trans[t2].To),
+					second: z.Trans[t2].Label,
+					bel1:   t1,
+					bel2:   t2,
+				})
+				z.Trans[t1].Label.ForEach(func(c byte) {
+					sp.lists[c] = append(sp.lists[c], pi)
+				})
+			}
+		}
+	}
+	for i, t := range z.Trans {
+		if base.hasInit[t.From] {
+			t.Label.ForEach(func(c byte) {
+				sp.initLists[c] = append(sp.initLists[c], int32(i))
+			})
+		}
+		if z.FinalMask[t.To].Any() {
+			t.Label.ForEach(func(c byte) {
+				sp.finalLists[c] = append(sp.finalLists[c], int32(i))
+			})
+		}
+	}
+	return sp, nil
+}
+
+// NumPairs returns the fused-pair count, the §VII complexity metric.
+func (sp *StrideProgram) NumPairs() int { return len(sp.pairs) }
+
+// StrideRunner holds the scratch state for one goroutine's stride scans.
+type StrideRunner struct {
+	sp       *StrideProgram
+	cur, nxt *vector
+	tmp      []uint64
+	emitted  []uint64
+}
+
+// NewStrideRunner returns an execution context for sp.
+func NewStrideRunner(sp *StrideProgram) *StrideRunner {
+	p := sp.base
+	return &StrideRunner{
+		sp:      sp,
+		cur:     newVector(p.numStates, p.words),
+		nxt:     newVector(p.numStates, p.words),
+		tmp:     make([]uint64, p.words),
+		emitted: make([]uint64, p.words),
+	}
+}
+
+// Run scans input two bytes per step; a trailing odd byte is consumed by
+// one base-algorithm step. Matching semantics equal the 1-stride engine's
+// up to event multiplicity: the same (FSA, end) may be witnessed by several
+// fused pairs, so compare DistinctEnds, not raw counts.
+func (r *StrideRunner) Run(input []byte, cfg Config) Result {
+	sp := r.sp
+	p := sp.base
+	W := p.words
+	res := Result{PerFSA: make([]int64, p.numFSAs), Symbols: len(input)}
+	r.cur.reset(W)
+	r.nxt.reset(W)
+	last := len(input) - 1
+
+	emit := func(dstBase int, pos int, atEnd bool) (popped uint64) {
+		matched := uint64(0)
+		for w := 0; w < W; w++ {
+			m := r.tmp[w] & p.finalMask[dstBase+w]
+			if !atEnd {
+				m &^= p.endAnchored[w]
+			}
+			r.emitted[w] = m
+			matched |= m
+		}
+		if matched == 0 {
+			return 0
+		}
+		for w := 0; w < W; w++ {
+			m := r.emitted[w]
+			for m != 0 {
+				fsa := w*64 + trailingZeros(m&(-m))
+				res.Matches++
+				res.PerFSA[fsa]++
+				if cfg.OnMatch != nil {
+					cfg.OnMatch(fsa, pos)
+				}
+				m &= m - 1
+			}
+			if !cfg.KeepOnMatch {
+				r.tmp[w] &^= r.emitted[w]
+			}
+		}
+		return matched
+	}
+	activate := func(nxt *vector, to int32) {
+		any := uint64(0)
+		for w := 0; w < W; w++ {
+			any |= r.tmp[w]
+		}
+		if any == 0 {
+			return
+		}
+		base := int(to) * W
+		if !nxt.member[to] {
+			nxt.member[to] = true
+			nxt.dirty = append(nxt.dirty, to)
+		}
+		for w := 0; w < W; w++ {
+			nxt.j[base+w] |= r.tmp[w]
+		}
+	}
+
+	pos := 0
+	for ; pos+1 < len(input); pos += 2 {
+		c1, c2 := input[pos], input[pos+1]
+		cur, nxt := r.cur, r.nxt
+		secondEnd := pos+1 == last
+
+		// Pass A′: mid-byte match reports — a first-hop arrival at an
+		// accepting state reports at pos whether or not any pair
+		// continues on c2.
+		for _, ti := range sp.finalLists[c1] {
+			t := &p.trans[ti]
+			srcBase := int(t.from) * W
+			belBase := int(ti) * W
+			any := uint64(0)
+			for w := 0; w < W; w++ {
+				v := cur.j[srcBase+w] | p.initAlways[srcBase+w]
+				if pos == 0 {
+					v |= p.initAtZero[srcBase+w]
+				}
+				v &= p.bel[belBase+w]
+				r.tmp[w] = v
+				any |= v
+			}
+			if any != 0 {
+				emit(int(t.to)*W, pos, false)
+			}
+		}
+
+		// Pass A: fused pairs from active or initial states.
+		for _, pi := range sp.lists[c1] {
+			pair := &sp.pairs[pi]
+			if !pair.second.Contains(c2) {
+				continue
+			}
+			srcBase := int(pair.from) * W
+			bel1 := int(pair.bel1) * W
+			any := uint64(0)
+			for w := 0; w < W; w++ {
+				v := cur.j[srcBase+w] | p.initAlways[srcBase+w]
+				if pos == 0 {
+					v |= p.initAtZero[srcBase+w]
+				}
+				v &= p.bel[bel1+w]
+				r.tmp[w] = v
+				any |= v
+			}
+			if any == 0 {
+				continue
+			}
+			// Mid arrival: apply the Eq. 5 pop to the continuation
+			// set without re-reporting (pass A′ already did).
+			if !cfg.KeepOnMatch {
+				for w := 0; w < W; w++ {
+					m := r.tmp[w] & p.finalMask[int(pair.mid)*W+w]
+					m &^= p.endAnchored[w]
+					r.tmp[w] &^= m
+				}
+				any = 0
+				for w := 0; w < W; w++ {
+					any |= r.tmp[w]
+				}
+				if any == 0 {
+					continue
+				}
+			}
+			bel2 := int(pair.bel2) * W
+			any = 0
+			for w := 0; w < W; w++ {
+				r.tmp[w] &= p.bel[bel2+w]
+				any |= r.tmp[w]
+			}
+			if any == 0 {
+				continue
+			}
+			emit(int(pair.to)*W, pos+1, secondEnd)
+			activate(nxt, pair.to)
+		}
+
+		// Pass B: rules starting at the second byte of the step.
+		for _, ti := range sp.initLists[c2] {
+			t := &p.trans[ti]
+			srcBase := int(t.from) * W
+			belBase := int(ti) * W
+			any := uint64(0)
+			for w := 0; w < W; w++ {
+				v := p.initAlways[srcBase+w] & p.bel[belBase+w]
+				r.tmp[w] = v
+				any |= v
+			}
+			if any == 0 {
+				continue
+			}
+			emit(int(t.to)*W, pos+1, secondEnd)
+			activate(nxt, t.to)
+		}
+
+		cur.reset(W)
+		r.cur, r.nxt = nxt, cur
+	}
+
+	// Odd tail: one base-algorithm step.
+	if pos < len(input) {
+		c := input[pos]
+		cur, nxt := r.cur, r.nxt
+		for _, ti := range p.lists[c] {
+			t := &p.trans[ti]
+			srcBase := int(t.from) * W
+			belBase := int(ti) * W
+			any := uint64(0)
+			for w := 0; w < W; w++ {
+				v := cur.j[srcBase+w] | p.initAlways[srcBase+w]
+				if pos == 0 {
+					v |= p.initAtZero[srcBase+w]
+				}
+				v &= p.bel[belBase+w]
+				r.tmp[w] = v
+				any |= v
+			}
+			if any == 0 {
+				continue
+			}
+			emit(int(t.to)*W, pos, true)
+			activate(nxt, t.to)
+		}
+		cur.reset(W)
+		r.cur, r.nxt = nxt, cur
+	}
+	return res
+}

@@ -1,0 +1,178 @@
+package engine
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mfsa"
+	"repro/internal/nfa"
+)
+
+func strideEnds(t *testing.T, sp *StrideProgram, input []byte, cfg Config) [][]int {
+	t.Helper()
+	var events []MatchEvent
+	cfg.OnMatch = func(fsa, end int) {
+		events = append(events, MatchEvent{FSA: fsa, End: end})
+	}
+	NewStrideRunner(sp).Run(input, cfg)
+	return DistinctEnds(events, sp.base.numFSAs)
+}
+
+func TestStrideBasics(t *testing.T) {
+	_, z, p := compileGroup(t, "abc", "b")
+	sp, err := NewStrideProgram(z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range []string{"abc", "xabc", "abcabc", "b", "bb", "", "a", "ab"} {
+		want := DistinctEnds(Matches(p, []byte(in), Config{}), 2)
+		got := strideEnds(t, sp, []byte(in), Config{})
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("input %q: stride %v base %v", in, got, want)
+		}
+	}
+}
+
+func TestStrideMidMatchWithoutContinuation(t *testing.T) {
+	// "ab" matches ending mid-step with nothing following: the mid-byte
+	// report pass must still fire.
+	_, z, p := compileGroup(t, "ab")
+	sp, err := NewStrideProgram(z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := []byte("xabz") // match ends at offset 2 = first byte of step (2,3)
+	want := DistinctEnds(Matches(p, in, Config{}), 1)
+	got := strideEnds(t, sp, in, Config{})
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("stride %v base %v", got, want)
+	}
+}
+
+func TestStrideOddLength(t *testing.T) {
+	_, z, p := compileGroup(t, "abc", "c")
+	sp, err := NewStrideProgram(z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := []byte("xxabc") // 5 bytes: two pairs + tail
+	want := DistinctEnds(Matches(p, in, Config{}), 2)
+	got := strideEnds(t, sp, in, Config{})
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("stride %v base %v", got, want)
+	}
+}
+
+func TestStrideAnchors(t *testing.T) {
+	_, z, p := compileGroup(t, "^ab", "cd$", "ab")
+	sp, err := NewStrideProgram(z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range []string{"abxcd", "abxcde", "ab", "cd", "xabcd"} {
+		want := DistinctEnds(Matches(p, []byte(in), Config{}), 3)
+		got := strideEnds(t, sp, []byte(in), Config{})
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("input %q: stride %v base %v", in, got, want)
+		}
+	}
+}
+
+func TestStridePairCount(t *testing.T) {
+	_, z, _ := compileGroup(t, "abc")
+	sp, err := NewStrideProgram(z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chain a→b→c: mid states with indeg×outdeg = 1 each → 2 pairs.
+	if sp.NumPairs() != 2 {
+		t.Fatalf("pairs=%d, want 2", sp.NumPairs())
+	}
+}
+
+func TestQuickStrideEqualsBase(t *testing.T) {
+	for _, keep := range []bool{false, true} {
+		r := rand.New(rand.NewSource(41))
+		f := func() bool {
+			m := 1 + r.Intn(4)
+			patterns := make([]string, m)
+			for i := range patterns {
+				patterns[i] = randPattern(r)
+			}
+			fsas := make([]*nfa.NFA, m)
+			for i, pat := range patterns {
+				n, err := nfa.Compile(pat)
+				if err != nil {
+					return false
+				}
+				fsas[i] = n
+			}
+			z, err := mfsa.Merge(fsas)
+			if err != nil {
+				return false
+			}
+			p := NewProgram(z)
+			sp, err := NewStrideProgram(z)
+			if err != nil {
+				return false
+			}
+			in := randInput(r, r.Intn(32))
+			cfg := Config{KeepOnMatch: keep}
+			want := DistinctEnds(Matches(p, in, cfg), m)
+			got := strideEnds(t, sp, in, cfg)
+			for j := range want {
+				if !reflect.DeepEqual(got[j], want[j]) {
+					t.Logf("keep=%v patterns=%v input=%q rule %d: stride %v base %v",
+						keep, patterns, in, j, got[j], want[j])
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+			t.Fatalf("keep=%v: %v", keep, err)
+		}
+	}
+}
+
+func BenchmarkStrideVsBase(b *testing.B) {
+	patterns := []string{"GET /abc", "GET /abd", "POST /xy", "cmd", "[ab]{3}z"}
+	fsas := make([]*nfa.NFA, len(patterns))
+	for i, pat := range patterns {
+		n, err := nfa.Compile(pat)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fsas[i] = n
+	}
+	z, err := mfsa.Merge(fsas)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rnd := rand.New(rand.NewSource(3))
+	in := make([]byte, 64<<10)
+	for i := range in {
+		in[i] = byte('a' + rnd.Intn(26))
+	}
+	b.Run("base", func(b *testing.B) {
+		p := NewProgram(z)
+		runner := NewRunner(p)
+		b.SetBytes(int64(len(in)))
+		for i := 0; i < b.N; i++ {
+			runner.Run(in, Config{})
+		}
+	})
+	b.Run("stride2", func(b *testing.B) {
+		sp, err := NewStrideProgram(z)
+		if err != nil {
+			b.Fatal(err)
+		}
+		runner := NewStrideRunner(sp)
+		b.SetBytes(int64(len(in)))
+		for i := 0; i < b.N; i++ {
+			runner.Run(in, Config{})
+		}
+	})
+}

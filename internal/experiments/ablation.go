@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/metrics"
+	"repro/internal/mfsa"
+	"repro/internal/pipeline"
+)
+
+// AblationRow is one point of the merge-heuristic ablation study.
+type AblationRow struct {
+	Abbr string
+	// MinSubPath is the Merging Structure length threshold under test.
+	MinSubPath int
+	StatesPct  float64
+	TransPct   float64
+	MergeTime  time.Duration
+	ExeTime    time.Duration
+}
+
+// Ablation studies the design choice DESIGN.md calls out: how long must a
+// common sub-path be before Algorithm 1 merges it? MinSubPath = 1 merges
+// isolated same-label arcs (maximal compression, densest MFSA); larger
+// thresholds merge only substantial shared sub-patterns. For each setting
+// it reports the M = all compression, the merge time, and the single-thread
+// execution time over the dataset stream — exposing the compression/
+// run-time trade-off behind the default of 2.
+func (r *Runner) Ablation(w io.Writer) ([]AblationRow, error) {
+	var rows []AblationRow
+	tb := metrics.NewTable("Ablation — Merging Structure minimum sub-path length (M = all)",
+		"Dataset", "MinSubPath", "States%", "Trans%", "MergeTime", "ExeTime")
+	for _, s := range r.specs {
+		// Stage 1–3 once per dataset; the ablation only re-runs merging.
+		base, err := pipeline.Compile(s.Patterns(), 1, nil)
+		if err != nil {
+			return nil, err
+		}
+		in := r.stream(s)
+		for _, minLen := range []int{1, 2, 3, 4} {
+			start := time.Now()
+			z, err := mfsa.MergeWith(base.FSAs, mfsa.MergeOptions{MinSubPath: minLen})
+			if err != nil {
+				return nil, fmt.Errorf("%s minLen=%d: %w", s.Abbr, minLen, err)
+			}
+			mergeTime := time.Since(start)
+			c := metrics.MeasureCompression(base.FSAs, []*mfsa.MFSA{z})
+			p := engine.NewProgram(z)
+			runner := engine.NewRunner(p)
+			start = time.Now()
+			for rep := 0; rep < r.o.Reps; rep++ {
+				runner.Run(in, engine.Config{})
+			}
+			exeTime := time.Since(start) / time.Duration(r.o.Reps)
+			row := AblationRow{
+				Abbr: s.Abbr, MinSubPath: minLen,
+				StatesPct: c.StatesPct(), TransPct: c.TransPct(),
+				MergeTime: mergeTime, ExeTime: exeTime,
+			}
+			rows = append(rows, row)
+			tb.AddRow(row.Abbr, minLen, row.StatesPct, row.TransPct, row.MergeTime, row.ExeTime)
+		}
+	}
+	if w != nil {
+		tb.Render(w)
+	}
+	return rows, nil
+}

@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"errors"
+	"io"
+	"time"
+
+	"repro/internal/dfa"
+	"repro/internal/engine"
+	"repro/internal/metrics"
+	"repro/internal/mfsa"
+	"repro/internal/nfa"
+	"repro/internal/pipeline"
+)
+
+// BaselineRow compares the automata representations on one dataset slice.
+type BaselineRow struct {
+	Abbr  string
+	Rules int
+	// Sizes: states and stored transitions per representation. DFA
+	// entries are ~0 when determinization explodes past the budget.
+	NFAStates, NFATrans   int
+	MFSAStates, MFSATrans int
+	DFAStates, DFATrans   int
+	D2FATrans             int
+	DFAExploded           bool
+	// Scan times over the dataset stream (single thread).
+	NFATime, MFSATime, DFATime, D2FATime time.Duration
+}
+
+// Baseline contrasts the MFSA against the §II representation spectrum:
+// per-rule NFAs (iNFAnt), the subset-construction scan DFA with its
+// state-explosion risk, and the default-transition-compressed D²FA. It uses
+// the first 40 rules of each dataset so the DFA has a chance to fit its
+// state budget, and reports sizes plus single-thread scan times.
+func (r *Runner) Baseline(w io.Writer) ([]BaselineRow, error) {
+	const rules = 40
+	const dfaBudget = 1 << 15
+	var rows []BaselineRow
+	tb := metrics.NewTable("Baseline — representation spectrum (first 40 rules per dataset)",
+		"Dataset", "Repr", "States", "Trans", "ScanTime")
+	for _, s := range r.specs {
+		pats := s.Patterns()
+		if len(pats) > rules {
+			pats = pats[:rules]
+		}
+		out, err := pipeline.Compile(pats, 1, nil)
+		if err != nil {
+			return nil, err
+		}
+		in := r.stream(s)
+		row := BaselineRow{Abbr: s.Abbr, Rules: len(pats)}
+
+		// Per-rule NFAs (the M = 1 iNFAnt configuration).
+		var nfaPrograms []*engine.Program
+		for _, a := range out.FSAs {
+			row.NFAStates += a.NumStates
+			row.NFATrans += len(a.Trans)
+			z, err := mfsa.Merge([]*nfa.NFA{a})
+			if err != nil {
+				return nil, err
+			}
+			nfaPrograms = append(nfaPrograms, engine.NewProgram(z))
+		}
+		start := time.Now()
+		engine.RunParallel(nfaPrograms, in, 1, engine.Config{KeepOnMatch: true})
+		row.NFATime = time.Since(start)
+
+		// MFSA (M = all over the slice).
+		z, err := mfsa.Merge(out.FSAs)
+		if err != nil {
+			return nil, err
+		}
+		row.MFSAStates = z.NumStates
+		row.MFSATrans = z.NumTrans()
+		p := engine.NewProgram(z)
+		start = time.Now()
+		engine.Run(p, in, engine.Config{KeepOnMatch: true})
+		row.MFSATime = time.Since(start)
+
+		// Dense DFA and D²FA.
+		d, err := dfa.FromNFAs(out.FSAs, dfaBudget)
+		var explosion *dfa.ErrStateExplosion
+		switch {
+		case err == nil:
+			row.DFAStates = d.NumStates
+			row.DFATrans = d.TableEntries()
+			start = time.Now()
+			d.Match(in, nil)
+			row.DFATime = time.Since(start)
+			c := dfa.Compress(d)
+			row.D2FATrans = c.StoredTransitions()
+			start = time.Now()
+			c.Match(in, nil)
+			row.D2FATime = time.Since(start)
+		case errors.As(err, &explosion):
+			row.DFAExploded = true
+		default:
+			return nil, err
+		}
+
+		rows = append(rows, row)
+		tb.AddRow(row.Abbr, "NFAs (M=1)", row.NFAStates, row.NFATrans, row.NFATime)
+		tb.AddRow("", "MFSA (M=all)", row.MFSAStates, row.MFSATrans, row.MFSATime)
+		if row.DFAExploded {
+			tb.AddRow("", "DFA", "explodes", ">"+itoa(dfaBudget), "-")
+		} else {
+			tb.AddRow("", "DFA (dense)", row.DFAStates, row.DFATrans, row.DFATime)
+			tb.AddRow("", "D2FA", row.DFAStates, row.D2FATrans, row.D2FATime)
+		}
+	}
+	if w != nil {
+		tb.Render(w)
+	}
+	return rows, nil
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [12]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"io"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/metrics"
+	"repro/internal/mfsa"
+	"repro/internal/nfa"
+	"repro/internal/pipeline"
+)
+
+// CCRefineRow compares merging with and without alphabet refinement.
+type CCRefineRow struct {
+	Abbr    string
+	Refined bool
+	// States/Trans of the M = all MFSA; the baseline states are the same
+	// either way (refinement never changes state sets).
+	States, Trans int
+	StatesPct     float64
+	MergeTime     time.Duration
+	ExeTime       time.Duration
+}
+
+// CCRefine evaluates the partial character-class merging the paper proposes
+// as a possible improvement in §VI-A: refining the group alphabet into
+// canonical blocks (nfa.RefineAlphabet) before Algorithm 1, so that
+// overlapping-but-unequal CCs share their common bytes. For each dataset it
+// merges M = all with and without refinement and reports the MFSA size, the
+// state compression against the unrefined standalone FSAs, and merge and
+// scan times.
+func (r *Runner) CCRefine(w io.Writer) ([]CCRefineRow, error) {
+	var rows []CCRefineRow
+	tb := metrics.NewTable("CC refinement — partial character-class merging (M = all, §VI-A improvement)",
+		"Dataset", "Refined", "States", "Trans", "States%", "MergeTime", "ExeTime")
+	for _, s := range r.specs {
+		base, err := pipeline.Compile(s.Patterns(), 1, nil)
+		if err != nil {
+			return nil, err
+		}
+		baseStates := 0
+		for _, a := range base.FSAs {
+			baseStates += a.NumStates
+		}
+		in := r.stream(s)
+		for _, refined := range []bool{false, true} {
+			fsas := base.FSAs
+			if refined {
+				fsas = nfa.RefineAlphabet(fsas)
+			}
+			start := time.Now()
+			z, err := mfsa.Merge(fsas)
+			if err != nil {
+				return nil, err
+			}
+			mergeTime := time.Since(start)
+			p := engine.NewProgram(z)
+			runner := engine.NewRunner(p)
+			start = time.Now()
+			for rep := 0; rep < r.o.Reps; rep++ {
+				runner.Run(in, engine.Config{})
+			}
+			exeTime := time.Since(start) / time.Duration(r.o.Reps)
+			row := CCRefineRow{
+				Abbr: s.Abbr, Refined: refined,
+				States: z.NumStates, Trans: z.NumTrans(),
+				StatesPct: 100 * float64(baseStates-z.NumStates) / float64(baseStates),
+				MergeTime: mergeTime, ExeTime: exeTime,
+			}
+			rows = append(rows, row)
+			tb.AddRow(row.Abbr, row.Refined, row.States, row.Trans, row.StatesPct, row.MergeTime, row.ExeTime)
+		}
+	}
+	if w != nil {
+		tb.Render(w)
+	}
+	return rows, nil
+}

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"io"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/engine"
+	"repro/internal/metrics"
+	"repro/internal/mfsa"
+	"repro/internal/pipeline"
+)
+
+// ClusterRow compares sequential and similarity-clustered grouping at one
+// merging factor.
+type ClusterRow struct {
+	Abbr      string
+	M         int
+	Clustered bool
+	StatesPct float64
+	TransPct  float64
+	ExeTime   time.Duration
+}
+
+// Clustering evaluates the future-work grouping policy (§VIII): instead of
+// sampling the M-sized merge groups sequentially from the dataset, rules
+// are clustered by normalized INDEL similarity first, so each group merges
+// the most morphologically similar rules. For each dataset and mid-range M
+// it reports compression and single-thread execution time for both
+// policies.
+func (r *Runner) Clustering(w io.Writer) ([]ClusterRow, error) {
+	ms := []int{10, 50}
+	var rows []ClusterRow
+	tb := metrics.NewTable("Clustering — sequential vs similarity-clustered merge groups (§VIII future work)",
+		"Dataset", "M", "Grouping", "States%", "Trans%", "ExeTime")
+	for _, s := range r.specs {
+		pats := s.Patterns()
+		base, err := pipeline.Compile(pats, 1, nil)
+		if err != nil {
+			return nil, err
+		}
+		in := r.stream(s)
+		for _, m := range ms {
+			for _, clustered := range []bool{false, true} {
+				var groups [][]int
+				if clustered {
+					groups = cluster.GroupBySimilarity(pats, m)
+				} else {
+					for i := 0; i < len(pats); i += m {
+						end := i + m
+						if end > len(pats) {
+							end = len(pats)
+						}
+						g := make([]int, 0, end-i)
+						for k := i; k < end; k++ {
+							g = append(g, k)
+						}
+						groups = append(groups, g)
+					}
+				}
+				zs, err := mfsa.MergeGrouped(base.FSAs, groups)
+				if err != nil {
+					return nil, err
+				}
+				c := metrics.MeasureCompression(base.FSAs, zs)
+				ps := make([]*engine.Program, len(zs))
+				for i, z := range zs {
+					ps[i] = engine.NewProgram(z)
+				}
+				elapsed := r.timeSequential(ps, in)
+				row := ClusterRow{
+					Abbr: s.Abbr, M: m, Clustered: clustered,
+					StatesPct: c.StatesPct(), TransPct: c.TransPct(),
+					ExeTime: elapsed,
+				}
+				rows = append(rows, row)
+				name := "sequential"
+				if clustered {
+					name = "clustered"
+				}
+				tb.AddRow(row.Abbr, m, name, row.StatesPct, row.TransPct, row.ExeTime)
+			}
+		}
+	}
+	if w != nil {
+		tb.Render(w)
+	}
+	return rows, nil
+}

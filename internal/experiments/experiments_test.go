@@ -1,0 +1,359 @@
+package experiments
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/rex"
+)
+
+// tinyOpts keeps experiment tests fast: one dataset, small streams, the
+// short M/T lists.
+func tinyOpts() Opts {
+	o := Default()
+	o.Datasets = []string{"BRO"}
+	o.StreamSize = 8 << 10
+	o.Reps = 1
+	o.Ms = []int{1, 10, 0}
+	o.Threads = []int{1, 2}
+	o.SimilaritySample = 40
+	return o
+}
+
+func newTestRunner(t *testing.T, o Opts) *Runner {
+	t.Helper()
+	r, err := New(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestNewValidation(t *testing.T) {
+	o := Default()
+	o.Datasets = []string{"NOPE"}
+	if _, err := New(o); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+	// Zero-valued options get defaults.
+	r, err := New(Opts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.specs) != 6 {
+		t.Fatalf("specs=%d, want all six", len(r.specs))
+	}
+	if r.o.Reps != 1 || r.o.StreamSize <= 0 || len(r.o.Ms) == 0 {
+		t.Fatalf("defaults not applied: %+v", r.o)
+	}
+}
+
+func TestPaperOptsScale(t *testing.T) {
+	p := Paper()
+	d := Default()
+	if p.StreamSize <= d.StreamSize || p.Reps <= d.Reps {
+		t.Fatal("Paper() must scale up Default()")
+	}
+	if p.SimilaritySample != 0 {
+		t.Fatal("Paper() must use all patterns for Fig. 1")
+	}
+}
+
+func TestFig1(t *testing.T) {
+	r := newTestRunner(t, tinyOpts())
+	rows, err := r.Fig1(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].Abbr != "BRO" {
+		t.Fatalf("rows=%v", rows)
+	}
+	if rows[0].Similarity <= 0 || rows[0].Similarity >= 1 {
+		t.Fatalf("similarity=%f", rows[0].Similarity)
+	}
+}
+
+func TestTable1(t *testing.T) {
+	r := newTestRunner(t, tinyOpts())
+	rows, err := r.Table1(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := rows[0]
+	if row.NumREs != 217 {
+		t.Fatalf("REs=%d", row.NumREs)
+	}
+	if row.AvgStates <= 0 || row.TotStates < row.NumREs {
+		t.Fatalf("row=%+v", row)
+	}
+}
+
+func TestFig7(t *testing.T) {
+	r := newTestRunner(t, tinyOpts())
+	rows, err := r.Fig7(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// M=1 is skipped; 10 and all remain.
+	if len(rows) != 2 {
+		t.Fatalf("rows=%d", len(rows))
+	}
+	if !(rows[1].StatesPct > rows[0].StatesPct) {
+		t.Fatalf("compression must grow with M: %v", rows)
+	}
+	for _, row := range rows {
+		if row.StatesPct < row.TransPct {
+			t.Fatalf("states%% should dominate trans%%: %+v", row)
+		}
+	}
+}
+
+func TestFig8(t *testing.T) {
+	r := newTestRunner(t, tinyOpts())
+	rows, err := r.Fig8(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows=%d", len(rows))
+	}
+	for _, row := range rows {
+		if row.Times.Total() <= 0 {
+			t.Fatalf("no time for M=%d", row.M)
+		}
+	}
+}
+
+func TestTable2(t *testing.T) {
+	r := newTestRunner(t, tinyOpts())
+	rows, err := r.Table2(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].AvgActive <= 0 || rows[0].MaxActive <= 0 {
+		t.Fatalf("activity=%+v", rows[0])
+	}
+}
+
+func TestFig9(t *testing.T) {
+	r := newTestRunner(t, tinyOpts())
+	var buf bytes.Buffer
+	rows, err := r.Fig9(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows=%d", len(rows))
+	}
+	if rows[0].M != 1 || rows[0].Improvement != 1 {
+		t.Fatalf("baseline row=%+v", rows[0])
+	}
+	for _, row := range rows[1:] {
+		if row.Improvement <= 1 {
+			t.Fatalf("merging should improve throughput: %+v", row)
+		}
+	}
+	if !strings.Contains(buf.String(), "geomean") {
+		t.Fatal("summary missing")
+	}
+}
+
+func TestFig10(t *testing.T) {
+	r := newTestRunner(t, tinyOpts())
+	var buf bytes.Buffer
+	rows, err := r.Fig10(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3*2 { // Ms × Threads
+		t.Fatalf("rows=%d", len(rows))
+	}
+	if !strings.Contains(buf.String(), "Speedup") {
+		t.Fatal("summary missing")
+	}
+}
+
+func TestAblation(t *testing.T) {
+	r := newTestRunner(t, tinyOpts())
+	rows, err := r.Ablation(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows=%d", len(rows))
+	}
+	// Compression must not increase with the threshold.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].StatesPct > rows[i-1].StatesPct+1e-9 {
+			t.Fatalf("states%% increased from MinSubPath %d to %d", rows[i-1].MinSubPath, rows[i].MinSubPath)
+		}
+	}
+}
+
+func TestBaseline(t *testing.T) {
+	r := newTestRunner(t, tinyOpts())
+	rows, err := r.Baseline(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := rows[0]
+	if row.MFSAStates >= row.NFAStates {
+		t.Fatalf("MFSA should compress states: %+v", row)
+	}
+	if !row.DFAExploded && row.DFATrans <= row.MFSATrans {
+		t.Fatalf("dense DFA table should dwarf the MFSA: %+v", row)
+	}
+	if !row.DFAExploded && row.D2FATrans >= row.DFATrans {
+		t.Fatalf("D2FA should compress the dense table: %+v", row)
+	}
+}
+
+func TestAllRendersEverything(t *testing.T) {
+	o := tinyOpts()
+	o.StreamSize = 4 << 10
+	r := newTestRunner(t, o)
+	var buf bytes.Buffer
+	if err := r.All(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Fig. 1", "Table I", "Fig. 7", "Fig. 8", "Table II", "Fig. 9", "Fig. 10"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("All output lacks %q", want)
+		}
+	}
+}
+
+func TestMLabel(t *testing.T) {
+	if mLabel(0) != "all" || mLabel(-3) != "all" || mLabel(7) != "7" {
+		t.Fatal("mLabel wrong")
+	}
+}
+
+func TestRunnerCaching(t *testing.T) {
+	r := newTestRunner(t, tinyOpts())
+	if _, err := r.Table1(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.outputs) == 0 {
+		t.Fatal("no compile cached")
+	}
+	before := len(r.outputs)
+	if _, err := r.Table1(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.outputs) != before {
+		t.Fatal("cache miss on repeat")
+	}
+}
+
+func TestStreamMatchesSpec(t *testing.T) {
+	r := newTestRunner(t, tinyOpts())
+	in := r.stream(r.specs[0])
+	if len(in) != r.o.StreamSize {
+		t.Fatalf("stream size %d", len(in))
+	}
+	// Sanity: dataset patterns parse (guards generator drift).
+	for _, p := range r.specs[0].Patterns()[:10] {
+		if _, err := rex.Parse(p); err != nil {
+			t.Fatalf("pattern %q: %v", p, err)
+		}
+	}
+}
+
+func TestCCRefine(t *testing.T) {
+	r := newTestRunner(t, tinyOpts())
+	rows, err := r.CCRefine(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].Refined || !rows[1].Refined {
+		t.Fatalf("rows=%+v", rows)
+	}
+	if rows[1].States > rows[0].States {
+		t.Fatalf("refinement should not increase states: %+v", rows)
+	}
+}
+
+func TestStrideExperiment(t *testing.T) {
+	r := newTestRunner(t, tinyOpts())
+	rows, err := r.Stride(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := rows[0]
+	if row.Skipped {
+		t.Fatalf("BRO stride skipped: %+v", row)
+	}
+	if row.Pairs <= 0 || row.BaseTime <= 0 || row.StrideTime <= 0 {
+		t.Fatalf("row=%+v", row)
+	}
+}
+
+func TestClusteringExperiment(t *testing.T) {
+	o := tinyOpts()
+	o.StreamSize = 4 << 10
+	r := newTestRunner(t, o)
+	rows, err := r.Clustering(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 { // 2 Ms × 2 policies
+		t.Fatalf("rows=%d", len(rows))
+	}
+	// Clustered grouping must not compress worse at the same M.
+	for i := 0; i+1 < len(rows); i += 2 {
+		seq, clu := rows[i], rows[i+1]
+		if clu.StatesPct < seq.StatesPct-1.0 {
+			t.Fatalf("M=%d clustered %.2f%% worse than sequential %.2f%%", seq.M, clu.StatesPct, seq.StatesPct)
+		}
+	}
+}
+
+func TestDecomposeExperiment(t *testing.T) {
+	o := tinyOpts()
+	o.StreamSize = 4 << 10
+	r := newTestRunner(t, o)
+	rows, err := r.Decompose(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows=%d", len(rows))
+	}
+	hot, cold := rows[0], rows[1]
+	if !hot.HotStream || cold.HotStream {
+		t.Fatalf("row order: %+v", rows)
+	}
+	if cold.Triggered > hot.Triggered {
+		t.Fatalf("cold stream triggered more rules (%d) than hot (%d)", cold.Triggered, hot.Triggered)
+	}
+	if hot.Filterable == 0 {
+		t.Fatal("no filterable rules in BRO")
+	}
+}
+
+func TestPlots(t *testing.T) {
+	o := tinyOpts()
+	o.StreamSize = 4 << 10
+	r := newTestRunner(t, o)
+	dir := t.TempDir()
+	if err := r.Plots(dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"fig1.svg", "fig7-states.svg", "fig7-trans.svg", "fig8.svg",
+		"fig9.svg", "fig10-BRO.svg",
+	} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !strings.Contains(string(data), "<svg") {
+			t.Fatalf("%s is not SVG", name)
+		}
+	}
+}

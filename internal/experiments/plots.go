@@ -1,0 +1,204 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/svgplot"
+)
+
+// Plots regenerates the paper's figures as SVG charts in dir (the artifact
+// scripts' PDF-plot analogue): fig1.svg, fig7.svg, fig8.svg, fig9.svg and
+// one fig10-<dataset>.svg per dataset. The experiments run with the
+// Runner's options; results are cached across figures.
+func (r *Runner) Plots(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	write := func(name string, render func(f *os.File) error) error {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		if err := render(f); err != nil {
+			f.Close()
+			return fmt.Errorf("experiments: plot %s: %w", name, err)
+		}
+		return f.Close()
+	}
+
+	// Fig. 1 — similarity bars.
+	fig1, err := r.Fig1(nil)
+	if err != nil {
+		return err
+	}
+	c1 := &svgplot.BarChart{
+		Title:  "Fig. 1 — average normalized INDEL similarity",
+		YLabel: "similarity [0,1]",
+		Series: []svgplot.Series{{Name: "similarity"}},
+	}
+	for _, row := range fig1 {
+		c1.Categories = append(c1.Categories, row.Abbr)
+		c1.Series[0].Values = append(c1.Series[0].Values, row.Similarity)
+	}
+	if err := write("fig1.svg", func(f *os.File) error { return c1.Render(f) }); err != nil {
+		return err
+	}
+
+	// Fig. 7 — grouped compression bars (states and transitions charts).
+	fig7, err := r.Fig7(nil)
+	if err != nil {
+		return err
+	}
+	for _, metric := range []struct {
+		name  string
+		value func(Fig7Row) float64
+		title string
+	}{
+		{"fig7-states.svg", func(x Fig7Row) float64 { return x.StatesPct }, "Fig. 7 — state compression"},
+		{"fig7-trans.svg", func(x Fig7Row) float64 { return x.TransPct }, "Fig. 7 — transition compression"},
+	} {
+		chart := &svgplot.BarChart{Title: metric.title, YLabel: "% compression"}
+		seriesIdx := map[int]int{}
+		catIdx := map[string]int{}
+		for _, row := range fig7 {
+			if _, ok := catIdx[row.Abbr]; !ok {
+				catIdx[row.Abbr] = len(chart.Categories)
+				chart.Categories = append(chart.Categories, row.Abbr)
+			}
+			if _, ok := seriesIdx[row.M]; !ok {
+				seriesIdx[row.M] = len(chart.Series)
+				chart.Series = append(chart.Series, svgplot.Series{Name: "M=" + mLabel(row.M)})
+			}
+		}
+		for i := range chart.Series {
+			chart.Series[i].Values = make([]float64, len(chart.Categories))
+		}
+		for _, row := range fig7 {
+			chart.Series[seriesIdx[row.M]].Values[catIdx[row.Abbr]] = metric.value(row)
+		}
+		if err := write(metric.name, func(f *os.File) error { return chart.Render(f) }); err != nil {
+			return err
+		}
+	}
+
+	// Fig. 8 — total compilation time by M, log scale.
+	fig8, err := r.Fig8(nil)
+	if err != nil {
+		return err
+	}
+	c8 := &svgplot.LineChart{
+		Title:  "Fig. 8 — total compilation time",
+		XLabel: "merging factor M",
+		YLabel: "time (ms)",
+		LogY:   true,
+	}
+	sIdx := map[string]int{}
+	xIdx := map[int]int{}
+	for _, row := range fig8 {
+		if _, ok := xIdx[row.M]; !ok {
+			xIdx[row.M] = len(c8.XLabels)
+			c8.XLabels = append(c8.XLabels, mLabel(row.M))
+		}
+		if _, ok := sIdx[row.Abbr]; !ok {
+			sIdx[row.Abbr] = len(c8.Series)
+			c8.Series = append(c8.Series, svgplot.Series{Name: row.Abbr})
+		}
+	}
+	for i := range c8.Series {
+		c8.Series[i].Values = make([]float64, len(c8.XLabels))
+	}
+	for _, row := range fig8 {
+		ms := float64(row.Times.Total().Microseconds()) / 1000
+		if ms <= 0 {
+			ms = 0.001
+		}
+		c8.Series[sIdx[row.Abbr]].Values[xIdx[row.M]] = ms
+	}
+	if err := write("fig8.svg", func(f *os.File) error { return c8.Render(f) }); err != nil {
+		return err
+	}
+
+	// Fig. 9 — throughput improvement bars.
+	fig9, err := r.Fig9(nil)
+	if err != nil {
+		return err
+	}
+	c9 := &svgplot.BarChart{
+		Title:  "Fig. 9 — throughput improvement vs M=1",
+		YLabel: "improvement (×)",
+	}
+	sIdx9 := map[int]int{}
+	cIdx9 := map[string]int{}
+	for _, row := range fig9 {
+		if row.M == 1 {
+			continue
+		}
+		if _, ok := cIdx9[row.Abbr]; !ok {
+			cIdx9[row.Abbr] = len(c9.Categories)
+			c9.Categories = append(c9.Categories, row.Abbr)
+		}
+		if _, ok := sIdx9[row.M]; !ok {
+			sIdx9[row.M] = len(c9.Series)
+			c9.Series = append(c9.Series, svgplot.Series{Name: "M=" + mLabel(row.M)})
+		}
+	}
+	for i := range c9.Series {
+		c9.Series[i].Values = make([]float64, len(c9.Categories))
+	}
+	for _, row := range fig9 {
+		if row.M == 1 {
+			continue
+		}
+		c9.Series[sIdx9[row.M]].Values[cIdx9[row.Abbr]] = row.Improvement
+	}
+	if err := write("fig9.svg", func(f *os.File) error { return c9.Render(f) }); err != nil {
+		return err
+	}
+
+	// Fig. 10 — per-dataset execution-time lines over the thread sweep.
+	fig10, err := r.Fig10(nil)
+	if err != nil {
+		return err
+	}
+	perDataset := map[string][]Fig10Row{}
+	for _, row := range fig10 {
+		perDataset[row.Abbr] = append(perDataset[row.Abbr], row)
+	}
+	for abbr, rows := range perDataset {
+		chart := &svgplot.LineChart{
+			Title:  "Fig. 10 — " + abbr + " execution time",
+			XLabel: "#threads",
+			YLabel: "time (ms)",
+			LogY:   true,
+		}
+		tIdx := map[int]int{}
+		mIdx := map[int]int{}
+		for _, row := range rows {
+			if _, ok := tIdx[row.Threads]; !ok {
+				tIdx[row.Threads] = len(chart.XLabels)
+				chart.XLabels = append(chart.XLabels, fmt.Sprintf("%d", row.Threads))
+			}
+			if _, ok := mIdx[row.M]; !ok {
+				mIdx[row.M] = len(chart.Series)
+				chart.Series = append(chart.Series, svgplot.Series{Name: "M=" + mLabel(row.M)})
+			}
+		}
+		for i := range chart.Series {
+			chart.Series[i].Values = make([]float64, len(chart.XLabels))
+		}
+		for _, row := range rows {
+			ms := float64(row.ExeTime.Microseconds()) / 1000
+			if ms <= 0 {
+				ms = 0.001
+			}
+			chart.Series[mIdx[row.M]].Values[tIdx[row.Threads]] = ms
+		}
+		name := "fig10-" + abbr + ".svg"
+		if err := write(name, func(f *os.File) error { return chart.Render(f) }); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"io"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/metrics"
+)
+
+// StrideRow compares 1-stride and 2-stride iMFAnt on one dataset.
+type StrideRow struct {
+	Abbr string
+	// Pairs is the fused-pair table size (§VII's k-combinations cost).
+	Pairs int
+	// Trans is the base MFSA transition count for comparison.
+	Trans int
+	// BaseTime and StrideTime are single-thread scan latencies (M = all).
+	BaseTime, StrideTime time.Duration
+	// Speedup is BaseTime / StrideTime.
+	Speedup float64
+	// Skipped is set when the pair table exceeds its bound.
+	Skipped bool
+}
+
+// Stride evaluates the multi-striding optimization of the related work
+// (§VII): executing the fully merged MFSA two symbols per step with fused
+// transition pairs, versus the baseline iMFAnt. It reports the pair-table
+// blow-up alongside the speedup — the §VII trade-off.
+func (r *Runner) Stride(w io.Writer) ([]StrideRow, error) {
+	var rows []StrideRow
+	tb := metrics.NewTable("Multi-stride — 2-stride iMFAnt vs baseline (M = all)",
+		"Dataset", "Trans", "Pairs", "BaseTime", "StrideTime", "Speedup")
+	for _, s := range r.specs {
+		out, err := r.compiled(s, 0)
+		if err != nil {
+			return nil, err
+		}
+		z := out.MFSAs[0]
+		in := r.stream(s)
+		row := StrideRow{Abbr: s.Abbr, Trans: z.NumTrans()}
+
+		p := engine.NewProgram(z)
+		runner := engine.NewRunner(p)
+		start := time.Now()
+		for rep := 0; rep < r.o.Reps; rep++ {
+			runner.Run(in, engine.Config{})
+		}
+		row.BaseTime = time.Since(start) / time.Duration(r.o.Reps)
+
+		sp, err := engine.NewStrideProgram(z)
+		if err != nil {
+			row.Skipped = true
+			rows = append(rows, row)
+			tb.AddRow(row.Abbr, row.Trans, "blow-up", row.BaseTime, "-", "-")
+			continue
+		}
+		row.Pairs = sp.NumPairs()
+		srunner := engine.NewStrideRunner(sp)
+		start = time.Now()
+		for rep := 0; rep < r.o.Reps; rep++ {
+			srunner.Run(in, engine.Config{})
+		}
+		row.StrideTime = time.Since(start) / time.Duration(r.o.Reps)
+		row.Speedup = float64(row.BaseTime) / float64(row.StrideTime)
+		rows = append(rows, row)
+		tb.AddRow(row.Abbr, row.Trans, row.Pairs, row.BaseTime, row.StrideTime, row.Speedup)
+	}
+	if w != nil {
+		tb.Render(w)
+	}
+	return rows, nil
+}

@@ -1,0 +1,155 @@
+// Package metrics computes the evaluation quantities of §VI — compression
+// percentages, throughput, speedups and geometric means — and renders
+// aligned text tables for the experiment harness.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"time"
+
+	"repro/internal/mfsa"
+	"repro/internal/nfa"
+)
+
+// Compression aggregates the state/transition counts before and after
+// merging (§VI-A).
+type Compression struct {
+	StatesBefore, StatesAfter int
+	TransBefore, TransAfter   int
+}
+
+// StatesPct returns the state compression percentage
+// (Σ#states_a − Σ#states_z) / Σ#states_a · 100.
+func (c Compression) StatesPct() float64 {
+	if c.StatesBefore == 0 {
+		return 0
+	}
+	return float64(c.StatesBefore-c.StatesAfter) / float64(c.StatesBefore) * 100
+}
+
+// TransPct returns the transition compression percentage.
+func (c Compression) TransPct() float64 {
+	if c.TransBefore == 0 {
+		return 0
+	}
+	return float64(c.TransBefore-c.TransAfter) / float64(c.TransBefore) * 100
+}
+
+// MeasureCompression compares a set of standalone FSAs with the MFSAs they
+// were merged into.
+func MeasureCompression(fsas []*nfa.NFA, zs []*mfsa.MFSA) Compression {
+	var c Compression
+	for _, a := range fsas {
+		c.StatesBefore += a.NumStates
+		c.TransBefore += len(a.Trans)
+	}
+	for _, z := range zs {
+		c.StatesAfter += z.NumStates
+		c.TransAfter += z.NumTrans()
+	}
+	return c
+}
+
+// Throughput computes the §VI-C metric
+//
+//	th = #MFSA · M · Dsize / Exe_time
+//
+// in RE·bytes per second: the number of REs processed against the whole
+// input, per unit time.
+func Throughput(numMFSA, m, dataSize int, exeTime time.Duration) float64 {
+	if exeTime <= 0 {
+		return 0
+	}
+	return float64(numMFSA) * float64(m) * float64(dataSize) / exeTime.Seconds()
+}
+
+// GeoMean returns the geometric mean of strictly positive values; zero or
+// negative entries are skipped. It returns 0 for an empty input.
+func GeoMean(xs []float64) float64 {
+	sum, n := 0.0, 0
+	for _, x := range xs {
+		if x > 0 {
+			sum += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// Table accumulates rows and renders them with aligned columns, echoing the
+// row/series layout of the paper's tables and figures.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; each cell is formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		case time.Duration:
+			row[i] = formatDuration(v)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	var sb strings.Builder
+	for i, h := range t.Headers {
+		fmt.Fprintf(&sb, "%-*s  ", widths[i], h)
+	}
+	line := strings.TrimRight(sb.String(), " ")
+	fmt.Fprintln(w, line)
+	fmt.Fprintln(w, strings.Repeat("-", len(line)))
+	for _, row := range t.rows {
+		sb.Reset()
+		for i, c := range row {
+			fmt.Fprintf(&sb, "%-*s  ", widths[i], c)
+		}
+		fmt.Fprintln(w, strings.TrimRight(sb.String(), " "))
+	}
+}
+
+func formatDuration(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.3fms", float64(d.Microseconds())/1000)
+	default:
+		return fmt.Sprintf("%.1fµs", float64(d.Nanoseconds())/1000)
+	}
+}

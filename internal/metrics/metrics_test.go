@@ -1,0 +1,98 @@
+package metrics
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/mfsa"
+	"repro/internal/nfa"
+)
+
+func TestCompressionPct(t *testing.T) {
+	c := Compression{StatesBefore: 200, StatesAfter: 50, TransBefore: 100, TransAfter: 75}
+	if got := c.StatesPct(); got != 75 {
+		t.Fatalf("states pct %f", got)
+	}
+	if got := c.TransPct(); got != 25 {
+		t.Fatalf("trans pct %f", got)
+	}
+	var zero Compression
+	if zero.StatesPct() != 0 || zero.TransPct() != 0 {
+		t.Fatal("zero baseline must yield 0")
+	}
+}
+
+func TestMeasureCompression(t *testing.T) {
+	a, err := nfa.Compile("abcx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := nfa.Compile("abcy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	z, err := mfsa.Merge([]*nfa.NFA{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := MeasureCompression([]*nfa.NFA{a, b}, []*mfsa.MFSA{z})
+	if c.StatesBefore != a.NumStates+b.NumStates || c.StatesAfter != z.NumStates {
+		t.Fatalf("compression %+v", c)
+	}
+	if c.StatesPct() <= 0 {
+		t.Fatalf("shared-prefix merge should compress, got %f%%", c.StatesPct())
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	// 2 MFSAs × M=5 × 1000 bytes in 1s → 10000 RE·B/s.
+	if got := Throughput(2, 5, 1000, time.Second); got != 10000 {
+		t.Fatalf("throughput %f", got)
+	}
+	if Throughput(1, 1, 1, 0) != 0 {
+		t.Fatal("zero time must yield 0")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{2, 8}); math.Abs(got-4) > 1e-12 {
+		t.Fatalf("geomean %f, want 4", got)
+	}
+	if got := GeoMean([]float64{3, 0, -1}); math.Abs(got-3) > 1e-12 {
+		t.Fatalf("geomean with skips %f, want 3", got)
+	}
+	if GeoMean(nil) != 0 {
+		t.Fatal("empty geomean must be 0")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Fig. X", "Dataset", "Value", "Time")
+	tb.AddRow("BRO", 71.95, 1500*time.Millisecond)
+	tb.AddRow("DS9", 3.0, 250*time.Microsecond)
+	var buf bytes.Buffer
+	tb.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"Fig. X", "Dataset", "BRO", "71.95", "1.500s", "250.0µs", "---"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output lacks %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("lines=%d:\n%s", len(lines), out)
+	}
+}
+
+func TestTableDurationFormats(t *testing.T) {
+	tb := NewTable("", "d")
+	tb.AddRow(2 * time.Millisecond)
+	var buf bytes.Buffer
+	tb.Render(&buf)
+	if !strings.Contains(buf.String(), "2.000ms") {
+		t.Fatalf("got %q", buf.String())
+	}
+}

@@ -1,0 +1,139 @@
+package mfsa
+
+import (
+	"math/bits"
+	"strconv"
+	"strings"
+)
+
+// BelongSet is a set over merged-FSA identifiers R = {0, …, NumFSAs−1},
+// stored as a bitmap. It implements both the per-transition belonging vector
+// (bel in Fig. 2) and the activation-function values J(q) manipulated by the
+// iMFAnt engine (§III-B, §V). The zero-length set is empty.
+type BelongSet []uint64
+
+// NewBelongSet returns an empty set able to hold n identifiers.
+func NewBelongSet(n int) BelongSet {
+	return make(BelongSet, (n+63)/64)
+}
+
+// SingleBelong returns a set of capacity n containing only id.
+func SingleBelong(n, id int) BelongSet {
+	s := NewBelongSet(n)
+	s.Set(id)
+	return s
+}
+
+// Set inserts id.
+func (s BelongSet) Set(id int) { s[id>>6] |= 1 << (uint(id) & 63) }
+
+// Unset removes id.
+func (s BelongSet) Unset(id int) { s[id>>6] &^= 1 << (uint(id) & 63) }
+
+// Has reports whether id is in the set.
+func (s BelongSet) Has(id int) bool { return s[id>>6]&(1<<(uint(id)&63)) != 0 }
+
+// Any reports whether the set is non-empty.
+func (s BelongSet) Any() bool {
+	for _, w := range s {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Count returns the number of identifiers in the set.
+func (s BelongSet) Count() int {
+	c := 0
+	for _, w := range s {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Clear empties the set in place.
+func (s BelongSet) Clear() {
+	for i := range s {
+		s[i] = 0
+	}
+}
+
+// Clone returns an independent copy.
+func (s BelongSet) Clone() BelongSet {
+	c := make(BelongSet, len(s))
+	copy(c, s)
+	return c
+}
+
+// OrInto sets dst = dst ∪ s. dst must have the same capacity.
+func (s BelongSet) OrInto(dst BelongSet) {
+	for i, w := range s {
+		dst[i] |= w
+	}
+}
+
+// AndInto sets dst = dst ∩ s.
+func (s BelongSet) AndInto(dst BelongSet) {
+	for i := range dst {
+		dst[i] &= s[i]
+	}
+}
+
+// IntersectsWith reports whether s ∩ t ≠ ∅ without allocating — the
+// J(q1) ∩ J(q2) ≠ ∅ validity test of §III-B.
+func (s BelongSet) IntersectsWith(t BelongSet) bool {
+	for i, w := range s {
+		if w&t[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Equal reports whether s and t contain the same identifiers.
+func (s BelongSet) Equal(t BelongSet) bool {
+	if len(s) != len(t) {
+		return false
+	}
+	for i, w := range s {
+		if w != t[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ForEach calls fn with every identifier in increasing order.
+func (s BelongSet) ForEach(fn func(id int)) {
+	for i, w := range s {
+		for w != 0 {
+			fn(i*64 + bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+}
+
+// IDs returns the identifiers in increasing order.
+func (s BelongSet) IDs() []int {
+	out := make([]int, 0, s.Count())
+	s.ForEach(func(id int) { out = append(out, id) })
+	return out
+}
+
+// String renders the set as {i,j,…} with 1-based identifiers, matching the
+// paper's FSA numbering.
+func (s BelongSet) String() string {
+	var sb strings.Builder
+	sb.WriteByte('{')
+	first := true
+	s.ForEach(func(id int) {
+		if !first {
+			sb.WriteByte(',')
+		}
+		first = false
+		sb.WriteString(strconv.Itoa(id + 1))
+	})
+	sb.WriteByte('}')
+	return sb.String()
+}

@@ -1,0 +1,58 @@
+package mfsa
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteDOT renders the MFSA as a Graphviz digraph for inspection: initial
+// states are drawn as diamonds (labeled with the rules they start),
+// accepting states as double circles, and every edge carries its symbol set
+// and belonging vector — the visual analogue of Fig. 2's bel annotations.
+// Shared transitions (belonging to more than one rule) are drawn bold.
+func WriteDOT(w io.Writer, z *MFSA) error {
+	if _, err := fmt.Fprintf(w, "digraph mfsa {\n  rankdir=LR;\n  node [fontsize=10];\n  edge [fontsize=9];\n"); err != nil {
+		return err
+	}
+	for q := 0; q < z.NumStates; q++ {
+		attrs := "shape=circle"
+		label := fmt.Sprintf("%d", q)
+		if z.FinalMask[q].Any() {
+			attrs = "shape=doublecircle"
+		}
+		if z.InitMask[q].Any() {
+			attrs = "shape=diamond"
+			label += "\\nstart " + z.InitMask[q].String()
+		}
+		if z.FinalMask[q].Any() {
+			label += "\\naccept " + z.FinalMask[q].String()
+		}
+		if _, err := fmt.Fprintf(w, "  n%d [%s, label=\"%s\"];\n", q, attrs, label); err != nil {
+			return err
+		}
+	}
+	for i, t := range z.Trans {
+		style := ""
+		if z.Bel[i].Count() > 1 {
+			style = ", penwidth=2"
+		}
+		if _, err := fmt.Fprintf(w, "  n%d -> n%d [label=\"%s %s\"%s];\n",
+			t.From, t.To, escapeDOT(t.Label.String()), z.Bel[i].String(), style); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}
+
+func escapeDOT(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"', '\\':
+			out = append(out, '\\')
+		}
+		out = append(out, s[i])
+	}
+	return string(out)
+}

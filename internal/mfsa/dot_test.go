@@ -1,0 +1,39 @@
+package mfsa
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteDOT(t *testing.T) {
+	z, _ := mustMerge(t, "^abc", "abd")
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, z); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"digraph mfsa", "rankdir=LR", "doublecircle", "diamond",
+		"start", "accept", "penwidth=2", "->",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output lacks %q", want)
+		}
+	}
+	// Every transition appears as an edge line.
+	if got := strings.Count(out, "->"); got != z.NumTrans() {
+		t.Fatalf("edges=%d, want %d", got, z.NumTrans())
+	}
+}
+
+func TestWriteDOTEscaping(t *testing.T) {
+	z, _ := mustMerge(t, `\\x`)
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, z); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `\\\\`) {
+		t.Fatalf("backslash not escaped: %s", buf.String())
+	}
+}

@@ -1,0 +1,319 @@
+package mfsa
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/charset"
+	"repro/internal/nfa"
+)
+
+// Merge folds a group of optimized FSAs into a single MFSA, implementing
+// Algorithm 1 (MERGE_MULTI) of §III-A. The first automaton is copied as-is;
+// each subsequent automaton a is compared against the evolving MFSA z: the
+// search for common sub-paths yields Merging Structures — partial
+// isomorphisms between sub-paths of a and of z with identical labels — which
+// are combined into one injective relabeling ρ. States of a involved in a
+// Merging Structure are relabeled to the matching MFSA states, the remaining
+// ones receive fresh non-overlapping labels, and every transition of a
+// either extends the belonging set of the identical MFSA transition or is
+// appended.
+//
+// The resulting MFSA satisfies the invariant that, for every j, the
+// sub-automaton restricted to transitions belonging to j is isomorphic to
+// the input FSA j (witnessed by FSAInfo.Embed and checked by Validate), so
+// no transition is removed nor changed and the initial morphologies are
+// preserved.
+//
+// Inputs must be ε-free with no pending loops (run nfa.Optimize first).
+func Merge(fsas []*nfa.NFA) (*MFSA, error) {
+	return MergeWith(fsas, MergeOptions{})
+}
+
+// MergeOptions tunes the Merging Structure search. The zero value is the
+// default configuration used by Merge.
+type MergeOptions struct {
+	// MinSubPath is the minimum number of consecutive equally-labeled
+	// transitions a Merging Structure must cover to be applied (default
+	// minSubPathLen). 1 merges isolated same-label arcs too, maximizing
+	// compression at the cost of conflating unrelated rules into a dense
+	// core; larger values merge only longer shared sub-patterns. The
+	// ablation benchmarks sweep this knob.
+	MinSubPath int
+}
+
+// MergeWith is Merge with explicit search options.
+func MergeWith(fsas []*nfa.NFA, opts MergeOptions) (*MFSA, error) {
+	if opts.MinSubPath <= 0 {
+		opts.MinSubPath = minSubPathLen
+	}
+	if len(fsas) == 0 {
+		return nil, fmt.Errorf("mfsa: cannot merge an empty FSA group")
+	}
+	if len(fsas) > maxMergedFSAs {
+		return nil, fmt.Errorf("mfsa: merging factor %d exceeds limit %d", len(fsas), maxMergedFSAs)
+	}
+	for _, a := range fsas {
+		if len(a.Eps) > 0 {
+			return nil, fmt.Errorf("mfsa: FSA %q still has ε-arcs; run the single-FSA optimization first", a.Pattern)
+		}
+		if len(a.Loops) > 0 {
+			return nil, fmt.Errorf("mfsa: FSA %q still has pending loops; run the single-FSA optimization first", a.Pattern)
+		}
+	}
+	z := &MFSA{byKey: make(map[transKey]int)}
+	capFSAs := len(fsas)
+	for j, a := range fsas {
+		var rho map[StateID]StateID
+		if j == 0 {
+			rho = make(map[StateID]StateID) // line 3: copy first automaton
+		} else {
+			rho = findMapping(z, a, opts.MinSubPath) // lines 4–19: MS search
+		}
+		z.apply(a, rho, j, capFSAs) // lines 20–21: relabel + generateNew
+	}
+	z.sortCOO()
+	return z, nil
+}
+
+// maxMergedFSAs bounds a single group's merging factor; BelongSet and the
+// engines scale linearly in it, and published rulesets stay ≤ 300 REs.
+const maxMergedFSAs = 1 << 16
+
+// MergeGroups splits the ruleset into ⌈N/M⌉ sequentially-sampled groups of
+// merging factor m and merges each, reproducing the K = ⌈N/M⌉ MFSAs of
+// Fig. 4. m ≤ 0 (the paper's "M = all") merges the whole set into one MFSA.
+func MergeGroups(fsas []*nfa.NFA, m int) ([]*MFSA, error) {
+	if m <= 0 || m > len(fsas) {
+		m = len(fsas)
+	}
+	out := make([]*MFSA, 0, (len(fsas)+m-1)/m)
+	for i := 0; i < len(fsas); i += m {
+		end := i + m
+		if end > len(fsas) {
+			end = len(fsas)
+		}
+		z, err := Merge(fsas[i:end])
+		if err != nil {
+			return nil, err
+		}
+		// Re-number rule ids to their position in the full ruleset.
+		for k := range z.FSAs {
+			z.FSAs[k].RuleID = i + k
+		}
+		out = append(out, z)
+	}
+	return out, nil
+}
+
+// minSubPathLen is the minimum number of consecutive equally-labeled
+// transitions a Merging Structure must cover to be applied. Algorithm 1
+// merges common sub-paths — runs of transitions describing identical
+// sub-languages — not isolated same-label arcs between unrelated REs;
+// requiring two keeps the compression in line with the paper's §VI-A
+// results (an unrestricted single-arc merge collapses almost the whole
+// ruleset onto an alphabet-sized core).
+const minSubPathLen = 2
+
+// findMapping searches z and a for common sub-paths (the Merging Structure
+// loop of Algorithm 1, lines 5–19) and combines all the non-conflicting
+// structures into one injective partial relabeling ρ : states(a) →
+// states(z).
+//
+// Every pair of equally-labeled transitions (sets X for single characters
+// and Y for character classes — the label comparison is exact set equality
+// in both cases, Eq. 1) seeds a candidate Merging Structure; each seed is
+// extended forward transition-by-transition while subsequent labels keep
+// matching (lines 11–16) and the pairs stay consistent with ρ and with its
+// inverse (the relabeling must not overlap existing MFSA states, outcome
+// (a) of §III-A). A structure is applied only when it covers at least
+// minSubPathLen transitions.
+func findMapping(z *MFSA, a *nfa.NFA, minSubPath int) map[StateID]StateID {
+	// Bucket the MFSA transitions by label for O(1) candidate lookup.
+	buckets := make(map[charset.Set][]int32, len(z.Trans))
+	for i, t := range z.Trans {
+		buckets[t.Label] = append(buckets[t.Label], int32(i))
+	}
+	zOut := z.OutTrans()
+	aOut := make([][]int32, a.NumStates)
+	for i, t := range a.Trans {
+		aOut[t.From] = append(aOut[t.From], int32(i))
+	}
+
+	rho := make(map[StateID]StateID)
+	rhoInv := make(map[StateID]StateID)
+	// trial holds the Merging Structure being explored, overlaying rho.
+	trial := make(map[StateID]StateID)
+	trialInv := make(map[StateID]StateID)
+	trialTrans := 0
+
+	// canPair reports whether mapping ap→zp is consistent with both the
+	// committed and the trial mapping, and whether it is new.
+	canPair := func(ap, zp StateID) (ok, fresh bool) {
+		if cur, mapped := rho[ap]; mapped {
+			return cur == zp, false
+		}
+		if cur, mapped := trial[ap]; mapped {
+			return cur == zp, false
+		}
+		if _, taken := rhoInv[zp]; taken {
+			return false, false
+		}
+		if _, taken := trialInv[zp]; taken {
+			return false, false
+		}
+		return true, true
+	}
+	propose := func(ap, zp StateID) {
+		trial[ap] = zp
+		trialInv[zp] = ap
+	}
+
+	// extend grows the trial structure forward from a paired state,
+	// pairing outgoing transitions with identical labels (the while loop
+	// of lines 11–16, generalized to branching paths).
+	var extend func(ap, zp StateID)
+	extend = func(ap, zp StateID) {
+		for _, ai := range aOut[ap] {
+			ta := a.Trans[ai]
+			for _, zi := range zOut[zp] {
+				tz := z.Trans[zi]
+				if !tz.Label.Equal(ta.Label) {
+					continue
+				}
+				ok, fresh := canPair(ta.To, tz.To)
+				if !ok {
+					continue
+				}
+				if fresh {
+					propose(ta.To, tz.To)
+					trialTrans++
+					extend(ta.To, tz.To)
+				} else {
+					trialTrans++
+				}
+				break // first consistent continuation per a-transition
+			}
+		}
+	}
+
+	// Deterministic seed order: iterate a's transitions in COO order, and
+	// the matching MFSA transitions in index order.
+	order := make([]int, len(a.Trans))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(x, y int) bool {
+		p, q := a.Trans[order[x]], a.Trans[order[y]]
+		if p.From != q.From {
+			return p.From < q.From
+		}
+		return p.To < q.To
+	})
+	for _, ai := range order {
+		ta := a.Trans[ai]
+		if _, done := rho[ta.From]; done {
+			if _, done2 := rho[ta.To]; done2 {
+				continue
+			}
+		}
+		for _, zi := range buckets[ta.Label] {
+			tz := z.Trans[zi]
+			okF, freshF := canPair(ta.From, tz.From)
+			if !okF {
+				continue
+			}
+			okT, _ := canPair(ta.To, tz.To)
+			if !okT || (ta.From == ta.To) != (tz.From == tz.To) {
+				continue
+			}
+			// Explore a trial Merging Structure from this seed.
+			if freshF {
+				propose(ta.From, tz.From)
+			}
+			if _, mapped := trial[ta.To]; !mapped {
+				if _, mapped := rho[ta.To]; !mapped && ta.To != ta.From {
+					propose(ta.To, tz.To)
+				}
+			}
+			trialTrans = 1
+			extend(ta.To, tz.To)
+			if trialTrans >= minSubPath {
+				for ap, zp := range trial {
+					rho[ap] = zp
+					rhoInv[zp] = ap
+				}
+			}
+			clear(trial)
+			clear(trialInv)
+			trialTrans = 0
+			if _, done := rho[ta.From]; done {
+				break
+			}
+		}
+	}
+	return rho
+}
+
+// apply relabels a through ρ (fresh labels for unmapped states) and updates
+// the MFSA with a's states, transitions, initial and final sets, recording
+// the embedding witness.
+func (z *MFSA) apply(a *nfa.NFA, rho map[StateID]StateID, j, capFSAs int) {
+	embed := make([]StateID, a.NumStates)
+	for q := StateID(0); q < StateID(a.NumStates); q++ {
+		if zq, ok := rho[q]; ok {
+			embed[q] = zq
+		} else {
+			embed[q] = z.newState()
+		}
+	}
+	z.ensureMaskCapacity(capFSAs)
+	for _, t := range a.Trans {
+		z.addTransition(embed[t.From], embed[t.To], t.Label, j, capFSAs)
+	}
+	info := FSAInfo{
+		ID:          j,
+		RuleID:      a.ID,
+		Pattern:     a.Pattern,
+		Init:        embed[a.Start],
+		AnchorStart: a.AnchorStart,
+		AnchorEnd:   a.AnchorEnd,
+		NumStates:   a.NumStates,
+		NumTrans:    len(a.Trans),
+		Embed:       embed,
+	}
+	z.InitMask[info.Init].Set(j)
+	for _, f := range a.Finals {
+		zf := embed[f]
+		info.Finals = append(info.Finals, zf)
+		z.FinalMask[zf].Set(j)
+	}
+	sort.Slice(info.Finals, func(x, y int) bool { return info.Finals[x] < info.Finals[y] })
+	z.FSAs = append(z.FSAs, info)
+}
+
+// MergeGrouped merges explicit rule groups — each a list of indices into
+// fsas — producing one MFSA per group. It supports grouping policies beyond
+// the paper's sequential sampling, such as the similarity clustering of the
+// future-work section. Rule ids are set to the original ruleset indices.
+func MergeGrouped(fsas []*nfa.NFA, groups [][]int) ([]*MFSA, error) {
+	out := make([]*MFSA, 0, len(groups))
+	for gi, group := range groups {
+		sel := make([]*nfa.NFA, len(group))
+		for k, idx := range group {
+			if idx < 0 || idx >= len(fsas) {
+				return nil, fmt.Errorf("mfsa: group %d references rule %d of %d", gi, idx, len(fsas))
+			}
+			sel[k] = fsas[idx]
+		}
+		z, err := Merge(sel)
+		if err != nil {
+			return nil, err
+		}
+		for k := range z.FSAs {
+			z.FSAs[k].RuleID = group[k]
+		}
+		out = append(out, z)
+	}
+	return out, nil
+}

@@ -1,0 +1,165 @@
+// Package mfsa implements the paper's primary contribution: the Multi-RE
+// Finite State Automaton model z = (Q, Σ, Δ, I, F, J, R) of §III-B and the
+// merging-based optimization procedure (Algorithm 1, §III-A) that folds a
+// set of standard FSAs sharing morphologically identical sub-paths into a
+// single MFSA.
+package mfsa
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/charset"
+	"repro/internal/nfa"
+)
+
+// StateID identifies a state of the MFSA.
+type StateID = nfa.StateID
+
+// Transition is one labeled MFSA arc. Its belonging set lives in the
+// parallel Bel slice of the MFSA (the bel vector of Fig. 2).
+type Transition struct {
+	From, To StateID
+	Label    charset.Set
+}
+
+// FSAInfo records the per-merged-FSA metadata the activation function needs:
+// where FSA j starts and accepts inside the MFSA, its anchors, and its
+// provenance.
+type FSAInfo struct {
+	ID          int    // index within the merged group (identifier j ∈ R)
+	RuleID      int    // index of the RE within the whole ruleset
+	Pattern     string // source RE
+	Init        StateID
+	Finals      []StateID
+	AnchorStart bool
+	AnchorEnd   bool
+	NumStates   int // states of the standalone optimized FSA
+	NumTrans    int // transitions of the standalone optimized FSA
+	// Embed maps every state of the standalone FSA to its MFSA state,
+	// i.e. the relabeling ρ applied when the FSA was merged in. It is the
+	// witness of the isomorphic-embedding invariant checked by Validate.
+	Embed []StateID
+}
+
+// MFSA is a Multi-RE finite state automaton. Build one with Merge; the zero
+// value is not useful.
+//
+// The transition storage is the COO adjacency layout of Fig. 2: Trans[i]
+// holds (row, col, idx) and Bel[i] the belonging vector entry. InitMask and
+// FinalMask fold the per-FSA I and F sets into per-state bitmaps so that the
+// iMFAnt engine can evaluate the activation-function update rules
+// (Eqs. 4–6) with word operations.
+type MFSA struct {
+	NumStates int
+	Trans     []Transition
+	Bel       []BelongSet // parallel to Trans
+	FSAs      []FSAInfo   // the merged-FSA identifier set R
+
+	// InitMask[q] has bit j set when q is the initial state of FSA j.
+	InitMask []BelongSet
+	// FinalMask[q] has bit j set when q is a final state of FSA j.
+	FinalMask []BelongSet
+
+	// byKey indexes transitions by (from, to, label) during construction.
+	byKey map[transKey]int
+}
+
+type transKey struct {
+	from, to StateID
+	label    charset.Set
+}
+
+// NumFSAs returns |R|, the number of merged FSAs (the merging factor M of
+// the group).
+func (z *MFSA) NumFSAs() int { return len(z.FSAs) }
+
+// NumTrans returns the number of distinct transitions.
+func (z *MFSA) NumTrans() int { return len(z.Trans) }
+
+// CCLen returns the total character-class length over proper CC-labeled
+// transitions, the Table I metric (dot-like labels wider than half the
+// alphabet are excluded, as in nfa.CCLen).
+func (z *MFSA) CCLen() int {
+	t := 0
+	for _, tr := range z.Trans {
+		if l := tr.Label.Len(); l > 1 && l <= 128 {
+			t += l
+		}
+	}
+	return t
+}
+
+// String summarizes the automaton.
+func (z *MFSA) String() string {
+	return fmt.Sprintf("MFSA{R=%d states=%d trans=%d}", z.NumFSAs(), z.NumStates, len(z.Trans))
+}
+
+func (z *MFSA) newState() StateID {
+	id := StateID(z.NumStates)
+	z.NumStates++
+	return id
+}
+
+// ensureMaskCapacity grows the per-state masks to cover all current states
+// with word capacity for n FSAs.
+func (z *MFSA) ensureMaskCapacity(n int) {
+	for len(z.InitMask) < z.NumStates {
+		z.InitMask = append(z.InitMask, NewBelongSet(n))
+		z.FinalMask = append(z.FinalMask, NewBelongSet(n))
+	}
+}
+
+// addTransition inserts (from → to on label) for FSA j, either extending the
+// belonging of the identical existing transition or appending a new one —
+// the update step of Algorithm 1 (line 21).
+func (z *MFSA) addTransition(from, to StateID, label charset.Set, j, capFSAs int) {
+	k := transKey{from, to, label}
+	if i, ok := z.byKey[k]; ok {
+		z.Bel[i].Set(j)
+		return
+	}
+	z.byKey[k] = len(z.Trans)
+	z.Trans = append(z.Trans, Transition{from, to, label})
+	z.Bel = append(z.Bel, SingleBelong(capFSAs, j))
+}
+
+// sortCOO orders transitions row-major and rebuilds the index, yielding the
+// canonical COO layout.
+func (z *MFSA) sortCOO() {
+	idx := make([]int, len(z.Trans))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		x, y := z.Trans[idx[a]], z.Trans[idx[b]]
+		if x.From != y.From {
+			return x.From < y.From
+		}
+		if x.To != y.To {
+			return x.To < y.To
+		}
+		return x.Label.Min() < y.Label.Min()
+	})
+	trans := make([]Transition, len(z.Trans))
+	bel := make([]BelongSet, len(z.Bel))
+	for newI, oldI := range idx {
+		trans[newI] = z.Trans[oldI]
+		bel[newI] = z.Bel[oldI]
+	}
+	z.Trans, z.Bel = trans, bel
+	z.byKey = make(map[transKey]int, len(trans))
+	for i, t := range trans {
+		z.byKey[transKey{t.From, t.To, t.Label}] = i
+	}
+}
+
+// OutTrans returns, for every state, the indices of its outgoing
+// transitions. Used by the merge search and the engines' preprocessing.
+func (z *MFSA) OutTrans() [][]int32 {
+	out := make([][]int32, z.NumStates)
+	for i, t := range z.Trans {
+		out[t.From] = append(out[t.From], int32(i))
+	}
+	return out
+}

@@ -1,0 +1,139 @@
+package mfsa
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/nfa"
+)
+
+// Validate checks the structural correctness invariants of an MFSA against
+// the FSA group it was merged from (§III-A: "the morphology of initial FSAs
+// is respected, and no transition is removed nor changed"):
+//
+//  1. every embedding ρ_j is injective;
+//  2. for every transition (p →c q) of FSA j, the MFSA contains
+//     (ρ_j(p) →c ρ_j(q)) with j in its belonging set;
+//  3. the MFSA has no belonging-j transition outside the image of ρ_j;
+//  4. initial and final masks agree with ρ_j applied to FSA j's start and
+//     final states, and anchors are preserved.
+//
+// Together these guarantee that the belonging-j sub-automaton recognizes
+// exactly L(a_j), which is the property the activation function relies on.
+func Validate(z *MFSA, originals []*nfa.NFA) error {
+	if len(originals) != len(z.FSAs) {
+		return fmt.Errorf("mfsa: validate: %d originals vs %d merged FSAs", len(originals), len(z.FSAs))
+	}
+	perFSACount := make([]int, len(z.FSAs))
+	for i := range z.Trans {
+		z.Bel[i].ForEach(func(j int) { perFSACount[j]++ })
+	}
+	for j, a := range originals {
+		info := z.FSAs[j]
+		if len(info.Embed) != a.NumStates {
+			return fmt.Errorf("mfsa: FSA %d: embedding covers %d states, original has %d", j, len(info.Embed), a.NumStates)
+		}
+		// (1) injectivity.
+		seen := make(map[StateID]StateID, a.NumStates)
+		for q, zq := range info.Embed {
+			if zq < 0 || int(zq) >= z.NumStates {
+				return fmt.Errorf("mfsa: FSA %d: state %d embedded out of range (%d)", j, q, zq)
+			}
+			if prev, dup := seen[zq]; dup {
+				return fmt.Errorf("mfsa: FSA %d: states %d and %d both embed to %d", j, prev, q, zq)
+			}
+			seen[zq] = StateID(q)
+		}
+		// (2) every original transition present with belonging j.
+		for _, t := range a.Trans {
+			k := transKey{info.Embed[t.From], info.Embed[t.To], t.Label}
+			i, ok := z.byKey[k]
+			if !ok {
+				return fmt.Errorf("mfsa: FSA %d: transition %d→%d lost in merge", j, t.From, t.To)
+			}
+			if !z.Bel[i].Has(j) {
+				return fmt.Errorf("mfsa: FSA %d: transition %d→%d lacks belonging", j, t.From, t.To)
+			}
+		}
+		// (3) no extra belonging-j transitions.
+		if perFSACount[j] != len(a.Trans) {
+			return fmt.Errorf("mfsa: FSA %d: %d belonging transitions, original has %d", j, perFSACount[j], len(a.Trans))
+		}
+		// (4) initial/final masks and anchors.
+		if info.Init != info.Embed[a.Start] {
+			return fmt.Errorf("mfsa: FSA %d: init %d, embed(start)=%d", j, info.Init, info.Embed[a.Start])
+		}
+		if !z.InitMask[info.Init].Has(j) {
+			return fmt.Errorf("mfsa: FSA %d: init mask missing at state %d", j, info.Init)
+		}
+		finals := make(map[StateID]bool, len(a.Finals))
+		for _, f := range a.Finals {
+			finals[info.Embed[f]] = true
+		}
+		if len(finals) != len(info.Finals) {
+			return fmt.Errorf("mfsa: FSA %d: %d final states recorded, want %d", j, len(info.Finals), len(finals))
+		}
+		for _, zf := range info.Finals {
+			if !finals[zf] {
+				return fmt.Errorf("mfsa: FSA %d: spurious final state %d", j, zf)
+			}
+			if !z.FinalMask[zf].Has(j) {
+				return fmt.Errorf("mfsa: FSA %d: final mask missing at state %d", j, zf)
+			}
+		}
+		for q := 0; q < z.NumStates; q++ {
+			if z.InitMask[q].Has(j) && StateID(q) != info.Init {
+				return fmt.Errorf("mfsa: FSA %d: duplicate init mark at state %d", j, q)
+			}
+			if z.FinalMask[q].Has(j) && !finals[StateID(q)] {
+				return fmt.Errorf("mfsa: FSA %d: spurious final mark at state %d", j, q)
+			}
+		}
+		if info.AnchorStart != a.AnchorStart || info.AnchorEnd != a.AnchorEnd {
+			return fmt.Errorf("mfsa: FSA %d: anchor flags not preserved", j)
+		}
+	}
+	return nil
+}
+
+// ExtractFSA reconstructs the standalone FSA j from the MFSA by restricting
+// it to belonging-j transitions and renaming states through the inverse
+// embedding. The result is isomorphic (and, after Validate, identical up to
+// state numbering) to the FSA that was merged in; it is used by tests and by
+// the compression accounting.
+func ExtractFSA(z *MFSA, j int) (*nfa.NFA, error) {
+	if j < 0 || j >= len(z.FSAs) {
+		return nil, fmt.Errorf("mfsa: no FSA %d in MFSA with R=%d", j, len(z.FSAs))
+	}
+	info := z.FSAs[j]
+	inv := make(map[StateID]StateID, len(info.Embed))
+	for q, zq := range info.Embed {
+		inv[zq] = StateID(q)
+	}
+	out := &nfa.NFA{
+		ID:          info.RuleID,
+		Pattern:     info.Pattern,
+		NumStates:   info.NumStates,
+		Start:       inv[info.Init],
+		AnchorStart: info.AnchorStart,
+		AnchorEnd:   info.AnchorEnd,
+	}
+	var finals []StateID
+	for _, zf := range info.Finals {
+		finals = append(finals, inv[zf])
+	}
+	sort.Slice(finals, func(x, y int) bool { return finals[x] < finals[y] })
+	out.Finals = finals
+	for i, t := range z.Trans {
+		if !z.Bel[i].Has(j) {
+			continue
+		}
+		from, okF := inv[t.From]
+		to, okT := inv[t.To]
+		if !okF || !okT {
+			return nil, fmt.Errorf("mfsa: belonging-%d transition %d→%d escapes the embedding", j, t.From, t.To)
+		}
+		out.Trans = append(out.Trans, nfa.Transition{From: from, To: to, Label: t.Label})
+	}
+	return out, nil
+}

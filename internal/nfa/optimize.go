@@ -1,0 +1,314 @@
+package nfa
+
+import (
+	"fmt"
+
+	"repro/internal/charset"
+	"repro/internal/rex"
+)
+
+// ExpandLoops materializes every pending Loop record, per §IV-C(2):
+// a counted repetition X{m,n} becomes m chained copies of X followed by
+// n−m optional copies, and X{m,} becomes m copies followed by a Kleene tail.
+// Expansion maximizes the mergeable transitions (Fig. 5a) at the cost of
+// duplicated sub-FSAs. Nested counted repetitions expand recursively.
+func ExpandLoops(n *NFA) error {
+	for len(n.Loops) > 0 {
+		loops := n.Loops
+		n.Loops = nil
+		for _, lp := range loops {
+			if err := expandOne(n, lp); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func expandOne(n *NFA, lp Loop) error {
+	cur := lp.Entry
+	for i := 0; i < lp.Min; i++ {
+		f, err := n.build(lp.Body)
+		if err != nil {
+			return err
+		}
+		n.Eps = append(n.Eps, EpsTransition{cur, f.start})
+		cur = f.end
+	}
+	if lp.Max == rex.Inf {
+		// Kleene tail: cur (X* ) Exit.
+		f, err := n.build(lp.Body)
+		if err != nil {
+			return err
+		}
+		n.Eps = append(n.Eps,
+			EpsTransition{cur, f.start},
+			EpsTransition{f.end, f.start},
+			EpsTransition{f.end, lp.Exit},
+			EpsTransition{cur, lp.Exit})
+		return nil
+	}
+	for i := lp.Min; i < lp.Max; i++ {
+		f, err := n.build(lp.Body)
+		if err != nil {
+			return err
+		}
+		n.Eps = append(n.Eps,
+			EpsTransition{cur, lp.Exit}, // stop after i repetitions
+			EpsTransition{cur, f.start})
+		cur = f.end
+	}
+	n.Eps = append(n.Eps, EpsTransition{cur, lp.Exit})
+	return nil
+}
+
+// RemoveEpsilon eliminates every ε-arc (§IV-C(1)): for each state q and each
+// state p in its ε-closure, the labeled transitions of p are re-rooted at q,
+// and q becomes final when its closure contains a final state. Unreachable
+// and dead (non-co-accessible) states are then trimmed and ids compacted.
+// ANML does not support ε-moves, so this pass must run before the Back-End.
+func RemoveEpsilon(n *NFA) error {
+	if len(n.Loops) > 0 {
+		return fmt.Errorf("nfa: ε-removal requires loop expansion first (%d pending loops)", len(n.Loops))
+	}
+	// ε-adjacency.
+	eadj := make([][]StateID, n.NumStates)
+	for _, e := range n.Eps {
+		eadj[e.From] = append(eadj[e.From], e.To)
+	}
+	// Labeled adjacency.
+	tadj := make([][]Transition, n.NumStates)
+	for _, t := range n.Trans {
+		tadj[t.From] = append(tadj[t.From], t)
+	}
+	isFinal := make([]bool, n.NumStates)
+	for _, f := range n.Finals {
+		isFinal[f] = true
+	}
+
+	type key struct {
+		from, to StateID
+		label    charset.Set
+	}
+	seen := make(map[key]struct{}, len(n.Trans)*2)
+	var newTrans []Transition
+	var newFinals []StateID
+
+	mark := make([]int32, n.NumStates)
+	for i := range mark {
+		mark[i] = -1
+	}
+	stack := make([]StateID, 0, 16)
+	for q := StateID(0); q < StateID(n.NumStates); q++ {
+		// DFS ε-closure of q.
+		stack = stack[:0]
+		stack = append(stack, q)
+		mark[q] = q
+		final := false
+		for len(stack) > 0 {
+			p := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if isFinal[p] {
+				final = true
+			}
+			for _, t := range tadj[p] {
+				k := key{q, t.To, t.Label}
+				if _, dup := seen[k]; !dup {
+					seen[k] = struct{}{}
+					newTrans = append(newTrans, Transition{q, t.To, t.Label})
+				}
+			}
+			for _, r := range eadj[p] {
+				if mark[r] != q {
+					mark[r] = q
+					stack = append(stack, r)
+				}
+			}
+		}
+		if final {
+			newFinals = append(newFinals, q)
+		}
+	}
+	n.Trans = newTrans
+	n.Eps = nil
+	n.setFinals(newFinals)
+	n.trim()
+	return nil
+}
+
+// trim removes states not reachable from Start or unable to reach a final
+// state, compacting ids. The start state is always kept so that an automaton
+// with the empty language remains well-formed.
+func (n *NFA) trim() {
+	fwd := make([][]StateID, n.NumStates)
+	bwd := make([][]StateID, n.NumStates)
+	for _, t := range n.Trans {
+		fwd[t.From] = append(fwd[t.From], t.To)
+		bwd[t.To] = append(bwd[t.To], t.From)
+	}
+	reach := bfs(fwd, []StateID{n.Start}, n.NumStates)
+	coreach := bfs(bwd, n.Finals, n.NumStates)
+
+	remap := make([]StateID, n.NumStates)
+	for i := range remap {
+		remap[i] = -1
+	}
+	next := StateID(0)
+	for q := StateID(0); q < StateID(n.NumStates); q++ {
+		if (reach[q] && coreach[q]) || q == n.Start {
+			remap[q] = next
+			next++
+		}
+	}
+	var trans []Transition
+	for _, t := range n.Trans {
+		if remap[t.From] >= 0 && remap[t.To] >= 0 {
+			trans = append(trans, Transition{remap[t.From], remap[t.To], t.Label})
+		}
+	}
+	var finals []StateID
+	for _, f := range n.Finals {
+		if remap[f] >= 0 {
+			finals = append(finals, remap[f])
+		}
+	}
+	n.Trans = trans
+	n.Start = remap[n.Start]
+	n.NumStates = int(next)
+	n.setFinals(finals)
+}
+
+func bfs(adj [][]StateID, seeds []StateID, numStates int) []bool {
+	vis := make([]bool, numStates)
+	queue := make([]StateID, 0, len(seeds))
+	for _, s := range seeds {
+		if !vis[s] {
+			vis[s] = true
+			queue = append(queue, s)
+		}
+	}
+	for len(queue) > 0 {
+		q := queue[0]
+		queue = queue[1:]
+		for _, r := range adj[q] {
+			if !vis[r] {
+				vis[r] = true
+				queue = append(queue, r)
+			}
+		}
+	}
+	return vis
+}
+
+// MergeParallel rewrites arcs with multiplicity greater than one (§IV-C(3)):
+// all parallel transitions between the same state pair are combined into one
+// transition labeled by the union character class, preventing the incorrect
+// cross-product merges of Fig. 5b.
+func MergeParallel(n *NFA) {
+	type pair struct{ from, to StateID }
+	acc := make(map[pair]charset.Set, len(n.Trans))
+	order := make([]pair, 0, len(n.Trans))
+	for _, t := range n.Trans {
+		p := pair{t.From, t.To}
+		if _, ok := acc[p]; !ok {
+			order = append(order, p)
+		}
+		acc[p] = acc[p].Union(t.Label)
+	}
+	out := n.Trans[:0]
+	for _, p := range order {
+		out = append(out, Transition{p.from, p.to, acc[p]})
+	}
+	n.Trans = out
+	n.sortTrans()
+}
+
+// Optimize runs the complete single-FSA optimization stage of the Middle-End
+// (§IV-C) in order: loop expansion, ε-removal (with trimming), and parallel-
+// arc simplification. The result is an ε-free NFA in COO order, ready for
+// merging.
+func Optimize(n *NFA) error {
+	if err := ExpandLoops(n); err != nil {
+		return err
+	}
+	if err := RemoveEpsilon(n); err != nil {
+		return err
+	}
+	MergeParallel(n)
+	return nil
+}
+
+// Compile is the convenience composition Parse → Build → Optimize used by
+// tests, tools, and the dataset generators.
+func Compile(pattern string) (*NFA, error) {
+	ast, err := rex.Parse(pattern)
+	if err != nil {
+		return nil, err
+	}
+	n, err := Build(ast)
+	if err != nil {
+		return nil, err
+	}
+	n.Pattern = pattern
+	if err := Optimize(n); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// Accepts reports whether the automaton accepts exactly the whole input, the
+// classical acceptance relation ⊢* of §II. It handles ε-arcs so it can be
+// used to check language preservation across optimization passes. Pending
+// loops must be expanded first.
+func Accepts(n *NFA, input []byte) bool {
+	if len(n.Loops) > 0 {
+		panic("nfa: Accepts called with pending loops")
+	}
+	eadj := make([][]StateID, n.NumStates)
+	for _, e := range n.Eps {
+		eadj[e.From] = append(eadj[e.From], e.To)
+	}
+	tadj := make([][]Transition, n.NumStates)
+	for _, t := range n.Trans {
+		tadj[t.From] = append(tadj[t.From], t)
+	}
+	cur := closure(map[StateID]struct{}{n.Start: {}}, eadj)
+	for _, c := range input {
+		next := make(map[StateID]struct{})
+		for q := range cur {
+			for _, t := range tadj[q] {
+				if t.Label.Contains(c) {
+					next[t.To] = struct{}{}
+				}
+			}
+		}
+		if len(next) == 0 {
+			return false
+		}
+		cur = closure(next, eadj)
+	}
+	for q := range cur {
+		if n.IsFinal(q) {
+			return true
+		}
+	}
+	return false
+}
+
+func closure(set map[StateID]struct{}, eadj [][]StateID) map[StateID]struct{} {
+	stack := make([]StateID, 0, len(set))
+	for q := range set {
+		stack = append(stack, q)
+	}
+	for len(stack) > 0 {
+		q := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, r := range eadj[q] {
+			if _, ok := set[r]; !ok {
+				set[r] = struct{}{}
+				stack = append(stack, r)
+			}
+		}
+	}
+	return set
+}

@@ -1,0 +1,98 @@
+package nfa
+
+import (
+	"repro/internal/charset"
+)
+
+// RefineAlphabet implements the character-class merging improvement the
+// paper leaves as future work (§VI-A): Algorithm 1 merges CC transitions
+// only when the classes are byte-identical, so [abce] and [bcd] never
+// share their common [bc]. RefineAlphabet computes the partition of the
+// byte alphabet induced by every transition label across the group — two
+// bytes are equivalent iff they appear in exactly the same set of labels —
+// and rewrites each transition as parallel transitions over the partition
+// blocks it covers. Every label becomes a disjoint union of group-wide
+// canonical blocks, so the merge's exact-equality comparison now unifies
+// partial CC overlaps block by block.
+//
+// The transform preserves each automaton's language exactly (the union of
+// the blocks is the original label) and its state set; only the transition
+// multiplicity grows. The returned automata are deep copies; inputs are not
+// modified.
+func RefineAlphabet(fsas []*NFA) []*NFA {
+	// Signature of a byte = the set of distinct labels containing it.
+	// Two bytes with equal signatures always travel together, so they
+	// can share a block.
+	labels := make(map[charset.Set]int) // label → bit index
+	for _, a := range fsas {
+		for _, t := range a.Trans {
+			if _, ok := labels[t.Label]; !ok {
+				labels[t.Label] = len(labels)
+			}
+		}
+	}
+	words := (len(labels) + 63) / 64
+	if words == 0 {
+		words = 1
+	}
+	sig := make([][]uint64, 256)
+	for c := range sig {
+		sig[c] = make([]uint64, words)
+	}
+	for label, bit := range labels {
+		label.ForEach(func(c byte) {
+			sig[c][bit>>6] |= 1 << (uint(bit) & 63)
+		})
+	}
+	// Group bytes by signature into blocks.
+	type blockKey string
+	blockOf := make(map[blockKey]*charset.Set)
+	var blocks []*charset.Set
+	byteBlock := make([]int, 256)
+	for c := 0; c < 256; c++ {
+		k := make([]byte, 0, words*8)
+		for _, w := range sig[c] {
+			for i := 0; i < 8; i++ {
+				k = append(k, byte(w>>(8*i)))
+			}
+		}
+		key := blockKey(k)
+		blk, ok := blockOf[key]
+		if !ok {
+			blk = &charset.Set{}
+			blockOf[key] = blk
+			blocks = append(blocks, blk)
+		}
+		blk.Add(byte(c))
+		byteBlock[c] = indexOf(blocks, blk)
+	}
+
+	// Rewrite every transition as one arc per covered block.
+	out := make([]*NFA, len(fsas))
+	for i, a := range fsas {
+		c := a.Clone()
+		var trans []Transition
+		for _, t := range c.Trans {
+			covered := make(map[int]bool)
+			t.Label.ForEach(func(ch byte) {
+				covered[byteBlock[ch]] = true
+			})
+			for bi := range covered {
+				trans = append(trans, Transition{From: t.From, To: t.To, Label: *blocks[bi]})
+			}
+		}
+		c.Trans = trans
+		c.sortTrans()
+		out[i] = c
+	}
+	return out
+}
+
+func indexOf(blocks []*charset.Set, b *charset.Set) int {
+	for i := range blocks {
+		if blocks[i] == b {
+			return i
+		}
+	}
+	return -1
+}

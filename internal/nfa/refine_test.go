@@ -1,0 +1,148 @@
+package nfa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/charset"
+)
+
+func TestRefineAlphabetPaperExample(t *testing.T) {
+	// §VI-A: [abce] and [bcd] should expose a shared [bc] block.
+	a := mustCompile(t, "[abce]")
+	b := mustCompile(t, "[bcd]")
+	refined := RefineAlphabet([]*NFA{a, b})
+
+	findLabels := func(n *NFA) map[string]bool {
+		out := map[string]bool{}
+		for _, tr := range n.Trans {
+			out[tr.Label.String()] = true
+		}
+		return out
+	}
+	la, lb := findLabels(refined[0]), findLabels(refined[1])
+	if !la["[bc]"] || !lb["[bc]"] {
+		t.Fatalf("shared [bc] block missing: %v / %v", la, lb)
+	}
+	if !la["[ae]"] {
+		t.Fatalf("private [ae] block missing: %v", la)
+	}
+	if !lb["d"] {
+		t.Fatalf("private d block missing: %v", lb)
+	}
+}
+
+func TestRefineAlphabetPreservesLanguage(t *testing.T) {
+	patterns := []string{"[abce]x", "[bcd]x", "a[0-9]{2}", "q(w|[er])ty"}
+	fsas := make([]*NFA, len(patterns))
+	for i, p := range patterns {
+		fsas[i] = mustCompile(t, p)
+	}
+	refined := RefineAlphabet(fsas)
+	inputs := []string{"ax", "bx", "cx", "dx", "ex", "a12", "qwty", "qety", "qrty", "", "zz"}
+	for i := range fsas {
+		if refined[i].NumStates != fsas[i].NumStates {
+			t.Fatalf("FSA %d: states changed %d → %d", i, fsas[i].NumStates, refined[i].NumStates)
+		}
+		for _, in := range inputs {
+			if got, want := Accepts(refined[i], []byte(in)), Accepts(fsas[i], []byte(in)); got != want {
+				t.Errorf("FSA %d input %q: refined=%v original=%v", i, in, got, want)
+			}
+		}
+	}
+}
+
+func TestRefineAlphabetDoesNotMutateInput(t *testing.T) {
+	a := mustCompile(t, "[abce]")
+	before := len(a.Trans)
+	RefineAlphabet([]*NFA{a, mustCompile(t, "[bcd]")})
+	if len(a.Trans) != before {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestRefineAlphabetBlocksDisjoint(t *testing.T) {
+	fsas := []*NFA{mustCompile(t, "[a-m]x"), mustCompile(t, "[h-z]y"), mustCompile(t, ".")}
+	refined := RefineAlphabet(fsas)
+	// Within one refined automaton, any two distinct labels between the
+	// same states must be disjoint, and all labels must come from one
+	// global partition: any two labels anywhere are equal or disjoint.
+	var all []charset.Set
+	for _, n := range refined {
+		for _, tr := range n.Trans {
+			all = append(all, tr.Label)
+		}
+	}
+	for i := range all {
+		for j := i + 1; j < len(all); j++ {
+			if all[i].Equal(all[j]) {
+				continue
+			}
+			if all[i].Overlaps(all[j]) {
+				t.Fatalf("labels %v and %v overlap without being equal", all[i], all[j])
+			}
+		}
+	}
+}
+
+func TestQuickRefinePreservesLanguage(t *testing.T) {
+	r := rand.New(rand.NewSource(123))
+	f := func() bool {
+		m := 2 + r.Intn(3)
+		fsas := make([]*NFA, m)
+		for i := range fsas {
+			// Random class-heavy patterns.
+			lo1 := byte('a') + byte(r.Intn(6))
+			hi1 := lo1 + byte(1+r.Intn(6))
+			lo2 := byte('c') + byte(r.Intn(8))
+			hi2 := lo2 + byte(1+r.Intn(5))
+			pat := "[" + string(lo1) + "-" + string(hi1) + "][" + string(lo2) + "-" + string(hi2) + "]?x*"
+			n, err := Compile(pat)
+			if err != nil {
+				t.Logf("compile %q: %v", pat, err)
+				return false
+			}
+			fsas[i] = n
+		}
+		refined := RefineAlphabet(fsas)
+		for i := range fsas {
+			for k := 0; k < 8; k++ {
+				in := make([]byte, r.Intn(4))
+				for b := range in {
+					in[b] = byte('a' + r.Intn(20))
+				}
+				if Accepts(refined[i], in) != Accepts(fsas[i], in) {
+					t.Logf("FSA %d input %q disagree", i, in)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRefineAlphabetEmptyGroup(t *testing.T) {
+	if got := RefineAlphabet(nil); len(got) != 0 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func BenchmarkRefineAlphabet(b *testing.B) {
+	fsas := make([]*NFA, 0, 20)
+	for i := 0; i < 20; i++ {
+		lo := byte('a' + i%10)
+		n, err := Compile("[" + string(lo) + "-z]key[0-9]")
+		if err != nil {
+			b.Fatal(err)
+		}
+		fsas = append(fsas, n)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RefineAlphabet(fsas)
+	}
+}

@@ -1,0 +1,72 @@
+package pipeline
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/mfsa"
+)
+
+// TestFullDatasetValidation is the heavyweight structural check: every
+// synthetic dataset is compiled end-to-end at several merging factors and
+// every resulting MFSA is validated against its source FSAs (isomorphic
+// per-rule embedding, exact initial/final masks). Run with -short to skip.
+func TestFullDatasetValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-dataset validation is slow")
+	}
+	for _, s := range dataset.Datasets() {
+		pats := s.Patterns()
+		for _, m := range []int{10, 0} {
+			out, err := Compile(pats, m, nil)
+			if err != nil {
+				t.Fatalf("%s M=%d: %v", s.Abbr, m, err)
+			}
+			groupSize := m
+			if groupSize <= 0 {
+				groupSize = len(pats)
+			}
+			for i, z := range out.MFSAs {
+				lo := i * groupSize
+				hi := lo + z.NumFSAs()
+				if err := mfsa.Validate(z, out.FSAs[lo:hi]); err != nil {
+					t.Fatalf("%s M=%d group %d: %v", s.Abbr, m, i, err)
+				}
+			}
+		}
+	}
+}
+
+// TestFullDatasetMatchParity cross-checks, for a slice of each dataset,
+// that the merged MFSA and the per-rule automata report identical distinct
+// match offsets on a planted stream — the end-to-end version of the
+// merged-equals-unmerged property.
+func TestFullDatasetMatchParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	for _, s := range dataset.Datasets() {
+		pats := s.Patterns()[:25]
+		in := s.Stream(8192, 256)
+		merged, err := Compile(pats, 0, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := engine.NewProgram(merged.MFSAs[0])
+		got := engine.DistinctEnds(engine.Matches(p, in, engine.Config{}), len(pats))
+		want := engine.ReferenceScanAll(merged.FSAs, in, false)
+		for j := range pats {
+			w := want[j]
+			g := got[j]
+			if len(w) != len(g) {
+				t.Fatalf("%s rule %d (%s): %d vs %d match offsets", s.Abbr, j, pats[j], len(g), len(w))
+			}
+			for k := range w {
+				if w[k] != g[k] {
+					t.Fatalf("%s rule %d: offset %d vs %d", s.Abbr, j, g[k], w[k])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,145 @@
+// Package pipeline composes the five compilation steps of the framework
+// (§IV, Fig. 4): (1) lexical and syntactical analysis, (2) AST-to-FSA
+// conversion, (3) single-FSA optimization, (4) merging, and (5) ANML
+// generation — recording the wall-clock cost of each stage, which is the
+// quantity plotted in Fig. 8.
+package pipeline
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/anml"
+	"repro/internal/mfsa"
+	"repro/internal/nfa"
+	"repro/internal/rex"
+)
+
+// StageTimes holds the per-stage compilation cost of one run.
+type StageTimes struct {
+	FrontEnd time.Duration // FE: lexical + syntactic analysis
+	ASTToFSA time.Duration // Thompson-like construction
+	SingleME time.Duration // ME-single: ε-removal, loop expansion, multiplicity
+	MergeME  time.Duration // ME-merging: Algorithm 1
+	BackEnd  time.Duration // BE: ANML generation
+}
+
+// Total returns the end-to-end compilation time.
+func (st StageTimes) Total() time.Duration {
+	return st.FrontEnd + st.ASTToFSA + st.SingleME + st.MergeME + st.BackEnd
+}
+
+// Add accumulates another run's stage times (used when averaging reps).
+func (st *StageTimes) Add(o StageTimes) {
+	st.FrontEnd += o.FrontEnd
+	st.ASTToFSA += o.ASTToFSA
+	st.SingleME += o.SingleME
+	st.MergeME += o.MergeME
+	st.BackEnd += o.BackEnd
+}
+
+// Scale divides every stage by n (averaging helper).
+func (st StageTimes) Scale(n int) StageTimes {
+	if n <= 1 {
+		return st
+	}
+	d := time.Duration(n)
+	return StageTimes{
+		FrontEnd: st.FrontEnd / d,
+		ASTToFSA: st.ASTToFSA / d,
+		SingleME: st.SingleME / d,
+		MergeME:  st.MergeME / d,
+		BackEnd:  st.BackEnd / d,
+	}
+}
+
+// Output is the result of one full compilation.
+type Output struct {
+	// FSAs are the optimized standalone automata (after stage 3); their
+	// totals are the compression baseline of §VI-A.
+	FSAs []*nfa.NFA
+	// MFSAs are the ⌈N/M⌉ merged automata (after stage 4).
+	MFSAs []*mfsa.MFSA
+	// Times are the per-stage costs of this run.
+	Times StageTimes
+	// ANMLBytes is the total size of the generated ANML output.
+	ANMLBytes int
+}
+
+// Compile runs the full framework over the ruleset with merging factor m
+// (m ≤ 0 means M = all). ANML output is written to sink when non-nil and
+// discarded otherwise; stage 5 runs either way so its time is measured.
+func Compile(patterns []string, m int, sink io.Writer) (*Output, error) {
+	out := &Output{}
+
+	// Stage 1 — Front-End.
+	start := time.Now()
+	asts := make([]*rex.Node, len(patterns))
+	for i, p := range patterns {
+		ast, err := rex.Parse(p)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: rule %d: %w", i, err)
+		}
+		asts[i] = ast
+	}
+	out.Times.FrontEnd = time.Since(start)
+
+	// Stage 2 — conversion from AST to FSA.
+	start = time.Now()
+	out.FSAs = make([]*nfa.NFA, len(asts))
+	for i, ast := range asts {
+		a, err := nfa.Build(ast)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: rule %d (%q): %w", i, patterns[i], err)
+		}
+		a.ID = i
+		a.Pattern = patterns[i]
+		out.FSAs[i] = a
+	}
+	out.Times.ASTToFSA = time.Since(start)
+
+	// Stage 3 — single-FSA optimization.
+	start = time.Now()
+	for i, a := range out.FSAs {
+		if err := nfa.Optimize(a); err != nil {
+			return nil, fmt.Errorf("pipeline: rule %d (%q): %w", i, patterns[i], err)
+		}
+	}
+	out.Times.SingleME = time.Since(start)
+
+	// Stage 4 — merging.
+	start = time.Now()
+	zs, err := mfsa.MergeGroups(out.FSAs, m)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: merge: %w", err)
+	}
+	out.MFSAs = zs
+	out.Times.MergeME = time.Since(start)
+
+	// Stage 5 — ANML generation.
+	start = time.Now()
+	cw := &countWriter{w: sink}
+	for _, z := range zs {
+		if err := anml.Write(cw, z); err != nil {
+			return nil, fmt.Errorf("pipeline: anml: %w", err)
+		}
+	}
+	out.Times.BackEnd = time.Since(start)
+	out.ANMLBytes = cw.n
+	return out, nil
+}
+
+// countWriter counts bytes, forwarding to w when non-nil.
+type countWriter struct {
+	w io.Writer
+	n int
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	c.n += len(p)
+	if c.w == nil {
+		return len(p), nil
+	}
+	return c.w.Write(p)
+}

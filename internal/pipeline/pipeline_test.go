@@ -1,0 +1,129 @@
+package pipeline
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/anml"
+	"repro/internal/dataset"
+	"repro/internal/mfsa"
+)
+
+func TestCompileEndToEnd(t *testing.T) {
+	patterns := []string{"GET /a", "GET /b", "POST /c", "x[yz]+"}
+	out, err := Compile(patterns, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.FSAs) != 4 {
+		t.Fatalf("FSAs=%d", len(out.FSAs))
+	}
+	if len(out.MFSAs) != 2 {
+		t.Fatalf("MFSAs=%d, want ⌈4/2⌉=2", len(out.MFSAs))
+	}
+	for i, z := range out.MFSAs {
+		lo, hi := i*2, i*2+2
+		if err := mfsa.Validate(z, out.FSAs[lo:hi]); err != nil {
+			t.Fatalf("group %d: %v", i, err)
+		}
+	}
+	if out.ANMLBytes == 0 {
+		t.Fatal("no ANML produced")
+	}
+	if out.Times.Total() <= 0 {
+		t.Fatal("no time recorded")
+	}
+}
+
+func TestCompileMAll(t *testing.T) {
+	patterns := []string{"ab", "ac", "ad"}
+	out, err := Compile(patterns, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.MFSAs) != 1 || out.MFSAs[0].NumFSAs() != 3 {
+		t.Fatalf("M=all: %d MFSAs, R=%d", len(out.MFSAs), out.MFSAs[0].NumFSAs())
+	}
+}
+
+func TestCompileSinkReceivesANML(t *testing.T) {
+	var buf bytes.Buffer
+	out, err := Compile([]string{"ab", "cd"}, 1, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != out.ANMLBytes {
+		t.Fatalf("sink has %d bytes, counted %d", buf.Len(), out.ANMLBytes)
+	}
+	// Two MFSAs → two concatenated documents; the first must parse.
+	dec := strings.Index(buf.String()[1:], "<?xml")
+	if dec < 0 {
+		t.Fatal("expected two XML documents")
+	}
+	z, err := anml.Read(strings.NewReader(buf.String()[:dec+1]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z.NumFSAs() != 1 {
+		t.Fatalf("R=%d", z.NumFSAs())
+	}
+}
+
+func TestCompileBadRule(t *testing.T) {
+	if _, err := Compile([]string{"ab", "("}, 1, nil); err == nil {
+		t.Fatal("bad rule accepted")
+	}
+	if err, want := func() error {
+		_, err := Compile([]string{"a^b"}, 1, nil)
+		return err
+	}(), "anchors"; err == nil || !strings.Contains(err.Error(), want) {
+		t.Fatalf("err=%v, want mention of %q", err, want)
+	}
+}
+
+func TestStageTimesArithmetic(t *testing.T) {
+	a := StageTimes{FrontEnd: 10, ASTToFSA: 20, SingleME: 30, MergeME: 40, BackEnd: 50}
+	b := a
+	a.Add(b)
+	if a.Total() != 300 {
+		t.Fatalf("total=%d", a.Total())
+	}
+	avg := a.Scale(2)
+	if avg != b {
+		t.Fatalf("scale: %+v", avg)
+	}
+	if b.Scale(1) != b || b.Scale(0) != b {
+		t.Fatal("scale by ≤1 must be identity")
+	}
+}
+
+func TestCompileDatasetSubset(t *testing.T) {
+	// A realistic smoke test over a slice of each synthetic dataset.
+	for _, s := range dataset.Datasets() {
+		pats := s.Patterns()[:30]
+		out, err := Compile(pats, 10, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Abbr, err)
+		}
+		if len(out.MFSAs) != 3 {
+			t.Fatalf("%s: MFSAs=%d", s.Abbr, len(out.MFSAs))
+		}
+		for i, z := range out.MFSAs {
+			if err := mfsa.Validate(z, out.FSAs[i*10:(i+1)*10]); err != nil {
+				t.Fatalf("%s group %d: %v", s.Abbr, i, err)
+			}
+		}
+	}
+}
+
+func BenchmarkCompileBRO30M10(b *testing.B) {
+	s, _ := dataset.ByAbbr("BRO")
+	pats := s.Patterns()[:30]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compile(pats, 10, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,196 @@
+// Package rex implements the compilation framework's Front-End (§IV-A of the
+// paper): lexical and syntactic analysis of POSIX Extended Regular
+// Expressions into an Abstract Syntax Tree.
+//
+// The accepted language is POSIX ERE plus the pragmatic extensions common in
+// DPI rulesets: \xHH byte escapes, the \d \D \w \W \s \S shorthand classes,
+// and non-greedy quantifier suffixes (parsed and ignored, since automata
+// semantics report all matches).
+package rex
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/charset"
+)
+
+// Op identifies the kind of an AST node.
+type Op int
+
+// AST node operators. Each maps to a well-defined sub-FSA structure in the
+// Thompson-like construction (§IV-B).
+const (
+	OpEmpty  Op = iota // matches the empty string
+	OpLit              // a symbol set (single char or CC)
+	OpConcat           // subexpressions in sequence
+	OpAlt              // alternation of subexpressions
+	OpRepeat           // bounded or unbounded repetition {min,max}
+	OpAnchor           // ^ or $, kept for diagnostics
+)
+
+// Inf marks an unbounded repetition upper limit ({n,}, *, +).
+const Inf = -1
+
+// Node is an AST node. Leaves carry a symbol Set; interior nodes carry
+// children and, for OpRepeat, the loop bounds that the Middle-End loop
+// expansion (§IV-C) consumes.
+type Node struct {
+	Op   Op
+	Set  charset.Set // OpLit
+	Subs []*Node     // OpConcat, OpAlt, OpRepeat (one child)
+	Min  int         // OpRepeat
+	Max  int         // OpRepeat, Inf when unbounded
+	Atom byte        // OpAnchor: '^' or '$'
+}
+
+func (op Op) String() string {
+	switch op {
+	case OpEmpty:
+		return "Empty"
+	case OpLit:
+		return "Lit"
+	case OpConcat:
+		return "Concat"
+	case OpAlt:
+		return "Alt"
+	case OpRepeat:
+		return "Repeat"
+	case OpAnchor:
+		return "Anchor"
+	}
+	return fmt.Sprintf("Op(%d)", int(op))
+}
+
+// String renders the node as an s-expression, for tests and debugging.
+func (n *Node) String() string {
+	var sb strings.Builder
+	n.write(&sb)
+	return sb.String()
+}
+
+func (n *Node) write(sb *strings.Builder) {
+	switch n.Op {
+	case OpEmpty:
+		sb.WriteString("ε")
+	case OpLit:
+		sb.WriteString(n.Set.String())
+	case OpAnchor:
+		sb.WriteByte(n.Atom)
+	case OpConcat:
+		sb.WriteString("(cat")
+		for _, s := range n.Subs {
+			sb.WriteByte(' ')
+			s.write(sb)
+		}
+		sb.WriteByte(')')
+	case OpAlt:
+		sb.WriteString("(alt")
+		for _, s := range n.Subs {
+			sb.WriteByte(' ')
+			s.write(sb)
+		}
+		sb.WriteByte(')')
+	case OpRepeat:
+		if n.Max == Inf {
+			fmt.Fprintf(sb, "(rep{%d,∞} ", n.Min)
+		} else {
+			fmt.Fprintf(sb, "(rep{%d,%d} ", n.Min, n.Max)
+		}
+		n.Subs[0].write(sb)
+		sb.WriteByte(')')
+	}
+}
+
+// Walk calls fn for n and every descendant in depth-first preorder.
+func (n *Node) Walk(fn func(*Node)) {
+	fn(n)
+	for _, s := range n.Subs {
+		s.Walk(fn)
+	}
+}
+
+// CountLits returns the number of literal (symbol-set) leaves, a size proxy
+// used by the dataset generators to calibrate per-RE state counts.
+func (n *Node) CountLits() int {
+	c := 0
+	n.Walk(func(m *Node) {
+		if m.Op == OpLit {
+			c++
+		}
+	})
+	return c
+}
+
+// MinMatchLen returns the length of the shortest string the expression can
+// match, with repetition bounds applied. Anchors contribute zero length.
+func (n *Node) MinMatchLen() int {
+	switch n.Op {
+	case OpLit:
+		return 1
+	case OpConcat:
+		t := 0
+		for _, s := range n.Subs {
+			t += s.MinMatchLen()
+		}
+		return t
+	case OpAlt:
+		best := -1
+		for _, s := range n.Subs {
+			if l := s.MinMatchLen(); best < 0 || l < best {
+				best = l
+			}
+		}
+		if best < 0 {
+			return 0
+		}
+		return best
+	case OpRepeat:
+		return n.Min * n.Subs[0].MinMatchLen()
+	default:
+		return 0
+	}
+}
+
+// Literal builds an OpLit node for set s.
+func Literal(s charset.Set) *Node { return &Node{Op: OpLit, Set: s} }
+
+// Concat builds a concatenation node, flattening nested concatenations.
+func Concat(subs ...*Node) *Node {
+	flat := make([]*Node, 0, len(subs))
+	for _, s := range subs {
+		if s.Op == OpConcat {
+			flat = append(flat, s.Subs...)
+		} else if s.Op != OpEmpty {
+			flat = append(flat, s)
+		}
+	}
+	switch len(flat) {
+	case 0:
+		return &Node{Op: OpEmpty}
+	case 1:
+		return flat[0]
+	}
+	return &Node{Op: OpConcat, Subs: flat}
+}
+
+// Alt builds an alternation node, flattening nested alternations.
+func Alt(subs ...*Node) *Node {
+	flat := make([]*Node, 0, len(subs))
+	for _, s := range subs {
+		if s.Op == OpAlt {
+			flat = append(flat, s.Subs...)
+		} else {
+			flat = append(flat, s)
+		}
+	}
+	if len(flat) == 1 {
+		return flat[0]
+	}
+	return &Node{Op: OpAlt, Subs: flat}
+}
+
+// Repeat builds a repetition node with the given bounds.
+func Repeat(sub *Node, min, max int) *Node {
+	return &Node{Op: OpRepeat, Subs: []*Node{sub}, Min: min, Max: max}
+}

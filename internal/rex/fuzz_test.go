@@ -1,0 +1,32 @@
+package rex
+
+import (
+	"testing"
+)
+
+// FuzzParse checks that the front-end never panics and that every accepted
+// pattern round-trips through the printer into an identical AST. Run the
+// seeds as ordinary tests, or explore with `go test -fuzz=FuzzParse`.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"", "a", "ab|cd", "(a|b)*c+", "a{2,5}", "[a-f]", "[^xyz]",
+		`\x41\n`, "^anchor$", "a**", "((((", "a{999}", `[\d-]`,
+		"[[:alpha:]]", `GET /[a-z]{1,8}\.php`, "\x00\xff", "a|", "|a",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, pattern string) {
+		n, err := Parse(pattern)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		p := n.Pattern()
+		m, err := Parse(p)
+		if err != nil {
+			t.Fatalf("printer output %q (from %q) does not re-parse: %v", p, pattern, err)
+		}
+		if m.String() != n.String() {
+			t.Fatalf("round trip %q → %q changed the AST:\n%s\n%s", pattern, p, n, m)
+		}
+	})
+}

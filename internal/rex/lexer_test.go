@@ -1,0 +1,208 @@
+package rex
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/charset"
+)
+
+func kinds(ts []Token) []TokenKind {
+	ks := make([]TokenKind, len(ts))
+	for i, t := range ts {
+		ks[i] = t.Kind
+	}
+	return ks
+}
+
+func TestLexSimple(t *testing.T) {
+	ts, err := Tokens("ab|c*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokenKind{TokChar, TokChar, TokAlt, TokChar, TokStar}
+	got := kinds(ts)
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+	if ts[0].Ch != 'a' || ts[1].Ch != 'b' || ts[3].Ch != 'c' {
+		t.Fatal("wrong chars")
+	}
+}
+
+func TestLexMeta(t *testing.T) {
+	ts, err := Tokens("(.)+?^$")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokenKind{TokLParen, TokDot, TokRParen, TokPlus, TokQuest, TokCaret, TokDollar}
+	got := kinds(ts)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexRepeat(t *testing.T) {
+	cases := []struct {
+		in       string
+		min, max int
+	}{
+		{"{3}", 3, 3},
+		{"{2,5}", 2, 5},
+		{"{4,}", 4, Inf},
+		{"{0,1}", 0, 1},
+	}
+	for _, c := range cases {
+		ts, err := Tokens(c.in)
+		if err != nil {
+			t.Fatalf("%s: %v", c.in, err)
+		}
+		if len(ts) != 1 || ts[0].Kind != TokRepeat {
+			t.Fatalf("%s: tokens %v", c.in, kinds(ts))
+		}
+		if ts[0].Min != c.min || ts[0].Max != c.max {
+			t.Fatalf("%s: bounds %d,%d want %d,%d", c.in, ts[0].Min, ts[0].Max, c.min, c.max)
+		}
+	}
+}
+
+func TestLexLiteralBrace(t *testing.T) {
+	// Braces that do not form a valid bound are literal characters.
+	for _, in := range []string{"{", "{a}", "{,3}", "{1x}"} {
+		ts, err := Tokens(in)
+		if err != nil {
+			t.Fatalf("%s: %v", in, err)
+		}
+		if ts[0].Kind != TokChar || ts[0].Ch != '{' {
+			t.Fatalf("%s: first token %v, want literal brace", in, ts[0].Kind)
+		}
+	}
+}
+
+func TestLexRepeatErrors(t *testing.T) {
+	if _, err := Tokens("{5,2}"); err == nil {
+		t.Fatal("max<min accepted")
+	}
+	if _, err := Tokens("{2000}"); err == nil {
+		t.Fatal("huge bound accepted")
+	}
+}
+
+func TestLexEscapes(t *testing.T) {
+	cases := map[string]byte{
+		`\n`:   '\n',
+		`\t`:   '\t',
+		`\r`:   '\r',
+		`\\`:   '\\',
+		`\.`:   '.',
+		`\*`:   '*',
+		`\x41`: 'A',
+		`\xff`: 0xff,
+		`\x00`: 0x00,
+		`\0`:   0,
+	}
+	for in, want := range cases {
+		ts, err := Tokens(in)
+		if err != nil {
+			t.Fatalf("%s: %v", in, err)
+		}
+		if len(ts) != 1 || ts[0].Kind != TokChar || ts[0].Ch != want {
+			t.Fatalf("%s: got %+v, want char %d", in, ts[0], want)
+		}
+	}
+}
+
+func TestLexEscapeErrors(t *testing.T) {
+	for _, in := range []string{`\`, `\x4`, `\xg1`, `\x`} {
+		if _, err := Tokens(in); err == nil {
+			t.Fatalf("%q: no error", in)
+		}
+	}
+}
+
+func TestLexShorthand(t *testing.T) {
+	ts, err := Tokens(`\d\w\s\D\W\S`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 6 {
+		t.Fatalf("got %d tokens", len(ts))
+	}
+	digit := charset.Range('0', '9')
+	if !ts[0].Set.Equal(digit) {
+		t.Fatal(`\d mismatch`)
+	}
+	if !ts[3].Set.Equal(digit.Complement()) {
+		t.Fatal(`\D mismatch`)
+	}
+	word, _ := charset.Posix("word")
+	if !ts[1].Set.Equal(word) || !ts[4].Set.Equal(word.Complement()) {
+		t.Fatal(`\w/\W mismatch`)
+	}
+}
+
+func TestLexBracket(t *testing.T) {
+	cases := []struct {
+		in   string
+		want charset.Set
+	}{
+		{"[abc]", charset.Of('a', 'b', 'c')},
+		{"[a-c]", charset.Range('a', 'c')},
+		{"[a-cx-z]", charset.Range('a', 'c').Union(charset.Range('x', 'z'))},
+		{"[^a]", charset.Single('a').Complement()},
+		{"[]]", charset.Single(']')},
+		{"[^]]", charset.Single(']').Complement()},
+		{"[a-]", charset.Of('a', '-')},
+		{"[-a]", charset.Of('a', '-')},
+		{"[[:digit:]]", charset.Range('0', '9')},
+		{"[[:upper:][:digit:]]", charset.Range('A', 'Z').Union(charset.Range('0', '9'))},
+		{`[\n\t]`, charset.Of('\n', '\t')},
+		{`[\x41-\x43]`, charset.Range('A', 'C')},
+		{`[\d]`, charset.Range('0', '9')},
+		{`[\]]`, charset.Single(']')},
+	}
+	for _, c := range cases {
+		ts, err := Tokens(c.in)
+		if err != nil {
+			t.Fatalf("%s: %v", c.in, err)
+		}
+		if len(ts) != 1 || ts[0].Kind != TokClass {
+			t.Fatalf("%s: tokens %v", c.in, kinds(ts))
+		}
+		if !ts[0].Set.Equal(c.want) {
+			t.Fatalf("%s: set %v, want %v", c.in, ts[0].Set, c.want)
+		}
+	}
+}
+
+func TestLexBracketErrors(t *testing.T) {
+	for _, in := range []string{"[abc", "[", "[z-a]", "[[:nope:]]", "[[:digit]", `[a-\d]`} {
+		if _, err := Tokens(in); err == nil {
+			t.Fatalf("%q: no error", in)
+		}
+	}
+}
+
+func TestSyntaxErrorMessage(t *testing.T) {
+	_, err := Tokens("ab[cd")
+	if err == nil {
+		t.Fatal("no error")
+	}
+	se, ok := err.(*SyntaxError)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if se.Pos != 2 {
+		t.Fatalf("pos=%d, want 2", se.Pos)
+	}
+	if !strings.Contains(se.Error(), "offset 2") {
+		t.Fatalf("message %q", se.Error())
+	}
+}

@@ -1,0 +1,184 @@
+package rex
+
+import (
+	"repro/internal/charset"
+)
+
+// Parser builds an AST from the token stream using the ERE grammar
+//
+//	alternation   = branch { '|' branch }
+//	branch        = { piece }
+//	piece         = atom { quantifier }
+//	quantifier    = '*' | '+' | '?' | '{m[,n]}' [ '?' ]
+//	atom          = char | class | '.' | '(' alternation ')' | '^' | '$'
+//
+// Anchors are accepted anywhere a POSIX ERE allows them. A leading '^'
+// anchors the expression; a trailing '$' requires end of a line. The
+// automaton engines implement scan semantics, so anchors are compiled to
+// explicit markers consumed by the NFA builder.
+type Parser struct {
+	lex  *Lexer
+	tok  Token
+	src  string
+	prev error
+}
+
+// Parse analyses pattern and returns its AST root, or a *SyntaxError.
+func Parse(pattern string) (*Node, error) {
+	p := &Parser{lex: NewLexer(pattern), src: pattern}
+	p.advance()
+	if p.prev != nil {
+		return nil, p.prev
+	}
+	n, err := p.alternation()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.Kind != TokEOF {
+		return nil, &SyntaxError{Pattern: pattern, Pos: p.tok.Pos, Msg: "unexpected " + p.tok.Kind.String()}
+	}
+	return n, nil
+}
+
+// MustParse is Parse for patterns known to be valid (generators, tests).
+// It panics on error.
+func MustParse(pattern string) *Node {
+	n, err := Parse(pattern)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+func (p *Parser) advance() {
+	t, err := p.lex.Next()
+	if err != nil {
+		p.prev = err
+		p.tok = Token{Kind: TokEOF, Pos: len(p.src)}
+		return
+	}
+	p.tok = t
+}
+
+func (p *Parser) errf(msg string) error {
+	return &SyntaxError{Pattern: p.src, Pos: p.tok.Pos, Msg: msg}
+}
+
+func (p *Parser) alternation() (*Node, error) {
+	first, err := p.branch()
+	if err != nil {
+		return nil, err
+	}
+	subs := []*Node{first}
+	for p.tok.Kind == TokAlt {
+		p.advance()
+		if p.prev != nil {
+			return nil, p.prev
+		}
+		b, err := p.branch()
+		if err != nil {
+			return nil, err
+		}
+		subs = append(subs, b)
+	}
+	if len(subs) == 1 {
+		return first, nil
+	}
+	return Alt(subs...), nil
+}
+
+func (p *Parser) branch() (*Node, error) {
+	var subs []*Node
+	for {
+		switch p.tok.Kind {
+		case TokEOF, TokAlt, TokRParen:
+			return Concat(subs...), nil
+		}
+		piece, err := p.piece()
+		if err != nil {
+			return nil, err
+		}
+		subs = append(subs, piece)
+	}
+}
+
+func (p *Parser) piece() (*Node, error) {
+	atom, err := p.atom()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var min, max int
+		switch p.tok.Kind {
+		case TokStar:
+			min, max = 0, Inf
+		case TokPlus:
+			min, max = 1, Inf
+		case TokQuest:
+			min, max = 0, 1
+		case TokRepeat:
+			min, max = p.tok.Min, p.tok.Max
+		default:
+			return atom, nil
+		}
+		if atom.Op == OpAnchor {
+			return nil, p.errf("quantifier applied to anchor")
+		}
+		p.advance()
+		if p.prev != nil {
+			return nil, p.prev
+		}
+		// Swallow a non-greedy suffix: automata semantics report every
+		// match, so greediness is irrelevant.
+		if p.tok.Kind == TokQuest {
+			p.advance()
+			if p.prev != nil {
+				return nil, p.prev
+			}
+		}
+		atom = Repeat(atom, min, max)
+	}
+}
+
+func (p *Parser) atom() (*Node, error) {
+	t := p.tok
+	switch t.Kind {
+	case TokChar:
+		p.advance()
+		return Literal(charset.Single(t.Ch)), p.prev
+	case TokClass:
+		p.advance()
+		return Literal(t.Set), p.prev
+	case TokDot:
+		p.advance()
+		return Literal(charset.AnyNoNL()), p.prev
+	case TokCaret:
+		p.advance()
+		return &Node{Op: OpAnchor, Atom: '^'}, p.prev
+	case TokDollar:
+		p.advance()
+		return &Node{Op: OpAnchor, Atom: '$'}, p.prev
+	case TokLParen:
+		p.advance()
+		if p.prev != nil {
+			return nil, p.prev
+		}
+		inner, err := p.alternation()
+		if err != nil {
+			return nil, err
+		}
+		if p.tok.Kind != TokRParen {
+			return nil, p.errf("missing closing parenthesis")
+		}
+		p.advance()
+		return inner, p.prev
+	case TokRepeat:
+		return nil, p.errf("repetition with nothing to repeat")
+	case TokStar, TokPlus, TokQuest:
+		return nil, p.errf("quantifier with nothing to repeat")
+	case TokRParen:
+		return nil, p.errf("unmatched closing parenthesis")
+	default:
+		return nil, p.errf("unexpected " + t.Kind.String())
+	}
+}

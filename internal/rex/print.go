@@ -1,0 +1,114 @@
+package rex
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/charset"
+)
+
+// Pattern renders the AST back into a POSIX ERE that parses to an
+// equivalent tree. It is used by tooling that rewrites rules (e.g. the
+// loop-expansion and refinement passes) to report what they produced, and
+// round-trips: Parse(n.Pattern()) recognizes the same language as n.
+func (n *Node) Pattern() string {
+	var sb strings.Builder
+	n.render(&sb, precAlt)
+	return sb.String()
+}
+
+// Operator precedence levels, loosest to tightest.
+const (
+	precAlt = iota
+	precConcat
+	precRepeat
+)
+
+func (n *Node) render(sb *strings.Builder, outer int) {
+	switch n.Op {
+	case OpEmpty:
+		sb.WriteString("()")
+	case OpLit:
+		sb.WriteString(renderSet(n.Set))
+	case OpAnchor:
+		sb.WriteByte(n.Atom)
+	case OpConcat:
+		if outer > precConcat {
+			sb.WriteByte('(')
+		}
+		for _, s := range n.Subs {
+			s.render(sb, precConcat)
+		}
+		if outer > precConcat {
+			sb.WriteByte(')')
+		}
+	case OpAlt:
+		if outer > precAlt {
+			sb.WriteByte('(')
+		}
+		for i, s := range n.Subs {
+			if i > 0 {
+				sb.WriteByte('|')
+			}
+			s.render(sb, precConcat)
+		}
+		if outer > precAlt {
+			sb.WriteByte(')')
+		}
+	case OpRepeat:
+		// A repeat directly under another repeat must be wrapped:
+		// "a+?" would re-parse as a non-greedy plus, not (a+)?.
+		if outer > precRepeat {
+			sb.WriteByte('(')
+			defer sb.WriteByte(')')
+		}
+		n.Subs[0].render(sb, precRepeat+1)
+		switch {
+		case n.Min == 0 && n.Max == Inf:
+			sb.WriteByte('*')
+		case n.Min == 1 && n.Max == Inf:
+			sb.WriteByte('+')
+		case n.Min == 0 && n.Max == 1:
+			sb.WriteByte('?')
+		case n.Max == Inf:
+			fmt.Fprintf(sb, "{%d,}", n.Min)
+		case n.Min == n.Max:
+			fmt.Fprintf(sb, "{%d}", n.Min)
+		default:
+			fmt.Fprintf(sb, "{%d,%d}", n.Min, n.Max)
+		}
+	}
+}
+
+// renderSet writes a set as a single escaped character or a bracket
+// expression that the lexer parses back to the same set.
+func renderSet(s charset.Set) string {
+	if b, ok := s.IsSingle(); ok {
+		return escapeLit(b)
+	}
+	if s.Equal(charset.AnyNoNL()) {
+		return "."
+	}
+	// charset.Set.String already emits a lexer-compatible bracket form
+	// for multi-byte sets.
+	return s.String()
+}
+
+// escapeLit escapes a literal byte so it parses back to itself outside a
+// bracket expression.
+func escapeLit(b byte) string {
+	switch b {
+	case '.', '*', '+', '?', '(', ')', '[', ']', '{', '}', '|', '^', '$', '\\':
+		return "\\" + string(b)
+	case '\n':
+		return `\n`
+	case '\t':
+		return `\t`
+	case '\r':
+		return `\r`
+	}
+	if b < 0x20 || b >= 0x7f {
+		return fmt.Sprintf(`\x%02x`, b)
+	}
+	return string(b)
+}

@@ -1,0 +1,77 @@
+package rex
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPatternSimple(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"abc", "abc"},
+		{"a|b", "a|b"},
+		{"(a|b)c", "(a|b)c"},
+		{"a*", "a*"},
+		{"a+", "a+"},
+		{"a?", "a?"},
+		{"a{2,4}", "a{2,4}"},
+		{"a{3}", "a{3}"},
+		{"a{2,}", "a{2,}"},
+		{"[a-c]", "[a-c]"},
+		{".", "."},
+		{`\.`, `\.`},
+		{`\n`, `\n`},
+		{"^ab$", "^ab$"},
+		{"(ab)+", "(ab)+"},
+		{"a(b|c)d", "a(b|c)d"},
+	}
+	for _, c := range cases {
+		n := MustParse(c.in)
+		if got := n.Pattern(); got != c.want {
+			t.Errorf("Pattern(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestPatternRoundTripReparses(t *testing.T) {
+	// Pattern must re-parse to the identical AST shape for a broad set.
+	for _, in := range []string{
+		"abc", "a|bc|d", "(a|b)*c+d?", "a{2,5}(xy){3}", "[^a-f]z",
+		`GET /[a-z]{1,8}\.php`, `\x00\xff`, "a(b(c(d)))e", "x**",
+	} {
+		n := MustParse(in)
+		p := n.Pattern()
+		m, err := Parse(p)
+		if err != nil {
+			t.Fatalf("reparse %q (from %q): %v", p, in, err)
+		}
+		if m.String() != n.String() {
+			t.Errorf("round trip %q → %q: AST %s vs %s", in, p, m.String(), n.String())
+		}
+	}
+}
+
+func TestQuickPatternRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(71))
+	f := func() bool {
+		in := randPattern(r, 4)
+		n, err := Parse(in)
+		if err != nil {
+			return true
+		}
+		p := n.Pattern()
+		m, err := Parse(p)
+		if err != nil {
+			t.Logf("reparse %q (from %q): %v", p, in, err)
+			return false
+		}
+		if m.String() != n.String() {
+			t.Logf("%q → %q: %s vs %s", in, p, m.String(), n.String())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,138 @@
+// Package similarity implements the insertion-deletion (INDEL) distance —
+// Levenshtein distance restricted to insertions and deletions — and the
+// normalized INDEL similarity the paper uses in Fig. 1 as a proxy of the
+// morphological similarity between the REs of a dataset.
+//
+// Two implementations are provided: a classic dynamic-programming LCS and
+// the bit-parallel algorithm in the style of Hyyrö, Pinzón and Shinohara
+// (the paper's reference [31]), which processes 64 pattern positions per
+// word operation. Both use INDEL(a,b) = len(a) + len(b) − 2·LCS(a,b).
+package similarity
+
+import "math/bits"
+
+// Indel returns the insertion-deletion distance between a and b using the
+// bit-parallel LCS under the hood.
+func Indel(a, b string) int {
+	return len(a) + len(b) - 2*LCSBitParallel(a, b)
+}
+
+// Similarity returns the normalized INDEL similarity 1 − INDEL/(len(a)+len(b))
+// in [0, 1]. Two empty strings are defined to be fully similar. The paper's
+// worked example: lewenstein vs levenshtein has INDEL 3 over lengths 10+11,
+// similarity 1 − 3/21 ≈ 0.857.
+func Similarity(a, b string) float64 {
+	if len(a)+len(b) == 0 {
+		return 1
+	}
+	return 1 - float64(Indel(a, b))/float64(len(a)+len(b))
+}
+
+// LCSDP returns the length of the longest common subsequence of a and b by
+// the classic O(len(a)·len(b)) dynamic program with two rows. It is the
+// reference implementation the bit-parallel version is tested against.
+func LCSDP(a, b string) int {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for i := 1; i <= len(a); i++ {
+		for j := 1; j <= len(b); j++ {
+			if a[i-1] == b[j-1] {
+				cur[j] = prev[j-1] + 1
+			} else if prev[j] >= cur[j-1] {
+				cur[j] = prev[j]
+			} else {
+				cur[j] = cur[j-1]
+			}
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+// LCSBitParallel returns the length of the longest common subsequence using
+// the Allison–Dix bit-vector recurrence with multi-word support:
+//
+//	x  = L | M[c]
+//	L' = x & ~(x − ((L << 1) | 1))
+//
+// where M[c] marks the positions of character c in a, and popcount(L) after
+// the last text character is the LCS length. Each text character costs
+// O(⌈len(a)/64⌉) word operations.
+func LCSBitParallel(a, b string) int {
+	m := len(a)
+	if m == 0 || len(b) == 0 {
+		return 0
+	}
+	words := (m + 63) / 64
+	// Match masks, built sparsely: most byte values never occur in a.
+	var masks [256][]uint64
+	for i := 0; i < m; i++ {
+		c := a[i]
+		if masks[c] == nil {
+			masks[c] = make([]uint64, words)
+		}
+		masks[c][i>>6] |= 1 << (uint(i) & 63)
+	}
+	l := make([]uint64, words)
+	x := make([]uint64, words)
+	sub := make([]uint64, words)
+	for i := 0; i < len(b); i++ {
+		mc := masks[b[i]]
+		if mc == nil {
+			continue // no positions to extend; L is unchanged
+		}
+		// x = L | M[c]
+		for w := 0; w < words; w++ {
+			x[w] = l[w] | mc[w]
+		}
+		// y = (L << 1) | 1 with inter-word carry.
+		carry := uint64(1)
+		for w := 0; w < words; w++ {
+			nextCarry := l[w] >> 63
+			sub[w] = (l[w] << 1) | carry
+			carry = nextCarry
+		}
+		// sub = x − y with borrow propagation.
+		borrow := uint64(0)
+		for w := 0; w < words; w++ {
+			d, b1 := bits.Sub64(x[w], sub[w], borrow)
+			sub[w] = d
+			borrow = b1
+		}
+		// L = x & ~sub
+		for w := 0; w < words; w++ {
+			l[w] = x[w] &^ sub[w]
+		}
+	}
+	// Mask off bits beyond m (the subtraction can smear into them).
+	if r := uint(m) & 63; r != 0 {
+		l[words-1] &= (1 << r) - 1
+	}
+	total := 0
+	for _, w := range l {
+		total += bits.OnesCount64(w)
+	}
+	return total
+}
+
+// DatasetSimilarity returns the average normalized INDEL similarity over
+// every unordered pair of distinct strings — the per-dataset quantity
+// plotted in Fig. 1. It returns 0 for fewer than two strings.
+func DatasetSimilarity(patterns []string) float64 {
+	n := len(patterns)
+	if n < 2 {
+		return 0
+	}
+	var total float64
+	var pairs int64
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			total += Similarity(patterns[i], patterns[j])
+			pairs++
+		}
+	}
+	return total / float64(pairs)
+}

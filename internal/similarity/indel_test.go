@@ -1,0 +1,169 @@
+package similarity
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPaperExample(t *testing.T) {
+	// §I: lewenstein vs levenshtein → INDEL 3, similarity 1 − 3/21.
+	if got := Indel("lewenstein", "levenshtein"); got != 3 {
+		t.Fatalf("INDEL=%d, want 3", got)
+	}
+	want := 1 - 3.0/21.0
+	if got := Similarity("lewenstein", "levenshtein"); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("similarity=%f, want %f", got, want)
+	}
+}
+
+func TestLCSBasics(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"a", "", 0},
+		{"", "b", 0},
+		{"abc", "abc", 3},
+		{"abc", "def", 0},
+		{"abcdef", "acf", 3},
+		{"aggtab", "gxtxayb", 4},
+		{"aaaa", "aa", 2},
+		{"ab", "ba", 1},
+	}
+	for _, c := range cases {
+		if got := LCSDP(c.a, c.b); got != c.want {
+			t.Errorf("LCSDP(%q,%q)=%d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := LCSBitParallel(c.a, c.b); got != c.want {
+			t.Errorf("LCSBitParallel(%q,%q)=%d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestIndelProperties(t *testing.T) {
+	if Indel("abc", "abc") != 0 {
+		t.Fatal("identical strings must have distance 0")
+	}
+	if got := Indel("abc", ""); got != 3 {
+		t.Fatalf("distance to empty = %d, want 3", got)
+	}
+	if s := Similarity("", ""); s != 1 {
+		t.Fatalf("similarity of empties = %f", s)
+	}
+	if s := Similarity("abc", "xyz"); s != 0 {
+		t.Fatalf("disjoint similarity = %f, want 0", s)
+	}
+}
+
+func TestLongPatternsMultiWord(t *testing.T) {
+	// Exercise the multi-word carry/borrow paths with > 64-char strings.
+	a := strings.Repeat("abcdefgh", 20) // 160 chars
+	b := strings.Repeat("abxdefgh", 20)
+	dp := LCSDP(a, b)
+	bp := LCSBitParallel(a, b)
+	if dp != bp {
+		t.Fatalf("dp=%d bitparallel=%d", dp, bp)
+	}
+	if got := LCSBitParallel(a, a); got != len(a) {
+		t.Fatalf("self LCS=%d, want %d", got, len(a))
+	}
+}
+
+func TestQuickBitParallelEqualsDP(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	f := func() bool {
+		la, lb := r.Intn(200), r.Intn(200)
+		alpha := []byte("abcdxyz")
+		a := make([]byte, la)
+		b := make([]byte, lb)
+		for i := range a {
+			a[i] = alpha[r.Intn(len(alpha))]
+		}
+		for i := range b {
+			b[i] = alpha[r.Intn(len(alpha))]
+		}
+		if LCSDP(string(a), string(b)) != LCSBitParallel(string(a), string(b)) {
+			t.Logf("a=%q b=%q", a, b)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMetricProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(78))
+	randStr := func() string {
+		n := r.Intn(40)
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = byte('a' + r.Intn(4))
+		}
+		return string(b)
+	}
+	f := func() bool {
+		a, b, c := randStr(), randStr(), randStr()
+		dab, dba := Indel(a, b), Indel(b, a)
+		if dab != dba { // symmetry
+			return false
+		}
+		if Indel(a, a) != 0 { // identity
+			return false
+		}
+		// Triangle inequality (INDEL is a metric).
+		if Indel(a, c) > Indel(a, b)+Indel(b, c) {
+			t.Logf("triangle violated: %q %q %q", a, b, c)
+			return false
+		}
+		// Similarity bounded in [0,1].
+		s := Similarity(a, b)
+		return s >= 0 && s <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDatasetSimilarity(t *testing.T) {
+	if got := DatasetSimilarity(nil); got != 0 {
+		t.Fatalf("empty dataset: %f", got)
+	}
+	if got := DatasetSimilarity([]string{"only"}); got != 0 {
+		t.Fatalf("singleton dataset: %f", got)
+	}
+	if got := DatasetSimilarity([]string{"aaa", "aaa", "aaa"}); got != 1 {
+		t.Fatalf("identical dataset: %f", got)
+	}
+	got := DatasetSimilarity([]string{"abc", "xyz"})
+	if got != 0 {
+		t.Fatalf("disjoint pair: %f", got)
+	}
+	// Mixed: average over three pairs.
+	ds := []string{"abcd", "abcd", "zzzz"}
+	want := (1.0 + 0 + 0) / 3
+	if math.Abs(DatasetSimilarity(ds)-want) > 1e-12 {
+		t.Fatalf("mixed: %f, want %f", DatasetSimilarity(ds), want)
+	}
+}
+
+func BenchmarkLCSDP(b *testing.B) {
+	x := strings.Repeat("GET /index.php?id=", 4)
+	y := strings.Repeat("GET /image.gif?v=2", 4)
+	for i := 0; i < b.N; i++ {
+		LCSDP(x, y)
+	}
+}
+
+func BenchmarkLCSBitParallel(b *testing.B) {
+	x := strings.Repeat("GET /index.php?id=", 4)
+	y := strings.Repeat("GET /image.gif?v=2", 4)
+	for i := 0; i < b.N; i++ {
+		LCSBitParallel(x, y)
+	}
+}

@@ -1,0 +1,255 @@
+// Package snort translates a practical subset of Snort rule syntax into the
+// POSIX EREs this library compiles. The evaluation rulesets of the paper
+// (Bro217, the TCP class) descend from exactly such IDS rules, so this
+// front-end lets real rule files feed the MFSA pipeline.
+//
+// Supported per rule: any number of `content:"…";` options (hex blocks in
+// |..| notation, optional `nocase`), `pcre:"/…/"` options (the expression
+// is taken verbatim as an ERE; unsupported PCRE constructs surface as
+// compile errors later), and the `msg:"…";` option for naming. Multiple
+// content/pcre options concatenate in order with unbounded gaps (`.*`),
+// matching Snort's ordered-match semantics. Other options and the rule
+// header are ignored.
+package snort
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Rule is one translated rule.
+type Rule struct {
+	// Msg is the rule's msg option, or a generated name.
+	Msg string
+	// Pattern is the equivalent POSIX ERE.
+	Pattern string
+	// Line is the 1-based source line.
+	Line int
+}
+
+// ParseRules reads a Snort rule file and translates every alert/log/pass
+// rule that carries at least one content or pcre option. Lines that are
+// blank or comments are skipped; rules without matchable options are
+// reported in the skipped count.
+func ParseRules(r io.Reader) (rules []Rule, skipped int, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		rule, ok, perr := parseRule(line, lineNo)
+		if perr != nil {
+			return nil, 0, fmt.Errorf("snort: line %d: %w", lineNo, perr)
+		}
+		if !ok {
+			skipped++
+			continue
+		}
+		rules = append(rules, rule)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, err
+	}
+	return rules, skipped, nil
+}
+
+func parseRule(line string, lineNo int) (Rule, bool, error) {
+	open := strings.IndexByte(line, '(')
+	close_ := strings.LastIndexByte(line, ')')
+	if open < 0 || close_ < open {
+		return Rule{}, false, nil // headers without options carry no pattern
+	}
+	body := line[open+1 : close_]
+	opts, err := splitOptions(body)
+	if err != nil {
+		return Rule{}, false, err
+	}
+	var parts []string
+	msg := fmt.Sprintf("rule@%d", lineNo)
+	nocasePending := -1
+	for _, opt := range opts {
+		key, val, hasVal := strings.Cut(opt, ":")
+		key = strings.TrimSpace(key)
+		val = strings.TrimSpace(val)
+		switch key {
+		case "msg":
+			if hasVal {
+				msg = strings.Trim(val, `"`)
+			}
+		case "content":
+			if !hasVal {
+				return Rule{}, false, fmt.Errorf("content without value")
+			}
+			pat, err := contentToERE(strings.Trim(val, `"`))
+			if err != nil {
+				return Rule{}, false, err
+			}
+			parts = append(parts, pat)
+			nocasePending = len(parts) - 1
+		case "nocase":
+			if nocasePending >= 0 {
+				parts[nocasePending] = caseFold(parts[nocasePending])
+			}
+		case "pcre":
+			if !hasVal {
+				return Rule{}, false, fmt.Errorf("pcre without value")
+			}
+			pat, err := pcreToERE(strings.Trim(val, `"`))
+			if err != nil {
+				return Rule{}, false, err
+			}
+			parts = append(parts, pat)
+			nocasePending = -1
+		}
+	}
+	if len(parts) == 0 {
+		return Rule{}, false, nil
+	}
+	return Rule{Msg: msg, Pattern: strings.Join(parts, ".*"), Line: lineNo}, true, nil
+}
+
+// splitOptions cuts the option body at semicolons, honoring quotes.
+func splitOptions(body string) ([]string, error) {
+	var out []string
+	var cur strings.Builder
+	inQuote := false
+	for i := 0; i < len(body); i++ {
+		c := body[i]
+		switch {
+		case c == '\\' && inQuote && i+1 < len(body):
+			cur.WriteByte(c)
+			i++
+			cur.WriteByte(body[i])
+		case c == '"':
+			inQuote = !inQuote
+			cur.WriteByte(c)
+		case c == ';' && !inQuote:
+			if s := strings.TrimSpace(cur.String()); s != "" {
+				out = append(out, s)
+			}
+			cur.Reset()
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	if inQuote {
+		return nil, fmt.Errorf("unterminated quote in options")
+	}
+	if s := strings.TrimSpace(cur.String()); s != "" {
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// contentToERE converts a Snort content string — literal text with |HH HH|
+// hex blocks — into an escaped ERE literal.
+func contentToERE(s string) (string, error) {
+	var out strings.Builder
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == '|' {
+			end := strings.IndexByte(s[i+1:], '|')
+			if end < 0 {
+				return "", fmt.Errorf("unterminated hex block in content %q", s)
+			}
+			hex := strings.Fields(s[i+1 : i+1+end])
+			for _, h := range hex {
+				if len(h) != 2 || !isHex(h[0]) || !isHex(h[1]) {
+					return "", fmt.Errorf("bad hex byte %q in content %q", h, s)
+				}
+				out.WriteString(`\x` + strings.ToLower(h))
+			}
+			i += end + 1
+			continue
+		}
+		if c == '\\' && i+1 < len(s) {
+			i++
+			c = s[i]
+		}
+		out.WriteString(escapeEREByte(c))
+	}
+	if out.Len() == 0 {
+		return "", fmt.Errorf("empty content")
+	}
+	return out.String(), nil
+}
+
+// pcreToERE strips the /…/flags wrapper; the `i` flag case-folds literal
+// letters. The expression body is otherwise passed through and validated by
+// the downstream ERE parser.
+func pcreToERE(s string) (string, error) {
+	if len(s) < 2 || s[0] != '/' {
+		return "", fmt.Errorf("pcre %q must be /…/", s)
+	}
+	end := strings.LastIndexByte(s, '/')
+	if end <= 0 {
+		return "", fmt.Errorf("pcre %q missing closing slash", s)
+	}
+	body := s[1:end]
+	flags := s[end+1:]
+	for _, f := range flags {
+		switch f {
+		case 'i':
+			body = caseFold(body)
+		case 's', 'm', 'U', 'R', 'B', 'P', 'H', 'D', 'M', 'C', 'K', 'S', 'Y':
+			// Modifiers without an ERE equivalent are dropped; they
+			// only loosen where the pattern applies.
+		default:
+			return "", fmt.Errorf("unsupported pcre flag %q", f)
+		}
+	}
+	if body == "" {
+		return "", fmt.Errorf("empty pcre body")
+	}
+	return body, nil
+}
+
+// caseFold rewrites unescaped ASCII letters outside bracket expressions as
+// two-case classes: a → [aA].
+func caseFold(p string) string {
+	var out strings.Builder
+	inClass := false
+	for i := 0; i < len(p); i++ {
+		c := p[i]
+		switch {
+		case c == '\\' && i+1 < len(p):
+			out.WriteByte(c)
+			i++
+			out.WriteByte(p[i])
+		case c == '[' && !inClass:
+			inClass = true
+			out.WriteByte(c)
+		case c == ']' && inClass:
+			inClass = false
+			out.WriteByte(c)
+		case !inClass && c >= 'a' && c <= 'z':
+			out.WriteString("[" + string(c) + string(c-32) + "]")
+		case !inClass && c >= 'A' && c <= 'Z':
+			out.WriteString("[" + string(c+32) + string(c) + "]")
+		default:
+			out.WriteByte(c)
+		}
+	}
+	return out.String()
+}
+
+func escapeEREByte(c byte) string {
+	switch c {
+	case '.', '*', '+', '?', '(', ')', '[', ']', '{', '}', '|', '^', '$', '\\':
+		return "\\" + string(c)
+	}
+	if c < 0x20 || c >= 0x7f {
+		return fmt.Sprintf(`\x%02x`, c)
+	}
+	return string(c)
+}
+
+func isHex(c byte) bool {
+	return c >= '0' && c <= '9' || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F'
+}

@@ -1,0 +1,205 @@
+package snort
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/mfsa"
+	"repro/internal/nfa"
+)
+
+func parseOne(t *testing.T, line string) Rule {
+	t.Helper()
+	rules, skipped, err := ParseRules(strings.NewReader(line))
+	if err != nil {
+		t.Fatalf("%s: %v", line, err)
+	}
+	if len(rules) != 1 || skipped != 0 {
+		t.Fatalf("%s: rules=%d skipped=%d", line, len(rules), skipped)
+	}
+	return rules[0]
+}
+
+func TestContentRule(t *testing.T) {
+	r := parseOne(t, `alert tcp any any -> any 80 (msg:"WEB admin"; content:"GET /admin"; sid:1;)`)
+	if r.Msg != "WEB admin" {
+		t.Fatalf("msg=%q", r.Msg)
+	}
+	if r.Pattern != "GET /admin" {
+		t.Fatalf("pattern=%q", r.Pattern)
+	}
+}
+
+func TestContentEscaping(t *testing.T) {
+	r := parseOne(t, `alert tcp any any -> any any (content:"a.b(c)*";)`)
+	if r.Pattern != `a\.b\(c\)\*` {
+		t.Fatalf("pattern=%q", r.Pattern)
+	}
+	if _, err := nfa.Compile(r.Pattern); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHexBlocks(t *testing.T) {
+	r := parseOne(t, `alert tcp any any -> any any (content:"|90 90|X|41|";)`)
+	if r.Pattern != `\x90\x90X\x41` {
+		t.Fatalf("pattern=%q", r.Pattern)
+	}
+}
+
+func TestMultipleContentsGap(t *testing.T) {
+	r := parseOne(t, `alert tcp any any -> any any (content:"GET"; content:"passwd";)`)
+	if r.Pattern != "GET.*passwd" {
+		t.Fatalf("pattern=%q", r.Pattern)
+	}
+}
+
+func TestNocase(t *testing.T) {
+	r := parseOne(t, `alert tcp any any -> any any (content:"Ab1"; nocase;)`)
+	if r.Pattern != "[aA][bB]1" {
+		t.Fatalf("pattern=%q", r.Pattern)
+	}
+}
+
+func TestPcreRule(t *testing.T) {
+	r := parseOne(t, `alert tcp any any -> any any (pcre:"/cmd[0-9]{1,3}/";)`)
+	if r.Pattern != "cmd[0-9]{1,3}" {
+		t.Fatalf("pattern=%q", r.Pattern)
+	}
+	if _, err := nfa.Compile(r.Pattern); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPcreCaseInsensitive(t *testing.T) {
+	r := parseOne(t, `alert tcp any any -> any any (pcre:"/select[0-9]x/i";)`)
+	want := "[sS][eE][lL][eE][cC][tT][0-9][xX]"
+	if r.Pattern != want {
+		t.Fatalf("pattern=%q want %q", r.Pattern, want)
+	}
+}
+
+func TestContentPlusPcre(t *testing.T) {
+	r := parseOne(t, `alert tcp any any -> any any (content:"POST"; pcre:"/user=[a-z]+/";)`)
+	if r.Pattern != "POST.*user=[a-z]+" {
+		t.Fatalf("pattern=%q", r.Pattern)
+	}
+}
+
+func TestSkipsAndComments(t *testing.T) {
+	src := `# comment
+alert icmp any any -> any any (msg:"no content"; sid:2;)
+
+alert tcp any any -> any any (content:"x1y2";)
+`
+	rules, skipped, err := ParseRules(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 1 || skipped != 1 {
+		t.Fatalf("rules=%d skipped=%d", len(rules), skipped)
+	}
+	if rules[0].Line != 4 {
+		t.Fatalf("line=%d", rules[0].Line)
+	}
+}
+
+func TestSemicolonInsideQuotes(t *testing.T) {
+	r := parseOne(t, `alert tcp any any -> any any (msg:"a;b"; content:"x;y";)`)
+	if r.Msg != "a;b" || r.Pattern != "x;y" {
+		t.Fatalf("msg=%q pattern=%q", r.Msg, r.Pattern)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	for _, line := range []string{
+		`alert tcp any any -> any any (content:"|9|";)`,
+		`alert tcp any any -> any any (content:"|90";)`,
+		`alert tcp any any -> any any (content:"";)`,
+		`alert tcp any any -> any any (pcre:"nope";)`,
+		`alert tcp any any -> any any (pcre:"/x/Z";)`,
+		`alert tcp any any -> any any (content:"unterminated)`,
+	} {
+		if _, _, err := ParseRules(strings.NewReader(line)); err == nil {
+			t.Errorf("%s: no error", line)
+		}
+	}
+}
+
+func TestDefaultMsg(t *testing.T) {
+	r := parseOne(t, `alert tcp any any -> any any (content:"abc";)`)
+	if !strings.Contains(r.Msg, "rule@") {
+		t.Fatalf("msg=%q", r.Msg)
+	}
+}
+
+func TestTranslatedRulesetCompiles(t *testing.T) {
+	src := `
+alert tcp any any -> any 80 (msg:"scan 1"; content:"GET /cgi-bin/"; content:".sh"; nocase;)
+alert tcp any any -> any 80 (msg:"scan 2"; pcre:"/User-Agent. (sqlmap|nikto)/";)
+alert tcp any any -> any any (msg:"shell"; content:"|2f|bin|2f|sh";)
+alert tcp any any -> any any (msg:"sled"; pcre:"/\x90{8,}/";)
+`
+	rules, _, err := ParseRules(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 4 {
+		t.Fatalf("rules=%d", len(rules))
+	}
+	for _, r := range rules {
+		if _, err := nfa.Compile(r.Pattern); err != nil {
+			t.Errorf("%s (%s): %v", r.Msg, r.Pattern, err)
+		}
+	}
+}
+
+func TestRealisticRulesetFixture(t *testing.T) {
+	f, err := os.Open("testdata/web-attacks.rules")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rules, skipped, err := ParseRules(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 11 || skipped != 1 {
+		t.Fatalf("rules=%d skipped=%d", len(rules), skipped)
+	}
+	// Every translated pattern must compile, merge, and match a witness.
+	patterns := make([]string, len(rules))
+	for i, r := range rules {
+		patterns[i] = r.Pattern
+	}
+	fsas := make([]*nfa.NFA, len(patterns))
+	for i, p := range patterns {
+		n, err := nfa.Compile(p)
+		if err != nil {
+			t.Fatalf("%s (%s): %v", rules[i].Msg, p, err)
+		}
+		fsas[i] = n
+	}
+	z, err := mfsa.Merge(fsas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := engine.NewProgram(z)
+	payload := []byte("GET /cgi-bin/phf?Q= HTTP/1.0\r\n" +
+		"User-Agent: sqlmap\r\nid=1 UNION  SELECT pass FROM users\r\n" +
+		"CMD.EXE \x90\x90\x90\x90\x90\x90\x90\x90\x90")
+	res := engine.Run(prog, payload, engine.Config{})
+	hit := map[int]bool{}
+	for fsa, c := range res.PerFSA {
+		if c > 0 {
+			hit[fsa] = true
+		}
+	}
+	for _, want := range []int{0, 2, 5, 8, 10} { // phf, cmd.exe, union, sled, scanner UA
+		if !hit[want] {
+			t.Errorf("rule %d (%s) did not fire", want, rules[want].Msg)
+		}
+	}
+}

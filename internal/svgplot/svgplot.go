@@ -1,0 +1,256 @@
+// Package svgplot renders the experiment results as standalone SVG charts,
+// mirroring the paper artifact's plot generation (its scripts emit PDF
+// charts for Figs. 7–10). Only grouped bar charts and multi-series line
+// charts are needed; both are hand-rendered SVG with axes, ticks and a
+// legend, using no dependencies.
+package svgplot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named data series.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// palette holds the series colors (colorblind-safe Okabe–Ito subset).
+var palette = []string{
+	"#0072B2", "#E69F00", "#009E73", "#CC79A7", "#56B4E9", "#D55E00",
+	"#F0E442", "#999999",
+}
+
+const (
+	width      = 760
+	height     = 420
+	marginL    = 70
+	marginR    = 20
+	marginT    = 40
+	marginB    = 70
+	plotW      = width - marginL - marginR
+	plotH      = height - marginT - marginB
+	fontFamily = "sans-serif"
+)
+
+// BarChart is a grouped bar chart: one group per category, one bar per
+// series within each group.
+type BarChart struct {
+	Title      string
+	YLabel     string
+	Categories []string
+	Series     []Series
+}
+
+// Render writes the chart as a standalone SVG document.
+func (c *BarChart) Render(w io.Writer) error {
+	if len(c.Categories) == 0 || len(c.Series) == 0 {
+		return fmt.Errorf("svgplot: empty chart %q", c.Title)
+	}
+	for _, s := range c.Series {
+		if len(s.Values) != len(c.Categories) {
+			return fmt.Errorf("svgplot: series %q has %d values for %d categories",
+				s.Name, len(s.Values), len(c.Categories))
+		}
+	}
+	maxV := 0.0
+	for _, s := range c.Series {
+		for _, v := range s.Values {
+			if v > maxV {
+				maxV = v
+			}
+		}
+	}
+	if maxV <= 0 {
+		maxV = 1
+	}
+	maxV = niceCeil(maxV)
+
+	var b strings.Builder
+	header(&b, c.Title)
+	yAxis(&b, 0, maxV, false, c.YLabel)
+
+	groupW := float64(plotW) / float64(len(c.Categories))
+	barW := groupW * 0.8 / float64(len(c.Series))
+	for gi, cat := range c.Categories {
+		gx := float64(marginL) + groupW*float64(gi)
+		// Category label.
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-family="%s" font-size="11" text-anchor="middle">%s</text>`+"\n",
+			gx+groupW/2, height-marginB+16, fontFamily, esc(cat))
+		for si, s := range c.Series {
+			v := s.Values[gi]
+			h := float64(plotH) * v / maxV
+			x := gx + groupW*0.1 + barW*float64(si)
+			y := float64(marginT+plotH) - h
+			fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`+"\n",
+				x, y, barW*0.92, h, palette[si%len(palette)])
+		}
+	}
+	legend(&b, c.Series)
+	footer(&b)
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// LineChart is a multi-series line chart over shared x positions.
+type LineChart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// XLabels name the shared x positions (categorical axis, e.g. thread
+	// counts).
+	XLabels []string
+	Series  []Series
+	// LogY plots the y axis in log10 (all values must be positive).
+	LogY bool
+}
+
+// Render writes the chart as a standalone SVG document.
+func (c *LineChart) Render(w io.Writer) error {
+	if len(c.XLabels) == 0 || len(c.Series) == 0 {
+		return fmt.Errorf("svgplot: empty chart %q", c.Title)
+	}
+	minV, maxV := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		if len(s.Values) != len(c.XLabels) {
+			return fmt.Errorf("svgplot: series %q has %d values for %d x positions",
+				s.Name, len(s.Values), len(c.XLabels))
+		}
+		for _, v := range s.Values {
+			if c.LogY && v <= 0 {
+				return fmt.Errorf("svgplot: non-positive value on log axis in %q", s.Name)
+			}
+			minV = math.Min(minV, v)
+			maxV = math.Max(maxV, v)
+		}
+	}
+	lo, hi := 0.0, niceCeil(maxV)
+	if c.LogY {
+		lo = math.Floor(math.Log10(minV))
+		hi = math.Ceil(math.Log10(maxV))
+		if hi == lo {
+			hi = lo + 1
+		}
+	}
+
+	var b strings.Builder
+	header(&b, c.Title)
+	yAxis(&b, lo, hi, c.LogY, c.YLabel)
+
+	xStep := float64(plotW) / float64(len(c.XLabels))
+	xAt := func(i int) float64 { return float64(marginL) + xStep*(float64(i)+0.5) }
+	yAt := func(v float64) float64 {
+		t := 0.0
+		if c.LogY {
+			t = (math.Log10(v) - lo) / (hi - lo)
+		} else {
+			t = v / hi
+		}
+		return float64(marginT+plotH) - float64(plotH)*t
+	}
+	for i, lbl := range c.XLabels {
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-family="%s" font-size="11" text-anchor="middle">%s</text>`+"\n",
+			xAt(i), height-marginB+16, fontFamily, esc(lbl))
+	}
+	if c.XLabel != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="%s" font-size="12" text-anchor="middle">%s</text>`+"\n",
+			marginL+plotW/2, height-marginB+38, fontFamily, esc(c.XLabel))
+	}
+	for si, s := range c.Series {
+		color := palette[si%len(palette)]
+		var pts []string
+		for i, v := range s.Values {
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", xAt(i), yAt(v)))
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`+"\n",
+			strings.Join(pts, " "), color)
+		for i, v := range s.Values {
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="3" fill="%s"/>`+"\n", xAt(i), yAt(v), color)
+		}
+	}
+	legend(&b, c.Series)
+	footer(&b)
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func header(b *strings.Builder, title string) {
+	fmt.Fprintf(b, `<?xml version="1.0" encoding="UTF-8"?>`+"\n")
+	fmt.Fprintf(b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	fmt.Fprintf(b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(b, `<text x="%d" y="22" font-family="%s" font-size="15" text-anchor="middle">%s</text>`+"\n",
+		width/2, fontFamily, esc(title))
+	// Plot frame.
+	fmt.Fprintf(b, `<rect x="%d" y="%d" width="%d" height="%d" fill="none" stroke="#444"/>`+"\n",
+		marginL, marginT, plotW, plotH)
+}
+
+// yAxis draws ticks and grid lines; for log axes lo/hi are exponents.
+func yAxis(b *strings.Builder, lo, hi float64, log bool, label string) {
+	const ticks = 5
+	for i := 0; i <= ticks; i++ {
+		t := float64(i) / ticks
+		y := float64(marginT+plotH) - float64(plotH)*t
+		v := lo + (hi-lo)*t
+		text := trimFloat(v)
+		if log {
+			text = fmt.Sprintf("1e%d", int(v))
+		}
+		fmt.Fprintf(b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd"/>`+"\n",
+			marginL, y, marginL+plotW, y)
+		fmt.Fprintf(b, `<text x="%d" y="%.1f" font-family="%s" font-size="11" text-anchor="end">%s</text>`+"\n",
+			marginL-6, y+4, fontFamily, text)
+	}
+	if label != "" {
+		fmt.Fprintf(b, `<text x="18" y="%d" font-family="%s" font-size="12" text-anchor="middle" transform="rotate(-90 18 %d)">%s</text>`+"\n",
+			marginT+plotH/2, fontFamily, marginT+plotH/2, esc(label))
+	}
+}
+
+func legend(b *strings.Builder, series []Series) {
+	x := marginL + 8
+	y := marginT + 10
+	for si, s := range series {
+		fmt.Fprintf(b, `<rect x="%d" y="%d" width="10" height="10" fill="%s"/>`+"\n",
+			x, y-9, palette[si%len(palette)])
+		fmt.Fprintf(b, `<text x="%d" y="%d" font-family="%s" font-size="11">%s</text>`+"\n",
+			x+14, y, fontFamily, esc(s.Name))
+		x += 14 + 8*len(s.Name) + 16
+		if x > width-marginR-100 {
+			x = marginL + 8
+			y += 16
+		}
+	}
+}
+
+func footer(b *strings.Builder) { b.WriteString("</svg>\n") }
+
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// niceCeil rounds v up to 1/2/5 × 10^k.
+func niceCeil(v float64) float64 {
+	if v <= 0 {
+		return 1
+	}
+	exp := math.Floor(math.Log10(v))
+	base := math.Pow(10, exp)
+	for _, m := range []float64{1, 2, 5, 10} {
+		if v <= m*base {
+			return m * base
+		}
+	}
+	return 10 * base
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.2f", v)
+	s = strings.TrimRight(s, "0")
+	return strings.TrimRight(s, ".")
+}

@@ -1,0 +1,138 @@
+package svgplot
+
+import (
+	"bytes"
+	"encoding/xml"
+	"strings"
+	"testing"
+)
+
+// wellFormed parses the output as XML and counts elements by name.
+func wellFormed(t *testing.T, svg []byte) map[string]int {
+	t.Helper()
+	dec := xml.NewDecoder(bytes.NewReader(svg))
+	counts := map[string]int{}
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("malformed SVG: %v", err)
+		}
+		if se, ok := tok.(xml.StartElement); ok {
+			counts[se.Name.Local]++
+		}
+	}
+	return counts
+}
+
+func TestBarChartRender(t *testing.T) {
+	c := &BarChart{
+		Title:      "Fig. 7 — compression",
+		YLabel:     "% compression",
+		Categories: []string{"BRO", "DS9", "PEN"},
+		Series: []Series{
+			{Name: "M=10", Values: []float64{45, 37, 21}},
+			{Name: "M=all", Values: []float64{83, 93, 84}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	counts := wellFormed(t, buf.Bytes())
+	if counts["svg"] != 1 {
+		t.Fatalf("svg elements: %d", counts["svg"])
+	}
+	// 3 categories × 2 series bars + background + frame + 2 legend swatches.
+	if counts["rect"] != 3*2+2+2 {
+		t.Fatalf("rect elements: %d", counts["rect"])
+	}
+	if !strings.Contains(buf.String(), "Fig. 7") {
+		t.Fatal("title missing")
+	}
+}
+
+func TestLineChartRender(t *testing.T) {
+	c := &LineChart{
+		Title:   "Fig. 10 — BRO",
+		XLabel:  "#Threads",
+		YLabel:  "time (ms)",
+		XLabels: []string{"1", "2", "4", "8"},
+		LogY:    true,
+		Series: []Series{
+			{Name: "M=1", Values: []float64{120, 65, 40, 30}},
+			{Name: "M=all", Values: []float64{12, 12, 12, 12}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	counts := wellFormed(t, buf.Bytes())
+	if counts["polyline"] != 2 {
+		t.Fatalf("polylines: %d", counts["polyline"])
+	}
+	if counts["circle"] != 8 {
+		t.Fatalf("markers: %d", counts["circle"])
+	}
+	if !strings.Contains(buf.String(), "1e") {
+		t.Fatal("log ticks missing")
+	}
+}
+
+func TestRenderErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (&BarChart{Title: "x"}).Render(&buf); err == nil {
+		t.Fatal("empty bar chart accepted")
+	}
+	bc := &BarChart{Categories: []string{"a"}, Series: []Series{{Name: "s", Values: []float64{1, 2}}}}
+	if err := bc.Render(&buf); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	lc := &LineChart{XLabels: []string{"1"}, LogY: true,
+		Series: []Series{{Name: "s", Values: []float64{0}}}}
+	if err := lc.Render(&buf); err == nil {
+		t.Fatal("non-positive log value accepted")
+	}
+	if err := (&LineChart{}).Render(&buf); err == nil {
+		t.Fatal("empty line chart accepted")
+	}
+}
+
+func TestEscaping(t *testing.T) {
+	c := &BarChart{
+		Title:      `a<b & "c"`,
+		Categories: []string{"x>y"},
+		Series:     []Series{{Name: "s&t", Values: []float64{1}}},
+	}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	wellFormed(t, buf.Bytes()) // would fail on unescaped characters
+}
+
+func TestNiceCeil(t *testing.T) {
+	cases := map[float64]float64{
+		0.7: 1, 1: 1, 1.2: 2, 3: 5, 7: 10, 12: 20, 50: 50, 51: 100, 0: 1,
+	}
+	for in, want := range cases {
+		if got := niceCeil(in); got != want {
+			t.Errorf("niceCeil(%v)=%v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestZeroValuesBarChart(t *testing.T) {
+	c := &BarChart{
+		Categories: []string{"a"},
+		Series:     []Series{{Name: "s", Values: []float64{0}}},
+	}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	wellFormed(t, buf.Bytes())
+}

@@ -1,0 +1,108 @@
+package imfant
+
+import (
+	"repro/internal/engine"
+)
+
+// StreamMatcher scans a stream incrementally: write chunks of any size and
+// matches are reported with absolute stream offsets, exactly as if the
+// whole stream had been scanned at once (active MFSA paths carry across
+// chunk boundaries). It implements io.WriteCloser, so it can sit behind
+// io.Copy or a TeeReader in a packet-processing pipeline.
+//
+// Close marks the end of the stream; it is required for correctness of
+// $-anchored rules, which may only match on the final byte. To that end the
+// matcher holds back the most recent byte until the next Write or Close.
+//
+// A StreamMatcher is not safe for concurrent use.
+type StreamMatcher struct {
+	runners []*engine.Runner
+	rules   [][]RuleInfo
+	onMatch func(Match)
+	held    [1]byte
+	hasHeld bool
+	closed  bool
+	matches int64
+}
+
+// RuleInfo identifies one rule inside a stream matcher.
+type RuleInfo struct {
+	Rule    int
+	Pattern string
+}
+
+// NewStreamMatcher returns a matcher over the ruleset. onMatch may be nil
+// when only the count is needed.
+func (rs *Ruleset) NewStreamMatcher(onMatch func(Match)) *StreamMatcher {
+	sm := &StreamMatcher{onMatch: onMatch}
+	for _, p := range rs.programs {
+		runner := engine.NewRunner(p)
+		var infos []RuleInfo
+		for _, ri := range p.Rules() {
+			infos = append(infos, RuleInfo{Rule: ri.RuleID, Pattern: ri.Pattern})
+		}
+		sm.rules = append(sm.rules, infos)
+		idx := len(sm.runners)
+		cfg := engine.Config{
+			KeepOnMatch: rs.opts.KeepOnMatch,
+			OnMatch: func(fsa, end int) {
+				sm.matches++
+				if sm.onMatch != nil {
+					info := sm.rules[idx][fsa]
+					sm.onMatch(Match{Rule: info.Rule, Pattern: info.Pattern, End: end})
+				}
+			},
+		}
+		runner.Begin(cfg)
+		sm.runners = append(sm.runners, runner)
+	}
+	return sm
+}
+
+// Write feeds the next chunk of the stream. It never fails; the error is
+// always nil (the signature satisfies io.Writer).
+func (sm *StreamMatcher) Write(p []byte) (int, error) {
+	if sm.closed || len(p) == 0 {
+		return len(p), nil
+	}
+	if sm.hasHeld {
+		for _, r := range sm.runners {
+			r.Feed(sm.held[:], false)
+		}
+		sm.hasHeld = false
+	}
+	// Hold back the last byte: it becomes the stream end only if no
+	// further data arrives before Close.
+	body, last := p[:len(p)-1], p[len(p)-1]
+	if len(body) > 0 {
+		for _, r := range sm.runners {
+			r.Feed(body, false)
+		}
+	}
+	sm.held[0] = last
+	sm.hasHeld = true
+	return len(p), nil
+}
+
+// Close marks the stream end, flushing the held byte as the final one.
+// Further Writes are ignored. Close is idempotent.
+func (sm *StreamMatcher) Close() error {
+	if sm.closed {
+		return nil
+	}
+	sm.closed = true
+	var final []byte
+	if sm.hasHeld {
+		final = sm.held[:]
+		sm.hasHeld = false
+	}
+	for _, r := range sm.runners {
+		r.Feed(final, true)
+		r.End()
+	}
+	return nil
+}
+
+// Matches returns the number of match events reported so far. After Close
+// it is the total for the stream.
+func (sm *StreamMatcher) Matches() int64 { return sm.matches }

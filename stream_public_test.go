@@ -1,0 +1,124 @@
+package imfant
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func streamAll(rs *Ruleset, input []byte, chunk int) []Match {
+	var out []Match
+	sm := rs.NewStreamMatcher(func(m Match) { out = append(out, m) })
+	for i := 0; i < len(input); i += chunk {
+		end := i + chunk
+		if end > len(input) {
+			end = len(input)
+		}
+		sm.Write(input[i:end])
+	}
+	sm.Close()
+	return out
+}
+
+func TestStreamMatcherEqualsFindAll(t *testing.T) {
+	rs := MustCompile([]string{"abc", "b+c", "^ab", "cd$"}, Options{})
+	input := []byte("abcxbbbcxabcd")
+	want := rs.FindAll(input)
+	for _, chunk := range []int{1, 2, 3, 5, len(input), 100} {
+		got := streamAll(rs, input, chunk)
+		// FindAll sorts; sort streaming output equivalently.
+		sortMatches(got)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("chunk=%d: %v, want %v", chunk, got, want)
+		}
+	}
+}
+
+func sortMatches(ms []Match) {
+	for i := 1; i < len(ms); i++ {
+		for j := i; j > 0 && (ms[j].End < ms[j-1].End || (ms[j].End == ms[j-1].End && ms[j].Rule < ms[j-1].Rule)); j-- {
+			ms[j], ms[j-1] = ms[j-1], ms[j]
+		}
+	}
+}
+
+func TestStreamMatcherAsWriter(t *testing.T) {
+	rs := MustCompile([]string{"needle"}, Options{})
+	sm := rs.NewStreamMatcher(nil)
+	var w io.WriteCloser = sm
+	src := bytes.NewReader([]byte("hay needle hay needle"))
+	if _, err := io.CopyBuffer(w, src, make([]byte, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if sm.Matches() != 2 {
+		t.Fatalf("matches=%d", sm.Matches())
+	}
+}
+
+func TestStreamMatcherEndAnchorTiming(t *testing.T) {
+	rs := MustCompile([]string{"ab$"}, Options{})
+	var got []Match
+	sm := rs.NewStreamMatcher(func(m Match) { got = append(got, m) })
+	sm.Write([]byte("ab"))
+	if len(got) != 0 {
+		t.Fatalf("$ fired before Close: %v", got)
+	}
+	sm.Close()
+	if len(got) != 1 || got[0].End != 1 {
+		t.Fatalf("after Close: %v", got)
+	}
+	// Contrast: data following "ab" kills the anchor.
+	got = nil
+	sm = rs.NewStreamMatcher(func(m Match) { got = append(got, m) })
+	sm.Write([]byte("ab"))
+	sm.Write([]byte("x"))
+	sm.Close()
+	if len(got) != 0 {
+		t.Fatalf("$ fired mid-stream: %v", got)
+	}
+}
+
+func TestStreamMatcherCloseIdempotent(t *testing.T) {
+	rs := MustCompile([]string{"x"}, Options{})
+	sm := rs.NewStreamMatcher(nil)
+	sm.Write([]byte("xx"))
+	sm.Close()
+	n := sm.Matches()
+	sm.Close()
+	sm.Write([]byte("xxx"))
+	if sm.Matches() != n {
+		t.Fatal("writes after Close were processed")
+	}
+}
+
+func TestStreamMatcherEmpty(t *testing.T) {
+	rs := MustCompile([]string{"x"}, Options{})
+	sm := rs.NewStreamMatcher(nil)
+	sm.Write(nil)
+	sm.Close()
+	if sm.Matches() != 0 {
+		t.Fatal("phantom matches")
+	}
+}
+
+func TestQuickStreamChunkInvariance(t *testing.T) {
+	rs := MustCompile([]string{"ab", "a[bc]d", "b+", "ca$"}, Options{})
+	r := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 60; trial++ {
+		in := make([]byte, 1+r.Intn(60))
+		for i := range in {
+			in[i] = byte('a' + r.Intn(4))
+		}
+		want := streamAll(rs, in, len(in))
+		chunk := 1 + r.Intn(7)
+		got := streamAll(rs, in, chunk)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("input %q chunk %d: %v want %v", in, chunk, got, want)
+		}
+	}
+}
