@@ -13,6 +13,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/engine"
 	"repro/internal/experiments"
+	"repro/internal/lazydfa"
 	"repro/internal/pipeline"
 	"repro/internal/similarity"
 )
@@ -154,6 +155,57 @@ func BenchmarkIMFAntThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkIMFAntKeepThroughput is the keep-semantics (Eq. 6) variant of the
+// hot loop — the apples-to-apples baseline for the lazy-DFA mode, which
+// caches keep-mode transitions.
+func BenchmarkIMFAntKeepThroughput(b *testing.B) {
+	s, err := dataset.ByAbbr("BRO")
+	if err != nil {
+		b.Fatal(err)
+	}
+	out, err := pipeline.Compile(s.Patterns(), 0, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := engine.NewProgram(out.MFSAs[0])
+	in := s.Stream(64<<10, 0)
+	runner := engine.NewRunner(p)
+	b.SetBytes(int64(len(in)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runner.Run(in, engine.Config{KeepOnMatch: true})
+	}
+}
+
+// BenchmarkLazyDFAThroughput measures the lazy-DFA mode on the same merged
+// MFSA and input as BenchmarkIMFAntKeepThroughput. The cache is warmed with
+// one untimed scan; steady-state iterations then run almost entirely out of
+// the byte-class-compressed transition table.
+func BenchmarkLazyDFAThroughput(b *testing.B) {
+	s, err := dataset.ByAbbr("BRO")
+	if err != nil {
+		b.Fatal(err)
+	}
+	out, err := pipeline.Compile(s.Patterns(), 0, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := engine.NewProgram(out.MFSAs[0])
+	m := lazydfa.New(p)
+	in := s.Stream(64<<10, 0)
+	runner := lazydfa.NewRunner(m)
+	cfg := lazydfa.Config{KeepOnMatch: true}
+	res := runner.Run(in, cfg) // warm the cache
+	if res.FellBack {
+		b.Fatal("warm-up fell back to iMFAnt; raise MaxStates")
+	}
+	b.SetBytes(int64(len(in)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runner.Run(in, cfg)
+	}
+}
+
 // BenchmarkINFAntBaseline isolates the baseline: the same ruleset executed
 // as separate per-RE automata on one thread (the M=1 configuration the
 // paper compares against).
@@ -222,6 +274,17 @@ func BenchmarkStride2(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := newRunner(b, "BRO")
 		if _, err := r.Stride(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLazyExperiment measures the lazy-DFA experiment path (hybrid
+// execution mode, warm-cache comparison).
+func BenchmarkLazyExperiment(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := newRunner(b, "BRO")
+		if _, err := r.Lazy(io.Discard); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -66,6 +66,7 @@ func main() {
 		baseline     = flag.Bool("baseline", false, "run the NFA/MFSA/DFA/D2FA representation comparison")
 		ccrefine     = flag.Bool("ccrefine", false, "run the partial CC-merging (alphabet refinement) study")
 		stride       = flag.Bool("stride", false, "run the 2-stride iMFAnt comparison")
+		lazy         = flag.Bool("lazy", false, "run the lazy-DFA execution-mode comparison")
 		clustering   = flag.Bool("clustering", false, "run the similarity-clustered grouping study")
 		decomp       = flag.Bool("decompose", false, "run the literal-prefilter decomposition comparison")
 		paper        = flag.Bool("paper", false, "use the paper's full-scale configuration (1 MB, 15 reps)")
@@ -104,7 +105,7 @@ func main() {
 	}
 	w := os.Stdout
 
-	extrasOnly := (*ablation || *baseline || *ccrefine || *stride || *clustering || *decomp) && len(figs) == 0 && len(tables) == 0 && !*all
+	extrasOnly := (*ablation || *baseline || *ccrefine || *stride || *lazy || *clustering || *decomp) && len(figs) == 0 && len(tables) == 0 && !*all
 	if *ablation {
 		if _, err := r.Ablation(w); err != nil {
 			fatal(err)
@@ -125,6 +126,12 @@ func main() {
 	}
 	if *stride {
 		if _, err := r.Stride(w); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(w)
+	}
+	if *lazy {
+		if _, err := r.Lazy(w); err != nil {
 			fatal(err)
 		}
 		fmt.Fprintln(w)

@@ -26,9 +26,28 @@ import (
 
 	"repro/internal/anml"
 	"repro/internal/engine"
+	"repro/internal/lazydfa"
 	"repro/internal/metrics"
 	"repro/internal/mfsa"
 	"repro/internal/pipeline"
+)
+
+// EngineMode selects the execution engine used by scans.
+type EngineMode int
+
+const (
+	// EngineAuto picks the lazy-DFA engine whenever its semantics apply
+	// (KeepOnMatch, whose keep semantics make the traversal cacheable)
+	// and the iMFAnt engine otherwise.
+	EngineAuto EngineMode = iota
+	// EngineIMFAnt forces the paper's NFA-style iMFAnt engine.
+	EngineIMFAnt
+	// EngineLazyDFA forces the lazy-DFA engine: on-the-fly
+	// determinization of the iMFAnt state vector with a bounded,
+	// byte-class-compressed transition cache. Configurations it cannot
+	// cache (KeepOnMatch == false, the paper's Eq. 5 pop) and inputs
+	// that thrash the cache fall back transparently to iMFAnt.
+	EngineLazyDFA
 )
 
 // Options configures compilation and matching.
@@ -43,6 +62,16 @@ type Options struct {
 	// after matching, so every longer match of the same path is also
 	// reported. Off by default (paper semantics).
 	KeepOnMatch bool
+	// Engine selects the execution engine. The zero value (EngineAuto)
+	// uses the lazy-DFA engine when KeepOnMatch is set and iMFAnt
+	// otherwise. In lazy-DFA mode a match is reported at most once per
+	// (rule, end offset); the iMFAnt engine may report the same pair once
+	// per accepting state. The distinct (rule, end) sets are identical.
+	Engine EngineMode
+	// LazyDFAMaxStates caps the lazy-DFA transition cache per automaton
+	// and matching context; 0 selects lazydfa.DefaultMaxStates. Smaller
+	// caps bound memory at the cost of more cache flushes.
+	LazyDFAMaxStates int
 }
 
 // Match is one reported match.
@@ -72,9 +101,31 @@ type Ruleset struct {
 	patterns []string
 	mfsas    []*mfsa.MFSA
 	programs []*engine.Program
+	lazy     []*lazydfa.Matcher
 	times    StageTimes
 	comp     metrics.Compression
 	opts     Options
+}
+
+// useLazy reports whether scans run on the lazy-DFA engine.
+func (rs *Ruleset) useLazy() bool {
+	switch rs.opts.Engine {
+	case EngineIMFAnt:
+		return false
+	case EngineLazyDFA:
+		return true
+	default:
+		return rs.opts.KeepOnMatch
+	}
+}
+
+// buildEngines lowers the compiled MFSAs into executable programs and their
+// lazy-DFA matchers.
+func (rs *Ruleset) buildEngines() {
+	rs.lazy = make([]*lazydfa.Matcher, len(rs.programs))
+	for i, p := range rs.programs {
+		rs.lazy[i] = lazydfa.New(p)
+	}
 }
 
 // Compile builds a Ruleset from POSIX ERE patterns.
@@ -103,6 +154,7 @@ func Compile(patterns []string, opts Options) (*Ruleset, error) {
 	for i, z := range out.MFSAs {
 		rs.programs[i] = engine.NewProgram(z)
 	}
+	rs.buildEngines()
 	return rs, nil
 }
 
@@ -197,6 +249,7 @@ func LoadANML(r io.Reader, opts Options) (*Ruleset, error) {
 			rs.patterns[info.RuleID] = info.Pattern
 		}
 	}
+	rs.buildEngines()
 	return rs, nil
 }
 
@@ -215,37 +268,108 @@ func (rs *Ruleset) FindAll(input []byte) []Match {
 	return out
 }
 
-// Scan streams every match to fn, automaton by automaton.
+// Scan streams every match to fn, automaton by automaton, on the engine
+// selected by Options.Engine. Hot paths scanning many inputs should reuse a
+// Scanner instead, which keeps per-goroutine buffers — and, in lazy-DFA
+// mode, the transition cache — warm across calls.
 func (rs *Ruleset) Scan(input []byte, fn func(Match)) {
-	for _, p := range rs.programs {
-		rules := p.Rules()
-		cfg := engine.Config{
-			KeepOnMatch: rs.opts.KeepOnMatch,
-			OnMatch: func(fsa, end int) {
-				fn(Match{Rule: rules[fsa].RuleID, Pattern: rules[fsa].Pattern, End: end})
-			},
-		}
-		engine.Run(p, input, cfg)
-	}
+	rs.NewScanner().Scan(input, fn)
 }
 
 // Count returns the total number of match events in input.
 func (rs *Ruleset) Count(input []byte) int64 {
+	return rs.NewScanner().Count(input)
+}
+
+// CountPerRule returns the number of match events per rule, indexed like
+// the compiled patterns.
+func (rs *Ruleset) CountPerRule(input []byte) []int64 {
+	return rs.NewScanner().CountPerRule(input)
+}
+
+// Scanner is a reusable matching context over one Ruleset: the scratch
+// state of every automaton's engine, plus — in lazy-DFA mode — the lazily
+// built transition caches, which stay warm across scans of similar traffic.
+// A Scanner is not safe for concurrent use; create one per goroutine (the
+// shared Ruleset remains concurrency-safe).
+type Scanner struct {
+	rs      *Ruleset
+	runners []*engine.Runner  // iMFAnt mode
+	lazies  []*lazydfa.Runner // lazy-DFA mode
+}
+
+// NewScanner returns a matching context for the ruleset.
+func (rs *Ruleset) NewScanner() *Scanner {
+	s := &Scanner{rs: rs}
+	if rs.useLazy() {
+		s.lazies = make([]*lazydfa.Runner, len(rs.lazy))
+		for i, m := range rs.lazy {
+			s.lazies[i] = lazydfa.NewRunner(m)
+		}
+	} else {
+		s.runners = make([]*engine.Runner, len(rs.programs))
+		for i, p := range rs.programs {
+			s.runners[i] = engine.NewRunner(p)
+		}
+	}
+	return s
+}
+
+// Scan streams every match in input to fn, automaton by automaton.
+func (s *Scanner) Scan(input []byte, fn func(Match)) {
+	s.run(input, fn)
+}
+
+// Count returns the total number of match events in input.
+func (s *Scanner) Count(input []byte) int64 {
 	var total int64
-	for _, p := range rs.programs {
-		total += engine.Run(p, input, engine.Config{KeepOnMatch: rs.opts.KeepOnMatch}).Matches
+	for _, res := range s.run(input, nil) {
+		total += res.matches
 	}
 	return total
 }
 
 // CountPerRule returns the number of match events per rule, indexed like
 // the compiled patterns.
-func (rs *Ruleset) CountPerRule(input []byte) []int64 {
-	out := make([]int64, len(rs.patterns))
-	for _, p := range rs.programs {
-		res := engine.Run(p, input, engine.Config{KeepOnMatch: rs.opts.KeepOnMatch})
-		for fsa, c := range res.PerFSA {
-			out[p.Rules()[fsa].RuleID] += c
+func (s *Scanner) CountPerRule(input []byte) []int64 {
+	out := make([]int64, len(s.rs.patterns))
+	for i, res := range s.run(input, nil) {
+		for fsa, c := range res.perFSA {
+			out[s.rs.programs[i].Rules()[fsa].RuleID] += c
+		}
+	}
+	return out
+}
+
+type scanResult struct {
+	matches int64
+	perFSA  []int64
+}
+
+func (s *Scanner) run(input []byte, fn func(Match)) []scanResult {
+	rs := s.rs
+	out := make([]scanResult, len(rs.programs))
+	for i, p := range rs.programs {
+		var onMatch func(fsa, end int)
+		if fn != nil {
+			rules := p.Rules()
+			onMatch = func(fsa, end int) {
+				fn(Match{Rule: rules[fsa].RuleID, Pattern: rules[fsa].Pattern, End: end})
+			}
+		}
+		if s.lazies != nil {
+			res := s.lazies[i].Run(input, lazydfa.Config{
+				KeepOnMatch: rs.opts.KeepOnMatch,
+				MaxStates:   rs.opts.LazyDFAMaxStates,
+				OnMatch:     onMatch,
+			})
+			out[i] = scanResult{matches: res.Matches, perFSA: res.PerFSA}
+		} else {
+			res := s.runners[i].Run(input, engine.Config{
+				KeepOnMatch: rs.opts.KeepOnMatch,
+				OnMatch:     onMatch,
+			})
+			out[i] = scanResult{matches: res.Matches, perFSA: res.PerFSA}
 		}
 	}
 	return out

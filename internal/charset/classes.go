@@ -1,0 +1,50 @@
+package charset
+
+// Partition computes the coarsest partition of the 256-byte alphabet into
+// equivalence classes with respect to the given sets: two bytes land in the
+// same class exactly when they are members of the same subset of sets. When
+// the sets are the transition labels of an automaton, bytes of one class
+// enable identical transition lists and are therefore interchangeable for
+// execution — the byte-class compression used by the lazy-DFA engine to
+// shrink cached transition rows from 256 entries to one per class.
+//
+// Classes are numbered in order of first appearance scanning bytes 0..255,
+// so classOf[0] == 0 always. n is the number of classes (1 ≤ n ≤ 256).
+func Partition(sets []Set) (classOf [256]uint8, n int) {
+	// Iterative refinement: start with one class and split every class by
+	// membership in each set. A class splits only when the set cuts it, so
+	// the result is the coarsest such partition; cost is O(256·len(sets)).
+	n = 1
+	for _, s := range sets {
+		if s.IsEmpty() || s.Equal(Any()) {
+			continue // cuts nothing
+		}
+		type cell struct {
+			oldClass uint8
+			member   bool
+		}
+		seen := make(map[cell]uint8, n+1)
+		next := uint8(0)
+		wrapped := false
+		var refined [256]uint8
+		for b := 0; b < 256; b++ {
+			k := cell{classOf[b], s.Contains(byte(b))}
+			id, ok := seen[k]
+			if !ok {
+				id = next
+				seen[k] = id
+				next++
+				if next == 0 { // 256 classes: ids exhausted, fully refined
+					wrapped = true
+				}
+			}
+			refined[b] = id
+		}
+		classOf = refined
+		if wrapped {
+			return classOf, 256
+		}
+		n = int(next)
+	}
+	return classOf, n
+}

@@ -17,6 +17,7 @@ import (
 	"repro/internal/decompose"
 	"repro/internal/dfa"
 	"repro/internal/engine"
+	"repro/internal/lazydfa"
 	"repro/internal/mfsa"
 	"repro/internal/nfa"
 )
@@ -112,7 +113,17 @@ func TestQuickAllEnginesAgree(t *testing.T) {
 			results["d2fa"] = norm(dfaEnds(c.Match, in, m))
 		}
 
-		// 6. Decomposition matcher.
+		// 6. Lazy DFA: warm default cache, plus a tiny cache that forces
+		// flushes and the iMFAnt fallback on nearly every input.
+		{
+			lm := lazydfa.New(p)
+			results["lazydfa"] = norm(engine.DistinctEnds(
+				lazydfa.Matches(lm, in, lazydfa.Config{KeepOnMatch: true}), m))
+			results["lazydfa-tiny"] = norm(engine.DistinctEnds(
+				lazydfa.Matches(lm, in, lazydfa.Config{KeepOnMatch: true, MaxStates: 4, MaxFlushes: 1}), m))
+		}
+
+		// 7. Decomposition matcher.
 		if dm, err := decompose.New(patterns, true); err == nil {
 			sets := make([]map[int]struct{}, m)
 			for i := range sets {
@@ -189,6 +200,10 @@ func TestQuickPopSemanticsEnginesAgree(t *testing.T) {
 		p := engine.NewProgram(z)
 		if got := norm(engine.DistinctEnds(engine.Matches(p, in, cfg), m)); !reflect.DeepEqual(got, want) {
 			t.Logf("imfant pop: patterns=%v input=%q %v want %v", patterns, in, got, want)
+			return false
+		}
+		if got := norm(engine.DistinctEnds(lazydfa.Matches(lazydfa.New(p), in, lazydfa.Config{}), m)); !reflect.DeepEqual(got, want) {
+			t.Logf("lazydfa pop: patterns=%v input=%q %v want %v", patterns, in, got, want)
 			return false
 		}
 		sp, err := engine.NewStrideProgram(z)

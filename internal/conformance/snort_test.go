@@ -1,0 +1,101 @@
+package conformance
+
+import (
+	"math/rand"
+	"os"
+	"reflect"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/lazydfa"
+	"repro/internal/mfsa"
+	"repro/internal/nfa"
+	"repro/internal/snort"
+)
+
+// TestSnortRulesetLazyConformance compiles the snort-derived web-attacks
+// ruleset and checks that the lazy-DFA engine — at the default cache size
+// and at caps small enough to force flushing and the iMFAnt fallback —
+// reports exactly the same distinct (rule, end) sets as the iMFAnt engine
+// and the reference oracle, over inputs seeded with real rule fragments.
+func TestSnortRulesetLazyConformance(t *testing.T) {
+	f, err := os.Open("../snort/testdata/web-attacks.rules")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rules, _, err := snort.ParseRules(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fsas []*nfa.NFA
+	var patterns []string
+	for _, ru := range rules {
+		n, err := nfa.Compile(ru.Pattern)
+		if err != nil {
+			continue // unsupported PCRE constructs: out of scope here
+		}
+		n.ID = len(fsas)
+		fsas = append(fsas, n)
+		patterns = append(patterns, ru.Pattern)
+	}
+	if len(fsas) < 10 {
+		t.Fatalf("too few compilable snort rules: %d", len(fsas))
+	}
+	z, err := mfsa.Merge(fsas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := engine.NewProgram(z)
+	lm := lazydfa.New(p)
+	m := len(fsas)
+
+	// Inputs: benign HTTP-ish noise salted with literal fragments lifted
+	// from the patterns themselves, so a fair share of rules fire.
+	r := rand.New(rand.NewSource(42))
+	frags := []string{"/etc/passwd", "cmd.exe", "<script>", "../..", "id=", "GET /index.html HTTP/1.0\r\n"}
+	for _, pat := range patterns {
+		lit := ""
+		for _, c := range pat {
+			if c >= 'a' && c <= 'z' || c >= '0' && c <= '9' || c == '/' || c == '.' || c == '_' {
+				lit += string(c)
+			} else if len(lit) >= 4 {
+				break
+			} else {
+				lit = ""
+			}
+		}
+		if len(lit) >= 4 {
+			frags = append(frags, lit)
+		}
+	}
+	for trial := 0; trial < 25; trial++ {
+		var in []byte
+		for len(in) < 200+r.Intn(400) {
+			if r.Intn(2) == 0 {
+				in = append(in, frags[r.Intn(len(frags))]...)
+			} else {
+				for i, n := 0, 1+r.Intn(8); i < n; i++ {
+					in = append(in, byte(' '+r.Intn(95)))
+				}
+			}
+		}
+		want := norm(engine.ReferenceScanAll(fsas, in, true))
+		got := norm(engine.DistinctEnds(engine.Matches(p, in, engine.Config{KeepOnMatch: true}), m))
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: imfant disagrees with oracle on %q", trial, in)
+		}
+		for _, cfg := range []lazydfa.Config{
+			{KeepOnMatch: true},
+			{KeepOnMatch: true, MaxStates: 16},
+			{KeepOnMatch: true, MaxStates: 4, MaxFlushes: 1},
+			{KeepOnMatch: true, MaxStates: 4, MaxFlushes: -1},
+		} {
+			lg := norm(engine.DistinctEnds(lazydfa.Matches(lm, in, cfg), m))
+			if !reflect.DeepEqual(lg, want) {
+				t.Fatalf("trial %d cfg=%+v: lazydfa disagrees with oracle on %q:\ngot  %v\nwant %v",
+					trial, cfg, in, lg, want)
+			}
+		}
+	}
+}

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"sync"
+	"sync/atomic"
 )
 
 // RunParallel executes a pool of programs over the same input using the
@@ -26,26 +27,17 @@ func RunParallel(programs []*Program, input []byte, threads int, cfg Config) []R
 		}
 		return results
 	}
-	var next int64
-	var mu sync.Mutex
-	take := func() int {
-		mu.Lock()
-		defer mu.Unlock()
-		if next >= int64(len(programs)) {
-			return -1
-		}
-		i := int(next)
-		next++
-		return i
-	}
+	// Lock-free work queue: a single atomic counter hands out automaton
+	// indices, so workers never contend on a mutex between executions.
+	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(threads)
 	for t := 0; t < threads; t++ {
 		go func() {
 			defer wg.Done()
 			for {
-				i := take()
-				if i < 0 {
+				i := int(next.Add(1)) - 1
+				if i >= len(programs) {
 					return
 				}
 				results[i] = Run(programs[i], input, cfg)

@@ -12,6 +12,7 @@
 package engine
 
 import (
+	"repro/internal/charset"
 	"repro/internal/mfsa"
 )
 
@@ -30,15 +31,27 @@ type Program struct {
 	lists [256][]int32
 
 	// initAlways[q·words+w]: FSAs whose initial state is q and that may
-	// start at any offset. initAtZero: same, for ^-anchored FSAs.
+	// start at any offset. initAtZero: same, for ^-anchored FSAs. initAll
+	// is their union, the init vector of the stream's first symbol — the
+	// hot loops select initAlways or initAll once per symbol instead of
+	// testing for the stream start on every transition.
 	initAlways []uint64
 	initAtZero []uint64
+	initAll    []uint64
 	// finalMask[q·words+w]: FSAs for which q is accepting.
 	finalMask []uint64
 	// endAnchored: FSAs carrying a $ anchor (matches only at stream end).
 	endAnchored []uint64
 
 	hasInit []bool // quick test: any init bit at state q
+
+	// classOf maps every input byte to its alphabet equivalence class:
+	// bytes of one class are contained in exactly the same transition
+	// labels, hence enable identical transition lists. numClasses is the
+	// class count. The lazy-DFA engine keys its cached transition rows by
+	// class, so rows are numClasses wide instead of 256.
+	classOf    [256]uint8
+	numClasses int
 
 	rules []RuleInfo
 }
@@ -75,13 +88,20 @@ func NewProgram(z *mfsa.MFSA) *Program {
 		endAnchored: make([]uint64, w),
 		hasInit:     make([]bool, z.NumStates),
 	}
+	labels := make(map[charset.Set]struct{})
 	for i, t := range z.Trans {
 		p.trans[i] = progTrans{from: int32(t.From), to: int32(t.To)}
 		copy(p.bel[i*w:(i+1)*w], z.Bel[i])
 		t.Label.ForEach(func(c byte) {
 			p.lists[c] = append(p.lists[c], int32(i))
 		})
+		labels[t.Label] = struct{}{}
 	}
+	distinct := make([]charset.Set, 0, len(labels))
+	for l := range labels {
+		distinct = append(distinct, l)
+	}
+	p.classOf, p.numClasses = charset.Partition(distinct)
 	for q := 0; q < z.NumStates; q++ {
 		copy(p.finalMask[q*w:(q+1)*w], z.FinalMask[q])
 	}
@@ -98,6 +118,10 @@ func NewProgram(z *mfsa.MFSA) *Program {
 		}
 		p.rules = append(p.rules, RuleInfo{FSA: info.ID, RuleID: info.RuleID, Pattern: info.Pattern})
 	}
+	p.initAll = make([]uint64, len(p.initAlways))
+	for i := range p.initAll {
+		p.initAll[i] = p.initAlways[i] | p.initAtZero[i]
+	}
 	return p
 }
 
@@ -109,6 +133,17 @@ func (p *Program) NumFSAs() int { return p.numFSAs }
 
 // NumTrans returns the number of transitions.
 func (p *Program) NumTrans() int { return len(p.trans) }
+
+// Words returns the stride in 64-bit words of every per-state bitset,
+// ⌈NumFSAs/64⌉ (at least 1).
+func (p *Program) Words() int { return p.words }
+
+// ByteClasses returns the alphabet equivalence classes of the program: a
+// byte-to-class map and the class count. Bytes of one class are contained in
+// exactly the same transition labels and are interchangeable for execution.
+func (p *Program) ByteClasses() (classOf [256]uint8, n int) {
+	return p.classOf, p.numClasses
+}
 
 // Rules returns the per-FSA rule metadata, indexed by FSA identifier.
 func (p *Program) Rules() []RuleInfo { return p.rules }

@@ -144,7 +144,13 @@ func (r *Runner) Feed(chunk []byte, final bool) {
 		c := chunk[pos]
 		cur, nxt := r.cur, r.nxt
 		atEnd := final && pos == last
-		streamStart := r.offset == 0 && pos == 0
+		// The ^-anchored inits participate only in the stream's first
+		// step; selecting the init vector here keeps the branch out of
+		// the inner transition loop.
+		init := p.initAlways
+		if r.offset == 0 && pos == 0 {
+			init = p.initAll
+		}
 		for _, ti := range p.lists[c] {
 			t := &p.trans[ti]
 			srcBase := int(t.from) * W
@@ -153,11 +159,7 @@ func (r *Runner) Feed(chunk []byte, final bool) {
 			// Jnew = (J(q1) ∪ inits(q1)) ∩ bel(t).
 			any := uint64(0)
 			for w := 0; w < W; w++ {
-				v := cur.j[srcBase+w] | p.initAlways[srcBase+w]
-				if streamStart {
-					v |= p.initAtZero[srcBase+w]
-				}
-				v &= p.bel[belBase+w]
+				v := (cur.j[srcBase+w] | init[srcBase+w]) & p.bel[belBase+w]
 				r.tmp[w] = v
 				any |= v
 			}
@@ -214,10 +216,12 @@ func (r *Runner) Feed(chunk []byte, final bool) {
 		}
 
 		if cfg.Stats {
-			var union [8]uint64 // enough for words ≤ 8; grown below if needed
-			un := union[:W:W]
+			var union [8]uint64 // enough for words ≤ 8, i.e. ≤ 512 FSAs
+			var un []uint64
 			if W > len(union) {
 				un = make([]uint64, W)
+			} else {
+				un = union[:W:W]
 			}
 			pairs := int64(0)
 			for _, q := range nxt.dirty {

@@ -16,16 +16,17 @@ func (r *Runner) feedW1(chunk []byte, final bool) {
 		c := chunk[pos]
 		cur, nxt := r.cur, r.nxt
 		atEnd := final && pos == last
-		streamStart := r.offset == 0 && pos == 0
+		// Select the init vector once per symbol: the ^-anchored inits
+		// participate only in the stream's first step.
+		init := p.initAlways
+		if r.offset == 0 && pos == 0 {
+			init = p.initAll
+		}
 		for _, ti := range p.lists[c] {
 			t := &p.trans[ti]
 			src := int(t.from)
 
-			v := cur.j[src] | p.initAlways[src]
-			if streamStart {
-				v |= p.initAtZero[src]
-			}
-			v &= p.bel[ti]
+			v := (cur.j[src] | init[src]) & p.bel[ti]
 			if v == 0 {
 				continue
 			}

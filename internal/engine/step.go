@@ -1,0 +1,127 @@
+package engine
+
+import "sort"
+
+// Activation is one (state, J-set) entry of an iMFAnt state vector: J is the
+// set of merged FSAs still valid on some path reaching State, one bitset
+// word per 64 FSAs (Program.Words words). The full vector — a set of
+// Activations — is the complete traversal state of the engine between two
+// symbols, which makes it the natural state of a determinized view of the
+// MFSA: the lazy-DFA engine treats each distinct vector as one DFA state.
+type Activation struct {
+	State int32
+	J     []uint64
+}
+
+// Stepper evaluates single iMFAnt steps from explicit activation vectors —
+// the step-function form of the Runner hot loop, reusable as the successor
+// constructor of on-the-fly (lazy) determinization. It implements
+// keep-on-match scan semantics (no Eq. 5 pop), under which the successor
+// vector is a pure function of (vector, symbol): matched FSAs stay active,
+// so no run-time emission decision feeds back into the traversal state.
+//
+// A Stepper owns scratch buffers sized for its Program and is not safe for
+// concurrent use.
+type Stepper struct {
+	p        *Program
+	cur, nxt *vector
+	tmp      []uint64
+}
+
+// NewStepper returns a step evaluator for p.
+func NewStepper(p *Program) *Stepper {
+	return &Stepper{
+		p:   p,
+		cur: newVector(p.numStates, p.words),
+		nxt: newVector(p.numStates, p.words),
+		tmp: make([]uint64, p.words),
+	}
+}
+
+// Step runs one iMFAnt transition step on symbol c from the given activation
+// vector: every transition enabled by c is evaluated with the activation
+// update Jnew = (J(q1) ∪ inits(q1)) ∩ bel(t) (Eqs. 4 and 6), with the
+// ^-anchored inits participating only when streamStart is set. It returns
+// the successor vector in canonical form (sorted by state, fresh slices) and
+// the match masks of the step: accept has bit j set when FSA j matches on
+// this symbol at any stream position, acceptAtEnd when it matches only if
+// this symbol is the last of the stream ($-anchored FSAs).
+func (s *Stepper) Step(acts []Activation, c byte, streamStart bool) (next []Activation, accept, acceptAtEnd []uint64) {
+	p := s.p
+	W := p.words
+	for _, a := range acts {
+		base := int(a.State) * W
+		copy(s.cur.j[base:base+W], a.J)
+		if !s.cur.member[a.State] {
+			s.cur.member[a.State] = true
+			s.cur.dirty = append(s.cur.dirty, a.State)
+		}
+	}
+	init := p.initAlways
+	if streamStart {
+		init = p.initAll
+	}
+	for _, ti := range p.lists[c] {
+		t := &p.trans[ti]
+		srcBase := int(t.from) * W
+		belBase := int(ti) * W
+		any := uint64(0)
+		for w := 0; w < W; w++ {
+			v := (s.cur.j[srcBase+w] | init[srcBase+w]) & p.bel[belBase+w]
+			s.tmp[w] = v
+			any |= v
+		}
+		if any == 0 {
+			continue
+		}
+		if !s.nxt.member[t.to] {
+			s.nxt.member[t.to] = true
+			s.nxt.dirty = append(s.nxt.dirty, t.to)
+		}
+		dstBase := int(t.to) * W
+		for w := 0; w < W; w++ {
+			s.nxt.j[dstBase+w] |= s.tmp[w]
+		}
+	}
+
+	// Canonicalize the successor and derive the match masks. With keep
+	// semantics the per-transition match sets union to J'(q2) ∩ F(q2), so
+	// the masks depend on the successor vector alone.
+	sort.Slice(s.nxt.dirty, func(i, j int) bool { return s.nxt.dirty[i] < s.nxt.dirty[j] })
+	accept = make([]uint64, W)
+	acceptAtEnd = make([]uint64, W)
+	next = make([]Activation, 0, len(s.nxt.dirty))
+	for _, q := range s.nxt.dirty {
+		base := int(q) * W
+		J := make([]uint64, W)
+		copy(J, s.nxt.j[base:base+W])
+		for w := 0; w < W; w++ {
+			m := J[w] & p.finalMask[base+w]
+			accept[w] |= m &^ p.endAnchored[w]
+			acceptAtEnd[w] |= m & p.endAnchored[w]
+		}
+		next = append(next, Activation{State: q, J: J})
+	}
+	s.cur.reset(W)
+	s.nxt.reset(W)
+	return next, accept, acceptAtEnd
+}
+
+// Resume begins a chunked scan mid-stream: the runner continues from the
+// given activation vector as if it had already consumed offset bytes of the
+// stream, so subsequent Feed calls report absolute offsets and never
+// re-apply the ^-anchored inits. It is the hand-off path of the lazy-DFA
+// engine when it abandons caching for a thrashing input.
+func (r *Runner) Resume(cfg Config, acts []Activation, offset int) {
+	r.Begin(cfg)
+	r.offset = offset
+	W := r.p.words
+	for _, a := range acts {
+		base := int(a.State) * W
+		copy(r.cur.j[base:base+W], a.J)
+		if !r.cur.member[a.State] {
+			r.cur.member[a.State] = true
+			r.cur.dirty = append(r.cur.dirty, a.State)
+		}
+	}
+}

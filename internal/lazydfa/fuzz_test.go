@@ -1,0 +1,78 @@
+package lazydfa
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/mfsa"
+	"repro/internal/nfa"
+)
+
+// FuzzCacheLimits drives the lazy engine over arbitrary inputs with
+// fuzzer-chosen cache caps and flush budgets — exercising the flush and
+// fallback paths at every possible trigger point — and demands the exact
+// event stream of the unconstrained run and the distinct (FSA, end) sets of
+// the iMFAnt engine in keep mode.
+func FuzzCacheLimits(f *testing.F) {
+	patterns := []string{"a+b", "b+a", "ab+a", "aa", "bb", "^ab", "ba$", "a[ab]b"}
+	fsas := make([]*nfa.NFA, len(patterns))
+	for i, pat := range patterns {
+		n, err := nfa.Compile(pat)
+		if err != nil {
+			f.Fatal(err)
+		}
+		n.ID = i
+		fsas[i] = n
+	}
+	z, err := mfsa.Merge(fsas)
+	if err != nil {
+		f.Fatal(err)
+	}
+	p := engine.NewProgram(z)
+	m := New(p)
+
+	f.Add([]byte("abbaabab"), uint8(0), uint8(0), uint8(4))
+	f.Add([]byte("aabbaabbaabb"), uint8(3), uint8(1), uint8(1))
+	f.Add([]byte("abababababab"), uint8(4), uint8(0), uint8(7))
+	f.Add([]byte(""), uint8(5), uint8(2), uint8(3))
+
+	f.Fuzz(func(t *testing.T, in []byte, maxStates, maxFlushes, chunk uint8) {
+		if len(in) > 1<<12 {
+			return
+		}
+		cfg := Config{
+			KeepOnMatch: true,
+			MaxStates:   int(maxStates), // 0 → default; small values force flushes
+			MaxFlushes:  int(maxFlushes),
+		}
+		want := Matches(m, in, Config{KeepOnMatch: true})
+
+		var got []engine.MatchEvent
+		c := cfg
+		c.OnMatch = func(fsa, end int) { got = append(got, engine.MatchEvent{FSA: fsa, End: end}) }
+		r := NewRunner(m)
+		r.Begin(c)
+		step := int(chunk)%8 + 1
+		for i := 0; i < len(in); i += step {
+			end := i + step
+			if end > len(in) {
+				end = len(in)
+			}
+			r.Feed(in[i:end], end == len(in))
+		}
+		if len(in) == 0 {
+			r.Feed(nil, true)
+		}
+		res := r.End()
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("cfg=%+v chunk=%d: %d events, want %d (res=%+v)",
+				cfg, step, len(got), len(want), res)
+		}
+		wantSets := engine.DistinctEnds(engine.Matches(p, in, engine.Config{KeepOnMatch: true}), len(patterns))
+		gotSets := engine.DistinctEnds(got, len(patterns))
+		if !reflect.DeepEqual(gotSets, wantSets) {
+			t.Fatalf("distinct sets diverged from iMFAnt: %v vs %v", gotSets, wantSets)
+		}
+	})
+}

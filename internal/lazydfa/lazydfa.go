@@ -1,0 +1,426 @@
+// Package lazydfa executes an MFSA program by on-the-fly (lazy)
+// determinization of the iMFAnt traversal.
+//
+// iMFAnt's per-byte cost grows with the symbol-indexed transition-list
+// density of the program (§V of the paper), while a determinized scan pays
+// one indexed load per byte — but offline subset construction over a merged
+// MFSA explodes (§II). This engine takes the middle road, in the tradition
+// of RE2's bounded-cache DFA and the simultaneous-automata line of work:
+// each distinct iMFAnt state vector — the set of (state, J-set) activation
+// pairs — is one lazy-DFA state; successors are computed on demand by
+// running a single iMFAnt step (engine.Stepper) and cached in a bounded
+// transition table. Rows are keyed by a compressed byte-class alphabet
+// (equivalence classes of Σ under the program's transition labels), so a
+// cached row is NumClasses entries wide instead of 256. Match metadata —
+// the per-FSA accept mask and the $-anchored accept-at-end mask — is
+// attached to each cached state, so the hot loop is one load plus an
+// occasional accept emission.
+//
+// When the cache fills, the whole table is flushed (RE2-style) and rebuilt
+// from the current vector; inputs that keep flushing fall back transparently
+// to the iMFAnt engine.Runner for the rest of the stream, resumed from the
+// exact mid-stream activation vector. Configurations the cache cannot
+// represent at all — the Eq. 5 pop (KeepOnMatch == false), under which the
+// successor vector is no longer a pure function of (vector, symbol) at the
+// stream end — delegate to the engine from the first byte.
+//
+// Match events are reported at most once per (FSA, end offset): the cached
+// accept mask is the union over the accepting paths of a step, so the
+// per-final-state multiplicity of raw iMFAnt events collapses. The distinct
+// (FSA, end) sets are identical to the iMFAnt engine's in keep mode,
+// regardless of cache size, flushes, or fallback.
+package lazydfa
+
+import (
+	"math/bits"
+
+	"repro/internal/engine"
+)
+
+// Defaults for Config fields left zero.
+const (
+	// DefaultMaxStates bounds the cached DFA states per runner. With a
+	// 256-class worst-case alphabet this caps the transition table at
+	// 4 MiB of row storage.
+	DefaultMaxStates = 4096
+	// DefaultMaxFlushes is the number of cache flushes tolerated per
+	// stream before the runner concludes the input thrashes the cache and
+	// falls back to the iMFAnt engine.
+	DefaultMaxFlushes = 8
+	// minStates is the smallest usable cap: the restart state, the
+	// current state preserved across a flush, and one successor.
+	minStates = 3
+)
+
+// Config tunes one lazy-DFA scan.
+type Config struct {
+	// MaxStates caps the cached DFA states; 0 selects DefaultMaxStates,
+	// values below the structural minimum of 3 are raised to it.
+	MaxStates int
+	// MaxFlushes caps whole-cache flushes per stream before falling back
+	// to the iMFAnt engine; 0 selects DefaultMaxFlushes, negative values
+	// disable flushing (fallback on the first full cache).
+	MaxFlushes int
+	// KeepOnMatch mirrors engine.Config.KeepOnMatch. Only keep semantics
+	// (true) are cacheable; pop semantics delegate the whole stream to
+	// the iMFAnt engine, preserving its exact event stream.
+	KeepOnMatch bool
+	// OnMatch, when non-nil, receives every match with the FSA identifier
+	// and the end offset (inclusive, absolute within the stream).
+	OnMatch func(fsa, end int)
+}
+
+// Result aggregates one scan.
+type Result struct {
+	// Matches counts the reported match events. In keep (cached) mode an
+	// event is one distinct (FSA, end offset); in pop mode the engine's
+	// per-final-state multiplicity is preserved.
+	Matches int64
+	// PerFSA counts events per merged-FSA identifier.
+	PerFSA []int64
+	// Symbols is the number of input bytes processed.
+	Symbols int
+	// CachedStates is the number of distinct DFA states cached at stream
+	// end (after the last flush, if any).
+	CachedStates int
+	// Flushes counts whole-cache flushes during the scan.
+	Flushes int
+	// FellBack reports that the scan finished on the iMFAnt engine.
+	FellBack bool
+}
+
+// Matcher is the immutable, shareable lazy-DFA form of one engine.Program:
+// the program plus its compressed byte-class alphabet. Create per-goroutine
+// Runners from it; the Matcher itself is safe for concurrent use.
+type Matcher struct {
+	p       *engine.Program
+	classOf [256]uint8
+	nc      int
+	rep     []byte // representative input byte per class
+}
+
+// New builds a Matcher over p.
+func New(p *engine.Program) *Matcher {
+	classOf, nc := p.ByteClasses()
+	m := &Matcher{p: p, classOf: classOf, nc: nc, rep: make([]byte, nc)}
+	seen := make([]bool, nc)
+	for b := 0; b < 256; b++ {
+		if c := classOf[b]; !seen[c] {
+			seen[c] = true
+			m.rep[c] = byte(b)
+		}
+	}
+	return m
+}
+
+// NumClasses returns the number of byte equivalence classes — the width of
+// every cached transition row.
+func (m *Matcher) NumClasses() int { return m.nc }
+
+// Program returns the underlying program.
+func (m *Matcher) Program() *engine.Program { return m.p }
+
+// state is one cached lazy-DFA state: a canonical iMFAnt activation vector
+// with the match metadata of every step arriving at it.
+type state struct {
+	acts []engine.Activation
+	// accept: FSAs matching on any arrival at this state. acceptEnd:
+	// $-anchored FSAs matching only when the arriving symbol ends the
+	// stream. Both are NumFSAs-wide bitsets (Words words).
+	accept, acceptEnd       []uint64
+	hasAccept, hasAcceptEnd bool
+}
+
+// Runner executes scans over one Matcher. The transition cache persists
+// across scans (Begin does not clear it), so repeated scans of similar
+// traffic run warm. A Runner is not safe for concurrent use; create one per
+// goroutine.
+type Runner struct {
+	m       *Matcher
+	stepper *engine.Stepper
+
+	cfg        Config
+	res        Result
+	offset     int
+	maxStates  int
+	maxFlushes int
+
+	states   []state
+	rows     []int32 // len(states)·nc successor ids, -1 = not computed
+	index    map[string]int32
+	startRow []int32 // per-class successor of the stream-start step
+	cur      int32
+	keyBuf   []byte
+
+	// Fallback state: fb non-nil routes everything to the iMFAnt engine.
+	fb        *engine.Runner
+	fbSeenEnd int
+	fbSeen    []uint64
+}
+
+// NewRunner returns an execution context with an empty cache.
+func NewRunner(m *Matcher) *Runner {
+	r := &Runner{
+		m:         m,
+		stepper:   engine.NewStepper(m.p),
+		index:     make(map[string]int32),
+		startRow:  make([]int32, m.nc),
+		fbSeen:    make([]uint64, m.p.Words()),
+		fbSeenEnd: -1,
+	}
+	r.resetCache()
+	return r
+}
+
+// Run scans input as one whole stream.
+func (r *Runner) Run(input []byte, cfg Config) Result {
+	r.Begin(cfg)
+	r.Feed(input, true)
+	return r.End()
+}
+
+// Begin starts a (possibly chunked) scan. The transition cache survives
+// from previous scans unless the configured MaxStates changed.
+func (r *Runner) Begin(cfg Config) {
+	if cfg.MaxStates <= 0 {
+		cfg.MaxStates = DefaultMaxStates
+	}
+	if cfg.MaxStates < minStates {
+		cfg.MaxStates = minStates
+	}
+	switch {
+	case cfg.MaxFlushes == 0:
+		cfg.MaxFlushes = DefaultMaxFlushes
+	case cfg.MaxFlushes < 0:
+		cfg.MaxFlushes = 0
+	}
+	if cfg.MaxStates != r.maxStates && r.maxStates != 0 {
+		r.resetCache() // cache shaped by the old cap: rebuild
+	}
+	r.maxStates = cfg.MaxStates
+	r.maxFlushes = cfg.MaxFlushes
+	r.cfg = cfg
+	r.res = Result{PerFSA: make([]int64, r.m.p.NumFSAs())}
+	r.offset = 0
+	r.cur = 0
+	r.fb = nil
+	r.fbSeenEnd = -1
+	for i := range r.fbSeen {
+		r.fbSeen[i] = 0
+	}
+	if !cfg.KeepOnMatch {
+		// Pop semantics: the successor vector depends on what was
+		// emitted at the stream end, so it cannot be cached. Delegate
+		// the whole stream, preserving iMFAnt's exact event stream
+		// (per-final-state multiplicity included).
+		r.res.FellBack = true
+		r.fb = engine.NewRunner(r.m.p)
+		r.fb.Begin(engine.Config{KeepOnMatch: false, OnMatch: r.emitOne})
+	}
+}
+
+// Feed consumes the next chunk of the stream. Set final on the last chunk so
+// $-anchored rules can match on the true last byte; splitting a stream into
+// chunks never changes the reported matches.
+func (r *Runner) Feed(chunk []byte, final bool) {
+	r.res.Symbols += len(chunk)
+	if r.fb != nil {
+		r.fb.Feed(chunk, final)
+		r.flushPending()
+		r.offset += len(chunk)
+		return
+	}
+	nc := r.m.nc
+	classOf := &r.m.classOf
+	base := r.offset
+	last := len(chunk) - 1
+	for pos := 0; pos < len(chunk); pos++ {
+		cls := int(classOf[chunk[pos]])
+		var next int32
+		if base+pos == 0 {
+			// The stream's first step also enables the ^-anchored
+			// inits; its successors live in a dedicated row.
+			if next = r.startRow[cls]; next < 0 {
+				next = r.miss(cls, true)
+			}
+		} else if next = r.rows[int(r.cur)*nc+cls]; next < 0 {
+			next = r.miss(cls, false)
+		}
+		if next < 0 {
+			// Cache thrash: hand the rest of the stream to iMFAnt,
+			// resumed from the current activation vector.
+			r.fallback(chunk, pos, final)
+			return
+		}
+		st := &r.states[next]
+		if st.hasAccept {
+			r.emitMask(st.accept, base+pos)
+		}
+		if final && pos == last && st.hasAcceptEnd {
+			r.emitMask(st.acceptEnd, base+pos)
+		}
+		r.cur = next
+	}
+	r.offset += len(chunk)
+}
+
+// End finishes the scan and returns the accumulated result.
+func (r *Runner) End() Result {
+	if r.fb != nil {
+		r.fb.End()
+	}
+	r.res.CachedStates = len(r.states)
+	return r.res
+}
+
+// miss computes the uncached successor of the current state (or of the
+// stream-start pseudo-state) on byte class cls, caching and returning its
+// id. It returns -1 when the cache is full and the flush budget is spent —
+// the caller must fall back.
+func (r *Runner) miss(cls int, streamStart bool) int32 {
+	var src []engine.Activation
+	if !streamStart {
+		src = r.states[r.cur].acts
+	}
+	next, accept, acceptEnd := r.stepper.Step(src, r.m.rep[cls], streamStart)
+	key := r.key(next)
+	id, ok := r.index[key]
+	if !ok {
+		if len(r.states) >= r.maxStates {
+			if r.res.Flushes >= r.maxFlushes {
+				return -1
+			}
+			r.flush()
+		}
+		id = r.add(next, accept, acceptEnd)
+	}
+	if streamStart {
+		r.startRow[cls] = id
+	} else {
+		r.rows[int(r.cur)*r.m.nc+cls] = id
+	}
+	return id
+}
+
+// flush drops the whole cache (RE2-style) and reseeds it with the restart
+// state and the current state, so the scan continues without replay.
+func (r *Runner) flush() {
+	r.res.Flushes++
+	cur := r.states[r.cur]
+	r.resetCache()
+	if len(cur.acts) > 0 {
+		r.cur = r.add(cur.acts, cur.accept, cur.acceptEnd)
+	} else {
+		r.cur = 0
+	}
+}
+
+// resetCache empties the transition table and re-inserts state 0, the
+// restart state (the empty activation vector).
+func (r *Runner) resetCache() {
+	r.states = r.states[:0]
+	r.rows = r.rows[:0]
+	clear(r.index)
+	for i := range r.startRow {
+		r.startRow[i] = -1
+	}
+	r.add(nil, nil, nil)
+	r.cur = 0
+}
+
+// add caches a state and returns its id, growing the row table by one
+// uncomputed row.
+func (r *Runner) add(acts []engine.Activation, accept, acceptEnd []uint64) int32 {
+	id := int32(len(r.states))
+	st := state{acts: acts, accept: accept, acceptEnd: acceptEnd}
+	for _, w := range accept {
+		st.hasAccept = st.hasAccept || w != 0
+	}
+	for _, w := range acceptEnd {
+		st.hasAcceptEnd = st.hasAcceptEnd || w != 0
+	}
+	r.states = append(r.states, st)
+	r.index[r.key(acts)] = id
+	for i := 0; i < r.m.nc; i++ {
+		r.rows = append(r.rows, -1)
+	}
+	return id
+}
+
+// key renders an activation vector (already canonical: sorted by state) as
+// the cache lookup key.
+func (r *Runner) key(acts []engine.Activation) string {
+	b := r.keyBuf[:0]
+	for _, a := range acts {
+		b = append(b, byte(a.State), byte(a.State>>8), byte(a.State>>16), byte(a.State>>24))
+		for _, w := range a.J {
+			b = append(b, byte(w), byte(w>>8), byte(w>>16), byte(w>>24),
+				byte(w>>32), byte(w>>40), byte(w>>48), byte(w>>56))
+		}
+	}
+	r.keyBuf = b
+	return string(b)
+}
+
+// fallback resumes the iMFAnt engine from the current activation vector at
+// absolute offset and feeds it the unconsumed tail of the chunk. Emission
+// goes through a per-offset dedup so the event stream stays byte-identical
+// to the cached path's.
+func (r *Runner) fallback(chunk []byte, pos int, final bool) {
+	r.res.FellBack = true
+	r.fb = engine.NewRunner(r.m.p)
+	r.fb.Resume(engine.Config{KeepOnMatch: true, OnMatch: r.emitDedup}, r.states[r.cur].acts, r.offset+pos)
+	r.fb.Feed(chunk[pos:], final)
+	r.flushPending()
+	r.offset += len(chunk)
+}
+
+// emitDedup buffers engine events into a per-offset mask, collapsing the
+// per-final-state multiplicity of raw iMFAnt events to one event per
+// (FSA, end) and restoring ascending-FSA emission order — the cached
+// path's exact semantics. flushPending emits the buffered offset.
+func (r *Runner) emitDedup(fsa, end int) {
+	if end != r.fbSeenEnd {
+		r.flushPending()
+		r.fbSeenEnd = end
+	}
+	r.fbSeen[fsa>>6] |= 1 << (uint(fsa) & 63)
+}
+
+func (r *Runner) flushPending() {
+	if r.fbSeenEnd < 0 {
+		return
+	}
+	r.emitMask(r.fbSeen, r.fbSeenEnd)
+	for i := range r.fbSeen {
+		r.fbSeen[i] = 0
+	}
+	r.fbSeenEnd = -1
+}
+
+func (r *Runner) emitMask(mask []uint64, end int) {
+	for w, m := range mask {
+		for ; m != 0; m &= m - 1 {
+			r.emitOne(w<<6+bits.TrailingZeros64(m), end)
+		}
+	}
+}
+
+func (r *Runner) emitOne(fsa, end int) {
+	r.res.Matches++
+	r.res.PerFSA[fsa]++
+	if r.cfg.OnMatch != nil {
+		r.cfg.OnMatch(fsa, end)
+	}
+}
+
+// Matches runs m over input and returns every (FSA, end offset) event in
+// traversal order. Intended for tests and examples on small inputs.
+func Matches(m *Matcher, input []byte, cfg Config) []engine.MatchEvent {
+	var out []engine.MatchEvent
+	cfg.OnMatch = func(fsa, end int) {
+		out = append(out, engine.MatchEvent{FSA: fsa, End: end})
+	}
+	NewRunner(m).Run(input, cfg)
+	return out
+}

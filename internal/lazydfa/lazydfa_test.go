@@ -1,0 +1,272 @@
+package lazydfa
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/mfsa"
+	"repro/internal/nfa"
+)
+
+func compile(t testing.TB, patterns ...string) ([]*nfa.NFA, *Matcher) {
+	t.Helper()
+	fsas := make([]*nfa.NFA, len(patterns))
+	for i, pat := range patterns {
+		n, err := nfa.Compile(pat)
+		if err != nil {
+			t.Fatalf("compile %q: %v", pat, err)
+		}
+		n.ID = i
+		fsas[i] = n
+	}
+	z, err := mfsa.Merge(fsas)
+	if err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	return fsas, New(engine.NewProgram(z))
+}
+
+func lazyEnds(m *Matcher, in []byte, cfg Config) [][]int {
+	return engine.DistinctEnds(Matches(m, in, cfg), m.p.NumFSAs())
+}
+
+func engineEnds(m *Matcher, in []byte) [][]int {
+	return engine.DistinctEnds(engine.Matches(m.p, in, engine.Config{KeepOnMatch: true}), m.p.NumFSAs())
+}
+
+// TestRowWidthEqualsClasses validates the byte-class compression: every
+// cached transition row is exactly NumClasses entries wide, and the class
+// count is the true number of alphabet equivalence classes of the ruleset.
+func TestRowWidthEqualsClasses(t *testing.T) {
+	_, m := compile(t, "[a-c]x", "yz")
+	// Labels: [a-c], x, y, z → classes {a-c}, {x}, {y}, {z}, rest.
+	if m.NumClasses() != 5 {
+		t.Fatalf("NumClasses=%d, want 5", m.NumClasses())
+	}
+	r := NewRunner(m)
+	r.Run([]byte("abxyzyzcx"), Config{KeepOnMatch: true})
+	if len(r.states) == 0 {
+		t.Fatal("no states cached")
+	}
+	if got, want := len(r.rows), len(r.states)*m.NumClasses(); got != want {
+		t.Fatalf("row table %d entries for %d states, want %d (= states × classes)",
+			got, len(r.states), want)
+	}
+	if len(r.startRow) != m.NumClasses() {
+		t.Fatalf("start row %d entries, want %d", len(r.startRow), m.NumClasses())
+	}
+}
+
+func TestMatchesEngineKeepMode(t *testing.T) {
+	_, m := compile(t, "ab", "a[bc]d", "b+c", "^ab", "cd$")
+	for _, in := range []string{"", "abcdabcd", "abdbbbcabd", "xxabcdxx", "ab"} {
+		got := lazyEnds(m, []byte(in), Config{KeepOnMatch: true})
+		want := engineEnds(m, []byte(in))
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("input %q: lazy %v engine %v", in, got, want)
+		}
+	}
+}
+
+func TestMatchesOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	frags := []string{"a", "b", "c", "ab", "bc", "a[bc]", "(ab|ba)", "b+", "c?", "a{2,3}"}
+	for trial := 0; trial < 150; trial++ {
+		n := 1 + r.Intn(5)
+		patterns := make([]string, n)
+		for i := range patterns {
+			s := ""
+			for j, k := 0, 1+r.Intn(3); j < k; j++ {
+				s += frags[r.Intn(len(frags))]
+			}
+			patterns[i] = s
+		}
+		fsas, m := compile(t, patterns...)
+		in := make([]byte, r.Intn(40))
+		for i := range in {
+			in[i] = byte('a' + r.Intn(3))
+		}
+		got := lazyEnds(m, in, Config{KeepOnMatch: true})
+		want := engine.ReferenceScanAll(fsas, in, true)
+		for j := range fsas {
+			w := want[j]
+			if w == nil {
+				w = []int{}
+			}
+			if !reflect.DeepEqual(got[j], w) {
+				t.Fatalf("patterns=%v input=%q FSA %d: lazy %v oracle %v",
+					patterns, in, j, got[j], w)
+			}
+		}
+	}
+}
+
+// TestFlushAndFallback forces both cache-exhaustion paths with a tiny cap
+// and checks the event stream stays byte-identical to the unconstrained run.
+func TestFlushAndFallback(t *testing.T) {
+	_, m := compile(t, "a+b", "b+a", "ab+a", "ba+b", "aa", "bb")
+	r := rand.New(rand.NewSource(11))
+	in := make([]byte, 4096)
+	for i := range in {
+		in[i] = byte('a' + r.Intn(2))
+	}
+	want := Matches(m, in, Config{KeepOnMatch: true})
+
+	// Small cap, generous flush budget: flushes must occur, and events
+	// must not change.
+	flushRunner := NewRunner(m)
+	var gotFlush []engine.MatchEvent
+	res := flushRunner.Run(in, Config{
+		KeepOnMatch: true, MaxStates: 4, MaxFlushes: 1 << 30,
+		OnMatch: func(fsa, end int) { gotFlush = append(gotFlush, engine.MatchEvent{FSA: fsa, End: end}) },
+	})
+	if res.Flushes == 0 {
+		t.Fatal("cap 4 run never flushed")
+	}
+	if res.FellBack {
+		t.Fatal("unlimited flush budget fell back")
+	}
+	if len(flushRunner.states) > 4 {
+		t.Fatalf("cache overran its cap: %d states", len(flushRunner.states))
+	}
+	if !reflect.DeepEqual(gotFlush, want) {
+		t.Fatalf("flush run diverged: %d events vs %d", len(gotFlush), len(want))
+	}
+
+	// Small cap, tiny flush budget: fallback must occur, events must not
+	// change.
+	var gotFB []engine.MatchEvent
+	res = NewRunner(m).Run(in, Config{
+		KeepOnMatch: true, MaxStates: 4, MaxFlushes: 2,
+		OnMatch: func(fsa, end int) { gotFB = append(gotFB, engine.MatchEvent{FSA: fsa, End: end}) },
+	})
+	if !res.FellBack {
+		t.Fatal("flush budget 2 with cap 4 never fell back")
+	}
+	if res.Flushes != 2 {
+		t.Fatalf("Flushes=%d, want 2", res.Flushes)
+	}
+	if !reflect.DeepEqual(gotFB, want) {
+		t.Fatalf("fallback run diverged: %d events vs %d", len(gotFB), len(want))
+	}
+
+	// Negative flush budget: fall back on the first full cache.
+	res = NewRunner(m).Run(in, Config{KeepOnMatch: true, MaxStates: 4, MaxFlushes: -1})
+	if !res.FellBack || res.Flushes != 0 {
+		t.Fatalf("MaxFlushes<0: FellBack=%v Flushes=%d", res.FellBack, res.Flushes)
+	}
+}
+
+// TestChunkedFeed checks that splitting a stream into chunks of any size —
+// across flushes and fallback — never changes the reported events.
+func TestChunkedFeed(t *testing.T) {
+	_, m := compile(t, "abc", "c+a", "^ab", "bc$", "abca")
+	r := rand.New(rand.NewSource(3))
+	in := make([]byte, 512)
+	for i := range in {
+		in[i] = byte('a' + r.Intn(3))
+	}
+	want := Matches(m, in, Config{KeepOnMatch: true})
+	for _, cfg := range []Config{
+		{KeepOnMatch: true},
+		{KeepOnMatch: true, MaxStates: 4, MaxFlushes: 1 << 30},
+		{KeepOnMatch: true, MaxStates: 4, MaxFlushes: 1},
+	} {
+		for _, chunk := range []int{1, 3, 7, 100} {
+			var got []engine.MatchEvent
+			c := cfg
+			c.OnMatch = func(fsa, end int) { got = append(got, engine.MatchEvent{FSA: fsa, End: end}) }
+			runner := NewRunner(m)
+			runner.Begin(c)
+			for i := 0; i < len(in); i += chunk {
+				end := i + chunk
+				if end > len(in) {
+					end = len(in)
+				}
+				runner.Feed(in[i:end], end == len(in))
+			}
+			runner.End()
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("cfg=%+v chunk=%d diverged: %d events vs %d", cfg, chunk, len(got), len(want))
+			}
+		}
+	}
+}
+
+// TestPopSemanticsDelegates checks the transparent fallback for the Eq. 5
+// pop mode: the whole stream runs on the iMFAnt engine with its exact
+// semantics.
+func TestPopSemanticsDelegates(t *testing.T) {
+	_, m := compile(t, "ab*", "a+")
+	in := []byte("abbaab")
+	var got []engine.MatchEvent
+	res := NewRunner(m).Run(in, Config{
+		OnMatch: func(fsa, end int) { got = append(got, engine.MatchEvent{FSA: fsa, End: end}) },
+	})
+	if !res.FellBack {
+		t.Fatal("pop mode did not delegate")
+	}
+	want := engine.Matches(m.p, in, engine.Config{})
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("pop events %v, want %v", got, want)
+	}
+	if res.Matches != int64(len(want)) {
+		t.Fatalf("Matches=%d, want %d", res.Matches, len(want))
+	}
+}
+
+// TestRunnerReuseWarmCache checks that the cache persists across scans and
+// that a reused runner reports identical results.
+func TestRunnerReuseWarmCache(t *testing.T) {
+	_, m := compile(t, "abc", "bca", "ca+b")
+	in := []byte("abcabcaabcbcacab")
+	r := NewRunner(m)
+	first := r.Run(in, Config{KeepOnMatch: true})
+	if first.CachedStates == 0 {
+		t.Fatal("no states cached")
+	}
+	second := r.Run(in, Config{KeepOnMatch: true})
+	if second.CachedStates != first.CachedStates {
+		t.Fatalf("cache not warm: %d then %d states", first.CachedStates, second.CachedStates)
+	}
+	if first.Matches != second.Matches {
+		t.Fatalf("reuse changed matches: %d vs %d", first.Matches, second.Matches)
+	}
+	// State from one scan must not leak into the next.
+	third := r.Run([]byte("zzzz"), Config{KeepOnMatch: true})
+	if third.Matches != 0 {
+		t.Fatalf("state leaked: %d matches", third.Matches)
+	}
+	// Changing the cap rebuilds the cache rather than violating it.
+	fourth := r.Run(in, Config{KeepOnMatch: true, MaxStates: 3, MaxFlushes: 1 << 30})
+	if fourth.Matches != first.Matches {
+		t.Fatalf("cap change broke matches: %d vs %d", fourth.Matches, first.Matches)
+	}
+	if fourth.CachedStates > 3 {
+		t.Fatalf("cache overran new cap: %d", fourth.CachedStates)
+	}
+}
+
+// TestAnchors covers ^ and $ through the cached path, including the
+// dedicated stream-start row.
+func TestAnchors(t *testing.T) {
+	_, m := compile(t, "^ab", "ab$", "ab")
+	got := lazyEnds(m, []byte("abxab"), Config{KeepOnMatch: true})
+	want := [][]int{{1}, {4}, {1, 4}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("anchors: %v, want %v", got, want)
+	}
+}
+
+func TestPerFSACounts(t *testing.T) {
+	_, m := compile(t, "ab", "b")
+	res := NewRunner(m).Run([]byte("abab"), Config{KeepOnMatch: true})
+	if res.PerFSA[0] != 2 || res.PerFSA[1] != 2 || res.Matches != 4 {
+		t.Fatalf("counts %+v", res)
+	}
+	if res.Symbols != 4 {
+		t.Fatalf("Symbols=%d", res.Symbols)
+	}
+}

@@ -2,6 +2,7 @@ package imfant
 
 import (
 	"repro/internal/engine"
+	"repro/internal/lazydfa"
 )
 
 // StreamMatcher scans a stream incrementally: write chunks of any size and
@@ -10,14 +11,18 @@ import (
 // chunk boundaries). It implements io.WriteCloser, so it can sit behind
 // io.Copy or a TeeReader in a packet-processing pipeline.
 //
+// The matcher runs on the engine selected by Options.Engine: in lazy-DFA
+// mode each automaton keeps a bounded transition cache that persists for
+// the life of the matcher, in iMFAnt mode the classic chunked runner.
+//
 // Close marks the end of the stream; it is required for correctness of
 // $-anchored rules, which may only match on the final byte. To that end the
 // matcher holds back the most recent byte until the next Write or Close.
 //
 // A StreamMatcher is not safe for concurrent use.
 type StreamMatcher struct {
-	runners []*engine.Runner
-	rules   [][]RuleInfo
+	feeds   []func(chunk []byte, final bool)
+	ends    []func()
 	onMatch func(Match)
 	held    [1]byte
 	hasHeld bool
@@ -35,26 +40,34 @@ type RuleInfo struct {
 // when only the count is needed.
 func (rs *Ruleset) NewStreamMatcher(onMatch func(Match)) *StreamMatcher {
 	sm := &StreamMatcher{onMatch: onMatch}
-	for _, p := range rs.programs {
-		runner := engine.NewRunner(p)
-		var infos []RuleInfo
+	lazy := rs.useLazy()
+	for i, p := range rs.programs {
+		infos := make([]RuleInfo, 0, len(p.Rules()))
 		for _, ri := range p.Rules() {
 			infos = append(infos, RuleInfo{Rule: ri.RuleID, Pattern: ri.Pattern})
 		}
-		sm.rules = append(sm.rules, infos)
-		idx := len(sm.runners)
-		cfg := engine.Config{
-			KeepOnMatch: rs.opts.KeepOnMatch,
-			OnMatch: func(fsa, end int) {
-				sm.matches++
-				if sm.onMatch != nil {
-					info := sm.rules[idx][fsa]
-					sm.onMatch(Match{Rule: info.Rule, Pattern: info.Pattern, End: end})
-				}
-			},
+		emit := func(fsa, end int) {
+			sm.matches++
+			if sm.onMatch != nil {
+				info := infos[fsa]
+				sm.onMatch(Match{Rule: info.Rule, Pattern: info.Pattern, End: end})
+			}
 		}
-		runner.Begin(cfg)
-		sm.runners = append(sm.runners, runner)
+		if lazy {
+			runner := lazydfa.NewRunner(rs.lazy[i])
+			runner.Begin(lazydfa.Config{
+				KeepOnMatch: rs.opts.KeepOnMatch,
+				MaxStates:   rs.opts.LazyDFAMaxStates,
+				OnMatch:     emit,
+			})
+			sm.feeds = append(sm.feeds, runner.Feed)
+			sm.ends = append(sm.ends, func() { runner.End() })
+		} else {
+			runner := engine.NewRunner(p)
+			runner.Begin(engine.Config{KeepOnMatch: rs.opts.KeepOnMatch, OnMatch: emit})
+			sm.feeds = append(sm.feeds, runner.Feed)
+			sm.ends = append(sm.ends, func() { runner.End() })
+		}
 	}
 	return sm
 }
@@ -66,8 +79,8 @@ func (sm *StreamMatcher) Write(p []byte) (int, error) {
 		return len(p), nil
 	}
 	if sm.hasHeld {
-		for _, r := range sm.runners {
-			r.Feed(sm.held[:], false)
+		for _, feed := range sm.feeds {
+			feed(sm.held[:], false)
 		}
 		sm.hasHeld = false
 	}
@@ -75,8 +88,8 @@ func (sm *StreamMatcher) Write(p []byte) (int, error) {
 	// further data arrives before Close.
 	body, last := p[:len(p)-1], p[len(p)-1]
 	if len(body) > 0 {
-		for _, r := range sm.runners {
-			r.Feed(body, false)
+		for _, feed := range sm.feeds {
+			feed(body, false)
 		}
 	}
 	sm.held[0] = last
@@ -96,9 +109,9 @@ func (sm *StreamMatcher) Close() error {
 		final = sm.held[:]
 		sm.hasHeld = false
 	}
-	for _, r := range sm.runners {
-		r.Feed(final, true)
-		r.End()
+	for i, feed := range sm.feeds {
+		feed(final, true)
+		sm.ends[i]()
 	}
 	return nil
 }
