@@ -226,7 +226,9 @@ func BenchmarkINFAntBaseline(b *testing.B) {
 	b.SetBytes(int64(len(in)))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		engine.RunParallel(programs, in, 1, engine.Config{})
+		if _, err := engine.RunParallel(programs, in, 1, engine.Config{}); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

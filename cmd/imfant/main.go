@@ -62,7 +62,11 @@ func main() {
 	var elapsed time.Duration
 	for rep := 0; rep < max(1, *reps); rep++ {
 		start := time.Now()
-		results = engine.RunParallel(programs, input, *threads, cfg)
+		var rpErr error
+		results, rpErr = engine.RunParallel(programs, input, *threads, cfg)
+		if rpErr != nil {
+			fatal(rpErr)
+		}
 		elapsed += time.Since(start)
 	}
 	elapsed /= time.Duration(max(1, *reps))

@@ -113,7 +113,10 @@ func main() {
 			log.Fatal(err)
 		}
 		start := time.Now()
-		alerts := rs.CountParallel(traffic, c.threads)
+		alerts, err := rs.CountParallel(traffic, c.threads)
+		if err != nil {
+			log.Fatal(err)
+		}
 		elapsed := time.Since(start)
 		if baseline == 0 {
 			baseline = elapsed

@@ -19,6 +19,8 @@
 package imfant
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -72,6 +74,12 @@ type Options struct {
 	// and matching context; 0 selects lazydfa.DefaultMaxStates. Smaller
 	// caps bound memory at the cost of more cache flushes.
 	LazyDFAMaxStates int
+	// Limits is the compile-side resource budget: pattern length, nesting
+	// depth, per-rule NFA states under loop expansion, and the total MFSA
+	// state count. The zero value selects the documented defaults, which
+	// keep compilation of hostile rulesets bounded; set a field negative
+	// to disable that check.
+	Limits Limits
 }
 
 // Match is one reported match.
@@ -128,15 +136,66 @@ func (rs *Ruleset) buildEngines() {
 	}
 }
 
-// Compile builds a Ruleset from POSIX ERE patterns.
+// Compile builds a Ruleset from POSIX ERE patterns. Compilation runs under
+// Options.Limits; any failure — syntax or budget — is returned as a
+// *CompileError attributing the rule and pipeline stage, and the whole
+// ruleset is rejected. Use CompileLax to isolate per-rule failures instead.
 func Compile(patterns []string, opts Options) (*Ruleset, error) {
 	if len(patterns) == 0 {
 		return nil, fmt.Errorf("imfant: empty ruleset")
 	}
-	out, err := pipeline.Compile(patterns, opts.MergeFactor, nil)
+	out, _, err := pipeline.Run(pipeline.Request{
+		Patterns: patterns,
+		Merge:    opts.MergeFactor,
+		Limits:   opts.Limits.pipeline(),
+	})
 	if err != nil {
-		return nil, err
+		return nil, wrapCompileError(err)
 	}
+	return newRuleset(patterns, out, opts), nil
+}
+
+// CompileLax compiles the ruleset with per-rule fault isolation: rules that
+// fail lexing, parsing, construction, or single-FSA optimization are
+// dropped and reported in ruleErrs while the surviving rules compile
+// exactly as if the ruleset had never contained the bad ones — same
+// automata, same matches, and Match.Rule still indexes the original
+// patterns slice. err is non-nil only for ruleset-level failures (no rule
+// survived, or the merge/ANML stages failed), in which case rs is nil.
+func CompileLax(patterns []string, opts Options) (rs *Ruleset, ruleErrs []RuleError, err error) {
+	if len(patterns) == 0 {
+		return nil, nil, fmt.Errorf("imfant: empty ruleset")
+	}
+	out, perrs, err := pipeline.Run(pipeline.Request{
+		Patterns: patterns,
+		Merge:    opts.MergeFactor,
+		Limits:   opts.Limits.pipeline(),
+		Lax:      true,
+	})
+	for _, pe := range perrs {
+		ruleErrs = append(ruleErrs, RuleError{
+			Rule: pe.Rule, Pattern: pe.Pattern, Stage: pe.Stage, Err: pe.Err,
+		})
+	}
+	if err != nil {
+		return nil, ruleErrs, wrapCompileError(err)
+	}
+	return newRuleset(patterns, out, opts), ruleErrs, nil
+}
+
+// wrapCompileError converts a pipeline failure into the public typed form.
+func wrapCompileError(err error) error {
+	var pe *pipeline.RuleError
+	if errors.As(err, &pe) {
+		return &CompileError{Rule: pe.Rule, Pattern: pe.Pattern, Stage: pe.Stage, Err: pe.Err}
+	}
+	return fmt.Errorf("imfant: %w", err)
+}
+
+// newRuleset lowers a pipeline output into an executable Ruleset. patterns
+// is the full original ruleset — in lax mode the compiled automata may
+// cover a subset, but rule ids keep indexing the original slice.
+func newRuleset(patterns []string, out *pipeline.Output, opts Options) *Ruleset {
 	rs := &Ruleset{
 		patterns: append([]string(nil), patterns...),
 		mfsas:    out.MFSAs,
@@ -155,7 +214,7 @@ func Compile(patterns []string, opts Options) (*Ruleset, error) {
 		rs.programs[i] = engine.NewProgram(z)
 	}
 	rs.buildEngines()
-	return rs, nil
+	return rs
 }
 
 // MustCompile is Compile for rulesets known to be valid; it panics on error.
@@ -257,15 +316,15 @@ func LoadANML(r io.Reader, opts Options) (*Ruleset, error) {
 // offset and then rule index. For large inputs with many matches prefer
 // Scan or Count.
 func (rs *Ruleset) FindAll(input []byte) []Match {
-	var out []Match
-	rs.Scan(input, func(m Match) { out = append(out, m) })
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].End != out[j].End {
-			return out[i].End < out[j].End
-		}
-		return out[i].Rule < out[j].Rule
-	})
+	out, _ := rs.FindAllContext(context.Background(), input)
 	return out
+}
+
+// FindAllContext is FindAll under a context: cancellation or deadline
+// expiry stops the scan at the next engine checkpoint (about every 4 KiB of
+// input per automaton) and returns the context's error with nil matches.
+func (rs *Ruleset) FindAllContext(ctx context.Context, input []byte) ([]Match, error) {
+	return rs.NewScanner().FindAllContext(ctx, input)
 }
 
 // Scan streams every match to fn, automaton by automaton, on the engine
@@ -276,9 +335,22 @@ func (rs *Ruleset) Scan(input []byte, fn func(Match)) {
 	rs.NewScanner().Scan(input, fn)
 }
 
+// ScanContext is Scan under a context: cancellation stops the scan at the
+// next checkpoint; matches already streamed to fn before that point were
+// delivered, and the context's error is returned.
+func (rs *Ruleset) ScanContext(ctx context.Context, input []byte, fn func(Match)) error {
+	return rs.NewScanner().ScanContext(ctx, input, fn)
+}
+
 // Count returns the total number of match events in input.
 func (rs *Ruleset) Count(input []byte) int64 {
 	return rs.NewScanner().Count(input)
+}
+
+// CountContext is Count under a context; on cancellation it returns the
+// partial count together with the context's error.
+func (rs *Ruleset) CountContext(ctx context.Context, input []byte) (int64, error) {
+	return rs.NewScanner().CountContext(ctx, input)
 }
 
 // CountPerRule returns the number of match events per rule, indexed like
@@ -317,23 +389,56 @@ func (rs *Ruleset) NewScanner() *Scanner {
 
 // Scan streams every match in input to fn, automaton by automaton.
 func (s *Scanner) Scan(input []byte, fn func(Match)) {
-	s.run(input, fn)
+	s.run(context.Background(), input, fn)
+}
+
+// ScanContext is Scan under a context: cancellation stops the scan at the
+// next checkpoint; matches already streamed to fn before that point were
+// delivered, and the context's error is returned.
+func (s *Scanner) ScanContext(ctx context.Context, input []byte, fn func(Match)) error {
+	_, err := s.run(ctx, input, fn)
+	return err
+}
+
+// FindAllContext is FindAll under a context: on cancellation it returns
+// nil matches and the context's error.
+func (s *Scanner) FindAllContext(ctx context.Context, input []byte) ([]Match, error) {
+	var out []Match
+	if err := s.ScanContext(ctx, input, func(m Match) { out = append(out, m) }); err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].End != out[j].End {
+			return out[i].End < out[j].End
+		}
+		return out[i].Rule < out[j].Rule
+	})
+	return out, nil
 }
 
 // Count returns the total number of match events in input.
 func (s *Scanner) Count(input []byte) int64 {
+	total, _ := s.CountContext(context.Background(), input)
+	return total
+}
+
+// CountContext is Count under a context; on cancellation it returns the
+// partial count together with the context's error.
+func (s *Scanner) CountContext(ctx context.Context, input []byte) (int64, error) {
+	results, err := s.run(ctx, input, nil)
 	var total int64
-	for _, res := range s.run(input, nil) {
+	for _, res := range results {
 		total += res.matches
 	}
-	return total
+	return total, err
 }
 
 // CountPerRule returns the number of match events per rule, indexed like
 // the compiled patterns.
 func (s *Scanner) CountPerRule(input []byte) []int64 {
+	results, _ := s.run(context.Background(), input, nil)
 	out := make([]int64, len(s.rs.patterns))
-	for i, res := range s.run(input, nil) {
+	for i, res := range results {
 		for fsa, c := range res.perFSA {
 			out[s.rs.programs[i].Rules()[fsa].RuleID] += c
 		}
@@ -346,9 +451,13 @@ type scanResult struct {
 	perFSA  []int64
 }
 
-func (s *Scanner) run(input []byte, fn func(Match)) []scanResult {
+// run executes every automaton over input. The context is polled at engine
+// checkpoints (DefaultCheckpointEvery bytes); on cancellation the partial
+// results gathered so far are returned with the context's error.
+func (s *Scanner) run(ctx context.Context, input []byte, fn func(Match)) ([]scanResult, error) {
 	rs := s.rs
-	out := make([]scanResult, len(rs.programs))
+	check := checkpointOf(ctx)
+	out := make([]scanResult, 0, len(rs.programs))
 	for i, p := range rs.programs {
 		var onMatch func(fsa, end int)
 		if fn != nil {
@@ -362,25 +471,54 @@ func (s *Scanner) run(input []byte, fn func(Match)) []scanResult {
 				KeepOnMatch: rs.opts.KeepOnMatch,
 				MaxStates:   rs.opts.LazyDFAMaxStates,
 				OnMatch:     onMatch,
+				Checkpoint:  check,
 			})
-			out[i] = scanResult{matches: res.Matches, perFSA: res.PerFSA}
+			out = append(out, scanResult{matches: res.Matches, perFSA: res.PerFSA})
+			if err := s.lazies[i].Err(); err != nil {
+				return out, err
+			}
 		} else {
 			res := s.runners[i].Run(input, engine.Config{
 				KeepOnMatch: rs.opts.KeepOnMatch,
 				OnMatch:     onMatch,
+				Checkpoint:  check,
 			})
-			out[i] = scanResult{matches: res.Matches, perFSA: res.PerFSA}
+			out = append(out, scanResult{matches: res.Matches, perFSA: res.PerFSA})
+			if err := s.runners[i].Err(); err != nil {
+				return out, err
+			}
 		}
 	}
-	return out
+	return out, nil
 }
 
 // CountParallel scans input with the paper's multi-threaded scheme
 // (§VI-C2): a pool of `threads` workers each executing whole MFSAs until
-// none remain. It returns the total match count.
-func (rs *Ruleset) CountParallel(input []byte, threads int) int64 {
-	results := engine.RunParallel(rs.programs, input, threads, engine.Config{KeepOnMatch: rs.opts.KeepOnMatch})
-	return engine.TotalMatches(results)
+// none remain. It returns the total match count. A panic inside a worker is
+// contained and returned as an error instead of crashing the process.
+func (rs *Ruleset) CountParallel(input []byte, threads int) (int64, error) {
+	return rs.CountParallelContext(context.Background(), input, threads)
+}
+
+// CountParallelContext is CountParallel under a context: cancellation or
+// deadline expiry stops every worker at its next checkpoint and returns the
+// context's error.
+func (rs *Ruleset) CountParallelContext(ctx context.Context, input []byte, threads int) (int64, error) {
+	cfg := engine.Config{KeepOnMatch: rs.opts.KeepOnMatch, Checkpoint: checkpointOf(ctx)}
+	results, err := engine.RunParallel(rs.programs, input, threads, cfg)
+	if err != nil {
+		return 0, err
+	}
+	return engine.TotalMatches(results), nil
+}
+
+// checkpointOf adapts a context to an engine checkpoint; contexts that can
+// never be cancelled poll nothing.
+func checkpointOf(ctx context.Context) func() error {
+	if ctx == nil || ctx.Done() == nil {
+		return nil
+	}
+	return ctx.Err
 }
 
 // Activity runs the Table II instrumentation: the average number of

@@ -106,7 +106,11 @@ func TestCountParallelAgrees(t *testing.T) {
 	}
 	seq := rs.Count(input)
 	for _, threads := range []int{1, 2, 4, 8} {
-		if got := rs.CountParallel(input, threads); got != seq {
+		got, err := rs.CountParallel(input, threads)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != seq {
 			t.Fatalf("threads=%d: %d, want %d", threads, got, seq)
 		}
 	}

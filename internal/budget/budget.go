@@ -1,0 +1,25 @@
+// Package budget defines the shared sentinel for resource-budget
+// violations across the compilation pipeline. Every stage that enforces a
+// limit — pattern length and nesting depth in the Front-End, state caps in
+// loop expansion, the total-state cap in merging — wraps this sentinel, so
+// callers can classify a failure as "input exceeded the configured budgets"
+// (as opposed to a syntax error) with a single errors.Is check, regardless
+// of which stage tripped.
+package budget
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Err is the sentinel wrapped by every budget violation.
+var Err = errors.New("resource budget exceeded")
+
+// Errorf builds a budget-violation error: the formatted message, wrapping
+// Err so that errors.Is(err, budget.Err) reports true.
+func Errorf(format string, args ...any) error {
+	return fmt.Errorf(format+": %w", append(args, Err)...)
+}
+
+// Is reports whether err is (or wraps) a budget violation.
+func Is(err error) bool { return errors.Is(err, Err) }

@@ -175,7 +175,7 @@ func TestSampleStringAccepted(t *testing.T) {
 			}
 			for k := 0; k < 4; k++ {
 				sample := SampleString(r, ast)
-				if !nfa.Accepts(n, sample) {
+				if !mustAccepts(t, n, sample) {
 					t.Fatalf("%s: sample %q of %q rejected", s.Abbr, sample, p)
 				}
 			}
@@ -211,4 +211,15 @@ func BenchmarkStream1MB(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s.Stream(1<<20, 0)
 	}
+}
+
+// mustAccepts is nfa.Accepts for automata known to be fully expanded; it
+// fails the test on error.
+func mustAccepts(tb testing.TB, n *nfa.NFA, input []byte) bool {
+	tb.Helper()
+	ok, err := nfa.Accepts(n, input)
+	if err != nil {
+		tb.Fatalf("Accepts: %v", err)
+	}
+	return ok
 }

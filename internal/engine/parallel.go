@@ -1,9 +1,29 @@
 package engine
 
 import (
+	"errors"
+	"fmt"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
+
+// WorkerPanicError reports a panic recovered inside a RunParallel worker:
+// the automaton being executed, the recovered value, and the worker's stack
+// at the point of the panic. The panic is contained to the failing
+// automaton — the other workers finish their automata normally.
+type WorkerPanicError struct {
+	// Automaton is the index of the program whose execution panicked.
+	Automaton int
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the worker goroutine's stack trace at the panic.
+	Stack []byte
+}
+
+func (e *WorkerPanicError) Error() string {
+	return fmt.Sprintf("engine: worker panic on automaton %d: %v", e.Automaton, e.Value)
+}
 
 // RunParallel executes a pool of programs over the same input using the
 // multi-threaded scheme of §VI-C2: a fixed pool of `threads` workers, each
@@ -12,20 +32,28 @@ import (
 // measures wall-clock latency around this call, which corresponds to the
 // paper's "latency to compute all the REs of a benchmark".
 //
+// Fault containment: a panic inside a worker (e.g. from a user-supplied
+// OnMatch callback) is recovered and converted into a *WorkerPanicError
+// instead of aborting the process; the automaton's Result slot is left
+// zero and the remaining automata still execute. Checkpoint cancellations
+// (Config.Checkpoint) surface the same way, one error per cancelled
+// automaton. All failures are joined into the returned error.
+//
 // threads ≤ 0 selects one worker per program.
-func RunParallel(programs []*Program, input []byte, threads int, cfg Config) []Result {
+func RunParallel(programs []*Program, input []byte, threads int, cfg Config) ([]Result, error) {
 	if len(programs) == 0 {
-		return nil
+		return nil, nil
 	}
 	if threads <= 0 || threads > len(programs) {
 		threads = len(programs)
 	}
 	results := make([]Result, len(programs))
+	errs := make([]error, len(programs))
 	if threads == 1 {
 		for i, p := range programs {
-			results[i] = Run(p, input, cfg)
+			results[i], errs[i] = runOne(i, p, input, cfg)
 		}
-		return results
+		return results, errors.Join(errs...)
 	}
 	// Lock-free work queue: a single atomic counter hands out automaton
 	// indices, so workers never contend on a mutex between executions.
@@ -40,12 +68,24 @@ func RunParallel(programs []*Program, input []byte, threads int, cfg Config) []R
 				if i >= len(programs) {
 					return
 				}
-				results[i] = Run(programs[i], input, cfg)
+				results[i], errs[i] = runOne(i, programs[i], input, cfg)
 			}
 		}()
 	}
 	wg.Wait()
-	return results
+	return results, errors.Join(errs...)
+}
+
+// runOne executes a single automaton with panic containment.
+func runOne(i int, p *Program, input []byte, cfg Config) (res Result, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &WorkerPanicError{Automaton: i, Value: v, Stack: debug.Stack()}
+		}
+	}()
+	r := NewRunner(p)
+	res = r.Run(input, cfg)
+	return res, r.Err()
 }
 
 // TotalMatches sums the match counts of a result set.

@@ -1,8 +1,10 @@
 package engine
 
 import (
+	"errors"
 	"math/rand"
 	"reflect"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/mfsa"
@@ -41,9 +43,15 @@ func TestRunParallelMatchesSequential(t *testing.T) {
 	}
 	for _, m := range []int{1, 2, 4, 8} {
 		ps := buildPrograms(t, m, patterns)
-		seq := RunParallel(ps, in, 1, Config{})
+		seq, err := RunParallel(ps, in, 1, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
 		for _, threads := range []int{2, 3, 8, 16} {
-			par := RunParallel(ps, in, threads, Config{})
+			par, err := RunParallel(ps, in, threads, Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
 			for i := range seq {
 				if seq[i].Matches != par[i].Matches {
 					t.Fatalf("M=%d T=%d program %d: %d vs %d matches",
@@ -58,21 +66,28 @@ func TestRunParallelMatchesSequential(t *testing.T) {
 }
 
 func TestRunParallelEmpty(t *testing.T) {
-	if got := RunParallel(nil, []byte("x"), 4, Config{}); got != nil {
-		t.Fatalf("got %v", got)
+	got, err := RunParallel(nil, []byte("x"), 4, Config{})
+	if got != nil || err != nil {
+		t.Fatalf("got %v, err %v", got, err)
 	}
 }
 
 func TestRunParallelThreadClamping(t *testing.T) {
 	ps := buildPrograms(t, 1, []string{"ab", "cd"})
-	res := RunParallel(ps, []byte("abcd"), 100, Config{})
+	res, err := RunParallel(ps, []byte("abcd"), 100, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(res) != 2 {
 		t.Fatalf("results=%d", len(res))
 	}
 	if res[0].Matches != 1 || res[1].Matches != 1 {
 		t.Fatalf("matches %d %d", res[0].Matches, res[1].Matches)
 	}
-	res = RunParallel(ps, []byte("abcd"), -1, Config{})
+	res, err = RunParallel(ps, []byte("abcd"), -1, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if TotalMatches(res) != 2 {
 		t.Fatalf("total=%d", TotalMatches(res))
 	}
@@ -99,7 +114,9 @@ func BenchmarkRunParallel(b *testing.B) {
 	b.SetBytes(int64(len(in)))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		RunParallel(ps, in, 4, Config{})
+		if _, err := RunParallel(ps, in, 4, Config{}); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
@@ -111,7 +128,10 @@ func TestPoolMatchesRunParallel(t *testing.T) {
 	for i := range in {
 		in[i] = byte('a' + rnd.Intn(4))
 	}
-	want := RunParallel(ps, in, 1, Config{})
+	want, err := RunParallel(ps, in, 1, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	pool := NewPool(ps)
 	for _, threads := range []int{1, 2, 4, -1} {
 		got := pool.Run(in, threads, Config{})
@@ -133,5 +153,55 @@ func TestPoolMatchesRunParallel(t *testing.T) {
 func TestPoolEmpty(t *testing.T) {
 	if got := NewPool(nil).Run([]byte("x"), 2, Config{}); got != nil {
 		t.Fatalf("got %v", got)
+	}
+}
+
+func TestRunParallelContainsWorkerPanic(t *testing.T) {
+	ps := buildPrograms(t, 1, []string{"ab", "cd", "ef"})
+	in := []byte("abcdef")
+	// A panicking user callback is the realistic in-worker crash: it must
+	// surface as a typed error, not abort the process, and the automata
+	// that did not panic must still report their matches.
+	cfg := Config{OnMatch: func(fsa, end int) {
+		if end == 3 { // the "cd" match
+			panic("injected failure")
+		}
+	}}
+	for _, threads := range []int{1, 2, 3} {
+		res, err := RunParallel(ps, in, threads, cfg)
+		if err == nil {
+			t.Fatalf("threads=%d: panic not surfaced as error", threads)
+		}
+		var wp *WorkerPanicError
+		if !errors.As(err, &wp) {
+			t.Fatalf("threads=%d: want *WorkerPanicError, got %T: %v", threads, err, err)
+		}
+		if wp.Automaton != 1 || wp.Value != "injected failure" {
+			t.Fatalf("threads=%d: wrong panic attribution: %+v", threads, wp)
+		}
+		if len(wp.Stack) == 0 {
+			t.Fatalf("threads=%d: missing stack trace", threads)
+		}
+		if res[0].Matches != 1 || res[2].Matches != 1 {
+			t.Fatalf("threads=%d: surviving automata lost matches: %+v", threads, res)
+		}
+	}
+}
+
+func TestRunParallelCheckpointCancel(t *testing.T) {
+	ps := buildPrograms(t, 1, []string{"ab", "cd"})
+	in := make([]byte, 1<<20)
+	wantErr := errors.New("deadline exceeded")
+	var calls atomic.Int32
+	cfg := Config{
+		Checkpoint:      func() error { calls.Add(1); return wantErr },
+		CheckpointEvery: 4096,
+	}
+	_, err := RunParallel(ps, in, 2, cfg)
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("want checkpoint error, got %v", err)
+	}
+	if got := calls.Load(); got != 2 { // first poll of each automaton cancels it
+		t.Fatalf("checkpoint polled %d times, want 2", got)
 	}
 }

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"errors"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -383,5 +384,63 @@ func TestWideRulesetGenericPath(t *testing.T) {
 	res := Run(p, []byte("aaabbbccc"), Config{Stats: true})
 	if res.ActivePairsTotal <= 0 || res.MaxActiveFSAs <= 0 {
 		t.Fatalf("stats %+v", res)
+	}
+}
+
+func TestCheckpointDoesNotChangeMatches(t *testing.T) {
+	_, _, p := compileGroup(t, "abc", "a[bc]+", "c+a", "xy$")
+	rnd := rand.New(rand.NewSource(7))
+	in := make([]byte, 40_000)
+	for i := range in {
+		in[i] = byte('a' + rnd.Intn(4))
+	}
+	want := Matches(p, in, Config{})
+	// Tiny checkpoint blocks exercise the block-splitting path heavily;
+	// the event stream must be byte-identical, including the final-block
+	// $ anchor handling.
+	polls := 0
+	got := Matches(p, in, Config{
+		Checkpoint:      func() error { polls++; return nil },
+		CheckpointEvery: 17,
+	})
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("checkpointed scan diverged: %d vs %d events", len(want), len(got))
+	}
+	if polls < len(in)/17 {
+		t.Fatalf("checkpoint polled only %d times", polls)
+	}
+}
+
+func TestCheckpointCancelStopsFeed(t *testing.T) {
+	_, _, p := compileGroup(t, "ab")
+	r := NewRunner(p)
+	boom := errors.New("cancelled")
+	fed := 0
+	r.Begin(Config{
+		Checkpoint: func() error {
+			fed++
+			if fed > 2 {
+				return boom
+			}
+			return nil
+		},
+		CheckpointEvery: 8,
+	})
+	in := make([]byte, 1024)
+	r.Feed(in, false)
+	if r.Err() == nil {
+		t.Fatal("cancelled runner reports no error")
+	}
+	sym := r.End().Symbols
+	if sym >= len(in) {
+		t.Fatalf("runner consumed the whole input despite cancellation (%d bytes)", sym)
+	}
+	// Further feeds are no-ops.
+	r.Feed(in, true)
+	if got := r.End().Symbols; got != sym {
+		t.Fatalf("Feed after cancellation consumed input: %d -> %d", sym, got)
+	}
+	if !errors.Is(r.Err(), boom) {
+		t.Fatalf("Err() = %v, want %v", r.Err(), boom)
 	}
 }

@@ -63,7 +63,9 @@ func (r *Runner) Baseline(w io.Writer) ([]BaselineRow, error) {
 			nfaPrograms = append(nfaPrograms, engine.NewProgram(z))
 		}
 		start := time.Now()
-		engine.RunParallel(nfaPrograms, in, 1, engine.Config{KeepOnMatch: true})
+		if _, err := engine.RunParallel(nfaPrograms, in, 1, engine.Config{KeepOnMatch: true}); err != nil {
+			return nil, err
+		}
 		row.NFATime = time.Since(start)
 
 		// MFSA (M = all over the slice).

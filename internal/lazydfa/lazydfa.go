@@ -68,6 +68,15 @@ type Config struct {
 	// OnMatch, when non-nil, receives every match with the FSA identifier
 	// and the end offset (inclusive, absolute within the stream).
 	OnMatch func(fsa, end int)
+	// Checkpoint, when non-nil, is polled about every CheckpointEvery
+	// bytes during Feed (on both the cached path and the iMFAnt
+	// fallback). A non-nil return cancels the scan: the runner stops
+	// consuming input, every further Feed is a no-op, and Err reports the
+	// cause.
+	Checkpoint func() error
+	// CheckpointEvery is the polling granularity of Checkpoint in bytes;
+	// 0 selects engine.DefaultCheckpointEvery.
+	CheckpointEvery int
 }
 
 // Result aggregates one scan.
@@ -144,6 +153,7 @@ type Runner struct {
 	offset     int
 	maxStates  int
 	maxFlushes int
+	stop       error // non-nil: scan cancelled by a Checkpoint failure
 
 	states   []state
 	rows     []int32 // len(states)·nc successor ids, -1 = not computed
@@ -203,6 +213,7 @@ func (r *Runner) Begin(cfg Config) {
 	r.res = Result{PerFSA: make([]int64, r.m.p.NumFSAs())}
 	r.offset = 0
 	r.cur = 0
+	r.stop = nil
 	r.fb = nil
 	r.fbSeenEnd = -1
 	for i := range r.fbSeen {
@@ -222,7 +233,41 @@ func (r *Runner) Begin(cfg Config) {
 // Feed consumes the next chunk of the stream. Set final on the last chunk so
 // $-anchored rules can match on the true last byte; splitting a stream into
 // chunks never changes the reported matches.
+//
+// When Config.Checkpoint is set, Feed polls it between blocks of
+// CheckpointEvery bytes; once it fails, the remaining input is dropped and
+// Err returns the cause.
 func (r *Runner) Feed(chunk []byte, final bool) {
+	if r.stop != nil {
+		return
+	}
+	if r.cfg.Checkpoint == nil {
+		r.feedChunk(chunk, final)
+		return
+	}
+	every := r.cfg.CheckpointEvery
+	if every <= 0 {
+		every = engine.DefaultCheckpointEvery
+	}
+	for off := 0; ; off += every {
+		if err := r.cfg.Checkpoint(); err != nil {
+			r.stop = err
+			return
+		}
+		end := off + every
+		if end >= len(chunk) {
+			r.feedChunk(chunk[off:], final)
+			return
+		}
+		r.feedChunk(chunk[off:end], false)
+	}
+}
+
+// Err returns the Checkpoint error that cancelled the scan, if any.
+func (r *Runner) Err() error { return r.stop }
+
+// feedChunk is the uninterruptible Feed body.
+func (r *Runner) feedChunk(chunk []byte, final bool) {
 	r.res.Symbols += len(chunk)
 	if r.fb != nil {
 		r.fb.Feed(chunk, final)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/budget"
 	"repro/internal/charset"
 	"repro/internal/nfa"
 )
@@ -40,6 +41,11 @@ type MergeOptions struct {
 	// core; larger values merge only longer shared sub-patterns. The
 	// ablation benchmarks sweep this knob.
 	MinSubPath int
+	// MaxStates caps the MFSA's state count, checked after each input
+	// automaton is folded in so an over-budget ruleset fails during the
+	// merge rather than after materializing the whole automaton. 0
+	// disables the check. Violations satisfy errors.Is(err, budget.Err).
+	MaxStates int
 }
 
 // MergeWith is Merge with explicit search options.
@@ -71,6 +77,10 @@ func MergeWith(fsas []*nfa.NFA, opts MergeOptions) (*MFSA, error) {
 			rho = findMapping(z, a, opts.MinSubPath) // lines 4–19: MS search
 		}
 		z.apply(a, rho, j, capFSAs) // lines 20–21: relabel + generateNew
+		if opts.MaxStates > 0 && z.NumStates > opts.MaxStates {
+			return nil, budget.Errorf("mfsa: merge exceeds state budget %d after folding rule %q (%d states)",
+				opts.MaxStates, a.Pattern, z.NumStates)
+		}
 	}
 	z.sortCOO()
 	return z, nil
@@ -80,26 +90,66 @@ func MergeWith(fsas []*nfa.NFA, opts MergeOptions) (*MFSA, error) {
 // engines scale linearly in it, and published rulesets stay ≤ 300 REs.
 const maxMergedFSAs = 1 << 16
 
+// GroupOptions tunes MergeGroupsWith beyond the per-group MergeOptions.
+type GroupOptions struct {
+	// Merge is applied to every group's Merge call. Its MaxStates field is
+	// ignored; use MaxTotalStates.
+	Merge MergeOptions
+	// MaxTotalStates caps the state count summed over all produced MFSAs —
+	// the ruleset-level memory budget of the compiled automata. Each
+	// group's merge runs under the budget remaining after the groups
+	// already built. 0 disables the check. Violations satisfy
+	// errors.Is(err, budget.Err).
+	MaxTotalStates int
+	// KeepRuleIDs preserves each input automaton's own ID as its RuleID
+	// instead of renumbering by position in fsas. Partial (lax)
+	// compilation relies on this: surviving rules keep their indices in
+	// the original ruleset even when earlier rules were dropped.
+	KeepRuleIDs bool
+}
+
 // MergeGroups splits the ruleset into ⌈N/M⌉ sequentially-sampled groups of
 // merging factor m and merges each, reproducing the K = ⌈N/M⌉ MFSAs of
 // Fig. 4. m ≤ 0 (the paper's "M = all") merges the whole set into one MFSA.
 func MergeGroups(fsas []*nfa.NFA, m int) ([]*MFSA, error) {
+	return MergeGroupsWith(fsas, m, GroupOptions{})
+}
+
+// MergeGroupsWith is MergeGroups under explicit options.
+func MergeGroupsWith(fsas []*nfa.NFA, m int, opts GroupOptions) ([]*MFSA, error) {
 	if m <= 0 || m > len(fsas) {
 		m = len(fsas)
 	}
 	out := make([]*MFSA, 0, (len(fsas)+m-1)/m)
+	total := 0
 	for i := 0; i < len(fsas); i += m {
 		end := i + m
 		if end > len(fsas) {
 			end = len(fsas)
 		}
-		z, err := Merge(fsas[i:end])
+		mo := opts.Merge
+		if opts.MaxTotalStates > 0 {
+			mo.MaxStates = opts.MaxTotalStates - total
+			if mo.MaxStates <= 0 {
+				return nil, budget.Errorf("mfsa: ruleset exceeds total state budget %d (%d states before group %d)",
+					opts.MaxTotalStates, total, len(out))
+			}
+		} else {
+			mo.MaxStates = 0
+		}
+		z, err := MergeWith(fsas[i:end], mo)
 		if err != nil {
 			return nil, err
 		}
-		// Re-number rule ids to their position in the full ruleset.
+		total += z.NumStates
+		// Re-number rule ids to their position in the full ruleset, or —
+		// under KeepRuleIDs — to the id the input automaton carries.
 		for k := range z.FSAs {
-			z.FSAs[k].RuleID = i + k
+			if opts.KeepRuleIDs {
+				z.FSAs[k].RuleID = fsas[i+k].ID
+			} else {
+				z.FSAs[k].RuleID = i + k
+			}
 		}
 		out = append(out, z)
 	}

@@ -167,10 +167,10 @@ func TestMergeFigure5bNoFalseLanguage(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if nfa.Accepts(ex, []byte("hfd")) {
+	if mustAccepts(t, ex, []byte("hfd")) {
 		t.Fatal("belonging-2 sub-automaton accepts hfd")
 	}
-	if !nfa.Accepts(ex, []byte("kfd")) {
+	if !mustAccepts(t, ex, []byte("kfd")) {
 		t.Fatal("belonging-2 sub-automaton rejects kfd")
 	}
 }
@@ -203,7 +203,7 @@ func TestExtractRoundTrip(t *testing.T) {
 			t.Fatalf("extract %d: %v", j, err)
 		}
 		for _, in := range inputs {
-			if got, want := nfa.Accepts(ex, []byte(in)), nfa.Accepts(a, []byte(in)); got != want {
+			if got, want := mustAccepts(t, ex, []byte(in)), mustAccepts(t, a, []byte(in)); got != want {
 				t.Errorf("FSA %d (%s) input %q: extracted=%v original=%v", j, patterns[j], in, got, want)
 			}
 		}
@@ -337,7 +337,7 @@ func TestQuickMergePreservesEveryLanguage(t *testing.T) {
 				for i := range in {
 					in[i] = alpha[r.Intn(len(alpha))]
 				}
-				if nfa.Accepts(ex, in) != nfa.Accepts(a, in) {
+				if mustAccepts(t, ex, in) != mustAccepts(t, a, in) {
 					t.Logf("patterns %v FSA %d input %q disagree", patterns, j, in)
 					return false
 				}
@@ -496,4 +496,15 @@ func TestMergeGrouped(t *testing.T) {
 	if _, err := MergeGrouped(fsas, [][]int{{0, 9}}); err == nil {
 		t.Fatal("out-of-range index accepted")
 	}
+}
+
+// mustAccepts is nfa.Accepts for automata known to be fully expanded; it
+// fails the test on error.
+func mustAccepts(tb testing.TB, n *nfa.NFA, input []byte) bool {
+	tb.Helper()
+	ok, err := nfa.Accepts(n, input)
+	if err != nil {
+		tb.Fatalf("Accepts: %v", err)
+	}
+	return ok
 }

@@ -1,0 +1,86 @@
+package nfa
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/budget"
+	"repro/internal/rex"
+)
+
+// buildFor parses and constructs the raw ε-NFA without optimizing, so tests
+// can drive the expansion pass with explicit budgets.
+func buildFor(t *testing.T, pattern string) *NFA {
+	t.Helper()
+	ast, err := rex.Parse(pattern)
+	if err != nil {
+		t.Fatalf("parse %q: %v", pattern, err)
+	}
+	n, err := Build(ast)
+	if err != nil {
+		t.Fatalf("build %q: %v", pattern, err)
+	}
+	n.Pattern = pattern
+	return n
+}
+
+func TestExpandLoopsStateBudget(t *testing.T) {
+	// (a{500}){500} wants ~250k states plus wiring — over the default cap.
+	n := buildFor(t, "(a{500}){500}")
+	err := ExpandLoops(n)
+	if err == nil {
+		t.Fatalf("expected state-budget error, got %d states", n.NumStates)
+	}
+	if !errors.Is(err, budget.Err) {
+		t.Fatalf("expansion error should wrap budget.Err, got %v", err)
+	}
+
+	// The same pattern expands under an explicit unlimited budget.
+	n = buildFor(t, "(a{500}){500}")
+	if err := ExpandLoopsWith(n, Limits{MaxStates: -1}); err != nil {
+		t.Fatalf("unlimited expansion: %v", err)
+	}
+	if n.NumStates < 500*500 {
+		t.Fatalf("unlimited expansion produced only %d states", n.NumStates)
+	}
+}
+
+func TestExpandLoopsBudgetIsIncremental(t *testing.T) {
+	// With a tiny budget the pass must stop almost immediately: the state
+	// count at failure is bounded by budget + one body copy, not by the
+	// full expansion size.
+	n := buildFor(t, "(a{100}){100}")
+	err := ExpandLoopsWith(n, Limits{MaxStates: 1000})
+	if !errors.Is(err, budget.Err) {
+		t.Fatalf("want budget.Err, got %v", err)
+	}
+	if n.NumStates > 1000+250 {
+		t.Fatalf("budget enforced too late: %d states materialized", n.NumStates)
+	}
+}
+
+func TestOptimizeWithBudgetOK(t *testing.T) {
+	n := buildFor(t, "a{2,5}b")
+	if err := OptimizeWith(n, Limits{MaxStates: 100}); err != nil {
+		t.Fatalf("small pattern within budget: %v", err)
+	}
+	for _, want := range []string{"aab", "aaaaab"} {
+		if ok := mustAccepts(t, n, []byte(want)); !ok {
+			t.Fatalf("optimized NFA rejects %q", want)
+		}
+	}
+}
+
+func TestAcceptsPendingLoopsError(t *testing.T) {
+	n := buildFor(t, "a{2,4}")
+	if len(n.Loops) == 0 {
+		t.Fatal("expected pending loops before expansion")
+	}
+	ok, err := Accepts(n, []byte("aa"))
+	if err == nil {
+		t.Fatal("Accepts on pending loops should error, not panic or succeed")
+	}
+	if ok {
+		t.Fatal("Accepts returned true alongside an error")
+	}
+}

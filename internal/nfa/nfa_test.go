@@ -109,18 +109,18 @@ func TestAcceptsBasics(t *testing.T) {
 		}
 		opt := mustCompile(t, c.pattern)
 		for _, s := range c.yes {
-			if !Accepts(raw, []byte(s)) {
+			if !mustAccepts(t, raw, []byte(s)) {
 				t.Errorf("%s: raw rejects %q", c.pattern, s)
 			}
-			if !Accepts(opt, []byte(s)) {
+			if !mustAccepts(t, opt, []byte(s)) {
 				t.Errorf("%s: optimized rejects %q", c.pattern, s)
 			}
 		}
 		for _, s := range c.no {
-			if Accepts(raw, []byte(s)) {
+			if mustAccepts(t, raw, []byte(s)) {
 				t.Errorf("%s: raw accepts %q", c.pattern, s)
 			}
-			if Accepts(opt, []byte(s)) {
+			if mustAccepts(t, opt, []byte(s)) {
 				t.Errorf("%s: optimized accepts %q", c.pattern, s)
 			}
 		}
@@ -222,12 +222,12 @@ func TestExpansionCounts(t *testing.T) {
 func TestNestedCountedRepeat(t *testing.T) {
 	n := mustCompile(t, "(a{2}){2,3}")
 	for _, s := range []string{"aaaa", "aaaaaa"} {
-		if !Accepts(n, []byte(s)) {
+		if !mustAccepts(t, n, []byte(s)) {
 			t.Errorf("rejects %q", s)
 		}
 	}
 	for _, s := range []string{"", "aa", "aaa", "aaaaa", "aaaaaaa"} {
-		if Accepts(n, []byte(s)) {
+		if mustAccepts(t, n, []byte(s)) {
 			t.Errorf("accepts %q", s)
 		}
 	}
@@ -312,7 +312,7 @@ func TestQuickAcceptsMatchesStdlib(t *testing.T) {
 		}
 		for k := 0; k < 12; k++ {
 			in := randInput(r, r.Intn(8))
-			got := Accepts(n, in)
+			got := mustAccepts(t, n, in)
 			want := re.Match(in)
 			if got != want {
 				t.Logf("pattern %q input %q: nfa=%v stdlib=%v", pat, in, got, want)
@@ -345,7 +345,7 @@ func TestQuickOptimizationPreservesLanguage(t *testing.T) {
 		}
 		for k := 0; k < 12; k++ {
 			in := randInput(r, r.Intn(8))
-			if Accepts(eps, in) != Accepts(raw, in) {
+			if mustAccepts(t, eps, in) != mustAccepts(t, raw, in) {
 				t.Logf("pattern %q input %q disagree", pat, in)
 				return false
 			}
@@ -420,7 +420,7 @@ func TestRealisticRulesCompile(t *testing.T) {
 func TestAcceptsLongChain(t *testing.T) {
 	pat := strings.Repeat("ab", 50)
 	n := mustCompile(t, pat)
-	if !Accepts(n, []byte(pat)) {
+	if !mustAccepts(t, n, []byte(pat)) {
 		t.Fatal("rejects own literal")
 	}
 	if n.NumStates != 101 {
@@ -446,6 +446,17 @@ func BenchmarkAccepts(b *testing.B) {
 	in := []byte(strings.Repeat("ab", 100) + "abb")
 	b.SetBytes(int64(len(in)))
 	for i := 0; i < b.N; i++ {
-		Accepts(n, in)
+		mustAccepts(b, n, in)
 	}
+}
+
+// mustAccepts is Accepts for automata known to be fully expanded; it fails
+// the test on error.
+func mustAccepts(tb testing.TB, n *NFA, input []byte) bool {
+	tb.Helper()
+	ok, err := Accepts(n, input)
+	if err != nil {
+		tb.Fatalf("Accepts: %v", err)
+	}
+	return ok
 }

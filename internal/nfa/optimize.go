@@ -3,21 +3,54 @@ package nfa
 import (
 	"fmt"
 
+	"repro/internal/budget"
 	"repro/internal/charset"
 	"repro/internal/rex"
 )
+
+// Limits bounds the single-FSA optimization stage. The zero value selects
+// the package defaults; negative values disable the corresponding check.
+type Limits struct {
+	// MaxStates caps the automaton's state count during and after loop
+	// expansion — the pass where counted repetitions can blow an automaton
+	// up combinatorially (nested {m,n} bounds multiply). The check runs
+	// after every materialized loop body, so memory consumption is bounded
+	// by the budget plus one body copy, not by the fully expanded size.
+	MaxStates int
+}
+
+// DefaultMaxStates is the default per-FSA state budget of loop expansion.
+// The largest published per-RE automata stay in the low thousands of
+// states; a quarter-million leaves two orders of magnitude of headroom
+// while still catching adversarial nested repetitions early.
+const DefaultMaxStates = 1 << 18
+
+func (l Limits) maxStates() int {
+	if l.MaxStates == 0 {
+		return DefaultMaxStates
+	}
+	return l.MaxStates
+}
 
 // ExpandLoops materializes every pending Loop record, per §IV-C(2):
 // a counted repetition X{m,n} becomes m chained copies of X followed by
 // n−m optional copies, and X{m,} becomes m copies followed by a Kleene tail.
 // Expansion maximizes the mergeable transitions (Fig. 5a) at the cost of
 // duplicated sub-FSAs. Nested counted repetitions expand recursively.
+// The default state budget applies; ExpandLoopsWith overrides it.
 func ExpandLoops(n *NFA) error {
+	return ExpandLoopsWith(n, Limits{})
+}
+
+// ExpandLoopsWith is ExpandLoops under explicit budgets. Violations satisfy
+// errors.Is(err, budget.Err).
+func ExpandLoopsWith(n *NFA, lim Limits) error {
+	max := lim.maxStates()
 	for len(n.Loops) > 0 {
 		loops := n.Loops
 		n.Loops = nil
 		for _, lp := range loops {
-			if err := expandOne(n, lp); err != nil {
+			if err := expandOne(n, lp, max); err != nil {
 				return err
 			}
 		}
@@ -25,11 +58,23 @@ func ExpandLoops(n *NFA) error {
 	return nil
 }
 
-func expandOne(n *NFA, lp Loop) error {
+// checkStates enforces the expansion state budget.
+func checkStates(n *NFA, max int) error {
+	if max > 0 && n.NumStates > max {
+		return budget.Errorf("nfa: loop expansion of %q exceeds state budget %d (%d states so far)",
+			n.Pattern, max, n.NumStates)
+	}
+	return nil
+}
+
+func expandOne(n *NFA, lp Loop, max int) error {
 	cur := lp.Entry
 	for i := 0; i < lp.Min; i++ {
 		f, err := n.build(lp.Body)
 		if err != nil {
+			return err
+		}
+		if err := checkStates(n, max); err != nil {
 			return err
 		}
 		n.Eps = append(n.Eps, EpsTransition{cur, f.start})
@@ -39,6 +84,9 @@ func expandOne(n *NFA, lp Loop) error {
 		// Kleene tail: cur (X* ) Exit.
 		f, err := n.build(lp.Body)
 		if err != nil {
+			return err
+		}
+		if err := checkStates(n, max); err != nil {
 			return err
 		}
 		n.Eps = append(n.Eps,
@@ -51,6 +99,9 @@ func expandOne(n *NFA, lp Loop) error {
 	for i := lp.Min; i < lp.Max; i++ {
 		f, err := n.build(lp.Body)
 		if err != nil {
+			return err
+		}
+		if err := checkStates(n, max); err != nil {
 			return err
 		}
 		n.Eps = append(n.Eps,
@@ -226,9 +277,15 @@ func MergeParallel(n *NFA) {
 // Optimize runs the complete single-FSA optimization stage of the Middle-End
 // (§IV-C) in order: loop expansion, ε-removal (with trimming), and parallel-
 // arc simplification. The result is an ε-free NFA in COO order, ready for
-// merging.
+// merging. The default Limits apply; OptimizeWith overrides them.
 func Optimize(n *NFA) error {
-	if err := ExpandLoops(n); err != nil {
+	return OptimizeWith(n, Limits{})
+}
+
+// OptimizeWith is Optimize under explicit budgets. Violations satisfy
+// errors.Is(err, budget.Err).
+func OptimizeWith(n *NFA, lim Limits) error {
+	if err := ExpandLoopsWith(n, lim); err != nil {
 		return err
 	}
 	if err := RemoveEpsilon(n); err != nil {
@@ -259,10 +316,11 @@ func Compile(pattern string) (*NFA, error) {
 // Accepts reports whether the automaton accepts exactly the whole input, the
 // classical acceptance relation ⊢* of §II. It handles ε-arcs so it can be
 // used to check language preservation across optimization passes. Pending
-// loops must be expanded first.
-func Accepts(n *NFA, input []byte) bool {
+// loops must be expanded first; calling Accepts on an incomplete IR is an
+// error, not a panic.
+func Accepts(n *NFA, input []byte) (bool, error) {
 	if len(n.Loops) > 0 {
-		panic("nfa: Accepts called with pending loops")
+		return false, fmt.Errorf("nfa: Accepts called with %d pending loops; run ExpandLoops first", len(n.Loops))
 	}
 	eadj := make([][]StateID, n.NumStates)
 	for _, e := range n.Eps {
@@ -283,16 +341,16 @@ func Accepts(n *NFA, input []byte) bool {
 			}
 		}
 		if len(next) == 0 {
-			return false
+			return false, nil
 		}
 		cur = closure(next, eadj)
 	}
 	for q := range cur {
 		if n.IsFinal(q) {
-			return true
+			return true, nil
 		}
 	}
-	return false
+	return false, nil
 }
 
 func closure(set map[StateID]struct{}, eadj [][]StateID) map[StateID]struct{} {

@@ -46,7 +46,7 @@ func TestRefineAlphabetPreservesLanguage(t *testing.T) {
 			t.Fatalf("FSA %d: states changed %d → %d", i, fsas[i].NumStates, refined[i].NumStates)
 		}
 		for _, in := range inputs {
-			if got, want := Accepts(refined[i], []byte(in)), Accepts(fsas[i], []byte(in)); got != want {
+			if got, want := mustAccepts(t, refined[i], []byte(in)), mustAccepts(t, fsas[i], []byte(in)); got != want {
 				t.Errorf("FSA %d input %q: refined=%v original=%v", i, in, got, want)
 			}
 		}
@@ -112,7 +112,7 @@ func TestQuickRefinePreservesLanguage(t *testing.T) {
 				for b := range in {
 					in[b] = byte('a' + r.Intn(20))
 				}
-				if Accepts(refined[i], in) != Accepts(fsas[i], in) {
+				if mustAccepts(t, refined[i], in) != mustAccepts(t, fsas[i], in) {
 					t.Logf("FSA %d input %q disagree", i, in)
 					return false
 				}

@@ -3,6 +3,15 @@
 // conversion, (3) single-FSA optimization, (4) merging, and (5) ANML
 // generation — recording the wall-clock cost of each stage, which is the
 // quantity plotted in Fig. 8.
+//
+// Every stage runs under a resource budget (Limits): the Front-End bounds
+// pattern length and nesting depth before any recursion happens, loop
+// expansion bounds the per-rule state count as copies materialize, and
+// merging bounds the total MFSA state count as automata fold in. Failures
+// are typed (RuleError carries the rule index, pattern, and stage) and —
+// in lax mode — per-rule failures in stages 1–3 are isolated: the bad rule
+// is dropped, reported, and the surviving rules compile exactly as if the
+// ruleset had never contained it.
 package pipeline
 
 import (
@@ -11,10 +20,111 @@ import (
 	"time"
 
 	"repro/internal/anml"
+	"repro/internal/budget"
 	"repro/internal/mfsa"
 	"repro/internal/nfa"
 	"repro/internal/rex"
 )
+
+// Stage names one of the five compilation stages of §IV, used to attribute
+// failures to the pipeline checkpoint that raised them.
+type Stage string
+
+// The five stages of Fig. 4.
+const (
+	StageFrontEnd  Stage = "front-end"      // §IV-A lexical + syntactic analysis
+	StageASTToFSA  Stage = "ast-to-fsa"     // §IV-B Thompson-like construction
+	StageSingleFSA Stage = "single-fsa-opt" // §IV-C ε-removal, loop expansion, multiplicity
+	StageMerge     Stage = "merge"          // §IV-D Algorithm 1
+	StageBackEnd   Stage = "anml"           // §IV-E ANML generation
+)
+
+// Limits is the compile-side resource budget, enforced stage by stage. For
+// each field, zero selects the documented default and a negative value
+// disables the check. Violations satisfy errors.Is(err, budget.Err).
+type Limits struct {
+	// MaxPatternLen bounds each pattern's length in bytes, checked by the
+	// Front-End before lexing (default rex.DefaultMaxLen).
+	MaxPatternLen int
+	// MaxDepth bounds each pattern's group-nesting depth, checked during
+	// parsing so the parser's recursion is bounded too (default
+	// rex.DefaultMaxDepth).
+	MaxDepth int
+	// MaxNFAStates bounds each rule's automaton during loop expansion
+	// (default nfa.DefaultMaxStates).
+	MaxNFAStates int
+	// MaxMFSAStates bounds the state count summed over all merged MFSAs —
+	// the memory budget of the compiled ruleset (default
+	// DefaultMaxMFSAStates).
+	MaxMFSAStates int
+}
+
+// DefaultMaxMFSAStates is the default ruleset-level state budget: the sum
+// of states over all produced MFSAs. The paper's largest benchmark MFSAs
+// stay well under 10^5 states; two million bounds the compiled automata to
+// tens of megabytes while leaving ample headroom.
+const DefaultMaxMFSAStates = 2 << 20
+
+func (l Limits) maxMFSAStates() int {
+	if l.MaxMFSAStates == 0 {
+		return DefaultMaxMFSAStates
+	}
+	return l.MaxMFSAStates
+}
+
+// RuleError is a compilation failure attributed to its pipeline stage. For
+// per-rule failures (stages 1–3) Rule is the rule's index in the original
+// ruleset and Pattern its source; ruleset-level failures (merging, ANML
+// generation) carry Rule == -1.
+type RuleError struct {
+	Rule    int
+	Pattern string
+	Stage   Stage
+	Err     error
+}
+
+func (e *RuleError) Error() string {
+	if e.Rule < 0 {
+		return fmt.Sprintf("ruleset failed in %s: %v", e.Stage, e.Err)
+	}
+	return fmt.Sprintf("rule %d (%q) failed in %s: %v", e.Rule, e.Pattern, e.Stage, e.Err)
+}
+
+// Unwrap exposes the underlying stage error for errors.Is / errors.As.
+func (e *RuleError) Unwrap() error { return e.Err }
+
+// Request configures one compilation run.
+type Request struct {
+	// Patterns is the ruleset source.
+	Patterns []string
+	// Merge is the paper's merging factor M (≤ 0 means M = all).
+	Merge int
+	// Sink receives the generated ANML when non-nil; stage 5 runs either
+	// way so its time is measured.
+	Sink io.Writer
+	// Limits is the stage-by-stage resource budget (zero value: defaults).
+	Limits Limits
+	// Lax isolates per-rule failures of stages 1–3: failing rules are
+	// dropped and reported instead of aborting the run. Ruleset-level
+	// failures (merging, the total-MFSA budget, ANML generation) still
+	// abort. Surviving rules keep their original indices as rule ids.
+	Lax bool
+}
+
+// Output is the result of one full compilation.
+type Output struct {
+	// FSAs are the optimized standalone automata (after stage 3); their
+	// totals are the compression baseline of §VI-A. In lax mode they are
+	// the surviving rules only, each carrying its original ruleset index
+	// in ID.
+	FSAs []*nfa.NFA
+	// MFSAs are the ⌈N/M⌉ merged automata (after stage 4).
+	MFSAs []*mfsa.MFSA
+	// Times are the per-stage costs of this run.
+	Times StageTimes
+	// ANMLBytes is the total size of the generated ANML output.
+	ANMLBytes int
+}
 
 // StageTimes holds the per-stage compilation cost of one run.
 type StageTimes struct {
@@ -54,81 +164,123 @@ func (st StageTimes) Scale(n int) StageTimes {
 	}
 }
 
-// Output is the result of one full compilation.
-type Output struct {
-	// FSAs are the optimized standalone automata (after stage 3); their
-	// totals are the compression baseline of §VI-A.
-	FSAs []*nfa.NFA
-	// MFSAs are the ⌈N/M⌉ merged automata (after stage 4).
-	MFSAs []*mfsa.MFSA
-	// Times are the per-stage costs of this run.
-	Times StageTimes
-	// ANMLBytes is the total size of the generated ANML output.
-	ANMLBytes int
+// Compile runs the full framework over the ruleset with merging factor m
+// (m ≤ 0 means M = all) under the default Limits. ANML output is written to
+// sink when non-nil and discarded otherwise; stage 5 runs either way so its
+// time is measured. The first failing rule aborts the run; use Run with
+// Request.Lax to isolate per-rule failures instead.
+func Compile(patterns []string, m int, sink io.Writer) (*Output, error) {
+	out, _, err := Run(Request{Patterns: patterns, Merge: m, Sink: sink})
+	return out, err
 }
 
-// Compile runs the full framework over the ruleset with merging factor m
-// (m ≤ 0 means M = all). ANML output is written to sink when non-nil and
-// discarded otherwise; stage 5 runs either way so its time is measured.
-func Compile(patterns []string, m int, sink io.Writer) (*Output, error) {
-	out := &Output{}
+// Run executes one compilation request. In strict mode (Lax == false) the
+// first per-rule failure is returned as a *RuleError and ruleErrs is nil.
+// In lax mode every per-rule failure of stages 1–3 is collected into
+// ruleErrs, the survivors compile, and err is non-nil only for
+// ruleset-level failures — including the case that no rule survived.
+func Run(req Request) (out *Output, ruleErrs []*RuleError, err error) {
+	patterns := req.Patterns
+	lim := req.Limits
+	out = &Output{}
 
-	// Stage 1 — Front-End.
-	start := time.Now()
-	asts := make([]*rex.Node, len(patterns))
-	for i, p := range patterns {
-		ast, err := rex.Parse(p)
-		if err != nil {
-			return nil, fmt.Errorf("pipeline: rule %d: %w", i, err)
+	fail := func(rule int, stage Stage, cause error) error {
+		re := &RuleError{Rule: rule, Pattern: patterns[rule], Stage: stage, Err: cause}
+		if req.Lax {
+			ruleErrs = append(ruleErrs, re)
+			return nil
 		}
-		asts[i] = ast
+		return re
+	}
+
+	// Stage 1 — Front-End. alive tracks the surviving rules; every later
+	// per-rule stage iterates it, so a rule dropped here costs nothing
+	// downstream.
+	start := time.Now()
+	parseOpts := rex.ParseOptions{MaxLen: lim.MaxPatternLen, MaxDepth: lim.MaxDepth}
+	type ruled struct {
+		rule int
+		ast  *rex.Node
+	}
+	alive := make([]ruled, 0, len(patterns))
+	for i, p := range patterns {
+		ast, perr := rex.ParseOpts(p, parseOpts)
+		if perr != nil {
+			if e := fail(i, StageFrontEnd, perr); e != nil {
+				return nil, nil, e
+			}
+			continue
+		}
+		alive = append(alive, ruled{rule: i, ast: ast})
 	}
 	out.Times.FrontEnd = time.Since(start)
 
 	// Stage 2 — conversion from AST to FSA.
 	start = time.Now()
-	out.FSAs = make([]*nfa.NFA, len(asts))
-	for i, ast := range asts {
-		a, err := nfa.Build(ast)
-		if err != nil {
-			return nil, fmt.Errorf("pipeline: rule %d (%q): %w", i, patterns[i], err)
+	out.FSAs = make([]*nfa.NFA, 0, len(alive))
+	for _, r := range alive {
+		a, berr := nfa.Build(r.ast)
+		if berr != nil {
+			if e := fail(r.rule, StageASTToFSA, berr); e != nil {
+				return nil, nil, e
+			}
+			continue
 		}
-		a.ID = i
-		a.Pattern = patterns[i]
-		out.FSAs[i] = a
+		a.ID = r.rule
+		a.Pattern = patterns[r.rule]
+		out.FSAs = append(out.FSAs, a)
 	}
 	out.Times.ASTToFSA = time.Since(start)
 
-	// Stage 3 — single-FSA optimization.
+	// Stage 3 — single-FSA optimization, under the per-rule state budget.
 	start = time.Now()
-	for i, a := range out.FSAs {
-		if err := nfa.Optimize(a); err != nil {
-			return nil, fmt.Errorf("pipeline: rule %d (%q): %w", i, patterns[i], err)
+	nfaLim := nfa.Limits{MaxStates: lim.MaxNFAStates}
+	kept := out.FSAs[:0]
+	for _, a := range out.FSAs {
+		if oerr := nfa.OptimizeWith(a, nfaLim); oerr != nil {
+			if e := fail(a.ID, StageSingleFSA, oerr); e != nil {
+				return nil, nil, e
+			}
+			continue
 		}
+		kept = append(kept, a)
 	}
+	out.FSAs = kept
 	out.Times.SingleME = time.Since(start)
 
-	// Stage 4 — merging.
+	if len(out.FSAs) == 0 {
+		return nil, ruleErrs, fmt.Errorf("pipeline: no rule survived compilation (%d failed)", len(ruleErrs))
+	}
+
+	// Stage 4 — merging, under the ruleset-level state budget. Rule ids
+	// follow the automata (KeepRuleIDs) so lax survivors keep their
+	// original ruleset indices.
 	start = time.Now()
-	zs, err := mfsa.MergeGroups(out.FSAs, m)
-	if err != nil {
-		return nil, fmt.Errorf("pipeline: merge: %w", err)
+	zs, merr := mfsa.MergeGroupsWith(out.FSAs, req.Merge, mfsa.GroupOptions{
+		MaxTotalStates: lim.maxMFSAStates(),
+		KeepRuleIDs:    true,
+	})
+	if merr != nil {
+		return nil, ruleErrs, &RuleError{Rule: -1, Stage: StageMerge, Err: merr}
 	}
 	out.MFSAs = zs
 	out.Times.MergeME = time.Since(start)
 
 	// Stage 5 — ANML generation.
 	start = time.Now()
-	cw := &countWriter{w: sink}
+	cw := &countWriter{w: req.Sink}
 	for _, z := range zs {
-		if err := anml.Write(cw, z); err != nil {
-			return nil, fmt.Errorf("pipeline: anml: %w", err)
+		if aerr := anml.Write(cw, z); aerr != nil {
+			return nil, ruleErrs, &RuleError{Rule: -1, Stage: StageBackEnd, Err: aerr}
 		}
 	}
 	out.Times.BackEnd = time.Since(start)
 	out.ANMLBytes = cw.n
-	return out, nil
+	return out, ruleErrs, nil
 }
+
+// IsBudget reports whether err is (or wraps) a resource-budget violation.
+func IsBudget(err error) bool { return budget.Is(err) }
 
 // countWriter counts bytes, forwarding to w when non-nil.
 type countWriter struct {

@@ -2,10 +2,12 @@ package pipeline
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 
 	"repro/internal/anml"
+	"repro/internal/budget"
 	"repro/internal/dataset"
 	"repro/internal/mfsa"
 )
@@ -125,5 +127,103 @@ func BenchmarkCompileBRO30M10(b *testing.B) {
 		if _, err := Compile(pats, 10, nil); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+func TestRunStrictReturnsTypedRuleError(t *testing.T) {
+	_, ruleErrs, err := Run(Request{Patterns: []string{"ab", "(", "cd"}, Merge: 1})
+	if err == nil {
+		t.Fatal("strict mode accepted a malformed rule")
+	}
+	if ruleErrs != nil {
+		t.Fatalf("strict mode should not collect rule errors, got %d", len(ruleErrs))
+	}
+	var re *RuleError
+	if !errors.As(err, &re) {
+		t.Fatalf("strict failure should be a *RuleError, got %T: %v", err, err)
+	}
+	if re.Rule != 1 || re.Pattern != "(" || re.Stage != StageFrontEnd {
+		t.Fatalf("RuleError fields: %+v", re)
+	}
+}
+
+func TestRunLaxIsolatesBadRules(t *testing.T) {
+	pats := []string{"ab+", "(", "a{1,100000}", "cd"}
+	out, ruleErrs, err := Run(Request{Patterns: pats, Merge: 0, Lax: true})
+	if err != nil {
+		t.Fatalf("lax run: %v", err)
+	}
+	if len(ruleErrs) != 2 {
+		t.Fatalf("want 2 rule errors, got %d: %v", len(ruleErrs), ruleErrs)
+	}
+	if ruleErrs[0].Rule != 1 || ruleErrs[0].Stage != StageFrontEnd {
+		t.Fatalf("first rule error: %+v", ruleErrs[0])
+	}
+	if ruleErrs[1].Rule != 2 || !budget.Is(ruleErrs[1]) {
+		t.Fatalf("second rule error should be rule 2 budget violation: %+v", ruleErrs[1])
+	}
+	// Survivors keep their original ruleset indices.
+	if len(out.FSAs) != 2 || out.FSAs[0].ID != 0 || out.FSAs[1].ID != 3 {
+		t.Fatalf("survivor ids: %v", []int{out.FSAs[0].ID, out.FSAs[1].ID})
+	}
+	var ids []int
+	for _, z := range out.MFSAs {
+		for _, info := range z.FSAs {
+			ids = append(ids, info.RuleID)
+		}
+	}
+	if len(ids) != 2 || ids[0] != 0 || ids[1] != 3 {
+		t.Fatalf("MFSA rule ids: %v", ids)
+	}
+}
+
+func TestRunLaxAllRulesFail(t *testing.T) {
+	_, ruleErrs, err := Run(Request{Patterns: []string{"(", ")"}, Lax: true})
+	if err == nil {
+		t.Fatal("expected error when no rule survives")
+	}
+	if len(ruleErrs) != 2 {
+		t.Fatalf("want 2 rule errors, got %d", len(ruleErrs))
+	}
+}
+
+func TestRunNFAStateBudgetAttribution(t *testing.T) {
+	// Within the lexer's repeat bound but over a small expansion budget.
+	_, _, err := Run(Request{
+		Patterns: []string{"(a{500}){500}"},
+		Limits:   Limits{MaxNFAStates: 10_000},
+	})
+	var re *RuleError
+	if !errors.As(err, &re) || re.Stage != StageSingleFSA {
+		t.Fatalf("want single-fsa-opt RuleError, got %v", err)
+	}
+	if !budget.Is(err) {
+		t.Fatalf("state-budget violation should wrap budget.Err: %v", err)
+	}
+}
+
+func TestRunMFSAStateBudget(t *testing.T) {
+	pats := []string{"abcdefgh", "ijklmnop", "qrstuvwx"}
+	_, _, err := Run(Request{Patterns: pats, Limits: Limits{MaxMFSAStates: 5}})
+	if err == nil || !budget.Is(err) {
+		t.Fatalf("want ruleset-level budget violation, got %v", err)
+	}
+	// The same ruleset compiles with the default budget.
+	if _, _, err := Run(Request{Patterns: pats}); err != nil {
+		t.Fatalf("default budget: %v", err)
+	}
+}
+
+func TestRunLimitsDisabled(t *testing.T) {
+	// Negative limits disable the checks entirely.
+	out, _, err := Run(Request{
+		Patterns: []string{"(a{500}){500}"},
+		Limits:   Limits{MaxNFAStates: -1, MaxMFSAStates: -1},
+	})
+	if err != nil {
+		t.Fatalf("disabled limits: %v", err)
+	}
+	if out.MFSAs[0].NumStates < 250_000 {
+		t.Fatalf("expected full expansion, got %d states", out.MFSAs[0].NumStates)
 	}
 }

@@ -3,6 +3,7 @@ package rex
 import (
 	"fmt"
 
+	"repro/internal/budget"
 	"repro/internal/charset"
 )
 
@@ -72,16 +73,22 @@ type Token struct {
 }
 
 // SyntaxError reports a lexical or syntactic violation of the POSIX ERE
-// grammar, with the byte offset where it was detected.
+// grammar, with the byte offset where it was detected. Err, when non-nil,
+// classifies the failure (budget.Err for resource-budget violations) and is
+// exposed through Unwrap for errors.Is.
 type SyntaxError struct {
 	Pattern string
 	Pos     int
 	Msg     string
+	Err     error
 }
 
 func (e *SyntaxError) Error() string {
 	return fmt.Sprintf("regex syntax error at offset %d in %q: %s", e.Pos, e.Pattern, e.Msg)
 }
+
+// Unwrap exposes the classifying sentinel, if any.
+func (e *SyntaxError) Unwrap() error { return e.Err }
 
 // Lexer tokenizes a POSIX ERE pattern. It resolves escapes, bracket
 // expressions (including POSIX named classes and negation) and repetition
@@ -176,7 +183,11 @@ func (l *Lexer) lexRepeat(start int) (Token, error) {
 		return Token{}, l.errf(start, "repetition bound {%d,%d} has max < min", min, max)
 	}
 	if min > maxRepeatBound || (max != Inf && max > maxRepeatBound) {
-		return Token{}, l.errf(start, "repetition bound exceeds limit %d", maxRepeatBound)
+		return Token{}, &SyntaxError{
+			Pattern: l.src, Pos: start,
+			Msg: fmt.Sprintf("repetition bound exceeds limit %d", maxRepeatBound),
+			Err: budget.Err,
+		}
 	}
 	return Token{Kind: TokRepeat, Min: min, Max: max, Pos: start}, nil
 }

@@ -1,8 +1,47 @@
 package rex
 
 import (
+	"fmt"
+
+	"repro/internal/budget"
 	"repro/internal/charset"
 )
+
+// Default Front-End budgets, applied by Parse. Hostile rulesets can weaponize
+// the parser itself — a multi-megabyte pattern or a `(((...)))` tower deep
+// enough to exhaust the goroutine stack — so both dimensions are bounded
+// before any recursion happens. ParseOpts overrides them per call.
+const (
+	// DefaultMaxLen bounds the pattern length in bytes. Published DPI
+	// rulesets top out well under 4 KiB per rule.
+	DefaultMaxLen = 64 << 10
+	// DefaultMaxDepth bounds the group-nesting depth, which bounds the
+	// parser's recursion. Real rules rarely nest beyond a few dozen levels.
+	DefaultMaxDepth = 250
+)
+
+// ParseOptions tunes the Front-End budgets. For each field, zero selects the
+// package default and a negative value disables the check.
+type ParseOptions struct {
+	// MaxLen is the maximum pattern length in bytes.
+	MaxLen int
+	// MaxDepth is the maximum '(' nesting depth.
+	MaxDepth int
+}
+
+func (o ParseOptions) maxLen() int {
+	if o.MaxLen == 0 {
+		return DefaultMaxLen
+	}
+	return o.MaxLen
+}
+
+func (o ParseOptions) maxDepth() int {
+	if o.MaxDepth == 0 {
+		return DefaultMaxDepth
+	}
+	return o.MaxDepth
+}
 
 // Parser builds an AST from the token stream using the ERE grammar
 //
@@ -17,15 +56,33 @@ import (
 // automaton engines implement scan semantics, so anchors are compiled to
 // explicit markers consumed by the NFA builder.
 type Parser struct {
-	lex  *Lexer
-	tok  Token
-	src  string
-	prev error
+	lex      *Lexer
+	tok      Token
+	src      string
+	prev     error
+	depth    int
+	maxDepth int
 }
 
-// Parse analyses pattern and returns its AST root, or a *SyntaxError.
+// Parse analyses pattern and returns its AST root, or a *SyntaxError. The
+// default budgets of ParseOptions apply; they guarantee Parse returns an
+// error — never panics or exhausts the stack — on any input.
 func Parse(pattern string) (*Node, error) {
-	p := &Parser{lex: NewLexer(pattern), src: pattern}
+	return ParseOpts(pattern, ParseOptions{})
+}
+
+// ParseOpts is Parse with explicit Front-End budgets. Budget violations
+// satisfy errors.Is(err, budget.Err).
+func ParseOpts(pattern string, opts ParseOptions) (*Node, error) {
+	if max := opts.maxLen(); max > 0 && len(pattern) > max {
+		return nil, &SyntaxError{
+			Pattern: truncatePattern(pattern),
+			Pos:     max,
+			Msg:     fmt.Sprintf("pattern length %d exceeds budget %d", len(pattern), max),
+			Err:     budget.Err,
+		}
+	}
+	p := &Parser{lex: NewLexer(pattern), src: pattern, maxDepth: opts.maxDepth()}
 	p.advance()
 	if p.prev != nil {
 		return nil, p.prev
@@ -38,6 +95,15 @@ func Parse(pattern string) (*Node, error) {
 		return nil, &SyntaxError{Pattern: pattern, Pos: p.tok.Pos, Msg: "unexpected " + p.tok.Kind.String()}
 	}
 	return n, nil
+}
+
+// truncatePattern keeps diagnostics for over-long patterns bounded.
+func truncatePattern(pattern string) string {
+	const keep = 256
+	if len(pattern) <= keep {
+		return pattern
+	}
+	return pattern[:keep] + "..."
 }
 
 // MustParse is Parse for patterns known to be valid (generators, tests).
@@ -159,6 +225,15 @@ func (p *Parser) atom() (*Node, error) {
 		p.advance()
 		return &Node{Op: OpAnchor, Atom: '$'}, p.prev
 	case TokLParen:
+		p.depth++
+		if p.maxDepth > 0 && p.depth > p.maxDepth {
+			return nil, &SyntaxError{
+				Pattern: truncatePattern(p.src),
+				Pos:     t.Pos,
+				Msg:     fmt.Sprintf("group nesting exceeds depth budget %d", p.maxDepth),
+				Err:     budget.Err,
+			}
+		}
 		p.advance()
 		if p.prev != nil {
 			return nil, p.prev
@@ -167,6 +242,7 @@ func (p *Parser) atom() (*Node, error) {
 		if err != nil {
 			return nil, err
 		}
+		p.depth--
 		if p.tok.Kind != TokRParen {
 			return nil, p.errf("missing closing parenthesis")
 		}

@@ -1,10 +1,13 @@
 package rex
 
 import (
+	"errors"
 	"math/rand"
 	"strings"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/budget"
 )
 
 func TestParseShapes(t *testing.T) {
@@ -177,5 +180,60 @@ func BenchmarkParse(b *testing.B) {
 		if _, err := Parse(pat); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+func TestParseDepthBudget(t *testing.T) {
+	deep := strings.Repeat("(", 5000) + "a" + strings.Repeat(")", 5000)
+	_, err := Parse(deep)
+	if err == nil {
+		t.Fatal("expected depth-budget error for 5000-deep nesting")
+	}
+	if !errors.Is(err, budget.Err) {
+		t.Fatalf("depth error should wrap budget.Err, got %v", err)
+	}
+	// Within an explicit larger budget the same pattern parses.
+	if _, err := ParseOpts(deep, ParseOptions{MaxDepth: 6000}); err != nil {
+		t.Fatalf("deep pattern within budget: %v", err)
+	}
+	// A negative budget disables the check.
+	if _, err := ParseOpts(deep, ParseOptions{MaxDepth: -1}); err != nil {
+		t.Fatalf("deep pattern with disabled budget: %v", err)
+	}
+	// Just inside the default budget is fine.
+	ok := strings.Repeat("(", DefaultMaxDepth) + "a" + strings.Repeat(")", DefaultMaxDepth)
+	if _, err := Parse(ok); err != nil {
+		t.Fatalf("pattern at default depth budget: %v", err)
+	}
+}
+
+func TestParseLengthBudget(t *testing.T) {
+	long := strings.Repeat("a", DefaultMaxLen+1)
+	_, err := Parse(long)
+	if !errors.Is(err, budget.Err) {
+		t.Fatalf("expected budget.Err for over-long pattern, got %v", err)
+	}
+	var serr *SyntaxError
+	if !errors.As(err, &serr) {
+		t.Fatalf("length error should be a *SyntaxError, got %T", err)
+	}
+	if len(serr.Pattern) > 300 {
+		t.Fatalf("diagnostic pattern not truncated: %d bytes", len(serr.Pattern))
+	}
+	if _, err := ParseOpts(long, ParseOptions{MaxLen: -1}); err != nil {
+		t.Fatalf("over-long pattern with disabled budget: %v", err)
+	}
+	if _, err := ParseOpts("abc", ParseOptions{MaxLen: 2}); !errors.Is(err, budget.Err) {
+		t.Fatalf("explicit small MaxLen: want budget.Err, got %v", err)
+	}
+}
+
+func TestRepeatBoundBudgetClassified(t *testing.T) {
+	_, err := Parse("a{1,100000}")
+	if err == nil {
+		t.Fatal("expected error for huge repetition bound")
+	}
+	if !errors.Is(err, budget.Err) {
+		t.Fatalf("repetition-bound error should wrap budget.Err, got %v", err)
 	}
 }

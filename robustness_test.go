@@ -1,0 +1,287 @@
+package imfant
+
+import (
+	"context"
+	"errors"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestCompileStrictTypedError checks that strict compilation rejects the
+// whole ruleset with a *CompileError attributing the failing rule and
+// stage.
+func TestCompileStrictTypedError(t *testing.T) {
+	_, err := Compile([]string{"ab+", "(", "cd"}, Options{})
+	var ce *CompileError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want *CompileError, got %T: %v", err, err)
+	}
+	if ce.Rule != 1 || ce.Pattern != "(" || ce.Stage != StageFrontEnd {
+		t.Fatalf("bad attribution: %+v", ce)
+	}
+	if IsBudget(err) {
+		t.Fatalf("syntax error misclassified as budget violation: %v", err)
+	}
+}
+
+// TestCompileBudgetClassification checks that resource blowups — as opposed
+// to syntax errors — satisfy IsBudget through the public error chain.
+func TestCompileBudgetClassification(t *testing.T) {
+	for _, pat := range []string{
+		"a{1,100000}", // repetition bound
+		strings.Repeat("(", 300) + "a" + strings.Repeat(")", 300), // nesting depth
+		"(a{500}){500}", // state blowup during loop expansion
+	} {
+		_, err := Compile([]string{pat}, Options{})
+		if err == nil {
+			t.Fatalf("%.40q: expected a budget violation", pat)
+		}
+		if !IsBudget(err) {
+			t.Fatalf("%.40q: violation does not wrap ErrBudget: %v", pat, err)
+		}
+		var ce *CompileError
+		if !errors.As(err, &ce) || ce.Rule != 0 {
+			t.Fatalf("%.40q: want typed rule error, got %v", pat, err)
+		}
+	}
+}
+
+// TestCompileLaxAcceptance is the issue's acceptance scenario: a ruleset
+// mixing a repetition blowup (a{1,100000}) and an unparsable rule with good
+// rules compiles under default limits, reporting the bad rules as
+// RuleErrors while the good rules match correctly under their original
+// indices.
+func TestCompileLaxAcceptance(t *testing.T) {
+	pats := []string{"GET /admin", "a{1,100000}", "(", "cmd\\.exe"}
+	rs, ruleErrs, err := CompileLax(pats, Options{})
+	if err != nil {
+		t.Fatalf("CompileLax: %v", err)
+	}
+	if len(ruleErrs) != 2 {
+		t.Fatalf("want 2 rule errors, got %v", ruleErrs)
+	}
+	if ruleErrs[0].Rule != 1 || !IsBudget(&ruleErrs[0]) {
+		t.Fatalf("rule 1 should fail its repetition budget: %+v", ruleErrs[0])
+	}
+	if ruleErrs[1].Rule != 2 || ruleErrs[1].Stage != StageFrontEnd {
+		t.Fatalf("rule 2 should fail parsing: %+v", ruleErrs[1])
+	}
+	input := []byte("x GET /admin y cmd.exe z")
+	var got []Match
+	for _, m := range rs.FindAll(input) {
+		got = append(got, m)
+	}
+	if len(got) != 2 || got[0].Rule != 0 || got[1].Rule != 3 {
+		t.Fatalf("survivors should match under original indices, got %v", got)
+	}
+	if got[0].Pattern != "GET /admin" || got[1].Pattern != "cmd\\.exe" {
+		t.Fatalf("survivor patterns wrong: %v", got)
+	}
+}
+
+// TestCompileLaxDifferential checks the fault-isolation guarantee: the
+// survivors of a lax compilation behave byte-identically to compiling them
+// alone — same automata sizes, same match events modulo the original rule
+// indices.
+func TestCompileLaxDifferential(t *testing.T) {
+	good := []string{"ab+", "c[de]f", "gh$", "^ij", "k{2,4}"}
+	mixed := []string{good[0], "(", good[1], "a{1,100000}", good[2], "[", good[3], good[4]}
+	origIdx := []int{0, 2, 4, 6, 7} // positions of good[i] within mixed
+
+	lax, ruleErrs, err := CompileLax(mixed, Options{})
+	if err != nil {
+		t.Fatalf("CompileLax: %v", err)
+	}
+	if len(ruleErrs) != 3 {
+		t.Fatalf("want 3 rule errors, got %v", ruleErrs)
+	}
+	alone, err := Compile(good, Options{})
+	if err != nil {
+		t.Fatalf("Compile(good): %v", err)
+	}
+	if lax.States() != alone.States() || lax.Transitions() != alone.Transitions() {
+		t.Fatalf("lax survivors built different automata: %d/%d states, %d/%d transitions",
+			lax.States(), alone.States(), lax.Transitions(), alone.Transitions())
+	}
+
+	input := []byte("xabbbx cdf cef gh ij kkk ab\nij gh")
+	var laxMatches, aloneMatches []Match
+	lax.Scan(input, func(m Match) { laxMatches = append(laxMatches, m) })
+	alone.Scan(input, func(m Match) {
+		// Remap the standalone indices onto the original ruleset.
+		m.Rule = origIdx[m.Rule]
+		m.Pattern = mixed[m.Rule]
+		aloneMatches = append(aloneMatches, m)
+	})
+	if !reflect.DeepEqual(laxMatches, aloneMatches) {
+		t.Fatalf("match streams diverge:\nlax:   %v\nalone: %v", laxMatches, aloneMatches)
+	}
+}
+
+// TestCompileLaxAllRulesFail checks the no-survivor case surfaces as a
+// ruleset-level error alongside the per-rule reports.
+func TestCompileLaxAllRulesFail(t *testing.T) {
+	rs, ruleErrs, err := CompileLax([]string{"(", "["}, Options{})
+	if err == nil || rs != nil {
+		t.Fatalf("want ruleset-level failure, got rs=%v err=%v", rs, err)
+	}
+	if len(ruleErrs) != 2 {
+		t.Fatalf("want 2 rule errors, got %v", ruleErrs)
+	}
+}
+
+// TestFindAllContextCancelled is the issue's acceptance scenario: a
+// context cancelled mid-scan stops a multi-megabyte scan promptly with
+// context.Canceled.
+func TestFindAllContextCancelled(t *testing.T) {
+	rs, err := Compile([]string{"needle", "ab+c"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := make([]byte, 8<<20) // 8 MiB of 'a': no matches, full traversal
+	for i := range input {
+		input[i] = 'a'
+	}
+
+	// Pre-cancelled context: the scan must not consume the input at all.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := rs.FindAllContext(ctx, input); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+
+	// Cancelled from the match callback: the scan stops at the next
+	// checkpoint, keeping the matches streamed so far.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	in2 := append([]byte("needle"), input...)
+	seen := 0
+	err = rs.ScanContext(ctx2, in2, func(m Match) {
+		seen++
+		cancel2()
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled after callback cancel, got %v", err)
+	}
+	if seen == 0 {
+		t.Fatal("match streamed before the cancellation was lost")
+	}
+
+	// The uncancelled scan still works on the same Ruleset.
+	if got, err := rs.FindAllContext(context.Background(), in2); err != nil || len(got) == 0 {
+		t.Fatalf("healthy scan after cancellation: %v, %v", got, err)
+	}
+}
+
+// TestCountContextPartial checks CountContext surfaces both the partial
+// count and the cancellation.
+func TestCountContextPartial(t *testing.T) {
+	rs, err := Compile([]string{"aa"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	n, err := rs.CountContext(ctx, []byte(strings.Repeat("a", 1<<20)))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if n != 0 {
+		t.Fatalf("pre-cancelled scan counted %d matches", n)
+	}
+}
+
+// TestCountParallelContextCancelled checks the multi-threaded path honors
+// cancellation: every worker stops at its next checkpoint.
+func TestCountParallelContextCancelled(t *testing.T) {
+	rs, err := Compile([]string{"ab", "cd", "ef"}, Options{MergeFactor: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := rs.CountParallelContext(ctx, make([]byte, 1<<20), 2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+// TestStreamWriteAfterClose is the regression test for the io.Writer
+// contract: a Write after Close must fail instead of silently reporting
+// the bytes as consumed.
+func TestStreamWriteAfterClose(t *testing.T) {
+	rs, err := Compile([]string{"ab"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm := rs.NewStreamMatcher(nil)
+	if n, err := sm.Write([]byte("xabx")); n != 4 || err != nil {
+		t.Fatalf("healthy Write = (%d, %v)", n, err)
+	}
+	if err := sm.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	n, err := sm.Write([]byte("ab"))
+	if n != 0 || !errors.Is(err, io.ErrClosedPipe) {
+		t.Fatalf("Write after Close = (%d, %v), want (0, io.ErrClosedPipe)", n, err)
+	}
+	if sm.Matches() != 1 {
+		t.Fatalf("rejected write mutated the match count: %d", sm.Matches())
+	}
+	if err := sm.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+// TestStreamContextCancelPartialWrite checks the stream-level checkpoints:
+// a context cancelled mid-Write makes Write report the consumed prefix and
+// the context's error, and the matcher stays failed (sticky Err) without
+// flushing a bogus stream end.
+func TestStreamContextCancelPartialWrite(t *testing.T) {
+	rs, err := Compile([]string{"ab"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	sm := rs.NewStreamMatcherContext(ctx, func(Match) { cancel() })
+
+	chunk := append([]byte("ab"), make([]byte, 64<<10)...)
+	n, werr := sm.Write(chunk)
+	if !errors.Is(werr, context.Canceled) {
+		t.Fatalf("want context.Canceled, got (%d, %v)", n, werr)
+	}
+	if n <= 0 || n >= len(chunk) {
+		t.Fatalf("want a partial consumed count, got %d of %d", n, len(chunk))
+	}
+	if sm.Matches() != 1 {
+		t.Fatalf("match before cancellation lost: %d", sm.Matches())
+	}
+	if n2, err2 := sm.Write([]byte("ab")); n2 != 0 || !errors.Is(err2, context.Canceled) {
+		t.Fatalf("failed matcher accepted input: (%d, %v)", n2, err2)
+	}
+	if err := sm.Close(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Close on failed matcher = %v", err)
+	}
+	if !errors.Is(sm.Err(), context.Canceled) {
+		t.Fatalf("Err() = %v", sm.Err())
+	}
+}
+
+// TestStreamPreCancelled checks a matcher under an already-cancelled
+// context consumes nothing.
+func TestStreamPreCancelled(t *testing.T) {
+	rs, err := Compile([]string{"ab"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sm := rs.NewStreamMatcherContext(ctx, nil)
+	if n, err := sm.Write([]byte("abab")); n != 0 || !errors.Is(err, context.Canceled) {
+		t.Fatalf("Write = (%d, %v)", n, err)
+	}
+	if sm.Matches() != 0 {
+		t.Fatalf("cancelled matcher matched: %d", sm.Matches())
+	}
+}

@@ -1,6 +1,9 @@
 package imfant
 
 import (
+	"context"
+	"io"
+
 	"repro/internal/engine"
 	"repro/internal/lazydfa"
 )
@@ -19,14 +22,21 @@ import (
 // $-anchored rules, which may only match on the final byte. To that end the
 // matcher holds back the most recent byte until the next Write or Close.
 //
+// Matchers created with NewStreamMatcherContext stop at the first
+// checkpoint after the context is cancelled: Write reports how many bytes
+// were consumed before the cancellation and the context's error, and every
+// later Write and Close returns the same sticky error (Err).
+//
 // A StreamMatcher is not safe for concurrent use.
 type StreamMatcher struct {
 	feeds   []func(chunk []byte, final bool)
 	ends    []func()
+	check   func() error // context poll; nil when not cancellable
 	onMatch func(Match)
 	held    [1]byte
 	hasHeld bool
 	closed  bool
+	err     error // sticky: first checkpoint failure
 	matches int64
 }
 
@@ -39,7 +49,15 @@ type RuleInfo struct {
 // NewStreamMatcher returns a matcher over the ruleset. onMatch may be nil
 // when only the count is needed.
 func (rs *Ruleset) NewStreamMatcher(onMatch func(Match)) *StreamMatcher {
-	sm := &StreamMatcher{onMatch: onMatch}
+	return rs.NewStreamMatcherContext(context.Background(), onMatch)
+}
+
+// NewStreamMatcherContext returns a matcher whose Writes observe ctx:
+// once the context is cancelled or its deadline passes, the stream fails
+// with the context's error at the next checkpoint (about every 4 KiB),
+// consuming no further input.
+func (rs *Ruleset) NewStreamMatcherContext(ctx context.Context, onMatch func(Match)) *StreamMatcher {
+	sm := &StreamMatcher{onMatch: onMatch, check: checkpointOf(ctx)}
 	lazy := rs.useLazy()
 	for i, p := range rs.programs {
 		infos := make([]RuleInfo, 0, len(p.Rules()))
@@ -72,11 +90,34 @@ func (rs *Ruleset) NewStreamMatcher(onMatch func(Match)) *StreamMatcher {
 	return sm
 }
 
-// Write feeds the next chunk of the stream. It never fails; the error is
-// always nil (the signature satisfies io.Writer).
+// poll checks the matcher's context, recording the first failure.
+func (sm *StreamMatcher) poll() error {
+	if sm.check == nil || sm.err != nil {
+		return sm.err
+	}
+	if err := sm.check(); err != nil {
+		sm.err = err
+	}
+	return sm.err
+}
+
+// Write feeds the next chunk of the stream, honoring the io.Writer
+// contract: it returns the number of bytes consumed, and a non-nil error
+// whenever that is short of len(p). Write fails with io.ErrClosedPipe
+// after Close, and with the sticky context error (see Err) after a
+// cancellation; a failed matcher consumes nothing.
 func (sm *StreamMatcher) Write(p []byte) (int, error) {
-	if sm.closed || len(p) == 0 {
-		return len(p), nil
+	if sm.err != nil {
+		return 0, sm.err
+	}
+	if sm.closed {
+		return 0, io.ErrClosedPipe
+	}
+	if len(p) == 0 {
+		return 0, nil
+	}
+	if err := sm.poll(); err != nil {
+		return 0, err
 	}
 	if sm.hasHeld {
 		for _, feed := range sm.feeds {
@@ -85,21 +126,41 @@ func (sm *StreamMatcher) Write(p []byte) (int, error) {
 		sm.hasHeld = false
 	}
 	// Hold back the last byte: it becomes the stream end only if no
-	// further data arrives before Close.
+	// further data arrives before Close. The body is fed in checkpoint-
+	// sized blocks so a cancelled context stops consuming input promptly
+	// and the consumed-byte count stays exact.
 	body, last := p[:len(p)-1], p[len(p)-1]
-	if len(body) > 0 {
+	n := 0
+	for len(body) > 0 {
+		blk := body
+		if sm.check != nil && len(blk) > engine.DefaultCheckpointEvery {
+			blk = blk[:engine.DefaultCheckpointEvery]
+		}
 		for _, feed := range sm.feeds {
-			feed(body, false)
+			feed(blk, false)
+		}
+		body = body[len(blk):]
+		n += len(blk)
+		if len(body) > 0 {
+			if err := sm.poll(); err != nil {
+				return n, err
+			}
 		}
 	}
 	sm.held[0] = last
 	sm.hasHeld = true
-	return len(p), nil
+	return n + 1, nil
 }
 
 // Close marks the stream end, flushing the held byte as the final one.
-// Further Writes are ignored. Close is idempotent.
+// Close is idempotent; a second Close returns nil. On a matcher that
+// already failed (cancelled context), Close skips the final flush — the
+// stream end was never observed — and returns the sticky error.
 func (sm *StreamMatcher) Close() error {
+	if sm.err != nil {
+		sm.closed = true
+		return sm.err
+	}
 	if sm.closed {
 		return nil
 	}
@@ -115,6 +176,11 @@ func (sm *StreamMatcher) Close() error {
 	}
 	return nil
 }
+
+// Err returns the sticky error that failed the stream, if any: the
+// context's error once a cancellation was observed. A closed, healthy
+// matcher reports nil.
+func (sm *StreamMatcher) Err() error { return sm.err }
 
 // Matches returns the number of match events reported so far. After Close
 // it is the total for the stream.
