@@ -9,7 +9,9 @@
 //	imfant -anml bro.anml -dataset BRO -size 1048576 -threads 8 -reps 15
 //
 // It prints the matching time, match count and throughput; -stats adds the
-// Table II active-FSA instrumentation.
+// Table II active-FSA instrumentation plus a JSON telemetry snapshot
+// (scan/byte/match totals and per-rule hit counts) in the same shape the
+// library exports through Ruleset.StatsVar.
 package main
 
 import (
@@ -23,6 +25,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/metrics"
 	"repro/internal/mfsa"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -90,7 +93,33 @@ func main() {
 		}
 		fmt.Printf("avg active: %.2f (state,FSA) pairs per symbol\n", float64(pairs)/float64(len(input)))
 		fmt.Printf("max active: %d distinct FSAs\n", maxAct)
+		fmt.Printf("telemetry:  %s\n", snapshotJSON(programs, results))
 	}
+}
+
+// snapshotJSON folds the last repetition's results into a telemetry
+// collector and renders its expvar JSON form.
+func snapshotJSON(programs []*engine.Program, results []engine.Result) string {
+	ruleMax := -1
+	for _, p := range programs {
+		for _, ri := range p.Rules() {
+			if ri.RuleID > ruleMax {
+				ruleMax = ri.RuleID
+			}
+		}
+	}
+	c := telemetry.NewCollector(ruleMax + 1)
+	for i, res := range results {
+		c.AddScans(1)
+		c.AddBytes(int64(res.Symbols))
+		c.AddMatches(res.Matches)
+		for fsa, n := range res.PerFSA {
+			if n != 0 {
+				c.AddRuleHits(programs[i].Rules()[fsa].RuleID, n)
+			}
+		}
+	}
+	return c.String()
 }
 
 func loadANML(path string) ([]*mfsa.MFSA, error) {

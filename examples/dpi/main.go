@@ -137,4 +137,33 @@ func main() {
 			shown++
 		}
 	})
+
+	// Runtime telemetry: run the same traffic through the lazy-DFA engine
+	// with a warm Scanner — the deployment configuration — and read the
+	// cache counters that tell an operator whether LazyDFAMaxStates is
+	// sized right. rs.StatsVar() exposes the same snapshot as an
+	// expvar.Var for a live /debug/vars endpoint.
+	fmt.Println("\nlazy-DFA telemetry over 3 scans (warm cache):")
+	lrs := imfant.MustCompile(signatures, imfant.Options{
+		Engine:      imfant.EngineLazyDFA,
+		KeepOnMatch: true,
+	})
+	sc := lrs.NewScanner()
+	for i := 0; i < 3; i++ {
+		sc.Count(traffic)
+	}
+	st := sc.Stats()
+	fmt.Printf("  scans %d, %d KiB matched against, %d match events\n",
+		st.Scans, st.BytesScanned>>10, st.Matches)
+	if l := st.Lazy; l != nil {
+		fmt.Printf("  cache: %d states (cap %d), hit rate %.2f%%, %d flushes, %d fallbacks\n",
+			l.CachedStates, l.MaxStates, 100*l.HitRate(), l.Flushes, l.Fallbacks)
+	}
+	hot, hits := 0, int64(0)
+	for id, n := range st.RuleHits {
+		if n > hits {
+			hot, hits = id, n
+		}
+	}
+	fmt.Printf("  hottest rule: %d (%s) with %d hits\n", hot, signatures[hot], hits)
 }

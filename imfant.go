@@ -32,6 +32,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/mfsa"
 	"repro/internal/pipeline"
+	"repro/internal/telemetry"
 )
 
 // EngineMode selects the execution engine used by scans.
@@ -106,13 +107,14 @@ func (st StageTimes) Total() time.Duration {
 // matching. Create one with Compile or LoadANML. A Ruleset is safe for
 // concurrent use; per-goroutine scratch state lives in Matchers.
 type Ruleset struct {
-	patterns []string
-	mfsas    []*mfsa.MFSA
-	programs []*engine.Program
-	lazy     []*lazydfa.Matcher
-	times    StageTimes
-	comp     metrics.Compression
-	opts     Options
+	patterns  []string
+	mfsas     []*mfsa.MFSA
+	programs  []*engine.Program
+	lazy      []*lazydfa.Matcher
+	times     StageTimes
+	comp      metrics.Compression
+	opts      Options
+	collector *telemetry.Collector
 }
 
 // useLazy reports whether scans run on the lazy-DFA engine.
@@ -128,11 +130,20 @@ func (rs *Ruleset) useLazy() bool {
 }
 
 // buildEngines lowers the compiled MFSAs into executable programs and their
-// lazy-DFA matchers.
+// lazy-DFA matchers, and sets up the ruleset-wide telemetry collector.
 func (rs *Ruleset) buildEngines() {
 	rs.lazy = make([]*lazydfa.Matcher, len(rs.programs))
 	for i, p := range rs.programs {
 		rs.lazy[i] = lazydfa.New(p)
+	}
+	rs.collector = telemetry.NewCollector(len(rs.patterns))
+	if rs.useLazy() {
+		classes := 0
+		for _, m := range rs.lazy {
+			classes += m.NumClasses()
+		}
+		rs.collector.EnableLazy(len(rs.programs),
+			lazydfa.ResolveMaxStates(rs.opts.LazyDFAMaxStates), classes)
 	}
 }
 
@@ -365,14 +376,15 @@ func (rs *Ruleset) CountPerRule(input []byte) []int64 {
 // A Scanner is not safe for concurrent use; create one per goroutine (the
 // shared Ruleset remains concurrency-safe).
 type Scanner struct {
-	rs      *Ruleset
-	runners []*engine.Runner  // iMFAnt mode
-	lazies  []*lazydfa.Runner // lazy-DFA mode
+	rs       *Ruleset
+	runners  []*engine.Runner  // iMFAnt mode
+	lazies   []*lazydfa.Runner // lazy-DFA mode
+	ruleHits []int64           // per-rule match counts, scanner lifetime
 }
 
 // NewScanner returns a matching context for the ruleset.
 func (rs *Ruleset) NewScanner() *Scanner {
-	s := &Scanner{rs: rs}
+	s := &Scanner{rs: rs, ruleHits: make([]int64, len(rs.patterns))}
 	if rs.useLazy() {
 		s.lazies = make([]*lazydfa.Runner, len(rs.lazy))
 		for i, m := range rs.lazy {
@@ -473,6 +485,13 @@ func (s *Scanner) run(ctx context.Context, input []byte, fn func(Match)) ([]scan
 				OnMatch:     onMatch,
 				Checkpoint:  check,
 			})
+			s.record(p, res.Matches, int64(res.Symbols), res.PerFSA)
+			var thrash int64
+			if res.Thrashed {
+				thrash = 1
+			}
+			rs.collector.AddLazyScan(res.CacheHits, res.CacheMisses, int64(res.Flushes), thrash)
+			rs.collector.SetCachedStates(i, int64(res.CachedStates))
 			out = append(out, scanResult{matches: res.Matches, perFSA: res.PerFSA})
 			if err := s.lazies[i].Err(); err != nil {
 				return out, err
@@ -483,6 +502,7 @@ func (s *Scanner) run(ctx context.Context, input []byte, fn func(Match)) ([]scan
 				OnMatch:     onMatch,
 				Checkpoint:  check,
 			})
+			s.record(p, res.Matches, int64(res.Symbols), res.PerFSA)
 			out = append(out, scanResult{matches: res.Matches, perFSA: res.PerFSA})
 			if err := s.runners[i].Err(); err != nil {
 				return out, err
@@ -490,6 +510,26 @@ func (s *Scanner) run(ctx context.Context, input []byte, fn func(Match)) ([]scan
 		}
 	}
 	return out, nil
+}
+
+// record folds one automaton execution into the scanner's per-rule table
+// and the ruleset-wide telemetry collector. Called once per (scan,
+// automaton) — never inside the per-byte loop.
+func (s *Scanner) record(p *engine.Program, matches, symbols int64, perFSA []int64) {
+	c := s.rs.collector
+	c.AddScans(1)
+	c.AddBytes(symbols)
+	c.AddMatches(matches)
+	rules := p.Rules()
+	for fsa, n := range perFSA {
+		if n != 0 {
+			id := rules[fsa].RuleID
+			c.AddRuleHits(id, n)
+			if id >= 0 && id < len(s.ruleHits) {
+				s.ruleHits[id] += n
+			}
+		}
+	}
 }
 
 // CountParallel scans input with the paper's multi-threaded scheme
@@ -506,6 +546,17 @@ func (rs *Ruleset) CountParallel(input []byte, threads int) (int64, error) {
 func (rs *Ruleset) CountParallelContext(ctx context.Context, input []byte, threads int) (int64, error) {
 	cfg := engine.Config{KeepOnMatch: rs.opts.KeepOnMatch, Checkpoint: checkpointOf(ctx)}
 	results, err := engine.RunParallel(rs.programs, input, threads, cfg)
+	for i, res := range results {
+		rs.collector.AddScans(1)
+		rs.collector.AddBytes(int64(res.Symbols))
+		rs.collector.AddMatches(res.Matches)
+		rules := rs.programs[i].Rules()
+		for fsa, n := range res.PerFSA {
+			if n != 0 {
+				rs.collector.AddRuleHits(rules[fsa].RuleID, n)
+			}
+		}
+	}
 	if err != nil {
 		return 0, err
 	}

@@ -1,9 +1,12 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime/debug"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
 )
@@ -76,16 +79,22 @@ func RunParallel(programs []*Program, input []byte, threads int, cfg Config) ([]
 	return results, errors.Join(errs...)
 }
 
-// runOne executes a single automaton with panic containment.
+// runOne executes a single automaton with panic containment. The execution
+// runs under a pprof label carrying the automaton index, so CPU profiles of
+// a parallel scan attribute samples to the MFSA that consumed them — the
+// per-automaton view needed to decide which rule groups to reshard.
 func runOne(i int, p *Program, input []byte, cfg Config) (res Result, err error) {
 	defer func() {
 		if v := recover(); v != nil {
 			err = &WorkerPanicError{Automaton: i, Value: v, Stack: debug.Stack()}
 		}
 	}()
-	r := NewRunner(p)
-	res = r.Run(input, cfg)
-	return res, r.Err()
+	pprof.Do(context.Background(), pprof.Labels("mfsa_automaton", strconv.Itoa(i)), func(context.Context) {
+		r := NewRunner(p)
+		res = r.Run(input, cfg)
+		err = r.Err()
+	})
+	return res, err
 }
 
 // TotalMatches sums the match counts of a result set.

@@ -89,6 +89,19 @@ func (v *vector) reset(words int) {
 	v.dirty = v.dirty[:0]
 }
 
+// Totals are cumulative counters over every scan a Runner has executed,
+// including the one in progress. They are the engine-level feed of the
+// telemetry layer: folded at scan granularity (End), never touched by the
+// per-byte hot loop.
+type Totals struct {
+	// Scans counts completed scans (End calls).
+	Scans int64
+	// Symbols is the total number of input bytes processed.
+	Symbols int64
+	// Matches is the total number of match events.
+	Matches int64
+}
+
 // Runner holds the reusable buffers for repeated executions of one Program.
 // It is not safe for concurrent use; create one Runner per goroutine.
 type Runner struct {
@@ -102,6 +115,17 @@ type Runner struct {
 	res    Result
 	offset int
 	stop   error // non-nil: scan cancelled by a Checkpoint failure
+
+	// The runner owns the stream-end responsibility: the most recent byte
+	// of every non-final Feed is held back so that, whenever the stream
+	// end is announced — Feed(..., true) with or without new data, or End
+	// without a final Feed — some byte is still available to carry the
+	// $-anchored accepts of the true last position.
+	held    [1]byte
+	hasHeld bool
+
+	ended  bool // End already folded this scan into totals
+	totals Totals
 }
 
 // NewRunner returns an execution context for p.
@@ -136,16 +160,22 @@ func (r *Runner) Begin(cfg Config) {
 	r.res = Result{PerFSA: make([]int64, r.p.numFSAs)}
 	r.offset = 0
 	r.stop = nil
+	r.hasHeld = false
+	r.ended = false
 	r.cur.reset(W)
 	r.nxt.reset(W)
 }
 
 // Feed consumes the next chunk of the stream. Set final on the last chunk
-// so that $-anchored rules can match at the true stream end; Feed with
-// final=false treats no byte as the end. Match offsets reported through
-// Config.OnMatch are absolute stream offsets. Active paths carry across
-// chunk boundaries, so splitting a stream into chunks never changes the
-// reported matches.
+// so that $-anchored rules can match at the true stream end. Match offsets
+// reported through Config.OnMatch are absolute stream offsets. Active paths
+// carry across chunk boundaries, so splitting a stream into chunks never
+// changes the reported matches.
+//
+// The runner holds back the most recent byte of every non-final Feed, so
+// the stream end may be announced after the fact: Feed(nil, true) — or End
+// with no final Feed at all — flushes that byte as the true last one, and
+// $-anchored accepts on it are reported rather than silently lost.
 //
 // When Config.Checkpoint is set, Feed polls it between blocks of
 // CheckpointEvery bytes; once it fails, the remaining input is dropped and
@@ -154,6 +184,46 @@ func (r *Runner) Feed(chunk []byte, final bool) {
 	if r.stop != nil {
 		return
 	}
+	if r.hasHeld && (len(chunk) > 0 || final) {
+		r.hasHeld = false
+		r.feedSplit(r.held[:], final && len(chunk) == 0)
+		if r.stop != nil || (final && len(chunk) == 0) {
+			return
+		}
+	}
+	if len(chunk) == 0 {
+		if final {
+			r.feedSplit(nil, true)
+		}
+		return
+	}
+	if final {
+		r.feedSplit(chunk, true)
+		return
+	}
+	r.feedSplit(chunk[:len(chunk)-1], false)
+	if r.stop == nil {
+		r.held[0] = chunk[len(chunk)-1]
+		r.hasHeld = true
+	}
+}
+
+// FlushHeld feeds the held-back byte as ordinary (non-final) data. It is
+// the cancellation-path companion of the held-byte contract: a caller that
+// reported the byte as consumed but will never deliver a stream end (the
+// scan is being abandoned mid-stream) flushes it so every consumed byte was
+// actually matched against. $-anchored accepts do not fire — the true
+// stream end was never observed.
+func (r *Runner) FlushHeld() {
+	if r.stop != nil || !r.hasHeld {
+		return
+	}
+	r.hasHeld = false
+	r.feedSplit(r.held[:], false)
+}
+
+// feedSplit runs chunk through feedChunk in Checkpoint-sized blocks.
+func (r *Runner) feedSplit(chunk []byte, final bool) {
 	if r.cfg.Checkpoint == nil {
 		r.feedChunk(chunk, final)
 		return
@@ -300,9 +370,35 @@ func (r *Runner) feedChunk(chunk []byte, final bool) {
 	r.offset += len(chunk)
 }
 
-// End finishes a chunked scan and returns the accumulated result.
+// End finishes a chunked scan and returns the accumulated result. If no
+// Feed announced the stream end, End flushes the held-back byte as the
+// final one, so $-anchored accepts on the last byte fed are reported. End
+// also folds the scan into the runner's cumulative Totals; calling it again
+// before the next Begin is idempotent.
 func (r *Runner) End() Result {
+	if r.hasHeld && r.stop == nil {
+		r.hasHeld = false
+		r.feedSplit(r.held[:], true)
+	}
+	if !r.ended {
+		r.ended = true
+		r.totals.Scans++
+		r.totals.Symbols += int64(r.res.Symbols)
+		r.totals.Matches += r.res.Matches
+	}
 	return r.res
+}
+
+// Totals returns the runner's cumulative counters: every finished scan plus
+// the live state of an in-progress one. Reading them costs nothing on the
+// scan path — folding happens at End, never per byte.
+func (r *Runner) Totals() Totals {
+	t := r.totals
+	if !r.ended {
+		t.Symbols += int64(r.res.Symbols)
+		t.Matches += r.res.Matches
+	}
+	return t
 }
 
 // Run is the convenience single-shot entry point; it allocates a fresh

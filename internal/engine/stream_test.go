@@ -133,6 +133,107 @@ func TestQuickChunkingEqualsWhole(t *testing.T) {
 	}
 }
 
+// TestEndAnnouncedAfterFact is the regression test for the held-byte fix:
+// a chunked scan whose stream end is announced only after the last data
+// byte — Feed(nil, true) after a non-final Feed, or a bare End() — must
+// still report $-anchored accepts on the true last byte. Before the fix
+// both shapes silently lost the "cd$" match.
+func TestEndAnnouncedAfterFact(t *testing.T) {
+	_, _, p := compileGroup(t, "^ab", "cd$")
+	input := []byte("abxcd")
+	want := Matches(p, input, Config{})
+	if len(want) != 2 {
+		t.Fatalf("single-shot reference unexpected: %v", want)
+	}
+
+	run := func(name string, drive func(r *Runner)) {
+		var got []MatchEvent
+		r := NewRunner(p)
+		r.Begin(Config{OnMatch: func(fsa, end int) {
+			got = append(got, MatchEvent{FSA: fsa, End: end})
+		}})
+		drive(r)
+		r.End()
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: %v, want %v", name, got, want)
+		}
+	}
+	run("Feed(nil,true) after non-final data", func(r *Runner) {
+		r.Feed(input, false)
+		r.Feed(nil, true)
+	})
+	run("bare End after non-final data", func(r *Runner) {
+		r.Feed(input, false)
+	})
+	run("empty non-final Feeds between", func(r *Runner) {
+		r.Feed(input[:3], false)
+		r.Feed(nil, false)
+		r.Feed(input[3:], false)
+		r.Feed(nil, false)
+		r.Feed(nil, true)
+	})
+}
+
+// TestFlushHeld checks the cancellation-path contract: the held byte is
+// matched against as ordinary data (unanchored accepts fire) but the
+// stream end is never observed, so $-anchored accepts must not.
+func TestFlushHeld(t *testing.T) {
+	_, _, p := compileGroup(t, "cd", "cd$")
+	var got []MatchEvent
+	r := NewRunner(p)
+	r.Begin(Config{OnMatch: func(fsa, end int) {
+		got = append(got, MatchEvent{FSA: fsa, End: end})
+	}})
+	r.Feed([]byte("xcd"), false) // 'd' is held back
+	r.FlushHeld()
+	want := []MatchEvent{{FSA: 0, End: 2}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("after FlushHeld: %v, want %v", got, want)
+	}
+	// FlushHeld is idempotent and End must not re-feed the byte (nor
+	// observe a stream end that never happened for the $ rule).
+	r.FlushHeld()
+	r.End()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("after End: %v, want %v", got, want)
+	}
+	if tot := r.Totals(); tot.Symbols != 3 {
+		t.Fatalf("Totals.Symbols = %d, want 3", tot.Symbols)
+	}
+}
+
+// TestRunnerTotals checks that the cumulative counters fold once per scan
+// and include the live state of an in-progress one.
+func TestRunnerTotals(t *testing.T) {
+	_, _, p := compileGroup(t, "ab")
+	r := NewRunner(p)
+	input := []byte("xabxab")
+	r.Run(input, Config{})
+	r.Run(input, Config{})
+	tot := r.Totals()
+	if tot.Scans != 2 || tot.Symbols != 12 || tot.Matches != 4 {
+		t.Fatalf("after two scans: %+v", tot)
+	}
+	// Double End must not double-fold.
+	r.End()
+	if tot2 := r.Totals(); tot2 != tot {
+		t.Fatalf("double End changed totals: %+v vs %+v", tot2, tot)
+	}
+	// Live read mid-scan: Symbols/Matches include the in-progress scan,
+	// Scans does not.
+	r.Begin(Config{})
+	r.Feed(input, false) // 5 fed, 1 held
+	live := r.Totals()
+	if live.Scans != 2 || live.Symbols != 17 || live.Matches != 5 {
+		t.Fatalf("live totals: %+v", live)
+	}
+	r.End()
+	final := r.Totals()
+	if final.Scans != 3 || final.Symbols != 18 || final.Matches != 6 {
+		t.Fatalf("final totals: %+v", final)
+	}
+}
+
 // compilePatterns merges patterns into one Program without a testing.T, for
 // property tests that skip invalid random inputs.
 func compilePatterns(patterns []string) (*Program, error) {

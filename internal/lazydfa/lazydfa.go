@@ -96,6 +96,40 @@ type Result struct {
 	Flushes int
 	// FellBack reports that the scan finished on the iMFAnt engine.
 	FellBack bool
+	// Thrashed reports that the fallback was forced by cache thrash (the
+	// flush budget ran out), as opposed to pop-mode delegation, which is
+	// a configuration choice. Thrashed implies FellBack.
+	Thrashed bool
+	// CacheHits counts input bytes served by a cached transition row;
+	// CacheMisses counts bytes whose successor had to be computed by an
+	// iMFAnt step. Both cover only the cached portion of the scan — bytes
+	// executed on the iMFAnt fallback (or the pop-mode delegate) perform
+	// no cache lookups and count in neither. Hits are derived at chunk
+	// granularity (cached bytes minus misses), so the per-byte hot loop
+	// carries no counter update.
+	CacheHits, CacheMisses int64
+}
+
+// Totals are cumulative counters over every scan a Runner has executed,
+// including the one in progress — the promoted, runner-lifetime form of the
+// per-scan Result counters, folded at End and read by the telemetry layer.
+type Totals struct {
+	// Scans counts completed scans (End calls).
+	Scans int64
+	// Symbols is the total number of input bytes processed.
+	Symbols int64
+	// Matches is the total number of match events.
+	Matches int64
+	// CacheHits and CacheMisses aggregate the per-scan cache counters.
+	// Their ratio is the primary cache-sizing signal: a low hit rate on
+	// steady traffic means MaxStates is too small for the ruleset.
+	CacheHits, CacheMisses int64
+	// Flushes counts whole-cache flushes.
+	Flushes int64
+	// Fallbacks counts scans abandoned to the iMFAnt engine because the
+	// input thrashed the cache. Pop-mode delegation (a configuration
+	// choice, not a cache defeat) is not counted.
+	Fallbacks int64
 }
 
 // Matcher is the immutable, shareable lazy-DFA form of one engine.Program:
@@ -166,6 +200,28 @@ type Runner struct {
 	fb        *engine.Runner
 	fbSeenEnd int
 	fbSeen    []uint64
+
+	// Cold state below: touched at chunk boundaries and scan edges only,
+	// kept after the hot cache fields so it does not displace them.
+
+	// Held-byte stream-end handling, mirroring engine.Runner: the most
+	// recent byte of every non-final Feed is held back so a stream end
+	// announced later (Feed(nil, true) or End) still has a byte to carry
+	// the $-anchored accepts.
+	held    [1]byte
+	hasHeld bool
+
+	// thrashed records that this scan's fallback was a cache defeat (as
+	// opposed to pop-mode delegation). Begin then rebuilds the cache: the
+	// table is at capacity with traffic that defeated it, so the next
+	// scan would flush on its first miss anyway — a clean rebuild is
+	// cheaper and leaves no half-stale table behind.
+	thrashed bool
+	ended    bool // End already folded this scan into totals
+	// cachedSymbols counts bytes executed through the cached hot loop
+	// this scan (chunk granularity); CacheHits = cachedSymbols − misses.
+	cachedSymbols int64
+	totals        Totals
 }
 
 // NewRunner returns an execution context with an empty cache.
@@ -190,23 +246,20 @@ func (r *Runner) Run(input []byte, cfg Config) Result {
 }
 
 // Begin starts a (possibly chunked) scan. The transition cache survives
-// from previous scans unless the configured MaxStates changed.
+// from previous scans unless the configured MaxStates changed or the
+// previous scan ended in a thrash fallback, both of which rebuild it.
 func (r *Runner) Begin(cfg Config) {
-	if cfg.MaxStates <= 0 {
-		cfg.MaxStates = DefaultMaxStates
-	}
-	if cfg.MaxStates < minStates {
-		cfg.MaxStates = minStates
-	}
+	cfg.MaxStates = ResolveMaxStates(cfg.MaxStates)
 	switch {
 	case cfg.MaxFlushes == 0:
 		cfg.MaxFlushes = DefaultMaxFlushes
 	case cfg.MaxFlushes < 0:
 		cfg.MaxFlushes = 0
 	}
-	if cfg.MaxStates != r.maxStates && r.maxStates != 0 {
-		r.resetCache() // cache shaped by the old cap: rebuild
+	if (cfg.MaxStates != r.maxStates && r.maxStates != 0) || r.thrashed {
+		r.resetCache() // cache shaped by the old cap or thrashed: rebuild
 	}
+	r.thrashed = false
 	r.maxStates = cfg.MaxStates
 	r.maxFlushes = cfg.MaxFlushes
 	r.cfg = cfg
@@ -214,6 +267,9 @@ func (r *Runner) Begin(cfg Config) {
 	r.offset = 0
 	r.cur = 0
 	r.stop = nil
+	r.hasHeld = false
+	r.ended = false
+	r.cachedSymbols = 0
 	r.fb = nil
 	r.fbSeenEnd = -1
 	for i := range r.fbSeen {
@@ -234,6 +290,11 @@ func (r *Runner) Begin(cfg Config) {
 // $-anchored rules can match on the true last byte; splitting a stream into
 // chunks never changes the reported matches.
 //
+// Like engine.Runner, the runner holds back the most recent byte of every
+// non-final Feed, so a stream end announced after the fact — Feed(nil,
+// true), or End with no final Feed — still reports the $-anchored accepts
+// of the true last byte.
+//
 // When Config.Checkpoint is set, Feed polls it between blocks of
 // CheckpointEvery bytes; once it fails, the remaining input is dropped and
 // Err returns the cause.
@@ -241,6 +302,51 @@ func (r *Runner) Feed(chunk []byte, final bool) {
 	if r.stop != nil {
 		return
 	}
+	if r.hasHeld && (len(chunk) > 0 || final) {
+		r.hasHeld = false
+		r.feedSplit(r.held[:], final && len(chunk) == 0)
+		if r.stop != nil || (final && len(chunk) == 0) {
+			return
+		}
+	}
+	if len(chunk) == 0 {
+		if final {
+			r.feedSplit(nil, true)
+		}
+		return
+	}
+	if final {
+		r.feedSplit(chunk, true)
+		return
+	}
+	r.feedSplit(chunk[:len(chunk)-1], false)
+	if r.stop == nil {
+		r.held[0] = chunk[len(chunk)-1]
+		r.hasHeld = true
+	}
+}
+
+// FlushHeld feeds the held-back byte as ordinary (non-final) data — the
+// cancellation-path companion of the held-byte contract (see
+// engine.Runner.FlushHeld). It also drains the fallback engine's own held
+// byte and any buffered dedup events, so every byte a caller reported as
+// consumed has been matched against.
+func (r *Runner) FlushHeld() {
+	if r.stop != nil {
+		return
+	}
+	if r.hasHeld {
+		r.hasHeld = false
+		r.feedSplit(r.held[:], false)
+	}
+	if r.fb != nil {
+		r.fb.FlushHeld()
+		r.flushPending()
+	}
+}
+
+// feedSplit runs chunk through feedChunk in Checkpoint-sized blocks.
+func (r *Runner) feedSplit(chunk []byte, final bool) {
 	if r.cfg.Checkpoint == nil {
 		r.feedChunk(chunk, final)
 		return
@@ -293,7 +399,9 @@ func (r *Runner) feedChunk(chunk []byte, final bool) {
 		}
 		if next < 0 {
 			// Cache thrash: hand the rest of the stream to iMFAnt,
-			// resumed from the current activation vector.
+			// resumed from the current activation vector. Only the
+			// bytes before the thrashing one ran out of the cache.
+			r.cachedSymbols += int64(pos)
 			r.fallback(chunk, pos, final)
 			return
 		}
@@ -306,16 +414,77 @@ func (r *Runner) feedChunk(chunk []byte, final bool) {
 		}
 		r.cur = next
 	}
+	r.cachedSymbols += int64(len(chunk))
 	r.offset += len(chunk)
 }
 
-// End finishes the scan and returns the accumulated result.
+// End finishes the scan and returns the accumulated result. If no Feed
+// announced the stream end, End flushes the held-back byte as the final
+// one. End also folds the scan into the runner's cumulative Totals; calling
+// it again before the next Begin is idempotent.
 func (r *Runner) End() Result {
+	if r.hasHeld && r.stop == nil {
+		r.hasHeld = false
+		r.feedSplit(r.held[:], true)
+	}
 	if r.fb != nil {
 		r.fb.End()
+		r.flushPending()
 	}
 	r.res.CachedStates = len(r.states)
+	r.res.CacheHits = r.cachedSymbols - r.res.CacheMisses
+	if !r.ended {
+		r.ended = true
+		r.totals.Scans++
+		r.totals.Symbols += int64(r.res.Symbols)
+		r.totals.Matches += r.res.Matches
+		r.totals.CacheHits += r.res.CacheHits
+		r.totals.CacheMisses += r.res.CacheMisses
+		r.totals.Flushes += int64(r.res.Flushes)
+		if r.thrashed {
+			r.totals.Fallbacks++
+		}
+	}
 	return r.res
+}
+
+// Totals returns the runner's cumulative counters: every finished scan plus
+// the live state of an in-progress one. Folding happens at End and chunk
+// boundaries — reading Totals adds no per-byte cost.
+func (r *Runner) Totals() Totals {
+	t := r.totals
+	if !r.ended {
+		t.Symbols += int64(r.res.Symbols)
+		t.Matches += r.res.Matches
+		t.CacheMisses += r.res.CacheMisses
+		t.CacheHits += r.cachedSymbols - r.res.CacheMisses
+		t.Flushes += int64(r.res.Flushes)
+		if r.thrashed {
+			t.Fallbacks++
+		}
+	}
+	return t
+}
+
+// CachedStates returns the current number of cached DFA states — the live
+// size of the transition table, bounded by MaxStates.
+func (r *Runner) CachedStates() int { return len(r.states) }
+
+// MaxStates returns the resolved cache cap of the current (or most recent)
+// scan; 0 before the first Begin.
+func (r *Runner) MaxStates() int { return r.maxStates }
+
+// ResolveMaxStates normalizes a Config.MaxStates value to the cap a scan
+// actually runs with: 0 (or negative) selects DefaultMaxStates and values
+// below the structural minimum are raised to it.
+func ResolveMaxStates(n int) int {
+	if n <= 0 {
+		return DefaultMaxStates
+	}
+	if n < minStates {
+		return minStates
+	}
+	return n
 }
 
 // miss computes the uncached successor of the current state (or of the
@@ -339,6 +508,7 @@ func (r *Runner) miss(cls int, streamStart bool) int32 {
 		}
 		id = r.add(next, accept, acceptEnd)
 	}
+	r.res.CacheMisses++
 	if streamStart {
 		r.startRow[cls] = id
 	} else {
@@ -413,6 +583,8 @@ func (r *Runner) key(acts []engine.Activation) string {
 // to the cached path's.
 func (r *Runner) fallback(chunk []byte, pos int, final bool) {
 	r.res.FellBack = true
+	r.res.Thrashed = true
+	r.thrashed = true
 	r.fb = engine.NewRunner(r.m.p)
 	r.fb.Resume(engine.Config{KeepOnMatch: true, OnMatch: r.emitDedup}, r.states[r.cur].acts, r.offset+pos)
 	r.fb.Feed(chunk[pos:], final)

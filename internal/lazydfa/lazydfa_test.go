@@ -270,3 +270,147 @@ func TestPerFSACounts(t *testing.T) {
 		t.Fatalf("Symbols=%d", res.Symbols)
 	}
 }
+
+// TestEndAnnouncedAfterFactLazy is the lazy-engine half of the held-byte
+// regression: a stream end announced only after the last data byte — via
+// Feed(nil, true) or a bare End — must report the same events as the
+// single-shot scan, on the cached path, across a fallback, and in pop mode.
+func TestEndAnnouncedAfterFactLazy(t *testing.T) {
+	_, m := compile(t, "^ab", "bc$", "abc", "c+a")
+	in := []byte("abcabcca abc")
+	for _, cfg := range []Config{
+		{KeepOnMatch: true},
+		{KeepOnMatch: true, MaxStates: 4, MaxFlushes: 1},
+		{}, // pop mode: delegated wholesale to iMFAnt
+	} {
+		var want []engine.MatchEvent
+		ref := cfg
+		ref.OnMatch = func(fsa, end int) { want = append(want, engine.MatchEvent{FSA: fsa, End: end}) }
+		NewRunner(m).Run(in, ref)
+
+		for name, drive := range map[string]func(r *Runner){
+			"Feed(nil,true)": func(r *Runner) { r.Feed(in, false); r.Feed(nil, true) },
+			"bare End":       func(r *Runner) { r.Feed(in, false) },
+			"split + empty":  func(r *Runner) { r.Feed(in[:5], false); r.Feed(nil, false); r.Feed(in[5:], false); r.Feed(nil, true) },
+		} {
+			var got []engine.MatchEvent
+			c := cfg
+			c.OnMatch = func(fsa, end int) { got = append(got, engine.MatchEvent{FSA: fsa, End: end}) }
+			r := NewRunner(m)
+			r.Begin(c)
+			drive(r)
+			r.End()
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("cfg=%+v %s: %v, want %v", cfg, name, got, want)
+			}
+		}
+	}
+}
+
+// TestWarmCacheConfigInvariance is the regression test for the stale-cache
+// fix: reusing a runner across scans — including immediately after a scan
+// that thrashed the cache and fell back, and across KeepOnMatch/MaxFlushes
+// changes — must never change the (FSA, end) event set versus a fresh
+// runner with the same config.
+func TestWarmCacheConfigInvariance(t *testing.T) {
+	_, m := compile(t, "a+b", "b+a", "ab+a", "ba+b", "aa", "bb")
+	rng := rand.New(rand.NewSource(17))
+	in := make([]byte, 2048)
+	for i := range in {
+		in[i] = byte('a' + rng.Intn(2))
+	}
+	configs := []Config{
+		{KeepOnMatch: true, MaxStates: 4, MaxFlushes: 2},       // thrash → fallback
+		{KeepOnMatch: true, MaxStates: 4, MaxFlushes: 1 << 30}, // right after thrash
+		{KeepOnMatch: true},                                    // default cap
+		{},                                                     // pop delegation
+		{KeepOnMatch: true, MaxStates: 4, MaxFlushes: -1},      // immediate fallback
+		{KeepOnMatch: true},                                    // and back to cached
+	}
+	r := NewRunner(m)
+	for step, cfg := range configs {
+		var want []engine.MatchEvent
+		ref := cfg
+		ref.OnMatch = func(fsa, end int) { want = append(want, engine.MatchEvent{FSA: fsa, End: end}) }
+		NewRunner(m).Run(in, ref)
+
+		var got []engine.MatchEvent
+		c := cfg
+		c.OnMatch = func(fsa, end int) { got = append(got, engine.MatchEvent{FSA: fsa, End: end}) }
+		res := r.Run(in, c)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("step %d cfg=%+v: warm runner diverged (%d events vs %d)",
+				step, cfg, len(got), len(want))
+		}
+		if step == 1 && res.FellBack {
+			t.Fatal("generous flush budget fell back on the scan after a thrash — stale table kept")
+		}
+	}
+}
+
+// TestCacheCounters checks the hit/miss accounting and the cumulative
+// runner totals: hits + misses cover exactly the cached portion of the
+// scan, a warm re-scan is all hits, and totals fold once per End.
+func TestCacheCounters(t *testing.T) {
+	_, m := compile(t, "abc", "bca")
+	in := []byte("abcabcabcbcabca")
+	r := NewRunner(m)
+
+	first := r.Run(in, Config{KeepOnMatch: true})
+	if first.CacheMisses == 0 {
+		t.Fatal("cold scan reported no misses")
+	}
+	if first.CacheHits+first.CacheMisses != int64(first.Symbols) {
+		t.Fatalf("hits %d + misses %d != symbols %d", first.CacheHits, first.CacheMisses, first.Symbols)
+	}
+
+	second := r.Run(in, Config{KeepOnMatch: true})
+	if second.CacheMisses != 0 {
+		t.Fatalf("warm scan missed %d times", second.CacheMisses)
+	}
+	if second.CacheHits != int64(second.Symbols) {
+		t.Fatalf("warm scan: hits %d, symbols %d", second.CacheHits, second.Symbols)
+	}
+
+	tot := r.Totals()
+	if tot.Scans != 2 ||
+		tot.Symbols != int64(first.Symbols+second.Symbols) ||
+		tot.CacheHits != first.CacheHits+second.CacheHits ||
+		tot.CacheMisses != first.CacheMisses+second.CacheMisses {
+		t.Fatalf("totals %+v after %+v and %+v", tot, first, second)
+	}
+	r.End() // double End must not double-fold
+	if tot2 := r.Totals(); tot2 != tot {
+		t.Fatalf("double End changed totals: %+v vs %+v", tot2, tot)
+	}
+
+	// A thrashing scan counts one fallback; the pre-thrash bytes stay in
+	// the hit/miss accounting, the delegated remainder counts in neither.
+	_, m2 := compile(t, "a+b", "b+a", "ab+a", "ba+b", "aa", "bb")
+	rng := rand.New(rand.NewSource(23))
+	big := make([]byte, 2048)
+	for i := range big {
+		big[i] = byte('a' + rng.Intn(2))
+	}
+	r2 := NewRunner(m2)
+	res := r2.Run(big, Config{KeepOnMatch: true, MaxStates: 4, MaxFlushes: 1})
+	if !res.Thrashed {
+		t.Fatal("expected a thrashing run")
+	}
+	if res.CacheHits+res.CacheMisses >= int64(res.Symbols) {
+		t.Fatalf("delegated bytes leaked into cache counters: hits %d misses %d symbols %d",
+			res.CacheHits, res.CacheMisses, res.Symbols)
+	}
+	if tot := r2.Totals(); tot.Fallbacks != 1 {
+		t.Fatalf("Fallbacks = %d, want 1", tot.Fallbacks)
+	}
+
+	// Pop-mode delegation is a configuration choice, not a cache defeat.
+	r3 := NewRunner(m)
+	if res := r3.Run(in, Config{}); !res.FellBack || res.Thrashed {
+		t.Fatalf("pop mode: FellBack=%v Thrashed=%v", res.FellBack, res.Thrashed)
+	}
+	if tot := r3.Totals(); tot.Fallbacks != 0 {
+		t.Fatalf("pop delegation counted as fallback: %+v", tot)
+	}
+}

@@ -1,0 +1,195 @@
+// Package telemetry provides cheap, allocation-free runtime counters for
+// the matching engines. A Collector aggregates whole-scan totals pushed by
+// scanners at scan (not per-byte) granularity, so the per-byte hot loops
+// stay branch-free: engines accumulate plain local counters during a scan
+// and fold them into the shared Collector exactly once, when the scan ends.
+//
+// Snapshot() returns an immutable Stats value suitable for JSON export;
+// Collector itself implements expvar.Var via String(), so a Collector can
+// be published directly with expvar.Publish.
+package telemetry
+
+import (
+	"encoding/json"
+	"sync/atomic"
+)
+
+// Stats is an immutable snapshot of a Collector. All counters are
+// cumulative since the Collector was created.
+type Stats struct {
+	// Scans counts completed scan operations (one per automaton execution
+	// in parallel scans, one per stream for StreamMatcher).
+	Scans int64 `json:"scans"`
+	// BytesScanned counts input bytes actually matched against. For
+	// parallel multi-automaton scans each automaton's pass counts
+	// separately, mirroring the work performed.
+	BytesScanned int64 `json:"bytes_scanned"`
+	// Matches counts reported match events.
+	Matches int64 `json:"matches"`
+	// RuleHits holds per-rule match counts, indexed by rule id.
+	RuleHits []int64 `json:"rule_hits,omitempty"`
+	// Lazy holds lazy-DFA cache counters; nil when the lazy engine is
+	// not in use.
+	Lazy *LazyStats `json:"lazy,omitempty"`
+}
+
+// LazyStats aggregates DFA-cache behaviour across all automata of a
+// ruleset running in lazy mode.
+type LazyStats struct {
+	// Automata is the number of MFSAs sharing these counters.
+	Automata int `json:"automata"`
+	// CachedStates is the current total number of cached DFA states
+	// across all automata (a gauge, not a cumulative counter).
+	CachedStates int64 `json:"cached_states"`
+	// MaxStates is the per-automaton cache capacity in effect.
+	MaxStates int `json:"max_states"`
+	// ByteClasses is the total byte-class count across automata (the
+	// width of the compressed transition rows).
+	ByteClasses int `json:"byte_classes"`
+	// Hits counts input symbols served by a cached transition.
+	Hits int64 `json:"hits"`
+	// Misses counts transitions computed on demand (one per uncached
+	// (state, class) edge taken).
+	Misses int64 `json:"misses"`
+	// Flushes counts whole-cache resets due to the capacity limit.
+	Flushes int64 `json:"flushes"`
+	// Fallbacks counts scans that abandoned the DFA cache and fell back
+	// to iMFAnt after thrashing (MaxFlushes exhausted).
+	Fallbacks int64 `json:"fallbacks"`
+}
+
+// HitRate returns the fraction of symbols served from cache, in [0, 1].
+// It returns 0 when no symbols have been processed.
+func (l *LazyStats) HitRate() float64 {
+	total := l.Hits + l.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(l.Hits) / float64(total)
+}
+
+// Collector accumulates counters. All methods are safe for concurrent
+// use; writers fold whole-scan totals, so contention is proportional to
+// scan count, not input size.
+type Collector struct {
+	scans   atomic.Int64
+	bytes   atomic.Int64
+	matches atomic.Int64
+
+	ruleHits []atomic.Int64
+
+	lazyEnabled  bool
+	lazyAutomata int
+	maxStates    int
+	byteClasses  int
+	hits         atomic.Int64
+	misses       atomic.Int64
+	flushes      atomic.Int64
+	fallbacks    atomic.Int64
+	cachedStates []atomic.Int64 // per-automaton gauge
+}
+
+// NewCollector returns a Collector tracking numRules per-rule hit
+// counters. numRules ≤ 0 disables per-rule tracking.
+func NewCollector(numRules int) *Collector {
+	c := &Collector{}
+	if numRules > 0 {
+		c.ruleHits = make([]atomic.Int64, numRules)
+	}
+	return c
+}
+
+// EnableLazy turns on the lazy-DFA section of the snapshot and records
+// the static cache configuration: the number of automata, the
+// per-automaton state capacity, and the total byte-class count.
+func (c *Collector) EnableLazy(automata, maxStates, byteClasses int) {
+	c.lazyEnabled = true
+	c.lazyAutomata = automata
+	c.maxStates = maxStates
+	c.byteClasses = byteClasses
+	c.cachedStates = make([]atomic.Int64, automata)
+}
+
+// AddScans adds n completed scans.
+func (c *Collector) AddScans(n int64) { c.scans.Add(n) }
+
+// AddBytes adds n matched-against input bytes.
+func (c *Collector) AddBytes(n int64) { c.bytes.Add(n) }
+
+// AddMatches adds n match events without per-rule attribution.
+func (c *Collector) AddMatches(n int64) { c.matches.Add(n) }
+
+// AddMatch records one match for rule. Out-of-range rule ids still count
+// toward the total.
+func (c *Collector) AddMatch(rule int) {
+	c.matches.Add(1)
+	if rule >= 0 && rule < len(c.ruleHits) {
+		c.ruleHits[rule].Add(1)
+	}
+}
+
+// AddRuleHits adds n matches for rule to the per-rule table only (the
+// caller has already counted them via AddMatches).
+func (c *Collector) AddRuleHits(rule int, n int64) {
+	if rule >= 0 && rule < len(c.ruleHits) {
+		c.ruleHits[rule].Add(n)
+	}
+}
+
+// AddLazyScan folds one lazy-mode scan's cache counters.
+func (c *Collector) AddLazyScan(hits, misses, flushes, fallbacks int64) {
+	c.hits.Add(hits)
+	c.misses.Add(misses)
+	c.flushes.Add(flushes)
+	c.fallbacks.Add(fallbacks)
+}
+
+// SetCachedStates records the current cache population of one automaton.
+func (c *Collector) SetCachedStates(automaton int, n int64) {
+	if automaton >= 0 && automaton < len(c.cachedStates) {
+		c.cachedStates[automaton].Store(n)
+	}
+}
+
+// Snapshot returns a point-in-time copy of every counter. Counters are
+// read individually, so a snapshot taken during concurrent scans is
+// internally consistent per counter but not across counters.
+func (c *Collector) Snapshot() Stats {
+	s := Stats{
+		Scans:        c.scans.Load(),
+		BytesScanned: c.bytes.Load(),
+		Matches:      c.matches.Load(),
+	}
+	if len(c.ruleHits) > 0 {
+		s.RuleHits = make([]int64, len(c.ruleHits))
+		for i := range c.ruleHits {
+			s.RuleHits[i] = c.ruleHits[i].Load()
+		}
+	}
+	if c.lazyEnabled {
+		l := &LazyStats{
+			Automata:    c.lazyAutomata,
+			MaxStates:   c.maxStates,
+			ByteClasses: c.byteClasses,
+			Hits:        c.hits.Load(),
+			Misses:      c.misses.Load(),
+			Flushes:     c.flushes.Load(),
+			Fallbacks:   c.fallbacks.Load(),
+		}
+		for i := range c.cachedStates {
+			l.CachedStates += c.cachedStates[i].Load()
+		}
+		s.Lazy = l
+	}
+	return s
+}
+
+// String renders the current snapshot as JSON, making Collector an
+// expvar.Var: expvar.Publish("imfant", collector).
+func (c *Collector) String() string {
+	b, err := json.Marshal(c.Snapshot())
+	if err != nil {
+		return "{}"
+	}
+	return string(b)
+}

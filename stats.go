@@ -1,0 +1,185 @@
+package imfant
+
+import (
+	"expvar"
+
+	"repro/internal/lazydfa"
+	"repro/internal/telemetry"
+)
+
+// Stats is a point-in-time snapshot of runtime matching telemetry. Every
+// counter is cumulative since the owning object was created. Snapshots are
+// cheap — counters are folded at scan (never per-byte) granularity, so the
+// matching hot loops pay nothing for them.
+//
+// Three scopes expose the same shape:
+//
+//   - Ruleset.Stats aggregates across every Scanner, StreamMatcher, and
+//     CountParallel call derived from the ruleset.
+//   - Scanner.Stats covers that scanner's own scans.
+//   - StreamMatcher.Stats covers that stream.
+type Stats struct {
+	// Scans counts completed automaton executions: one per (scan,
+	// automaton) pair for block scans, one per automaton for a closed
+	// stream.
+	Scans int64 `json:"scans"`
+	// BytesScanned counts input bytes matched against, per automaton —
+	// scanning 1 KiB through a ruleset of 3 MFSAs adds 3 KiB.
+	BytesScanned int64 `json:"bytes_scanned"`
+	// Matches counts reported match events.
+	Matches int64 `json:"matches"`
+	// RuleHits holds per-rule match counts indexed like the compiled
+	// patterns. A persistently hot rule is a sharding candidate.
+	RuleHits []int64 `json:"rule_hits,omitempty"`
+	// Lazy holds the lazy-DFA cache counters; nil when the ruleset runs
+	// on the iMFAnt engine.
+	Lazy *LazyStats `json:"lazy,omitempty"`
+}
+
+// LazyStats aggregates transition-cache behaviour across the automata of a
+// ruleset running on the lazy-DFA engine. The hit rate is the primary
+// signal for sizing Options.LazyDFAMaxStates: a low rate on steady traffic
+// means the cap is too small for the ruleset; a rising Fallbacks count
+// means the input mix is defeating determinization outright.
+type LazyStats struct {
+	// Automata is the number of MFSAs contributing to these counters.
+	Automata int `json:"automata"`
+	// CachedStates is the most recently observed total number of cached
+	// DFA states across automata (a gauge, not a cumulative counter).
+	CachedStates int64 `json:"cached_states"`
+	// MaxStates is the per-automaton cache capacity in effect.
+	MaxStates int `json:"max_states"`
+	// ByteClasses is the total byte-class count across automata — the
+	// width of each automaton's compressed transition rows.
+	ByteClasses int `json:"byte_classes"`
+	// Hits counts input bytes served by a cached transition.
+	Hits int64 `json:"hits"`
+	// Misses counts transitions computed on demand by an iMFAnt step.
+	Misses int64 `json:"misses"`
+	// Flushes counts whole-cache resets forced by the capacity limit.
+	Flushes int64 `json:"flushes"`
+	// Fallbacks counts scans that abandoned the cache for iMFAnt after
+	// thrashing. Pop-mode delegation is a configuration choice and is
+	// not counted.
+	Fallbacks int64 `json:"fallbacks"`
+}
+
+// HitRate returns the fraction of cache lookups served from the cache, in
+// [0, 1]; 0 when no lookups have happened.
+func (l *LazyStats) HitRate() float64 {
+	total := l.Hits + l.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(l.Hits) / float64(total)
+}
+
+// statsFrom converts an internal telemetry snapshot to the public shape.
+func statsFrom(t telemetry.Stats) Stats {
+	s := Stats{
+		Scans:        t.Scans,
+		BytesScanned: t.BytesScanned,
+		Matches:      t.Matches,
+		RuleHits:     t.RuleHits,
+	}
+	if t.Lazy != nil {
+		s.Lazy = &LazyStats{
+			Automata:     t.Lazy.Automata,
+			CachedStates: t.Lazy.CachedStates,
+			MaxStates:    t.Lazy.MaxStates,
+			ByteClasses:  t.Lazy.ByteClasses,
+			Hits:         t.Lazy.Hits,
+			Misses:       t.Lazy.Misses,
+			Flushes:      t.Lazy.Flushes,
+			Fallbacks:    t.Lazy.Fallbacks,
+		}
+	}
+	return s
+}
+
+// Stats returns the ruleset-wide telemetry snapshot: the fold of every scan
+// executed by Scanners, StreamMatchers, and CountParallel calls created
+// from this ruleset. Safe for concurrent use.
+func (rs *Ruleset) Stats() Stats {
+	return statsFrom(rs.collector.Snapshot())
+}
+
+// StatsVar returns the ruleset's live counters as an expvar.Var whose
+// String method renders the current Stats snapshot as JSON, for publishing
+// on the standard debug endpoint:
+//
+//	expvar.Publish("imfant", rs.StatsVar())
+func (rs *Ruleset) StatsVar() expvar.Var {
+	return rs.collector
+}
+
+// Stats returns this scanner's own telemetry: totals over every scan it has
+// executed, including a partial scan still in progress. Not safe for use
+// concurrent with the scanner's scans (the Scanner itself is single-owner).
+func (s *Scanner) Stats() Stats {
+	st := Stats{RuleHits: append([]int64(nil), s.ruleHits...)}
+	if s.lazies != nil {
+		l := &LazyStats{Automata: len(s.lazies)}
+		for i, r := range s.lazies {
+			t := r.Totals()
+			st.Scans += t.Scans
+			st.BytesScanned += t.Symbols
+			st.Matches += t.Matches
+			l.Hits += t.CacheHits
+			l.Misses += t.CacheMisses
+			l.Flushes += t.Flushes
+			l.Fallbacks += t.Fallbacks
+			l.CachedStates += int64(r.CachedStates())
+			if m := r.MaxStates(); m > l.MaxStates {
+				l.MaxStates = m
+			}
+			l.ByteClasses += s.rs.lazy[i].NumClasses()
+		}
+		if l.MaxStates == 0 {
+			l.MaxStates = lazydfa.ResolveMaxStates(s.rs.opts.LazyDFAMaxStates)
+		}
+		st.Lazy = l
+	} else {
+		for _, r := range s.runners {
+			t := r.Totals()
+			st.Scans += t.Scans
+			st.BytesScanned += t.Symbols
+			st.Matches += t.Matches
+		}
+	}
+	return st
+}
+
+// Stats returns this stream's telemetry, including the in-progress state of
+// a stream that has not been closed yet (Scans stays 0 until Close, since a
+// stream counts as one completed scan per automaton). Not safe for use
+// concurrent with Write or Close.
+func (sm *StreamMatcher) Stats() Stats {
+	st := Stats{RuleHits: append([]int64(nil), sm.ruleHits...)}
+	for _, r := range sm.engines {
+		t := r.Totals()
+		st.Scans += t.Scans
+		st.BytesScanned += t.Symbols
+		st.Matches += t.Matches
+	}
+	if sm.lazies != nil {
+		l := &LazyStats{Automata: len(sm.lazies)}
+		for i, r := range sm.lazies {
+			t := r.Totals()
+			st.Scans += t.Scans
+			st.BytesScanned += t.Symbols
+			st.Matches += t.Matches
+			l.Hits += t.CacheHits
+			l.Misses += t.CacheMisses
+			l.Flushes += t.Flushes
+			l.Fallbacks += t.Fallbacks
+			l.CachedStates += int64(r.CachedStates())
+			if m := r.MaxStates(); m > l.MaxStates {
+				l.MaxStates = m
+			}
+			l.ByteClasses += sm.rs.lazy[i].NumClasses()
+		}
+		st.Lazy = l
+	}
+	return st
+}

@@ -19,8 +19,12 @@ import (
 // the life of the matcher, in iMFAnt mode the classic chunked runner.
 //
 // Close marks the end of the stream; it is required for correctness of
-// $-anchored rules, which may only match on the final byte. To that end the
-// matcher holds back the most recent byte until the next Write or Close.
+// $-anchored rules, which may only match on the final byte. The runners
+// hold back the most recent byte until the next Write or Close so that the
+// stream end can be announced after the fact; every byte Write reports as
+// consumed has been handed to the engines, and is matched against even if
+// the stream is cancelled or closed after an error ($-anchored accepts do
+// not fire in that case — the true stream end was never observed).
 //
 // Matchers created with NewStreamMatcherContext stop at the first
 // checkpoint after the context is cancelled: Write reports how many bytes
@@ -29,15 +33,15 @@ import (
 //
 // A StreamMatcher is not safe for concurrent use.
 type StreamMatcher struct {
-	feeds   []func(chunk []byte, final bool)
-	ends    []func()
-	check   func() error // context poll; nil when not cancellable
-	onMatch func(Match)
-	held    [1]byte
-	hasHeld bool
-	closed  bool
-	err     error // sticky: first checkpoint failure
-	matches int64
+	rs       *Ruleset
+	engines  []*engine.Runner  // iMFAnt mode
+	lazies   []*lazydfa.Runner // lazy-DFA mode
+	check    func() error      // context poll; nil when not cancellable
+	onMatch  func(Match)
+	closed   bool
+	err      error // sticky: first checkpoint failure
+	matches  int64
+	ruleHits []int64
 }
 
 // RuleInfo identifies one rule inside a stream matcher.
@@ -57,7 +61,12 @@ func (rs *Ruleset) NewStreamMatcher(onMatch func(Match)) *StreamMatcher {
 // with the context's error at the next checkpoint (about every 4 KiB),
 // consuming no further input.
 func (rs *Ruleset) NewStreamMatcherContext(ctx context.Context, onMatch func(Match)) *StreamMatcher {
-	sm := &StreamMatcher{onMatch: onMatch, check: checkpointOf(ctx)}
+	sm := &StreamMatcher{
+		rs:       rs,
+		onMatch:  onMatch,
+		check:    checkpointOf(ctx),
+		ruleHits: make([]int64, len(rs.patterns)),
+	}
 	lazy := rs.useLazy()
 	for i, p := range rs.programs {
 		infos := make([]RuleInfo, 0, len(p.Rules()))
@@ -66,8 +75,11 @@ func (rs *Ruleset) NewStreamMatcherContext(ctx context.Context, onMatch func(Mat
 		}
 		emit := func(fsa, end int) {
 			sm.matches++
+			info := infos[fsa]
+			if info.Rule >= 0 && info.Rule < len(sm.ruleHits) {
+				sm.ruleHits[info.Rule]++
+			}
 			if sm.onMatch != nil {
-				info := infos[fsa]
 				sm.onMatch(Match{Rule: info.Rule, Pattern: info.Pattern, End: end})
 			}
 		}
@@ -78,34 +90,58 @@ func (rs *Ruleset) NewStreamMatcherContext(ctx context.Context, onMatch func(Mat
 				MaxStates:   rs.opts.LazyDFAMaxStates,
 				OnMatch:     emit,
 			})
-			sm.feeds = append(sm.feeds, runner.Feed)
-			sm.ends = append(sm.ends, func() { runner.End() })
+			sm.lazies = append(sm.lazies, runner)
 		} else {
 			runner := engine.NewRunner(p)
 			runner.Begin(engine.Config{KeepOnMatch: rs.opts.KeepOnMatch, OnMatch: emit})
-			sm.feeds = append(sm.feeds, runner.Feed)
-			sm.ends = append(sm.ends, func() { runner.End() })
+			sm.engines = append(sm.engines, runner)
 		}
 	}
 	return sm
 }
 
-// poll checks the matcher's context, recording the first failure.
+// feed hands one chunk to every automaton.
+func (sm *StreamMatcher) feed(chunk []byte, final bool) {
+	for _, r := range sm.engines {
+		r.Feed(chunk, final)
+	}
+	for _, r := range sm.lazies {
+		r.Feed(chunk, final)
+	}
+}
+
+// flushHeld feeds each runner's held-back byte as ordinary data, so that
+// every byte reported as consumed has been matched against even though the
+// stream will never see a proper end.
+func (sm *StreamMatcher) flushHeld() {
+	for _, r := range sm.engines {
+		r.FlushHeld()
+	}
+	for _, r := range sm.lazies {
+		r.FlushHeld()
+	}
+}
+
+// poll checks the matcher's context, recording the first failure. On that
+// first failure the runners' held bytes are flushed: the consumed-byte
+// count already includes them, so they must be matched against.
 func (sm *StreamMatcher) poll() error {
 	if sm.check == nil || sm.err != nil {
 		return sm.err
 	}
 	if err := sm.check(); err != nil {
 		sm.err = err
+		sm.flushHeld()
 	}
 	return sm.err
 }
 
 // Write feeds the next chunk of the stream, honoring the io.Writer
-// contract: it returns the number of bytes consumed, and a non-nil error
-// whenever that is short of len(p). Write fails with io.ErrClosedPipe
-// after Close, and with the sticky context error (see Err) after a
-// cancellation; a failed matcher consumes nothing.
+// contract: it returns the number of bytes consumed — every one of them
+// handed to the engines — and a non-nil error whenever that is short of
+// len(p). Write fails with io.ErrClosedPipe after Close, and with the
+// sticky context error (see Err) after a cancellation; a failed matcher
+// consumes nothing.
 func (sm *StreamMatcher) Write(p []byte) (int, error) {
 	if sm.err != nil {
 		return 0, sm.err
@@ -119,62 +155,76 @@ func (sm *StreamMatcher) Write(p []byte) (int, error) {
 	if err := sm.poll(); err != nil {
 		return 0, err
 	}
-	if sm.hasHeld {
-		for _, feed := range sm.feeds {
-			feed(sm.held[:], false)
-		}
-		sm.hasHeld = false
-	}
-	// Hold back the last byte: it becomes the stream end only if no
-	// further data arrives before Close. The body is fed in checkpoint-
-	// sized blocks so a cancelled context stops consuming input promptly
-	// and the consumed-byte count stays exact.
-	body, last := p[:len(p)-1], p[len(p)-1]
+	// The chunk is fed in checkpoint-sized blocks so a cancelled context
+	// stops consuming input promptly and the consumed-byte count stays
+	// exact. The runners themselves hold back the most recent byte until
+	// the stream end is known; it still counts as consumed because a
+	// cancellation flushes it (see poll).
 	n := 0
-	for len(body) > 0 {
-		blk := body
+	for len(p) > 0 {
+		blk := p
 		if sm.check != nil && len(blk) > engine.DefaultCheckpointEvery {
 			blk = blk[:engine.DefaultCheckpointEvery]
 		}
-		for _, feed := range sm.feeds {
-			feed(blk, false)
-		}
-		body = body[len(blk):]
+		sm.feed(blk, false)
+		p = p[len(blk):]
 		n += len(blk)
-		if len(body) > 0 {
+		if len(p) > 0 {
 			if err := sm.poll(); err != nil {
 				return n, err
 			}
 		}
 	}
-	sm.held[0] = last
-	sm.hasHeld = true
-	return n + 1, nil
+	return n, nil
 }
 
-// Close marks the stream end, flushing the held byte as the final one.
-// Close is idempotent; a second Close returns nil. On a matcher that
-// already failed (cancelled context), Close skips the final flush — the
-// stream end was never observed — and returns the sticky error.
+// Close marks the stream end, flushing the runners' held bytes as final.
+// Close is idempotent; a second Close returns the same result. Close is
+// itself a checkpoint: on a matcher that failed — or whose context is found
+// cancelled at Close — the final flush is skipped (the stream end was never
+// observed, so $-anchored accepts must not fire), the held bytes are
+// matched against as ordinary data, and the sticky error is returned.
 func (sm *StreamMatcher) Close() error {
-	if sm.err != nil {
-		sm.closed = true
+	if sm.closed {
 		return sm.err
 	}
-	if sm.closed {
-		return nil
-	}
 	sm.closed = true
-	var final []byte
-	if sm.hasHeld {
-		final = sm.held[:]
-		sm.hasHeld = false
+	if sm.poll() == nil {
+		sm.feed(nil, true)
 	}
-	for i, feed := range sm.feeds {
-		feed(final, true)
-		sm.ends[i]()
+	for _, r := range sm.engines {
+		r.End()
 	}
-	return nil
+	for _, r := range sm.lazies {
+		r.End()
+	}
+	sm.pushTelemetry()
+	return sm.err
+}
+
+// pushTelemetry folds the closed stream's counters into the ruleset-wide
+// collector. Runs once, at Close — never on the byte path.
+func (sm *StreamMatcher) pushTelemetry() {
+	c := sm.rs.collector
+	for _, r := range sm.engines {
+		t := r.Totals()
+		c.AddScans(t.Scans)
+		c.AddBytes(t.Symbols)
+		c.AddMatches(t.Matches)
+	}
+	for i, r := range sm.lazies {
+		t := r.Totals()
+		c.AddScans(t.Scans)
+		c.AddBytes(t.Symbols)
+		c.AddMatches(t.Matches)
+		c.AddLazyScan(t.CacheHits, t.CacheMisses, t.Flushes, t.Fallbacks)
+		c.SetCachedStates(i, int64(r.CachedStates()))
+	}
+	for id, n := range sm.ruleHits {
+		if n != 0 {
+			c.AddRuleHits(id, n)
+		}
+	}
 }
 
 // Err returns the sticky error that failed the stream, if any: the

@@ -2,6 +2,8 @@ package imfant
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"io"
 	"math/rand"
 	"reflect"
@@ -103,6 +105,68 @@ func TestStreamMatcherEmpty(t *testing.T) {
 	sm.Close()
 	if sm.Matches() != 0 {
 		t.Fatal("phantom matches")
+	}
+}
+
+// TestStreamConsumedBytesMatchedOnCancel is the regression test for the
+// held-byte accounting bug: Write used to report the held-back byte as
+// consumed even though a cancellation meant it was never fed to any
+// automaton, silently dropping matches ending on it. Now every byte Write
+// reports as consumed is matched against: a match completing on the held
+// byte is reported when the cancellation is observed, while $-anchored
+// rules still do not fire (the true stream end was never seen).
+func TestStreamConsumedBytesMatchedOnCancel(t *testing.T) {
+	rs := MustCompile([]string{"xa", "a$"}, Options{})
+	ctx, cancel := context.WithCancel(context.Background())
+	var got []Match
+	sm := rs.NewStreamMatcherContext(ctx, func(m Match) { got = append(got, m) })
+
+	n, err := sm.Write([]byte("xa"))
+	if n != 2 || err != nil {
+		t.Fatalf("Write = (%d, %v), want (2, nil)", n, err)
+	}
+	cancel()
+	if n2, err2 := sm.Write([]byte("zz")); n2 != 0 || !errors.Is(err2, context.Canceled) {
+		t.Fatalf("post-cancel Write = (%d, %v)", n2, err2)
+	}
+	// The 'a' at offset 1 was reported as consumed, so "xa" must have
+	// been completed on it; "a$" must not fire.
+	want := []Match{{Rule: 0, Pattern: "xa", End: 1}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("matches after cancel: %v, want %v", got, want)
+	}
+	if err := sm.Close(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Close = %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Close changed the match set: %v", got)
+	}
+}
+
+// TestStreamCloseImmediatelyAfterCancel covers the unobserved-cancellation
+// path: the context is cancelled after a healthy Write and Close is the
+// first checkpoint to see it. Close must return the context error, match
+// the held byte as ordinary data, and suppress $-anchored accepts.
+func TestStreamCloseImmediatelyAfterCancel(t *testing.T) {
+	for _, opts := range []Options{{}, {Engine: EngineLazyDFA, KeepOnMatch: true}} {
+		rs := MustCompile([]string{"xa", "a$"}, opts)
+		ctx, cancel := context.WithCancel(context.Background())
+		var got []Match
+		sm := rs.NewStreamMatcherContext(ctx, func(m Match) { got = append(got, m) })
+		if n, err := sm.Write([]byte("xa")); n != 2 || err != nil {
+			t.Fatalf("opts %+v: Write = (%d, %v)", opts, n, err)
+		}
+		cancel()
+		if err := sm.Close(); !errors.Is(err, context.Canceled) {
+			t.Fatalf("opts %+v: Close = %v", opts, err)
+		}
+		want := []Match{{Rule: 0, Pattern: "xa", End: 1}}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("opts %+v: matches %v, want %v", opts, got, want)
+		}
+		if !errors.Is(sm.Err(), context.Canceled) {
+			t.Fatalf("opts %+v: Err() = %v", opts, sm.Err())
+		}
 	}
 }
 
