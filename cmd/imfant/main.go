@@ -11,18 +11,23 @@
 // It prints the matching time, match count and throughput; -stats adds the
 // Table II active-FSA instrumentation plus a JSON telemetry snapshot
 // (scan/byte/match totals and per-rule hit counts) in the same shape the
-// library exports through Ruleset.StatsVar.
+// library exports through Ruleset.StatsVar; -profile enables the sampling
+// state profiler and prints the hottest states with rule attribution and
+// per-repetition latency percentiles (see cmd/mfsaprof for the full
+// report, heat maps, and SVG output).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"time"
 
 	"repro/internal/anml"
 	"repro/internal/dataset"
 	"repro/internal/engine"
+	"repro/internal/hist"
 	"repro/internal/metrics"
 	"repro/internal/mfsa"
 	"repro/internal/telemetry"
@@ -38,6 +43,8 @@ func main() {
 		reps     = flag.Int("reps", 1, "measurement repetitions (reported time is the average)")
 		stats    = flag.Bool("stats", false, "collect active-FSA statistics (Table II)")
 		keep     = flag.Bool("keep-on-match", false, "disable the Eq. 5 pop (report longer matches too)")
+		profile  = flag.Bool("profile", false, "sample state heat and report the hottest states with rule attribution")
+		stride   = flag.Int("stride", 0, "profiler sampling stride in bytes (0 = default 64)")
 	)
 	flag.Parse()
 
@@ -61,6 +68,15 @@ func main() {
 	}
 
 	cfg := engine.Config{Stats: *stats, KeepOnMatch: *keep}
+	var profiles []*engine.Profile
+	var repLat hist.Histogram
+	if *profile {
+		profiles = make([]*engine.Profile, len(programs))
+		for i, p := range programs {
+			profiles[i] = engine.NewProfile(p, *stride)
+		}
+		cfg.ProfileFor = func(i int) *engine.Profile { return profiles[i] }
+	}
 	var results []engine.Result
 	var elapsed time.Duration
 	for rep := 0; rep < max(1, *reps); rep++ {
@@ -70,7 +86,11 @@ func main() {
 		if rpErr != nil {
 			fatal(rpErr)
 		}
-		elapsed += time.Since(start)
+		repDur := time.Since(start)
+		elapsed += repDur
+		if *profile {
+			repLat.Record(repDur.Nanoseconds())
+		}
 	}
 	elapsed /= time.Duration(max(1, *reps))
 
@@ -94,6 +114,44 @@ func main() {
 		fmt.Printf("avg active: %.2f (state,FSA) pairs per symbol\n", float64(pairs)/float64(len(input)))
 		fmt.Printf("max active: %d distinct FSAs\n", maxAct)
 		fmt.Printf("telemetry:  %s\n", snapshotJSON(programs, results))
+	}
+	if *profile {
+		printProfile(programs, profiles, repLat.Snapshot())
+	}
+}
+
+// printProfile renders the sampled hot-state report: per-repetition scan
+// latency percentiles and the ten hottest states across all automata,
+// attributed to rule ids through the belonging sets.
+func printProfile(programs []*engine.Program, profiles []*engine.Profile, lat hist.Snapshot) {
+	fmt.Printf("rep latency: p50=%v p90=%v max=%v (%d reps)\n",
+		time.Duration(lat.Percentile(0.50)), time.Duration(lat.Percentile(0.90)),
+		time.Duration(lat.Max), lat.Count)
+	type hot struct {
+		automaton, state int
+		visits           int64
+	}
+	var states []hot
+	var total, samples int64
+	for a, pr := range profiles {
+		samples += pr.Samples()
+		for q, v := range pr.Visits() {
+			if v > 0 {
+				states = append(states, hot{a, q, v})
+				total += v
+			}
+		}
+	}
+	sort.Slice(states, func(i, j int) bool { return states[i].visits > states[j].visits })
+	if len(states) > 10 {
+		states = states[:10]
+	}
+	fmt.Printf("profile:     %d samples, %d state visits, top %d states:\n",
+		samples, total, len(states))
+	for i, h := range states {
+		rules := programs[h.automaton].StateRules(h.state)
+		fmt.Printf("  %2d. automaton %d state %-5d %8d visits (%5.1f%%)  rules %v\n",
+			i+1, h.automaton, h.state, h.visits, 100*float64(h.visits)/float64(total), rules)
 	}
 }
 

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+// benchFile is the machine-readable benchmark record written by -json:
+// one entry per (dataset, engine) pair of the engine comparison, in a
+// stable shape so successive runs diff cleanly and CI can archive them as
+// artifacts for regression tracking.
+type benchFile struct {
+	Name    string       `json:"name"`
+	Created string       `json:"created"`
+	Go      string       `json:"go"`
+	GOOS    string       `json:"goos"`
+	GOARCH  string       `json:"goarch"`
+	CPUs    int          `json:"cpus"`
+	Config  benchConfig  `json:"config"`
+	Results []benchEntry `json:"results"`
+}
+
+type benchConfig struct {
+	StreamSize int `json:"stream_size"`
+	Reps       int `json:"reps"`
+}
+
+type benchEntry struct {
+	// Benchmark names the measurement: engines/<dataset>/<engine>.
+	Benchmark string `json:"benchmark"`
+	// NsPerOp is the average single-thread scan latency in nanoseconds.
+	NsPerOp int64 `json:"ns_per_op"`
+	// BytesPerSec is the corresponding scan throughput.
+	BytesPerSec float64 `json:"bytes_per_sec"`
+}
+
+// writeBenchJSON runs the engine comparison (iMFAnt vs 2-stride vs warm
+// lazy-DFA, M = all, keep semantics) and writes BENCH_<name>.json in the
+// current directory.
+func writeBenchJSON(r *experiments.Runner, o experiments.Opts, name string) (string, error) {
+	rows, err := r.Lazy(nil)
+	if err != nil {
+		return "", err
+	}
+	bf := benchFile{
+		Name:    name,
+		Created: time.Now().UTC().Format(time.RFC3339),
+		Go:      runtime.Version(),
+		GOOS:    runtime.GOOS,
+		GOARCH:  runtime.GOARCH,
+		CPUs:    runtime.NumCPU(),
+		Config:  benchConfig{StreamSize: o.StreamSize, Reps: o.Reps},
+	}
+	add := func(abbr, engine string, d time.Duration) {
+		if d <= 0 {
+			return
+		}
+		bf.Results = append(bf.Results, benchEntry{
+			Benchmark:   fmt.Sprintf("engines/%s/%s", abbr, engine),
+			NsPerOp:     d.Nanoseconds(),
+			BytesPerSec: float64(o.StreamSize) / d.Seconds(),
+		})
+	}
+	for _, row := range rows {
+		add(row.Abbr, "imfant", row.IMFAntTime)
+		add(row.Abbr, "stride2", row.StrideTime)
+		add(row.Abbr, "lazydfa", row.LazyTime)
+	}
+	path := "BENCH_" + name + ".json"
+	data, err := json.MarshalIndent(bf, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}

@@ -73,6 +73,7 @@ func main() {
 		size         = flag.Int("size", 0, "stream size in bytes (default 256 KiB, or 1 MiB with -paper)")
 		reps         = flag.Int("reps", 0, "measurement repetitions")
 		plots        = flag.String("plots", "", "also render the figures as SVG charts into this directory")
+		jsonName     = flag.String("json", "", "run the engine comparison and write BENCH_<name>.json for regression tracking")
 	)
 	flag.Var(&figs, "fig", "figure to regenerate (1, 7, 8, 9, 10); repeatable or comma-separated")
 	flag.Var(&tables, "table", "table to regenerate (1, 2); repeatable or comma-separated")
@@ -104,6 +105,17 @@ func main() {
 		fatal(err)
 	}
 	w := os.Stdout
+
+	if *jsonName != "" {
+		path, err := writeBenchJSON(r, o, *jsonName)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(w, "benchmark results written to %s\n", path)
+		if len(figs) == 0 && len(tables) == 0 && !*all && !*lazy {
+			return
+		}
+	}
 
 	extrasOnly := (*ablation || *baseline || *ccrefine || *stride || *lazy || *clustering || *decomp) && len(figs) == 0 && len(tables) == 0 && !*all
 	if *ablation {

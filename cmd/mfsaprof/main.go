@@ -1,0 +1,329 @@
+// Command mfsaprof profiles MFSA execution: it compiles (or loads) a
+// ruleset with the sampling profiler enabled, scans a stream repeatedly,
+// and reports where the automata spend their time — the hottest states
+// with the rules sharing them, per-rule absorbed heat, scan-latency
+// percentiles, and the active-set size distribution.
+//
+// Usage:
+//
+//	mfsaprof -patterns rules.txt -dataset BRO
+//	mfsaprof -anml bro.anml -stream traffic.bin -reps 50 -top 20
+//	mfsaprof -patterns rules.txt -dataset DS9 -dot heat.dot -svg latency.svg
+//
+// -dot writes a Graphviz heat map of one automaton (states shaded
+// white→red by visit share); -svg writes the scan-latency histogram as a
+// standalone SVG chart; -trace N retains the last N structured runtime
+// events and prints the tail of the ring.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	imfant "repro"
+	"repro/internal/dataset"
+	"repro/internal/svgplot"
+)
+
+type config struct {
+	patterns  string
+	anml      string
+	stream    string
+	dsAbbr    string
+	size      int
+	merge     int
+	engine    string
+	keep      bool
+	stride    int
+	reps      int
+	top       int
+	dot       string
+	automaton int
+	svg       string
+	trace     int
+}
+
+func main() {
+	var cfg config
+	flag.StringVar(&cfg.patterns, "patterns", "", "pattern file, one POSIX ERE per line (# comments)")
+	flag.StringVar(&cfg.anml, "anml", "", "extended-ANML file instead of -patterns")
+	flag.StringVar(&cfg.stream, "stream", "", "input stream file")
+	flag.StringVar(&cfg.dsAbbr, "dataset", "", "generate the stream of this synthetic dataset instead of -stream")
+	flag.IntVar(&cfg.size, "size", 1<<20, "generated stream size in bytes (with -dataset)")
+	flag.IntVar(&cfg.merge, "m", 0, "merging factor M (0 = all)")
+	flag.StringVar(&cfg.engine, "engine", "auto", "execution engine: auto, imfant, lazydfa")
+	flag.BoolVar(&cfg.keep, "keep-on-match", false, "disable the Eq. 5 pop (report longer matches too)")
+	flag.IntVar(&cfg.stride, "stride", 0, "profiler sampling stride in bytes (0 = default 64)")
+	flag.IntVar(&cfg.reps, "reps", 20, "scan repetitions")
+	flag.IntVar(&cfg.top, "top", 10, "hot states/rules to list")
+	flag.StringVar(&cfg.dot, "dot", "", "write a Graphviz heat map of one automaton to this file")
+	flag.IntVar(&cfg.automaton, "automaton", 0, "automaton index for -dot")
+	flag.StringVar(&cfg.svg, "svg", "", "write the scan-latency histogram as SVG to this file")
+	flag.IntVar(&cfg.trace, "trace", 0, "retain the last N trace events and print the tail")
+	flag.Parse()
+
+	if err := run(cfg, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// run executes the whole profiling session and renders the report.
+func run(cfg config, w io.Writer) error {
+	rs, err := compileRuleset(cfg)
+	if err != nil {
+		return err
+	}
+	input, err := loadStream(cfg)
+	if err != nil {
+		return err
+	}
+	if cfg.reps < 1 {
+		cfg.reps = 1
+	}
+
+	sc := rs.NewScanner()
+	var matches int64
+	start := time.Now()
+	for rep := 0; rep < cfg.reps; rep++ {
+		matches = sc.Count(input)
+	}
+	elapsed := time.Since(start)
+
+	p := rs.Profile()
+	if p == nil {
+		return fmt.Errorf("mfsaprof: profiler did not initialize")
+	}
+	report(w, cfg, rs, p, len(input), matches, elapsed)
+
+	if cfg.dot != "" {
+		if err := writeFile(cfg.dot, func(f io.Writer) error {
+			return rs.WriteProfileDOT(f, cfg.automaton)
+		}); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\nheat map of automaton %d written to %s\n", cfg.automaton, cfg.dot)
+	}
+	if cfg.svg != "" {
+		if err := writeFile(cfg.svg, func(f io.Writer) error {
+			return latencySVG(f, p.ScanLatency)
+		}); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "scan-latency histogram written to %s\n", cfg.svg)
+	}
+	if cfg.trace > 0 {
+		printTrace(w, rs, 20)
+	}
+	return nil
+}
+
+// compileRuleset builds the profiled ruleset from -patterns or -anml.
+func compileRuleset(cfg config) (*imfant.Ruleset, error) {
+	opts := imfant.Options{
+		MergeFactor:   cfg.merge,
+		KeepOnMatch:   cfg.keep,
+		Profile:       true,
+		ProfileStride: cfg.stride,
+		TraceCapacity: cfg.trace,
+	}
+	switch strings.ToLower(cfg.engine) {
+	case "", "auto":
+		opts.Engine = imfant.EngineAuto
+	case "imfant":
+		opts.Engine = imfant.EngineIMFAnt
+	case "lazydfa", "lazy":
+		opts.Engine = imfant.EngineLazyDFA
+	default:
+		return nil, fmt.Errorf("mfsaprof: unknown -engine %q (auto, imfant, lazydfa)", cfg.engine)
+	}
+	switch {
+	case cfg.patterns != "" && cfg.anml != "":
+		return nil, fmt.Errorf("mfsaprof: -patterns and -anml are mutually exclusive")
+	case cfg.patterns != "":
+		pats, err := loadPatterns(cfg.patterns)
+		if err != nil {
+			return nil, err
+		}
+		rs, ruleErrs, err := imfant.CompileLax(pats, opts)
+		if err != nil {
+			return nil, err
+		}
+		for _, re := range ruleErrs {
+			fmt.Fprintf(os.Stderr, "mfsaprof: skipping rule %d: %v\n", re.Rule, re.Err)
+		}
+		return rs, nil
+	case cfg.anml != "":
+		f, err := os.Open(cfg.anml)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return imfant.LoadANML(f, opts)
+	default:
+		return nil, fmt.Errorf("mfsaprof: provide -patterns FILE or -anml FILE")
+	}
+}
+
+// loadPatterns reads one pattern per line, skipping blanks and # comments.
+func loadPatterns(path string) ([]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var pats []string
+	scan := bufio.NewScanner(f)
+	scan.Buffer(make([]byte, 1<<20), 1<<20)
+	for scan.Scan() {
+		line := strings.TrimSpace(scan.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		pats = append(pats, line)
+	}
+	if err := scan.Err(); err != nil {
+		return nil, err
+	}
+	if len(pats) == 0 {
+		return nil, fmt.Errorf("mfsaprof: no patterns in %s", path)
+	}
+	return pats, nil
+}
+
+func loadStream(cfg config) ([]byte, error) {
+	switch {
+	case cfg.stream != "" && cfg.dsAbbr != "":
+		return nil, fmt.Errorf("mfsaprof: -stream and -dataset are mutually exclusive")
+	case cfg.stream != "":
+		return os.ReadFile(cfg.stream)
+	case cfg.dsAbbr != "":
+		s, err := dataset.ByAbbr(cfg.dsAbbr)
+		if err != nil {
+			return nil, err
+		}
+		return s.Stream(cfg.size, 0), nil
+	default:
+		return nil, fmt.Errorf("mfsaprof: provide -stream FILE or -dataset ABBR")
+	}
+}
+
+// report renders the text hotspot report.
+func report(w io.Writer, cfg config, rs *imfant.Ruleset, p *imfant.ProfileReport,
+	streamLen int, matches int64, elapsed time.Duration) {
+	fmt.Fprintf(w, "mfsaprof — execution profile\n")
+	fmt.Fprintf(w, "ruleset:  %d rules, %d automata, %d states (engine=%s, keep=%v, M=%d)\n",
+		rs.NumRules(), rs.NumAutomata(), rs.States(), cfg.engine, cfg.keep, cfg.merge)
+	fmt.Fprintf(w, "stream:   %d bytes × %d reps, %d matches/scan, %v total\n",
+		streamLen, cfg.reps, matches, elapsed.Round(time.Microsecond))
+	fmt.Fprintf(w, "sampling: stride %d bytes, %d samples, %d state visits\n\n",
+		p.Stride, p.Samples, p.TotalVisits())
+
+	fmt.Fprintf(w, "scan latency:  p50=%s p90=%s p99=%s max=%s mean=%s (%d scans)\n",
+		ns(p.ScanLatency.Percentile(0.50)), ns(p.ScanLatency.Percentile(0.90)),
+		ns(p.ScanLatency.Percentile(0.99)), ns(p.ScanLatency.Max()),
+		ns(int64(p.ScanLatency.Mean())), p.ScanLatency.Count())
+	if p.ChunkLatency.Count() > 0 {
+		fmt.Fprintf(w, "chunk latency: p50=%s p99=%s max=%s (%d writes)\n",
+			ns(p.ChunkLatency.Percentile(0.50)), ns(p.ChunkLatency.Percentile(0.99)),
+			ns(p.ChunkLatency.Max()), p.ChunkLatency.Count())
+	}
+	fmt.Fprintf(w, "active set:    mean %.1f (state,FSA) pairs, p90=%d, max=%d\n\n",
+		p.ActiveSet.Mean(), p.ActiveSet.Percentile(0.90), p.ActiveSet.Max())
+
+	hot := p.HotStates(cfg.top)
+	fmt.Fprintf(w, "top %d hot states (of %d visited):\n", len(hot), len(p.HotStates(0)))
+	fmt.Fprintf(w, "  %4s  %-9s %-6s %10s %7s %7s  %s\n",
+		"#", "automaton", "state", "visits", "share", "cum", "rules")
+	var cum float64
+	for i, h := range hot {
+		cum += h.Share
+		fmt.Fprintf(w, "  %4d  %-9d %-6d %10d %6.1f%% %6.1f%%  %s\n",
+			i+1, h.Automaton, h.State, h.Visits, 100*h.Share, 100*cum, ruleList(h.Rules))
+	}
+
+	fmt.Fprintf(w, "\ntop rules by absorbed visits (shared states count for every sharer):\n")
+	for _, rh := range p.HotRules(cfg.top) {
+		pat := rh.Pattern
+		if len(pat) > 48 {
+			pat = pat[:45] + "..."
+		}
+		fmt.Fprintf(w, "  rule %-4d %5.1f%%  %q\n", rh.Rule, 100*rh.Share, pat)
+	}
+}
+
+// ruleList renders a compact rule-id list, eliding long ones.
+func ruleList(rules []int) string {
+	var b strings.Builder
+	for i, id := range rules {
+		if i == 8 {
+			fmt.Fprintf(&b, ",… (%d total)", len(rules))
+			break
+		}
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", id)
+	}
+	return b.String()
+}
+
+// latencySVG renders the scan-latency distribution's log2 buckets.
+func latencySVG(w io.Writer, d imfant.Distribution) error {
+	bks := d.Buckets()
+	if len(bks) == 0 {
+		return fmt.Errorf("mfsaprof: empty latency distribution")
+	}
+	labels := make([]string, len(bks))
+	counts := make([]float64, len(bks))
+	for i, b := range bks {
+		labels[i] = "≤" + ns(b.Hi)
+		counts[i] = float64(b.Count)
+	}
+	return svgplot.Histogram("Scan latency distribution", "scans", labels, counts).Render(w)
+}
+
+// ns renders a nanosecond count as a rounded duration.
+func ns(v int64) string {
+	d := time.Duration(v)
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.1fms", float64(d)/float64(time.Millisecond))
+	case d >= time.Microsecond:
+		return fmt.Sprintf("%.1fµs", float64(d)/float64(time.Microsecond))
+	default:
+		return fmt.Sprintf("%dns", v)
+	}
+}
+
+// printTrace prints the tail of the trace ring.
+func printTrace(w io.Writer, rs *imfant.Ruleset, tail int) {
+	evs := rs.TraceEvents()
+	if len(evs) > tail {
+		evs = evs[len(evs)-tail:]
+	}
+	fmt.Fprintf(w, "\nlast %d trace events:\n", len(evs))
+	for _, ev := range evs {
+		fmt.Fprintf(w, "  #%-6d %-13s automaton=%d rule=%d offset=%d value=%d\n",
+			ev.Seq, ev.Kind, ev.Automaton, ev.Rule, ev.Offset, ev.Value)
+	}
+}
+
+func writeFile(path string, render func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := render(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

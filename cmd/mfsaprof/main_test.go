@@ -1,0 +1,102 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writePatterns(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "rules.txt")
+	content := "# test rules\nGET /admin\ncmd\\.exe\n(GET|POST) /api\nxyz+\n\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunReport(t *testing.T) {
+	dir := t.TempDir()
+	cfg := config{
+		patterns:  writePatterns(t),
+		dsAbbr:    "BRO",
+		size:      32 << 10,
+		reps:      3,
+		top:       5,
+		engine:    "auto",
+		keep:      true,
+		dot:       filepath.Join(dir, "heat.dot"),
+		svg:       filepath.Join(dir, "latency.svg"),
+		automaton: 0,
+		trace:     64,
+	}
+	var out strings.Builder
+	if err := run(cfg, &out); err != nil {
+		t.Fatal(err)
+	}
+	report := out.String()
+	for _, want := range []string{
+		"execution profile", "scan latency:", "active set:",
+		"hot states", "top rules by absorbed visits", "trace events",
+	} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+	dot, err := os.ReadFile(cfg.dot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(dot), "digraph mfsa_heat") || !strings.Contains(string(dot), "fillcolor") {
+		t.Errorf("heat DOT missing shading:\n%.400s", dot)
+	}
+	svg, err := os.ReadFile(cfg.svg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(svg), "<svg") {
+		t.Errorf("latency SVG not rendered:\n%.200s", svg)
+	}
+}
+
+func TestRunRequiresInput(t *testing.T) {
+	if err := run(config{}, &strings.Builder{}); err == nil {
+		t.Fatal("run without -patterns/-anml should fail")
+	}
+	if err := run(config{patterns: writePatterns(t)}, &strings.Builder{}); err == nil {
+		t.Fatal("run without -stream/-dataset should fail")
+	}
+}
+
+func TestSharesSumToOne(t *testing.T) {
+	cfg := config{
+		patterns: writePatterns(t),
+		dsAbbr:   "DS9",
+		size:     16 << 10,
+		reps:     2,
+		top:      0,
+		engine:   "imfant",
+	}
+	rs, err := compileRuleset(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := loadStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := rs.NewScanner()
+	for rep := 0; rep < cfg.reps; rep++ {
+		sc.Count(in)
+	}
+	p := rs.Profile()
+	var sum float64
+	for _, h := range p.HotStates(0) {
+		sum += h.Share
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("visit shares sum to %f, want ~1.0", sum)
+	}
+}

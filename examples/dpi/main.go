@@ -166,4 +166,33 @@ func main() {
 		}
 	}
 	fmt.Printf("  hottest rule: %d (%s) with %d hits\n", hot, signatures[hot], hits)
+
+	// Execution profiling: recompile with the sampling profiler on and ask
+	// where the merged automaton actually spends its time. Hot states shared
+	// by many rules are the merging payoff; a hot state owned by one rule is
+	// that rule's own cost. The same report drives cmd/mfsaprof's heat maps.
+	fmt.Println("\nexecution profile over the same traffic (stride 64):")
+	prs := imfant.MustCompile(signatures, imfant.Options{
+		Engine:      imfant.EngineLazyDFA,
+		KeepOnMatch: true,
+		Profile:     true,
+	})
+	psc := prs.NewScanner()
+	for i := 0; i < 3; i++ {
+		psc.Count(traffic)
+	}
+	p := prs.Profile()
+	fmt.Printf("  scan latency: p50=%v p99=%v (%d scans)\n",
+		time.Duration(p.ScanLatency.Percentile(0.50)).Round(time.Microsecond),
+		time.Duration(p.ScanLatency.Percentile(0.99)).Round(time.Microsecond),
+		p.ScanLatency.Count())
+	fmt.Println("  top 5 hot states:")
+	for _, h := range p.HotStates(5) {
+		fmt.Printf("    state %-5d %5.1f%% of visits, shared by %d rules\n",
+			h.State, 100*h.Share, len(h.Rules))
+	}
+	fmt.Println("  top 5 rules by absorbed automaton time:")
+	for _, rh := range p.HotRules(5) {
+		fmt.Printf("    rule %-3d %5.1f%%  %s\n", rh.Rule, 100*rh.Share, rh.Pattern)
+	}
 }

@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/anml"
 	"repro/internal/engine"
+	"repro/internal/hist"
 	"repro/internal/lazydfa"
 	"repro/internal/metrics"
 	"repro/internal/mfsa"
@@ -81,6 +82,24 @@ type Options struct {
 	// keep compilation of hostile rulesets bounded; set a field negative
 	// to disable that check.
 	Limits Limits
+	// Profile enables the sampling execution profiler: per-state visit
+	// counts attributed to rules through the belonging sets, scan and
+	// stream-chunk latency histograms, and active-set size distributions,
+	// all readable via Ruleset.Profile and the Stats().Profile section.
+	// Sampling happens once every ProfileStride input bytes outside the
+	// per-byte hot loops; with Profile off the engines pay a single nil
+	// check per chunk and Profile() returns nil.
+	Profile bool
+	// ProfileStride is the symbol-sampling stride of the profiler; 0
+	// selects the default (64). Smaller strides sharpen the heat map at a
+	// proportional sampling cost. Ignored when Profile is false.
+	ProfileStride int
+	// TraceCapacity, when positive, enables the structured trace ring:
+	// the most recent TraceCapacity events (scan begin/end, matches, lazy
+	// flush/fallback, stream end) are retained and readable via
+	// Ruleset.TraceEvents; SetTraceSink observes every event live.
+	// Tracing is independent of Profile.
+	TraceCapacity int
 }
 
 // Match is one reported match.
@@ -115,6 +134,12 @@ type Ruleset struct {
 	comp      metrics.Compression
 	opts      Options
 	collector *telemetry.Collector
+
+	// Profiling state; all nil/absent when Options.Profile is false.
+	profiles []*engine.Profile // per-program sampled state heat
+	scanLat  *hist.Histogram   // per-scan wall-clock latency, ns
+	chunkLat *hist.Histogram   // per-StreamMatcher.Write latency, ns
+	trace    *telemetry.TraceRing
 }
 
 // useLazy reports whether scans run on the lazy-DFA engine.
@@ -145,6 +170,26 @@ func (rs *Ruleset) buildEngines() {
 		rs.collector.EnableLazy(len(rs.programs),
 			lazydfa.ResolveMaxStates(rs.opts.LazyDFAMaxStates), classes)
 	}
+	if rs.opts.Profile {
+		rs.profiles = make([]*engine.Profile, len(rs.programs))
+		for i, p := range rs.programs {
+			rs.profiles[i] = engine.NewProfile(p, rs.opts.ProfileStride)
+		}
+		rs.scanLat = new(hist.Histogram)
+		rs.chunkLat = new(hist.Histogram)
+		rs.collector.SetProfileFunc(rs.profileStats)
+	}
+	if rs.opts.TraceCapacity > 0 {
+		rs.trace = telemetry.NewTraceRing(rs.opts.TraceCapacity)
+	}
+}
+
+// profileOf returns automaton i's profile, nil when profiling is off.
+func (rs *Ruleset) profileOf(i int) *engine.Profile {
+	if rs.profiles == nil {
+		return nil
+	}
+	return rs.profiles[i]
 }
 
 // Compile builds a Ruleset from POSIX ERE patterns. Compilation runs under
@@ -469,13 +514,40 @@ type scanResult struct {
 func (s *Scanner) run(ctx context.Context, input []byte, fn func(Match)) ([]scanResult, error) {
 	rs := s.rs
 	check := checkpointOf(ctx)
+	if rs.scanLat != nil {
+		defer func(t0 time.Time) { rs.scanLat.Record(time.Since(t0).Nanoseconds()) }(time.Now())
+	}
 	out := make([]scanResult, 0, len(rs.programs))
+	if rs.trace != nil {
+		rs.trace.Record(telemetry.Event{Kind: telemetry.EventScanBegin,
+			Automaton: -1, Rule: -1, Offset: -1, Value: int64(len(input))})
+		defer func() {
+			var total int64
+			for _, res := range out {
+				total += res.matches
+			}
+			rs.trace.Record(telemetry.Event{Kind: telemetry.EventScanEnd,
+				Automaton: -1, Rule: -1, Offset: -1, Value: total})
+		}()
+	}
 	for i, p := range rs.programs {
 		var onMatch func(fsa, end int)
+		rules := p.Rules()
 		if fn != nil {
-			rules := p.Rules()
 			onMatch = func(fsa, end int) {
 				fn(Match{Rule: rules[fsa].RuleID, Pattern: rules[fsa].Pattern, End: end})
+			}
+		}
+		if rs.trace != nil {
+			inner := onMatch
+			automaton := i
+			onMatch = func(fsa, end int) {
+				rs.trace.Record(telemetry.Event{Kind: telemetry.EventMatch,
+					Automaton: int32(automaton), Rule: int32(rules[fsa].RuleID),
+					Offset: int64(end), Value: 1})
+				if inner != nil {
+					inner(fsa, end)
+				}
 			}
 		}
 		if s.lazies != nil {
@@ -484,6 +556,7 @@ func (s *Scanner) run(ctx context.Context, input []byte, fn func(Match)) ([]scan
 				MaxStates:   rs.opts.LazyDFAMaxStates,
 				OnMatch:     onMatch,
 				Checkpoint:  check,
+				Profile:     rs.profileOf(i),
 			})
 			s.record(p, res.Matches, int64(res.Symbols), res.PerFSA)
 			var thrash int64
@@ -492,6 +565,16 @@ func (s *Scanner) run(ctx context.Context, input []byte, fn func(Match)) ([]scan
 			}
 			rs.collector.AddLazyScan(res.CacheHits, res.CacheMisses, int64(res.Flushes), thrash)
 			rs.collector.SetCachedStates(i, int64(res.CachedStates))
+			if rs.trace != nil {
+				if res.Flushes > 0 {
+					rs.trace.Record(telemetry.Event{Kind: telemetry.EventLazyFlush,
+						Automaton: int32(i), Rule: -1, Offset: -1, Value: int64(res.Flushes)})
+				}
+				if res.FellBack {
+					rs.trace.Record(telemetry.Event{Kind: telemetry.EventLazyFallback,
+						Automaton: int32(i), Rule: -1, Offset: -1, Value: thrash})
+				}
+			}
 			out = append(out, scanResult{matches: res.Matches, perFSA: res.PerFSA})
 			if err := s.lazies[i].Err(); err != nil {
 				return out, err
@@ -501,6 +584,7 @@ func (s *Scanner) run(ctx context.Context, input []byte, fn func(Match)) ([]scan
 				KeepOnMatch: rs.opts.KeepOnMatch,
 				OnMatch:     onMatch,
 				Checkpoint:  check,
+				Profile:     rs.profileOf(i),
 			})
 			s.record(p, res.Matches, int64(res.Symbols), res.PerFSA)
 			out = append(out, scanResult{matches: res.Matches, perFSA: res.PerFSA})
@@ -545,6 +629,10 @@ func (rs *Ruleset) CountParallel(input []byte, threads int) (int64, error) {
 // context's error.
 func (rs *Ruleset) CountParallelContext(ctx context.Context, input []byte, threads int) (int64, error) {
 	cfg := engine.Config{KeepOnMatch: rs.opts.KeepOnMatch, Checkpoint: checkpointOf(ctx)}
+	if rs.profiles != nil {
+		cfg.ProfileFor = rs.profileOf
+		defer func(t0 time.Time) { rs.scanLat.Record(time.Since(t0).Nanoseconds()) }(time.Now())
+	}
 	results, err := engine.RunParallel(rs.programs, input, threads, cfg)
 	for i, res := range results {
 		rs.collector.AddScans(1)

@@ -89,6 +89,9 @@ func runOne(i int, p *Program, input []byte, cfg Config) (res Result, err error)
 			err = &WorkerPanicError{Automaton: i, Value: v, Stack: debug.Stack()}
 		}
 	}()
+	if cfg.ProfileFor != nil {
+		cfg.Profile = cfg.ProfileFor(i)
+	}
 	pprof.Do(context.Background(), pprof.Labels("mfsa_automaton", strconv.Itoa(i)), func(context.Context) {
 		r := NewRunner(p)
 		res = r.Run(input, cfg)

@@ -1,0 +1,177 @@
+package engine
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/pipeline"
+)
+
+// profProgram compiles a small merged ruleset for profiler tests.
+func profProgram(t *testing.T) *Program {
+	t.Helper()
+	out, _, err := pipeline.Run(pipeline.Request{
+		Patterns: []string{"abc", "abd", "a[bx]e", "xyz+", "hello$"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.MFSAs) != 1 {
+		t.Fatalf("want 1 MFSA, got %d", len(out.MFSAs))
+	}
+	return NewProgram(out.MFSAs[0])
+}
+
+func profInput(n int) []byte {
+	rng := rand.New(rand.NewSource(3))
+	words := []string{"abc", "abd", "abe", "xyzzz", "hello", "noise", " ", "ab", "xy"}
+	var b bytes.Buffer
+	for b.Len() < n {
+		b.WriteString(words[rng.Intn(len(words))])
+	}
+	return b.Bytes()[:n]
+}
+
+// TestProfileInvariance pins the profiler's zero-interference contract:
+// profiled and unprofiled runs report identical results and events, whole
+// vs chunked feeding samples the same byte positions, and the sample count
+// matches the stride arithmetic.
+func TestProfileInvariance(t *testing.T) {
+	p := profProgram(t)
+	in := profInput(10_000)
+	base := Matches(p, in, Config{KeepOnMatch: true})
+
+	pr := NewProfile(p, 64)
+	var got []MatchEvent
+	r := NewRunner(p)
+	r.Run(in, Config{KeepOnMatch: true, Profile: pr,
+		OnMatch: func(fsa, end int) { got = append(got, MatchEvent{FSA: fsa, End: end}) }})
+	if len(got) != len(base) {
+		t.Fatalf("profiled run: %d events, unprofiled %d", len(got), len(base))
+	}
+	for i := range got {
+		if got[i] != base[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, got[i], base[i])
+		}
+	}
+	if want := int64(len(in) / 64); pr.Samples() != want {
+		t.Fatalf("samples = %d, want %d", pr.Samples(), want)
+	}
+	var visits int64
+	for _, v := range pr.Visits() {
+		visits += v
+	}
+	if visits == 0 {
+		t.Fatal("no state visits recorded on a matching input")
+	}
+	if pr.ActivePairs().Count != pr.Samples() {
+		t.Fatalf("active-pairs histogram count %d != samples %d",
+			pr.ActivePairs().Count, pr.Samples())
+	}
+
+	// Chunked feeding with ragged chunk sizes samples identically.
+	pr2 := NewProfile(p, 64)
+	r2 := NewRunner(p)
+	r2.Begin(Config{KeepOnMatch: true, Profile: pr2})
+	rng := rand.New(rand.NewSource(9))
+	rest := in
+	for len(rest) > 0 {
+		n := 1 + rng.Intn(300)
+		if n > len(rest) {
+			n = len(rest)
+		}
+		r2.Feed(rest[:n], n == len(rest))
+		rest = rest[n:]
+	}
+	r2.End()
+	v1, v2 := pr.Visits(), pr2.Visits()
+	for q := range v1 {
+		if v1[q] != v2[q] {
+			t.Fatalf("state %d: whole-feed visits %d != chunked visits %d", q, v1[q], v2[q])
+		}
+	}
+}
+
+// TestProfileRuleAttribution checks the bel/R ownership map: every state
+// with sampled visits must be owned by at least one rule, and each owner
+// list must be a subset of the compiled rule ids.
+func TestProfileRuleAttribution(t *testing.T) {
+	p := profProgram(t)
+	in := profInput(8_192)
+	pr := NewProfile(p, 32)
+	NewRunner(p).Run(in, Config{KeepOnMatch: true, Profile: pr})
+
+	valid := map[int]bool{}
+	for _, ri := range p.Rules() {
+		valid[ri.RuleID] = true
+	}
+	for q, v := range pr.Visits() {
+		if v == 0 {
+			continue
+		}
+		rules := p.StateRules(q)
+		if len(rules) == 0 {
+			t.Fatalf("visited state %d has no owning rules", q)
+		}
+		for _, id := range rules {
+			if !valid[id] {
+				t.Fatalf("state %d attributed to unknown rule %d", q, id)
+			}
+		}
+	}
+	// Per-FSA activity must be consistent with the visit mass: total FSA
+	// activity counts (state, FSA) pairs, which is at least the visit
+	// count of any single sample and equals the histogram's sum.
+	var act int64
+	for _, n := range pr.FSAActive() {
+		act += n
+	}
+	if act != pr.ActivePairs().Sum {
+		t.Fatalf("FSA activity %d != active-pairs histogram sum %d", act, pr.ActivePairs().Sum)
+	}
+}
+
+// TestProfileStrideDefault checks stride resolution.
+func TestProfileStrideDefault(t *testing.T) {
+	p := profProgram(t)
+	if got := NewProfile(p, 0).Stride(); got != DefaultProfileStride {
+		t.Fatalf("stride = %d, want %d", got, DefaultProfileStride)
+	}
+	if got := NewProfile(p, 7).Stride(); got != 7 {
+		t.Fatalf("stride = %d, want 7", got)
+	}
+}
+
+// TestProfileParallel exercises ProfileFor: concurrent workers share
+// per-automaton profiles without races and the visit mass lands on the
+// right automaton's profile.
+func TestProfileParallel(t *testing.T) {
+	out, _, err := pipeline.Run(pipeline.Request{
+		Patterns: []string{"abc", "abd", "xyz", "hello"},
+		Merge:    2, // two automata
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	programs := make([]*Program, len(out.MFSAs))
+	profs := make([]*Profile, len(out.MFSAs))
+	for i, z := range out.MFSAs {
+		programs[i] = NewProgram(z)
+		profs[i] = NewProfile(programs[i], 16)
+	}
+	in := profInput(4_096)
+	for rep := 0; rep < 4; rep++ {
+		if _, err := RunParallel(programs, in, 2, Config{
+			KeepOnMatch: true,
+			ProfileFor:  func(i int) *Profile { return profs[i] },
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, pr := range profs {
+		if pr.Samples() != int64(4*len(in)/16) {
+			t.Fatalf("automaton %d: samples = %d, want %d", i, pr.Samples(), 4*len(in)/16)
+		}
+	}
+}

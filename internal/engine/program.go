@@ -45,6 +45,12 @@ type Program struct {
 
 	hasInit []bool // quick test: any init bit at state q
 
+	// owners[q·words+w]: FSAs whose compiled paths traverse state q — the
+	// union of bel over the transitions incident to q plus q's init and
+	// final memberships. This is the COO bel/R mapping the profiler uses
+	// to attribute per-state heat back to rule ids.
+	owners []uint64
+
 	// classOf maps every input byte to its alphabet equivalence class:
 	// bytes of one class are contained in exactly the same transition
 	// labels, hence enable identical transition lists. numClasses is the
@@ -122,7 +128,46 @@ func NewProgram(z *mfsa.MFSA) *Program {
 	for i := range p.initAll {
 		p.initAll[i] = p.initAlways[i] | p.initAtZero[i]
 	}
+	p.owners = make([]uint64, z.NumStates*w)
+	for q := 0; q < z.NumStates; q++ {
+		base := q * w
+		for i := 0; i < w; i++ {
+			p.owners[base+i] = p.initAll[base+i] | p.finalMask[base+i]
+		}
+	}
+	for i := range p.trans {
+		t := &p.trans[i]
+		for w2 := 0; w2 < w; w2++ {
+			b := p.bel[i*w+w2]
+			p.owners[int(t.from)*w+w2] |= b
+			p.owners[int(t.to)*w+w2] |= b
+		}
+	}
 	return p
+}
+
+// StateFSAMask returns the set of merged FSAs whose compiled paths
+// traverse state q, as a Words-wide bitset: the union of the belonging
+// sets of q's incident transitions plus q's init/final memberships. It is
+// the static rule-attribution map of the profiler — a state hot at run
+// time is shared by exactly these FSAs.
+func (p *Program) StateFSAMask(q int) []uint64 {
+	return p.owners[q*p.words : (q+1)*p.words]
+}
+
+// StateRules returns the rule ids attributed to state q (see
+// StateFSAMask), in ascending FSA order.
+func (p *Program) StateRules(q int) []int {
+	var out []int
+	for w, m := range p.StateFSAMask(q) {
+		for ; m != 0; m &= m - 1 {
+			fsa := w<<6 + trailingZeros(m)
+			if fsa < len(p.rules) {
+				out = append(out, p.rules[fsa].RuleID)
+			}
+		}
+	}
+	return out
 }
 
 // NumStates returns the number of automaton states.

@@ -26,6 +26,16 @@ type Config struct {
 	// CheckpointEvery is the polling granularity of Checkpoint in bytes;
 	// 0 selects DefaultCheckpointEvery.
 	CheckpointEvery int
+	// Profile, when non-nil, enables the sampling state profiler: every
+	// Profile.Stride() input symbols the live activation vector is folded
+	// into the shared Profile. Sampling happens at stride-block
+	// boundaries outside the per-byte loop; a nil Profile costs one
+	// branch per fed chunk.
+	Profile *Profile
+	// ProfileFor, when non-nil, supplies RunParallel workers with the
+	// per-automaton Profile (Profile itself is per-program). Ignored by
+	// single-runner execution — set Profile directly there.
+	ProfileFor func(automaton int) *Profile
 }
 
 // DefaultCheckpointEvery is the default Checkpoint polling granularity. At
@@ -124,8 +134,9 @@ type Runner struct {
 	held    [1]byte
 	hasHeld bool
 
-	ended  bool // End already folded this scan into totals
-	totals Totals
+	ended    bool // End already folded this scan into totals
+	profFill int  // symbols fed since the last profiler sample
+	totals   Totals
 }
 
 // NewRunner returns an execution context for p.
@@ -162,6 +173,7 @@ func (r *Runner) Begin(cfg Config) {
 	r.stop = nil
 	r.hasHeld = false
 	r.ended = false
+	r.profFill = 0
 	r.cur.reset(W)
 	r.nxt.reset(W)
 }
@@ -249,8 +261,20 @@ func (r *Runner) feedSplit(chunk []byte, final bool) {
 // Err returns the Checkpoint error that cancelled the scan, if any.
 func (r *Runner) Err() error { return r.stop }
 
-// feedChunk is the uninterruptible Feed body.
+// feedChunk is the uninterruptible Feed body. Profiled scans route through
+// feedProfiled, which replays the same body in stride-sized blocks; with
+// profiling off this is one predictable branch per chunk, leaving the
+// per-byte loops untouched.
 func (r *Runner) feedChunk(chunk []byte, final bool) {
+	if r.cfg.Profile != nil {
+		r.feedProfiled(chunk, final)
+		return
+	}
+	r.feedBody(chunk, final)
+}
+
+// feedBody dispatches to the word-width-specialized traversal loop.
+func (r *Runner) feedBody(chunk []byte, final bool) {
 	p := r.p
 	W := p.words
 	if W == 1 {

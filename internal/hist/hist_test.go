@@ -1,0 +1,232 @@
+package hist
+
+import (
+	"encoding/json"
+	"math"
+	"math/bits"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+func TestBucketBounds(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{math.MinInt64, 0}, {-1, 0}, {0, 0},
+		{1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{1 << 62, 63}, {math.MaxInt64, 63},
+	}
+	for _, c := range cases {
+		got := bucketOf(c.v)
+		if got != c.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.v, got, c.want)
+		}
+		lo, hi := BucketBounds(got)
+		if c.v > 0 && (c.v < lo || c.v > hi) {
+			t.Errorf("value %d outside its bucket bounds [%d, %d]", c.v, lo, hi)
+		}
+	}
+	// Buckets tile the positive range with no gaps or overlaps.
+	for i := 1; i < NumBuckets; i++ {
+		lo, _ := BucketBounds(i)
+		_, prevHi := BucketBounds(i - 1)
+		if i > 1 && lo != prevHi+1 {
+			t.Errorf("bucket %d starts at %d, previous ends at %d", i, lo, prevHi)
+		}
+	}
+}
+
+func TestRecordBasics(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{0, 1, math.MaxInt64, -5, 1000} {
+		h.Record(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 5 {
+		t.Fatalf("count = %d, want 5", s.Count)
+	}
+	if s.Max != math.MaxInt64 {
+		t.Fatalf("max = %d, want MaxInt64", s.Max)
+	}
+	if s.Buckets[0] != 2 { // 0 and -5
+		t.Fatalf("bucket 0 = %d, want 2", s.Buckets[0])
+	}
+	if got := h.Count(); got != 5 {
+		t.Fatalf("Count() = %d, want 5", got)
+	}
+}
+
+// TestPercentileOracle checks percentile estimates against a sorted-slice
+// oracle: the estimate must land in the same log2 bucket as the exact
+// order statistic (the documented 2× error bound).
+func TestPercentileOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	dists := map[string]func() int64{
+		"uniform":   func() int64 { return rng.Int63n(1 << 20) },
+		"exp":       func() int64 { return int64(rng.ExpFloat64() * 50000) },
+		"bimodal":   func() int64 { return []int64{100, 1 << 30}[rng.Intn(2)] },
+		"constant":  func() int64 { return 4242 },
+		"wide":      func() int64 { return rng.Int63() },
+		"withZeros": func() int64 { return rng.Int63n(4) - 1 },
+	}
+	for name, gen := range dists {
+		var h Histogram
+		vals := make([]int64, 5000)
+		for i := range vals {
+			vals[i] = gen()
+			h.Record(vals[i])
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		s := h.Snapshot()
+		for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 0.999, 1} {
+			rank := int(q*float64(len(vals)) + 0.5)
+			if rank < 1 {
+				rank = 1
+			}
+			if rank > len(vals) {
+				rank = len(vals)
+			}
+			exact := vals[rank-1]
+			got := s.Percentile(q)
+			if bucketOf(got) != bucketOf(exact) {
+				t.Errorf("%s: p%g = %d (bucket %d), oracle %d (bucket %d)",
+					name, 100*q, got, bucketOf(got), exact, bucketOf(exact))
+			}
+			if got > s.Max {
+				t.Errorf("%s: p%g = %d exceeds max %d", name, 100*q, got, s.Max)
+			}
+		}
+	}
+}
+
+// TestMerge checks that merging two snapshots is observation-equivalent to
+// recording everything into one histogram.
+func TestMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var a, b, all Histogram
+	for i := 0; i < 3000; i++ {
+		v := rng.Int63n(1 << 40)
+		if i%2 == 0 {
+			a.Record(v)
+		} else {
+			b.Record(v)
+		}
+		all.Record(v)
+	}
+	m := a.Snapshot()
+	m.Merge(b.Snapshot())
+	want := all.Snapshot()
+	if m != want {
+		t.Fatalf("merged snapshot differs from direct recording:\nmerged: %+v\ndirect: %+v", m, want)
+	}
+	for _, q := range []float64{0.5, 0.99} {
+		if m.Percentile(q) != want.Percentile(q) {
+			t.Fatalf("p%g differs after merge", 100*q)
+		}
+	}
+}
+
+// TestConcurrentRecordSnapshot hammers one histogram from many goroutines
+// while snapshots are taken, under -race. Final counts must be exact.
+func TestConcurrentRecordSnapshot(t *testing.T) {
+	var h Histogram
+	const workers, perWorker = 8, 20000
+	var writers, reader sync.WaitGroup
+	stop := make(chan struct{})
+	reader.Add(1)
+	go func() { // concurrent reader: snapshots must stay internally sane
+		defer reader.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := h.Snapshot()
+			var bsum int64
+			for _, b := range s.Buckets {
+				bsum += b
+			}
+			if s.Count > bsum {
+				t.Errorf("snapshot count %d exceeds bucket mass %d", s.Count, bsum)
+				return
+			}
+			_ = s.Percentile(0.99)
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		writers.Add(1)
+		go func(seed int64) {
+			defer writers.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < perWorker; i++ {
+				h.Record(rng.Int63n(1 << 30))
+			}
+		}(int64(w))
+	}
+	writers.Wait()
+	close(stop)
+	reader.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*perWorker {
+		t.Fatalf("count = %d, want %d", s.Count, workers*perWorker)
+	}
+}
+
+func TestSnapshotJSON(t *testing.T) {
+	var h Histogram
+	h.Record(42)
+	b, err := json.Marshal(h.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(b) {
+		t.Fatalf("invalid JSON: %s", b)
+	}
+}
+
+// FuzzRecord exercises bucket-boundary values: recording any int64 must
+// keep the histogram internally consistent and percentiles within bounds.
+func FuzzRecord(f *testing.F) {
+	f.Add(int64(0), int64(1), int64(math.MaxInt64))
+	f.Add(int64(-1), int64(math.MinInt64), int64(2))
+	f.Add(int64(1<<62), int64(1<<62-1), int64(1<<62+1))
+	f.Add(int64(255), int64(256), int64(257))
+	f.Fuzz(func(t *testing.T, a, b, c int64) {
+		var h Histogram
+		for _, v := range []int64{a, b, c} {
+			h.Record(v)
+			if v > 0 {
+				lo, hi := BucketBounds(bucketOf(v))
+				if v < lo || v > hi {
+					t.Fatalf("value %d outside bucket [%d, %d]", v, lo, hi)
+				}
+			} else if bucketOf(v) != 0 {
+				t.Fatalf("non-positive %d not in bucket 0", v)
+			}
+		}
+		s := h.Snapshot()
+		if s.Count != 3 {
+			t.Fatalf("count = %d, want 3", s.Count)
+		}
+		var bsum int64
+		for _, n := range s.Buckets {
+			bsum += n
+		}
+		if bsum != 3 {
+			t.Fatalf("bucket mass = %d, want 3", bsum)
+		}
+		for _, q := range []float64{0, 0.5, 1} {
+			p := s.Percentile(q)
+			if p < 0 || p > s.Max {
+				t.Fatalf("p%g = %d outside [0, max=%d]", 100*q, p, s.Max)
+			}
+			if p > 0 && bits.Len64(uint64(p)) > bits.Len64(uint64(s.Max)) {
+				t.Fatalf("p%g bucket above max bucket", 100*q)
+			}
+		}
+	})
+}

@@ -77,6 +77,15 @@ type Config struct {
 	// CheckpointEvery is the polling granularity of Checkpoint in bytes;
 	// 0 selects engine.DefaultCheckpointEvery.
 	CheckpointEvery int
+	// Profile, when non-nil, enables the sampling state profiler: every
+	// Profile.Stride() input symbols the current cached state's
+	// activation vector is folded into the shared Profile, attributing
+	// heat to the underlying MFSA states. The iMFAnt fallback (and the
+	// pop-mode delegate) inherit the Profile, so a scan is profiled end
+	// to end regardless of which engine finishes it. Sampling happens at
+	// stride-block boundaries outside the per-byte loop; a nil Profile
+	// costs one branch per fed chunk.
+	Profile *engine.Profile
 }
 
 // Result aggregates one scan.
@@ -218,6 +227,7 @@ type Runner struct {
 	// cheaper and leaves no half-stale table behind.
 	thrashed bool
 	ended    bool // End already folded this scan into totals
+	profFill int  // symbols fed since the last profiler sample
 	// cachedSymbols counts bytes executed through the cached hot loop
 	// this scan (chunk granularity); CacheHits = cachedSymbols − misses.
 	cachedSymbols int64
@@ -270,6 +280,7 @@ func (r *Runner) Begin(cfg Config) {
 	r.hasHeld = false
 	r.ended = false
 	r.cachedSymbols = 0
+	r.profFill = 0
 	r.fb = nil
 	r.fbSeenEnd = -1
 	for i := range r.fbSeen {
@@ -282,7 +293,7 @@ func (r *Runner) Begin(cfg Config) {
 		// (per-final-state multiplicity included).
 		r.res.FellBack = true
 		r.fb = engine.NewRunner(r.m.p)
-		r.fb.Begin(engine.Config{KeepOnMatch: false, OnMatch: r.emitOne})
+		r.fb.Begin(engine.Config{KeepOnMatch: false, OnMatch: r.emitOne, Profile: cfg.Profile})
 	}
 }
 
@@ -372,8 +383,54 @@ func (r *Runner) feedSplit(chunk []byte, final bool) {
 // Err returns the Checkpoint error that cancelled the scan, if any.
 func (r *Runner) Err() error { return r.stop }
 
-// feedChunk is the uninterruptible Feed body.
+// feedChunk is the uninterruptible Feed body. Profiled scans on the cached
+// path route through feedProfiled, which replays the same body in
+// stride-sized blocks; once the scan is on an engine fallback the fallback
+// runner profiles itself (its Config carries the same Profile).
 func (r *Runner) feedChunk(chunk []byte, final bool) {
+	if r.cfg.Profile != nil && r.fb == nil {
+		r.feedProfiled(chunk, final)
+		return
+	}
+	r.feedBody(chunk, final)
+}
+
+// feedProfiled feeds chunk through the unmodified hot loop in stride-sized
+// blocks and samples the current cached state's activation vector at each
+// block boundary, attributing heat to the underlying MFSA states. Partial
+// strides carry across chunks via profFill.
+func (r *Runner) feedProfiled(chunk []byte, final bool) {
+	pr := r.cfg.Profile
+	stride := pr.Stride()
+	for {
+		n := stride - r.profFill
+		if n > len(chunk) {
+			r.feedBody(chunk, final)
+			r.profFill += len(chunk)
+			return
+		}
+		blockFinal := final && n == len(chunk)
+		r.feedBody(chunk[:n], blockFinal)
+		chunk = chunk[n:]
+		if r.stop != nil {
+			return
+		}
+		if r.fb != nil {
+			// Fell back mid-block: the engine runner profiles the rest.
+			r.feedBody(chunk, final)
+			return
+		}
+		r.profFill = 0
+		pr.SampleActivations(r.states[r.cur].acts)
+		if len(chunk) == 0 {
+			return
+		}
+	}
+}
+
+// feedBody executes one chunk on the cached path (or relays it to the
+// engine fallback).
+func (r *Runner) feedBody(chunk []byte, final bool) {
 	r.res.Symbols += len(chunk)
 	if r.fb != nil {
 		r.fb.Feed(chunk, final)
@@ -586,7 +643,8 @@ func (r *Runner) fallback(chunk []byte, pos int, final bool) {
 	r.res.Thrashed = true
 	r.thrashed = true
 	r.fb = engine.NewRunner(r.m.p)
-	r.fb.Resume(engine.Config{KeepOnMatch: true, OnMatch: r.emitDedup}, r.states[r.cur].acts, r.offset+pos)
+	r.fb.Resume(engine.Config{KeepOnMatch: true, OnMatch: r.emitDedup, Profile: r.cfg.Profile},
+		r.states[r.cur].acts, r.offset+pos)
 	r.fb.Feed(chunk[pos:], final)
 	r.flushPending()
 	r.offset += len(chunk)

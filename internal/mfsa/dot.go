@@ -45,6 +45,66 @@ func WriteDOT(w io.Writer, z *MFSA) error {
 	return err
 }
 
+// WriteDOTHeat renders the MFSA as a Graphviz digraph shaded by execution
+// heat: visits[q] is the profiler's sampled visit count for state q, and
+// each state is filled on a white→red ramp proportional to its share of
+// the hottest state's visits. State labels carry the absolute visit count
+// and the share of all visits, so the picture answers "where does the
+// automaton spend its time" at a glance. A nil or all-zero visits slice
+// degrades to an unshaded graph.
+func WriteDOTHeat(w io.Writer, z *MFSA, visits []int64) error {
+	var peak, total int64
+	for q := 0; q < z.NumStates && q < len(visits); q++ {
+		if visits[q] > peak {
+			peak = visits[q]
+		}
+		total += visits[q]
+	}
+	if _, err := fmt.Fprintf(w, "digraph mfsa_heat {\n  rankdir=LR;\n  node [fontsize=10, style=filled];\n  edge [fontsize=9];\n"); err != nil {
+		return err
+	}
+	for q := 0; q < z.NumStates; q++ {
+		shape := "circle"
+		if z.FinalMask[q].Any() {
+			shape = "doublecircle"
+		} else if z.InitMask[q].Any() {
+			shape = "diamond"
+		}
+		var v int64
+		if q < len(visits) {
+			v = visits[q]
+		}
+		label := fmt.Sprintf("%d", q)
+		fill := "#ffffff"
+		if peak > 0 && v > 0 {
+			// White→red ramp: the green/blue channels fade with heat.
+			cool := 255 - int(v*255/peak)
+			fill = fmt.Sprintf("#ff%02x%02x", cool, cool)
+			label += fmt.Sprintf("\\n%d (%.1f%%)", v, 100*float64(v)/float64(total))
+		}
+		font := "black"
+		if peak > 0 && v*2 > peak {
+			font = "white" // keep labels readable on the hottest fills
+		}
+		if _, err := fmt.Fprintf(w, "  n%d [shape=%s, fillcolor=\"%s\", fontcolor=%s, label=\"%s\"];\n",
+			q, shape, fill, font, label); err != nil {
+			return err
+		}
+	}
+	for i, t := range z.Trans {
+		style := ""
+		if z.Bel[i].Count() > 1 {
+			style = ", penwidth=2"
+		}
+		if _, err := fmt.Fprintf(w, "  n%d -> n%d [label=\"%s\"%s];\n",
+			t.From, t.To, escapeDOT(t.Label.String()), style); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}
+
 func escapeDOT(s string) string {
 	out := make([]byte, 0, len(s))
 	for i := 0; i < len(s); i++ {

@@ -95,6 +95,18 @@ func (c *BarChart) Render(w io.Writer) error {
 	return err
 }
 
+// Histogram builds a single-series bar chart from pre-bucketed counts —
+// the rendering used for the profiler's latency distributions, where the
+// buckets are log2 value ranges.
+func Histogram(title, yLabel string, labels []string, counts []float64) *BarChart {
+	return &BarChart{
+		Title:      title,
+		YLabel:     yLabel,
+		Categories: labels,
+		Series:     []Series{{Name: "count", Values: counts}},
+	}
+}
+
 // LineChart is a multi-series line chart over shared x positions.
 type LineChart struct {
 	Title  string

@@ -31,6 +31,56 @@ type Stats struct {
 	// Lazy holds lazy-DFA cache counters; nil when the lazy engine is
 	// not in use.
 	Lazy *LazyStats `json:"lazy,omitempty"`
+	// Profile holds the sampling profiler's aggregates; nil when
+	// profiling is off.
+	Profile *ProfileStats `json:"profile,omitempty"`
+}
+
+// ProfileStats is the profiler section of a snapshot: sampled state heat
+// attributed to rules, plus latency and active-set distributions.
+type ProfileStats struct {
+	// Stride is the symbol-sampling stride in effect (state heat is
+	// sampled once every Stride input bytes).
+	Stride int `json:"stride"`
+	// Samples counts sampling points taken across all scans.
+	Samples int64 `json:"samples"`
+	// ScanLatencyNS is the per-scan wall-clock latency distribution in
+	// nanoseconds; nil when no scan completed yet.
+	ScanLatencyNS *HistStats `json:"scan_latency_ns,omitempty"`
+	// ChunkLatencyNS is the per-stream-chunk (StreamMatcher.Write)
+	// latency distribution in nanoseconds; nil without stream traffic.
+	ChunkLatencyNS *HistStats `json:"chunk_latency_ns,omitempty"`
+	// ActivePairs is the distribution of active (state, FSA) pairs seen
+	// at sampling points — the live working-set size of the engine.
+	ActivePairs *HistStats `json:"active_pairs,omitempty"`
+	// HotStates lists the most-visited MFSA states with rule attribution,
+	// hottest first.
+	HotStates []HotStateStats `json:"hot_states,omitempty"`
+}
+
+// HistStats is the compact summary of one histogram.
+type HistStats struct {
+	Count int64   `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   int64   `json:"p50"`
+	P90   int64   `json:"p90"`
+	P99   int64   `json:"p99"`
+	Max   int64   `json:"max"`
+}
+
+// HotStateStats is one entry of the hot-state report.
+type HotStateStats struct {
+	// Automaton is the MFSA index within the ruleset.
+	Automaton int `json:"automaton"`
+	// State is the state id within that MFSA.
+	State int `json:"state"`
+	// Visits is the number of sampling points at which the state was
+	// active.
+	Visits int64 `json:"visits"`
+	// Share is Visits as a fraction of all state visits, in [0, 1].
+	Share float64 `json:"share"`
+	// Rules lists the rule ids whose compiled paths traverse the state.
+	Rules []int `json:"rules,omitempty"`
 }
 
 // LazyStats aggregates DFA-cache behaviour across all automata of a
@@ -87,6 +137,8 @@ type Collector struct {
 	flushes      atomic.Int64
 	fallbacks    atomic.Int64
 	cachedStates []atomic.Int64 // per-automaton gauge
+
+	profileFn atomic.Value // func() *ProfileStats
 }
 
 // NewCollector returns a Collector tracking numRules per-rule hit
@@ -151,6 +203,13 @@ func (c *Collector) SetCachedStates(automaton int, n int64) {
 	}
 }
 
+// SetProfileFunc installs fn as the producer of the snapshot's Profile
+// section. Snapshot calls it on every invocation; fn returning nil leaves
+// the section omitted. Safe for concurrent use with Snapshot.
+func (c *Collector) SetProfileFunc(fn func() *ProfileStats) {
+	c.profileFn.Store(fn)
+}
+
 // Snapshot returns a point-in-time copy of every counter. Counters are
 // read individually, so a snapshot taken during concurrent scans is
 // internally consistent per counter but not across counters.
@@ -180,6 +239,9 @@ func (c *Collector) Snapshot() Stats {
 			l.CachedStates += c.cachedStates[i].Load()
 		}
 		s.Lazy = l
+	}
+	if fn, ok := c.profileFn.Load().(func() *ProfileStats); ok && fn != nil {
+		s.Profile = fn()
 	}
 	return s
 }

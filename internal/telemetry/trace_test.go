@@ -1,0 +1,101 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestTraceRingOrderAndOverwrite(t *testing.T) {
+	r := NewTraceRing(4)
+	for i := 1; i <= 10; i++ {
+		r.Record(Event{Kind: EventMatch, Value: int64(i)})
+	}
+	if r.Recorded() != 10 {
+		t.Fatalf("recorded = %d, want 10", r.Recorded())
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		wantSeq := int64(7 + i)
+		if ev.Seq != wantSeq || ev.Value != wantSeq {
+			t.Fatalf("event %d: seq=%d value=%d, want %d (chronological tail)", i, ev.Seq, ev.Value, wantSeq)
+		}
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Nanos < evs[i-1].Nanos {
+			t.Fatalf("timestamps not monotone: %d then %d", evs[i-1].Nanos, evs[i].Nanos)
+		}
+	}
+}
+
+func TestTraceRingPartialFill(t *testing.T) {
+	r := NewTraceRing(8)
+	r.Record(Event{Kind: EventScanBegin})
+	r.Record(Event{Kind: EventScanEnd})
+	evs := r.Events()
+	if len(evs) != 2 || evs[0].Seq != 1 || evs[1].Seq != 2 {
+		t.Fatalf("partial fill: got %+v", evs)
+	}
+}
+
+func TestTraceRingSinkSeesOverwritten(t *testing.T) {
+	r := NewTraceRing(1)
+	var got []int64
+	r.SetSink(func(ev Event) { got = append(got, ev.Value) })
+	for i := 1; i <= 5; i++ {
+		r.Record(Event{Kind: EventMatch, Value: int64(i)})
+	}
+	if len(got) != 5 {
+		t.Fatalf("sink saw %d events, want all 5 despite capacity 1", len(got))
+	}
+	if evs := r.Events(); len(evs) != 1 || evs[0].Value != 5 {
+		t.Fatalf("ring kept %+v, want only the last event", evs)
+	}
+}
+
+func TestTraceRingConcurrent(t *testing.T) {
+	r := NewTraceRing(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Record(Event{Kind: EventMatch})
+				_ = r.Events()
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Recorded() != 8*500 {
+		t.Fatalf("recorded = %d, want %d", r.Recorded(), 8*500)
+	}
+	evs := r.Events()
+	if len(evs) != 64 {
+		t.Fatalf("retained %d, want 64", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq != evs[i-1].Seq+1 {
+			t.Fatalf("retained window not contiguous: seq %d after %d", evs[i].Seq, evs[i-1].Seq)
+		}
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	kinds := map[EventKind]string{
+		EventScanBegin:    "scan_begin",
+		EventScanEnd:      "scan_end",
+		EventMatch:        "match",
+		EventLazyFlush:    "lazy_flush",
+		EventLazyFallback: "lazy_fallback",
+		EventStreamEnd:    "stream_end",
+		EventKind(99):     "unknown",
+	}
+	for k, want := range kinds {
+		if got := k.String(); got != want {
+			t.Fatalf("kind %d: %q, want %q", k, got, want)
+		}
+	}
+}

@@ -34,6 +34,44 @@ type Stats struct {
 	// Lazy holds the lazy-DFA cache counters; nil when the ruleset runs
 	// on the iMFAnt engine.
 	Lazy *LazyStats `json:"lazy,omitempty"`
+	// Profile holds the sampling profiler's aggregates; nil when the
+	// ruleset was compiled without Options.Profile. Ruleset scope only —
+	// Scanner and StreamMatcher snapshots omit it (the profiler is shared
+	// ruleset-wide).
+	Profile *ProfileStats `json:"profile,omitempty"`
+}
+
+// ProfileStats is the profiler section of a stats snapshot: sampled state
+// heat attributed to rules, plus latency and active-set distributions.
+// For the full heat map use Ruleset.Profile.
+type ProfileStats struct {
+	// Stride is the symbol-sampling stride in effect.
+	Stride int `json:"stride"`
+	// Samples counts sampling points taken across all scans.
+	Samples int64 `json:"samples"`
+	// ScanLatencyNS summarizes per-scan wall-clock latency in
+	// nanoseconds; nil before the first completed scan.
+	ScanLatencyNS *HistStats `json:"scan_latency_ns,omitempty"`
+	// ChunkLatencyNS summarizes StreamMatcher.Write latency in
+	// nanoseconds; nil without stream traffic.
+	ChunkLatencyNS *HistStats `json:"chunk_latency_ns,omitempty"`
+	// ActivePairs summarizes the active (state, FSA) pair count at
+	// sampling points — the engine's live working-set size.
+	ActivePairs *HistStats `json:"active_pairs,omitempty"`
+	// HotStates lists the ten most-visited states with rule attribution,
+	// hottest first.
+	HotStates []HotState `json:"hot_states,omitempty"`
+}
+
+// HistStats is the compact summary of one profiled distribution.
+// Percentiles come from log2 buckets and are within 2× of exact.
+type HistStats struct {
+	Count int64   `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   int64   `json:"p50"`
+	P90   int64   `json:"p90"`
+	P99   int64   `json:"p99"`
+	Max   int64   `json:"max"`
 }
 
 // LazyStats aggregates transition-cache behaviour across the automata of a
@@ -94,7 +132,32 @@ func statsFrom(t telemetry.Stats) Stats {
 			Fallbacks:    t.Lazy.Fallbacks,
 		}
 	}
+	if t.Profile != nil {
+		p := &ProfileStats{
+			Stride:         t.Profile.Stride,
+			Samples:        t.Profile.Samples,
+			ScanLatencyNS:  histStatsFrom(t.Profile.ScanLatencyNS),
+			ChunkLatencyNS: histStatsFrom(t.Profile.ChunkLatencyNS),
+			ActivePairs:    histStatsFrom(t.Profile.ActivePairs),
+		}
+		for _, h := range t.Profile.HotStates {
+			p.HotStates = append(p.HotStates, HotState{
+				Automaton: h.Automaton, State: h.State,
+				Visits: h.Visits, Share: h.Share, Rules: h.Rules,
+			})
+		}
+		s.Profile = p
+	}
 	return s
+}
+
+// histStatsFrom converts the internal histogram summary; nil passes
+// through.
+func histStatsFrom(h *telemetry.HistStats) *HistStats {
+	if h == nil {
+		return nil
+	}
+	return &HistStats{Count: h.Count, Mean: h.Mean, P50: h.P50, P90: h.P90, P99: h.P99, Max: h.Max}
 }
 
 // Stats returns the ruleset-wide telemetry snapshot: the fold of every scan

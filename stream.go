@@ -3,9 +3,11 @@ package imfant
 import (
 	"context"
 	"io"
+	"time"
 
 	"repro/internal/engine"
 	"repro/internal/lazydfa"
+	"repro/internal/telemetry"
 )
 
 // StreamMatcher scans a stream incrementally: write chunks of any size and
@@ -89,11 +91,16 @@ func (rs *Ruleset) NewStreamMatcherContext(ctx context.Context, onMatch func(Mat
 				KeepOnMatch: rs.opts.KeepOnMatch,
 				MaxStates:   rs.opts.LazyDFAMaxStates,
 				OnMatch:     emit,
+				Profile:     rs.profileOf(i),
 			})
 			sm.lazies = append(sm.lazies, runner)
 		} else {
 			runner := engine.NewRunner(p)
-			runner.Begin(engine.Config{KeepOnMatch: rs.opts.KeepOnMatch, OnMatch: emit})
+			runner.Begin(engine.Config{
+				KeepOnMatch: rs.opts.KeepOnMatch,
+				OnMatch:     emit,
+				Profile:     rs.profileOf(i),
+			})
 			sm.engines = append(sm.engines, runner)
 		}
 	}
@@ -155,6 +162,9 @@ func (sm *StreamMatcher) Write(p []byte) (int, error) {
 	if err := sm.poll(); err != nil {
 		return 0, err
 	}
+	if sm.rs.chunkLat != nil {
+		defer func(t0 time.Time) { sm.rs.chunkLat.Record(time.Since(t0).Nanoseconds()) }(time.Now())
+	}
 	// The chunk is fed in checkpoint-sized blocks so a cancelled context
 	// stops consuming input promptly and the consumed-byte count stays
 	// exact. The runners themselves hold back the most recent byte until
@@ -199,6 +209,16 @@ func (sm *StreamMatcher) Close() error {
 		r.End()
 	}
 	sm.pushTelemetry()
+	if sm.rs.trace != nil {
+		var consumed int64
+		if len(sm.engines) > 0 {
+			consumed = sm.engines[0].Totals().Symbols
+		} else if len(sm.lazies) > 0 {
+			consumed = sm.lazies[0].Totals().Symbols
+		}
+		sm.rs.trace.Record(telemetry.Event{Kind: telemetry.EventStreamEnd,
+			Automaton: -1, Rule: -1, Offset: consumed, Value: sm.matches})
+	}
 	return sm.err
 }
 
