@@ -81,3 +81,71 @@ func writeBenchJSON(r *experiments.Runner, o experiments.Opts, name string) (str
 	}
 	return path, nil
 }
+
+// prefilterEntry is one (dataset, stream) measurement of the production
+// Options.Prefilter study, with the gating context a regression tracker
+// needs to interpret the speedup.
+type prefilterEntry struct {
+	// Benchmark names the measurement: prefilter/<dataset>/<hot|cold>.
+	Benchmark string `json:"benchmark"`
+	// Filterable / Rules is the factor coverage; Groups the MFSA count.
+	Filterable int `json:"filterable"`
+	Rules      int `json:"rules"`
+	Groups     int `json:"groups"`
+	// SkipRate is the fraction of (scan, group) executions elided.
+	SkipRate float64 `json:"skip_rate"`
+	// OffNsPerOp / OnNsPerOp are whole-ruleset scan latencies with the
+	// prefilter off and on; Speedup is their ratio.
+	OffNsPerOp int64   `json:"off_ns_per_op"`
+	OnNsPerOp  int64   `json:"on_ns_per_op"`
+	Speedup    float64 `json:"speedup"`
+}
+
+// writePrefilterJSON records the Options.Prefilter on/off comparison as
+// BENCH_prefilter.json, the regression-tracking artifact the CI run
+// archives next to BENCH_ci.json.
+func writePrefilterJSON(rows []prefilterRow, o experiments.Opts) (string, error) {
+	out := struct {
+		Name    string           `json:"name"`
+		Created string           `json:"created"`
+		Go      string           `json:"go"`
+		GOOS    string           `json:"goos"`
+		GOARCH  string           `json:"goarch"`
+		CPUs    int              `json:"cpus"`
+		Config  benchConfig      `json:"config"`
+		Results []prefilterEntry `json:"results"`
+	}{
+		Name:    "prefilter",
+		Created: time.Now().UTC().Format(time.RFC3339),
+		Go:      runtime.Version(),
+		GOOS:    runtime.GOOS,
+		GOARCH:  runtime.GOARCH,
+		CPUs:    runtime.NumCPU(),
+		Config:  benchConfig{StreamSize: o.StreamSize, Reps: o.Reps},
+	}
+	for _, row := range rows {
+		stream := "cold"
+		if row.HotStream {
+			stream = "hot"
+		}
+		out.Results = append(out.Results, prefilterEntry{
+			Benchmark:  fmt.Sprintf("prefilter/%s/%s", row.Abbr, stream),
+			Filterable: row.Filterable,
+			Rules:      row.Rules,
+			Groups:     row.Groups,
+			SkipRate:   row.SkipRate,
+			OffNsPerOp: row.OffTime.Nanoseconds(),
+			OnNsPerOp:  row.OnTime.Nanoseconds(),
+			Speedup:    row.Speedup,
+		})
+	}
+	path := "BENCH_prefilter.json"
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}

@@ -69,6 +69,7 @@ func main() {
 		lazy         = flag.Bool("lazy", false, "run the lazy-DFA execution-mode comparison")
 		clustering   = flag.Bool("clustering", false, "run the similarity-clustered grouping study")
 		decomp       = flag.Bool("decompose", false, "run the literal-prefilter decomposition comparison")
+		prefilter    = flag.Bool("prefilter", false, "run the production Options.Prefilter study and write BENCH_prefilter.json")
 		paper        = flag.Bool("paper", false, "use the paper's full-scale configuration (1 MB, 15 reps)")
 		size         = flag.Int("size", 0, "stream size in bytes (default 256 KiB, or 1 MiB with -paper)")
 		reps         = flag.Int("reps", 0, "measurement repetitions")
@@ -117,7 +118,7 @@ func main() {
 		}
 	}
 
-	extrasOnly := (*ablation || *baseline || *ccrefine || *stride || *lazy || *clustering || *decomp) && len(figs) == 0 && len(tables) == 0 && !*all
+	extrasOnly := (*ablation || *baseline || *ccrefine || *stride || *lazy || *clustering || *decomp || *prefilter) && len(figs) == 0 && len(tables) == 0 && !*all
 	if *ablation {
 		if _, err := r.Ablation(w); err != nil {
 			fatal(err)
@@ -159,6 +160,17 @@ func main() {
 			fatal(err)
 		}
 		fmt.Fprintln(w)
+	}
+	if *prefilter {
+		rows, err := runPrefilter(w, o)
+		if err != nil {
+			fatal(err)
+		}
+		path, err := writePrefilterJSON(rows, o)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(w, "prefilter results written to %s\n\n", path)
 	}
 	if extrasOnly {
 		return

@@ -131,6 +131,10 @@ func compileRuleset(cfg config) (*imfant.Ruleset, error) {
 		Profile:       true,
 		ProfileStride: cfg.stride,
 		TraceCapacity: cfg.trace,
+		// The profiler exists to observe automaton execution; letting the
+		// literal-factor prefilter skip groups would blank the heat map on
+		// factor-free traffic.
+		Prefilter: imfant.PrefilterOff,
 	}
 	switch strings.ToLower(cfg.engine) {
 	case "", "auto":

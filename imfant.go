@@ -26,6 +26,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/ahocorasick"
 	"repro/internal/anml"
 	"repro/internal/engine"
 	"repro/internal/hist"
@@ -68,10 +69,22 @@ type Options struct {
 	KeepOnMatch bool
 	// Engine selects the execution engine. The zero value (EngineAuto)
 	// uses the lazy-DFA engine when KeepOnMatch is set and iMFAnt
-	// otherwise. In lazy-DFA mode a match is reported at most once per
-	// (rule, end offset); the iMFAnt engine may report the same pair once
-	// per accepting state. The distinct (rule, end) sets are identical.
+	// otherwise. Both engines report each (rule, end offset) pair exactly
+	// once, so their match-event streams are identical.
 	Engine EngineMode
+	// Prefilter selects the literal-factor prefilter: a compile-time
+	// Hyperscan-style decomposition that extracts a required literal factor
+	// from each rule where one exists, and a scan-time Aho–Corasick sweep
+	// that skips whole MFSA groups whose rules cannot match the input. The
+	// zero value (PrefilterAuto) engages it only when at least one group is
+	// fully filterable; PrefilterOn additionally biases grouping so
+	// filterable rules share MFSAs. Results are identical in every mode.
+	Prefilter PrefilterMode
+	// MinFactorLen is the shortest literal factor worth prefiltering on;
+	// 0 selects the default (3). Shorter factors hit more often and gate
+	// less; raising the threshold trades filterable-rule coverage for
+	// sweep selectivity.
+	MinFactorLen int
 	// LazyDFAMaxStates caps the lazy-DFA transition cache per automaton
 	// and matching context; 0 selects lazydfa.DefaultMaxStates. Smaller
 	// caps bound memory at the cost of more cache flushes.
@@ -134,6 +147,7 @@ type Ruleset struct {
 	comp      metrics.Compression
 	opts      Options
 	collector *telemetry.Collector
+	pf        *prefilter // literal-factor gating plan; nil when inactive
 
 	// Profiling state; all nil/absent when Options.Profile is false.
 	profiles []*engine.Profile // per-program sampled state heat
@@ -201,9 +215,11 @@ func Compile(patterns []string, opts Options) (*Ruleset, error) {
 		return nil, fmt.Errorf("imfant: empty ruleset")
 	}
 	out, _, err := pipeline.Run(pipeline.Request{
-		Patterns: patterns,
-		Merge:    opts.MergeFactor,
-		Limits:   opts.Limits.pipeline(),
+		Patterns:     patterns,
+		Merge:        opts.MergeFactor,
+		Limits:       opts.Limits.pipeline(),
+		FactorMinLen: factorMinLenFor(opts),
+		FactorGroup:  opts.Prefilter == PrefilterOn,
 	})
 	if err != nil {
 		return nil, wrapCompileError(err)
@@ -223,10 +239,12 @@ func CompileLax(patterns []string, opts Options) (rs *Ruleset, ruleErrs []RuleEr
 		return nil, nil, fmt.Errorf("imfant: empty ruleset")
 	}
 	out, perrs, err := pipeline.Run(pipeline.Request{
-		Patterns: patterns,
-		Merge:    opts.MergeFactor,
-		Limits:   opts.Limits.pipeline(),
-		Lax:      true,
+		Patterns:     patterns,
+		Merge:        opts.MergeFactor,
+		Limits:       opts.Limits.pipeline(),
+		Lax:          true,
+		FactorMinLen: factorMinLenFor(opts),
+		FactorGroup:  opts.Prefilter == PrefilterOn,
 	})
 	for _, pe := range perrs {
 		ruleErrs = append(ruleErrs, RuleError{
@@ -237,6 +255,16 @@ func CompileLax(patterns []string, opts Options) (rs *Ruleset, ruleErrs []RuleEr
 		return nil, ruleErrs, wrapCompileError(err)
 	}
 	return newRuleset(patterns, out, opts), ruleErrs, nil
+}
+
+// factorMinLenFor returns the factor-extraction threshold to pass to the
+// pipeline: 0 (extraction off) when the prefilter is disabled, the resolved
+// MinFactorLen otherwise.
+func factorMinLenFor(opts Options) int {
+	if opts.Prefilter == PrefilterOff {
+		return 0
+	}
+	return opts.minFactorLen()
 }
 
 // wrapCompileError converts a pipeline failure into the public typed form.
@@ -270,6 +298,7 @@ func newRuleset(patterns []string, out *pipeline.Output, opts Options) *Ruleset 
 		rs.programs[i] = engine.NewProgram(z)
 	}
 	rs.buildEngines()
+	rs.buildPrefilter(out.Factors)
 	return rs
 }
 
@@ -365,6 +394,9 @@ func LoadANML(r io.Reader, opts Options) (*Ruleset, error) {
 		}
 	}
 	rs.buildEngines()
+	if opts.Prefilter != PrefilterOff {
+		rs.buildPrefilter(factorsOf(rs.patterns, opts.minFactorLen()))
+	}
 	return rs, nil
 }
 
@@ -425,6 +457,11 @@ type Scanner struct {
 	runners  []*engine.Runner  // iMFAnt mode
 	lazies   []*lazydfa.Runner // lazy-DFA mode
 	ruleHits []int64           // per-rule match counts, scanner lifetime
+
+	// Prefilter scratch; nil/zero while the ruleset is ungated.
+	sweep  *ahocorasick.Sweeper
+	active []bool
+	pref   prefCounters
 }
 
 // NewScanner returns a matching context for the ruleset.
@@ -530,7 +567,21 @@ func (s *Scanner) run(ctx context.Context, input []byte, fn func(Match)) ([]scan
 				Automaton: -1, Rule: -1, Offset: -1, Value: total})
 		}()
 	}
+	gate, err := s.prefilterGate(input, check)
+	if err != nil {
+		return out, err
+	}
 	for i, p := range rs.programs {
+		if gate != nil && !gate[i] {
+			// No member rule's factor occurred anywhere in input, so none
+			// can match: skip the whole automaton execution.
+			out = append(out, scanResult{})
+			if rs.trace != nil {
+				rs.trace.Record(telemetry.Event{Kind: telemetry.EventPrefilterSkip,
+					Automaton: int32(i), Rule: -1, Offset: -1, Value: int64(len(input))})
+			}
+			continue
+		}
 		var onMatch func(fsa, end int)
 		rules := p.Rules()
 		if fn != nil {
@@ -630,15 +681,41 @@ func (rs *Ruleset) CountParallel(input []byte, threads int) (int64, error) {
 func (rs *Ruleset) CountParallelContext(ctx context.Context, input []byte, threads int) (int64, error) {
 	cfg := engine.Config{KeepOnMatch: rs.opts.KeepOnMatch, Checkpoint: checkpointOf(ctx)}
 	if rs.profiles != nil {
-		cfg.ProfileFor = rs.profileOf
 		defer func(t0 time.Time) { rs.scanLat.Record(time.Since(t0).Nanoseconds()) }(time.Now())
 	}
-	results, err := engine.RunParallel(rs.programs, input, threads, cfg)
-	for i, res := range results {
+	gate, err := rs.prefilterSelect(input, cfg.Checkpoint)
+	if err != nil {
+		return 0, err
+	}
+	progs := rs.programs
+	// idx maps the executed-program index back to the ruleset automaton
+	// index when the prefilter thinned the work list.
+	var idx []int
+	if gate != nil {
+		progs = nil
+		for i, on := range gate {
+			if on {
+				progs = append(progs, rs.programs[i])
+				idx = append(idx, i)
+			}
+		}
+	}
+	if rs.profiles != nil {
+		if idx == nil {
+			cfg.ProfileFor = rs.profileOf
+		} else {
+			cfg.ProfileFor = func(j int) *engine.Profile { return rs.profileOf(idx[j]) }
+		}
+	}
+	if len(progs) == 0 {
+		return 0, nil
+	}
+	results, err := engine.RunParallel(progs, input, threads, cfg)
+	for j, res := range results {
 		rs.collector.AddScans(1)
 		rs.collector.AddBytes(int64(res.Symbols))
 		rs.collector.AddMatches(res.Matches)
-		rules := rs.programs[i].Rules()
+		rules := progs[j].Rules()
 		for fsa, n := range res.PerFSA {
 			if n != 0 {
 				rs.collector.AddRuleHits(rules[fsa].RuleID, n)

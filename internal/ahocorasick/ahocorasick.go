@@ -129,17 +129,68 @@ func (m *Matcher) Scan(input []byte, fn func(pattern, end int)) {
 // the prefilter query of the decomposition matcher. It short-circuits when
 // every pattern has been seen.
 func (m *Matcher) Hits(input []byte) []bool {
-	hits := make([]bool, len(m.patterns))
-	remaining := len(m.patterns)
-	state := int32(0)
-	for pos := 0; pos < len(input) && remaining > 0; pos++ {
-		state = m.next[int(state)<<8|int(input[pos])]
+	s := m.NewSweeper()
+	s.Sweep(input)
+	return s.hits
+}
+
+// Sweeper is a resumable Hits query: the automaton state is carried across
+// Sweep calls, so a pattern split over two chunks of a stream still
+// registers — no byte tail is buffered, only the current trie node. The
+// zero chunking of a stream therefore never changes the hit set. Reuse via
+// Reset. A Sweeper is not safe for concurrent use.
+type Sweeper struct {
+	m     *Matcher
+	state int32
+	hits  []bool
+	left  int // patterns not seen yet; 0 short-circuits Sweep
+}
+
+// NewSweeper returns a fresh resumable hit query over the matcher.
+func (m *Matcher) NewSweeper() *Sweeper {
+	return &Sweeper{m: m, hits: make([]bool, len(m.patterns)), left: len(m.patterns)}
+}
+
+// Sweep consumes the next chunk of the stream, updating the hit set.
+func (s *Sweeper) Sweep(chunk []byte) {
+	if s.left == 0 {
+		return
+	}
+	m := s.m
+	state := s.state
+	for pos := 0; pos < len(chunk) && s.left > 0; pos++ {
+		state = m.next[int(state)<<8|int(chunk[pos])]
 		for _, pi := range m.outputs[state] {
-			if !hits[pi] {
-				hits[pi] = true
-				remaining--
+			if !s.hits[pi] {
+				s.hits[pi] = true
+				s.left--
 			}
 		}
 	}
-	return hits
+	s.state = state
+}
+
+// Hits returns the per-pattern hit set accumulated so far. The slice is a
+// copy; later Sweeps do not mutate it.
+func (s *Sweeper) Hits() []bool {
+	return append([]bool(nil), s.hits...)
+}
+
+// Hit reports whether pattern has occurred in the swept stream so far.
+func (s *Sweeper) Hit(pattern int) bool { return s.hits[pattern] }
+
+// Seen returns the number of distinct patterns that have occurred so far.
+func (s *Sweeper) Seen() int { return len(s.hits) - s.left }
+
+// Done reports whether every pattern has been seen; further Sweeps are
+// no-ops.
+func (s *Sweeper) Done() bool { return s.left == 0 }
+
+// Reset clears the hit set and rewinds the automaton for a new stream.
+func (s *Sweeper) Reset() {
+	s.state = 0
+	s.left = len(s.hits)
+	for i := range s.hits {
+		s.hits[i] = false
+	}
 }

@@ -1,0 +1,61 @@
+package ahocorasick
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestSweeperSplitPatterns verifies that a pattern split across chunk
+// boundaries — including 1-byte chunks — still registers: the sweeper
+// carries automaton state, not a byte tail.
+func TestSweeperSplitPatterns(t *testing.T) {
+	m, err := New([][]byte{[]byte("needle"), []byte("abcabd"), []byte("zz")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := []byte("xxabcabdyyneedlez")
+	want := m.Hits(input)
+
+	for trial := 0; trial < 50; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		s := m.NewSweeper()
+		for off := 0; off < len(input); {
+			n := 1 + rng.Intn(4)
+			if off+n > len(input) {
+				n = len(input) - off
+			}
+			s.Sweep(input[off : off+n])
+			off += n
+		}
+		got := s.Hits()
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: pattern %d: chunked hit %v, whole-input hit %v",
+					trial, i, got[i], want[i])
+			}
+		}
+		if s.Seen() != 2 || s.Done() {
+			t.Fatalf("trial %d: Seen = %d, Done = %v; want 2, false", trial, s.Seen(), s.Done())
+		}
+	}
+}
+
+// TestSweeperReset verifies Reset rewinds both the hit set and the
+// automaton state (no carry-over between streams).
+func TestSweeperReset(t *testing.T) {
+	m, err := New([][]byte{[]byte("ab")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := m.NewSweeper()
+	s.Sweep([]byte("a"))
+	s.Reset()
+	s.Sweep([]byte("b")) // would complete "ab" if state leaked across Reset
+	if s.Hit(0) {
+		t.Fatal("Reset leaked automaton state across streams")
+	}
+	s.Sweep([]byte("ab"))
+	if !s.Hit(0) || !s.Done() {
+		t.Fatal("sweeper missed the pattern after Reset")
+	}
+}

@@ -1,0 +1,62 @@
+package decompose
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+// TestScanWithCancellation verifies the baseline honors engine checkpoints:
+// a checkpoint that fails mid-scan stops the run promptly and surfaces the
+// error, so a hostile input cannot wedge an experiment.
+func TestScanWithCancellation(t *testing.T) {
+	m, err := New([]string{"needle[a-z]+x", "ab"}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := bytes.Repeat([]byte("needleabab"), 8<<10) // ~80 KiB, many checkpoints
+
+	boom := errors.New("cancelled")
+	calls := 0
+	cfg := engine.Config{Checkpoint: func() error {
+		calls++
+		if calls > 2 {
+			return boom
+		}
+		return nil
+	}}
+	st, err := m.ScanWith(input, cfg, nil)
+	if !errors.Is(err, boom) {
+		t.Fatalf("ScanWith error = %v, want the checkpoint error", err)
+	}
+	if calls > 8 {
+		t.Fatalf("checkpoint polled %d times after failing; scan did not stop promptly", calls)
+	}
+	// The cancelled scan must not have completed: a full run of this input
+	// reports matches for every "ab"; the partial one stops far short.
+	full := m.Scan(input, nil)
+	if st.Matches >= full.Matches {
+		t.Fatalf("cancelled scan reported %d matches, full scan %d — cancellation did nothing",
+			st.Matches, full.Matches)
+	}
+}
+
+// TestScanWithHealthyCheckpoint verifies a passing checkpoint leaves the
+// results identical to a plain Scan.
+func TestScanWithHealthyCheckpoint(t *testing.T) {
+	m, err := New([]string{"needle", "ab+c"}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := bytes.Repeat([]byte("xxneedleyyabbc"), 1000)
+	want := m.Scan(input, nil)
+	got, err := m.ScanWith(input, engine.Config{Checkpoint: func() error { return nil }}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("checked scan stats %+v, plain scan %+v", got, want)
+	}
+}

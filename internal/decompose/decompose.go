@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/ahocorasick"
 	"repro/internal/engine"
+	"repro/internal/factor"
 	"repro/internal/mfsa"
 	"repro/internal/nfa"
 	"repro/internal/rex"
@@ -20,83 +21,10 @@ import (
 
 // Factor returns the longest literal string guaranteed to occur in every
 // match of the expression, or ok=false when no factor of at least minLen
-// bytes exists. Only the mandatory concatenation spine contributes:
-// alternations, optional parts (min-0 repeats) and character classes break
-// factors, while counted repeats of literals extend them.
+// bytes exists (see factor.Extract, which holds the implementation so the
+// compilation pipeline can use it without importing the engine).
 func Factor(ast *rex.Node, minLen int) (string, bool) {
-	best := ""
-	cur := make([]byte, 0, 32)
-	flush := func() {
-		if len(cur) > len(best) {
-			best = string(cur)
-		}
-		cur = cur[:0]
-	}
-	var walk func(n *rex.Node)
-	walk = func(n *rex.Node) {
-		switch n.Op {
-		case rex.OpLit:
-			if b, ok := n.Set.IsSingle(); ok {
-				cur = append(cur, b)
-				return
-			}
-			flush()
-		case rex.OpConcat:
-			for _, s := range n.Subs {
-				walk(s)
-			}
-		case rex.OpRepeat:
-			if n.Min == 0 {
-				flush()
-				return
-			}
-			// The body occurs at least Min times consecutively; a
-			// literal body extends the run Min times, then breaks
-			// the run unless the repetition is exact.
-			if lit, ok := literalString(n.Subs[0]); ok {
-				for i := 0; i < n.Min; i++ {
-					cur = append(cur, lit...)
-				}
-				if n.Max != n.Min {
-					flush()
-				}
-				return
-			}
-			// Non-literal mandatory body: contributes its own
-			// factors but breaks the surrounding run.
-			flush()
-			walk(n.Subs[0])
-			flush()
-		case rex.OpAlt, rex.OpAnchor, rex.OpEmpty:
-			flush()
-		}
-	}
-	walk(ast)
-	flush()
-	if len(best) >= minLen {
-		return best, true
-	}
-	return "", false
-}
-
-func literalString(n *rex.Node) (string, bool) {
-	switch n.Op {
-	case rex.OpLit:
-		if b, ok := n.Set.IsSingle(); ok {
-			return string(b), true
-		}
-	case rex.OpConcat:
-		out := make([]byte, 0, len(n.Subs))
-		for _, s := range n.Subs {
-			b, ok := s.Set.IsSingle()
-			if s.Op != rex.OpLit || !ok {
-				return "", false
-			}
-			out = append(out, b)
-		}
-		return string(out), true
-	}
-	return "", false
+	return factor.Extract(ast, minLen)
 }
 
 // Matcher is a decomposed ruleset: an Aho–Corasick prefilter over the
@@ -115,7 +43,7 @@ type Matcher struct {
 
 // MinFactorLen is the shortest literal factor worth prefiltering; shorter
 // strings hit too often to skip any work.
-const MinFactorLen = 3
+const MinFactorLen = factor.MinLen
 
 // New compiles a decomposed matcher. keepOnMatch selects the engine's match
 // semantics, as in engine.Config.
@@ -184,28 +112,64 @@ type Stats struct {
 // Scan prefilters input and runs only the triggered (or unfilterable)
 // rules' automata over it.
 func (m *Matcher) Scan(input []byte, onMatch func(rule, end int)) Stats {
+	st, _ := m.ScanWith(input, engine.Config{}, onMatch)
+	return st
+}
+
+// ScanWith is Scan under an execution Config: the Checkpoint (and
+// CheckpointEvery) fields are threaded through both the Aho–Corasick
+// prefilter sweep and every confirming automaton run, so a hostile input
+// cannot wedge the baseline — the scan stops at the next checkpoint and
+// returns the checkpoint's error together with the partial stats.
+// cfg.KeepOnMatch and cfg.OnMatch are owned by the Matcher and ignored.
+func (m *Matcher) ScanWith(input []byte, cfg engine.Config, onMatch func(rule, end int)) (Stats, error) {
 	var st Stats
-	run := func(rule int) {
-		cfg := engine.Config{KeepOnMatch: m.keep}
-		if onMatch != nil {
-			cfg.OnMatch = func(_, end int) { onMatch(rule, end) }
-		}
-		st.Matches += engine.Run(m.programs[rule], input, cfg).Matches
-	}
+	cfg.KeepOnMatch = m.keep
 	var hits []bool
 	if m.ac != nil {
-		hits = m.ac.Hits(input)
+		sw := m.ac.NewSweeper()
+		every := cfg.CheckpointEvery
+		if every <= 0 {
+			every = engine.DefaultCheckpointEvery
+		}
+		for off := 0; off < len(input) && !sw.Done(); off += every {
+			if cfg.Checkpoint != nil {
+				if err := cfg.Checkpoint(); err != nil {
+					return st, err
+				}
+			}
+			end := off + every
+			if end > len(input) {
+				end = len(input)
+			}
+			sw.Sweep(input[off:end])
+		}
+		hits = sw.Hits()
+	}
+	run := func(rule int) error {
+		rcfg := cfg
+		rcfg.OnMatch = nil
+		if onMatch != nil {
+			rcfg.OnMatch = func(_, end int) { onMatch(rule, end) }
+		}
+		runner := engine.NewRunner(m.programs[rule])
+		st.Matches += runner.Run(input, rcfg).Matches
+		return runner.Err()
 	}
 	for rule, fi := range m.factorOf {
 		switch {
 		case fi < 0:
-			run(rule)
+			if err := run(rule); err != nil {
+				return st, err
+			}
 		case hits[fi]:
 			st.Triggered++
-			run(rule)
+			if err := run(rule); err != nil {
+				return st, err
+			}
 		default:
 			st.Skipped++
 		}
 	}
-	return st
+	return st, nil
 }

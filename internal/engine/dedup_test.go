@@ -1,0 +1,76 @@
+package engine
+
+import (
+	"testing"
+)
+
+// eventsOf collects the raw match events of one Run.
+func eventsOf(p *Program, input string, cfg Config) []MatchEvent {
+	return Matches(p, []byte(input), cfg)
+}
+
+// TestMatchEventsDeduped pins the per-symbol dedup contract: each
+// (FSA, end) pair is reported exactly once even when several accepting
+// states witness it on the same symbol. a{1,2}b expands to two accepting
+// states, both reachable on the final b of "aab".
+func TestMatchEventsDeduped(t *testing.T) {
+	for _, keep := range []bool{false, true} {
+		_, _, p := compileGroup(t, "a{1,2}b")
+		events := eventsOf(p, "aab", Config{KeepOnMatch: keep})
+		seen := map[MatchEvent]int{}
+		for _, e := range events {
+			seen[e]++
+		}
+		for e, n := range seen {
+			if n > 1 {
+				t.Fatalf("keep=%v: event %+v reported %d times", keep, e, n)
+			}
+		}
+		if len(events) != 1 || events[0] != (MatchEvent{FSA: 0, End: 2}) {
+			t.Fatalf("keep=%v: events %v, want exactly [{0 2}]", keep, events)
+		}
+	}
+}
+
+// TestMatchEventsDedupedWide is the same contract on a >64-rule program,
+// exercising the multi-word (feedBody) loop rather than the W == 1
+// specialization.
+func TestMatchEventsDedupedWide(t *testing.T) {
+	patterns := make([]string, 70)
+	for i := range patterns {
+		patterns[i] = "x" // pad the FSA count past one bitset word
+	}
+	patterns[68] = "a{1,2}b"
+	_, _, p := compileGroup(t, patterns...)
+	if p.Words() < 2 {
+		t.Fatalf("want a multi-word program, got %d word(s)", p.Words())
+	}
+	events := eventsOf(p, "aab", Config{})
+	seen := map[MatchEvent]int{}
+	for _, e := range events {
+		if seen[e]++; seen[e] > 1 {
+			t.Fatalf("event %+v reported twice", e)
+		}
+	}
+	if seen[MatchEvent{FSA: 68, End: 2}] != 1 {
+		t.Fatalf("missing the a{1,2}b match: %v", events)
+	}
+}
+
+// TestMatchCountsAgreePerRule verifies Result.Matches and PerFSA count
+// distinct (FSA, end) pairs — the same totals the lazy-DFA engine reports.
+func TestMatchCountsAgreePerRule(t *testing.T) {
+	_, _, p := compileGroup(t, "a{1,3}b", "ab")
+	res := Run(p, []byte("aaab aab ab"), Config{})
+	distinct := DistinctEnds(Matches(p, []byte("aaab aab ab"), Config{}), p.NumFSAs())
+	var want int64
+	for fsa, ends := range distinct {
+		want += int64(len(ends))
+		if res.PerFSA[fsa] != int64(len(ends)) {
+			t.Fatalf("PerFSA[%d] = %d, want %d distinct ends", fsa, res.PerFSA[fsa], len(ends))
+		}
+	}
+	if res.Matches != want {
+		t.Fatalf("Matches = %d, want %d distinct events", res.Matches, want)
+	}
+}

@@ -69,9 +69,10 @@ func ReferenceScanAll(fsas []*nfa.NFA, input []byte, keepOnMatch bool) [][]int {
 }
 
 // DistinctEnds reduces engine match events to, per FSA, the sorted distinct
-// end offsets — the comparable form against ReferenceScanAll. (The engine
-// can report the same (FSA, end) once per accepting state; the oracle
-// reports each end once.)
+// end offsets — the comparable form against ReferenceScanAll. (The iMFAnt
+// and lazy-DFA engines already emit each (FSA, end) exactly once; the
+// reduction still groups, sorts, and guards against engines with
+// per-witness multiplicity, such as the 2-stride variant.)
 func DistinctEnds(events []MatchEvent, numFSAs int) [][]int {
 	sets := make([]map[int]struct{}, numFSAs)
 	for i := range sets {

@@ -12,9 +12,9 @@ type Config struct {
 	// a modest traversal overhead.
 	Stats bool
 	// OnMatch, when non-nil, is invoked for every match with the FSA
-	// identifier and the end offset of the match (inclusive). Matches of
-	// the same FSA at the same offset through different final states are
-	// reported once per final state.
+	// identifier and the end offset of the match (inclusive). Each
+	// (FSA, end offset) pair is reported exactly once, even when several
+	// accepting states or transitions witness it on the same symbol.
 	OnMatch func(fsa, end int)
 	// Checkpoint, when non-nil, is polled about every CheckpointEvery
 	// bytes during Feed. A non-nil return cancels the scan: the runner
@@ -46,8 +46,8 @@ const DefaultCheckpointEvery = 4096
 
 // Result aggregates one Run.
 type Result struct {
-	// Matches is the total number of (FSA, end-offset, final-state)
-	// match events.
+	// Matches is the total number of distinct (FSA, end-offset) match
+	// events.
 	Matches int64
 	// PerFSA counts matches per merged-FSA identifier.
 	PerFSA []int64
@@ -119,6 +119,12 @@ type Runner struct {
 	cur, nxt *vector
 	tmp      []uint64
 	emitted  []uint64
+	// seen is the per-symbol dedup mask: FSAs already reported at the
+	// current position. Several transitions can reach distinct accepting
+	// states for the same FSA on one symbol; without the mask each arrival
+	// would emit its own event for the same (FSA, end) pair. Cleared
+	// lazily — only on positions that actually match.
+	seen []uint64
 
 	// Chunked-scan state (Begin/Feed/End).
 	cfg    Config
@@ -147,6 +153,7 @@ func NewRunner(p *Program) *Runner {
 		nxt:     newVector(p.numStates, p.words),
 		tmp:     make([]uint64, p.words),
 		emitted: make([]uint64, p.words),
+		seen:    make([]uint64, p.words),
 	}
 }
 
@@ -290,6 +297,7 @@ func (r *Runner) feedBody(chunk []byte, final bool) {
 		c := chunk[pos]
 		cur, nxt := r.cur, r.nxt
 		atEnd := final && pos == last
+		seenHere := false // r.seen holds a stale position until cleared
 		// The ^-anchored inits participate only in the stream's first
 		// step; selecting the init vector here keeps the branch out of
 		// the inner transition loop.
@@ -326,8 +334,18 @@ func (r *Runner) feedBody(chunk []byte, final bool) {
 				matched |= m
 			}
 			if matched != 0 {
+				if !seenHere {
+					seenHere = true
+					for w := 0; w < W; w++ {
+						r.seen[w] = 0
+					}
+				}
 				for w := 0; w < W; w++ {
-					m := r.emitted[w]
+					// Emit only FSAs not yet reported at this
+					// position; the pop below still applies to every
+					// accepting arrival.
+					m := r.emitted[w] &^ r.seen[w]
+					r.seen[w] |= r.emitted[w]
 					for m != 0 {
 						bit := m & (-m)
 						fsa := w*64 + trailingZeros(bit)

@@ -16,6 +16,10 @@ func (r *Runner) feedW1(chunk []byte, final bool) {
 		c := chunk[pos]
 		cur, nxt := r.cur, r.nxt
 		atEnd := final && pos == last
+		// seen dedups per-symbol emissions: several transitions can reach
+		// distinct accepting states for the same FSA on one symbol, and
+		// each (FSA, end) pair must be reported exactly once.
+		seen := uint64(0)
 		// Select the init vector once per symbol: the ^-anchored inits
 		// participate only in the stream's first step.
 		init := p.initAlways
@@ -37,7 +41,8 @@ func (r *Runner) feedW1(chunk []byte, final bool) {
 				m &^= endAnchored
 			}
 			if m != 0 {
-				e := m
+				e := m &^ seen
+				seen |= m
 				for e != 0 {
 					fsa := trailingZeros(e & (-e))
 					res.Matches++

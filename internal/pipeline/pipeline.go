@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/anml"
 	"repro/internal/budget"
+	"repro/internal/factor"
 	"repro/internal/mfsa"
 	"repro/internal/nfa"
 	"repro/internal/rex"
@@ -109,6 +110,18 @@ type Request struct {
 	// failures (merging, the total-MFSA budget, ANML generation) still
 	// abort. Surviving rules keep their original indices as rule ids.
 	Lax bool
+	// FactorMinLen, when positive, extracts each rule's required literal
+	// factor (factor.Extract, at least FactorMinLen bytes) during the
+	// Front-End and reports the results in Output.Factors — the compile-time
+	// half of the execution-side literal prefilter.
+	FactorMinLen int
+	// FactorGroup biases the merging stage for prefiltering: the surviving
+	// automata are stably partitioned so factor-bearing rules share groups
+	// and factor-less rules are packed together, maximizing the number of
+	// whole MFSAs the prefilter can skip. Rule ids are unaffected
+	// (KeepRuleIDs); only the rule-to-group assignment changes. Ignored
+	// unless FactorMinLen is positive.
+	FactorGroup bool
 }
 
 // Output is the result of one full compilation.
@@ -124,6 +137,11 @@ type Output struct {
 	Times StageTimes
 	// ANMLBytes is the total size of the generated ANML output.
 	ANMLBytes int
+	// Factors holds, per original rule index, the rule's required literal
+	// factor — the string every match of the rule must contain — or "" when
+	// the rule has no factor of at least Request.FactorMinLen bytes (or
+	// failed compilation in lax mode). Nil unless FactorMinLen is positive.
+	Factors []string
 }
 
 // StageTimes holds the per-stage compilation cost of one run.
@@ -203,6 +221,9 @@ func Run(req Request) (out *Output, ruleErrs []*RuleError, err error) {
 		ast  *rex.Node
 	}
 	alive := make([]ruled, 0, len(patterns))
+	if req.FactorMinLen > 0 {
+		out.Factors = make([]string, len(patterns))
+	}
 	for i, p := range patterns {
 		ast, perr := rex.ParseOpts(p, parseOpts)
 		if perr != nil {
@@ -210,6 +231,11 @@ func Run(req Request) (out *Output, ruleErrs []*RuleError, err error) {
 				return nil, nil, e
 			}
 			continue
+		}
+		if req.FactorMinLen > 0 {
+			if f, ok := factor.Extract(ast, req.FactorMinLen); ok {
+				out.Factors[i] = f
+			}
 		}
 		alive = append(alive, ruled{rule: i, ast: ast})
 	}
@@ -254,7 +280,23 @@ func Run(req Request) (out *Output, ruleErrs []*RuleError, err error) {
 
 	// Stage 4 — merging, under the ruleset-level state budget. Rule ids
 	// follow the automata (KeepRuleIDs) so lax survivors keep their
-	// original ruleset indices.
+	// original ruleset indices. Factor-aware grouping stably partitions the
+	// automata — factor-bearing rules first — so the sequential groups
+	// cluster filterable rules together and whole MFSAs become skippable.
+	if req.FactorGroup && req.FactorMinLen > 0 {
+		part := make([]*nfa.NFA, 0, len(out.FSAs))
+		for _, a := range out.FSAs {
+			if out.Factors[a.ID] != "" {
+				part = append(part, a)
+			}
+		}
+		for _, a := range out.FSAs {
+			if out.Factors[a.ID] == "" {
+				part = append(part, a)
+			}
+		}
+		out.FSAs = part
+	}
 	start = time.Now()
 	zs, merr := mfsa.MergeGroupsWith(out.FSAs, req.Merge, mfsa.GroupOptions{
 		MaxTotalStates: lim.maxMFSAStates(),

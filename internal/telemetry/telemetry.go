@@ -31,9 +31,32 @@ type Stats struct {
 	// Lazy holds lazy-DFA cache counters; nil when the lazy engine is
 	// not in use.
 	Lazy *LazyStats `json:"lazy,omitempty"`
+	// Prefilter holds the literal-factor prefilter counters; nil when the
+	// prefilter is not in use.
+	Prefilter *PrefilterStats `json:"prefilter,omitempty"`
 	// Profile holds the sampling profiler's aggregates; nil when
 	// profiling is off.
 	Profile *ProfileStats `json:"profile,omitempty"`
+}
+
+// PrefilterStats aggregates literal-factor prefilter behaviour: how often
+// the Aho–Corasick factor sweep let whole MFSA groups be skipped, and how
+// many automaton-bytes that saved.
+type PrefilterStats struct {
+	// FilterableRules is the number of rules carrying a literal factor.
+	FilterableRules int `json:"filterable_rules"`
+	// Factors is the number of distinct factor strings swept for.
+	Factors int `json:"factors"`
+	// Sweeps counts prefilter sweeps (one per gated scan or stream).
+	Sweeps int64 `json:"sweeps"`
+	// FactorHits counts distinct factors that occurred, summed over sweeps
+	// (the prefilter_factor_hits counter).
+	FactorHits int64 `json:"prefilter_factor_hits"`
+	// GroupsSkipped counts MFSA executions elided by the prefilter.
+	GroupsSkipped int64 `json:"groups_skipped"`
+	// BytesSaved is the total input volume those skipped executions would
+	// have scanned.
+	BytesSaved int64 `json:"bytes_saved"`
 }
 
 // ProfileStats is the profiler section of a snapshot: sampled state heat
@@ -138,6 +161,14 @@ type Collector struct {
 	fallbacks    atomic.Int64
 	cachedStates []atomic.Int64 // per-automaton gauge
 
+	prefEnabled bool
+	prefRules   int
+	prefFactors int
+	prefSweeps  atomic.Int64
+	prefHits    atomic.Int64
+	prefSkipped atomic.Int64
+	prefSaved   atomic.Int64
+
 	profileFn atomic.Value // func() *ProfileStats
 }
 
@@ -160,6 +191,23 @@ func (c *Collector) EnableLazy(automata, maxStates, byteClasses int) {
 	c.maxStates = maxStates
 	c.byteClasses = byteClasses
 	c.cachedStates = make([]atomic.Int64, automata)
+}
+
+// EnablePrefilter turns on the prefilter section of the snapshot and
+// records its static configuration: the number of factor-bearing rules and
+// of distinct factor strings.
+func (c *Collector) EnablePrefilter(filterableRules, factors int) {
+	c.prefEnabled = true
+	c.prefRules = filterableRules
+	c.prefFactors = factors
+}
+
+// AddPrefilterScan folds one gated scan's prefilter counters.
+func (c *Collector) AddPrefilterScan(sweeps, factorHits, groupsSkipped, bytesSaved int64) {
+	c.prefSweeps.Add(sweeps)
+	c.prefHits.Add(factorHits)
+	c.prefSkipped.Add(groupsSkipped)
+	c.prefSaved.Add(bytesSaved)
 }
 
 // AddScans adds n completed scans.
@@ -239,6 +287,16 @@ func (c *Collector) Snapshot() Stats {
 			l.CachedStates += c.cachedStates[i].Load()
 		}
 		s.Lazy = l
+	}
+	if c.prefEnabled {
+		s.Prefilter = &PrefilterStats{
+			FilterableRules: c.prefRules,
+			Factors:         c.prefFactors,
+			Sweeps:          c.prefSweeps.Load(),
+			FactorHits:      c.prefHits.Load(),
+			GroupsSkipped:   c.prefSkipped.Load(),
+			BytesSaved:      c.prefSaved.Load(),
+		}
 	}
 	if fn, ok := c.profileFn.Load().(func() *ProfileStats); ok && fn != nil {
 		s.Profile = fn()

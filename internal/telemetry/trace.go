@@ -28,6 +28,10 @@ const (
 	// EventStreamEnd marks a StreamMatcher Close; Value is the stream's
 	// total match count, Offset the total bytes consumed per automaton.
 	EventStreamEnd
+	// EventPrefilterSkip reports one MFSA execution elided by the
+	// literal-factor prefilter; Automaton identifies it, Value is the
+	// number of input bytes it did not have to scan.
+	EventPrefilterSkip
 )
 
 // String returns the snake_case name of the kind (also used in JSON).
@@ -45,6 +49,8 @@ func (k EventKind) String() string {
 		return "lazy_fallback"
 	case EventStreamEnd:
 		return "stream_end"
+	case EventPrefilterSkip:
+		return "prefilter_skip"
 	}
 	return "unknown"
 }

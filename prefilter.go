@@ -1,0 +1,278 @@
+package imfant
+
+import (
+	"repro/internal/ahocorasick"
+	"repro/internal/engine"
+	"repro/internal/factor"
+	"repro/internal/rex"
+	"repro/internal/telemetry"
+)
+
+// PrefilterMode selects the literal-factor prefilter stage (Hyperscan-style
+// decomposition, §II of the paper's related work): at compile time every
+// rule is analysed for a required literal factor — a string that occurs in
+// every match of the rule — and at scan time one Aho–Corasick sweep over
+// the input decides which MFSA groups can be skipped outright. A group runs
+// only if it contains a rule without a factor or one of its members'
+// factors occurred in the input; otherwise no member rule can match and the
+// whole automaton execution is elided. The prefilter never changes results,
+// only the work done to produce them.
+type PrefilterMode int
+
+const (
+	// PrefilterAuto (the default) enables the prefilter when it can pay
+	// off: at least one automaton must be fully filterable — every member
+	// rule carrying a factor — so whole groups become skippable. Grouping
+	// is left untouched.
+	PrefilterAuto PrefilterMode = iota
+	// PrefilterOn forces the prefilter whenever any rule has a factor, and
+	// additionally biases grouping so factor-bearing rules share MFSAs
+	// (filterable rules are packed into MergeFactor groups first), turning
+	// more groups fully skippable. Match results are unchanged; automaton
+	// boundaries may differ from PrefilterOff compilation.
+	PrefilterOn
+	// PrefilterOff disables factor extraction and sweeping entirely.
+	PrefilterOff
+)
+
+// prefilter is the compiled gating plan of a ruleset: the Aho–Corasick
+// automaton over the deduplicated factor strings plus, per MFSA group, the
+// factor set that can wake it.
+type prefilter struct {
+	ac           *ahocorasick.Matcher
+	factors      []string  // deduplicated factor strings, AC pattern order
+	filterable   int       // number of rules carrying a factor
+	groupFactors [][]int32 // per automaton: AC pattern ids of member factors
+	groupAlways  []bool    // automaton has a factor-less member: always runs
+}
+
+// minFactorLen resolves Options.MinFactorLen to the effective threshold.
+func (o Options) minFactorLen() int {
+	if o.MinFactorLen <= 0 {
+		return factor.MinLen
+	}
+	return o.MinFactorLen
+}
+
+// buildPrefilter compiles the gating plan from per-rule factors (indexed by
+// rule id, "" meaning unfilterable). Called after buildEngines; a nil
+// factors slice, PrefilterOff, or a plan that could never skip anything
+// leaves rs.pf nil and scans ungated.
+func (rs *Ruleset) buildPrefilter(factors []string) {
+	if rs.opts.Prefilter == PrefilterOff || factors == nil {
+		return
+	}
+	pf := &prefilter{}
+	index := make(map[string]int32)
+	ruleFactor := make(map[int]int32)
+	for id, f := range factors {
+		if f == "" {
+			continue
+		}
+		pi, ok := index[f]
+		if !ok {
+			pi = int32(len(pf.factors))
+			index[f] = pi
+			pf.factors = append(pf.factors, f)
+		}
+		ruleFactor[id] = pi
+		pf.filterable++
+	}
+	if pf.filterable == 0 {
+		return
+	}
+	pf.groupFactors = make([][]int32, len(rs.programs))
+	pf.groupAlways = make([]bool, len(rs.programs))
+	anyGated := false
+	for i, p := range rs.programs {
+		seen := make(map[int32]bool)
+		for _, ri := range p.Rules() {
+			pi, ok := ruleFactor[ri.RuleID]
+			if !ok {
+				pf.groupAlways[i] = true
+				continue
+			}
+			if !seen[pi] {
+				seen[pi] = true
+				pf.groupFactors[i] = append(pf.groupFactors[i], pi)
+			}
+		}
+		if !pf.groupAlways[i] {
+			anyGated = true
+		}
+	}
+	if rs.opts.Prefilter == PrefilterAuto && !anyGated {
+		return
+	}
+	pats := make([][]byte, len(pf.factors))
+	for i, f := range pf.factors {
+		pats[i] = []byte(f)
+	}
+	ac, err := ahocorasick.New(pats)
+	if err != nil {
+		return
+	}
+	pf.ac = ac
+	rs.pf = pf
+	rs.collector.EnablePrefilter(pf.filterable, len(pf.factors))
+}
+
+// factorsOf re-derives per-rule factors from pattern sources, for rulesets
+// whose compilation pipeline did not run (LoadANML). Rules whose source is
+// missing or no longer parses are treated as unfilterable, which is always
+// sound. Returns nil when no rule yields a factor.
+func factorsOf(patterns []string, minLen int) []string {
+	out := make([]string, len(patterns))
+	any := false
+	for i, p := range patterns {
+		if p == "" {
+			continue
+		}
+		ast, err := rex.Parse(p)
+		if err != nil {
+			continue
+		}
+		if f, ok := factor.Extract(ast, minLen); ok {
+			out[i] = f
+			any = true
+		}
+	}
+	if !any {
+		return nil
+	}
+	return out
+}
+
+// active reports whether automaton i must run given the sweep's hit set.
+func (pf *prefilter) active(i int, sw *ahocorasick.Sweeper) bool {
+	if pf.groupAlways[i] {
+		return true
+	}
+	for _, pid := range pf.groupFactors[i] {
+		if sw.Hit(int(pid)) {
+			return true
+		}
+	}
+	return false
+}
+
+// PrefilterActive reports whether the literal-factor prefilter gates this
+// ruleset's scans (see PrefilterMode for when it engages).
+func (rs *Ruleset) PrefilterActive() bool { return rs.pf != nil }
+
+// PrefilterFactors returns the deduplicated literal factors the prefilter
+// sweeps for; nil when the prefilter is not active.
+func (rs *Ruleset) PrefilterFactors() []string {
+	if rs.pf == nil {
+		return nil
+	}
+	return append([]string(nil), rs.pf.factors...)
+}
+
+// prefCounters accumulates one owner's (Scanner or StreamMatcher) prefilter
+// activity for its local Stats snapshot.
+type prefCounters struct {
+	sweeps, hits, skipped, saved int64
+}
+
+// stats converts the counters to the public shape; nil when ungated.
+func (p *prefCounters) stats(pf *prefilter) *PrefilterStats {
+	if pf == nil {
+		return nil
+	}
+	return &PrefilterStats{
+		FilterableRules: pf.filterable,
+		Factors:         len(pf.factors),
+		Sweeps:          p.sweeps,
+		FactorHits:      p.hits,
+		GroupsSkipped:   p.skipped,
+		BytesSaved:      p.saved,
+	}
+}
+
+// prefilterGate sweeps input through the factor automaton and returns the
+// per-automaton activation mask, or nil when every automaton must run
+// (prefilter inactive). The sweep polls check between blocks so hostile
+// inputs cannot wedge a cancellable scan inside the prefilter. Counters are
+// folded into the ruleset collector and the scanner's local totals; trace
+// skip events are the caller's job (it knows the skip sites).
+func (s *Scanner) prefilterGate(input []byte, check func() error) ([]bool, error) {
+	pf := s.rs.pf
+	if pf == nil {
+		return nil, nil
+	}
+	if s.sweep == nil {
+		s.sweep = pf.ac.NewSweeper()
+	} else {
+		s.sweep.Reset()
+	}
+	const block = engine.DefaultCheckpointEvery
+	for off := 0; off < len(input) && !s.sweep.Done(); off += block {
+		if check != nil {
+			if err := check(); err != nil {
+				return nil, err
+			}
+		}
+		end := off + block
+		if end > len(input) {
+			end = len(input)
+		}
+		s.sweep.Sweep(input[off:end])
+	}
+	if s.active == nil {
+		s.active = make([]bool, len(s.rs.programs))
+	}
+	var skipped int64
+	for i := range s.active {
+		s.active[i] = pf.active(i, s.sweep)
+		if !s.active[i] {
+			skipped++
+		}
+	}
+	saved := skipped * int64(len(input))
+	s.pref.sweeps++
+	s.pref.hits += int64(s.sweep.Seen())
+	s.pref.skipped += skipped
+	s.pref.saved += saved
+	s.rs.collector.AddPrefilterScan(1, int64(s.sweep.Seen()), skipped, saved)
+	return s.active, nil
+}
+
+// prefilterSelect is the Ruleset-level counterpart of Scanner.prefilterGate
+// for CountParallel: it allocates its own sweeper (the parallel path is
+// coarse-grained enough for that), folds collector counters, records trace
+// skip events, and returns the activation mask or nil when ungated.
+func (rs *Ruleset) prefilterSelect(input []byte, check func() error) ([]bool, error) {
+	pf := rs.pf
+	if pf == nil {
+		return nil, nil
+	}
+	sw := pf.ac.NewSweeper()
+	const block = engine.DefaultCheckpointEvery
+	for off := 0; off < len(input) && !sw.Done(); off += block {
+		if check != nil {
+			if err := check(); err != nil {
+				return nil, err
+			}
+		}
+		end := off + block
+		if end > len(input) {
+			end = len(input)
+		}
+		sw.Sweep(input[off:end])
+	}
+	active := make([]bool, len(rs.programs))
+	var skipped int64
+	for i := range active {
+		active[i] = pf.active(i, sw)
+		if !active[i] {
+			skipped++
+			if rs.trace != nil {
+				rs.trace.Record(telemetry.Event{Kind: telemetry.EventPrefilterSkip,
+					Automaton: int32(i), Rule: -1, Offset: -1, Value: int64(len(input))})
+			}
+		}
+	}
+	rs.collector.AddPrefilterScan(1, int64(sw.Seen()), skipped, skipped*int64(len(input)))
+	return active, nil
+}

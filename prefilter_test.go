@@ -1,0 +1,386 @@
+package imfant
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// pfPatterns is a ruleset whose rules all carry a literal factor, split in
+// two MFSA groups by MergeFactor, with factors disjoint enough that inputs
+// can wake one group and not the other.
+var pfPatterns = []string{
+	"GET /admin[a-z]*",    // factor "GET /admin" (or a substring ≥ 3)
+	"cmd\\.exe",           // factor "cmd.exe"
+	"needle(x|y)+z",       // factor "needle"
+	"(foo|bar)quux[0-9]?", // factor "quux"
+}
+
+// TestPrefilterResultsIdentical verifies the tentpole invariant: prefilter
+// on, off, and auto produce byte-identical match sets on inputs that hit
+// all, some, or none of the factors.
+func TestPrefilterResultsIdentical(t *testing.T) {
+	inputs := [][]byte{
+		[]byte("GET /adminxx then cmd.exe and needlexyz plus fooquux7"),
+		[]byte("only needlexz here"),
+		[]byte("nothing relevant at all"),
+		[]byte(""),
+		bytes.Repeat([]byte("padding GET /admin padding "), 100),
+	}
+	for _, merge := range []int{0, 1, 2} {
+		base := Options{MergeFactor: merge, Prefilter: PrefilterOff}
+		off := MustCompile(pfPatterns, base)
+		for _, mode := range []PrefilterMode{PrefilterAuto, PrefilterOn} {
+			o := base
+			o.Prefilter = mode
+			rs := MustCompile(pfPatterns, o)
+			if !rs.PrefilterActive() {
+				t.Fatalf("merge=%d mode=%v: prefilter inactive on a fully filterable ruleset", merge, mode)
+			}
+			for _, in := range inputs {
+				want := off.FindAll(in)
+				got := rs.FindAll(in)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("merge=%d mode=%v input %q: prefiltered matches %v, unfiltered %v",
+						merge, mode, in, got, want)
+				}
+				wantN, err := off.CountParallel(in, 2)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gotN, err := rs.CountParallel(in, 2)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if gotN != wantN {
+					t.Fatalf("merge=%d mode=%v input %q: CountParallel %d, unfiltered %d",
+						merge, mode, in, gotN, wantN)
+				}
+			}
+		}
+	}
+}
+
+// TestPrefilterSkipsAndStats verifies that a factor-free input skips every
+// fully filterable group and that the skip is visible in Stats().Prefilter
+// at ruleset and scanner scope, plus the prefilter_skip trace event.
+func TestPrefilterSkipsAndStats(t *testing.T) {
+	rs := MustCompile(pfPatterns, Options{MergeFactor: 2, TraceCapacity: 64})
+	if !rs.PrefilterActive() {
+		t.Fatal("prefilter inactive")
+	}
+	input := bytes.Repeat([]byte("irrelevant traffic "), 50)
+	s := rs.NewScanner()
+	if got := s.Count(input); got != 0 {
+		t.Fatalf("Count = %d on factor-free input", got)
+	}
+
+	pf := rs.Stats().Prefilter
+	if pf == nil {
+		t.Fatal("Stats().Prefilter is nil on a gated ruleset")
+	}
+	if pf.Sweeps != 1 || pf.FactorHits != 0 {
+		t.Fatalf("Sweeps = %d, FactorHits = %d; want 1, 0", pf.Sweeps, pf.FactorHits)
+	}
+	if pf.GroupsSkipped != int64(rs.NumAutomata()) {
+		t.Fatalf("GroupsSkipped = %d, want all %d groups", pf.GroupsSkipped, rs.NumAutomata())
+	}
+	if want := int64(rs.NumAutomata()) * int64(len(input)); pf.BytesSaved != want {
+		t.Fatalf("BytesSaved = %d, want %d", pf.BytesSaved, want)
+	}
+	if pf.FilterableRules != len(pfPatterns) || pf.Factors == 0 {
+		t.Fatalf("FilterableRules = %d, Factors = %d", pf.FilterableRules, pf.Factors)
+	}
+
+	spf := s.Stats().Prefilter
+	if spf == nil || spf.GroupsSkipped != pf.GroupsSkipped {
+		t.Fatalf("scanner-scope prefilter stats %+v, ruleset-scope %+v", spf, pf)
+	}
+
+	skips := 0
+	for _, ev := range rs.TraceEvents() {
+		if ev.Kind == "prefilter_skip" {
+			skips++
+			if ev.Value != int64(len(input)) {
+				t.Fatalf("prefilter_skip Value = %d, want input length %d", ev.Value, len(input))
+			}
+		}
+	}
+	if skips != rs.NumAutomata() {
+		t.Fatalf("recorded %d prefilter_skip events, want %d", skips, rs.NumAutomata())
+	}
+
+	// The skipped executions must not inflate the scan counters.
+	if st := rs.Stats(); st.BytesScanned != 0 || st.Scans != 0 {
+		t.Fatalf("skipped groups still counted work: Scans = %d, BytesScanned = %d",
+			st.Scans, st.BytesScanned)
+	}
+}
+
+// TestPrefilterPartialWake verifies group granularity: an input containing
+// only one group's factors runs that group and skips the other.
+func TestPrefilterPartialWake(t *testing.T) {
+	rs := MustCompile(pfPatterns, Options{MergeFactor: 2})
+	input := []byte("a needlexz sails through") // factor of rule 2 only
+	got := rs.FindAll(input)
+	if len(got) != 1 || got[0].Rule != 2 {
+		t.Fatalf("matches = %v, want exactly rule 2", got)
+	}
+	pf := rs.Stats().Prefilter
+	if pf.GroupsSkipped == 0 || pf.GroupsSkipped >= int64(rs.NumAutomata()) {
+		t.Fatalf("GroupsSkipped = %d of %d groups; want a strict subset skipped",
+			pf.GroupsSkipped, rs.NumAutomata())
+	}
+	if pf.FactorHits == 0 {
+		t.Fatal("FactorHits = 0 despite a factor occurring")
+	}
+}
+
+// TestPrefilterAutoRequiresFilterableGroup verifies the auto rule: when no
+// automaton is fully filterable the sweep cannot skip anything, so auto
+// stays off while PrefilterOn (with grouping bias) still engages.
+func TestPrefilterAutoRequiresFilterableGroup(t *testing.T) {
+	mixed := []string{"needleone[a-z]*", "[ab]+", "needletwo[a-z]*", "[cd]+"}
+	auto := MustCompile(mixed, Options{MergeFactor: 2})
+	if auto.PrefilterActive() {
+		t.Fatal("auto mode engaged although every group contains an unfilterable rule")
+	}
+	on := MustCompile(mixed, Options{MergeFactor: 2, Prefilter: PrefilterOn})
+	if !on.PrefilterActive() {
+		t.Fatal("PrefilterOn did not engage")
+	}
+	// Factor-aware grouping must have packed the two filterable rules into
+	// one group, making it skippable on factor-free input.
+	if _ = on.FindAll([]byte("zzzz")); on.Stats().Prefilter.GroupsSkipped == 0 {
+		t.Fatal("PrefilterOn grouping produced no skippable group")
+	}
+	// And results still match the ungated compilation on a busy input.
+	in := []byte("needleonex cd ab needletwoy")
+	off := MustCompile(mixed, Options{MergeFactor: 2, Prefilter: PrefilterOff})
+	if want, got := off.FindAll(in), on.FindAll(in); !reflect.DeepEqual(got, want) {
+		t.Fatalf("PrefilterOn matches %v, PrefilterOff %v", got, want)
+	}
+}
+
+// TestPrefilterCancellation verifies context cancellation is honored inside
+// the prefilter sweep path as well as the engines.
+func TestPrefilterCancellation(t *testing.T) {
+	rs := MustCompile(pfPatterns, Options{MergeFactor: 2})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	input := bytes.Repeat([]byte("GET /admin "), 4096)
+	if _, err := rs.FindAllContext(ctx, input); !errors.Is(err, context.Canceled) {
+		t.Fatalf("FindAllContext error = %v, want context.Canceled", err)
+	}
+	if _, err := rs.CountParallelContext(ctx, input, 2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("CountParallelContext error = %v, want context.Canceled", err)
+	}
+}
+
+// TestPrefilterANMLRoundTrip verifies a ruleset reloaded from ANML rebuilds
+// its gating plan from the serialized pattern sources.
+func TestPrefilterANMLRoundTrip(t *testing.T) {
+	rs := MustCompile(pfPatterns, Options{MergeFactor: 2})
+	var buf bytes.Buffer
+	if err := rs.WriteANML(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadANML(&buf, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loaded.PrefilterActive() {
+		t.Fatal("prefilter inactive after ANML round trip")
+	}
+	in := []byte("cmd.exe and fooquux")
+	if want, got := rs.FindAll(in), loaded.FindAll(in); !reflect.DeepEqual(got, want) {
+		t.Fatalf("reloaded matches %v, original %v", got, want)
+	}
+	if loaded.Count([]byte("factor-free")) != 0 || loaded.Stats().Prefilter.GroupsSkipped == 0 {
+		t.Fatal("reloaded ruleset did not gate a factor-free input")
+	}
+}
+
+// streamMatches feeds input to a StreamMatcher in the given chunk sizes and
+// returns the collected matches plus the matcher for stats inspection.
+func streamMatches(t *testing.T, rs *Ruleset, input []byte, chunk int) ([]Match, *StreamMatcher) {
+	t.Helper()
+	var got []Match
+	sm := rs.NewStreamMatcher(func(m Match) { got = append(got, m) })
+	for off := 0; off < len(input); off += chunk {
+		end := off + chunk
+		if end > len(input) {
+			end = len(input)
+		}
+		if _, err := sm.Write(input[off:end]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sm.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return got, sm
+}
+
+// TestPrefilterStreamSingleWrite verifies the streaming fast path: a
+// one-Write stream of factor-free input skips every gated automaton
+// entirely, and the stream's Stats record the skip.
+func TestPrefilterStreamSingleWrite(t *testing.T) {
+	rs := MustCompile(pfPatterns, Options{MergeFactor: 2})
+	input := bytes.Repeat([]byte("benign payload "), 100)
+	got, sm := streamMatches(t, rs, input, len(input))
+	if len(got) != 0 {
+		t.Fatalf("matches = %v on factor-free stream", got)
+	}
+	pf := sm.Stats().Prefilter
+	if pf == nil || pf.GroupsSkipped != int64(rs.NumAutomata()) {
+		t.Fatalf("stream prefilter stats = %+v, want all %d groups skipped", pf, rs.NumAutomata())
+	}
+	if want := int64(rs.NumAutomata()) * int64(len(input)); pf.BytesSaved != want {
+		t.Fatalf("BytesSaved = %d, want %d", pf.BytesSaved, want)
+	}
+	if st := sm.Stats(); st.Scans != 0 || st.BytesScanned != 0 {
+		t.Fatalf("skipped stream still counted work: %+v", st)
+	}
+}
+
+// TestPrefilterStreamConformance verifies streamed results are
+// byte-identical to FindAll and to an unfiltered stream across chunk sizes
+// — including 1-byte chunks, factors split across chunk boundaries, and
+// matches that start before the factor's first occurrence.
+func TestPrefilterStreamConformance(t *testing.T) {
+	inputs := [][]byte{
+		[]byte("xxneedlexz then GET /adminq"),       // factors inside one input
+		[]byte("no factors whatsoever in this one"), //
+		[]byte("cmd.exe"),                           // exact single match
+		bytes.Repeat([]byte("fooquux1 "), 40),       // many matches
+	}
+	off := MustCompile(pfPatterns, Options{MergeFactor: 2, Prefilter: PrefilterOff})
+	on := MustCompile(pfPatterns, Options{MergeFactor: 2})
+	if !on.PrefilterActive() {
+		t.Fatal("prefilter inactive")
+	}
+	for _, in := range inputs {
+		want := off.FindAll(in)
+		for _, chunk := range []int{1, 3, 7, len(in) + 1} {
+			got, _ := streamMatches(t, on, in, chunk)
+			sortMatches(got)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("chunk=%d input %q: streamed %v, FindAll %v", chunk, in, got, want)
+			}
+		}
+	}
+}
+
+// TestPrefilterStreamWakeReplay pins the mid-stream wake semantics: when a
+// factor first appears in the second Write, gated automata replay the first
+// chunk so a match spanning the boundary — or starting before the factor —
+// is still found.
+func TestPrefilterStreamWakeReplay(t *testing.T) {
+	rs := MustCompile(pfPatterns, Options{MergeFactor: 2})
+	// "needle" is split across the two writes; the match starts in chunk 1.
+	chunks := [][]byte{[]byte("xxneed"), []byte("lexz and more")}
+	var got []Match
+	sm := rs.NewStreamMatcher(func(m Match) { got = append(got, m) })
+	for _, c := range chunks {
+		if _, err := sm.Write(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sm.Close(); err != nil {
+		t.Fatal(err)
+	}
+	want := MustCompile(pfPatterns, Options{MergeFactor: 2, Prefilter: PrefilterOff}).
+		FindAll(bytes.Join(chunks, nil))
+	sortMatches(got)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("wake-replay streamed %v, want %v", got, want)
+	}
+	// Nothing may be reported skipped: every automaton ultimately ran.
+	if pf := sm.Stats().Prefilter; pf == nil || pf.GroupsSkipped != 0 {
+		t.Fatalf("prefilter stats = %+v, want zero skips after wake", pf)
+	}
+}
+
+// TestQuickPrefilterConformance is the differential quickcheck of the
+// prefilter across the full execution matrix: random inputs — over
+// alphabets chosen so factors sometimes occur and sometimes cannot — run
+// through FindAll, CountParallel, and randomly chunked StreamMatchers
+// (including 1-byte writes), on both engines, with the prefilter on and
+// off. Every combination must produce the identical match set.
+func TestQuickPrefilterConformance(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	engines := []Options{
+		{},                  // iMFAnt, pop semantics
+		{KeepOnMatch: true}, // auto → lazy-DFA
+		{Engine: EngineIMFAnt, KeepOnMatch: true}, // keep semantics on iMFAnt
+	}
+	alphabets := []string{"abcde", "cde", "de"} // from factor-rich to factor-free
+	for _, base := range engines {
+		for _, minLen := range []int{1, 2} {
+			for _, merge := range []int{0, 2} {
+				offOpts, onOpts := base, base
+				offOpts.Prefilter, offOpts.MergeFactor = PrefilterOff, merge
+				onOpts.Prefilter, onOpts.MergeFactor, onOpts.MinFactorLen = PrefilterOn, merge, minLen
+				off := MustCompile(quickcheckPatterns, offOpts)
+				on := MustCompile(quickcheckPatterns, onOpts)
+				if !on.PrefilterActive() {
+					t.Fatalf("opts %+v: prefilter inactive", onOpts)
+				}
+				for trial := 0; trial < 25; trial++ {
+					ab := alphabets[rng.Intn(len(alphabets))]
+					in := make([]byte, rng.Intn(100))
+					for i := range in {
+						in[i] = ab[rng.Intn(len(ab))]
+					}
+					want := off.FindAll(in)
+					if got := on.FindAll(in); !reflect.DeepEqual(got, want) {
+						t.Fatalf("opts %+v minLen=%d input %q: FindAll %v, unfiltered %v",
+							base, minLen, in, got, want)
+					}
+					wantN, _ := off.CountParallel(in, 2)
+					if gotN, _ := on.CountParallel(in, 2); gotN != wantN {
+						t.Fatalf("opts %+v minLen=%d input %q: CountParallel %d, unfiltered %d",
+							base, minLen, in, gotN, wantN)
+					}
+					var got []Match
+					sm := on.NewStreamMatcher(func(m Match) { got = append(got, m) })
+					for written := 0; written < len(in); {
+						n := 1
+						if rng.Intn(3) > 0 {
+							n = 1 + rng.Intn(len(in)-written)
+						}
+						if w, err := sm.Write(in[written : written+n]); err != nil || w != n {
+							t.Fatalf("opts %+v: Write = (%d, %v)", base, w, err)
+						}
+						written += n
+					}
+					if err := sm.Close(); err != nil {
+						t.Fatal(err)
+					}
+					sortMatches(got)
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("opts %+v minLen=%d input %q: stream %v, unfiltered %v",
+							base, minLen, in, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPrefilterMinFactorLen verifies the knob: a threshold longer than any
+// extractable factor leaves every rule unfilterable, so auto mode stays off.
+func TestPrefilterMinFactorLen(t *testing.T) {
+	rs := MustCompile([]string{"abc[0-9]", "xyz[0-9]"}, Options{MinFactorLen: 10})
+	if rs.PrefilterActive() {
+		t.Fatal("prefilter engaged although MinFactorLen exceeds every literal run")
+	}
+	rs = MustCompile([]string{"abc[0-9]", "xyz[0-9]"}, Options{MinFactorLen: 3})
+	if !rs.PrefilterActive() {
+		t.Fatal("prefilter off although both rules have 3-byte factors")
+	}
+}

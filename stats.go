@@ -34,11 +34,34 @@ type Stats struct {
 	// Lazy holds the lazy-DFA cache counters; nil when the ruleset runs
 	// on the iMFAnt engine.
 	Lazy *LazyStats `json:"lazy,omitempty"`
+	// Prefilter holds the literal-factor prefilter counters; nil when the
+	// prefilter is not gating scans (see Options.Prefilter).
+	Prefilter *PrefilterStats `json:"prefilter,omitempty"`
 	// Profile holds the sampling profiler's aggregates; nil when the
 	// ruleset was compiled without Options.Profile. Ruleset scope only —
 	// Scanner and StreamMatcher snapshots omit it (the profiler is shared
 	// ruleset-wide).
 	Profile *ProfileStats `json:"profile,omitempty"`
+}
+
+// PrefilterStats is the literal-factor prefilter section of a stats
+// snapshot. GroupsSkipped versus Scans is the skip rate; BytesSaved is the
+// input volume the skipped automaton executions never had to touch.
+type PrefilterStats struct {
+	// FilterableRules is the number of rules carrying a literal factor.
+	FilterableRules int `json:"filterable_rules"`
+	// Factors is the number of distinct factor strings swept for.
+	Factors int `json:"factors"`
+	// Sweeps counts Aho–Corasick sweeps (one per gated scan or stream).
+	Sweeps int64 `json:"sweeps"`
+	// FactorHits counts distinct factors found per sweep, summed over
+	// sweeps (the prefilter_factor_hits counter).
+	FactorHits int64 `json:"prefilter_factor_hits"`
+	// GroupsSkipped counts whole MFSA executions elided by the prefilter.
+	GroupsSkipped int64 `json:"groups_skipped"`
+	// BytesSaved totals the input bytes those executions would have
+	// scanned.
+	BytesSaved int64 `json:"bytes_saved"`
 }
 
 // ProfileStats is the profiler section of a stats snapshot: sampled state
@@ -132,6 +155,16 @@ func statsFrom(t telemetry.Stats) Stats {
 			Fallbacks:    t.Lazy.Fallbacks,
 		}
 	}
+	if t.Prefilter != nil {
+		s.Prefilter = &PrefilterStats{
+			FilterableRules: t.Prefilter.FilterableRules,
+			Factors:         t.Prefilter.Factors,
+			Sweeps:          t.Prefilter.Sweeps,
+			FactorHits:      t.Prefilter.FactorHits,
+			GroupsSkipped:   t.Prefilter.GroupsSkipped,
+			BytesSaved:      t.Prefilter.BytesSaved,
+		}
+	}
 	if t.Profile != nil {
 		p := &ProfileStats{
 			Stride:         t.Profile.Stride,
@@ -210,6 +243,7 @@ func (s *Scanner) Stats() Stats {
 			st.Matches += t.Matches
 		}
 	}
+	st.Prefilter = s.pref.stats(s.rs.pf)
 	return st
 }
 
@@ -219,7 +253,10 @@ func (s *Scanner) Stats() Stats {
 // concurrent with Write or Close.
 func (sm *StreamMatcher) Stats() Stats {
 	st := Stats{RuleHits: append([]int64(nil), sm.ruleHits...)}
-	for _, r := range sm.engines {
+	for i, r := range sm.engines {
+		if sm.isGated(i) {
+			continue
+		}
 		t := r.Totals()
 		st.Scans += t.Scans
 		st.BytesScanned += t.Symbols
@@ -228,6 +265,9 @@ func (sm *StreamMatcher) Stats() Stats {
 	if sm.lazies != nil {
 		l := &LazyStats{Automata: len(sm.lazies)}
 		for i, r := range sm.lazies {
+			if sm.isGated(i) {
+				continue
+			}
 			t := r.Totals()
 			st.Scans += t.Scans
 			st.BytesScanned += t.Symbols
@@ -244,5 +284,6 @@ func (sm *StreamMatcher) Stats() Stats {
 		}
 		st.Lazy = l
 	}
+	st.Prefilter = sm.pref.stats(sm.rs.pf)
 	return st
 }

@@ -5,6 +5,7 @@ import (
 	"io"
 	"time"
 
+	"repro/internal/ahocorasick"
 	"repro/internal/engine"
 	"repro/internal/lazydfa"
 	"repro/internal/telemetry"
@@ -33,6 +34,20 @@ import (
 // were consumed before the cancellation and the context's error, and every
 // later Write and Close returns the same sticky error (Err).
 //
+// On rulesets whose literal-factor prefilter is active (Options.Prefilter)
+// the stream stays exact while still skipping work: fully filterable
+// automata start gated. The first Write is swept for factors before any
+// byte is fed, so a gated automaton whose factor occurs activates with zero
+// bytes consumed — exactly as if it had never been gated. An automaton
+// still gated when a second Write arrives cannot be activated lazily any
+// more (a match could start before its factor's first occurrence), so it
+// wakes by replaying the buffered first chunk and the prefilter retires for
+// the rest of the stream; matches from that replay are reported during the
+// later Write. An automaton still gated at Close is skipped outright, which
+// is sound: its rules each require a factor that never occurred anywhere in
+// the stream. The streamed match set is byte-identical to the unfiltered
+// one in every case; the savings concentrate on single-Write streams.
+//
 // A StreamMatcher is not safe for concurrent use.
 type StreamMatcher struct {
 	rs       *Ruleset
@@ -43,7 +58,16 @@ type StreamMatcher struct {
 	closed   bool
 	err      error // sticky: first checkpoint failure
 	matches  int64
+	consumed int64 // bytes consumed across Writes
 	ruleHits []int64
+
+	// Prefilter state; inert when the ruleset is ungated.
+	sweep      *ahocorasick.Sweeper
+	gated      []bool // per automaton: skipped until its factor occurs
+	gatedCount int
+	pending    []byte // first chunk, buffered while any automaton is gated
+	wrote      bool   // a Write has consumed bytes
+	pref       prefCounters
 }
 
 // RuleInfo identifies one rule inside a stream matcher.
@@ -104,17 +128,110 @@ func (rs *Ruleset) NewStreamMatcherContext(ctx context.Context, onMatch func(Mat
 			sm.engines = append(sm.engines, runner)
 		}
 	}
+	if pf := rs.pf; pf != nil {
+		sm.gated = make([]bool, len(rs.programs))
+		for i := range sm.gated {
+			if !pf.groupAlways[i] {
+				sm.gated[i] = true
+				sm.gatedCount++
+			}
+		}
+		if sm.gatedCount > 0 {
+			sm.sweep = pf.ac.NewSweeper()
+		}
+	}
 	return sm
 }
 
-// feed hands one chunk to every automaton.
+// isGated reports whether automaton i is currently skipped by the
+// prefilter.
+func (sm *StreamMatcher) isGated(i int) bool {
+	return sm.gated != nil && sm.gated[i]
+}
+
+// feed hands one chunk to every active automaton; gated ones stay idle.
 func (sm *StreamMatcher) feed(chunk []byte, final bool) {
-	for _, r := range sm.engines {
-		r.Feed(chunk, final)
+	for i, r := range sm.engines {
+		if !sm.isGated(i) {
+			r.Feed(chunk, final)
+		}
 	}
-	for _, r := range sm.lazies {
-		r.Feed(chunk, final)
+	for i, r := range sm.lazies {
+		if !sm.isGated(i) {
+			r.Feed(chunk, final)
+		}
 	}
+}
+
+// feedOne hands one chunk to automaton i only (first-chunk replay when a
+// gated automaton wakes mid-stream).
+func (sm *StreamMatcher) feedOne(i int, chunk []byte) {
+	if sm.engines != nil {
+		sm.engines[i].Feed(chunk, false)
+	} else {
+		sm.lazies[i].Feed(chunk, false)
+	}
+}
+
+// prefilterAdmit advances the gating state for an incoming chunk, before
+// any of it is fed. A no-op once nothing is gated.
+func (sm *StreamMatcher) prefilterAdmit(p []byte) error {
+	if sm.gatedCount == 0 {
+		return nil
+	}
+	pf := sm.rs.pf
+	if !sm.wrote {
+		// First chunk: sweep before feeding, so a factor-triggered
+		// automaton activates with zero bytes consumed and runs the stream
+		// from its first byte like an ungated one.
+		for off := 0; off < len(p) && !sm.sweep.Done(); off += engine.DefaultCheckpointEvery {
+			if err := sm.poll(); err != nil {
+				return err
+			}
+			end := off + engine.DefaultCheckpointEvery
+			if end > len(p) {
+				end = len(p)
+			}
+			sm.sweep.Sweep(p[off:end])
+		}
+		sm.pref.sweeps = 1
+		sm.pref.hits = int64(sm.sweep.Seen())
+		for i := range sm.gated {
+			if sm.gated[i] && pf.active(i, sm.sweep) {
+				sm.gated[i] = false
+				sm.gatedCount--
+			}
+		}
+		if sm.gatedCount > 0 {
+			sm.pending = append([]byte(nil), p...)
+		}
+		return nil
+	}
+	// A later chunk arrived with automata still gated. Activating one
+	// mid-stream cannot be exact — a match may start before the factor's
+	// first occurrence — so every gated automaton wakes by replaying the
+	// buffered first chunk, and the prefilter retires for this stream.
+	for i := range sm.gated {
+		if !sm.gated[i] {
+			continue
+		}
+		pending := sm.pending
+		for len(pending) > 0 {
+			if err := sm.poll(); err != nil {
+				return err
+			}
+			blk := pending
+			if sm.check != nil && len(blk) > engine.DefaultCheckpointEvery {
+				blk = blk[:engine.DefaultCheckpointEvery]
+			}
+			sm.feedOne(i, blk)
+			pending = pending[len(blk):]
+		}
+		sm.gated[i] = false
+		sm.gatedCount--
+	}
+	sm.pending = nil
+	return nil
 }
 
 // flushHeld feeds each runner's held-back byte as ordinary data, so that
@@ -165,6 +282,9 @@ func (sm *StreamMatcher) Write(p []byte) (int, error) {
 	if sm.rs.chunkLat != nil {
 		defer func(t0 time.Time) { sm.rs.chunkLat.Record(time.Since(t0).Nanoseconds()) }(time.Now())
 	}
+	if err := sm.prefilterAdmit(p); err != nil {
+		return 0, err
+	}
 	// The chunk is fed in checkpoint-sized blocks so a cancelled context
 	// stops consuming input promptly and the consumed-byte count stays
 	// exact. The runners themselves hold back the most recent byte until
@@ -179,12 +299,15 @@ func (sm *StreamMatcher) Write(p []byte) (int, error) {
 		sm.feed(blk, false)
 		p = p[len(blk):]
 		n += len(blk)
+		sm.consumed += int64(len(blk))
 		if len(p) > 0 {
 			if err := sm.poll(); err != nil {
+				sm.wrote = true
 				return n, err
 			}
 		}
 	}
+	sm.wrote = true
 	return n, nil
 }
 
@@ -202,22 +325,34 @@ func (sm *StreamMatcher) Close() error {
 	if sm.poll() == nil {
 		sm.feed(nil, true)
 	}
-	for _, r := range sm.engines {
-		r.End()
+	for i, r := range sm.engines {
+		if !sm.isGated(i) {
+			r.End()
+		}
 	}
-	for _, r := range sm.lazies {
-		r.End()
+	for i, r := range sm.lazies {
+		if !sm.isGated(i) {
+			r.End()
+		}
+	}
+	// Automata still gated here are skipped for good: each of their rules
+	// requires a factor that never occurred in the stream.
+	if sm.gatedCount > 0 {
+		sm.pref.skipped = int64(sm.gatedCount)
+		sm.pref.saved = int64(sm.gatedCount) * sm.consumed
+		if sm.rs.trace != nil {
+			for i := range sm.gated {
+				if sm.gated[i] {
+					sm.rs.trace.Record(telemetry.Event{Kind: telemetry.EventPrefilterSkip,
+						Automaton: int32(i), Rule: -1, Offset: -1, Value: sm.consumed})
+				}
+			}
+		}
 	}
 	sm.pushTelemetry()
 	if sm.rs.trace != nil {
-		var consumed int64
-		if len(sm.engines) > 0 {
-			consumed = sm.engines[0].Totals().Symbols
-		} else if len(sm.lazies) > 0 {
-			consumed = sm.lazies[0].Totals().Symbols
-		}
 		sm.rs.trace.Record(telemetry.Event{Kind: telemetry.EventStreamEnd,
-			Automaton: -1, Rule: -1, Offset: consumed, Value: sm.matches})
+			Automaton: -1, Rule: -1, Offset: sm.consumed, Value: sm.matches})
 	}
 	return sm.err
 }
@@ -226,19 +361,28 @@ func (sm *StreamMatcher) Close() error {
 // collector. Runs once, at Close — never on the byte path.
 func (sm *StreamMatcher) pushTelemetry() {
 	c := sm.rs.collector
-	for _, r := range sm.engines {
+	for i, r := range sm.engines {
+		if sm.isGated(i) {
+			continue
+		}
 		t := r.Totals()
 		c.AddScans(t.Scans)
 		c.AddBytes(t.Symbols)
 		c.AddMatches(t.Matches)
 	}
 	for i, r := range sm.lazies {
+		if sm.isGated(i) {
+			continue
+		}
 		t := r.Totals()
 		c.AddScans(t.Scans)
 		c.AddBytes(t.Symbols)
 		c.AddMatches(t.Matches)
 		c.AddLazyScan(t.CacheHits, t.CacheMisses, t.Flushes, t.Fallbacks)
 		c.SetCachedStates(i, int64(r.CachedStates()))
+	}
+	if sm.sweep != nil {
+		c.AddPrefilterScan(sm.pref.sweeps, sm.pref.hits, sm.pref.skipped, sm.pref.saved)
 	}
 	for id, n := range sm.ruleHits {
 		if n != 0 {
