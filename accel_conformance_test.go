@@ -1,0 +1,194 @@
+package imfant
+
+import (
+	"math/rand"
+	"os"
+	"testing"
+
+	"repro/internal/snort"
+)
+
+// accelTestPatterns share the '/' start byte so every execution layer's skip
+// engages: the lazy DFA's state acceleration, the iMFAnt start-byte skip,
+// and the prefilter sweep's root skip. Anchored and $-anchored rules pin the
+// stream-edge carve-outs.
+var accelTestPatterns = []string{
+	"/admin", "/etc/passwd", "/bin/sh[0-9]*", "/usr/(bin|lib)",
+	"^GET /", "/logout$", "/cgi-bin/.*\\.pl",
+}
+
+// accelTraffic builds n bytes of benign HTTP-ish filler salted with pattern
+// fragments, the traffic shape of the snort studies.
+func accelTraffic(n int, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	frags := []string{
+		"Host: example.com\r\n", "User-Agent: Mozilla\r\n", "Accept: text\r\n",
+		"GET /admin HTTP/1.0\r\n", "/etc/passwd", "/bin/sh77", "/usr/lib",
+		"GET /logout", "/cgi-bin/x.pl",
+	}
+	var out []byte
+	for len(out) < n {
+		out = append(out, frags[rng.Intn(len(frags))]...)
+	}
+	return out[:n]
+}
+
+// TestAccelConformancePublic checks Options.Accel end to end: accel on and
+// off produce byte-identical results for FindAll, CountParallel, and
+// randomly chunked streams, on both engines, with the prefilter off and on.
+func TestAccelConformancePublic(t *testing.T) {
+	input := accelTraffic(128<<10, 17)
+	rng := rand.New(rand.NewSource(23))
+	for _, tc := range []struct {
+		name string
+		opts Options
+	}{
+		{"imfant", Options{MergeFactor: 2, Engine: EngineIMFAnt, Prefilter: PrefilterOff}},
+		{"imfant-pref", Options{MergeFactor: 2, Engine: EngineIMFAnt, Prefilter: PrefilterOn}},
+		{"lazy", Options{MergeFactor: 2, Engine: EngineLazyDFA, KeepOnMatch: true, Prefilter: PrefilterOff}},
+		{"lazy-pref", Options{MergeFactor: 2, Engine: EngineLazyDFA, KeepOnMatch: true, Prefilter: PrefilterOn}},
+		{"lazy-pop", Options{MergeFactor: 2, Engine: EngineLazyDFA, Prefilter: PrefilterOff}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			onOpts, offOpts := tc.opts, tc.opts
+			onOpts.Accel = AccelOn
+			offOpts.Accel = AccelOff
+			on := MustCompile(accelTestPatterns, onOpts)
+			off := MustCompile(accelTestPatterns, offOpts)
+
+			want := off.FindAll(input)
+			got := on.FindAll(input)
+			sortMatches(want)
+			sortMatches(got)
+			if len(want) == 0 {
+				t.Fatal("test traffic produced no matches; conformance vacuous")
+			}
+			if len(got) != len(want) {
+				t.Fatalf("FindAll: %d matches accel on, %d off", len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("FindAll match %d differs: %+v vs %+v", i, got[i], want[i])
+				}
+			}
+
+			nOn, err := on.CountParallel(input, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			nOff, err := off.CountParallel(input, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if nOn != nOff {
+				t.Fatalf("CountParallel: %d accel on, %d off", nOn, nOff)
+			}
+
+			var streamed []Match
+			sm := on.NewStreamMatcher(func(m Match) { streamed = append(streamed, m) })
+			for pos := 0; pos < len(input); {
+				end := pos + 1 + rng.Intn(4096)
+				if end > len(input) {
+					end = len(input)
+				}
+				if _, err := sm.Write(input[pos:end]); err != nil {
+					t.Fatal(err)
+				}
+				pos = end
+			}
+			if err := sm.Close(); err != nil {
+				t.Fatal(err)
+			}
+			sortMatches(streamed)
+			if len(streamed) != len(want) {
+				t.Fatalf("stream: %d matches accel on, %d block accel off", len(streamed), len(want))
+			}
+			for i := range streamed {
+				if streamed[i] != want[i] {
+					t.Fatalf("stream match %d differs: %+v vs %+v", i, streamed[i], want[i])
+				}
+			}
+
+			// The accel section must report, and with the '/'-hub ruleset the
+			// skips must actually engage (lazy-pop delegates to iMFAnt, whose
+			// start-byte skip still fires).
+			st := on.Stats()
+			if st.Accel == nil {
+				t.Fatal("accel on: Stats().Accel is nil")
+			}
+			if st.Accel.BytesSkipped == 0 {
+				t.Fatal("accel on: no bytes skipped on a '/'-hub ruleset")
+			}
+			if st.Accel.BytesSkipped > st.BytesScanned {
+				t.Fatalf("BytesSkipped %d exceeds BytesScanned %d",
+					st.Accel.BytesSkipped, st.BytesScanned)
+			}
+			if stOff := off.Stats(); stOff.Accel != nil {
+				t.Fatalf("accel off: Stats().Accel = %+v, want nil", stOff.Accel)
+			}
+		})
+	}
+}
+
+// TestSnortAccelAccounting pins the non-overlap invariant between the two
+// byte-saving layers on the snort web-attacks ruleset: the prefilter's
+// BytesSaved counts automaton executions that never ran, acceleration's
+// BytesSkipped counts bytes inside executions that did run — so scanned and
+// saved bytes partition the total automaton-byte volume exactly, and skipped
+// bytes stay within the scanned share.
+func TestSnortAccelAccounting(t *testing.T) {
+	f, err := os.Open("internal/snort/testdata/web-attacks.rules")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rules, _, err := snort.ParseRules(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	patterns := make([]string, 0, len(rules))
+	for _, ru := range rules {
+		patterns = append(patterns, ru.Pattern)
+	}
+	rs, _, err := CompileLax(patterns, Options{
+		MergeFactor: 2, KeepOnMatch: true, Prefilter: PrefilterOn, Accel: AccelOn,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rs.PrefilterActive() {
+		t.Fatal("prefilter did not engage")
+	}
+
+	benign := accelTraffic(128<<10, 31)
+	sc := rs.NewScanner()
+	const scans = 3
+	for i := 0; i < scans; i++ {
+		sc.FindAllContext(t.Context(), benign)
+	}
+	st := sc.Stats()
+	if st.Prefilter == nil || st.Accel == nil {
+		t.Fatalf("missing stats sections: prefilter=%v accel=%v", st.Prefilter, st.Accel)
+	}
+	// Partition invariant: every (automaton, scan, byte) triple is either
+	// scanned or saved, never both and never neither.
+	total := int64(rs.NumAutomata()) * int64(len(benign)) * scans
+	if got := st.BytesScanned + st.Prefilter.BytesSaved; got != total {
+		t.Fatalf("BytesScanned %d + BytesSaved %d = %d, want %d (= automata × bytes × scans)",
+			st.BytesScanned, st.Prefilter.BytesSaved, got, total)
+	}
+	if st.Prefilter.BytesSaved == 0 {
+		t.Fatal("prefilter saved nothing on benign-heavy traffic")
+	}
+	// Skipped bytes live inside the scanned share — disjoint from saved.
+	if st.Accel.BytesSkipped == 0 {
+		t.Fatal("acceleration skipped nothing on the snort ruleset")
+	}
+	if st.Accel.BytesSkipped > st.BytesScanned {
+		t.Fatalf("BytesSkipped %d exceeds BytesScanned %d — the layers overlap",
+			st.Accel.BytesSkipped, st.BytesScanned)
+	}
+	t.Logf("automata=%d scans=%d: scanned %d + saved %d = %d; skipped %d (%.1f%% of scanned)",
+		rs.NumAutomata(), scans, st.BytesScanned, st.Prefilter.BytesSaved, total,
+		st.Accel.BytesSkipped, 100*float64(st.Accel.BytesSkipped)/float64(st.BytesScanned))
+}

@@ -149,3 +149,65 @@ func writePrefilterJSON(rows []prefilterRow, o experiments.Opts) (string, error)
 	}
 	return path, nil
 }
+
+// accelEntry is one (workload, engine) measurement of the Options.Accel
+// study, with the skip context a regression tracker needs to interpret the
+// speedup.
+type accelEntry struct {
+	// Benchmark names the measurement: accel/<workload>/<engine>.
+	Benchmark string `json:"benchmark"`
+	// SkippedFrac is accelerated-jump bytes over scanned bytes, in [0, 1].
+	SkippedFrac float64 `json:"skipped_frac"`
+	// AccelStates is the accelerable cached-state gauge (lazy engine only).
+	AccelStates int64 `json:"accel_states"`
+	// Matches is the per-scan match count, identical accel on and off.
+	Matches int64 `json:"matches"`
+	// OffNsPerOp / OnNsPerOp are whole-ruleset scan latencies with
+	// Options.Accel off and on; Speedup is their ratio.
+	OffNsPerOp int64   `json:"off_ns_per_op"`
+	OnNsPerOp  int64   `json:"on_ns_per_op"`
+	Speedup    float64 `json:"speedup"`
+}
+
+// writeAccelJSON records the Options.Accel on/off comparison as
+// BENCH_accel.json, archived by CI next to BENCH_prefilter.json.
+func writeAccelJSON(rows []accelRow, o experiments.Opts) (string, error) {
+	out := struct {
+		Name    string       `json:"name"`
+		Created string       `json:"created"`
+		Go      string       `json:"go"`
+		GOOS    string       `json:"goos"`
+		GOARCH  string       `json:"goarch"`
+		CPUs    int          `json:"cpus"`
+		Config  benchConfig  `json:"config"`
+		Results []accelEntry `json:"results"`
+	}{
+		Name:    "accel",
+		Created: time.Now().UTC().Format(time.RFC3339),
+		Go:      runtime.Version(),
+		GOOS:    runtime.GOOS,
+		GOARCH:  runtime.GOARCH,
+		CPUs:    runtime.NumCPU(),
+		Config:  benchConfig{StreamSize: o.StreamSize, Reps: o.Reps},
+	}
+	for _, row := range rows {
+		out.Results = append(out.Results, accelEntry{
+			Benchmark:   fmt.Sprintf("accel/%s/%s", row.Workload, row.Engine),
+			SkippedFrac: row.SkippedFrac,
+			AccelStates: row.AccelStates,
+			Matches:     row.Matches,
+			OffNsPerOp:  row.OffTime.Nanoseconds(),
+			OnNsPerOp:   row.OnTime.Nanoseconds(),
+			Speedup:     row.Speedup,
+		})
+	}
+	path := "BENCH_accel.json"
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}

@@ -55,6 +55,29 @@ const (
 	EngineLazyDFA
 )
 
+// AccelMode selects byte-skipping acceleration: memchr-class skip kernels
+// that let the engines jump over provably irrelevant input bytes instead of
+// stepping the automaton once per byte. The lazy-DFA engine classifies every
+// cached state at construction and jumps while parked in states with at most
+// four live outgoing bytes; the iMFAnt engine skips to the next possible
+// start byte while its activation vector is empty; the prefilter's
+// Aho–Corasick sweep skips while parked at its root. All three are exact:
+// match results are byte-identical in every mode.
+type AccelMode int
+
+const (
+	// AccelAuto (the zero value) enables acceleration. It is the default
+	// because the skips are exact and profitable whenever they engage;
+	// states and programs that do not qualify run the ordinary per-byte
+	// loops unchanged.
+	AccelAuto AccelMode = iota
+	// AccelOn forces acceleration (currently identical to AccelAuto).
+	AccelOn
+	// AccelOff disables every byte-skipping path — the measurement
+	// baseline, and an escape hatch.
+	AccelOff
+)
+
 // Options configures compilation and matching.
 type Options struct {
 	// MergeFactor is the paper's M: how many REs are merged into each
@@ -85,6 +108,11 @@ type Options struct {
 	// less; raising the threshold trades filterable-rule coverage for
 	// sweep selectivity.
 	MinFactorLen int
+	// Accel selects byte-skipping acceleration (lazy-DFA state
+	// acceleration, the iMFAnt start-byte skip, and the prefilter sweep's
+	// root skip). The zero value (AccelAuto) enables it; results are
+	// byte-identical in every mode. See AccelMode.
+	Accel AccelMode
 	// LazyDFAMaxStates caps the lazy-DFA transition cache per automaton
 	// and matching context; 0 selects lazydfa.DefaultMaxStates. Smaller
 	// caps bound memory at the cost of more cache flushes.
@@ -156,6 +184,9 @@ type Ruleset struct {
 	trace    *telemetry.TraceRing
 }
 
+// accelOn resolves the Accel knob: every mode but AccelOff accelerates.
+func (o Options) accelOn() bool { return o.Accel != AccelOff }
+
 // useLazy reports whether scans run on the lazy-DFA engine.
 func (rs *Ruleset) useLazy() bool {
 	switch rs.opts.Engine {
@@ -183,6 +214,9 @@ func (rs *Ruleset) buildEngines() {
 		}
 		rs.collector.EnableLazy(len(rs.programs),
 			lazydfa.ResolveMaxStates(rs.opts.LazyDFAMaxStates), classes)
+	}
+	if rs.opts.accelOn() {
+		rs.collector.EnableAccel(len(rs.programs))
 	}
 	if rs.opts.Profile {
 		rs.profiles = make([]*engine.Profile, len(rs.programs))
@@ -607,6 +641,7 @@ func (s *Scanner) run(ctx context.Context, input []byte, fn func(Match)) ([]scan
 				MaxStates:   rs.opts.LazyDFAMaxStates,
 				OnMatch:     onMatch,
 				Checkpoint:  check,
+				Accel:       rs.opts.accelOn(),
 				Profile:     rs.profileOf(i),
 			})
 			s.record(p, res.Matches, int64(res.Symbols), res.PerFSA)
@@ -616,6 +651,8 @@ func (s *Scanner) run(ctx context.Context, input []byte, fn func(Match)) ([]scan
 			}
 			rs.collector.AddLazyScan(res.CacheHits, res.CacheMisses, int64(res.Flushes), thrash)
 			rs.collector.SetCachedStates(i, int64(res.CachedStates))
+			rs.collector.AddAccelScan(res.AccelBytes)
+			rs.collector.SetAccelStates(i, int64(res.AccelStates))
 			if rs.trace != nil {
 				if res.Flushes > 0 {
 					rs.trace.Record(telemetry.Event{Kind: telemetry.EventLazyFlush,
@@ -635,9 +672,11 @@ func (s *Scanner) run(ctx context.Context, input []byte, fn func(Match)) ([]scan
 				KeepOnMatch: rs.opts.KeepOnMatch,
 				OnMatch:     onMatch,
 				Checkpoint:  check,
+				Accel:       rs.opts.accelOn(),
 				Profile:     rs.profileOf(i),
 			})
 			s.record(p, res.Matches, int64(res.Symbols), res.PerFSA)
+			rs.collector.AddAccelScan(res.AccelBytes)
 			out = append(out, scanResult{matches: res.Matches, perFSA: res.PerFSA})
 			if err := s.runners[i].Err(); err != nil {
 				return out, err
@@ -679,7 +718,8 @@ func (rs *Ruleset) CountParallel(input []byte, threads int) (int64, error) {
 // deadline expiry stops every worker at its next checkpoint and returns the
 // context's error.
 func (rs *Ruleset) CountParallelContext(ctx context.Context, input []byte, threads int) (int64, error) {
-	cfg := engine.Config{KeepOnMatch: rs.opts.KeepOnMatch, Checkpoint: checkpointOf(ctx)}
+	cfg := engine.Config{KeepOnMatch: rs.opts.KeepOnMatch, Checkpoint: checkpointOf(ctx),
+		Accel: rs.opts.accelOn()}
 	if rs.profiles != nil {
 		defer func(t0 time.Time) { rs.scanLat.Record(time.Since(t0).Nanoseconds()) }(time.Now())
 	}
@@ -715,6 +755,7 @@ func (rs *Ruleset) CountParallelContext(ctx context.Context, input []byte, threa
 		rs.collector.AddScans(1)
 		rs.collector.AddBytes(int64(res.Symbols))
 		rs.collector.AddMatches(res.Matches)
+		rs.collector.AddAccelScan(res.AccelBytes)
 		rules := progs[j].Rules()
 		for fsa, n := range res.PerFSA {
 			if n != 0 {

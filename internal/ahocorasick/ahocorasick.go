@@ -12,6 +12,8 @@ package ahocorasick
 
 import (
 	"fmt"
+
+	"repro/internal/bytescan"
 )
 
 // Matcher is an immutable multi-pattern string matcher; build with New.
@@ -20,6 +22,12 @@ type Matcher struct {
 	outputs  [][]int32 // pattern ids emitted at each node
 	patterns [][]byte
 	nodes    int
+	// rootFinder (valid when rootAccel) hunts the root-live bytes — the ≤ 4
+	// bytes that leave the root state. The root emits nothing (empty
+	// patterns are rejected), so while the automaton sits at the root every
+	// other byte is a provable no-op and the scan loops may jump over it.
+	rootFinder bytescan.Finder
+	rootAccel  bool
 }
 
 // New builds a matcher over the given patterns. Empty patterns are
@@ -84,6 +92,18 @@ func New(patterns [][]byte) (*Matcher, error) {
 			m.next[u*256+c] = resolve(trie, int32(u), byte(c))
 		}
 	}
+	var rootBytes []byte
+	for c := 0; c < 256; c++ {
+		if m.next[c] != 0 {
+			rootBytes = append(rootBytes, byte(c))
+		}
+	}
+	if len(rootBytes) <= bytescan.MaxNeedles {
+		if f, ok := bytescan.NewFinder(rootBytes); ok {
+			m.rootFinder = f
+			m.rootAccel = true
+		}
+	}
 	return m, nil
 }
 
@@ -118,6 +138,14 @@ func (m *Matcher) NumPatterns() int { return len(m.patterns) }
 func (m *Matcher) Scan(input []byte, fn func(pattern, end int)) {
 	state := int32(0)
 	for pos := 0; pos < len(input); pos++ {
+		if state == 0 && m.rootAccel {
+			// Parked at the root: jump to the next byte that leaves it.
+			j := m.rootFinder.Index(input[pos:])
+			if j < 0 {
+				return
+			}
+			pos += j
+		}
 		state = m.next[int(state)<<8|int(input[pos])]
 		for _, pi := range m.outputs[state] {
 			fn(int(pi), pos)
@@ -140,16 +168,28 @@ func (m *Matcher) Hits(input []byte) []bool {
 // zero chunking of a stream therefore never changes the hit set. Reuse via
 // Reset. A Sweeper is not safe for concurrent use.
 type Sweeper struct {
-	m     *Matcher
-	state int32
-	hits  []bool
-	left  int // patterns not seen yet; 0 short-circuits Sweep
+	m       *Matcher
+	state   int32
+	hits    []bool
+	left    int // patterns not seen yet; 0 short-circuits Sweep
+	accel   bool
+	skipped int64
 }
 
-// NewSweeper returns a fresh resumable hit query over the matcher.
+// NewSweeper returns a fresh resumable hit query over the matcher. Root-state
+// acceleration is on by default; SetAccel(false) disables it.
 func (m *Matcher) NewSweeper() *Sweeper {
-	return &Sweeper{m: m, hits: make([]bool, len(m.patterns)), left: len(m.patterns)}
+	return &Sweeper{m: m, hits: make([]bool, len(m.patterns)),
+		left: len(m.patterns), accel: true}
 }
+
+// SetAccel toggles the root-state byte skip for subsequent Sweeps. The hit
+// set is byte-identical either way; off exists for measurement and tests.
+func (s *Sweeper) SetAccel(on bool) { s.accel = on }
+
+// Skipped returns the cumulative number of bytes the root-state skip jumped
+// over (across Resets).
+func (s *Sweeper) Skipped() int64 { return s.skipped }
 
 // Sweep consumes the next chunk of the stream, updating the hit set.
 func (s *Sweeper) Sweep(chunk []byte) {
@@ -158,7 +198,19 @@ func (s *Sweeper) Sweep(chunk []byte) {
 	}
 	m := s.m
 	state := s.state
+	accel := s.accel && m.rootAccel
 	for pos := 0; pos < len(chunk) && s.left > 0; pos++ {
+		if accel && state == 0 {
+			// Parked at the root: every byte outside the root-live set is
+			// a self-loop with no outputs, so jump to the next live byte.
+			j := m.rootFinder.Index(chunk[pos:])
+			if j < 0 {
+				s.skipped += int64(len(chunk) - pos)
+				break
+			}
+			s.skipped += int64(j)
+			pos += j
+		}
 		state = m.next[int(state)<<8|int(chunk[pos])]
 		for _, pi := range m.outputs[state] {
 			if !s.hits[pi] {

@@ -161,6 +161,18 @@ func (s Set) Bytes() []byte {
 	return out
 }
 
+// FewBytes returns the set's elements when it holds at most max of them —
+// the live-byte extraction query of the byte-skipping acceleration layer,
+// which only accelerates automaton states whose outgoing labels union to a
+// handful of bytes. ok is false (with a nil slice) for larger sets, so the
+// common dense-label case costs one popcount and no allocation.
+func (s Set) FewBytes(max int) ([]byte, bool) {
+	if s.Len() > max {
+		return nil, false
+	}
+	return s.Bytes(), true
+}
+
 // ForEach calls fn for every byte in the set, in increasing order.
 func (s Set) ForEach(fn func(byte)) {
 	for i, w := range s.w {

@@ -117,6 +117,31 @@ func (pr *Profile) SampleActivations(acts []Activation) {
 	pr.samples.Add(1)
 }
 
+// SampleActivationsN folds n identical samples of one canonical activation
+// vector in a single pass — the bulk catch-up of an accelerated jump. A
+// lazy-DFA runner parked in an accelerable state consumes many bytes
+// without the vector changing, so the k stride boundaries a jump crosses
+// are semantically k samples of the same vector; recording them in bulk
+// keeps heat shares and sample counts byte-comparable with an unaccelerated
+// scan while doing the vector walk once.
+func (pr *Profile) SampleActivationsN(acts []Activation, n int64) {
+	if n <= 0 {
+		return
+	}
+	var pairs int64
+	for _, a := range acts {
+		pr.visits[a.State].Add(n)
+		for w, m := range a.J {
+			pairs += int64(popcount(m))
+			for ; m != 0; m &= m - 1 {
+				pr.fsa[w<<6+trailingZeros(m)].Add(n)
+			}
+		}
+	}
+	pr.pairs.RecordN(pairs, n)
+	pr.samples.Add(n)
+}
+
 // feedProfiled is the profiled form of feedChunk: it feeds chunk through
 // the unmodified hot loop in stride-sized blocks and samples the live
 // activation vector at each block boundary, so sampling adds no work to

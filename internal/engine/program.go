@@ -12,6 +12,7 @@
 package engine
 
 import (
+	"repro/internal/bytescan"
 	"repro/internal/charset"
 	"repro/internal/mfsa"
 )
@@ -58,6 +59,19 @@ type Program struct {
 	// class, so rows are numClasses wide instead of 256.
 	classOf    [256]uint8
 	numClasses int
+
+	// startBytes is the set of bytes that can begin a new unanchored match
+	// mid-stream: the union of the labels of transitions t with
+	// initAlways(from(t)) ∩ bel(t) ≠ ∅. When the traversal vector is empty
+	// past stream offset 0, every byte outside this set provably leaves it
+	// empty and emits nothing, so an accelerated scan may jump straight to
+	// the next member. startFinder is the prepared skip kernel; startAccel
+	// is true when the set is small enough to accelerate (≤
+	// bytescan.MaxNeedles — including the empty set of an all-^-anchored
+	// program, for which the kernel skips everything).
+	startBytes  []byte
+	startFinder bytescan.Finder
+	startAccel  bool
 
 	rules []RuleInfo
 }
@@ -143,6 +157,27 @@ func NewProgram(z *mfsa.MFSA) *Program {
 			p.owners[int(t.to)*w+w2] |= b
 		}
 	}
+	// Start-byte extraction for the empty-vector skip: a transition can
+	// wake an empty traversal only if an unanchored init at its source
+	// belongs to it, so the union of those transitions' labels is exactly
+	// the set of bytes that do anything mid-stream.
+	var starts charset.Set
+	for i, t := range z.Trans {
+		from := int(p.trans[i].from)
+		for w2 := 0; w2 < w; w2++ {
+			if p.initAlways[from*w+w2]&p.bel[i*w+w2] != 0 {
+				starts = starts.Union(t.Label)
+				break
+			}
+		}
+	}
+	p.startBytes = starts.Bytes()
+	if bs, ok := starts.FewBytes(bytescan.MaxNeedles); ok {
+		if f, ok := bytescan.NewFinder(bs); ok {
+			p.startFinder = f
+			p.startAccel = true
+		}
+	}
 	return p
 }
 
@@ -192,6 +227,13 @@ func (p *Program) ByteClasses() (classOf [256]uint8, n int) {
 
 // Rules returns the per-FSA rule metadata, indexed by FSA identifier.
 func (p *Program) Rules() []RuleInfo { return p.rules }
+
+// StartBytes returns the set of bytes that can begin a new unanchored
+// match past stream offset 0 (in increasing order), and whether the set is
+// small enough for the empty-vector skip to accelerate on it (see
+// Config.Accel). The empty set with accel true means every byte is dead
+// mid-stream: the program is entirely ^-anchored.
+func (p *Program) StartBytes() ([]byte, bool) { return p.startBytes, p.startAccel }
 
 // ListDensity returns the average number of transitions enabled per symbol,
 // a proxy for the per-byte traversal cost of iNFAnt-family algorithms.

@@ -11,6 +11,14 @@ type Config struct {
 	// Stats enables the per-symbol active-FSA accounting of Table II at
 	// a modest traversal overhead.
 	Stats bool
+	// Accel enables the empty-vector start-byte skip: whenever the
+	// traversal vector is empty past stream offset 0 and the program's
+	// start-byte set is small (Program.StartBytes), the scan jumps with a
+	// bytescan kernel to the next byte that can begin a match instead of
+	// stepping dead bytes one at a time. Results are byte-identical with
+	// the skip on or off — a dead byte fires no transition, so skipping it
+	// cannot lose activations or match events.
+	Accel bool
 	// OnMatch, when non-nil, is invoked for every match with the FSA
 	// identifier and the end offset of the match (inclusive). Each
 	// (FSA, end offset) pair is reported exactly once, even when several
@@ -53,6 +61,10 @@ type Result struct {
 	PerFSA []int64
 	// Symbols is the number of input bytes processed.
 	Symbols int
+	// AccelBytes counts the input bytes the start-byte skip jumped over
+	// instead of stepping (Config.Accel). Skipped bytes still count in
+	// Symbols — they were matched against, just in bulk.
+	AccelBytes int64
 
 	// ActivePairsTotal sums, over all input symbols, the number of
 	// (active state, active FSA) pairs in the state vector — the paper's
@@ -110,6 +122,9 @@ type Totals struct {
 	Symbols int64
 	// Matches is the total number of match events.
 	Matches int64
+	// AccelBytes is the total number of input bytes jumped over by the
+	// start-byte skip (Config.Accel), a subset of Symbols.
+	AccelBytes int64
 }
 
 // Runner holds the reusable buffers for repeated executions of one Program.
@@ -292,8 +307,22 @@ func (r *Runner) feedBody(chunk []byte, final bool) {
 	res := &r.res
 	res.Symbols += len(chunk)
 	last := len(chunk) - 1
+	accel := cfg.Accel && p.startAccel
 
 	for pos := 0; pos < len(chunk); pos++ {
+		if accel && len(r.cur.dirty) == 0 && r.offset+pos > 0 {
+			// Empty vector mid-stream: only a start byte does anything.
+			// Jump to the next one; every skipped byte provably fires no
+			// transition and so cannot activate or emit — even at the
+			// stream end.
+			j := p.startFinder.Index(chunk[pos:])
+			if j < 0 {
+				res.AccelBytes += int64(len(chunk) - pos)
+				break
+			}
+			res.AccelBytes += int64(j)
+			pos += j
+		}
 		c := chunk[pos]
 		cur, nxt := r.cur, r.nxt
 		atEnd := final && pos == last
@@ -427,6 +456,7 @@ func (r *Runner) End() Result {
 		r.totals.Scans++
 		r.totals.Symbols += int64(r.res.Symbols)
 		r.totals.Matches += r.res.Matches
+		r.totals.AccelBytes += r.res.AccelBytes
 	}
 	return r.res
 }
@@ -439,6 +469,7 @@ func (r *Runner) Totals() Totals {
 	if !r.ended {
 		t.Symbols += int64(r.res.Symbols)
 		t.Matches += r.res.Matches
+		t.AccelBytes += r.res.AccelBytes
 	}
 	return t
 }

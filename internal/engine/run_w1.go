@@ -11,8 +11,21 @@ func (r *Runner) feedW1(chunk []byte, final bool) {
 	res.Symbols += len(chunk)
 	last := len(chunk) - 1
 	endAnchored := p.endAnchored[0]
+	accel := cfg.Accel && p.startAccel
 
 	for pos := 0; pos < len(chunk); pos++ {
+		if accel && len(r.cur.dirty) == 0 && r.offset+pos > 0 {
+			// Empty vector mid-stream: jump to the next start byte (see
+			// the W>1 loop). Skipped bytes fire no transitions, so neither
+			// activations nor match events can be lost.
+			j := p.startFinder.Index(chunk[pos:])
+			if j < 0 {
+				res.AccelBytes += int64(len(chunk) - pos)
+				break
+			}
+			res.AccelBytes += int64(j)
+			pos += j
+		}
 		c := chunk[pos]
 		cur, nxt := r.cur, r.nxt
 		atEnd := final && pos == last

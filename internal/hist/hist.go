@@ -69,6 +69,26 @@ func (h *Histogram) Record(v int64) {
 	}
 }
 
+// RecordN adds n identical observations of v in one shot — the bulk form
+// of Record used by accelerated scans settling several stride-samples of a
+// constant value at once. n ≤ 0 records nothing.
+func (h *Histogram) RecordN(v, n int64) {
+	if n <= 0 {
+		return
+	}
+	h.buckets[bucketOf(v)].Add(n)
+	h.count.Add(n)
+	if v > 0 {
+		h.sum.Add(v * n)
+	}
+	for {
+		m := h.max.Load()
+		if v <= m || h.max.CompareAndSwap(m, v) {
+			return
+		}
+	}
+}
+
 // Count returns the number of recorded observations.
 func (h *Histogram) Count() int64 { return h.count.Load() }
 

@@ -1,0 +1,213 @@
+package lazydfa
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+// fillerInput returns n bytes of mostly-dead filler ('0'–'9') with the given
+// live fragments salted in at deterministic positions.
+func fillerInput(n int, seed int64, frags ...string) []byte {
+	r := rand.New(rand.NewSource(seed))
+	in := make([]byte, n)
+	for i := range in {
+		in[i] = byte('0' + r.Intn(10))
+	}
+	for _, f := range frags {
+		if len(f) >= n {
+			continue
+		}
+		off := r.Intn(n - len(f))
+		copy(in[off:], f)
+	}
+	return in
+}
+
+// TestAccelClassification checks that a ruleset with few start bytes yields
+// accelerable cached states and that a loop-dominated stream is consumed
+// almost entirely by jumps.
+func TestAccelClassification(t *testing.T) {
+	_, m := compile(t, "xy", "xz")
+	in := fillerInput(4096, 1) // no 'x' anywhere: the scan never leaves state 0
+	r := NewRunner(m)
+	res := r.Run(in, Config{KeepOnMatch: true, Accel: true})
+	if res.Matches != 0 {
+		t.Fatalf("filler input matched %d times", res.Matches)
+	}
+	if res.AccelStates == 0 {
+		t.Fatal("no cached state classified accelerable")
+	}
+	if r.AccelStates() != res.AccelStates {
+		t.Fatalf("AccelStates() = %d, Result.AccelStates = %d", r.AccelStates(), res.AccelStates)
+	}
+	// Byte 0 and the final byte always step; everything between is dead.
+	if want := int64(len(in) - 2); res.AccelBytes < want {
+		t.Fatalf("AccelBytes = %d, want ≥ %d on an all-dead stream", res.AccelBytes, want)
+	}
+	if res.AccelBytes > int64(res.Symbols) {
+		t.Fatalf("AccelBytes %d exceeds Symbols %d", res.AccelBytes, res.Symbols)
+	}
+
+	// Accel off: same events, zero accel counters.
+	off := NewRunner(m).Run(in, Config{KeepOnMatch: true})
+	if off.AccelBytes != 0 || off.AccelStates != 0 {
+		t.Fatalf("accel off reported AccelBytes=%d AccelStates=%d", off.AccelBytes, off.AccelStates)
+	}
+	if off.Matches != res.Matches {
+		t.Fatalf("match counts diverged: on=%d off=%d", res.Matches, off.Matches)
+	}
+}
+
+// TestAccelConformance checks accel on ≡ off byte-identical events across
+// anchored, end-anchored, and loop-heavy patterns, whole-stream and under
+// random chunking.
+func TestAccelConformance(t *testing.T) {
+	_, m := compile(t, "xya", "x[yz]b", "^xy", "yz$", "z+x", "xx")
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 40; trial++ {
+		in := make([]byte, 1+r.Intn(2048))
+		for i := range in {
+			if r.Intn(4) == 0 {
+				in[i] = byte('x' + r.Intn(3))
+			} else {
+				in[i] = byte('0' + r.Intn(10))
+			}
+		}
+		want := Matches(m, in, Config{KeepOnMatch: true})
+		got := Matches(m, in, Config{KeepOnMatch: true, Accel: true})
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: whole-stream accel diverged: %d events vs %d",
+				trial, len(got), len(want))
+		}
+		// Random chunking, fresh runner, accel on.
+		var chunked []engine.MatchEvent
+		runner := NewRunner(m)
+		runner.Begin(Config{KeepOnMatch: true, Accel: true,
+			OnMatch: func(fsa, end int) {
+				chunked = append(chunked, engine.MatchEvent{FSA: fsa, End: end})
+			}})
+		for pos := 0; pos < len(in); {
+			end := pos + 1 + r.Intn(64)
+			if end > len(in) {
+				end = len(in)
+			}
+			runner.Feed(in[pos:end], end == len(in))
+			pos = end
+		}
+		runner.End()
+		if !reflect.DeepEqual(chunked, want) {
+			t.Fatalf("trial %d: chunked accel diverged: %d events vs %d",
+				trial, len(chunked), len(want))
+		}
+	}
+}
+
+// TestAccelWithTinyCache checks that jumps compose with flushes and the
+// iMFAnt fallback without changing the event stream.
+func TestAccelWithTinyCache(t *testing.T) {
+	_, m := compile(t, "x+y", "y+x", "xy+x", "xx", "yy")
+	r := rand.New(rand.NewSource(9))
+	in := make([]byte, 4096)
+	for i := range in {
+		if r.Intn(3) == 0 {
+			in[i] = byte('x' + r.Intn(2))
+		} else {
+			in[i] = byte('0' + r.Intn(10))
+		}
+	}
+	want := Matches(m, in, Config{KeepOnMatch: true})
+	for _, cfg := range []Config{
+		{KeepOnMatch: true, Accel: true, MaxStates: 4, MaxFlushes: 1 << 30},
+		{KeepOnMatch: true, Accel: true, MaxStates: 4, MaxFlushes: 1},
+	} {
+		var got []engine.MatchEvent
+		c := cfg
+		c.OnMatch = func(fsa, end int) { got = append(got, engine.MatchEvent{FSA: fsa, End: end}) }
+		NewRunner(m).Run(in, c)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("cfg=%+v diverged: %d events vs %d", cfg, len(got), len(want))
+		}
+	}
+}
+
+// TestAccelToggleRebuildsCache checks the classification invariant: toggling
+// Config.Accel between scans rebuilds the cache so every cached state is
+// (re)classified under the new mode.
+func TestAccelToggleRebuildsCache(t *testing.T) {
+	_, m := compile(t, "xy", "xz")
+	in := fillerInput(512, 2, "xy", "xz")
+	r := NewRunner(m)
+	res := r.Run(in, Config{KeepOnMatch: true, Accel: true})
+	if res.AccelStates == 0 {
+		t.Fatal("accel run classified nothing")
+	}
+	res = r.Run(in, Config{KeepOnMatch: true})
+	if r.AccelStates() != 0 {
+		t.Fatalf("accel-off cache kept %d accelerable states", r.AccelStates())
+	}
+	if res.AccelBytes != 0 {
+		t.Fatalf("accel-off scan jumped %d bytes", res.AccelBytes)
+	}
+	res = r.Run(in, Config{KeepOnMatch: true, Accel: true})
+	if res.AccelStates == 0 || res.AccelBytes == 0 {
+		t.Fatalf("re-enabled accel inert: states=%d bytes=%d", res.AccelStates, res.AccelBytes)
+	}
+}
+
+// TestAccelProfiledSamples checks satellite invariant: under the sampling
+// profiler, a multi-byte jump settles its crossed stride boundaries as bulk
+// samples of the parked state, so sample counts and per-state visit heat are
+// byte-identical with acceleration on and off.
+func TestAccelProfiledSamples(t *testing.T) {
+	_, m := compile(t, "xya", "x[yz]b", "z+x")
+	in := fillerInput(8192, 4, "xya", "xzb", "zzzx", "xy")
+	for _, chunk := range []int{len(in), 100, 7} {
+		profOn := engine.NewProfile(m.p, 64)
+		profOff := engine.NewProfile(m.p, 64)
+		for _, run := range []struct {
+			prof  *engine.Profile
+			accel bool
+		}{{profOn, true}, {profOff, false}} {
+			r := NewRunner(m)
+			r.Begin(Config{KeepOnMatch: true, Accel: run.accel, Profile: run.prof})
+			for pos := 0; pos < len(in); pos += chunk {
+				end := pos + chunk
+				if end > len(in) {
+					end = len(in)
+				}
+				r.Feed(in[pos:end], end == len(in))
+			}
+			r.End()
+		}
+		if profOn.Samples() != profOff.Samples() {
+			t.Fatalf("chunk=%d: sample counts diverged: accel %d, baseline %d",
+				chunk, profOn.Samples(), profOff.Samples())
+		}
+		if !reflect.DeepEqual(profOn.Visits(), profOff.Visits()) {
+			t.Fatalf("chunk=%d: per-state visits diverged:\naccel    %v\nbaseline %v",
+				chunk, profOn.Visits(), profOff.Visits())
+		}
+		if !reflect.DeepEqual(profOn.FSAActive(), profOff.FSAActive()) {
+			t.Fatalf("chunk=%d: per-FSA heat diverged", chunk)
+		}
+	}
+}
+
+// TestAccelEndAnchoredLastByte pins the stream-end carve-out: a $-anchored
+// rule whose final byte is reachable only from an accelerable state must
+// still match on the true last byte — a jump may not swallow it.
+func TestAccelEndAnchoredLastByte(t *testing.T) {
+	_, m := compile(t, "x$")
+	in := append(fillerInput(256, 6), 'x') // only 'x' is the last byte
+	want := Matches(m, in, Config{KeepOnMatch: true})
+	got := Matches(m, in, Config{KeepOnMatch: true, Accel: true})
+	if len(want) == 0 {
+		t.Fatal("oracle found no match; test input broken")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("accel diverged on $-anchored last byte: %v vs %v", got, want)
+	}
+}

@@ -34,6 +34,7 @@ package lazydfa
 import (
 	"math/bits"
 
+	"repro/internal/bytescan"
 	"repro/internal/engine"
 )
 
@@ -50,6 +51,12 @@ const (
 	// minStates is the smallest usable cap: the restart state, the
 	// current state preserved across a flush, and one successor.
 	minStates = 3
+	// maxAccelActs bounds the activation-vector width of states considered
+	// for acceleration. Wide vectors are never quiet loop hubs — they carry
+	// many live paths, hence many live bytes — so rejecting them up front
+	// avoids paying a per-class Step probe for states that would fail
+	// classification anyway.
+	maxAccelActs = 4
 )
 
 // Config tunes one lazy-DFA scan.
@@ -77,6 +84,16 @@ type Config struct {
 	// CheckpointEvery is the polling granularity of Checkpoint in bytes;
 	// 0 selects engine.DefaultCheckpointEvery.
 	CheckpointEvery int
+	// Accel enables state acceleration: every cached DFA state is
+	// classified at construction time, and a state whose live outgoing
+	// byte set is small (≤ 4 distinct bytes; every other byte provably
+	// self-loops back to it without emitting) lets the run loop jump with
+	// a bytescan kernel straight to the next live byte instead of stepping
+	// the transition table once per byte. Results are byte-identical with
+	// acceleration on or off; toggling it between scans rebuilds the cache
+	// (classification is part of a cached state). The iMFAnt fallback
+	// inherits the setting as its own start-byte skip.
+	Accel bool
 	// Profile, when non-nil, enables the sampling state profiler: every
 	// Profile.Stride() input symbols the current cached state's
 	// activation vector is folded into the shared Profile, attributing
@@ -117,6 +134,15 @@ type Result struct {
 	// granularity (cached bytes minus misses), so the per-byte hot loop
 	// carries no counter update.
 	CacheHits, CacheMisses int64
+	// AccelBytes counts input bytes jumped over by state acceleration
+	// (Config.Accel) rather than stepped one at a time — on the cached
+	// path and, via the start-byte skip, on the iMFAnt fallback. Jumped
+	// bytes still count in Symbols and as cache hits: they were matched
+	// against, just in bulk.
+	AccelBytes int64
+	// AccelStates is the number of currently cached states classified as
+	// accelerable (a gauge over the live cache, like CachedStates).
+	AccelStates int
 }
 
 // Totals are cumulative counters over every scan a Runner has executed,
@@ -139,6 +165,8 @@ type Totals struct {
 	// input thrashed the cache. Pop-mode delegation (a configuration
 	// choice, not a cache defeat) is not counted.
 	Fallbacks int64
+	// AccelBytes aggregates the per-scan accelerated-jump byte counters.
+	AccelBytes int64
 }
 
 // Matcher is the immutable, shareable lazy-DFA form of one engine.Program:
@@ -149,18 +177,26 @@ type Matcher struct {
 	classOf [256]uint8
 	nc      int
 	rep     []byte // representative input byte per class
+	// classBytes[c] lists the input bytes of class c in increasing order —
+	// the live-byte expansion of state-acceleration classification: a
+	// class probed live contributes exactly these bytes to the state's
+	// hunt set.
+	classBytes [][]byte
 }
 
 // New builds a Matcher over p.
 func New(p *engine.Program) *Matcher {
 	classOf, nc := p.ByteClasses()
-	m := &Matcher{p: p, classOf: classOf, nc: nc, rep: make([]byte, nc)}
+	m := &Matcher{p: p, classOf: classOf, nc: nc, rep: make([]byte, nc),
+		classBytes: make([][]byte, nc)}
 	seen := make([]bool, nc)
 	for b := 0; b < 256; b++ {
-		if c := classOf[b]; !seen[c] {
+		c := classOf[b]
+		if !seen[c] {
 			seen[c] = true
 			m.rep[c] = byte(b)
 		}
+		m.classBytes[c] = append(m.classBytes[c], byte(b))
 	}
 	return m
 }
@@ -181,6 +217,12 @@ type state struct {
 	// stream. Both are NumFSAs-wide bitsets (Words words).
 	accept, acceptEnd       []uint64
 	hasAccept, hasAcceptEnd bool
+	// accel is the prepared skip kernel of an accelerable state (accelOK):
+	// every byte outside its needle set steps the state back to itself
+	// without emitting, so the run loop may jump to the next needle
+	// occurrence. Classified once, when the state is cached (see classify).
+	accel   bytescan.Finder
+	accelOK bool
 }
 
 // Runner executes scans over one Matcher. The transition cache persists
@@ -197,6 +239,12 @@ type Runner struct {
 	maxStates  int
 	maxFlushes int
 	stop       error // non-nil: scan cancelled by a Checkpoint failure
+	// accelOn mirrors the Config.Accel the cache was built under; a toggle
+	// rebuilds the cache so every cached state is (re)classified, keeping
+	// classification a pure function of (vector, program, accelOn).
+	accelOn bool
+	// accelStates counts currently cached accelerable states (gauge).
+	accelStates int
 
 	states   []state
 	rows     []int32 // len(states)·nc successor ids, -1 = not computed
@@ -266,8 +314,11 @@ func (r *Runner) Begin(cfg Config) {
 	case cfg.MaxFlushes < 0:
 		cfg.MaxFlushes = 0
 	}
-	if (cfg.MaxStates != r.maxStates && r.maxStates != 0) || r.thrashed {
-		r.resetCache() // cache shaped by the old cap or thrashed: rebuild
+	rebuild := (cfg.MaxStates != r.maxStates && r.maxStates != 0) ||
+		r.thrashed || cfg.Accel != r.accelOn
+	r.accelOn = cfg.Accel // before resetCache, so state 0 is classified
+	if rebuild {
+		r.resetCache() // cache shaped by the old cap/accel mode or thrashed
 	}
 	r.thrashed = false
 	r.maxStates = cfg.MaxStates
@@ -293,7 +344,8 @@ func (r *Runner) Begin(cfg Config) {
 		// (per-final-state multiplicity included).
 		r.res.FellBack = true
 		r.fb = engine.NewRunner(r.m.p)
-		r.fb.Begin(engine.Config{KeepOnMatch: false, OnMatch: r.emitOne, Profile: cfg.Profile})
+		r.fb.Begin(engine.Config{KeepOnMatch: false, OnMatch: r.emitOne,
+			Profile: cfg.Profile, Accel: cfg.Accel})
 	}
 }
 
@@ -403,6 +455,37 @@ func (r *Runner) feedProfiled(chunk []byte, final bool) {
 	pr := r.cfg.Profile
 	stride := pr.Stride()
 	for {
+		// An accelerable parked state jumps over the whole remaining chunk
+		// before block-splitting, then settles the sampling debt in bulk:
+		// the vector is constant across the jump, so the k stride
+		// boundaries crossed are exactly k samples of the parked state, and
+		// the partial-stride fill advances by the bytes consumed. Heat
+		// shares and sample counts therefore stay byte-comparable with
+		// acceleration off, while jumps are no longer capped at one
+		// stride-block.
+		if r.accelOn && r.offset > 0 {
+			jumpEnd := len(chunk)
+			if final {
+				jumpEnd-- // the true last byte always steps normally
+			}
+			if jumpEnd > 0 {
+				if st := &r.states[r.cur]; st.accelOK {
+					j := st.accel.Index(chunk[:jumpEnd])
+					if j < 0 {
+						j = jumpEnd
+					}
+					if j > 0 {
+						pr.SampleActivationsN(st.acts, int64((r.profFill+j)/stride))
+						r.profFill = (r.profFill + j) % stride
+						r.res.AccelBytes += int64(j)
+						r.res.Symbols += j
+						r.cachedSymbols += int64(j)
+						r.offset += j
+						chunk = chunk[j:]
+					}
+				}
+			}
+		}
 		n := stride - r.profFill
 		if n > len(chunk) {
 			r.feedBody(chunk, final)
@@ -442,7 +525,30 @@ func (r *Runner) feedBody(chunk []byte, final bool) {
 	classOf := &r.m.classOf
 	base := r.offset
 	last := len(chunk) - 1
-	for pos := 0; pos < len(chunk); pos++ {
+	// jumpEnd bounds accelerated jumps: the true last byte of the stream is
+	// always stepped normally, so a parked state's $-anchored accepts
+	// (acceptEnd) still fire on it — a jump may not cross the stream-end
+	// bookkeeping.
+	jumpEnd := len(chunk)
+	if final {
+		jumpEnd--
+	}
+	pos := 0
+	if r.accelOn && base > 0 && jumpEnd > 0 {
+		// The state parked across the chunk boundary may be accelerable:
+		// hunt its live bytes from the first byte of the chunk. Stream
+		// byte 0 is exempt (base > 0) — its step also enables the
+		// ^-anchored inits, which classification does not model.
+		if st := &r.states[r.cur]; st.accelOK {
+			j := st.accel.Index(chunk[:jumpEnd])
+			if j < 0 {
+				j = jumpEnd
+			}
+			r.res.AccelBytes += int64(j)
+			pos = j
+		}
+	}
+	for ; pos < len(chunk); pos++ {
 		cls := int(classOf[chunk[pos]])
 		var next int32
 		if base+pos == 0 {
@@ -470,6 +576,19 @@ func (r *Runner) feedBody(chunk []byte, final bool) {
 			r.emitMask(st.acceptEnd, base+pos)
 		}
 		r.cur = next
+		if st.accelOK && pos+1 < jumpEnd {
+			// Arrived in an accelerable state: every byte outside its
+			// needle set self-loops without emitting, so jump straight to
+			// the next needle (or the jump bound). Skipped bytes count as
+			// cache hits — they were matched, in bulk.
+			rest := chunk[pos+1 : jumpEnd]
+			j := st.accel.Index(rest)
+			if j < 0 {
+				j = len(rest)
+			}
+			r.res.AccelBytes += int64(j)
+			pos += j
+		}
 	}
 	r.cachedSymbols += int64(len(chunk))
 	r.offset += len(chunk)
@@ -489,15 +608,22 @@ func (r *Runner) End() Result {
 		r.flushPending()
 	}
 	r.res.CachedStates = len(r.states)
+	r.res.AccelStates = r.accelStates
 	r.res.CacheHits = r.cachedSymbols - r.res.CacheMisses
 	if !r.ended {
 		r.ended = true
+		if r.fb != nil {
+			// The fallback's own start-byte skips belong to this scan;
+			// folded once here (End is idempotent).
+			r.res.AccelBytes += r.fb.Totals().AccelBytes
+		}
 		r.totals.Scans++
 		r.totals.Symbols += int64(r.res.Symbols)
 		r.totals.Matches += r.res.Matches
 		r.totals.CacheHits += r.res.CacheHits
 		r.totals.CacheMisses += r.res.CacheMisses
 		r.totals.Flushes += int64(r.res.Flushes)
+		r.totals.AccelBytes += r.res.AccelBytes
 		if r.thrashed {
 			r.totals.Fallbacks++
 		}
@@ -516,6 +642,10 @@ func (r *Runner) Totals() Totals {
 		t.CacheMisses += r.res.CacheMisses
 		t.CacheHits += r.cachedSymbols - r.res.CacheMisses
 		t.Flushes += int64(r.res.Flushes)
+		t.AccelBytes += r.res.AccelBytes
+		if r.fb != nil {
+			t.AccelBytes += r.fb.Totals().AccelBytes
+		}
 		if r.thrashed {
 			t.Fallbacks++
 		}
@@ -526,6 +656,10 @@ func (r *Runner) Totals() Totals {
 // CachedStates returns the current number of cached DFA states — the live
 // size of the transition table, bounded by MaxStates.
 func (r *Runner) CachedStates() int { return len(r.states) }
+
+// AccelStates returns the number of currently cached states classified as
+// accelerable — like CachedStates, a gauge over the live transition table.
+func (r *Runner) AccelStates() int { return r.accelStates }
 
 // MaxStates returns the resolved cache cap of the current (or most recent)
 // scan; 0 before the first Begin.
@@ -596,6 +730,7 @@ func (r *Runner) resetCache() {
 	for i := range r.startRow {
 		r.startRow[i] = -1
 	}
+	r.accelStates = 0
 	r.add(nil, nil, nil)
 	r.cur = 0
 }
@@ -616,7 +751,65 @@ func (r *Runner) add(acts []engine.Activation, accept, acceptEnd []uint64) int32
 	for i := 0; i < r.m.nc; i++ {
 		r.rows = append(r.rows, -1)
 	}
+	r.classify(id)
 	return id
+}
+
+// classify decides, once, whether the freshly cached state id is accelerable:
+// a state with no unconditional accepts whose live outgoing byte set — the
+// bytes whose step leaves the activation vector — fits a bytescan.Finder
+// (≤ bytescan.MaxNeedles distinct bytes). Every other byte provably steps
+// the vector back to itself; since the state has no accepts, those arrivals
+// emit nothing (the self-loop successor's accept mask equals the state's
+// own, which is zero), so the run loop may jump straight to the next live
+// byte. $-anchored accepts need no gate here: the jump bound in feedBody
+// keeps the stream's true last byte on the stepped path. Probing is valid
+// per byte class because all bytes of a class enable identical transition
+// lists. Dead-class successor rows are prefilled as a side effect — the
+// Step that proved them self-loops already paid for them.
+func (r *Runner) classify(id int32) {
+	st := &r.states[id]
+	if !r.accelOn || st.hasAccept || len(st.acts) > maxAccelActs {
+		return
+	}
+	var live [bytescan.MaxNeedles]byte
+	n := 0
+	rowBase := int(id) * r.m.nc
+	for cls := 0; cls < r.m.nc; cls++ {
+		next, _, _ := r.stepper.Step(st.acts, r.m.rep[cls], false)
+		if sameVector(next, st.acts) {
+			r.rows[rowBase+cls] = id
+			continue
+		}
+		bs := r.m.classBytes[cls]
+		if n+len(bs) > bytescan.MaxNeedles {
+			return
+		}
+		n += copy(live[n:], bs)
+	}
+	if f, ok := bytescan.NewFinder(live[:n]); ok {
+		st.accel = f
+		st.accelOK = true
+		r.accelStates++
+	}
+}
+
+// sameVector reports whether two canonical activation vectors are equal.
+func sameVector(a, b []engine.Activation) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].State != b[i].State {
+			return false
+		}
+		for w := range a[i].J {
+			if a[i].J[w] != b[i].J[w] {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // key renders an activation vector (already canonical: sorted by state) as
@@ -643,8 +836,8 @@ func (r *Runner) fallback(chunk []byte, pos int, final bool) {
 	r.res.Thrashed = true
 	r.thrashed = true
 	r.fb = engine.NewRunner(r.m.p)
-	r.fb.Resume(engine.Config{KeepOnMatch: true, OnMatch: r.emitDedup, Profile: r.cfg.Profile},
-		r.states[r.cur].acts, r.offset+pos)
+	r.fb.Resume(engine.Config{KeepOnMatch: true, OnMatch: r.emitDedup, Profile: r.cfg.Profile,
+		Accel: r.cfg.Accel}, r.states[r.cur].acts, r.offset+pos)
 	r.fb.Feed(chunk[pos:], final)
 	r.flushPending()
 	r.offset += len(chunk)

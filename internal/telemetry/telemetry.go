@@ -34,6 +34,9 @@ type Stats struct {
 	// Prefilter holds the literal-factor prefilter counters; nil when the
 	// prefilter is not in use.
 	Prefilter *PrefilterStats `json:"prefilter,omitempty"`
+	// Accel holds the byte-skipping acceleration counters; nil when
+	// acceleration is off.
+	Accel *AccelStats `json:"accel,omitempty"`
 	// Profile holds the sampling profiler's aggregates; nil when
 	// profiling is off.
 	Profile *ProfileStats `json:"profile,omitempty"`
@@ -57,6 +60,24 @@ type PrefilterStats struct {
 	// BytesSaved is the total input volume those skipped executions would
 	// have scanned.
 	BytesSaved int64 `json:"bytes_saved"`
+}
+
+// AccelStats aggregates byte-skipping acceleration: bytes the engines jumped
+// over with a skip kernel instead of stepping one at a time. Skipped bytes
+// are still matched against (the jump is provably equivalent), so they also
+// count in BytesScanned — BytesSkipped measures per-byte work avoided, not
+// input elided, and is disjoint from the prefilter's BytesSaved, which
+// counts automaton executions that never ran at all.
+type AccelStats struct {
+	// Automata is the number of MFSAs sharing these counters.
+	Automata int `json:"automata"`
+	// AccelStates is the current number of lazy-DFA cached states
+	// classified as accelerable, summed across automata (a gauge, like
+	// LazyStats.CachedStates); 0 when the iMFAnt engine runs the scans.
+	AccelStates int64 `json:"accel_states"`
+	// BytesSkipped counts input bytes consumed by accelerated jumps —
+	// lazy-DFA state acceleration and the iMFAnt start-byte skip.
+	BytesSkipped int64 `json:"bytes_skipped"`
 }
 
 // ProfileStats is the profiler section of a snapshot: sampled state heat
@@ -169,6 +190,11 @@ type Collector struct {
 	prefSkipped atomic.Int64
 	prefSaved   atomic.Int64
 
+	accelEnabled  bool
+	accelAutomata int
+	accelBytes    atomic.Int64
+	accelStates   []atomic.Int64 // per-automaton gauge (lazy engine only)
+
 	profileFn atomic.Value // func() *ProfileStats
 }
 
@@ -200,6 +226,27 @@ func (c *Collector) EnablePrefilter(filterableRules, factors int) {
 	c.prefEnabled = true
 	c.prefRules = filterableRules
 	c.prefFactors = factors
+}
+
+// EnableAccel turns on the acceleration section of the snapshot for the
+// given number of automata.
+func (c *Collector) EnableAccel(automata int) {
+	c.accelEnabled = true
+	c.accelAutomata = automata
+	c.accelStates = make([]atomic.Int64, automata)
+}
+
+// AddAccelScan folds one scan's accelerated-jump byte count.
+func (c *Collector) AddAccelScan(bytesSkipped int64) {
+	c.accelBytes.Add(bytesSkipped)
+}
+
+// SetAccelStates records the current number of accelerable cached states of
+// one automaton (lazy engine only).
+func (c *Collector) SetAccelStates(automaton int, n int64) {
+	if automaton >= 0 && automaton < len(c.accelStates) {
+		c.accelStates[automaton].Store(n)
+	}
 }
 
 // AddPrefilterScan folds one gated scan's prefilter counters.
@@ -297,6 +344,16 @@ func (c *Collector) Snapshot() Stats {
 			GroupsSkipped:   c.prefSkipped.Load(),
 			BytesSaved:      c.prefSaved.Load(),
 		}
+	}
+	if c.accelEnabled {
+		a := &AccelStats{
+			Automata:     c.accelAutomata,
+			BytesSkipped: c.accelBytes.Load(),
+		}
+		for i := range c.accelStates {
+			a.AccelStates += c.accelStates[i].Load()
+		}
+		s.Accel = a
 	}
 	if fn, ok := c.profileFn.Load().(func() *ProfileStats); ok && fn != nil {
 		s.Profile = fn()

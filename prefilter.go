@@ -203,6 +203,7 @@ func (s *Scanner) prefilterGate(input []byte, check func() error) ([]bool, error
 	}
 	if s.sweep == nil {
 		s.sweep = pf.ac.NewSweeper()
+		s.sweep.SetAccel(s.rs.opts.accelOn())
 	} else {
 		s.sweep.Reset()
 	}
@@ -248,6 +249,7 @@ func (rs *Ruleset) prefilterSelect(input []byte, check func() error) ([]bool, er
 		return nil, nil
 	}
 	sw := pf.ac.NewSweeper()
+	sw.SetAccel(rs.opts.accelOn())
 	const block = engine.DefaultCheckpointEvery
 	for off := 0; off < len(input) && !sw.Done(); off += block {
 		if check != nil {

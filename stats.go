@@ -37,6 +37,9 @@ type Stats struct {
 	// Prefilter holds the literal-factor prefilter counters; nil when the
 	// prefilter is not gating scans (see Options.Prefilter).
 	Prefilter *PrefilterStats `json:"prefilter,omitempty"`
+	// Accel holds the byte-skipping acceleration counters; nil when
+	// acceleration is off (see Options.Accel).
+	Accel *AccelStats `json:"accel,omitempty"`
 	// Profile holds the sampling profiler's aggregates; nil when the
 	// ruleset was compiled without Options.Profile. Ruleset scope only —
 	// Scanner and StreamMatcher snapshots omit it (the profiler is shared
@@ -62,6 +65,24 @@ type PrefilterStats struct {
 	// BytesSaved totals the input bytes those executions would have
 	// scanned.
 	BytesSaved int64 `json:"bytes_saved"`
+}
+
+// AccelStats is the byte-skipping acceleration section of a stats snapshot.
+// BytesSkipped counts input bytes the engines jumped over with a skip kernel
+// instead of stepping per byte; those bytes were still matched against (the
+// jump is provably equivalent) and so also count in BytesScanned —
+// BytesSkipped ≤ BytesScanned always holds, and the counter is disjoint from
+// the prefilter's BytesSaved, which counts automaton executions that never
+// ran at all.
+type AccelStats struct {
+	// Automata is the number of MFSAs contributing to these counters.
+	Automata int `json:"automata"`
+	// AccelStates is the current number of lazy-DFA cached states
+	// classified as accelerable, summed across automata (a gauge, like
+	// LazyStats.CachedStates); 0 on the iMFAnt engine.
+	AccelStates int64 `json:"accel_states"`
+	// BytesSkipped counts input bytes consumed by accelerated jumps.
+	BytesSkipped int64 `json:"bytes_skipped"`
 }
 
 // ProfileStats is the profiler section of a stats snapshot: sampled state
@@ -165,6 +186,13 @@ func statsFrom(t telemetry.Stats) Stats {
 			BytesSaved:      t.Prefilter.BytesSaved,
 		}
 	}
+	if t.Accel != nil {
+		s.Accel = &AccelStats{
+			Automata:     t.Accel.Automata,
+			AccelStates:  t.Accel.AccelStates,
+			BytesSkipped: t.Accel.BytesSkipped,
+		}
+	}
 	if t.Profile != nil {
 		p := &ProfileStats{
 			Stride:         t.Profile.Stride,
@@ -214,6 +242,10 @@ func (rs *Ruleset) StatsVar() expvar.Var {
 // concurrent with the scanner's scans (the Scanner itself is single-owner).
 func (s *Scanner) Stats() Stats {
 	st := Stats{RuleHits: append([]int64(nil), s.ruleHits...)}
+	var accel *AccelStats
+	if s.rs.opts.accelOn() {
+		accel = &AccelStats{Automata: len(s.rs.programs)}
+	}
 	if s.lazies != nil {
 		l := &LazyStats{Automata: len(s.lazies)}
 		for i, r := range s.lazies {
@@ -230,6 +262,10 @@ func (s *Scanner) Stats() Stats {
 				l.MaxStates = m
 			}
 			l.ByteClasses += s.rs.lazy[i].NumClasses()
+			if accel != nil {
+				accel.BytesSkipped += t.AccelBytes
+				accel.AccelStates += int64(r.AccelStates())
+			}
 		}
 		if l.MaxStates == 0 {
 			l.MaxStates = lazydfa.ResolveMaxStates(s.rs.opts.LazyDFAMaxStates)
@@ -241,9 +277,13 @@ func (s *Scanner) Stats() Stats {
 			st.Scans += t.Scans
 			st.BytesScanned += t.Symbols
 			st.Matches += t.Matches
+			if accel != nil {
+				accel.BytesSkipped += t.AccelBytes
+			}
 		}
 	}
 	st.Prefilter = s.pref.stats(s.rs.pf)
+	st.Accel = accel
 	return st
 }
 
@@ -253,6 +293,10 @@ func (s *Scanner) Stats() Stats {
 // concurrent with Write or Close.
 func (sm *StreamMatcher) Stats() Stats {
 	st := Stats{RuleHits: append([]int64(nil), sm.ruleHits...)}
+	var accel *AccelStats
+	if sm.rs.opts.accelOn() {
+		accel = &AccelStats{Automata: len(sm.rs.programs)}
+	}
 	for i, r := range sm.engines {
 		if sm.isGated(i) {
 			continue
@@ -261,6 +305,9 @@ func (sm *StreamMatcher) Stats() Stats {
 		st.Scans += t.Scans
 		st.BytesScanned += t.Symbols
 		st.Matches += t.Matches
+		if accel != nil {
+			accel.BytesSkipped += t.AccelBytes
+		}
 	}
 	if sm.lazies != nil {
 		l := &LazyStats{Automata: len(sm.lazies)}
@@ -281,9 +328,14 @@ func (sm *StreamMatcher) Stats() Stats {
 				l.MaxStates = m
 			}
 			l.ByteClasses += sm.rs.lazy[i].NumClasses()
+			if accel != nil {
+				accel.BytesSkipped += t.AccelBytes
+				accel.AccelStates += int64(r.AccelStates())
+			}
 		}
 		st.Lazy = l
 	}
 	st.Prefilter = sm.pref.stats(sm.rs.pf)
+	st.Accel = accel
 	return st
 }

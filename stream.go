@@ -115,6 +115,7 @@ func (rs *Ruleset) NewStreamMatcherContext(ctx context.Context, onMatch func(Mat
 				KeepOnMatch: rs.opts.KeepOnMatch,
 				MaxStates:   rs.opts.LazyDFAMaxStates,
 				OnMatch:     emit,
+				Accel:       rs.opts.accelOn(),
 				Profile:     rs.profileOf(i),
 			})
 			sm.lazies = append(sm.lazies, runner)
@@ -123,6 +124,7 @@ func (rs *Ruleset) NewStreamMatcherContext(ctx context.Context, onMatch func(Mat
 			runner.Begin(engine.Config{
 				KeepOnMatch: rs.opts.KeepOnMatch,
 				OnMatch:     emit,
+				Accel:       rs.opts.accelOn(),
 				Profile:     rs.profileOf(i),
 			})
 			sm.engines = append(sm.engines, runner)
@@ -138,6 +140,7 @@ func (rs *Ruleset) NewStreamMatcherContext(ctx context.Context, onMatch func(Mat
 		}
 		if sm.gatedCount > 0 {
 			sm.sweep = pf.ac.NewSweeper()
+			sm.sweep.SetAccel(rs.opts.accelOn())
 		}
 	}
 	return sm
@@ -369,6 +372,7 @@ func (sm *StreamMatcher) pushTelemetry() {
 		c.AddScans(t.Scans)
 		c.AddBytes(t.Symbols)
 		c.AddMatches(t.Matches)
+		c.AddAccelScan(t.AccelBytes)
 	}
 	for i, r := range sm.lazies {
 		if sm.isGated(i) {
@@ -380,6 +384,8 @@ func (sm *StreamMatcher) pushTelemetry() {
 		c.AddMatches(t.Matches)
 		c.AddLazyScan(t.CacheHits, t.CacheMisses, t.Flushes, t.Fallbacks)
 		c.SetCachedStates(i, int64(r.CachedStates()))
+		c.AddAccelScan(t.AccelBytes)
+		c.SetAccelStates(i, int64(r.AccelStates()))
 	}
 	if sm.sweep != nil {
 		c.AddPrefilterScan(sm.pref.sweeps, sm.pref.hits, sm.pref.skipped, sm.pref.saved)
