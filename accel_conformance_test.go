@@ -3,8 +3,10 @@ package imfant
 import (
 	"math/rand"
 	"os"
+	"reflect"
 	"testing"
 
+	"repro/internal/faultpoint"
 	"repro/internal/snort"
 )
 
@@ -191,4 +193,91 @@ func TestSnortAccelAccounting(t *testing.T) {
 	t.Logf("automata=%d scans=%d: scanned %d + saved %d = %d; skipped %d (%.1f%% of scanned)",
 		rs.NumAutomata(), scans, st.BytesScanned, st.Prefilter.BytesSaved, total,
 		st.Accel.BytesSkipped, 100*float64(st.Accel.BytesSkipped)/float64(st.BytesScanned))
+
+	// The partition must survive the degradation ladder: an injected
+	// thrash-fallback storm reroutes bytes through the iMFAnt fallback
+	// engine mid-scan, yet every (automaton, scan, byte) triple is still
+	// scanned or saved exactly once, and the match set is untouched.
+	t.Run("injected-thrash", func(t *testing.T) {
+		rs2, _, err := CompileLax(patterns, Options{
+			MergeFactor: 2, KeepOnMatch: true, Prefilter: PrefilterOn, Accel: AccelOn,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		baseline, err := rs2.NewScanner().FindAllContext(t.Context(), benign)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := faultpoint.New(faultpoint.Every(faultpoint.LazyThrash, 2))
+		rs2.setFaultInjector(in)
+		sc2 := rs2.NewScanner()
+		for i := 0; i < scans; i++ {
+			got, err := sc2.FindAllContext(t.Context(), benign)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, baseline) {
+				t.Fatalf("scan %d: injected fallback changed the match set", i)
+			}
+		}
+		if in.Fired(faultpoint.LazyThrash) == 0 {
+			t.Fatal("thrash schedule never fired")
+		}
+		st2 := sc2.Stats()
+		total2 := int64(rs2.NumAutomata()) * int64(len(benign)) * scans
+		if got := st2.BytesScanned + st2.Prefilter.BytesSaved; got != total2 {
+			t.Fatalf("under injected thrash: BytesScanned %d + BytesSaved %d = %d, want %d",
+				st2.BytesScanned, st2.Prefilter.BytesSaved, got, total2)
+		}
+		if st2.Degraded.ThrashFallbacks == 0 {
+			t.Fatal("injected fallbacks not accounted in Degraded.ThrashFallbacks")
+		}
+		if st2.Accel.BytesSkipped > st2.BytesScanned {
+			t.Fatalf("BytesSkipped %d exceeds BytesScanned %d under fallback",
+				st2.Accel.BytesSkipped, st2.BytesScanned)
+		}
+	})
+
+	// And it must survive hot-swap: scans routed through a Registry whose
+	// current version is swapped between scans still partition each
+	// version's byte volume exactly (one sweep per gated scan served).
+	t.Run("mid-scan-swap", func(t *testing.T) {
+		opts := Options{MergeFactor: 2, KeepOnMatch: true, Prefilter: PrefilterOn, Accel: AccelOn}
+		rsA, _, err := CompileLax(patterns, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rsB, _, err := CompileLax(patterns, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := rsA.FindAll(benign) // pre-swap oracle; rsB is rule-identical
+		r := NewRegistryFrom(rsA)
+		for i := 0; i < 6; i++ {
+			got := r.FindAll(benign)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("iteration %d: swap changed the match set", i)
+			}
+			if i%2 == 0 {
+				r.Swap(rsB)
+			} else {
+				r.Swap(rsA)
+			}
+		}
+		if err := r.DrainOld(t.Context()); err != nil {
+			t.Fatal(err)
+		}
+		for name, rs := range map[string]*Ruleset{"A": rsA, "B": rsB} {
+			st := rs.Stats()
+			if st.Prefilter == nil || st.Prefilter.Sweeps == 0 {
+				t.Fatalf("version %s served no gated scans", name)
+			}
+			total := int64(rs.NumAutomata()) * int64(len(benign)) * st.Prefilter.Sweeps
+			if got := st.BytesScanned + st.Prefilter.BytesSaved; got != total {
+				t.Fatalf("version %s: BytesScanned %d + BytesSaved %d = %d, want %d (automata × bytes × sweeps)",
+					name, st.BytesScanned, st.Prefilter.BytesSaved, got, total)
+			}
+		}
+	})
 }

@@ -1,6 +1,8 @@
 package imfant
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"repro/internal/budget"
@@ -8,6 +10,23 @@ import (
 	"repro/internal/pipeline"
 	"repro/internal/rex"
 )
+
+// ErrScanTimeout is the typed error of scans cancelled by
+// Options.ScanTimeout. It wraps context.DeadlineExceeded, so callers that
+// already classify context failures keep working:
+// errors.Is(err, imfant.ErrScanTimeout) and errors.Is(err,
+// context.DeadlineExceeded) are both true. The timeout is observed at the
+// engines' ordinary checkpoints (about every 4 KiB per automaton), the same
+// rung of the degradation ladder as a context deadline — matches streamed
+// before the cutoff were delivered, nothing after it is.
+var ErrScanTimeout = fmt.Errorf("imfant: scan timeout: %w", context.DeadlineExceeded)
+
+// ErrOverloaded is the typed error of scans rejected by overload shedding
+// (Options.MaxConcurrentScans/MaxQueuedScans): the bounded work queue was
+// full, so the scan was refused before doing any work instead of queueing
+// unboundedly. Callers should treat it as back-pressure and retry later or
+// drop the input, per their loss policy.
+var ErrOverloaded = errors.New("imfant: overloaded: scan shed by bounded work queue")
 
 // Stage identifies the compilation stage (§IV, Fig. 4) that raised a
 // CompileError.

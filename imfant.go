@@ -29,6 +29,7 @@ import (
 	"repro/internal/ahocorasick"
 	"repro/internal/anml"
 	"repro/internal/engine"
+	"repro/internal/faultpoint"
 	"repro/internal/hist"
 	"repro/internal/lazydfa"
 	"repro/internal/metrics"
@@ -141,6 +142,37 @@ type Options struct {
 	// Ruleset.TraceEvents; SetTraceSink observes every event live.
 	// Tracing is independent of Profile.
 	TraceCapacity int
+	// ScanTimeout bounds each scan's wall-clock time; zero disables the
+	// bound. The deadline is observed at the engines' ordinary
+	// checkpoints (about every 4 KiB per automaton) and surfaces as the
+	// typed ErrScanTimeout, which wraps context.DeadlineExceeded. For
+	// StreamMatchers the budget applies per Write (and to Close's final
+	// flush) rather than to the unbounded stream as a whole; an expired
+	// stream fails sticky, like a context cancellation. Timed-out scans
+	// count in Stats().Degraded.ScanTimeouts.
+	ScanTimeout time.Duration
+	// MaxConcurrentScans bounds how many CountParallel calls may execute
+	// at once across the ruleset; 0 (the default) does not bound them.
+	// With the bound in place, excess calls wait in a queue of at most
+	// MaxQueuedScans; beyond that they are shed with the typed
+	// ErrOverloaded instead of queueing unboundedly. Shed scans count in
+	// Stats().Degraded.Shed.
+	MaxConcurrentScans int
+	// MaxQueuedScans is the bounded work queue's capacity — how many
+	// CountParallel calls may block waiting for a slot when
+	// MaxConcurrentScans is set. The default 0 sheds immediately
+	// whenever every slot is busy (fail-fast). Ignored without
+	// MaxConcurrentScans.
+	MaxQueuedScans int
+	// ThrashRetry selects the lazy-DFA degradation ladder: after a
+	// matching context's cache thrashes, its next scan retries once with
+	// the cache cap doubled, and a thrash at the grown cap pins the
+	// context to the iMFAnt engine permanently — bounded backoff in
+	// place of rebuild-thrash-rebuild churn. The zero value (RetryAuto)
+	// enables the ladder; results are byte-identical on every rung. The
+	// rungs taken are recorded in Stats().Degraded (CacheGrows,
+	// PinnedScans).
+	ThrashRetry RetryMode
 }
 
 // Match is one reported match.
@@ -176,6 +208,12 @@ type Ruleset struct {
 	opts      Options
 	collector *telemetry.Collector
 	pf        *prefilter // literal-factor gating plan; nil when inactive
+	sched     *scanGate  // overload shedding for parallel scans; nil when unbounded
+	// faults, when non-nil, arms the fault-injection sites of every scan
+	// and stream created from this ruleset — the chaos-testing substrate
+	// (see internal/faultpoint). Always nil in production use; set by
+	// in-package tests via setFaultInjector.
+	faults *faultpoint.Injector
 
 	// Profiling state; all nil/absent when Options.Profile is false.
 	profiles []*engine.Profile // per-program sampled state heat
@@ -230,7 +268,14 @@ func (rs *Ruleset) buildEngines() {
 	if rs.opts.TraceCapacity > 0 {
 		rs.trace = telemetry.NewTraceRing(rs.opts.TraceCapacity)
 	}
+	rs.sched = newScanGate(rs.opts.MaxConcurrentScans, rs.opts.MaxQueuedScans)
 }
+
+// setFaultInjector arms in on every scan and stream subsequently created
+// from the ruleset (already-created Scanners and StreamMatchers keep their
+// configuration). Test-only: the chaos conformance suite schedules fault
+// storms through it; nil disarms.
+func (rs *Ruleset) setFaultInjector(in *faultpoint.Injector) { rs.faults = in }
 
 // profileOf returns automaton i's profile, nil when profiling is off.
 func (rs *Ruleset) profileOf(i int) *engine.Profile {
@@ -491,6 +536,8 @@ type Scanner struct {
 	runners  []*engine.Runner  // iMFAnt mode
 	lazies   []*lazydfa.Runner // lazy-DFA mode
 	ruleHits []int64           // per-rule match counts, scanner lifetime
+	timeouts int64             // scans cut short by Options.ScanTimeout
+	faults   *faultpoint.Injector
 
 	// Prefilter scratch; nil/zero while the ruleset is ungated.
 	sweep  *ahocorasick.Sweeper
@@ -500,7 +547,7 @@ type Scanner struct {
 
 // NewScanner returns a matching context for the ruleset.
 func (rs *Ruleset) NewScanner() *Scanner {
-	s := &Scanner{rs: rs, ruleHits: make([]int64, len(rs.patterns))}
+	s := &Scanner{rs: rs, ruleHits: make([]int64, len(rs.patterns)), faults: rs.faults}
 	if rs.useLazy() {
 		s.lazies = make([]*lazydfa.Runner, len(rs.lazy))
 		for i, m := range rs.lazy {
@@ -584,7 +631,7 @@ type scanResult struct {
 // results gathered so far are returned with the context's error.
 func (s *Scanner) run(ctx context.Context, input []byte, fn func(Match)) ([]scanResult, error) {
 	rs := s.rs
-	check := checkpointOf(ctx)
+	check := timeoutCheckpoint(checkpointOf(ctx), rs.opts.ScanTimeout)
 	if rs.scanLat != nil {
 		defer func(t0 time.Time) { rs.scanLat.Record(time.Since(t0).Nanoseconds()) }(time.Now())
 	}
@@ -603,9 +650,17 @@ func (s *Scanner) run(ctx context.Context, input []byte, fn func(Match)) ([]scan
 	}
 	gate, err := s.prefilterGate(input, check)
 	if err != nil {
-		return out, err
+		return out, s.noteErr(err)
 	}
 	for i, p := range rs.programs {
+		if check != nil && i > 0 {
+			// Poll between automata too, so a deadline that expired during
+			// automaton i-1's final block (past its last in-chunk
+			// checkpoint) still cuts the scan off deterministically.
+			if err := check(); err != nil {
+				return out, s.noteErr(err)
+			}
+		}
 		if gate != nil && !gate[i] {
 			// No member rule's factor occurred anywhere in input, so none
 			// can match: skip the whole automaton execution.
@@ -643,11 +698,22 @@ func (s *Scanner) run(ctx context.Context, input []byte, fn func(Match)) ([]scan
 				Checkpoint:  check,
 				Accel:       rs.opts.accelOn(),
 				Profile:     rs.profileOf(i),
+				ThrashRetry: rs.opts.thrashRetryOn(),
+				Faults:      s.faults,
 			})
 			s.record(p, res.Matches, int64(res.Symbols), res.PerFSA)
-			var thrash int64
+			var thrash, grew, pinned int64
 			if res.Thrashed {
 				thrash = 1
+			}
+			if res.Grew {
+				grew = 1
+			}
+			if res.Pinned {
+				pinned = 1
+			}
+			if grew != 0 || pinned != 0 {
+				rs.collector.AddLazyDegraded(grew, pinned)
 			}
 			rs.collector.AddLazyScan(res.CacheHits, res.CacheMisses, int64(res.Flushes), thrash)
 			rs.collector.SetCachedStates(i, int64(res.CachedStates))
@@ -665,7 +731,7 @@ func (s *Scanner) run(ctx context.Context, input []byte, fn func(Match)) ([]scan
 			}
 			out = append(out, scanResult{matches: res.Matches, perFSA: res.PerFSA})
 			if err := s.lazies[i].Err(); err != nil {
-				return out, err
+				return out, s.noteErr(err)
 			}
 		} else {
 			res := s.runners[i].Run(input, engine.Config{
@@ -674,16 +740,29 @@ func (s *Scanner) run(ctx context.Context, input []byte, fn func(Match)) ([]scan
 				Checkpoint:  check,
 				Accel:       rs.opts.accelOn(),
 				Profile:     rs.profileOf(i),
+				Faults:      s.faults,
 			})
 			s.record(p, res.Matches, int64(res.Symbols), res.PerFSA)
 			rs.collector.AddAccelScan(res.AccelBytes)
 			out = append(out, scanResult{matches: res.Matches, perFSA: res.PerFSA})
 			if err := s.runners[i].Err(); err != nil {
-				return out, err
+				return out, s.noteErr(err)
 			}
 		}
 	}
 	return out, nil
+}
+
+// noteErr folds a failed scan into the degradation telemetry (ruleset-wide
+// and the scanner's own timeout counter) and returns err unchanged.
+func (s *Scanner) noteErr(err error) error {
+	if err != nil {
+		noteDegraded(s.rs.collector, err)
+		if errors.Is(err, ErrScanTimeout) {
+			s.timeouts++
+		}
+	}
+	return err
 }
 
 // record folds one automaton execution into the scanner's per-rule table
@@ -716,15 +795,24 @@ func (rs *Ruleset) CountParallel(input []byte, threads int) (int64, error) {
 
 // CountParallelContext is CountParallel under a context: cancellation or
 // deadline expiry stops every worker at its next checkpoint and returns the
-// context's error.
+// context's error. When Options.MaxConcurrentScans bounds the ruleset, a
+// call that finds every slot busy and the wait queue full is shed with
+// ErrOverloaded before doing any work.
 func (rs *Ruleset) CountParallelContext(ctx context.Context, input []byte, threads int) (int64, error) {
-	cfg := engine.Config{KeepOnMatch: rs.opts.KeepOnMatch, Checkpoint: checkpointOf(ctx),
-		Accel: rs.opts.accelOn()}
+	if err := rs.sched.acquire(ctx, rs.opts.ScanTimeout); err != nil {
+		noteDegraded(rs.collector, err)
+		return 0, err
+	}
+	defer rs.sched.release()
+	cfg := engine.Config{KeepOnMatch: rs.opts.KeepOnMatch,
+		Checkpoint: timeoutCheckpoint(checkpointOf(ctx), rs.opts.ScanTimeout),
+		Accel:      rs.opts.accelOn(), Faults: rs.faults}
 	if rs.profiles != nil {
 		defer func(t0 time.Time) { rs.scanLat.Record(time.Since(t0).Nanoseconds()) }(time.Now())
 	}
 	gate, err := rs.prefilterSelect(input, cfg.Checkpoint)
 	if err != nil {
+		noteDegraded(rs.collector, err)
 		return 0, err
 	}
 	progs := rs.programs
@@ -764,6 +852,9 @@ func (rs *Ruleset) CountParallelContext(ctx context.Context, input []byte, threa
 		}
 	}
 	if err != nil {
+		// err may join several workers' failures (panics, timeouts); each
+		// is accounted individually in the Degraded section.
+		noteDegraded(rs.collector, err)
 		return 0, err
 	}
 	return engine.TotalMatches(results), nil

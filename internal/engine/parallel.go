@@ -9,6 +9,8 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/faultpoint"
 )
 
 // WorkerPanicError reports a panic recovered inside a RunParallel worker:
@@ -91,6 +93,9 @@ func runOne(i int, p *Program, input []byte, cfg Config) (res Result, err error)
 	}()
 	if cfg.ProfileFor != nil {
 		cfg.Profile = cfg.ProfileFor(i)
+	}
+	if cfg.Faults != nil && cfg.Faults.Hit(faultpoint.WorkerPanic) {
+		panic("faultpoint: injected worker panic")
 	}
 	pprof.Do(context.Background(), pprof.Labels("mfsa_automaton", strconv.Itoa(i)), func(context.Context) {
 		r := NewRunner(p)

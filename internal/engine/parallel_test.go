@@ -4,12 +4,36 @@ import (
 	"errors"
 	"math/rand"
 	"reflect"
+	"runtime"
 	"sync/atomic"
 	"testing"
+	"time"
 
+	"repro/internal/faultpoint"
 	"repro/internal/mfsa"
 	"repro/internal/nfa"
 )
+
+// checkNoGoroutineLeak asserts (at cleanup) that the goroutine count
+// returns to its pre-test baseline: RunParallel must join every worker on
+// every exit path — normal completion, checkpoint cancellation, and
+// contained panics alike.
+func checkNoGoroutineLeak(t *testing.T) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			if runtime.NumGoroutine() <= before {
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<20)
+		t.Errorf("goroutine leak: %d before, %d after\n%s",
+			before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+	})
+}
 
 func buildPrograms(t testing.TB, m int, patterns []string) []*Program {
 	t.Helper()
@@ -157,6 +181,7 @@ func TestPoolEmpty(t *testing.T) {
 }
 
 func TestRunParallelContainsWorkerPanic(t *testing.T) {
+	checkNoGoroutineLeak(t)
 	ps := buildPrograms(t, 1, []string{"ab", "cd", "ef"})
 	in := []byte("abcdef")
 	// A panicking user callback is the realistic in-worker crash: it must
@@ -189,6 +214,7 @@ func TestRunParallelContainsWorkerPanic(t *testing.T) {
 }
 
 func TestRunParallelCheckpointCancel(t *testing.T) {
+	checkNoGoroutineLeak(t)
 	ps := buildPrograms(t, 1, []string{"ab", "cd"})
 	in := make([]byte, 1<<20)
 	wantErr := errors.New("deadline exceeded")
@@ -203,5 +229,46 @@ func TestRunParallelCheckpointCancel(t *testing.T) {
 	}
 	if got := calls.Load(); got != 2 { // first poll of each automaton cancels it
 		t.Fatalf("checkpoint polled %d times, want 2", got)
+	}
+}
+
+// TestRunParallelInjectedPanic drives the WorkerPanic fault point through
+// RunParallel's containment: the injected panic surfaces as a typed
+// *WorkerPanicError, surviving automata keep their matches, workers are all
+// joined (no goroutine leak), and the schedule's firing count matches the
+// errors observed.
+func TestRunParallelInjectedPanic(t *testing.T) {
+	checkNoGoroutineLeak(t)
+	ps := buildPrograms(t, 1, []string{"ab", "cd", "ef"})
+	in := []byte("abcdef")
+	inj := faultpoint.New(faultpoint.OnHit(faultpoint.WorkerPanic, 2))
+	cfg := Config{Faults: inj}
+	for threads := 1; threads <= 4; threads++ {
+		res, err := RunParallel(ps, in, threads, cfg)
+		if inj.Fired(faultpoint.WorkerPanic) == 0 {
+			// The schedule fires once per injector lifetime; only the first
+			// round can panic.
+			if err != nil {
+				t.Fatalf("threads=%d: error without a fired fault: %v", threads, err)
+			}
+			continue
+		}
+		if err != nil {
+			var wp *WorkerPanicError
+			if !errors.As(err, &wp) {
+				t.Fatalf("threads=%d: want *WorkerPanicError, got %T: %v", threads, err, err)
+			}
+			var alive int64
+			for _, r := range res {
+				alive += r.Matches
+			}
+			if alive != 2 { // the two automata that did not panic
+				t.Fatalf("threads=%d: surviving automata reported %d matches, want 2", threads, alive)
+			}
+		}
+	}
+	if inj.Fired(faultpoint.WorkerPanic) != 1 {
+		t.Fatalf("WorkerPanic fired %d times, want exactly 1 (OnHit schedule)",
+			inj.Fired(faultpoint.WorkerPanic))
 	}
 }

@@ -1,6 +1,10 @@
 package engine
 
-import "math/bits"
+import (
+	"math/bits"
+
+	"repro/internal/faultpoint"
+)
 
 // Config tunes a Run. The zero value reproduces the paper's semantics.
 type Config struct {
@@ -44,6 +48,13 @@ type Config struct {
 	// per-automaton Profile (Profile itself is per-program). Ignored by
 	// single-runner execution — set Profile directly there.
 	ProfileFor func(automaton int) *Profile
+	// Faults, when non-nil, arms the fault-injection sites of this
+	// execution (stalled chunks here; worker panics in RunParallel) — the
+	// chaos-testing substrate. Like Profile, a nil Faults costs one
+	// predictable branch per fed chunk and nothing per byte. Injected
+	// faults only force degradations the engine already implements
+	// exactly; they never corrupt results.
+	Faults *faultpoint.Injector
 }
 
 // DefaultCheckpointEvery is the default Checkpoint polling granularity. At
@@ -288,6 +299,9 @@ func (r *Runner) Err() error { return r.stop }
 // profiling off this is one predictable branch per chunk, leaving the
 // per-byte loops untouched.
 func (r *Runner) feedChunk(chunk []byte, final bool) {
+	if r.cfg.Faults != nil {
+		r.cfg.Faults.Stall()
+	}
 	if r.cfg.Profile != nil {
 		r.feedProfiled(chunk, final)
 		return

@@ -1,0 +1,163 @@
+package faultpoint
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilInjectorInert(t *testing.T) {
+	var in *Injector
+	if in.Hit(LazyFlush) {
+		t.Fatal("nil injector fired")
+	}
+	in.Stall() // must not panic
+	if in.Hits(LazyFlush) != 0 || in.Fired(LazyFlush) != 0 || in.TotalFired() != 0 {
+		t.Fatal("nil injector counted")
+	}
+}
+
+func TestOnHitFiresExactlyOnce(t *testing.T) {
+	in := New(OnHit(LazyThrash, 3))
+	var fires []bool
+	for i := 0; i < 6; i++ {
+		fires = append(fires, in.Hit(LazyThrash))
+	}
+	for i, f := range fires {
+		if want := i == 2; f != want {
+			t.Fatalf("hit %d fired=%v, want %v", i+1, f, want)
+		}
+	}
+	if in.Fired(LazyThrash) != 1 || in.Hits(LazyThrash) != 6 {
+		t.Fatalf("fired=%d hits=%d", in.Fired(LazyThrash), in.Hits(LazyThrash))
+	}
+	// Other points never fire.
+	if in.Hit(WorkerPanic) {
+		t.Fatal("wrong point fired")
+	}
+}
+
+func TestEveryPeriod(t *testing.T) {
+	in := New(Every(AllocCap, 2))
+	fired := 0
+	for i := 0; i < 10; i++ {
+		if in.Hit(AllocCap) {
+			fired++
+		}
+	}
+	if fired != 5 {
+		t.Fatalf("every-2 fired %d of 10", fired)
+	}
+}
+
+func TestRandomDeterministicAndSeedSensitive(t *testing.T) {
+	probe := func(seed uint64) []bool {
+		s := Random(seed, map[Point]float64{ChunkStall: 0.5})
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = s.Fire(ChunkStall, uint64(i+1))
+		}
+		return out
+	}
+	a, b := probe(7), probe(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := probe(8)
+	diff := 0
+	for i := range a {
+		if a[i] != c[i] {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("different seeds produced identical schedules")
+	}
+	fired := 0
+	for _, f := range a {
+		if f {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Fatalf("p=0.5 fired %d of %d", fired, len(a))
+	}
+	// Probability 0 never fires, 1 always fires.
+	if Random(1, map[Point]float64{LazyFlush: 0}).Fire(LazyFlush, 1) {
+		t.Fatal("p=0 fired")
+	}
+	if !Random(1, map[Point]float64{LazyFlush: 1}).Fire(LazyFlush, 1) {
+		t.Fatal("p=1 did not fire")
+	}
+}
+
+func TestUnionAndFromBytes(t *testing.T) {
+	u := Union(OnHit(LazyFlush, 1), OnHit(LazyThrash, 2), nil)
+	if !u.Fire(LazyFlush, 1) || !u.Fire(LazyThrash, 2) || u.Fire(LazyThrash, 1) {
+		t.Fatal("union misroutes")
+	}
+	// Any byte string decodes to a usable schedule.
+	for _, data := range [][]byte{nil, {1}, {1, 2}, {0, 0, 3}, {5, 1, 200, 2, 0, 1}} {
+		s := FromBytes(data)
+		for p := Point(0); p < NumPoints; p++ {
+			s.Fire(p, 1) // must not panic
+		}
+	}
+	// Deterministic: same bytes, same schedule decisions.
+	d := []byte{0, 0, 2, 3, 1, 128, 4, 0, 1}
+	s1, s2 := FromBytes(d), FromBytes(d)
+	for p := Point(0); p < NumPoints; p++ {
+		for n := uint64(1); n <= 32; n++ {
+			if s1.Fire(p, n) != s2.Fire(p, n) {
+				t.Fatalf("FromBytes not deterministic at (%v, %d)", p, n)
+			}
+		}
+	}
+}
+
+func TestStallSleeps(t *testing.T) {
+	in := New(Every(ChunkStall, 1)).WithStall(5 * time.Millisecond)
+	t0 := time.Now()
+	in.Stall()
+	if d := time.Since(t0); d < 4*time.Millisecond {
+		t.Fatalf("stall slept only %v", d)
+	}
+}
+
+func TestConcurrentCounting(t *testing.T) {
+	in := New(Every(WorkerPanic, 2))
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				in.Hit(WorkerPanic)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := in.Hits(WorkerPanic); got != workers*per {
+		t.Fatalf("hits=%d, want %d", got, workers*per)
+	}
+	if got := in.Fired(WorkerPanic); got != workers*per/2 {
+		t.Fatalf("fired=%d, want %d", got, workers*per/2)
+	}
+	if in.TotalFired() != in.Fired(WorkerPanic) {
+		t.Fatal("TotalFired disagrees")
+	}
+}
+
+func TestPointString(t *testing.T) {
+	for p := Point(0); p < NumPoints; p++ {
+		if p.String() == "" {
+			t.Fatalf("point %d unnamed", p)
+		}
+	}
+	if Point(200).String() == "" {
+		t.Fatal("out-of-range point unnamed")
+	}
+}

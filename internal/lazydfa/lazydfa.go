@@ -36,6 +36,7 @@ import (
 
 	"repro/internal/bytescan"
 	"repro/internal/engine"
+	"repro/internal/faultpoint"
 )
 
 // Defaults for Config fields left zero.
@@ -103,6 +104,21 @@ type Config struct {
 	// stride-block boundaries outside the per-byte loop; a nil Profile
 	// costs one branch per fed chunk.
 	Profile *engine.Profile
+	// ThrashRetry enables the degradation ladder across scans of this
+	// Runner: the first thrash fallback doubles the cache cap for the
+	// next scan (one-shot retry-with-larger-cache), and a thrash at the
+	// grown cap pins the runner to the iMFAnt engine permanently —
+	// bounded backoff instead of rebuild-thrash-rebuild churn on traffic
+	// the cache cannot hold. Result.Grew/Pinned and Totals.Grows/Pins
+	// record the rungs taken.
+	ThrashRetry bool
+	// Faults, when non-nil, arms this scan's fault-injection sites
+	// (flush storms, forced thrash, allocation caps, stalled chunks) and
+	// is inherited by the iMFAnt fallback and delegates. Like Profile, a
+	// nil Faults costs one predictable branch per fed chunk. Injected
+	// faults only force transitions the runner already implements
+	// exactly; they never change the reported matches.
+	Faults *faultpoint.Injector
 }
 
 // Result aggregates one scan.
@@ -143,6 +159,14 @@ type Result struct {
 	// AccelStates is the number of currently cached states classified as
 	// accelerable (a gauge over the live cache, like CachedStates).
 	AccelStates int
+	// Grew reports that this scan ran with the cache cap doubled by the
+	// ThrashRetry ladder after the previous scan thrashed.
+	Grew bool
+	// Pinned reports that this scan was delegated whole to the iMFAnt
+	// engine because the ladder is out of rungs: the traffic thrashed the
+	// grown cache too. Pinned implies FellBack (but not Thrashed — the
+	// defeat happened on an earlier scan).
+	Pinned bool
 }
 
 // Totals are cumulative counters over every scan a Runner has executed,
@@ -167,6 +191,13 @@ type Totals struct {
 	Fallbacks int64
 	// AccelBytes aggregates the per-scan accelerated-jump byte counters.
 	AccelBytes int64
+	// Grows counts scans retried with a doubled cache cap after a thrash
+	// (Config.ThrashRetry); at most 1 per Runner lifetime — the ladder
+	// has one grow rung.
+	Grows int64
+	// Pins counts scans delegated whole to the iMFAnt engine because the
+	// ladder bottomed out (thrash at the grown cap).
+	Pins int64
 }
 
 // Matcher is the immutable, shareable lazy-DFA form of one engine.Program:
@@ -274,6 +305,13 @@ type Runner struct {
 	// scan would flush on its first miss anyway — a clean rebuild is
 	// cheaper and leaves no half-stale table behind.
 	thrashed bool
+	// Degradation-ladder state (Config.ThrashRetry), runner lifetime:
+	// grown records the one-shot cache grow has been spent (grownCap is
+	// the doubled cap it selected); permanent pins every further scan to
+	// the iMFAnt engine.
+	grown     bool
+	grownCap  int
+	permanent bool
 	ended    bool // End already folded this scan into totals
 	profFill int  // symbols fed since the last profiler sample
 	// cachedSymbols counts bytes executed through the cached hot loop
@@ -314,6 +352,27 @@ func (r *Runner) Begin(cfg Config) {
 	case cfg.MaxFlushes < 0:
 		cfg.MaxFlushes = 0
 	}
+	// Degradation ladder: a thrash on the previous scan spends the
+	// one-shot grow rung (double the cap and retry the cached path); a
+	// thrash at the grown cap pins the runner to the iMFAnt engine — the
+	// traffic has defeated both caps, so rebuilding the cache every scan
+	// would only add churn on top of the fallback it always ends in.
+	var grew, pinned bool
+	if cfg.ThrashRetry && cfg.KeepOnMatch {
+		if r.thrashed && !r.permanent {
+			if !r.grown {
+				r.grown = true
+				r.grownCap = 2 * cfg.MaxStates
+				grew = true
+			} else {
+				r.permanent = true
+			}
+		}
+		if r.grown && !r.permanent {
+			cfg.MaxStates = r.grownCap
+		}
+		pinned = r.permanent
+	}
 	rebuild := (cfg.MaxStates != r.maxStates && r.maxStates != 0) ||
 		r.thrashed || cfg.Accel != r.accelOn
 	r.accelOn = cfg.Accel // before resetCache, so state 0 is classified
@@ -324,7 +383,7 @@ func (r *Runner) Begin(cfg Config) {
 	r.maxStates = cfg.MaxStates
 	r.maxFlushes = cfg.MaxFlushes
 	r.cfg = cfg
-	r.res = Result{PerFSA: make([]int64, r.m.p.NumFSAs())}
+	r.res = Result{PerFSA: make([]int64, r.m.p.NumFSAs()), Grew: grew}
 	r.offset = 0
 	r.cur = 0
 	r.stop = nil
@@ -345,7 +404,18 @@ func (r *Runner) Begin(cfg Config) {
 		r.res.FellBack = true
 		r.fb = engine.NewRunner(r.m.p)
 		r.fb.Begin(engine.Config{KeepOnMatch: false, OnMatch: r.emitOne,
-			Profile: cfg.Profile, Accel: cfg.Accel})
+			Profile: cfg.Profile, Accel: cfg.Accel, Faults: cfg.Faults})
+		return
+	}
+	if pinned {
+		// Ladder bottom: delegate the whole stream to the iMFAnt engine,
+		// deduplicated to the cached path's exact event semantics (one
+		// event per (FSA, end), ascending FSA order).
+		r.res.FellBack = true
+		r.res.Pinned = true
+		r.fb = engine.NewRunner(r.m.p)
+		r.fb.Begin(engine.Config{KeepOnMatch: true, OnMatch: r.emitDedup,
+			Profile: cfg.Profile, Accel: cfg.Accel, Faults: cfg.Faults})
 	}
 }
 
@@ -440,6 +510,12 @@ func (r *Runner) Err() error { return r.stop }
 // stride-sized blocks; once the scan is on an engine fallback the fallback
 // runner profiles itself (its Config carries the same Profile).
 func (r *Runner) feedChunk(chunk []byte, final bool) {
+	if r.cfg.Faults != nil && r.fb == nil {
+		// Once on a fallback the engine runner (armed with the same
+		// injector) stalls its own chunks; stalling here too would count
+		// the site twice per chunk.
+		r.cfg.Faults.Stall()
+	}
 	if r.cfg.Profile != nil && r.fb == nil {
 		r.feedProfiled(chunk, final)
 		return
@@ -520,6 +596,25 @@ func (r *Runner) feedBody(chunk []byte, final bool) {
 		r.flushPending()
 		r.offset += len(chunk)
 		return
+	}
+	if in := r.cfg.Faults; in != nil {
+		// Injected cache faults, at chunk granularity like the natural
+		// ones' observable effects. A forced thrash takes the ordinary
+		// fallback path from the current vector (sound even at offset 0:
+		// Resume of the empty vector at 0 is a fresh stream start); a
+		// forced flush spends the ordinary flush budget and falls back
+		// once the budget is gone, exactly like a storm of real flushes.
+		if in.Hit(faultpoint.LazyThrash) {
+			r.fallback(chunk, 0, final)
+			return
+		}
+		if in.Hit(faultpoint.LazyFlush) {
+			if r.res.Flushes >= r.maxFlushes {
+				r.fallback(chunk, 0, final)
+				return
+			}
+			r.flush()
+		}
 	}
 	nc := r.m.nc
 	classOf := &r.m.classOf
@@ -627,6 +722,12 @@ func (r *Runner) End() Result {
 		if r.thrashed {
 			r.totals.Fallbacks++
 		}
+		if r.res.Grew {
+			r.totals.Grows++
+		}
+		if r.res.Pinned {
+			r.totals.Pins++
+		}
 	}
 	return r.res
 }
@@ -648,6 +749,12 @@ func (r *Runner) Totals() Totals {
 		}
 		if r.thrashed {
 			t.Fallbacks++
+		}
+		if r.res.Grew {
+			t.Grows++
+		}
+		if r.res.Pinned {
+			t.Pins++
 		}
 	}
 	return t
@@ -691,7 +798,10 @@ func (r *Runner) miss(cls int, streamStart bool) int32 {
 	key := r.key(next)
 	id, ok := r.index[key]
 	if !ok {
-		if len(r.states) >= r.maxStates {
+		// AllocCap injection: the next insertion behaves as if the state
+		// cap had been reached (allocation pressure) without the cache
+		// actually being full — the flush-or-fallback path verbatim.
+		if len(r.states) >= r.maxStates || r.cfg.Faults.Hit(faultpoint.AllocCap) {
 			if r.res.Flushes >= r.maxFlushes {
 				return -1
 			}
@@ -837,7 +947,7 @@ func (r *Runner) fallback(chunk []byte, pos int, final bool) {
 	r.thrashed = true
 	r.fb = engine.NewRunner(r.m.p)
 	r.fb.Resume(engine.Config{KeepOnMatch: true, OnMatch: r.emitDedup, Profile: r.cfg.Profile,
-		Accel: r.cfg.Accel}, r.states[r.cur].acts, r.offset+pos)
+		Accel: r.cfg.Accel, Faults: r.cfg.Faults}, r.states[r.cur].acts, r.offset+pos)
 	r.fb.Feed(chunk[pos:], final)
 	r.flushPending()
 	r.offset += len(chunk)

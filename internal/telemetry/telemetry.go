@@ -40,6 +40,38 @@ type Stats struct {
 	// Profile holds the sampling profiler's aggregates; nil when
 	// profiling is off.
 	Profile *ProfileStats `json:"profile,omitempty"`
+	// Degraded accounts every rung of the degradation ladder the runtime
+	// has taken: timeouts, shed scans, contained panics, thrash
+	// fallbacks, cache-grow retries, and pinned delegations. Always
+	// present — an all-zero section is the healthy steady state.
+	Degraded *DegradedStats `json:"degraded"`
+}
+
+// DegradedStats is the degradation-ladder section of a snapshot: one
+// cumulative counter per way a scan can complete below full service. A scan
+// counted here still returned either exact matches or a typed error — these
+// counters measure lost headroom, not lost correctness.
+type DegradedStats struct {
+	// ScanTimeouts counts scans cancelled by Options.ScanTimeout
+	// (ErrScanTimeout).
+	ScanTimeouts int64 `json:"scan_timeouts"`
+	// Shed counts scans rejected by overload shedding (ErrOverloaded)
+	// before doing any work.
+	Shed int64 `json:"shed"`
+	// WorkerPanics counts panics contained inside parallel scan workers
+	// (engine.WorkerPanicError): the automaton's results were lost, the
+	// process and the sibling automata were not.
+	WorkerPanics int64 `json:"worker_panics"`
+	// ThrashFallbacks counts lazy-DFA scans that fell back to the iMFAnt
+	// engine after thrashing the cache (mirrors Lazy.Fallbacks, surfaced
+	// here because the fallback is the ladder's first rung).
+	ThrashFallbacks int64 `json:"thrash_fallbacks"`
+	// CacheGrows counts one-shot retry-with-larger-cache events: a scan
+	// re-run on the cached path with the cap doubled after a thrash.
+	CacheGrows int64 `json:"cache_grows"`
+	// PinnedScans counts scans delegated whole to the iMFAnt engine
+	// because the ladder bottomed out (thrash at the grown cap too).
+	PinnedScans int64 `json:"pinned_scans"`
 }
 
 // PrefilterStats aggregates literal-factor prefilter behaviour: how often
@@ -195,6 +227,12 @@ type Collector struct {
 	accelBytes    atomic.Int64
 	accelStates   []atomic.Int64 // per-automaton gauge (lazy engine only)
 
+	timeouts     atomic.Int64
+	shed         atomic.Int64
+	workerPanics atomic.Int64
+	cacheGrows   atomic.Int64
+	pinnedScans  atomic.Int64
+
 	profileFn atomic.Value // func() *ProfileStats
 }
 
@@ -291,6 +329,23 @@ func (c *Collector) AddLazyScan(hits, misses, flushes, fallbacks int64) {
 	c.fallbacks.Add(fallbacks)
 }
 
+// AddTimeouts adds n scans cancelled by the scan deadline.
+func (c *Collector) AddTimeouts(n int64) { c.timeouts.Add(n) }
+
+// AddShed adds n scans rejected by overload shedding.
+func (c *Collector) AddShed(n int64) { c.shed.Add(n) }
+
+// AddWorkerPanics adds n panics contained inside parallel scan workers.
+func (c *Collector) AddWorkerPanics(n int64) { c.workerPanics.Add(n) }
+
+// AddLazyDegraded folds one lazy-mode scan's degradation-ladder counters:
+// cache-grow retries and pinned whole-scan delegations. (Thrash fallbacks
+// arrive via AddLazyScan and are mirrored into the Degraded section.)
+func (c *Collector) AddLazyDegraded(grows, pins int64) {
+	c.cacheGrows.Add(grows)
+	c.pinnedScans.Add(pins)
+}
+
 // SetCachedStates records the current cache population of one automaton.
 func (c *Collector) SetCachedStates(automaton int, n int64) {
 	if automaton >= 0 && automaton < len(c.cachedStates) {
@@ -357,6 +412,14 @@ func (c *Collector) Snapshot() Stats {
 	}
 	if fn, ok := c.profileFn.Load().(func() *ProfileStats); ok && fn != nil {
 		s.Profile = fn()
+	}
+	s.Degraded = &DegradedStats{
+		ScanTimeouts:    c.timeouts.Load(),
+		Shed:            c.shed.Load(),
+		WorkerPanics:    c.workerPanics.Load(),
+		ThrashFallbacks: c.fallbacks.Load(),
+		CacheGrows:      c.cacheGrows.Load(),
+		PinnedScans:     c.pinnedScans.Load(),
 	}
 	return s
 }

@@ -4,9 +4,27 @@ import (
 	"repro/internal/ahocorasick"
 	"repro/internal/engine"
 	"repro/internal/factor"
+	"repro/internal/faultpoint"
 	"repro/internal/rex"
 	"repro/internal/telemetry"
 )
+
+// wakeAll is the PrefilterWake fault: the sweeper desyncs and every gated
+// automaton is spuriously woken (reported active without a sweep). Waking is
+// always sound — the prefilter only ever elides provably dead work — so the
+// fault adversarially exercises the ungated paths without changing results.
+// Returns nil (no injector, or the point did not fire) or the all-active
+// mask.
+func wakeAll(in *faultpoint.Injector, n int) []bool {
+	if !in.Hit(faultpoint.PrefilterWake) {
+		return nil
+	}
+	active := make([]bool, n)
+	for i := range active {
+		active[i] = true
+	}
+	return active
+}
 
 // PrefilterMode selects the literal-factor prefilter stage (Hyperscan-style
 // decomposition, §II of the paper's related work): at compile time every
@@ -201,6 +219,9 @@ func (s *Scanner) prefilterGate(input []byte, check func() error) ([]bool, error
 	if pf == nil {
 		return nil, nil
 	}
+	if active := wakeAll(s.faults, len(s.rs.programs)); active != nil {
+		return active, nil
+	}
 	if s.sweep == nil {
 		s.sweep = pf.ac.NewSweeper()
 		s.sweep.SetAccel(s.rs.opts.accelOn())
@@ -247,6 +268,9 @@ func (rs *Ruleset) prefilterSelect(input []byte, check func() error) ([]bool, er
 	pf := rs.pf
 	if pf == nil {
 		return nil, nil
+	}
+	if active := wakeAll(rs.faults, len(rs.programs)); active != nil {
+		return active, nil
 	}
 	sw := pf.ac.NewSweeper()
 	sw.SetAccel(rs.opts.accelOn())

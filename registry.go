@@ -1,0 +1,241 @@
+package imfant
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry is a hot-swappable container of Ruleset versions: scans always
+// run against the newest compiled version, while an update replaces it with
+// zero downtime — no scan is blocked, torn, or dropped during the swap.
+//
+// The swap protocol is read-copy-update shaped. Every compiled ruleset is
+// immutable, so a version can be replaced by an atomic pointer store:
+//   - Scans routed through the Registry (FindAll, Count, Scan, CountParallel
+//     and their Context forms) resolve the current version per call. The
+//     first scan after a swap runs on the new rules; scans already in flight
+//     finish on the version they started on, with their full match set.
+//   - StreamMatchers created through the Registry pin the version current at
+//     creation for the life of the stream — a ruleset change cannot alter
+//     match semantics mid-stream — and release it at Close.
+//   - A superseded version stays fully functional until its last pinned scan
+//     or stream lets go; DrainOld waits for that, giving update pipelines a
+//     "safe to tear down / report success" barrier.
+//
+// Update compiles outside the swap lock, so matching traffic never stalls
+// behind compilation; a compile error leaves the current version untouched
+// (crash-safe reload semantics). All methods are safe for concurrent use.
+type Registry struct {
+	mu  sync.Mutex // guards refs, old; serializes swap vs. pin
+	cur atomic.Pointer[registryVersion]
+	old []*registryVersion // superseded versions still pinned by traffic
+
+	upMu sync.Mutex // serializes Update compilations, keeping version order
+}
+
+// registryVersion is one compiled generation. refs counts the holders that
+// keep it alive: 1 for the registry's current pointer plus one per pinned
+// scan or open stream; drained closes when the count reaches zero.
+type registryVersion struct {
+	rs      *Ruleset
+	seq     uint64
+	refs    int // guarded by Registry.mu
+	drained chan struct{}
+}
+
+// NewRegistry compiles patterns into version 1 of a new registry.
+func NewRegistry(patterns []string, opts Options) (*Registry, error) {
+	rs, err := Compile(patterns, opts)
+	if err != nil {
+		return nil, err
+	}
+	return NewRegistryFrom(rs), nil
+}
+
+// NewRegistryFrom wraps an already compiled ruleset as version 1. The
+// caller must not retain other references that mutate scan routing; the
+// ruleset itself stays usable directly (it is immutable).
+func NewRegistryFrom(rs *Ruleset) *Registry {
+	r := &Registry{}
+	r.cur.Store(&registryVersion{rs: rs, seq: 1, refs: 1, drained: make(chan struct{})})
+	return r
+}
+
+// Current returns the newest ruleset version. The load is a single atomic
+// pointer read — the scan hot path pays no lock. The returned ruleset is
+// immutable and remains valid even after later swaps.
+func (r *Registry) Current() *Ruleset { return r.cur.Load().rs }
+
+// Version returns the monotonically increasing sequence number of the
+// current version, starting at 1.
+func (r *Registry) Version() uint64 { return r.cur.Load().seq }
+
+// pin takes a reference on the current version, preventing its drain until
+// the matching release. Pinning is serialized with Swap so a version can
+// never be revived after its drained channel closed.
+func (r *Registry) pin() *registryVersion {
+	r.mu.Lock()
+	v := r.cur.Load()
+	v.refs++
+	r.mu.Unlock()
+	return v
+}
+
+// release drops one reference; the last one out closes drained and retires
+// the version from the superseded list.
+func (r *Registry) release(v *registryVersion) {
+	r.mu.Lock()
+	v.refs--
+	if v.refs == 0 {
+		close(v.drained)
+		for i, o := range r.old {
+			if o == v {
+				r.old = append(r.old[:i], r.old[i+1:]...)
+				break
+			}
+		}
+	}
+	r.mu.Unlock()
+}
+
+// Swap atomically installs rs as the new current version and returns the
+// ruleset it replaced. The old version keeps serving its pinned scans and
+// open streams until they finish (see DrainOld); new scans observe rs
+// immediately.
+func (r *Registry) Swap(rs *Ruleset) *Ruleset {
+	r.mu.Lock()
+	old := r.cur.Load()
+	r.cur.Store(&registryVersion{rs: rs, seq: old.seq + 1, refs: 1, drained: make(chan struct{})})
+	old.refs-- // release the current-pointer hold
+	if old.refs == 0 {
+		close(old.drained)
+	} else {
+		r.old = append(r.old, old)
+	}
+	r.mu.Unlock()
+	return old.rs
+}
+
+// Update compiles patterns and, on success, swaps the result in as the new
+// current version, returning it. Compilation runs outside the swap lock, so
+// matching traffic proceeds at full speed on the old version throughout; a
+// compile failure changes nothing — the previous version keeps serving.
+// Concurrent Updates are serialized in call order.
+func (r *Registry) Update(patterns []string, opts Options) (*Ruleset, error) {
+	r.upMu.Lock()
+	defer r.upMu.Unlock()
+	rs, err := Compile(patterns, opts)
+	if err != nil {
+		return nil, err
+	}
+	r.Swap(rs)
+	return rs, nil
+}
+
+// UpdateBackground runs Update on its own goroutine and returns a buffered
+// channel that receives the result exactly once — the zero-downtime reload
+// shape: request the recompile, keep scanning, observe the swap (or the
+// compile error) whenever convenient.
+func (r *Registry) UpdateBackground(patterns []string, opts Options) <-chan error {
+	done := make(chan error, 1)
+	go func() {
+		_, err := r.Update(patterns, opts)
+		done <- err
+	}()
+	return done
+}
+
+// DrainOld blocks until every version superseded before the call has been
+// released by all of its pinned scans and open streams, or until ctx is
+// done. A nil error means no scan or stream is still running on old rules —
+// the barrier for tearing down resources tied to them.
+func (r *Registry) DrainOld(ctx context.Context) error {
+	r.mu.Lock()
+	waits := make([]chan struct{}, len(r.old))
+	for i, v := range r.old {
+		waits[i] = v.drained
+	}
+	r.mu.Unlock()
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	for _, ch := range waits {
+		select {
+		case <-ch:
+		case <-done:
+			return ctx.Err()
+		}
+	}
+	return nil
+}
+
+// NewStreamMatcher returns a matcher pinned to the current version: the
+// whole stream — across every Write, however long it lives — matches
+// against the rules current at creation, and later swaps cannot change its
+// semantics mid-stream. Close releases the pin (and with it, DrainOld).
+func (r *Registry) NewStreamMatcher(onMatch func(Match)) *StreamMatcher {
+	return r.NewStreamMatcherContext(context.Background(), onMatch)
+}
+
+// NewStreamMatcherContext is NewStreamMatcher under a context (see
+// Ruleset.NewStreamMatcherContext).
+func (r *Registry) NewStreamMatcherContext(ctx context.Context, onMatch func(Match)) *StreamMatcher {
+	v := r.pin()
+	sm := v.rs.NewStreamMatcherContext(ctx, onMatch)
+	sm.onClose = func() { r.release(v) }
+	return sm
+}
+
+// FindAll scans input against the current version. The version is pinned
+// for the duration of the call, so a concurrent swap neither tears the scan
+// nor hides it from DrainOld.
+func (r *Registry) FindAll(input []byte) []Match {
+	out, _ := r.FindAllContext(context.Background(), input)
+	return out
+}
+
+// FindAllContext is FindAll under a context (see Ruleset.FindAllContext).
+func (r *Registry) FindAllContext(ctx context.Context, input []byte) ([]Match, error) {
+	v := r.pin()
+	defer r.release(v)
+	return v.rs.FindAllContext(ctx, input)
+}
+
+// Scan streams every match in input to fn against the current version,
+// pinned for the duration of the call.
+func (r *Registry) Scan(input []byte, fn func(Match)) {
+	v := r.pin()
+	defer r.release(v)
+	v.rs.Scan(input, fn)
+}
+
+// ScanContext is Scan under a context (see Ruleset.ScanContext).
+func (r *Registry) ScanContext(ctx context.Context, input []byte, fn func(Match)) error {
+	v := r.pin()
+	defer r.release(v)
+	return v.rs.ScanContext(ctx, input, fn)
+}
+
+// Count returns the total number of match events in input against the
+// current version, pinned for the duration of the call.
+func (r *Registry) Count(input []byte) int64 {
+	v := r.pin()
+	defer r.release(v)
+	return v.rs.Count(input)
+}
+
+// CountParallel is Ruleset.CountParallel against the current version,
+// pinned for the duration of the call.
+func (r *Registry) CountParallel(input []byte, threads int) (int64, error) {
+	return r.CountParallelContext(context.Background(), input, threads)
+}
+
+// CountParallelContext is CountParallel under a context; the current
+// version's overload shedding and scan timeout apply unchanged.
+func (r *Registry) CountParallelContext(ctx context.Context, input []byte, threads int) (int64, error) {
+	v := r.pin()
+	defer r.release(v)
+	return v.rs.CountParallelContext(ctx, input, threads)
+}

@@ -1,13 +1,41 @@
 package imfant
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"io"
 	"reflect"
+	"runtime"
 	"strings"
+	"sync/atomic"
 	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/faultpoint"
 )
+
+// checkNoGoroutineLeak registers a cleanup asserting the goroutine count
+// returns to its pre-test baseline — the leak detector for the parallel
+// scan paths (cancellation, contained panics, shedding), whose workers must
+// always be joined.
+func checkNoGoroutineLeak(t *testing.T) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			if runtime.NumGoroutine() <= before {
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<20)
+		t.Errorf("goroutine leak: %d before, %d after\n%s",
+			before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+	})
+}
 
 // TestCompileStrictTypedError checks that strict compilation rejects the
 // whole ruleset with a *CompileError attributing the failing rule and
@@ -265,6 +293,221 @@ func TestStreamContextCancelPartialWrite(t *testing.T) {
 	}
 	if !errors.Is(sm.Err(), context.Canceled) {
 		t.Fatalf("Err() = %v", sm.Err())
+	}
+}
+
+// TestStreamCloseDuringConcurrentWrite pins the Close-during-concurrent-
+// Feed contract: with one goroutine writing and another closing, every
+// Write either completes in full — its matches delivered before Close
+// returns — or loses the race, consumes nothing, and fails with the sticky
+// io.ErrClosedPipe. Afterwards the match count equals the consumed chunks
+// exactly: no partial-match loss, no torn chunks. Run under -race this also
+// proves the mutex covers every shared field.
+func TestStreamCloseDuringConcurrentWrite(t *testing.T) {
+	rs := MustCompile([]string{"needle"}, Options{})
+	chunk := []byte("xx needle yy") // one match per chunk, no cross-chunk overlap
+	for round := 0; round < 50; round++ {
+		sm := rs.NewStreamMatcher(nil)
+		var consumed int64
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for {
+				n, err := sm.Write(chunk)
+				if err != nil {
+					if n != 0 {
+						t.Errorf("failed Write reported %d bytes consumed", n)
+					}
+					if !errors.Is(err, io.ErrClosedPipe) {
+						t.Errorf("Write after close = %v, want io.ErrClosedPipe", err)
+					}
+					return
+				}
+				if n != len(chunk) {
+					t.Errorf("torn write: %d of %d bytes", n, len(chunk))
+					return
+				}
+				atomic.AddInt64(&consumed, 1)
+			}
+		}()
+		if round%2 == 0 {
+			runtime.Gosched() // vary the race window
+		}
+		if err := sm.Close(); err != nil {
+			t.Fatalf("round %d: Close: %v", round, err)
+		}
+		<-done
+		if got, want := sm.Matches(), atomic.LoadInt64(&consumed); got != want {
+			t.Fatalf("round %d: %d matches for %d fully-consumed chunks — partial-match loss",
+				round, got, want)
+		}
+	}
+}
+
+// TestScanTimeoutBlock checks the block-scan rung of the degradation
+// ladder: a scan overrunning Options.ScanTimeout is cut off at the next
+// checkpoint with the typed ErrScanTimeout, counted in Stats().Degraded.
+func TestScanTimeoutBlock(t *testing.T) {
+	rs := MustCompile([]string{"needle"}, Options{ScanTimeout: time.Nanosecond})
+	input := bytes.Repeat([]byte("a"), 1<<20)
+	sc := rs.NewScanner()
+	_, err := sc.FindAllContext(context.Background(), input)
+	if !errors.Is(err, ErrScanTimeout) {
+		t.Fatalf("want ErrScanTimeout, got %v", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatal("ErrScanTimeout must wrap context.DeadlineExceeded for errors.Is interop")
+	}
+	if got := sc.Stats().Degraded.ScanTimeouts; got != 1 {
+		t.Fatalf("scanner Degraded.ScanTimeouts = %d, want 1", got)
+	}
+	if got := rs.Stats().Degraded.ScanTimeouts; got != 1 {
+		t.Fatalf("ruleset Degraded.ScanTimeouts = %d, want 1", got)
+	}
+	// A caller cancellation takes precedence over the deadline and keeps its
+	// own type.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := rs.FindAllContext(ctx, input); !errors.Is(err, context.Canceled) ||
+		errors.Is(err, ErrScanTimeout) {
+		t.Fatalf("pre-cancelled scan = %v, want plain context.Canceled", err)
+	}
+}
+
+// TestStreamWriteScanTimeout checks the per-Write budget: a Write wedged by
+// an injected chunk stall reports the consumed prefix with ErrScanTimeout,
+// and the stream fails sticky like a cancellation.
+func TestStreamWriteScanTimeout(t *testing.T) {
+	// Prefilter off: on factor-free input a gated automaton would never be
+	// fed at all, so the stall would have nothing to wedge.
+	rs := MustCompile([]string{"needle"}, Options{
+		ScanTimeout: 5 * time.Millisecond, Prefilter: PrefilterOff,
+	})
+	rs.setFaultInjector(faultpoint.New(faultpoint.Every(faultpoint.ChunkStall, 1)).
+		WithStall(10 * time.Millisecond))
+	sm := rs.NewStreamMatcher(nil)
+	big := make([]byte, 3*engine.DefaultCheckpointEvery)
+	n, err := sm.Write(big)
+	if !errors.Is(err, ErrScanTimeout) {
+		t.Fatalf("Write = (%d, %v), want ErrScanTimeout", n, err)
+	}
+	if n <= 0 || n >= len(big) {
+		t.Fatalf("want a partial consumed count, got %d of %d", n, len(big))
+	}
+	if _, err := sm.Write([]byte("x")); !errors.Is(err, ErrScanTimeout) {
+		t.Fatalf("timed-out stream accepted input: %v", err)
+	}
+	if err := sm.Close(); !errors.Is(err, ErrScanTimeout) {
+		t.Fatalf("Close = %v, want sticky ErrScanTimeout", err)
+	}
+	if got := sm.Stats().Degraded.ScanTimeouts; got != 1 {
+		t.Fatalf("stream Degraded.ScanTimeouts = %d, want 1", got)
+	}
+}
+
+// TestCountParallelOverloadShed checks the bounded-work-queue rung: with
+// every slot busy and the queue full, CountParallel is shed fail-fast with
+// the typed ErrOverloaded, counted in Stats().Degraded.Shed — and the shed
+// path leaks no goroutines.
+func TestCountParallelOverloadShed(t *testing.T) {
+	checkNoGoroutineLeak(t)
+	rs := MustCompile([]string{"ab", "cd"}, Options{MergeFactor: 1, MaxConcurrentScans: 1})
+	rs.setFaultInjector(faultpoint.New(faultpoint.Every(faultpoint.ChunkStall, 1)).
+		WithStall(100 * time.Millisecond))
+	input := bytes.Repeat([]byte("abcd"), 1024)
+	done := make(chan error, 1)
+	go func() {
+		_, err := rs.CountParallel(input, 2)
+		done <- err
+	}()
+	for i := 0; len(rs.sched.slots) == 0 && i < 2000; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if len(rs.sched.slots) == 0 {
+		t.Fatal("first scan never acquired its slot")
+	}
+	if _, err := rs.CountParallel(input, 2); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("second scan = %v, want ErrOverloaded", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("slot-holding scan failed: %v", err)
+	}
+	if got := rs.Stats().Degraded.Shed; got != 1 {
+		t.Fatalf("Degraded.Shed = %d, want 1", got)
+	}
+	// After the holder finished, admission recovers.
+	if _, err := rs.CountParallel(input, 2); err != nil {
+		t.Fatalf("scan after recovery: %v", err)
+	}
+}
+
+// TestCountParallelQueueThenShed checks the queue tier between admission
+// and shedding: one waiter is queued and eventually served; the next is
+// shed immediately.
+func TestCountParallelQueueThenShed(t *testing.T) {
+	checkNoGoroutineLeak(t)
+	rs := MustCompile([]string{"ab", "cd"}, Options{
+		MergeFactor: 1, MaxConcurrentScans: 1, MaxQueuedScans: 1,
+	})
+	rs.setFaultInjector(faultpoint.New(faultpoint.Every(faultpoint.ChunkStall, 1)).
+		WithStall(100 * time.Millisecond))
+	input := bytes.Repeat([]byte("abcd"), 1024)
+	first := make(chan error, 1)
+	go func() {
+		_, err := rs.CountParallel(input, 2)
+		first <- err
+	}()
+	for i := 0; len(rs.sched.slots) == 0 && i < 2000; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	queued := make(chan error, 1)
+	go func() {
+		_, err := rs.CountParallel(input, 2)
+		queued <- err
+	}()
+	for i := 0; rs.sched.queued.Load() == 0 && i < 2000; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if rs.sched.queued.Load() == 0 {
+		t.Fatal("second scan never queued")
+	}
+	if _, err := rs.CountParallel(input, 2); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("third scan = %v, want ErrOverloaded (queue full)", err)
+	}
+	if err := <-first; err != nil {
+		t.Fatalf("slot holder: %v", err)
+	}
+	if err := <-queued; err != nil {
+		t.Fatalf("queued waiter should have been served: %v", err)
+	}
+	if got := rs.Stats().Degraded.Shed; got != 1 {
+		t.Fatalf("Degraded.Shed = %d, want 1", got)
+	}
+}
+
+// TestCountParallelPanicNoLeak checks that contained worker panics —
+// injected through the WorkerPanic fault point — join all workers and leak
+// no goroutines, across repeated storms.
+func TestCountParallelPanicNoLeak(t *testing.T) {
+	checkNoGoroutineLeak(t)
+	rs := MustCompile([]string{"ab", "cd", "ef"}, Options{MergeFactor: 1})
+	rs.setFaultInjector(faultpoint.New(faultpoint.Every(faultpoint.WorkerPanic, 2)))
+	input := bytes.Repeat([]byte("abcdef"), 512)
+	var errs int
+	for i := 0; i < 10; i++ {
+		if _, err := rs.CountParallel(input, 3); err != nil {
+			var wp *engine.WorkerPanicError
+			if !errors.As(err, &wp) {
+				t.Fatalf("iteration %d: untyped error: %v", i, err)
+			}
+			errs++
+		}
+	}
+	if errs == 0 {
+		t.Fatal("panic schedule never fired")
+	}
+	if got := rs.Stats().Degraded.WorkerPanics; got < int64(errs) {
+		t.Fatalf("Degraded.WorkerPanics = %d, want >= %d", got, errs)
 	}
 }
 

@@ -45,6 +45,44 @@ type Stats struct {
 	// Scanner and StreamMatcher snapshots omit it (the profiler is shared
 	// ruleset-wide).
 	Profile *ProfileStats `json:"profile,omitempty"`
+	// Degraded accounts every rung of the degradation ladder taken:
+	// timeouts, shed scans, contained worker panics, lazy-DFA thrash
+	// fallbacks, cache-grow retries, and pinned delegations. Always
+	// present — an all-zero section is the healthy steady state. A scan
+	// counted here still returned either exact matches or a typed error;
+	// the section measures lost headroom, never lost correctness.
+	Degraded *DegradedStats `json:"degraded"`
+}
+
+// DegradedStats is the degradation-ladder section of a stats snapshot. The
+// rungs, in escalation order: a scan can time out (ErrScanTimeout), be shed
+// under overload (ErrOverloaded), lose one automaton to a contained worker
+// panic (engine.WorkerPanicError), or — on the lazy-DFA engine — thrash its
+// cache and fall back to iMFAnt, retry once with a doubled cache, and
+// finally pin to iMFAnt for good. Scanner and StreamMatcher scopes report
+// their own events; Shed and WorkerPanics are parallel-scan phenomena and
+// stay zero there.
+type DegradedStats struct {
+	// ScanTimeouts counts scans cancelled by Options.ScanTimeout.
+	ScanTimeouts int64 `json:"scan_timeouts"`
+	// Shed counts scans rejected by the bounded work queue
+	// (Options.MaxConcurrentScans) before doing any work.
+	Shed int64 `json:"shed"`
+	// WorkerPanics counts panics contained inside CountParallel workers:
+	// the panicking automaton's results were lost (and reported as a
+	// typed error), the process and sibling automata were not.
+	WorkerPanics int64 `json:"worker_panics"`
+	// ThrashFallbacks counts lazy-DFA scans that fell back to the iMFAnt
+	// engine after thrashing the cache — the ladder's first rung,
+	// mirroring Lazy.Fallbacks.
+	ThrashFallbacks int64 `json:"thrash_fallbacks"`
+	// CacheGrows counts one-shot retry-with-larger-cache events
+	// (Options.ThrashRetry): a matching context re-entering the cached
+	// path with its cap doubled after a thrash.
+	CacheGrows int64 `json:"cache_grows"`
+	// PinnedScans counts scans delegated whole to the iMFAnt engine
+	// because the ladder bottomed out (thrash at the grown cap too).
+	PinnedScans int64 `json:"pinned_scans"`
 }
 
 // PrefilterStats is the literal-factor prefilter section of a stats
@@ -209,6 +247,16 @@ func statsFrom(t telemetry.Stats) Stats {
 		}
 		s.Profile = p
 	}
+	if t.Degraded != nil {
+		s.Degraded = &DegradedStats{
+			ScanTimeouts:    t.Degraded.ScanTimeouts,
+			Shed:            t.Degraded.Shed,
+			WorkerPanics:    t.Degraded.WorkerPanics,
+			ThrashFallbacks: t.Degraded.ThrashFallbacks,
+			CacheGrows:      t.Degraded.CacheGrows,
+			PinnedScans:     t.Degraded.PinnedScans,
+		}
+	}
 	return s
 }
 
@@ -241,7 +289,8 @@ func (rs *Ruleset) StatsVar() expvar.Var {
 // executed, including a partial scan still in progress. Not safe for use
 // concurrent with the scanner's scans (the Scanner itself is single-owner).
 func (s *Scanner) Stats() Stats {
-	st := Stats{RuleHits: append([]int64(nil), s.ruleHits...)}
+	st := Stats{RuleHits: append([]int64(nil), s.ruleHits...),
+		Degraded: &DegradedStats{ScanTimeouts: s.timeouts}}
 	var accel *AccelStats
 	if s.rs.opts.accelOn() {
 		accel = &AccelStats{Automata: len(s.rs.programs)}
@@ -257,6 +306,8 @@ func (s *Scanner) Stats() Stats {
 			l.Misses += t.CacheMisses
 			l.Flushes += t.Flushes
 			l.Fallbacks += t.Fallbacks
+			st.Degraded.CacheGrows += t.Grows
+			st.Degraded.PinnedScans += t.Pins
 			l.CachedStates += int64(r.CachedStates())
 			if m := r.MaxStates(); m > l.MaxStates {
 				l.MaxStates = m
@@ -270,6 +321,7 @@ func (s *Scanner) Stats() Stats {
 		if l.MaxStates == 0 {
 			l.MaxStates = lazydfa.ResolveMaxStates(s.rs.opts.LazyDFAMaxStates)
 		}
+		st.Degraded.ThrashFallbacks = l.Fallbacks
 		st.Lazy = l
 	} else {
 		for _, r := range s.runners {
@@ -292,7 +344,8 @@ func (s *Scanner) Stats() Stats {
 // stream counts as one completed scan per automaton). Not safe for use
 // concurrent with Write or Close.
 func (sm *StreamMatcher) Stats() Stats {
-	st := Stats{RuleHits: append([]int64(nil), sm.ruleHits...)}
+	st := Stats{RuleHits: append([]int64(nil), sm.ruleHits...),
+		Degraded: &DegradedStats{ScanTimeouts: sm.timeouts}}
 	var accel *AccelStats
 	if sm.rs.opts.accelOn() {
 		accel = &AccelStats{Automata: len(sm.rs.programs)}
@@ -323,6 +376,8 @@ func (sm *StreamMatcher) Stats() Stats {
 			l.Misses += t.CacheMisses
 			l.Flushes += t.Flushes
 			l.Fallbacks += t.Fallbacks
+			st.Degraded.CacheGrows += t.Grows
+			st.Degraded.PinnedScans += t.Pins
 			l.CachedStates += int64(r.CachedStates())
 			if m := r.MaxStates(); m > l.MaxStates {
 				l.MaxStates = m
@@ -333,6 +388,7 @@ func (sm *StreamMatcher) Stats() Stats {
 				accel.AccelStates += int64(r.AccelStates())
 			}
 		}
+		st.Degraded.ThrashFallbacks = l.Fallbacks
 		st.Lazy = l
 	}
 	st.Prefilter = sm.pref.stats(sm.rs.pf)

@@ -2,11 +2,14 @@ package imfant
 
 import (
 	"context"
+	"errors"
 	"io"
+	"sync"
 	"time"
 
 	"repro/internal/ahocorasick"
 	"repro/internal/engine"
+	"repro/internal/faultpoint"
 	"repro/internal/lazydfa"
 	"repro/internal/telemetry"
 )
@@ -48,8 +51,16 @@ import (
 // the stream. The streamed match set is byte-identical to the unfiltered
 // one in every case; the savings concentrate on single-Write streams.
 //
-// A StreamMatcher is not safe for concurrent use.
+// Write, Close, Err, and Matches serialize on an internal mutex, pinning
+// the Close-during-concurrent-Write contract: a Write racing Close either
+// completes in full — every one of its matches delivered before Close
+// returns — or loses the race, consumes nothing, and fails with the sticky
+// io.ErrClosedPipe. No partial-match loss, no torn chunks. Concurrent
+// Writes are likewise serialized (their relative order is unspecified), and
+// onMatch runs under the lock — it must not call back into the matcher.
+// Stats remains single-owner: call it only with Writes quiesced.
 type StreamMatcher struct {
+	mu       sync.Mutex // serializes Write/Close/Err/Matches
 	rs       *Ruleset
 	engines  []*engine.Runner  // iMFAnt mode
 	lazies   []*lazydfa.Runner // lazy-DFA mode
@@ -60,6 +71,11 @@ type StreamMatcher struct {
 	matches  int64
 	consumed int64 // bytes consumed across Writes
 	ruleHits []int64
+	budget   time.Duration // Options.ScanTimeout: per-Write/Close time budget
+	deadline time.Time     // current call's cutoff; zero without a budget
+	timeouts int64         // 1 once the stream failed with ErrScanTimeout
+	faults   *faultpoint.Injector
+	onClose  func() // registry drain hook; runs once, after a Close completes
 
 	// Prefilter state; inert when the ruleset is ungated.
 	sweep      *ahocorasick.Sweeper
@@ -92,6 +108,8 @@ func (rs *Ruleset) NewStreamMatcherContext(ctx context.Context, onMatch func(Mat
 		onMatch:  onMatch,
 		check:    checkpointOf(ctx),
 		ruleHits: make([]int64, len(rs.patterns)),
+		budget:   rs.opts.ScanTimeout,
+		faults:   rs.faults,
 	}
 	lazy := rs.useLazy()
 	for i, p := range rs.programs {
@@ -117,6 +135,8 @@ func (rs *Ruleset) NewStreamMatcherContext(ctx context.Context, onMatch func(Mat
 				OnMatch:     emit,
 				Accel:       rs.opts.accelOn(),
 				Profile:     rs.profileOf(i),
+				ThrashRetry: rs.opts.thrashRetryOn(),
+				Faults:      sm.faults,
 			})
 			sm.lazies = append(sm.lazies, runner)
 		} else {
@@ -126,6 +146,7 @@ func (rs *Ruleset) NewStreamMatcherContext(ctx context.Context, onMatch func(Mat
 				OnMatch:     emit,
 				Accel:       rs.opts.accelOn(),
 				Profile:     rs.profileOf(i),
+				Faults:      sm.faults,
 			})
 			sm.engines = append(sm.engines, runner)
 		}
@@ -182,6 +203,18 @@ func (sm *StreamMatcher) prefilterAdmit(p []byte) error {
 	if sm.gatedCount == 0 {
 		return nil
 	}
+	if sm.faults.Hit(faultpoint.PrefilterWake) && !sm.wrote {
+		// Injected sweeper desync: wake everything before the first byte is
+		// fed. Waking before any byte is consumed is exactly the ungated
+		// start path, so it is always sound.
+		for i := range sm.gated {
+			if sm.gated[i] {
+				sm.gated[i] = false
+				sm.gatedCount--
+			}
+		}
+		return nil
+	}
 	pf := sm.rs.pf
 	if !sm.wrote {
 		// First chunk: sweep before feeding, so a factor-triggered
@@ -224,7 +257,7 @@ func (sm *StreamMatcher) prefilterAdmit(p []byte) error {
 				return err
 			}
 			blk := pending
-			if sm.check != nil && len(blk) > engine.DefaultCheckpointEvery {
+			if sm.splitChunks() && len(blk) > engine.DefaultCheckpointEvery {
 				blk = blk[:engine.DefaultCheckpointEvery]
 			}
 			sm.feedOne(i, blk)
@@ -249,15 +282,44 @@ func (sm *StreamMatcher) flushHeld() {
 	}
 }
 
-// poll checks the matcher's context, recording the first failure. On that
-// first failure the runners' held bytes are flushed: the consumed-byte
-// count already includes them, so they must be matched against.
+// armDeadline starts the current call's ScanTimeout budget; a no-op when
+// Options.ScanTimeout is zero.
+func (sm *StreamMatcher) armDeadline() {
+	if sm.budget > 0 {
+		sm.deadline = time.Now().Add(sm.budget)
+	}
+}
+
+// splitChunks reports whether Writes must be fed in checkpoint-sized blocks:
+// required whenever poll can fail mid-chunk — a cancellable context or an
+// armed ScanTimeout budget — so the failure is observed promptly and the
+// consumed-byte count stays exact.
+func (sm *StreamMatcher) splitChunks() bool { return sm.check != nil || sm.budget > 0 }
+
+// poll checks the matcher's context and the armed ScanTimeout deadline,
+// recording the first failure (the context's error takes precedence). On
+// that first failure the runners' held bytes are flushed: the consumed-byte
+// count already includes them, so they must be matched against. A deadline
+// failure is sticky like a cancellation — the stream is wedged slow, and
+// retrying the next Write against the same backlog would just burn another
+// budget.
 func (sm *StreamMatcher) poll() error {
-	if sm.check == nil || sm.err != nil {
+	if sm.err != nil {
 		return sm.err
 	}
-	if err := sm.check(); err != nil {
+	var err error
+	if sm.check != nil {
+		err = sm.check()
+	}
+	if err == nil && !sm.deadline.IsZero() && time.Now().After(sm.deadline) {
+		err = ErrScanTimeout
+	}
+	if err != nil {
 		sm.err = err
+		if errors.Is(err, ErrScanTimeout) {
+			sm.timeouts++
+		}
+		noteDegraded(sm.rs.collector, err)
 		sm.flushHeld()
 	}
 	return sm.err
@@ -270,6 +332,8 @@ func (sm *StreamMatcher) poll() error {
 // sticky context error (see Err) after a cancellation; a failed matcher
 // consumes nothing.
 func (sm *StreamMatcher) Write(p []byte) (int, error) {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
 	if sm.err != nil {
 		return 0, sm.err
 	}
@@ -279,6 +343,7 @@ func (sm *StreamMatcher) Write(p []byte) (int, error) {
 	if len(p) == 0 {
 		return 0, nil
 	}
+	sm.armDeadline()
 	if err := sm.poll(); err != nil {
 		return 0, err
 	}
@@ -296,7 +361,7 @@ func (sm *StreamMatcher) Write(p []byte) (int, error) {
 	n := 0
 	for len(p) > 0 {
 		blk := p
-		if sm.check != nil && len(blk) > engine.DefaultCheckpointEvery {
+		if sm.splitChunks() && len(blk) > engine.DefaultCheckpointEvery {
 			blk = blk[:engine.DefaultCheckpointEvery]
 		}
 		sm.feed(blk, false)
@@ -321,10 +386,13 @@ func (sm *StreamMatcher) Write(p []byte) (int, error) {
 // observed, so $-anchored accepts must not fire), the held bytes are
 // matched against as ordinary data, and the sticky error is returned.
 func (sm *StreamMatcher) Close() error {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
 	if sm.closed {
 		return sm.err
 	}
 	sm.closed = true
+	sm.armDeadline()
 	if sm.poll() == nil {
 		sm.feed(nil, true)
 	}
@@ -357,6 +425,10 @@ func (sm *StreamMatcher) Close() error {
 		sm.rs.trace.Record(telemetry.Event{Kind: telemetry.EventStreamEnd,
 			Automaton: -1, Rule: -1, Offset: sm.consumed, Value: sm.matches})
 	}
+	if sm.onClose != nil {
+		sm.onClose()
+		sm.onClose = nil
+	}
 	return sm.err
 }
 
@@ -383,6 +455,9 @@ func (sm *StreamMatcher) pushTelemetry() {
 		c.AddBytes(t.Symbols)
 		c.AddMatches(t.Matches)
 		c.AddLazyScan(t.CacheHits, t.CacheMisses, t.Flushes, t.Fallbacks)
+		if t.Grows != 0 || t.Pins != 0 {
+			c.AddLazyDegraded(t.Grows, t.Pins)
+		}
 		c.SetCachedStates(i, int64(r.CachedStates()))
 		c.AddAccelScan(t.AccelBytes)
 		c.SetAccelStates(i, int64(r.AccelStates()))
@@ -398,10 +473,19 @@ func (sm *StreamMatcher) pushTelemetry() {
 }
 
 // Err returns the sticky error that failed the stream, if any: the
-// context's error once a cancellation was observed. A closed, healthy
-// matcher reports nil.
-func (sm *StreamMatcher) Err() error { return sm.err }
+// context's error once a cancellation was observed, or ErrScanTimeout once
+// a Write overran Options.ScanTimeout. A closed, healthy matcher reports
+// nil.
+func (sm *StreamMatcher) Err() error {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	return sm.err
+}
 
 // Matches returns the number of match events reported so far. After Close
 // it is the total for the stream.
-func (sm *StreamMatcher) Matches() int64 { return sm.matches }
+func (sm *StreamMatcher) Matches() int64 {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	return sm.matches
+}
