@@ -194,13 +194,37 @@ func TestSnortAccelAccounting(t *testing.T) {
 		rs.NumAutomata(), scans, st.BytesScanned, st.Prefilter.BytesSaved, total,
 		st.Accel.BytesSkipped, 100*float64(st.Accel.BytesSkipped)/float64(st.BytesScanned))
 
+	// The strategy planner must have classified this ruleset (EngineAuto),
+	// routing its all-literal groups to pure AC, and the per-strategy bytes
+	// must partition BytesScanned exactly — strategy replacements count the
+	// bytes they covered just like the engines they displaced.
+	if st.Strategy == nil || !st.Strategy.Planned {
+		t.Fatalf("Stats().Strategy = %+v, want a planned section", st.Strategy)
+	}
+	perStrategy := map[string]int64{}
+	var stratBytes int64
+	for _, g := range st.Strategy.Groups {
+		perStrategy[g.Strategy] = g.Bytes
+		stratBytes += g.Bytes
+	}
+	if stratBytes != st.BytesScanned {
+		t.Fatalf("strategy bytes sum %d, want BytesScanned %d", stratBytes, st.BytesScanned)
+	}
+	if perStrategy["ac"] == 0 {
+		t.Fatalf("no pure-AC group engaged on the snort ruleset: %+v", st.Strategy.Groups)
+	}
+
 	// The partition must survive the degradation ladder: an injected
 	// thrash-fallback storm reroutes bytes through the iMFAnt fallback
 	// engine mid-scan, yet every (automaton, scan, byte) triple is still
 	// scanned or saved exactly once, and the match set is untouched.
 	t.Run("injected-thrash", func(t *testing.T) {
+		// The forced lazy engine keeps every group on the thrash ladder —
+		// under the planner the literal-heavy snort groups route to AC/DFA
+		// strategies, which have no cache to thrash.
 		rs2, _, err := CompileLax(patterns, Options{
 			MergeFactor: 2, KeepOnMatch: true, Prefilter: PrefilterOn, Accel: AccelOn,
+			Engine: EngineLazyDFA,
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -254,14 +278,17 @@ func TestSnortAccelAccounting(t *testing.T) {
 		}
 		want := rsA.FindAll(benign) // pre-swap oracle; rsB is rule-identical
 		r := NewRegistryFrom(rsA)
+		scansOf := map[string]int64{"A": 1, "B": 0} // the oracle scan
 		for i := 0; i < 6; i++ {
 			got := r.FindAll(benign)
 			if !reflect.DeepEqual(got, want) {
 				t.Fatalf("iteration %d: swap changed the match set", i)
 			}
 			if i%2 == 0 {
+				scansOf["A"]++
 				r.Swap(rsB)
 			} else {
+				scansOf["B"]++
 				r.Swap(rsA)
 			}
 		}
@@ -273,10 +300,13 @@ func TestSnortAccelAccounting(t *testing.T) {
 			if st.Prefilter == nil || st.Prefilter.Sweeps == 0 {
 				t.Fatalf("version %s served no gated scans", name)
 			}
-			total := int64(rs.NumAutomata()) * int64(len(benign)) * st.Prefilter.Sweeps
+			// Sweeps counts literal sweeps executed — the factor sweep plus
+			// each AC group's strategy scan — so the partition denominator is
+			// the scan-call count the test tracked through the swaps.
+			total := int64(rs.NumAutomata()) * int64(len(benign)) * scansOf[name]
 			if got := st.BytesScanned + st.Prefilter.BytesSaved; got != total {
-				t.Fatalf("version %s: BytesScanned %d + BytesSaved %d = %d, want %d (automata × bytes × sweeps)",
-					name, st.BytesScanned, st.Prefilter.BytesSaved, got, total)
+				t.Fatalf("version %s: BytesScanned %d + BytesSaved %d = %d, want %d (automata × bytes × %d scans)",
+					name, st.BytesScanned, st.Prefilter.BytesSaved, got, total, scansOf[name])
 			}
 		}
 	})

@@ -169,6 +169,69 @@ type accelEntry struct {
 	Speedup    float64 `json:"speedup"`
 }
 
+// strategyEntry is one workload measurement of the strategy-planner study,
+// with the classification context a regression tracker needs to interpret
+// the speedup.
+type strategyEntry struct {
+	// Benchmark names the measurement: strategy/<workload>.
+	Benchmark string `json:"benchmark"`
+	// Strategies is the planner's per-group assignment, in group order.
+	Strategies string `json:"strategies"`
+	// Groups is the MFSA count; Matches the per-scan match count,
+	// identical planner-on and baseline.
+	Groups  int   `json:"groups"`
+	Matches int64 `json:"matches"`
+	// LazyNsPerOp / PlanNsPerOp are whole-ruleset scan latencies under the
+	// forced lazy-DFA baseline and under the planner; Speedup is their
+	// ratio. The all-literal row's speedup is the acceptance number.
+	LazyNsPerOp int64   `json:"lazy_ns_per_op"`
+	PlanNsPerOp int64   `json:"plan_ns_per_op"`
+	Speedup     float64 `json:"speedup"`
+}
+
+// writeStrategyJSON records the planner-vs-lazy comparison as
+// BENCH_strategy.json, archived by CI next to BENCH_accel.json.
+func writeStrategyJSON(rows []strategyRow, o experiments.Opts) (string, error) {
+	out := struct {
+		Name    string          `json:"name"`
+		Created string          `json:"created"`
+		Go      string          `json:"go"`
+		GOOS    string          `json:"goos"`
+		GOARCH  string          `json:"goarch"`
+		CPUs    int             `json:"cpus"`
+		Config  benchConfig     `json:"config"`
+		Results []strategyEntry `json:"results"`
+	}{
+		Name:    "strategy",
+		Created: time.Now().UTC().Format(time.RFC3339),
+		Go:      runtime.Version(),
+		GOOS:    runtime.GOOS,
+		GOARCH:  runtime.GOARCH,
+		CPUs:    runtime.NumCPU(),
+		Config:  benchConfig{StreamSize: o.StreamSize, Reps: o.Reps},
+	}
+	for _, row := range rows {
+		out.Results = append(out.Results, strategyEntry{
+			Benchmark:   fmt.Sprintf("strategy/%s", row.Workload),
+			Strategies:  row.Strategies,
+			Groups:      row.Groups,
+			Matches:     row.Matches,
+			LazyNsPerOp: row.LazyTime.Nanoseconds(),
+			PlanNsPerOp: row.PlanTime.Nanoseconds(),
+			Speedup:     row.Speedup,
+		})
+	}
+	path := "BENCH_strategy.json"
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
 // writeAccelJSON records the Options.Accel on/off comparison as
 // BENCH_accel.json, archived by CI next to BENCH_prefilter.json.
 func writeAccelJSON(rows []accelRow, o experiments.Opts) (string, error) {

@@ -71,6 +71,7 @@ func main() {
 		decomp       = flag.Bool("decompose", false, "run the literal-prefilter decomposition comparison")
 		prefilter    = flag.Bool("prefilter", false, "run the production Options.Prefilter study and write BENCH_prefilter.json")
 		accel        = flag.Bool("accel", false, "run the production Options.Accel study and write BENCH_accel.json")
+		strategy     = flag.Bool("strategy", false, "run the strategy-planner study and write BENCH_strategy.json")
 		paper        = flag.Bool("paper", false, "use the paper's full-scale configuration (1 MB, 15 reps)")
 		size         = flag.Int("size", 0, "stream size in bytes (default 256 KiB, or 1 MiB with -paper)")
 		reps         = flag.Int("reps", 0, "measurement repetitions")
@@ -119,7 +120,7 @@ func main() {
 		}
 	}
 
-	extrasOnly := (*ablation || *baseline || *ccrefine || *stride || *lazy || *clustering || *decomp || *prefilter || *accel) && len(figs) == 0 && len(tables) == 0 && !*all
+	extrasOnly := (*ablation || *baseline || *ccrefine || *stride || *lazy || *clustering || *decomp || *prefilter || *accel || *strategy) && len(figs) == 0 && len(tables) == 0 && !*all
 	if *ablation {
 		if _, err := r.Ablation(w); err != nil {
 			fatal(err)
@@ -183,6 +184,17 @@ func main() {
 			fatal(err)
 		}
 		fmt.Fprintf(w, "accel results written to %s\n\n", path)
+	}
+	if *strategy {
+		rows, err := runStrategy(w, o)
+		if err != nil {
+			fatal(err)
+		}
+		path, err := writeStrategyJSON(rows, o)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(w, "strategy results written to %s\n\n", path)
 	}
 	if extrasOnly {
 		return

@@ -3,6 +3,8 @@ package main
 import (
 	"reflect"
 	"testing"
+
+	"repro/internal/experiments"
 )
 
 func TestIntListSet(t *testing.T) {
@@ -36,5 +38,33 @@ func TestStrListSet(t *testing.T) {
 	}
 	if l.String() != "BRO,DS9,PEN" {
 		t.Fatalf("String=%q", l.String())
+	}
+}
+
+// TestRunStrategy smoke-tests the -strategy study at a small size: every
+// workload must classify as designed (the speedup numbers themselves are
+// CI artifacts, not test assertions — timing is machine-dependent).
+func TestRunStrategy(t *testing.T) {
+	o := experiments.Opts{StreamSize: 32 << 10, Reps: 1}
+	rows, err := runStrategy(nil, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{
+		"all-literal": "ac",
+		"anchored":    "anchored",
+		"small-group": "dfa",
+		"mixed":       "ac,anchored,dfa,imfant",
+	}
+	if len(rows) != len(want) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(want))
+	}
+	for _, row := range rows {
+		if row.Strategies != want[row.Workload] {
+			t.Errorf("%s: classified %q, want %q", row.Workload, row.Strategies, want[row.Workload])
+		}
+		if row.PlanTime <= 0 || row.LazyTime <= 0 {
+			t.Errorf("%s: non-positive timing %v / %v", row.Workload, row.LazyTime, row.PlanTime)
+		}
 	}
 }

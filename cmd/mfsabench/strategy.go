@@ -1,0 +1,188 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+	"time"
+
+	imfant "repro"
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+)
+
+// The strategy study's four workloads exercise one planner classification
+// each. The literal and anchored rules are snort-derived: content strings
+// and URI anchors lifted from the web-attacks ruleset shapes, the
+// population the planner is meant to pull off the automata path entirely.
+var (
+	// strategyLiteralRules is an all-literal group: every rule is a plain
+	// content string, so the planner routes the whole group to a single
+	// Aho–Corasick scan (StrategyAC).
+	strategyLiteralRules = []string{
+		"/etc/passwd", "cmd\\.exe", "<script>", "\\.\\./\\.\\.",
+		"/cgi-bin/phf", "/bin/sh", "/usr/bin/id", "xp_cmdshell",
+		"/wp-admin/", "SELECT FROM", "/robots\\.txt", "union select",
+		"/\\.git/HEAD", "etc/shadow", "/phpmyadmin", "document\\.cookie",
+		"/xmlrpc\\.php", "boot\\.ini", "/server-status", "/\\.env",
+	}
+	// strategyAnchoredRules are anchored literals — request-line prefixes
+	// and trailer suffixes — classified StrategyAnchored: O(pattern) work
+	// per scan instead of an automaton pass.
+	strategyAnchoredRules = []string{
+		"^GET /etc/passwd", "^POST /admin/login", "^HEAD /cgi-bin/",
+		"^OPTIONS \\*", "^GET /", "\r\n\r\n$", "HTTP/1\\.0$",
+	}
+	// strategySmallRules are small regexes whose merged NFA determinizes
+	// under the eager-DFA budget (StrategyDFA): the group runs a
+	// precompiled dense DFA instead of building one lazily per scan.
+	strategySmallRules = []string{
+		"/cgi-bin/(phf|test-cgi)", "id=[0-9]+ or ", "<scr+ipt>",
+		"\\.(asp|php|cgi) ", "%2e%2e[/\\\\]",
+	}
+	// strategyLargeRule exceeds the eager-DFA state budget and stays on
+	// the default engine — the mixed workload's control group.
+	strategyLargeRule = "x[0-9]{200}y"
+)
+
+// strategyRow is one workload of the strategy-planner study: the same
+// ruleset compiled with the planner on (EngineAuto) and with the forced
+// lazy-DFA baseline, scanned over the workload's traffic.
+type strategyRow struct {
+	// Workload is "all-literal", "anchored", "small-group" or "mixed".
+	Workload string
+	// Strategies is the planner's per-group assignment, in group order.
+	Strategies string
+	// Groups is the MFSA count; Matches the per-scan match count
+	// (identical planner-on and baseline — checked).
+	Groups  int
+	Matches int64
+	// LazyTime and PlanTime are single-thread whole-ruleset scan
+	// latencies under the forced lazy-DFA baseline and under the planner;
+	// Speedup is their ratio.
+	LazyTime, PlanTime time.Duration
+	Speedup            float64
+}
+
+// strategyWorkload bundles a workload's rules, grouping, and traffic.
+type strategyWorkload struct {
+	name    string
+	rules   []string
+	merge   int
+	traffic func(size int) []byte
+}
+
+// strategyTraffic builds benign HTTP filler with planted fragments mixed
+// in at roughly one per kilobyte — enough hits that the match-equality
+// check is meaningful, sparse enough that scanning, not match handling,
+// dominates.
+func strategyTraffic(size int, seed int64, plants []string) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	benign := []string{
+		"GET /index.html HTTP/1.1\r\n", "Host: example.com\r\n",
+		"User-Agent: Mozilla/5.0\r\n", "Accept: text/html\r\n",
+		"Connection: keep-alive\r\n", "Cache-Control: no-cache\r\n",
+	}
+	out := make([]byte, 0, size+64)
+	for len(out) < size {
+		if len(plants) > 0 && rng.Intn(40) == 0 {
+			out = append(out, plants[rng.Intn(len(plants))]...)
+		} else {
+			out = append(out, benign[rng.Intn(len(benign))]...)
+		}
+	}
+	return out[:size]
+}
+
+// strategyWorkloads enumerates the study. MergeFactor 0 ("M = all") gives
+// the single-group workloads their one-strategy shape; the mixed workload
+// orders rules so MergeFactor 4 yields homogeneous groups, one per
+// strategy, plus the engine-bound control.
+func strategyWorkloads() []strategyWorkload {
+	mixed := make([]string, 0, 17)
+	mixed = append(mixed, strategyLiteralRules[:4]...)
+	mixed = append(mixed, strategyAnchoredRules[:4]...)
+	mixed = append(mixed, strategySmallRules[:4]...)
+	mixed = append(mixed, strategyLargeRule)
+	return []strategyWorkload{
+		{"all-literal", strategyLiteralRules, 0, func(size int) []byte {
+			return strategyTraffic(size, 0x57A1, []string{"/etc/passwd", "cmd.exe", "/wp-admin/"})
+		}},
+		{"anchored", strategyAnchoredRules, 0, func(size int) []byte {
+			return strategyTraffic(size, 0x57A2, nil) // "^GET /" matches the stream head
+		}},
+		{"small-group", strategySmallRules, 0, func(size int) []byte {
+			return strategyTraffic(size, 0x57A3, []string{"/cgi-bin/phf?x", "id=1 or 1=1", "a.php b"})
+		}},
+		{"mixed", mixed, 4, func(size int) []byte {
+			return strategyTraffic(size, 0x57A4, []string{"/etc/passwd", "GET /cgi-bin/test-cgi", "%2e%2e/"})
+		}},
+	}
+}
+
+// runStrategy measures the per-group strategy planner on the production
+// scan path: each workload compiled with the planner (EngineAuto) and with
+// the forced lazy-DFA baseline, match results identical in both. The
+// prefilter is off in every configuration so the study isolates strategy
+// dispatch — the all-literal row is the acceptance number (the AC scan
+// must beat a lazy-DFA pass over the same merged group by ≥5x).
+func runStrategy(w io.Writer, o experiments.Opts) ([]strategyRow, error) {
+	var rows []strategyRow
+	tb := metrics.NewTable("Strategy — planner (EngineAuto) vs forced lazy-DFA (prefilter off, production scan path)",
+		"Workload", "Strategies", "Groups", "Matches", "LazyTime", "PlanTime", "Speedup")
+	for _, wl := range strategyWorkloads() {
+		base, err := imfant.Compile(wl.rules, imfant.Options{
+			MergeFactor: wl.merge, Engine: imfant.EngineLazyDFA,
+			Prefilter: imfant.PrefilterOff,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("strategy %s: baseline: %w", wl.name, err)
+		}
+		planned, err := imfant.Compile(wl.rules, imfant.Options{
+			MergeFactor: wl.merge, Prefilter: imfant.PrefilterOff,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("strategy %s: planner: %w", wl.name, err)
+		}
+		in := wl.traffic(o.StreamSize)
+
+		baseScan := base.NewScanner()
+		var baseMatches int64
+		start := time.Now()
+		for rep := 0; rep < o.Reps; rep++ {
+			baseMatches = baseScan.Count(in)
+		}
+		lazyTime := time.Since(start) / time.Duration(o.Reps)
+
+		planScan := planned.NewScanner()
+		var planMatches int64
+		start = time.Now()
+		for rep := 0; rep < o.Reps; rep++ {
+			planMatches = planScan.Count(in)
+		}
+		planTime := time.Since(start) / time.Duration(o.Reps)
+
+		if planMatches != baseMatches {
+			return nil, fmt.Errorf("strategy %s: %d matches planned, %d baseline",
+				wl.name, planMatches, baseMatches)
+		}
+		strats := make([]string, 0, planned.NumAutomata())
+		for _, s := range planned.Strategies() {
+			strats = append(strats, s.String())
+		}
+		row := strategyRow{
+			Workload: wl.name, Strategies: strings.Join(strats, ","),
+			Groups: planned.NumAutomata(), Matches: planMatches,
+			LazyTime: lazyTime, PlanTime: planTime,
+			Speedup: float64(lazyTime) / float64(planTime),
+		}
+		rows = append(rows, row)
+		tb.AddRow(row.Workload, row.Strategies, row.Groups, row.Matches,
+			row.LazyTime, row.PlanTime, row.Speedup)
+	}
+	if w != nil {
+		tb.Render(w)
+	}
+	return rows, nil
+}

@@ -32,16 +32,28 @@ const (
 // enables the ladder.
 func (o Options) thrashRetryOn() bool { return o.ThrashRetry != RetryOff }
 
-// timeoutCheckpoint layers Options.ScanTimeout onto an engine checkpoint:
-// the returned poll fails with ErrScanTimeout once d has elapsed from now,
-// after first consulting the context-derived parent poll (whose error, e.g.
-// a caller cancellation, takes precedence). A non-positive d returns parent
-// unchanged, so timeout-free scans keep their nil-checkpoint fast path.
-func timeoutCheckpoint(parent func() error, d time.Duration) func() error {
+// scanDeadline converts Options.ScanTimeout into an absolute cutoff,
+// anchored at the moment the caller entered the scan path. Anchoring early
+// matters: the same deadline must cover queue wait in scanGate.acquire AND
+// the scan itself, so a saturated gate cannot stretch total latency past
+// ScanTimeout (the budget used to arm only after a slot was acquired). The
+// zero time means "no budget".
+func scanDeadline(d time.Duration) time.Time {
 	if d <= 0 {
+		return time.Time{}
+	}
+	return time.Now().Add(d)
+}
+
+// deadlineCheckpoint layers an absolute cutoff onto an engine checkpoint:
+// the returned poll fails with ErrScanTimeout once deadline has passed,
+// after first consulting the context-derived parent poll (whose error, e.g.
+// a caller cancellation, takes precedence). A zero deadline returns parent
+// unchanged, so timeout-free scans keep their nil-checkpoint fast path.
+func deadlineCheckpoint(parent func() error, deadline time.Time) func() error {
+	if deadline.IsZero() {
 		return parent
 	}
-	deadline := time.Now().Add(d)
 	return func() error {
 		if parent != nil {
 			if err := parent(); err != nil {
@@ -53,6 +65,12 @@ func timeoutCheckpoint(parent func() error, d time.Duration) func() error {
 		}
 		return nil
 	}
+}
+
+// timeoutCheckpoint is deadlineCheckpoint with the budget starting now —
+// the form used by entry points with no queue in front of them.
+func timeoutCheckpoint(parent func() error, d time.Duration) func() error {
+	return deadlineCheckpoint(parent, scanDeadline(d))
 }
 
 // scanGate is the bounded work queue of overload shedding: a channel
@@ -79,10 +97,12 @@ func newScanGate(concurrency, queue int) *scanGate {
 }
 
 // acquire claims a slot, waiting in the bounded queue if none is free.
-// Waiting observes ctx and the scan timeout, so a shed decision is made
-// within the same deadline the scan itself would have run under. Returns
-// ErrOverloaded when the queue is full, without blocking.
-func (g *scanGate) acquire(ctx context.Context, timeout time.Duration) error {
+// Waiting observes ctx and the absolute scan deadline — the SAME deadline
+// the scan itself runs under, so queue wait is charged against the
+// ScanTimeout budget rather than extending it. Returns ErrOverloaded when
+// the queue is full, without blocking; ErrScanTimeout when the deadline
+// passes before a slot frees up.
+func (g *scanGate) acquire(ctx context.Context, deadline time.Time) error {
 	if g == nil {
 		return nil
 	}
@@ -101,8 +121,8 @@ func (g *scanGate) acquire(ctx context.Context, timeout time.Duration) error {
 		done = ctx.Done()
 	}
 	var timeoutC <-chan time.Time
-	if timeout > 0 {
-		t := time.NewTimer(timeout)
+	if !deadline.IsZero() {
+		t := time.NewTimer(time.Until(deadline))
 		defer t.Stop()
 		timeoutC = t.C
 	}

@@ -28,13 +28,16 @@ import (
 
 	"repro/internal/ahocorasick"
 	"repro/internal/anml"
+	"repro/internal/dfa"
 	"repro/internal/engine"
 	"repro/internal/faultpoint"
 	"repro/internal/hist"
 	"repro/internal/lazydfa"
 	"repro/internal/metrics"
 	"repro/internal/mfsa"
+	"repro/internal/nfa"
 	"repro/internal/pipeline"
+	"repro/internal/strategy"
 	"repro/internal/telemetry"
 )
 
@@ -207,8 +210,17 @@ type Ruleset struct {
 	comp      metrics.Compression
 	opts      Options
 	collector *telemetry.Collector
-	pf        *prefilter // literal-factor gating plan; nil when inactive
-	sched     *scanGate  // overload shedding for parallel scans; nil when unbounded
+	plan      *scanPlan    // per-group execution strategies (see plan.go)
+	pf        *prefilter   // literal-factor gating plan; nil when inactive
+	tracker   *prefTracker // runtime sweep-effectiveness tracker; nil when ungated
+	sched     *scanGate    // overload shedding for parallel scans; nil when unbounded
+	// prefEnabled (with the rule/factor config counts) drives the Prefilter
+	// stats section: it is on whenever literal gating is happening — via the
+	// factor sweep (rs.pf) or via AC-routed groups, whose strategy scan IS
+	// their factor sweep.
+	prefEnabled bool
+	prefRules   int
+	prefFactors int
 	// faults, when non-nil, arms the fault-injection sites of every scan
 	// and stream created from this ruleset — the chaos-testing substrate
 	// (see internal/faultpoint). Always nil in production use; set by
@@ -245,14 +257,8 @@ func (rs *Ruleset) buildEngines() {
 		rs.lazy[i] = lazydfa.New(p)
 	}
 	rs.collector = telemetry.NewCollector(len(rs.patterns))
-	if rs.useLazy() {
-		classes := 0
-		for _, m := range rs.lazy {
-			classes += m.NumClasses()
-		}
-		rs.collector.EnableLazy(len(rs.programs),
-			lazydfa.ResolveMaxStates(rs.opts.LazyDFAMaxStates), classes)
-	}
+	// The Lazy section is enabled by buildPlan, which knows how many groups
+	// actually run on the lazy-DFA engine.
 	if rs.opts.accelOn() {
 		rs.collector.EnableAccel(len(rs.programs))
 	}
@@ -299,6 +305,7 @@ func Compile(patterns []string, opts Options) (*Ruleset, error) {
 		Limits:       opts.Limits.pipeline(),
 		FactorMinLen: factorMinLenFor(opts),
 		FactorGroup:  opts.Prefilter == PrefilterOn,
+		Shapes:       opts.Engine == EngineAuto,
 	})
 	if err != nil {
 		return nil, wrapCompileError(err)
@@ -324,6 +331,7 @@ func CompileLax(patterns []string, opts Options) (rs *Ruleset, ruleErrs []RuleEr
 		Lax:          true,
 		FactorMinLen: factorMinLenFor(opts),
 		FactorGroup:  opts.Prefilter == PrefilterOn,
+		Shapes:       opts.Engine == EngineAuto,
 	})
 	for _, pe := range perrs {
 		ruleErrs = append(ruleErrs, RuleError{
@@ -377,6 +385,11 @@ func newRuleset(patterns []string, out *pipeline.Output, opts Options) *Ruleset 
 		rs.programs[i] = engine.NewProgram(z)
 	}
 	rs.buildEngines()
+	nfasByID := make(map[int]*nfa.NFA, len(out.FSAs))
+	for _, a := range out.FSAs {
+		nfasByID[a.ID] = a
+	}
+	rs.buildPlan(out.Shapes, nfasByID)
 	rs.buildPrefilter(out.Factors)
 	return rs
 }
@@ -473,6 +486,14 @@ func LoadANML(r io.Reader, opts Options) (*Ruleset, error) {
 		}
 	}
 	rs.buildEngines()
+	// Re-derive the per-rule shapes from the serialized pattern sources; the
+	// eager-DFA strategy needs the optimized per-rule NFAs, which ANML does
+	// not carry, so it stays off for loaded rulesets.
+	var shapes []strategy.Shape
+	if opts.Engine == EngineAuto {
+		shapes = shapesOf(rs.patterns)
+	}
+	rs.buildPlan(shapes, nil)
 	if opts.Prefilter != PrefilterOff {
 		rs.buildPrefilter(factorsOf(rs.patterns, opts.minFactorLen()))
 	}
@@ -532,11 +553,17 @@ func (rs *Ruleset) CountPerRule(input []byte) []int64 {
 // A Scanner is not safe for concurrent use; create one per goroutine (the
 // shared Ruleset remains concurrency-safe).
 type Scanner struct {
-	rs       *Ruleset
-	runners  []*engine.Runner  // iMFAnt mode
-	lazies   []*lazydfa.Runner // lazy-DFA mode
-	ruleHits []int64           // per-rule match counts, scanner lifetime
-	timeouts int64             // scans cut short by Options.ScanTimeout
+	rs *Ruleset
+	// Per-automaton runners, indexed like rs.programs; exactly one entry is
+	// non-nil per automaton, selected by the plan's strategy for that group
+	// (anchored groups are stateless and have no runner at all).
+	runners  []*engine.Runner             // StrategyIMFAnt groups
+	lazies   []*lazydfa.Runner            // StrategyLazyDFA groups
+	acs      []*ahocorasick.StreamScanner // StrategyAC groups
+	dfaRuns  []*dfa.Runner                // StrategyDFA groups
+	ruleHits []int64                      // per-rule match counts, scanner lifetime
+	timeouts int64                        // scans cut short by Options.ScanTimeout
+	strat    [numStrategies]stratTotals   // scanner-local per-strategy totals
 	faults   *faultpoint.Injector
 
 	// Prefilter scratch; nil/zero while the ruleset is ungated.
@@ -545,17 +572,42 @@ type Scanner struct {
 	pref   prefCounters
 }
 
+// stratTotals accumulates one owner's per-strategy activity, feeding the
+// local Stats snapshot's Strategy section (and, for the strategies without a
+// stateful runner, the top-level scan totals too).
+type stratTotals struct {
+	scans, bytes, matches int64
+}
+
+func (t *stratTotals) fold(bytes, matches int64) {
+	t.scans++
+	t.bytes += bytes
+	t.matches += matches
+}
+
 // NewScanner returns a matching context for the ruleset.
 func (rs *Ruleset) NewScanner() *Scanner {
-	s := &Scanner{rs: rs, ruleHits: make([]int64, len(rs.patterns)), faults: rs.faults}
-	if rs.useLazy() {
-		s.lazies = make([]*lazydfa.Runner, len(rs.lazy))
-		for i, m := range rs.lazy {
-			s.lazies[i] = lazydfa.NewRunner(m)
-		}
-	} else {
-		s.runners = make([]*engine.Runner, len(rs.programs))
-		for i, p := range rs.programs {
+	n := len(rs.programs)
+	s := &Scanner{
+		rs:       rs,
+		runners:  make([]*engine.Runner, n),
+		lazies:   make([]*lazydfa.Runner, n),
+		acs:      make([]*ahocorasick.StreamScanner, n),
+		dfaRuns:  make([]*dfa.Runner, n),
+		ruleHits: make([]int64, len(rs.patterns)),
+		faults:   rs.faults,
+	}
+	for i, p := range rs.programs {
+		switch rs.plan.strat[i] {
+		case StrategyLazyDFA:
+			s.lazies[i] = lazydfa.NewRunner(rs.lazy[i])
+		case StrategyAC:
+			s.acs[i] = rs.plan.ac[i].m.NewStreamScanner()
+		case StrategyAnchored:
+			// Stateless: evaluated directly from the plan.
+		case StrategyDFA:
+			s.dfaRuns[i] = dfa.NewRunner(rs.plan.dfas[i])
+		default:
 			s.runners[i] = engine.NewRunner(p)
 		}
 	}
@@ -690,7 +742,8 @@ func (s *Scanner) run(ctx context.Context, input []byte, fn func(Match)) ([]scan
 				}
 			}
 		}
-		if s.lazies != nil {
+		switch {
+		case s.lazies[i] != nil:
 			res := s.lazies[i].Run(input, lazydfa.Config{
 				KeepOnMatch: rs.opts.KeepOnMatch,
 				MaxStates:   rs.opts.LazyDFAMaxStates,
@@ -702,6 +755,8 @@ func (s *Scanner) run(ctx context.Context, input []byte, fn func(Match)) ([]scan
 				Faults:      s.faults,
 			})
 			s.record(p, res.Matches, int64(res.Symbols), res.PerFSA)
+			rs.collector.AddStrategyBytes(int(StrategyLazyDFA), int64(res.Symbols))
+			s.strat[StrategyLazyDFA].fold(int64(res.Symbols), res.Matches)
 			var thrash, grew, pinned int64
 			if res.Thrashed {
 				thrash = 1
@@ -733,7 +788,21 @@ func (s *Scanner) run(ctx context.Context, input []byte, fn func(Match)) ([]scan
 			if err := s.lazies[i].Err(); err != nil {
 				return out, s.noteErr(err)
 			}
-		} else {
+		case s.acs[i] != nil:
+			res, err := s.runAC(i, input, check, onMatch)
+			out = append(out, res)
+			if err != nil {
+				return out, s.noteErr(err)
+			}
+		case s.dfaRuns[i] != nil:
+			res, err := s.runDFA(i, input, check, onMatch)
+			out = append(out, res)
+			if err != nil {
+				return out, s.noteErr(err)
+			}
+		case rs.plan.anch[i] != nil:
+			out = append(out, s.runAnchored(i, input, onMatch))
+		default:
 			res := s.runners[i].Run(input, engine.Config{
 				KeepOnMatch: rs.opts.KeepOnMatch,
 				OnMatch:     onMatch,
@@ -743,6 +812,8 @@ func (s *Scanner) run(ctx context.Context, input []byte, fn func(Match)) ([]scan
 				Faults:      s.faults,
 			})
 			s.record(p, res.Matches, int64(res.Symbols), res.PerFSA)
+			rs.collector.AddStrategyBytes(int(StrategyIMFAnt), int64(res.Symbols))
+			s.strat[StrategyIMFAnt].fold(int64(res.Symbols), res.Matches)
 			rs.collector.AddAccelScan(res.AccelBytes)
 			out = append(out, scanResult{matches: res.Matches, perFSA: res.PerFSA})
 			if err := s.runners[i].Err(); err != nil {
@@ -751,6 +822,50 @@ func (s *Scanner) run(ctx context.Context, input []byte, fn func(Match)) ([]scan
 		}
 	}
 	return out, nil
+}
+
+// runAC executes pure-AC group i: the Aho–Corasick scan over the member
+// literals is the whole group execution, and it doubles as the group's
+// factor sweep in the prefilter accounting (satellite of the double-scan
+// fix: these groups are never ALSO swept by the factor prefilter).
+func (s *Scanner) runAC(i int, input []byte, check func() error, onMatch func(fsa, end int)) (scanResult, error) {
+	rs := s.rs
+	sc := s.acs[i]
+	before := sc.Skipped()
+	res, distinct, scanned, err := rs.acScan(i, sc, input, check, s.faults, onMatch)
+	s.record(rs.programs[i], res.matches, scanned, res.perFSA)
+	rs.collector.AddStrategyBytes(int(StrategyAC), scanned)
+	rs.collector.AddAccelScan(sc.Skipped() - before)
+	s.strat[StrategyAC].fold(scanned, res.matches)
+	if rs.prefEnabled {
+		rs.collector.AddPrefilterScan(1, int64(distinct), 0, 0)
+		s.pref.sweeps++
+		s.pref.hits += int64(distinct)
+	}
+	return res, err
+}
+
+// runDFA executes eager-DFA group i: one table lookup per byte.
+func (s *Scanner) runDFA(i int, input []byte, check func() error, onMatch func(fsa, end int)) (scanResult, error) {
+	rs := s.rs
+	r := s.dfaRuns[i]
+	res := r.Run(input, dfa.Config{OnMatch: onMatch, Checkpoint: check, Faults: s.faults})
+	s.record(rs.programs[i], res.Matches, res.Symbols, res.PerRule)
+	rs.collector.AddStrategyBytes(int(StrategyDFA), res.Symbols)
+	s.strat[StrategyDFA].fold(res.Symbols, res.Matches)
+	return scanResult{matches: res.Matches, perFSA: res.PerRule}, r.Err()
+}
+
+// runAnchored executes anchored-literal group i: bounded prefix/suffix
+// compares (plus at most one violating-byte hunt) decide every member.
+// The whole input is considered covered — the checks are exact over it.
+func (s *Scanner) runAnchored(i int, input []byte, onMatch func(fsa, end int)) scanResult {
+	rs := s.rs
+	res := rs.anchScan(i, input, onMatch)
+	s.record(rs.programs[i], res.matches, int64(len(input)), res.perFSA)
+	rs.collector.AddStrategyBytes(int(StrategyAnchored), int64(len(input)))
+	s.strat[StrategyAnchored].fold(int64(len(input)), res.matches)
+	return res
 }
 
 // noteErr folds a failed scan into the degradation telemetry (ruleset-wide
@@ -785,6 +900,66 @@ func (s *Scanner) record(p *engine.Program, matches, symbols int64, perFSA []int
 	}
 }
 
+// acScan is the shared pure-AC group execution: a resumable Aho–Corasick
+// scan over the member literals in checkpoint-sized blocks, reporting every
+// (FSA, end) event. distinct counts member literals seen at least once (the
+// group's factor-sweep hit count) and scanned is how many input bytes were
+// actually consumed before an error, so accounting on the cancel path stays
+// truthful.
+func (rs *Ruleset) acScan(i int, sc *ahocorasick.StreamScanner, input []byte,
+	check func() error, fi *faultpoint.Injector, onMatch func(fsa, end int)) (res scanResult, distinct int, scanned int64, err error) {
+	g := rs.plan.ac[i]
+	sc.Reset()
+	sc.SetAccel(rs.opts.accelOn())
+	res.perFSA = make([]int64, g.rules)
+	seen := make([]bool, g.rules)
+	const block = engine.DefaultCheckpointEvery
+	for off := 0; off < len(input); off += block {
+		if check != nil {
+			if err = check(); err != nil {
+				return res, distinct, scanned, err
+			}
+		}
+		fi.Stall()
+		end := off + block
+		if end > len(input) {
+			end = len(input)
+		}
+		base := off
+		sc.Scan(input[off:end], func(pat, e int) {
+			res.matches++
+			res.perFSA[pat]++
+			if !seen[pat] {
+				seen[pat] = true
+				distinct++
+			}
+			if onMatch != nil {
+				onMatch(pat, base+e)
+			}
+		})
+		scanned = int64(end)
+	}
+	return res, distinct, scanned, nil
+}
+
+// anchScan is the shared anchored-literal group execution: every member is
+// decided by O(len(prefix)+len(suffix)) compares plus at most one vectorized
+// hunt for a byte its middle cannot consume.
+func (rs *Ruleset) anchScan(i int, input []byte, onMatch func(fsa, end int)) scanResult {
+	g := rs.plan.anch[i]
+	res := scanResult{perFSA: make([]int64, len(g.rules))}
+	for fsa := range g.rules {
+		if end, ok := g.rules[fsa].match(input); ok {
+			res.matches++
+			res.perFSA[fsa]++
+			if onMatch != nil {
+				onMatch(fsa, end)
+			}
+		}
+	}
+	return res
+}
+
 // CountParallel scans input with the paper's multi-threaded scheme
 // (§VI-C2): a pool of `threads` workers each executing whole MFSAs until
 // none remain. It returns the total match count. A panic inside a worker is
@@ -799,13 +974,18 @@ func (rs *Ruleset) CountParallel(input []byte, threads int) (int64, error) {
 // call that finds every slot busy and the wait queue full is shed with
 // ErrOverloaded before doing any work.
 func (rs *Ruleset) CountParallelContext(ctx context.Context, input []byte, threads int) (int64, error) {
-	if err := rs.sched.acquire(ctx, rs.opts.ScanTimeout); err != nil {
+	// The ScanTimeout budget is anchored BEFORE the admission gate, so time
+	// spent queueing for a slot is charged against the same deadline the
+	// scan runs under (it used to re-arm after acquire, letting a saturated
+	// gate stretch total latency to queue-wait + ScanTimeout).
+	deadline := scanDeadline(rs.opts.ScanTimeout)
+	if err := rs.sched.acquire(ctx, deadline); err != nil {
 		noteDegraded(rs.collector, err)
 		return 0, err
 	}
 	defer rs.sched.release()
 	cfg := engine.Config{KeepOnMatch: rs.opts.KeepOnMatch,
-		Checkpoint: timeoutCheckpoint(checkpointOf(ctx), rs.opts.ScanTimeout),
+		Checkpoint: deadlineCheckpoint(checkpointOf(ctx), deadline),
 		Accel:      rs.opts.accelOn(), Faults: rs.faults}
 	if rs.profiles != nil {
 		defer func(t0 time.Time) { rs.scanLat.Record(time.Since(t0).Nanoseconds()) }(time.Now())
@@ -815,35 +995,53 @@ func (rs *Ruleset) CountParallelContext(ctx context.Context, input []byte, threa
 		noteDegraded(rs.collector, err)
 		return 0, err
 	}
-	progs := rs.programs
-	// idx maps the executed-program index back to the ruleset automaton
-	// index when the prefilter thinned the work list.
+	// Strategy-routed groups run inline — their scans are single-automaton
+	// and cheap — while the default-engine groups fan out to the worker
+	// pool. idx maps the executed-program index back to the ruleset
+	// automaton index for profile attribution.
+	var total int64
+	var progs []*engine.Program
 	var idx []int
-	if gate != nil {
-		progs = nil
-		for i, on := range gate {
-			if on {
-				progs = append(progs, rs.programs[i])
-				idx = append(idx, i)
+	for i := range rs.programs {
+		if gate != nil && !gate[i] {
+			continue
+		}
+		switch rs.plan.strat[i] {
+		case StrategyAC:
+			n, err := rs.countACGroup(i, input, cfg.Checkpoint)
+			if err != nil {
+				noteDegraded(rs.collector, err)
+				return 0, err
 			}
+			total += n
+		case StrategyAnchored:
+			total += rs.countAnchoredGroup(i, input)
+		case StrategyDFA:
+			n, err := rs.countDFAGroup(i, input, cfg.Checkpoint)
+			if err != nil {
+				noteDegraded(rs.collector, err)
+				return 0, err
+			}
+			total += n
+		default:
+			progs = append(progs, rs.programs[i])
+			idx = append(idx, i)
 		}
 	}
 	if rs.profiles != nil {
-		if idx == nil {
-			cfg.ProfileFor = rs.profileOf
-		} else {
-			cfg.ProfileFor = func(j int) *engine.Profile { return rs.profileOf(idx[j]) }
-		}
+		cfg.ProfileFor = func(j int) *engine.Profile { return rs.profileOf(idx[j]) }
 	}
 	if len(progs) == 0 {
-		return 0, nil
+		return total, nil
 	}
 	results, err := engine.RunParallel(progs, input, threads, cfg)
+	def := rs.defaultStrategy()
 	for j, res := range results {
 		rs.collector.AddScans(1)
 		rs.collector.AddBytes(int64(res.Symbols))
 		rs.collector.AddMatches(res.Matches)
 		rs.collector.AddAccelScan(res.AccelBytes)
+		rs.collector.AddStrategyBytes(int(def), int64(res.Symbols))
 		rules := progs[j].Rules()
 		for fsa, n := range res.PerFSA {
 			if n != 0 {
@@ -857,7 +1055,58 @@ func (rs *Ruleset) CountParallelContext(ctx context.Context, input []byte, threa
 		noteDegraded(rs.collector, err)
 		return 0, err
 	}
-	return engine.TotalMatches(results), nil
+	return total + engine.TotalMatches(results), nil
+}
+
+// countACGroup runs pure-AC group i for CountParallel, with a fresh
+// streaming scanner (the parallel path keeps no per-call scratch).
+func (rs *Ruleset) countACGroup(i int, input []byte, check func() error) (int64, error) {
+	sc := rs.plan.ac[i].m.NewStreamScanner()
+	res, distinct, scanned, err := rs.acScan(i, sc, input, check, rs.faults, nil)
+	rs.collector.AddScans(1)
+	rs.collector.AddBytes(scanned)
+	rs.collector.AddMatches(res.matches)
+	rs.collector.AddStrategyBytes(int(StrategyAC), scanned)
+	rs.collector.AddAccelScan(sc.Skipped())
+	if rs.prefEnabled {
+		rs.collector.AddPrefilterScan(1, int64(distinct), 0, 0)
+	}
+	rs.foldRuleHits(i, res.perFSA)
+	return res.matches, err
+}
+
+// countAnchoredGroup runs anchored-literal group i for CountParallel.
+func (rs *Ruleset) countAnchoredGroup(i int, input []byte) int64 {
+	res := rs.anchScan(i, input, nil)
+	rs.collector.AddScans(1)
+	rs.collector.AddBytes(int64(len(input)))
+	rs.collector.AddMatches(res.matches)
+	rs.collector.AddStrategyBytes(int(StrategyAnchored), int64(len(input)))
+	rs.foldRuleHits(i, res.perFSA)
+	return res.matches
+}
+
+// countDFAGroup runs eager-DFA group i for CountParallel.
+func (rs *Ruleset) countDFAGroup(i int, input []byte, check func() error) (int64, error) {
+	r := dfa.NewRunner(rs.plan.dfas[i])
+	res := r.Run(input, dfa.Config{Checkpoint: check, Faults: rs.faults})
+	rs.collector.AddScans(1)
+	rs.collector.AddBytes(res.Symbols)
+	rs.collector.AddMatches(res.Matches)
+	rs.collector.AddStrategyBytes(int(StrategyDFA), res.Symbols)
+	rs.foldRuleHits(i, res.PerRule)
+	return res.Matches, r.Err()
+}
+
+// foldRuleHits attributes per-FSA match counts of automaton i to rule ids in
+// the ruleset collector.
+func (rs *Ruleset) foldRuleHits(i int, perFSA []int64) {
+	rules := rs.programs[i].Rules()
+	for fsa, n := range perFSA {
+		if n != 0 {
+			rs.collector.AddRuleHits(rules[fsa].RuleID, n)
+		}
+	}
 }
 
 // checkpointOf adapts a context to an engine checkpoint; contexts that can

@@ -246,3 +246,56 @@ func (s *Sweeper) Reset() {
 		s.hits[i] = false
 	}
 }
+
+// StreamScanner is a resumable match-emitting Scan: the automaton state is
+// carried across chunks, so a pattern split over a chunk boundary still
+// reports (at its chunk-relative end offset in the chunk that completes it).
+// Unlike Sweeper it reports every occurrence, not just first-seen. Not safe
+// for concurrent use.
+type StreamScanner struct {
+	m       *Matcher
+	state   int32
+	accel   bool
+	skipped int64
+}
+
+// NewStreamScanner returns a fresh resumable occurrence scan over the
+// matcher. Root-state acceleration is on by default.
+func (m *Matcher) NewStreamScanner() *StreamScanner {
+	return &StreamScanner{m: m, accel: true}
+}
+
+// SetAccel toggles the root-state byte skip for subsequent chunks.
+func (s *StreamScanner) SetAccel(on bool) { s.accel = on }
+
+// Skipped returns the cumulative number of bytes the root-state skip jumped
+// over (across Resets).
+func (s *StreamScanner) Skipped() int64 { return s.skipped }
+
+// Scan consumes the next chunk, reporting pattern occurrences at their
+// chunk-relative last-byte offsets.
+func (s *StreamScanner) Scan(chunk []byte, fn func(pattern, end int)) {
+	m := s.m
+	state := s.state
+	accel := s.accel && m.rootAccel
+	for pos := 0; pos < len(chunk); pos++ {
+		if accel && state == 0 {
+			j := m.rootFinder.Index(chunk[pos:])
+			if j < 0 {
+				s.skipped += int64(len(chunk) - pos)
+				s.state = 0
+				return
+			}
+			s.skipped += int64(j)
+			pos += j
+		}
+		state = m.next[int(state)<<8|int(chunk[pos])]
+		for _, pi := range m.outputs[state] {
+			fn(int(pi), pos)
+		}
+	}
+	s.state = state
+}
+
+// Reset rewinds the automaton for a new stream.
+func (s *StreamScanner) Reset() { s.state = 0 }

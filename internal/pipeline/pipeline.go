@@ -25,6 +25,7 @@ import (
 	"repro/internal/mfsa"
 	"repro/internal/nfa"
 	"repro/internal/rex"
+	"repro/internal/strategy"
 )
 
 // Stage names one of the five compilation stages of §IV, used to attribute
@@ -122,6 +123,10 @@ type Request struct {
 	// (KeepRuleIDs); only the rule-to-group assignment changes. Ignored
 	// unless FactorMinLen is positive.
 	FactorGroup bool
+	// Shapes classifies every rule's execution shape (strategy.Classify)
+	// during the Front-End and reports the results in Output.Shapes — the
+	// compile-time half of the per-group strategy planner.
+	Shapes bool
 }
 
 // Output is the result of one full compilation.
@@ -142,6 +147,10 @@ type Output struct {
 	// the rule has no factor of at least Request.FactorMinLen bytes (or
 	// failed compilation in lax mode). Nil unless FactorMinLen is positive.
 	Factors []string
+	// Shapes holds, per original rule index, the rule's execution-shape
+	// classification (KindGeneral for rules that failed compilation in lax
+	// mode). Nil unless Request.Shapes is set.
+	Shapes []strategy.Shape
 }
 
 // StageTimes holds the per-stage compilation cost of one run.
@@ -224,6 +233,9 @@ func Run(req Request) (out *Output, ruleErrs []*RuleError, err error) {
 	if req.FactorMinLen > 0 {
 		out.Factors = make([]string, len(patterns))
 	}
+	if req.Shapes {
+		out.Shapes = make([]strategy.Shape, len(patterns))
+	}
 	for i, p := range patterns {
 		ast, perr := rex.ParseOpts(p, parseOpts)
 		if perr != nil {
@@ -236,6 +248,9 @@ func Run(req Request) (out *Output, ruleErrs []*RuleError, err error) {
 			if f, ok := factor.Extract(ast, req.FactorMinLen); ok {
 				out.Factors[i] = f
 			}
+		}
+		if req.Shapes {
+			out.Shapes[i] = strategy.Classify(ast)
 		}
 		alive = append(alive, ruled{rule: i, ast: ast})
 	}

@@ -40,6 +40,11 @@ type Stats struct {
 	// Profile holds the sampling profiler's aggregates; nil when
 	// profiling is off.
 	Profile *ProfileStats `json:"profile,omitempty"`
+	// Strategy holds the per-group strategy planner's section: how the
+	// groups were classified, bytes scanned per strategy, and the
+	// effectiveness tracker's sweep-disable counters. nil for rulesets
+	// compiled before the planner existed (none, today).
+	Strategy *StrategyStats `json:"strategy,omitempty"`
 	// Degraded accounts every rung of the degradation ladder the runtime
 	// has taken: timeouts, shed scans, contained panics, thrash
 	// fallbacks, cache-grow retries, and pinned delegations. Always
@@ -72,6 +77,43 @@ type DegradedStats struct {
 	// PinnedScans counts scans delegated whole to the iMFAnt engine
 	// because the ladder bottomed out (thrash at the grown cap too).
 	PinnedScans int64 `json:"pinned_scans"`
+}
+
+// StrategyStats is the strategy-planner section of a snapshot: the
+// compile-time classification outcome plus the runtime effectiveness
+// tracker's counters.
+type StrategyStats struct {
+	// Planned reports whether the planner chose strategies per group;
+	// false means a forced Options.Engine override put every group on one
+	// engine.
+	Planned bool `json:"planned"`
+	// Groups lists, per execution strategy in use, how many automaton
+	// groups run it and how many input bytes it has scanned. Per-strategy
+	// bytes partition BytesScanned exactly: every byte an automaton (or
+	// its strategy replacement) matched against is attributed to exactly
+	// one strategy.
+	Groups []StrategyGroupStats `json:"groups,omitempty"`
+	// SweepsDisabled counts factor sweeps elided entirely because the
+	// effectiveness tracker had disabled gating for every gated group.
+	SweepsDisabled int64 `json:"sweeps_disabled"`
+	// SweepProbes counts sweeps re-run as explicit probes while disabled,
+	// checking whether gating has become worthwhile again.
+	SweepProbes int64 `json:"sweep_probes"`
+	// GroupsUngated is the current number of gated groups whose factor
+	// gate the tracker has disabled (a gauge; the groups scan every input
+	// until a probe re-enables them).
+	GroupsUngated int64 `json:"groups_ungated"`
+}
+
+// StrategyGroupStats is one strategy's row in the planner section.
+type StrategyGroupStats struct {
+	// Strategy names the execution strategy ("ac", "anchored", "dfa",
+	// "imfant", "lazydfa").
+	Strategy string `json:"strategy"`
+	// Groups is the number of automaton groups the planner routed here.
+	Groups int `json:"groups"`
+	// Bytes counts input bytes this strategy matched against.
+	Bytes int64 `json:"bytes"`
 }
 
 // PrefilterStats aggregates literal-factor prefilter behaviour: how often
@@ -227,6 +269,15 @@ type Collector struct {
 	accelBytes    atomic.Int64
 	accelStates   []atomic.Int64 // per-automaton gauge (lazy engine only)
 
+	stratEnabled  bool
+	stratPlanned  bool
+	stratNames    []string
+	stratGroups   []int
+	stratBytes    []atomic.Int64
+	sweepsElided  atomic.Int64
+	sweepProbes   atomic.Int64
+	groupsUngated atomic.Int64
+
 	timeouts     atomic.Int64
 	shed         atomic.Int64
 	workerPanics atomic.Int64
@@ -273,6 +324,36 @@ func (c *Collector) EnableAccel(automata int) {
 	c.accelAutomata = automata
 	c.accelStates = make([]atomic.Int64, automata)
 }
+
+// EnableStrategy turns on the planner section of the snapshot and records
+// the classification outcome: names[i] labels strategy i and groups[i] is
+// the number of automaton groups routed to it. planned=false marks a forced
+// single-engine override.
+func (c *Collector) EnableStrategy(planned bool, names []string, groups []int) {
+	c.stratEnabled = true
+	c.stratPlanned = planned
+	c.stratNames = names
+	c.stratGroups = groups
+	c.stratBytes = make([]atomic.Int64, len(names))
+}
+
+// AddStrategyBytes attributes n matched-against input bytes to strategy.
+func (c *Collector) AddStrategyBytes(strategy int, n int64) {
+	if strategy >= 0 && strategy < len(c.stratBytes) {
+		c.stratBytes[strategy].Add(n)
+	}
+}
+
+// AddSweepsElided adds n factor sweeps skipped entirely by the
+// effectiveness tracker.
+func (c *Collector) AddSweepsElided(n int64) { c.sweepsElided.Add(n) }
+
+// AddSweepProbes adds n sweeps run as explicit re-enable probes.
+func (c *Collector) AddSweepProbes(n int64) { c.sweepProbes.Add(n) }
+
+// SetGroupsUngated records the current number of gated groups whose factor
+// gate the tracker has disabled.
+func (c *Collector) SetGroupsUngated(n int64) { c.groupsUngated.Store(n) }
 
 // AddAccelScan folds one scan's accelerated-jump byte count.
 func (c *Collector) AddAccelScan(bytesSkipped int64) {
@@ -409,6 +490,25 @@ func (c *Collector) Snapshot() Stats {
 			a.AccelStates += c.accelStates[i].Load()
 		}
 		s.Accel = a
+	}
+	if c.stratEnabled {
+		st := &StrategyStats{
+			Planned:        c.stratPlanned,
+			SweepsDisabled: c.sweepsElided.Load(),
+			SweepProbes:    c.sweepProbes.Load(),
+			GroupsUngated:  c.groupsUngated.Load(),
+		}
+		for i, name := range c.stratNames {
+			if c.stratGroups[i] == 0 {
+				continue
+			}
+			st.Groups = append(st.Groups, StrategyGroupStats{
+				Strategy: name,
+				Groups:   c.stratGroups[i],
+				Bytes:    c.stratBytes[i].Load(),
+			})
+		}
+		s.Strategy = st
 	}
 	if fn, ok := c.profileFn.Load().(func() *ProfileStats); ok && fn != nil {
 		s.Profile = fn()

@@ -1,0 +1,345 @@
+package imfant
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/faultpoint"
+)
+
+// plannerPatterns exercises every strategy class at once: all-literal rules
+// (pure AC), anchored literals, small set-based rules (eager DFA), and
+// loop-carrying rules that stay on the default engine.
+var plannerPatterns = []string{
+	"alpha", "beta7", // literals
+	"^HDR:", "trail$", // anchored literals
+	"a[bc]d", "x[yz]w", // small, unanchored, finals are sinks → eager DFA
+	"ne+dle[0-9]*x", // loops → default engine
+	"(foo|bar)baz+", // loops → default engine
+}
+
+// plannerTraffic builds n bytes of filler salted with fragments that hit
+// every strategy class.
+func plannerTraffic(n int, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	frags := []string{
+		"the quick brown fox ", "alpha", "beta7", "HDR: stuff", "trail",
+		"abd", "acd", "xyw", "needle77x", "neeedlex", "foobazzz", "barbaz",
+		"alphabeta7", " filler filler ",
+	}
+	var out []byte
+	for len(out) < n {
+		out = append(out, frags[rng.Intn(len(frags))]...)
+	}
+	return out[:n]
+}
+
+// TestStrategyPlanClassification pins the compile-time classification: each
+// homogeneous ruleset lands on its fast strategy, a forced engine disables
+// the planner, and Stats().Strategy reports the outcome.
+func TestStrategyPlanClassification(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		patterns []string
+		want     Strategy
+	}{
+		{"all-literal", []string{"alpha", "beta7", "gamma"}, StrategyAC},
+		{"anchored", []string{"^HDR:", "trail$"}, StrategyAnchored},
+		{"anchored-exact", []string{"^PING$"}, StrategyAnchored},
+		{"small-sets", []string{"a[bc]d", "x[yz]w"}, StrategyDFA},
+		// Small cyclic NFAs determinize eagerly too; only a group past the
+		// state bound stays on the default engine.
+		{"loops", []string{"ne+dle[0-9]*x"}, StrategyDFA},
+		{"large", []string{"x[0-9]{200}y"}, StrategyIMFAnt},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rs := MustCompile(tc.patterns, Options{MergeFactor: len(tc.patterns)})
+			for i, got := range rs.Strategies() {
+				if got != tc.want {
+					t.Fatalf("group %d classified %v, want %v", i, got, tc.want)
+				}
+			}
+			st := rs.Stats().Strategy
+			if st == nil || !st.Planned {
+				t.Fatalf("Stats().Strategy = %+v, want a planned section", st)
+			}
+			total := 0
+			for _, g := range st.Groups {
+				if g.Strategy != tc.want.String() {
+					t.Fatalf("strategy row %+v, want only %q", g, tc.want)
+				}
+				total += g.Groups
+			}
+			if total != rs.NumAutomata() {
+				t.Fatalf("strategy rows cover %d groups, want %d", total, rs.NumAutomata())
+			}
+		})
+	}
+
+	// A forced engine overrides the planner wholesale.
+	for _, tc := range []struct {
+		opts Options
+		want Strategy
+	}{
+		{Options{Engine: EngineIMFAnt}, StrategyIMFAnt},
+		{Options{Engine: EngineLazyDFA}, StrategyLazyDFA},
+	} {
+		rs := MustCompile([]string{"alpha", "^HDR:"}, tc.opts)
+		for i := range rs.Strategies() {
+			if got := rs.StrategyOf(i); got != tc.want {
+				t.Fatalf("forced %v: group %d on %v", tc.opts.Engine, i, got)
+			}
+		}
+		if st := rs.Stats().Strategy; st == nil || st.Planned {
+			t.Fatalf("forced engine: Stats().Strategy = %+v, want unplanned section", st)
+		}
+	}
+}
+
+// TestACGroupSingleSweepAccounting is the double-scan regression test: an
+// all-literal ruleset routes to pure AC, whose scan IS the literal sweep —
+// the factor prefilter must not sweep those literals a second time. One scan
+// therefore reports exactly one sweep's worth of FactorHits (each occurring
+// literal counted once), and no separate factor automaton is built.
+func TestACGroupSingleSweepAccounting(t *testing.T) {
+	rs := MustCompile([]string{"alpha", "beta7", "gamma"},
+		Options{MergeFactor: 3, Prefilter: PrefilterOn})
+	if got := rs.StrategyOf(0); got != StrategyAC {
+		t.Fatalf("group classified %v, want ac", got)
+	}
+	// No gatable group remains, so no factor sweep may exist — gating the AC
+	// group would scan the same literals twice.
+	if rs.PrefilterActive() {
+		t.Fatal("factor sweep built over an all-AC ruleset (double literal scan)")
+	}
+	input := []byte("xx alpha yy beta7 zz alpha ww")
+	sc := rs.NewScanner()
+	if _, err := sc.FindAllContext(t.Context(), input); err != nil {
+		t.Fatal(err)
+	}
+	st := sc.Stats()
+	if st.Prefilter == nil {
+		t.Fatal("no prefilter section although AC literal gating is live")
+	}
+	// One sweep's worth: "alpha" and "beta7" occurred — 2 distinct hits, not
+	// 4 (which a second factor sweep over the same literals would produce).
+	if st.Prefilter.Sweeps != 1 || st.Prefilter.FactorHits != 2 {
+		t.Fatalf("Sweeps = %d, FactorHits = %d, want 1 sweep with 2 hits",
+			st.Prefilter.Sweeps, st.Prefilter.FactorHits)
+	}
+	if rst := rs.Stats().Prefilter; rst == nil || rst.FactorHits != 2 {
+		t.Fatalf("ruleset-scope FactorHits = %+v, want 2", rst)
+	}
+
+	// Mixed ruleset: the AC group stays out of the factor sweep, which gates
+	// only the loop-carrying group.
+	mixed := MustCompile([]string{"alpha", "beta7", "needleman[0-9]*x"},
+		Options{MergeFactor: 2, Prefilter: PrefilterOn})
+	if !mixed.PrefilterActive() {
+		t.Fatal("factor sweep missing for the gatable group")
+	}
+	for _, f := range mixed.PrefilterFactors() {
+		if f == "alpha" || f == "beta7" {
+			t.Fatalf("AC-routed literal %q also registered as a sweep factor", f)
+		}
+	}
+	sc2 := mixed.NewScanner()
+	if _, err := sc2.FindAllContext(t.Context(), input); err != nil {
+		t.Fatal(err)
+	}
+	st2 := sc2.Stats()
+	// Two sweeps — the factor sweep plus the AC group's scan — and still 2
+	// distinct hits total: the AC literals counted once, "needleman" absent.
+	if st2.Prefilter.Sweeps != 2 || st2.Prefilter.FactorHits != 2 {
+		t.Fatalf("mixed: Sweeps = %d, FactorHits = %d, want 2 and 2",
+			st2.Prefilter.Sweeps, st2.Prefilter.FactorHits)
+	}
+	if st2.Prefilter.GroupsSkipped != 1 {
+		t.Fatalf("mixed: GroupsSkipped = %d, want the gated group skipped", st2.Prefilter.GroupsSkipped)
+	}
+}
+
+// TestScanTimeoutChargesQueueWait pins the accounting fix in the degradation
+// ladder: the ScanTimeout budget is anchored before the scan gate is
+// entered, so time spent queued for a slot counts against the same deadline
+// and a saturated gate cannot stretch total latency past the budget. The
+// queued waiter must fail with ErrScanTimeout well before the slot holder
+// releases.
+func TestScanTimeoutChargesQueueWait(t *testing.T) {
+	checkNoGoroutineLeak(t)
+	const stall = 400 * time.Millisecond
+	rs := MustCompile([]string{"ab", "cd"}, Options{
+		MergeFactor: 1, Engine: EngineIMFAnt,
+		MaxConcurrentScans: 1, MaxQueuedScans: 2,
+		ScanTimeout: 50 * time.Millisecond,
+	})
+	rs.setFaultInjector(faultpoint.New(faultpoint.Every(faultpoint.ChunkStall, 1)).
+		WithStall(stall))
+	input := bytes.Repeat([]byte("abcd"), 4096)
+	holder := make(chan error, 1)
+	go func() {
+		_, err := rs.CountParallel(input, 2)
+		holder <- err
+	}()
+	for i := 0; len(rs.sched.slots) == 0 && i < 2000; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if len(rs.sched.slots) == 0 {
+		t.Fatal("slot holder never acquired its slot")
+	}
+	t0 := time.Now()
+	_, err := rs.CountParallel(input, 2)
+	waited := time.Since(t0)
+	if !errors.Is(err, ErrScanTimeout) {
+		t.Fatalf("queued scan = %v, want ErrScanTimeout charged against the queue wait", err)
+	}
+	// The holder stalls for 400ms; a timeout observed well before that can
+	// only have fired while still queued — the pre-fix behaviour armed the
+	// budget after acquiring the slot, so the waiter would have sat the full
+	// stall out.
+	if waited >= stall {
+		t.Fatalf("queued scan waited %v, at least the holder's full %v stall — queue wait was not charged", waited, stall)
+	}
+	if err := <-holder; err != nil && !errors.Is(err, ErrScanTimeout) {
+		t.Fatalf("slot holder failed oddly: %v", err)
+	}
+	if got := rs.Stats().Degraded.ScanTimeouts; got < 1 {
+		t.Fatalf("Degraded.ScanTimeouts = %d, want >= 1", got)
+	}
+}
+
+// TestStrategyPlannerConformance is the differential check of the tentpole:
+// the planner is a pure execution-strategy choice, so planner-on (EngineAuto)
+// must produce byte-identical results to both forced legacy engines, across
+// prefilter on/off, accel on/off, pop and keep semantics, for FindAll,
+// CountParallel, and randomly chunked streams.
+func TestStrategyPlannerConformance(t *testing.T) {
+	input := plannerTraffic(64<<10, 99)
+	rng := rand.New(rand.NewSource(101))
+	for _, keep := range []bool{false, true} {
+		for _, forced := range []EngineMode{EngineIMFAnt, EngineLazyDFA} {
+			base := Options{MergeFactor: 2, KeepOnMatch: keep, Engine: forced,
+				Prefilter: PrefilterOff, Accel: AccelOff}
+			oracle := MustCompile(plannerPatterns, base)
+			want := oracle.FindAll(input)
+			if len(want) == 0 {
+				t.Fatal("planner traffic produced no matches; conformance vacuous")
+			}
+			sortMatches(want)
+			for _, pf := range []PrefilterMode{PrefilterOff, PrefilterOn} {
+				for _, ac := range []AccelMode{AccelOff, AccelOn} {
+					opts := Options{MergeFactor: 2, KeepOnMatch: keep,
+						Engine: EngineAuto, Prefilter: pf, Accel: ac}
+					on := MustCompile(plannerPatterns, opts)
+					got := on.FindAll(input)
+					sortMatches(got)
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("keep=%v forced=%v pf=%v accel=%v: FindAll %d matches, oracle %d",
+							keep, forced, pf, ac, len(got), len(want))
+					}
+					nOn, err := on.CountParallel(input, 4)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if nOn != int64(len(want)) {
+						t.Fatalf("keep=%v forced=%v pf=%v accel=%v: CountParallel %d, want %d",
+							keep, forced, pf, ac, nOn, len(want))
+					}
+					var streamed []Match
+					sm := on.NewStreamMatcher(func(m Match) { streamed = append(streamed, m) })
+					for pos := 0; pos < len(input); {
+						end := pos + 1 + rng.Intn(4096)
+						if end > len(input) {
+							end = len(input)
+						}
+						if _, err := sm.Write(input[pos:end]); err != nil {
+							t.Fatal(err)
+						}
+						pos = end
+					}
+					if err := sm.Close(); err != nil {
+						t.Fatal(err)
+					}
+					sortMatches(streamed)
+					if !reflect.DeepEqual(streamed, want) {
+						t.Fatalf("keep=%v forced=%v pf=%v accel=%v: stream %d matches, oracle %d",
+							keep, forced, pf, ac, len(streamed), len(want))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPrefilterTrackerDisablesIneffectiveSweep drives the runtime
+// effectiveness tracker end to end through Stats().Strategy: a gated group
+// whose factor occurs in every input wakes on every sweep, so the tracker
+// disables its gate after a window; with every gated group disabled the
+// sweep itself is elided; a probe sweep on factor-free traffic re-enables
+// the gate and gating saves work again.
+func TestPrefilterTrackerDisablesIneffectiveSweep(t *testing.T) {
+	rs := MustCompile([]string{"needleman[0-9]*x"}, Options{Prefilter: PrefilterOn})
+	if !rs.PrefilterActive() {
+		t.Fatal("prefilter did not engage")
+	}
+	sc := rs.NewScanner()
+	hot := bytes.Repeat([]byte("stuff needleman7x more "), 8)
+	cold := bytes.Repeat([]byte("nothing of note here "), 8)
+
+	// Phase 1: the factor occurs in every input — 100% wake rate. After one
+	// tracker window the gate must be off.
+	for i := 0; i < trackerWindow; i++ {
+		if _, err := sc.FindAllContext(t.Context(), hot); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := rs.Stats().Strategy
+	if st == nil || st.GroupsUngated != 1 {
+		t.Fatalf("after %d all-wake sweeps: Strategy = %+v, want GroupsUngated 1",
+			trackerWindow, st)
+	}
+
+	// Phase 2: every gated group is disabled, so the sweep is elided.
+	for i := 0; i < 5; i++ {
+		if _, err := sc.FindAllContext(t.Context(), hot); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st = rs.Stats().Strategy
+	if st.SweepsDisabled < 5 {
+		t.Fatalf("SweepsDisabled = %d, want >= 5 elided sweeps", st.SweepsDisabled)
+	}
+
+	// Phase 3: keep scanning factor-free traffic until a probe sweep fires;
+	// it observes the group would not wake and re-enables its gate.
+	for i := 0; i < 2*trackerProbeEvery; i++ {
+		if _, err := sc.FindAllContext(t.Context(), cold); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st = rs.Stats().Strategy
+	if st.SweepProbes < 1 {
+		t.Fatalf("SweepProbes = %d, want at least one probe", st.SweepProbes)
+	}
+	if st.GroupsUngated != 0 {
+		t.Fatalf("GroupsUngated = %d after factor-free probes, want re-enabled (0)", st.GroupsUngated)
+	}
+
+	// Phase 4: with the gate back on, factor-free traffic is skipped again.
+	before := rs.Stats().Prefilter.GroupsSkipped
+	if _, err := sc.FindAllContext(t.Context(), cold); err != nil {
+		t.Fatal(err)
+	}
+	if after := rs.Stats().Prefilter.GroupsSkipped; after <= before {
+		t.Fatalf("GroupsSkipped %d -> %d; re-enabled gate saved nothing", before, after)
+	}
+
+	// Throughout: matching stayed exact.
+	if got := sc.Count(hot); got != 8 {
+		t.Fatalf("Count(hot) = %d, want 8 regardless of tracker state", got)
+	}
+}

@@ -73,43 +73,58 @@ func (o Options) minFactorLen() int {
 }
 
 // buildPrefilter compiles the gating plan from per-rule factors (indexed by
-// rule id, "" meaning unfilterable). Called after buildEngines; a nil
-// factors slice, PrefilterOff, or a plan that could never skip anything
-// leaves rs.pf nil and scans ungated.
+// rule id, "" meaning unfilterable). Called after buildPlan — only groups
+// the plan left gatable participate: AC-routed groups must not ALSO be swept
+// (their strategy scan is itself a literal sweep; gating them would scan the
+// same literals twice), and anchored groups are O(1) already. A nil factors
+// slice, PrefilterOff, or a plan with no gatable factor-covered group leaves
+// rs.pf nil and scans ungated.
 func (rs *Ruleset) buildPrefilter(factors []string) {
-	if rs.opts.Prefilter == PrefilterOff || factors == nil {
+	if rs.opts.Prefilter == PrefilterOff {
+		return
+	}
+	defer func() {
+		// The Prefilter stats section is live whenever literal gating
+		// happens anywhere: the factor sweep, AC-routed groups (whose scans
+		// report as sweeps), or both.
+		acRules, acLits := rs.plan.literalCounts(rs)
+		if rs.pf != nil || acRules > 0 {
+			rs.prefEnabled = true
+			rs.prefRules += acRules
+			rs.prefFactors += acLits
+			rs.collector.EnablePrefilter(rs.prefRules, rs.prefFactors)
+		}
+	}()
+	if factors == nil {
 		return
 	}
 	pf := &prefilter{}
 	index := make(map[string]int32)
-	ruleFactor := make(map[int]int32)
-	for id, f := range factors {
-		if f == "" {
-			continue
-		}
-		pi, ok := index[f]
-		if !ok {
-			pi = int32(len(pf.factors))
-			index[f] = pi
-			pf.factors = append(pf.factors, f)
-		}
-		ruleFactor[id] = pi
-		pf.filterable++
-	}
-	if pf.filterable == 0 {
-		return
-	}
 	pf.groupFactors = make([][]int32, len(rs.programs))
 	pf.groupAlways = make([]bool, len(rs.programs))
 	anyGated := false
 	for i, p := range rs.programs {
+		if !rs.plan.gatable(i) {
+			pf.groupAlways[i] = true
+			continue
+		}
 		seen := make(map[int32]bool)
 		for _, ri := range p.Rules() {
-			pi, ok := ruleFactor[ri.RuleID]
-			if !ok {
+			f := ""
+			if ri.RuleID >= 0 && ri.RuleID < len(factors) {
+				f = factors[ri.RuleID]
+			}
+			if f == "" {
 				pf.groupAlways[i] = true
 				continue
 			}
+			pi, ok := index[f]
+			if !ok {
+				pi = int32(len(pf.factors))
+				index[f] = pi
+				pf.factors = append(pf.factors, f)
+			}
+			pf.filterable++
 			if !seen[pi] {
 				seen[pi] = true
 				pf.groupFactors[i] = append(pf.groupFactors[i], pi)
@@ -119,7 +134,7 @@ func (rs *Ruleset) buildPrefilter(factors []string) {
 			anyGated = true
 		}
 	}
-	if rs.opts.Prefilter == PrefilterAuto && !anyGated {
+	if !anyGated || len(pf.factors) == 0 {
 		return
 	}
 	pats := make([][]byte, len(pf.factors))
@@ -132,7 +147,9 @@ func (rs *Ruleset) buildPrefilter(factors []string) {
 	}
 	pf.ac = ac
 	rs.pf = pf
-	rs.collector.EnablePrefilter(pf.filterable, len(pf.factors))
+	rs.prefRules = pf.filterable
+	rs.prefFactors = len(pf.factors)
+	rs.tracker = newPrefTracker(pf.groupAlways)
 }
 
 // factorsOf re-derives per-rule factors from pattern sources, for rulesets
@@ -193,14 +210,15 @@ type prefCounters struct {
 	sweeps, hits, skipped, saved int64
 }
 
-// stats converts the counters to the public shape; nil when ungated.
-func (p *prefCounters) stats(pf *prefilter) *PrefilterStats {
-	if pf == nil {
+// stats converts the counters to the public shape; nil when no literal
+// gating (factor sweep or AC-routed groups) is live on the ruleset.
+func (p *prefCounters) stats(rs *Ruleset) *PrefilterStats {
+	if !rs.prefEnabled {
 		return nil
 	}
 	return &PrefilterStats{
-		FilterableRules: pf.filterable,
-		Factors:         len(pf.factors),
+		FilterableRules: rs.prefRules,
+		Factors:         rs.prefFactors,
 		Sweeps:          p.sweeps,
 		FactorHits:      p.hits,
 		GroupsSkipped:   p.skipped,
@@ -215,16 +233,27 @@ func (p *prefCounters) stats(pf *prefilter) *PrefilterStats {
 // folded into the ruleset collector and the scanner's local totals; trace
 // skip events are the caller's job (it knows the skip sites).
 func (s *Scanner) prefilterGate(input []byte, check func() error) ([]bool, error) {
-	pf := s.rs.pf
+	rs := s.rs
+	pf := rs.pf
 	if pf == nil {
 		return nil, nil
 	}
-	if active := wakeAll(s.faults, len(s.rs.programs)); active != nil {
+	if active := wakeAll(s.faults, len(rs.programs)); active != nil {
 		return active, nil
+	}
+	run, probe := rs.tracker.decide()
+	if !run {
+		// Every gated group's gate is disabled — the sweep could skip
+		// nothing, so it is pure overhead: elide it and run everything.
+		rs.collector.AddSweepsElided(1)
+		return nil, nil
+	}
+	if probe {
+		rs.collector.AddSweepProbes(1)
 	}
 	if s.sweep == nil {
 		s.sweep = pf.ac.NewSweeper()
-		s.sweep.SetAccel(s.rs.opts.accelOn())
+		s.sweep.SetAccel(rs.opts.accelOn())
 	} else {
 		s.sweep.Reset()
 	}
@@ -242,21 +271,32 @@ func (s *Scanner) prefilterGate(input []byte, check func() error) ([]bool, error
 		s.sweep.Sweep(input[off:end])
 	}
 	if s.active == nil {
-		s.active = make([]bool, len(s.rs.programs))
+		s.active = make([]bool, len(rs.programs))
 	}
 	var skipped int64
 	for i := range s.active {
-		s.active[i] = pf.active(i, s.sweep)
-		if !s.active[i] {
+		woke := pf.active(i, s.sweep)
+		act := woke
+		if !pf.groupAlways[i] {
+			// A gate the tracker disabled runs its group regardless of the
+			// sweep outcome; the observation below may re-enable it.
+			if rs.tracker.isDisabled(i) {
+				act = true
+			}
+			rs.tracker.observe(i, woke)
+		}
+		s.active[i] = act
+		if !act {
 			skipped++
 		}
 	}
+	rs.collector.SetGroupsUngated(rs.tracker.disabledNow())
 	saved := skipped * int64(len(input))
 	s.pref.sweeps++
 	s.pref.hits += int64(s.sweep.Seen())
 	s.pref.skipped += skipped
 	s.pref.saved += saved
-	s.rs.collector.AddPrefilterScan(1, int64(s.sweep.Seen()), skipped, saved)
+	rs.collector.AddPrefilterScan(1, int64(s.sweep.Seen()), skipped, saved)
 	return s.active, nil
 }
 
@@ -271,6 +311,14 @@ func (rs *Ruleset) prefilterSelect(input []byte, check func() error) ([]bool, er
 	}
 	if active := wakeAll(rs.faults, len(rs.programs)); active != nil {
 		return active, nil
+	}
+	run, probe := rs.tracker.decide()
+	if !run {
+		rs.collector.AddSweepsElided(1)
+		return nil, nil
+	}
+	if probe {
+		rs.collector.AddSweepProbes(1)
 	}
 	sw := pf.ac.NewSweeper()
 	sw.SetAccel(rs.opts.accelOn())
@@ -290,8 +338,16 @@ func (rs *Ruleset) prefilterSelect(input []byte, check func() error) ([]bool, er
 	active := make([]bool, len(rs.programs))
 	var skipped int64
 	for i := range active {
-		active[i] = pf.active(i, sw)
-		if !active[i] {
+		woke := pf.active(i, sw)
+		act := woke
+		if !pf.groupAlways[i] {
+			if rs.tracker.isDisabled(i) {
+				act = true
+			}
+			rs.tracker.observe(i, woke)
+		}
+		active[i] = act
+		if !act {
 			skipped++
 			if rs.trace != nil {
 				rs.trace.Record(telemetry.Event{Kind: telemetry.EventPrefilterSkip,
@@ -299,6 +355,7 @@ func (rs *Ruleset) prefilterSelect(input []byte, check func() error) ([]bool, er
 			}
 		}
 	}
+	rs.collector.SetGroupsUngated(rs.tracker.disabledNow())
 	rs.collector.AddPrefilterScan(1, int64(sw.Seen()), skipped, skipped*int64(len(input)))
 	return active, nil
 }

@@ -318,6 +318,7 @@ func TestQuickPrefilterConformance(t *testing.T) {
 		{KeepOnMatch: true}, // auto → lazy-DFA
 		{Engine: EngineIMFAnt, KeepOnMatch: true}, // keep semantics on iMFAnt
 	}
+	gatingLive := 0                             // configs where literal gating engaged; 0 would be vacuous
 	alphabets := []string{"abcde", "cde", "de"} // from factor-rich to factor-free
 	for _, base := range engines {
 		for _, minLen := range []int{1, 2} {
@@ -327,8 +328,14 @@ func TestQuickPrefilterConformance(t *testing.T) {
 				onOpts.Prefilter, onOpts.MergeFactor, onOpts.MinFactorLen = PrefilterOn, merge, minLen
 				off := MustCompile(quickcheckPatterns, offOpts)
 				on := MustCompile(quickcheckPatterns, onOpts)
-				if !on.PrefilterActive() {
-					t.Fatalf("opts %+v: prefilter inactive", onOpts)
+				// A config may legitimately end up ungated: the planner can
+				// route every factor-bearing rule to an AC or anchored
+				// strategy, and a grouping with no fully-filterable group
+				// compiles the sweep away as pure overhead. The differential
+				// matrix runs either way; the cross-config tally below keeps
+				// the whole test from going vacuous.
+				if on.Stats().Prefilter != nil {
+					gatingLive++
 				}
 				for trial := 0; trial < 25; trial++ {
 					ab := alphabets[rng.Intn(len(alphabets))]
@@ -369,6 +376,9 @@ func TestQuickPrefilterConformance(t *testing.T) {
 				}
 			}
 		}
+	}
+	if gatingLive == 0 {
+		t.Fatal("no configuration had literal gating live; the matrix was vacuous")
 	}
 }
 

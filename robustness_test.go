@@ -490,7 +490,10 @@ func TestCountParallelQueueThenShed(t *testing.T) {
 // no goroutines, across repeated storms.
 func TestCountParallelPanicNoLeak(t *testing.T) {
 	checkNoGoroutineLeak(t)
-	rs := MustCompile([]string{"ab", "cd", "ef"}, Options{MergeFactor: 1})
+	// The forced engine keeps every group on the parallel workers — the
+	// planner would route these all-literal groups to inline AC counting,
+	// where there is no worker to panic.
+	rs := MustCompile([]string{"ab", "cd", "ef"}, Options{MergeFactor: 1, Engine: EngineIMFAnt})
 	rs.setFaultInjector(faultpoint.New(faultpoint.Every(faultpoint.WorkerPanic, 2)))
 	input := bytes.Repeat([]byte("abcdef"), 512)
 	var errs int

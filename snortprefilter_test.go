@@ -28,11 +28,15 @@ func TestSnortPrefilterSkipRate(t *testing.T) {
 	for _, ru := range rules {
 		patterns = append(patterns, ru.Pattern)
 	}
-	on, _, err := CompileLax(patterns, Options{MergeFactor: 2, Prefilter: PrefilterOn})
+	// The forced engine keeps every group behind the factor sweep — this
+	// study measures sweep gating itself. Under the strategy planner
+	// (EngineAuto) all-literal groups route to self-filtering AC scans and
+	// leave the sweep, which TestSnortAccelAccounting covers.
+	on, _, err := CompileLax(patterns, Options{MergeFactor: 2, Prefilter: PrefilterOn, Engine: EngineIMFAnt})
 	if err != nil {
 		t.Fatal(err)
 	}
-	off, _, err := CompileLax(patterns, Options{MergeFactor: 2, Prefilter: PrefilterOff})
+	off, _, err := CompileLax(patterns, Options{MergeFactor: 2, Prefilter: PrefilterOff, Engine: EngineIMFAnt})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -40,6 +40,12 @@ type Stats struct {
 	// Accel holds the byte-skipping acceleration counters; nil when
 	// acceleration is off (see Options.Accel).
 	Accel *AccelStats `json:"accel,omitempty"`
+	// Strategy holds the per-group strategy planner's section: which
+	// execution strategies the compile-time classification chose, how much
+	// input each has scanned, and the runtime prefilter-effectiveness
+	// tracker's counters. Always present on rulesets compiled by this
+	// version; the per-strategy Bytes partition BytesScanned exactly.
+	Strategy *StrategyStats `json:"strategy,omitempty"`
 	// Profile holds the sampling profiler's aggregates; nil when the
 	// ruleset was compiled without Options.Profile. Ruleset scope only —
 	// Scanner and StreamMatcher snapshots omit it (the profiler is shared
@@ -103,6 +109,43 @@ type PrefilterStats struct {
 	// BytesSaved totals the input bytes those executions would have
 	// scanned.
 	BytesSaved int64 `json:"bytes_saved"`
+}
+
+// StrategyStats is the strategy-planner section of a stats snapshot: the
+// compile-time classification outcome (see DESIGN.md for the rules) plus
+// the runtime prefilter-effectiveness tracker's counters. At Scanner and
+// StreamMatcher scope the sweep-disable counters stay zero — the tracker is
+// shared ruleset-wide and its event counters are reported there — while
+// GroupsUngated reflects the shared gauge.
+type StrategyStats struct {
+	// Planned reports whether the planner classified groups individually;
+	// false means a forced Options.Engine override put every group on one
+	// engine.
+	Planned bool `json:"planned"`
+	// Groups lists, per execution strategy in use, how many automaton
+	// groups run it and how many input bytes it has matched against.
+	Groups []StrategyGroupStats `json:"groups,omitempty"`
+	// SweepsDisabled counts factor sweeps elided entirely because the
+	// effectiveness tracker had disabled gating for every gated group.
+	SweepsDisabled int64 `json:"sweeps_disabled"`
+	// SweepProbes counts sweeps re-run as explicit probes while disabled,
+	// checking whether gating has become worthwhile again.
+	SweepProbes int64 `json:"sweep_probes"`
+	// GroupsUngated is the current number of gated groups whose factor
+	// gate the tracker has disabled (a gauge; those groups scan every
+	// input until a probe re-enables them).
+	GroupsUngated int64 `json:"groups_ungated"`
+}
+
+// StrategyGroupStats is one strategy's row in the planner section.
+type StrategyGroupStats struct {
+	// Strategy names the execution strategy: "ac", "anchored", "dfa",
+	// "imfant", or "lazydfa".
+	Strategy string `json:"strategy"`
+	// Groups is the number of automaton groups the planner routed here.
+	Groups int `json:"groups"`
+	// Bytes counts input bytes this strategy matched against.
+	Bytes int64 `json:"bytes"`
 }
 
 // AccelStats is the byte-skipping acceleration section of a stats snapshot.
@@ -231,6 +274,20 @@ func statsFrom(t telemetry.Stats) Stats {
 			BytesSkipped: t.Accel.BytesSkipped,
 		}
 	}
+	if t.Strategy != nil {
+		ss := &StrategyStats{
+			Planned:        t.Strategy.Planned,
+			SweepsDisabled: t.Strategy.SweepsDisabled,
+			SweepProbes:    t.Strategy.SweepProbes,
+			GroupsUngated:  t.Strategy.GroupsUngated,
+		}
+		for _, g := range t.Strategy.Groups {
+			ss.Groups = append(ss.Groups, StrategyGroupStats{
+				Strategy: g.Strategy, Groups: g.Groups, Bytes: g.Bytes,
+			})
+		}
+		s.Strategy = ss
+	}
 	if t.Profile != nil {
 		p := &ProfileStats{
 			Stride:         t.Profile.Stride,
@@ -291,17 +348,29 @@ func (rs *Ruleset) StatsVar() expvar.Var {
 func (s *Scanner) Stats() Stats {
 	st := Stats{RuleHits: append([]int64(nil), s.ruleHits...),
 		Degraded: &DegradedStats{ScanTimeouts: s.timeouts}}
+	rs := s.rs
 	var accel *AccelStats
-	if s.rs.opts.accelOn() {
-		accel = &AccelStats{Automata: len(s.rs.programs)}
+	if rs.opts.accelOn() {
+		accel = &AccelStats{Automata: len(rs.programs)}
 	}
-	if s.lazies != nil {
-		l := &LazyStats{Automata: len(s.lazies)}
-		for i, r := range s.lazies {
+	// Top-level totals are the fold of the per-strategy locals — every scan
+	// branch records into exactly one s.strat row, so the rows partition the
+	// totals by construction.
+	for k := range s.strat {
+		st.Scans += s.strat[k].scans
+		st.BytesScanned += s.strat[k].bytes
+		st.Matches += s.strat[k].matches
+	}
+	var l *LazyStats
+	for i := range rs.programs {
+		switch {
+		case s.lazies[i] != nil:
+			r := s.lazies[i]
+			if l == nil {
+				l = &LazyStats{}
+			}
+			l.Automata++
 			t := r.Totals()
-			st.Scans += t.Scans
-			st.BytesScanned += t.Symbols
-			st.Matches += t.Matches
 			l.Hits += t.CacheHits
 			l.Misses += t.CacheMisses
 			l.Flushes += t.Flushes
@@ -312,31 +381,55 @@ func (s *Scanner) Stats() Stats {
 			if m := r.MaxStates(); m > l.MaxStates {
 				l.MaxStates = m
 			}
-			l.ByteClasses += s.rs.lazy[i].NumClasses()
+			l.ByteClasses += rs.lazy[i].NumClasses()
 			if accel != nil {
 				accel.BytesSkipped += t.AccelBytes
 				accel.AccelStates += int64(r.AccelStates())
 			}
-		}
-		if l.MaxStates == 0 {
-			l.MaxStates = lazydfa.ResolveMaxStates(s.rs.opts.LazyDFAMaxStates)
-		}
-		st.Degraded.ThrashFallbacks = l.Fallbacks
-		st.Lazy = l
-	} else {
-		for _, r := range s.runners {
-			t := r.Totals()
-			st.Scans += t.Scans
-			st.BytesScanned += t.Symbols
-			st.Matches += t.Matches
+		case s.runners[i] != nil:
 			if accel != nil {
-				accel.BytesSkipped += t.AccelBytes
+				accel.BytesSkipped += s.runners[i].Totals().AccelBytes
+			}
+		case s.acs[i] != nil:
+			if accel != nil {
+				accel.BytesSkipped += s.acs[i].Skipped()
 			}
 		}
 	}
-	st.Prefilter = s.pref.stats(s.rs.pf)
+	if l != nil {
+		if l.MaxStates == 0 {
+			l.MaxStates = lazydfa.ResolveMaxStates(rs.opts.LazyDFAMaxStates)
+		}
+		st.Degraded.ThrashFallbacks = l.Fallbacks
+		st.Lazy = l
+	}
+	st.Strategy = localStrategyStats(rs, s.strat)
+	st.Prefilter = s.pref.stats(rs)
 	st.Accel = accel
 	return st
+}
+
+// localStrategyStats builds the Scanner/StreamMatcher-scope planner section:
+// classification outcome from the shared plan, bytes from the owner's local
+// per-strategy totals, and the shared tracker's ungated gauge. The tracker's
+// sweep-disable event counters are ruleset-scope and stay zero here.
+func localStrategyStats(rs *Ruleset, strat [numStrategies]stratTotals) *StrategyStats {
+	pl := rs.plan
+	if pl == nil {
+		return nil
+	}
+	ss := &StrategyStats{Planned: pl.planned, GroupsUngated: rs.tracker.disabledNow()}
+	for k := 0; k < numStrategies; k++ {
+		if pl.counts[k] == 0 {
+			continue
+		}
+		ss.Groups = append(ss.Groups, StrategyGroupStats{
+			Strategy: Strategy(k).String(),
+			Groups:   pl.counts[k],
+			Bytes:    strat[k].bytes,
+		})
+	}
+	return ss
 }
 
 // Stats returns this stream's telemetry, including the in-progress state of
@@ -346,32 +439,39 @@ func (s *Scanner) Stats() Stats {
 func (sm *StreamMatcher) Stats() Stats {
 	st := Stats{RuleHits: append([]int64(nil), sm.ruleHits...),
 		Degraded: &DegradedStats{ScanTimeouts: sm.timeouts}}
+	rs := sm.rs
 	var accel *AccelStats
-	if sm.rs.opts.accelOn() {
-		accel = &AccelStats{Automata: len(sm.rs.programs)}
+	if rs.opts.accelOn() {
+		accel = &AccelStats{Automata: len(rs.programs)}
 	}
-	for i, r := range sm.engines {
-		if sm.isGated(i) {
-			continue
-		}
-		t := r.Totals()
-		st.Scans += t.Scans
-		st.BytesScanned += t.Symbols
-		st.Matches += t.Matches
-		if accel != nil {
-			accel.BytesSkipped += t.AccelBytes
-		}
-	}
-	if sm.lazies != nil {
-		l := &LazyStats{Automata: len(sm.lazies)}
-		for i, r := range sm.lazies {
+	var strat [numStrategies]stratTotals
+	var l *LazyStats
+	for i := range rs.programs {
+		switch {
+		case sm.engines[i] != nil:
 			if sm.isGated(i) {
 				continue
 			}
+			t := sm.engines[i].Totals()
+			strat[StrategyIMFAnt].scans += t.Scans
+			strat[StrategyIMFAnt].bytes += t.Symbols
+			strat[StrategyIMFAnt].matches += t.Matches
+			if accel != nil {
+				accel.BytesSkipped += t.AccelBytes
+			}
+		case sm.lazies[i] != nil:
+			if sm.isGated(i) {
+				continue
+			}
+			r := sm.lazies[i]
+			if l == nil {
+				l = &LazyStats{}
+			}
+			l.Automata++
 			t := r.Totals()
-			st.Scans += t.Scans
-			st.BytesScanned += t.Symbols
-			st.Matches += t.Matches
+			strat[StrategyLazyDFA].scans += t.Scans
+			strat[StrategyLazyDFA].bytes += t.Symbols
+			strat[StrategyLazyDFA].matches += t.Matches
 			l.Hits += t.CacheHits
 			l.Misses += t.CacheMisses
 			l.Flushes += t.Flushes
@@ -382,16 +482,52 @@ func (sm *StreamMatcher) Stats() Stats {
 			if m := r.MaxStates(); m > l.MaxStates {
 				l.MaxStates = m
 			}
-			l.ByteClasses += sm.rs.lazy[i].NumClasses()
+			l.ByteClasses += rs.lazy[i].NumClasses()
 			if accel != nil {
 				accel.BytesSkipped += t.AccelBytes
 				accel.AccelStates += int64(r.AccelStates())
 			}
+		case sm.dfaRuns[i] != nil:
+			if sm.isGated(i) {
+				continue
+			}
+			t := sm.dfaRuns[i].Totals()
+			strat[StrategyDFA].scans += t.Scans
+			strat[StrategyDFA].bytes += t.Symbols
+			strat[StrategyDFA].matches += t.Matches
+		case sm.acRuns[i] != nil:
+			// AC groups count like engine streams: one completed scan at
+			// Close, bytes as they are consumed.
+			if sm.closed {
+				strat[StrategyAC].scans++
+			}
+			strat[StrategyAC].bytes += sm.consumed
+			strat[StrategyAC].matches += sm.groupMatches[i]
+			if accel != nil {
+				accel.BytesSkipped += sm.acRuns[i].Skipped()
+			}
+		case sm.anchRuns[i] != nil:
+			if sm.closed {
+				strat[StrategyAnchored].scans++
+			}
+			strat[StrategyAnchored].bytes += sm.consumed
+			strat[StrategyAnchored].matches += sm.groupMatches[i]
+		}
+	}
+	for k := range strat {
+		st.Scans += strat[k].scans
+		st.BytesScanned += strat[k].bytes
+		st.Matches += strat[k].matches
+	}
+	if l != nil {
+		if l.MaxStates == 0 {
+			l.MaxStates = lazydfa.ResolveMaxStates(rs.opts.LazyDFAMaxStates)
 		}
 		st.Degraded.ThrashFallbacks = l.Fallbacks
 		st.Lazy = l
 	}
-	st.Prefilter = sm.pref.stats(sm.rs.pf)
+	st.Strategy = localStrategyStats(rs, strat)
+	st.Prefilter = sm.pref.stats(rs)
 	st.Accel = accel
 	return st
 }
