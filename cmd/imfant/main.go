@@ -20,10 +20,12 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"sort"
 	"time"
 
+	imfant "repro"
 	"repro/internal/anml"
 	"repro/internal/dataset"
 	"repro/internal/engine"
@@ -31,6 +33,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/mfsa"
 	"repro/internal/telemetry"
+	"repro/obs"
 )
 
 func main() {
@@ -45,11 +48,19 @@ func main() {
 		keep     = flag.Bool("keep-on-match", false, "disable the Eq. 5 pop (report longer matches too)")
 		profile  = flag.Bool("profile", false, "sample state heat and report the hottest states with rule attribution")
 		stride   = flag.Int("stride", 0, "profiler sampling stride in bytes (0 = default 64)")
+		serve    = flag.String("serve", "", "serve the obs admin surface (/metrics, /statusz, /tracez) on this address, rescanning the stream in the background")
 	)
 	flag.Parse()
 
 	if *anmlPath == "" {
 		fatal(fmt.Errorf("imfant: -anml is required"))
+	}
+	if *serve != "" {
+		input, err := loadStream(*stream, *dsAbbr, *size)
+		if err != nil {
+			fatal(err)
+		}
+		fatal(serveAdmin(*serve, *anmlPath, input, *threads))
 	}
 	zs, err := loadANML(*anmlPath)
 	if err != nil {
@@ -118,6 +129,38 @@ func main() {
 	if *profile {
 		printProfile(programs, profiles, repLat.Snapshot())
 	}
+}
+
+// serveAdmin runs the library-level admin surface: the ANML file becomes a
+// Registry version with latency attribution and tracing on, a background
+// goroutine keeps matching the stream so the endpoints show live numbers,
+// and the obs handler serves /metrics, /statusz, and /tracez until the
+// process is killed.
+func serveAdmin(addr, anmlPath string, input []byte, threads int) error {
+	f, err := os.Open(anmlPath)
+	if err != nil {
+		return err
+	}
+	rs, err := imfant.LoadANML(f, imfant.Options{
+		Latency:       true,
+		TraceCapacity: 1024,
+	})
+	f.Close()
+	if err != nil {
+		return err
+	}
+	reg := imfant.NewRegistryFrom(rs)
+	go func() {
+		for {
+			if _, err := reg.CountParallel(input, threads); err != nil {
+				fmt.Fprintln(os.Stderr, "background scan:", err)
+			}
+			time.Sleep(time.Second)
+		}
+	}()
+	fmt.Printf("serving admin surface on %s (/metrics /statusz /tracez), %d rules, %d-byte stream\n",
+		addr, rs.NumRules(), len(input))
+	return http.ListenAndServe(addr, obs.Handler(reg))
 }
 
 // printProfile renders the sampled hot-state report: per-repetition scan

@@ -72,6 +72,8 @@ func main() {
 		prefilter    = flag.Bool("prefilter", false, "run the production Options.Prefilter study and write BENCH_prefilter.json")
 		accel        = flag.Bool("accel", false, "run the production Options.Accel study and write BENCH_accel.json")
 		strategy     = flag.Bool("strategy", false, "run the strategy-planner study and write BENCH_strategy.json")
+		obsStudy     = flag.Bool("obs", false, "run the observability-overhead study and write BENCH_obs.json")
+		obsBound     = flag.Float64("obs-bound", 0, "with -obs: fail when latency-attribution overhead exceeds this ratio (0 = report only)")
 		paper        = flag.Bool("paper", false, "use the paper's full-scale configuration (1 MB, 15 reps)")
 		size         = flag.Int("size", 0, "stream size in bytes (default 256 KiB, or 1 MiB with -paper)")
 		reps         = flag.Int("reps", 0, "measurement repetitions")
@@ -120,7 +122,7 @@ func main() {
 		}
 	}
 
-	extrasOnly := (*ablation || *baseline || *ccrefine || *stride || *lazy || *clustering || *decomp || *prefilter || *accel || *strategy) && len(figs) == 0 && len(tables) == 0 && !*all
+	extrasOnly := (*ablation || *baseline || *ccrefine || *stride || *lazy || *clustering || *decomp || *prefilter || *accel || *strategy || *obsStudy) && len(figs) == 0 && len(tables) == 0 && !*all
 	if *ablation {
 		if _, err := r.Ablation(w); err != nil {
 			fatal(err)
@@ -195,6 +197,21 @@ func main() {
 			fatal(err)
 		}
 		fmt.Fprintf(w, "strategy results written to %s\n\n", path)
+	}
+	if *obsStudy {
+		rows, err := runObs(w, o, *obsBound)
+		if rows != nil {
+			// Write the artifact even when the gate fails, so CI archives
+			// the numbers that tripped it.
+			if path, werr := writeObsJSON(rows, o); werr == nil {
+				fmt.Fprintf(w, "obs results written to %s\n\n", path)
+			} else if err == nil {
+				err = werr
+			}
+		}
+		if err != nil {
+			fatal(err)
+		}
 	}
 	if extrasOnly {
 		return

@@ -68,3 +68,27 @@ func TestRunStrategy(t *testing.T) {
 		}
 	}
 }
+
+// TestRunObs smoke-tests the -obs study at a small size: the three
+// instrumentation configs must report identical matches (instrumentation
+// never changes results) and positive timings. Overhead ratios are CI
+// artifacts, not test assertions — timing is machine-dependent, so the
+// gate runs unbounded here.
+func TestRunObs(t *testing.T) {
+	o := experiments.Opts{StreamSize: 32 << 10, Reps: 1}
+	rows, err := runObs(nil, o, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+	for _, row := range rows {
+		if row.Matches != rows[0].Matches {
+			t.Errorf("%s: %d matches, off config had %d", row.Config, row.Matches, rows[0].Matches)
+		}
+		if row.Time <= 0 || row.Overhead <= 0 {
+			t.Errorf("%s: non-positive timing %v / %.3f", row.Config, row.Time, row.Overhead)
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	imfant "repro"
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+)
+
+// obsRow is one instrumentation configuration of the observability
+// overhead study: the same ruleset and traffic scanned with telemetry
+// features off and on.
+type obsRow struct {
+	// Config is "off", "latency" or "latency+trace".
+	Config string
+	// Matches is the per-scan match count — identical across configs
+	// (checked): instrumentation must never change results.
+	Matches int64
+	// Time is the single-thread whole-ruleset scan latency; Overhead is
+	// Time over the off-config's time (1.0 = free).
+	Time     time.Duration
+	Overhead float64
+}
+
+// obsConfigs enumerates the study's instrumentation levels.
+func obsConfigs() []struct {
+	name string
+	opts imfant.Options
+} {
+	return []struct {
+		name string
+		opts imfant.Options
+	}{
+		{"off", imfant.Options{MergeFactor: 4}},
+		{"latency", imfant.Options{MergeFactor: 4, Latency: true}},
+		{"latency+trace", imfant.Options{MergeFactor: 4, Latency: true, TraceCapacity: 4096}},
+	}
+}
+
+// runObs measures the cost of the observability plane on the production
+// scan path: the strategy study's mixed workload (every strategy in play,
+// so every stage timer fires) scanned with instrumentation off, with
+// per-stage latency attribution on, and with latency plus the trace ring.
+// bound > 0 turns the study into a gate: it fails when the latency
+// config's overhead ratio exceeds bound — the CI pin for the "metrics off
+// must stay one nil check per chunk" invariant.
+func runObs(w io.Writer, o experiments.Opts, bound float64) ([]obsRow, error) {
+	mixed := make([]string, 0, 13)
+	mixed = append(mixed, strategyLiteralRules[:4]...)
+	mixed = append(mixed, strategyAnchoredRules[:4]...)
+	mixed = append(mixed, strategySmallRules[:4]...)
+	mixed = append(mixed, strategyLargeRule)
+	in := strategyTraffic(o.StreamSize, 0x0B5, []string{"/etc/passwd", "GET /cgi-bin/test-cgi", "%2e%2e/"})
+
+	var rows []obsRow
+	tb := metrics.NewTable("Observability — instrumentation overhead (mixed workload, production scan path)",
+		"Config", "Matches", "Time", "Overhead")
+	var offTime time.Duration
+	var offMatches int64
+	for i, cfg := range obsConfigs() {
+		rs, err := imfant.Compile(mixed, cfg.opts)
+		if err != nil {
+			return nil, fmt.Errorf("obs %s: %w", cfg.name, err)
+		}
+		scan := rs.NewScanner()
+		scan.Count(in) // warm caches outside the timed region
+		var matches int64
+		start := time.Now()
+		for rep := 0; rep < o.Reps; rep++ {
+			matches = scan.Count(in)
+		}
+		elapsed := time.Since(start) / time.Duration(max(1, o.Reps))
+		if i == 0 {
+			offTime, offMatches = elapsed, matches
+		} else if matches != offMatches {
+			return nil, fmt.Errorf("obs %s: %d matches, %d with instrumentation off — instrumentation changed results",
+				cfg.name, matches, offMatches)
+		}
+		row := obsRow{Config: cfg.name, Matches: matches, Time: elapsed,
+			Overhead: float64(elapsed) / float64(offTime)}
+		rows = append(rows, row)
+		tb.AddRow(row.Config, row.Matches, row.Time, fmt.Sprintf("%.3fx", row.Overhead))
+	}
+	if w != nil {
+		tb.Render(w)
+	}
+	if bound > 0 {
+		for _, row := range rows {
+			if row.Config == "latency" && row.Overhead > bound {
+				return rows, fmt.Errorf("obs: latency-attribution overhead %.3fx exceeds bound %.3fx",
+					row.Overhead, bound)
+			}
+		}
+	}
+	return rows, nil
+}
+
+// obsEntry is one configuration's record in BENCH_obs.json.
+type obsEntry struct {
+	// Benchmark names the measurement: obs/<config>.
+	Benchmark string `json:"benchmark"`
+	// Matches is the per-scan match count, identical across configs.
+	Matches int64 `json:"matches"`
+	// NsPerOp is the whole-ruleset scan latency; BytesPerSec the
+	// corresponding throughput; Overhead the ratio to the off config.
+	NsPerOp     int64   `json:"ns_per_op"`
+	BytesPerSec float64 `json:"bytes_per_sec"`
+	Overhead    float64 `json:"overhead"`
+}
+
+// writeObsJSON records the instrumentation-overhead study as
+// BENCH_obs.json, the artifact CI archives and gates on.
+func writeObsJSON(rows []obsRow, o experiments.Opts) (string, error) {
+	out := struct {
+		Name    string      `json:"name"`
+		Created string      `json:"created"`
+		Go      string      `json:"go"`
+		GOOS    string      `json:"goos"`
+		GOARCH  string      `json:"goarch"`
+		CPUs    int         `json:"cpus"`
+		Config  benchConfig `json:"config"`
+		Results []obsEntry  `json:"results"`
+	}{
+		Name:    "obs",
+		Created: time.Now().UTC().Format(time.RFC3339),
+		Go:      runtime.Version(),
+		GOOS:    runtime.GOOS,
+		GOARCH:  runtime.GOARCH,
+		CPUs:    runtime.NumCPU(),
+		Config:  benchConfig{StreamSize: o.StreamSize, Reps: o.Reps},
+	}
+	for _, row := range rows {
+		out.Results = append(out.Results, obsEntry{
+			Benchmark:   fmt.Sprintf("obs/%s", row.Config),
+			Matches:     row.Matches,
+			NsPerOp:     row.Time.Nanoseconds(),
+			BytesPerSec: float64(o.StreamSize) / row.Time.Seconds(),
+			Overhead:    row.Overhead,
+		})
+	}
+	path := "BENCH_obs.json"
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}

@@ -131,6 +131,7 @@ func compileRuleset(cfg config) (*imfant.Ruleset, error) {
 		Profile:       true,
 		ProfileStride: cfg.stride,
 		TraceCapacity: cfg.trace,
+		Latency:       true,
 		// The profiler exists to observe automaton execution; letting the
 		// literal-factor prefilter skip groups would blank the heat map on
 		// factor-free traffic.
@@ -239,6 +240,17 @@ func report(w io.Writer, cfg config, rs *imfant.Ruleset, p *imfant.ProfileReport
 	}
 	fmt.Fprintf(w, "active set:    mean %.1f (state,FSA) pairs, p90=%d, max=%d\n\n",
 		p.ActiveSet.Mean(), p.ActiveSet.Percentile(0.90), p.ActiveSet.Max())
+
+	if lat := rs.Stats().Latency; lat != nil {
+		fmt.Fprintf(w, "per-stage latency (wall clock, one observation per stage execution):\n")
+		fmt.Fprintf(w, "  %-18s %10s %10s %10s %10s %10s\n",
+			"stage", "count", "p50", "p90", "p99", "max")
+		for _, st := range lat.Stages {
+			fmt.Fprintf(w, "  %-18s %10d %10s %10s %10s %10s\n",
+				st.Stage, st.Count, ns(st.P50), ns(st.P90), ns(st.P99), ns(st.Max))
+		}
+		fmt.Fprintln(w)
+	}
 
 	hot := p.HotStates(cfg.top)
 	fmt.Fprintf(w, "top %d hot states (of %d visited):\n", len(hot), len(p.HotStates(0)))

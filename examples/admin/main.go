@@ -1,0 +1,133 @@
+// Operational observability: run a hot-swappable Registry behind the obs
+// admin surface, generate matching traffic, hot-swap the ruleset mid-run,
+// and scrape /metrics and /statusz over real HTTP — the monitoring loop an
+// operator (or Prometheus) runs against a long-lived matching service.
+//
+//	go run ./examples/admin
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	imfant "repro"
+	"repro/obs"
+)
+
+var v1Rules = []string{
+	`ERROR`,
+	`timeout after [0-9]+ms`,
+	`connection (refused|reset)`,
+	`/etc/passwd`,
+}
+
+var v2Rules = []string{
+	`ERROR`,
+	`timeout after [0-9]+ms`,
+	`connection (refused|reset)`,
+	`/etc/passwd`,
+	`deadlock detected`, // the new signature the hot swap ships
+}
+
+func traffic(n int) []byte {
+	r := rand.New(rand.NewSource(7))
+	lines := []string{
+		"INFO request ok\n", "INFO cache hit\n",
+		"ERROR upstream failed\n", "WARN timeout after 1500ms\n",
+		"ERROR connection refused\n", "INFO deadlock detected in txn 9\n",
+	}
+	var b strings.Builder
+	for b.Len() < n {
+		b.WriteString(lines[r.Intn(len(lines))])
+	}
+	return []byte(b.String())
+}
+
+func main() {
+	// Version 1: latency attribution and tracing on, so /metrics carries
+	// stage histograms and /tracez has a tail to show.
+	reg, err := imfant.NewRegistry(v1Rules, imfant.Options{Latency: true, TraceCapacity: 512})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Serve the admin surface on an ephemeral local port.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Handler: obs.Handler(reg)}
+	go srv.Serve(ln)
+	base := "http://" + ln.Addr().String()
+	fmt.Println("admin surface:", base)
+
+	// Background traffic against whatever version is current.
+	stop := make(chan struct{})
+	go func() {
+		in := traffic(64 << 10)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				reg.FindAll(in)
+			}
+		}
+	}()
+
+	fetch := func(path string) string {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return string(body)
+	}
+
+	time.Sleep(50 * time.Millisecond)
+	fmt.Println("\n--- /statusz on version 1 ---")
+	fmt.Println(firstLines(fetch("/statusz"), 3))
+
+	// Hot swap to version 2 while traffic runs: no scan is dropped, the
+	// next request observes the new rules.
+	if _, err := reg.Update(v2Rules, imfant.Options{Latency: true, TraceCapacity: 512}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("--- /statusz after hot swap ---")
+	fmt.Println(firstLines(fetch("/statusz"), 3))
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	if err := reg.DrainOld(ctx); err != nil {
+		log.Fatal(err)
+	}
+	cancel()
+
+	fmt.Println("--- /metrics (excerpt) ---")
+	for _, line := range strings.Split(fetch("/metrics"), "\n") {
+		if strings.HasPrefix(line, "imfant_scans_total") ||
+			strings.HasPrefix(line, "imfant_matches_total") ||
+			strings.HasPrefix(line, "imfant_ruleset_version") {
+			fmt.Println(line)
+		}
+	}
+
+	close(stop)
+	srv.Close()
+}
+
+// firstLines returns the first n lines of s.
+func firstLines(s string, n int) string {
+	lines := strings.SplitN(s, "\n", n+1)
+	if len(lines) > n {
+		lines = lines[:n]
+	}
+	return strings.Join(lines, "\n")
+}

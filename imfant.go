@@ -139,6 +139,14 @@ type Options struct {
 	// selects the default (64). Smaller strides sharpen the heat map at a
 	// proportional sampling cost. Ignored when Profile is false.
 	ProfileStride int
+	// Latency enables per-stage wall-clock latency attribution: monotonic
+	// timers bracket the prefilter sweep, each automaton's strategy
+	// dispatch, the parallel fan-out, and stream chunk/flush work, folded
+	// into allocation-free log2 histograms and surfaced as the
+	// Stats().Latency section (p50/p90/p99 per stage, nanoseconds).
+	// Independent of Profile; with Latency off the scan paths pay a single
+	// nil check per chunk and the section is omitted.
+	Latency bool
 	// TraceCapacity, when positive, enables the structured trace ring:
 	// the most recent TraceCapacity events (scan begin/end, matches, lazy
 	// flush/fallback, stream end) are retained and readable via
@@ -232,6 +240,9 @@ type Ruleset struct {
 	scanLat  *hist.Histogram   // per-scan wall-clock latency, ns
 	chunkLat *hist.Histogram   // per-StreamMatcher.Write latency, ns
 	trace    *telemetry.TraceRing
+	// lat is the per-stage latency histogram set; nil when Options.Latency
+	// is false — the single nil check instrumentation-off scans pay.
+	lat *telemetry.Latency
 }
 
 // accelOn resolves the Accel knob: every mode but AccelOff accelerates.
@@ -273,6 +284,9 @@ func (rs *Ruleset) buildEngines() {
 	}
 	if rs.opts.TraceCapacity > 0 {
 		rs.trace = telemetry.NewTraceRing(rs.opts.TraceCapacity)
+	}
+	if rs.opts.Latency {
+		rs.lat = rs.collector.EnableLatency()
 	}
 	rs.sched = newScanGate(rs.opts.MaxConcurrentScans, rs.opts.MaxQueuedScans)
 }
@@ -687,6 +701,11 @@ func (s *Scanner) run(ctx context.Context, input []byte, fn func(Match)) ([]scan
 	if rs.scanLat != nil {
 		defer func(t0 time.Time) { rs.scanLat.Record(time.Since(t0).Nanoseconds()) }(time.Now())
 	}
+	if rs.lat != nil {
+		defer func(t0 time.Time) {
+			rs.lat.Record(telemetry.StageScan, time.Since(t0).Nanoseconds())
+		}(time.Now())
+	}
 	out := make([]scanResult, 0, len(rs.programs))
 	if rs.trace != nil {
 		rs.trace.Record(telemetry.Event{Kind: telemetry.EventScanBegin,
@@ -742,6 +761,12 @@ func (s *Scanner) run(ctx context.Context, input []byte, fn func(Match)) ([]scan
 				}
 			}
 		}
+		// Stage timing brackets the whole dispatch, including the degraded
+		// exits — a timed-out automaton's wall clock is exactly the sample
+		// an operator wants attributed. stepErr is handled after the timer
+		// closes so every exit path records.
+		st0 := rs.stageStart()
+		var stepErr error
 		switch {
 		case s.lazies[i] != nil:
 			res := s.lazies[i].Run(input, lazydfa.Config{
@@ -783,23 +808,21 @@ func (s *Scanner) run(ctx context.Context, input []byte, fn func(Match)) ([]scan
 					rs.trace.Record(telemetry.Event{Kind: telemetry.EventLazyFallback,
 						Automaton: int32(i), Rule: -1, Offset: -1, Value: thrash})
 				}
+				if res.Pinned {
+					rs.trace.Record(telemetry.Event{Kind: telemetry.EventLazyPin,
+						Automaton: int32(i), Rule: -1, Offset: -1, Value: 1})
+				}
 			}
 			out = append(out, scanResult{matches: res.Matches, perFSA: res.PerFSA})
-			if err := s.lazies[i].Err(); err != nil {
-				return out, s.noteErr(err)
-			}
+			stepErr = s.lazies[i].Err()
 		case s.acs[i] != nil:
 			res, err := s.runAC(i, input, check, onMatch)
 			out = append(out, res)
-			if err != nil {
-				return out, s.noteErr(err)
-			}
+			stepErr = err
 		case s.dfaRuns[i] != nil:
 			res, err := s.runDFA(i, input, check, onMatch)
 			out = append(out, res)
-			if err != nil {
-				return out, s.noteErr(err)
-			}
+			stepErr = err
 		case rs.plan.anch[i] != nil:
 			out = append(out, s.runAnchored(i, input, onMatch))
 		default:
@@ -816,9 +839,11 @@ func (s *Scanner) run(ctx context.Context, input []byte, fn func(Match)) ([]scan
 			s.strat[StrategyIMFAnt].fold(int64(res.Symbols), res.Matches)
 			rs.collector.AddAccelScan(res.AccelBytes)
 			out = append(out, scanResult{matches: res.Matches, perFSA: res.PerFSA})
-			if err := s.runners[i].Err(); err != nil {
-				return out, s.noteErr(err)
-			}
+			stepErr = s.runners[i].Err()
+		}
+		rs.stageEnd(telemetry.StrategyStage(int(rs.plan.strat[i])), st0)
+		if stepErr != nil {
+			return out, s.noteErr(stepErr)
 		}
 	}
 	return out, nil
@@ -869,13 +894,15 @@ func (s *Scanner) runAnchored(i int, input []byte, onMatch func(fsa, end int)) s
 }
 
 // noteErr folds a failed scan into the degradation telemetry (ruleset-wide
-// and the scanner's own timeout counter) and returns err unchanged.
+// and the scanner's own timeout counter), records the scan_error trace
+// span, and returns err unchanged.
 func (s *Scanner) noteErr(err error) error {
 	if err != nil {
 		noteDegraded(s.rs.collector, err)
 		if errors.Is(err, ErrScanTimeout) {
 			s.timeouts++
 		}
+		s.rs.traceScanError(err)
 	}
 	return err
 }
@@ -980,8 +1007,7 @@ func (rs *Ruleset) CountParallelContext(ctx context.Context, input []byte, threa
 	// gate stretch total latency to queue-wait + ScanTimeout).
 	deadline := scanDeadline(rs.opts.ScanTimeout)
 	if err := rs.sched.acquire(ctx, deadline); err != nil {
-		noteDegraded(rs.collector, err)
-		return 0, err
+		return 0, rs.noteParallelErr(err)
 	}
 	defer rs.sched.release()
 	cfg := engine.Config{KeepOnMatch: rs.opts.KeepOnMatch,
@@ -990,10 +1016,16 @@ func (rs *Ruleset) CountParallelContext(ctx context.Context, input []byte, threa
 	if rs.profiles != nil {
 		defer func(t0 time.Time) { rs.scanLat.Record(time.Since(t0).Nanoseconds()) }(time.Now())
 	}
+	if rs.lat != nil {
+		// The scan stage starts after admission, so queue wait under a
+		// saturated gate is not misattributed to scanning.
+		defer func(t0 time.Time) {
+			rs.lat.Record(telemetry.StageScan, time.Since(t0).Nanoseconds())
+		}(time.Now())
+	}
 	gate, err := rs.prefilterSelect(input, cfg.Checkpoint)
 	if err != nil {
-		noteDegraded(rs.collector, err)
-		return 0, err
+		return 0, rs.noteParallelErr(err)
 	}
 	// Strategy-routed groups run inline — their scans are single-automaton
 	// and cheap — while the default-engine groups fan out to the worker
@@ -1006,21 +1038,23 @@ func (rs *Ruleset) CountParallelContext(ctx context.Context, input []byte, threa
 		if gate != nil && !gate[i] {
 			continue
 		}
+		st0 := rs.stageStart()
 		switch rs.plan.strat[i] {
 		case StrategyAC:
 			n, err := rs.countACGroup(i, input, cfg.Checkpoint)
+			rs.stageEnd(telemetry.StageStrategyAC, st0)
 			if err != nil {
-				noteDegraded(rs.collector, err)
-				return 0, err
+				return 0, rs.noteParallelErr(err)
 			}
 			total += n
 		case StrategyAnchored:
 			total += rs.countAnchoredGroup(i, input)
+			rs.stageEnd(telemetry.StageStrategyAnchored, st0)
 		case StrategyDFA:
 			n, err := rs.countDFAGroup(i, input, cfg.Checkpoint)
+			rs.stageEnd(telemetry.StageStrategyDFA, st0)
 			if err != nil {
-				noteDegraded(rs.collector, err)
-				return 0, err
+				return 0, rs.noteParallelErr(err)
 			}
 			total += n
 		default:
@@ -1034,7 +1068,9 @@ func (rs *Ruleset) CountParallelContext(ctx context.Context, input []byte, threa
 	if len(progs) == 0 {
 		return total, nil
 	}
+	pt0 := rs.stageStart()
 	results, err := engine.RunParallel(progs, input, threads, cfg)
+	rs.stageEnd(telemetry.StageParallel, pt0)
 	def := rs.defaultStrategy()
 	for j, res := range results {
 		rs.collector.AddScans(1)
@@ -1051,11 +1087,21 @@ func (rs *Ruleset) CountParallelContext(ctx context.Context, input []byte, threa
 	}
 	if err != nil {
 		// err may join several workers' failures (panics, timeouts); each
-		// is accounted individually in the Degraded section.
-		noteDegraded(rs.collector, err)
-		return 0, err
+		// is accounted individually in the Degraded section, and the
+		// scan_error span's cause mask carries the union.
+		return 0, rs.noteParallelErr(err)
 	}
 	return total + engine.TotalMatches(results), nil
+}
+
+// noteParallelErr is noteErr's ruleset-level sibling for the parallel scan
+// path: degradation counters plus the scan_error trace span.
+func (rs *Ruleset) noteParallelErr(err error) error {
+	if err != nil {
+		noteDegraded(rs.collector, err)
+		rs.traceScanError(err)
+	}
+	return err
 }
 
 // countACGroup runs pure-AC group i for CountParallel, with a fresh

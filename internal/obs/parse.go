@@ -1,0 +1,334 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParsedSample is one sample line as seen by the validator.
+type ParsedSample struct {
+	Name   string // full sample name, including _total/_bucket/... suffix
+	Labels map[string]string
+	Value  float64
+}
+
+// ParsedFamily is one metric family recovered from exposition text.
+type ParsedFamily struct {
+	Name    string // base family name from the TYPE line
+	Kind    string // counter | gauge | histogram | untyped
+	Samples []ParsedSample
+}
+
+// Parse reads OpenMetrics/Prometheus text and validates the structural
+// rules the encoder promises:
+//
+//   - every sample line parses as name[{labels}] value;
+//   - a family's TYPE line precedes its samples, and appears once;
+//   - counter samples carry the _total suffix on the family name;
+//   - histogram samples use only _bucket/_sum/_count suffixes, bucket
+//     cumulative counts are non-decreasing in le order with le itself
+//     strictly increasing and ending at +Inf, and the +Inf count equals
+//     the _count sample per series;
+//   - the stream ends with exactly one "# EOF" line and nothing after it.
+//
+// It returns the families keyed by base name. It is a test aid, not a
+// general scrape parser: exotic escapes and exemplars are out of scope.
+func Parse(r io.Reader) (map[string]*ParsedFamily, error) {
+	fams := map[string]*ParsedFamily{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	sawEOF := false
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if sawEOF {
+			return nil, fmt.Errorf("obs: line %d: content after # EOF", lineNo)
+		}
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			switch {
+			case line == "# EOF":
+				sawEOF = true
+			case strings.HasPrefix(line, "# TYPE "):
+				parts := strings.Fields(line)
+				if len(parts) != 4 {
+					return nil, fmt.Errorf("obs: line %d: malformed TYPE line %q", lineNo, line)
+				}
+				name, kind := parts[2], parts[3]
+				switch kind {
+				case "counter", "gauge", "histogram", "untyped":
+				default:
+					return nil, fmt.Errorf("obs: line %d: unknown type %q", lineNo, kind)
+				}
+				if _, dup := fams[name]; dup {
+					return nil, fmt.Errorf("obs: line %d: duplicate TYPE for %s", lineNo, name)
+				}
+				fams[name] = &ParsedFamily{Name: name, Kind: kind}
+			case strings.HasPrefix(line, "# HELP "):
+				// Help text is free-form; nothing to validate.
+			default:
+				return nil, fmt.Errorf("obs: line %d: unknown comment %q", lineNo, line)
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("obs: line %d: %v", lineNo, err)
+		}
+		fam := familyOf(fams, s.Name)
+		if fam == nil {
+			return nil, fmt.Errorf("obs: line %d: sample %s before its TYPE line", lineNo, s.Name)
+		}
+		if err := checkSuffix(fam, s); err != nil {
+			return nil, fmt.Errorf("obs: line %d: %v", lineNo, err)
+		}
+		fam.Samples = append(fam.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !sawEOF {
+		return nil, fmt.Errorf("obs: missing # EOF terminator")
+	}
+	for _, fam := range fams {
+		if fam.Kind == "histogram" {
+			if err := checkHistogram(fam); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return fams, nil
+}
+
+// familyOf resolves the family a sample belongs to: exact base-name match
+// first, then the histogram/counter suffix forms.
+func familyOf(fams map[string]*ParsedFamily, sample string) *ParsedFamily {
+	if f, ok := fams[sample]; ok {
+		return f
+	}
+	for _, suf := range []string{"_total", "_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(sample, suf); ok {
+			if f, ok := fams[base]; ok {
+				return f
+			}
+		}
+	}
+	return nil
+}
+
+// checkSuffix enforces the per-kind sample-name rules.
+func checkSuffix(fam *ParsedFamily, s ParsedSample) error {
+	switch fam.Kind {
+	case "counter":
+		if s.Name != fam.Name+"_total" {
+			return fmt.Errorf("counter %s has sample %s (want %s_total)", fam.Name, s.Name, fam.Name)
+		}
+	case "gauge":
+		if s.Name != fam.Name {
+			return fmt.Errorf("gauge %s has suffixed sample %s", fam.Name, s.Name)
+		}
+	case "histogram":
+		switch s.Name {
+		case fam.Name + "_bucket", fam.Name + "_sum", fam.Name + "_count":
+		default:
+			return fmt.Errorf("histogram %s has unexpected sample %s", fam.Name, s.Name)
+		}
+		if s.Name == fam.Name+"_bucket" {
+			if _, ok := s.Labels["le"]; !ok {
+				return fmt.Errorf("histogram %s bucket without le label", fam.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// checkHistogram validates each series' cumulative-bucket invariants.
+func checkHistogram(fam *ParsedFamily) error {
+	type series struct {
+		lastLe    float64
+		lastCum   float64
+		infCount  float64
+		sawInf    bool
+		count     float64
+		sawCount  bool
+		anyBucket bool
+	}
+	byKey := map[string]*series{}
+	get := func(labels map[string]string) *series {
+		key := seriesKey(labels)
+		st, ok := byKey[key]
+		if !ok {
+			st = &series{lastLe: -1}
+			byKey[key] = st
+		}
+		return st
+	}
+	for _, s := range fam.Samples {
+		switch s.Name {
+		case fam.Name + "_bucket":
+			st := get(s.Labels)
+			leStr := s.Labels["le"]
+			if leStr == "+Inf" {
+				st.sawInf = true
+				st.infCount = s.Value
+				if st.anyBucket && s.Value < st.lastCum {
+					return fmt.Errorf("obs: histogram %s: +Inf count %v below prior cumulative %v",
+						fam.Name, s.Value, st.lastCum)
+				}
+				continue
+			}
+			le, err := strconv.ParseFloat(leStr, 64)
+			if err != nil {
+				return fmt.Errorf("obs: histogram %s: bad le %q", fam.Name, leStr)
+			}
+			if st.sawInf {
+				return fmt.Errorf("obs: histogram %s: bucket after +Inf", fam.Name)
+			}
+			if le <= st.lastLe {
+				return fmt.Errorf("obs: histogram %s: le %v not increasing past %v", fam.Name, le, st.lastLe)
+			}
+			if st.anyBucket && s.Value < st.lastCum {
+				return fmt.Errorf("obs: histogram %s: cumulative count decreased at le=%v", fam.Name, le)
+			}
+			st.lastLe, st.lastCum, st.anyBucket = le, s.Value, true
+		case fam.Name + "_count":
+			st := get(s.Labels)
+			st.count, st.sawCount = s.Value, true
+		}
+	}
+	for key, st := range byKey {
+		if !st.sawInf {
+			return fmt.Errorf("obs: histogram %s{%s}: missing +Inf bucket", fam.Name, key)
+		}
+		if !st.sawCount {
+			return fmt.Errorf("obs: histogram %s{%s}: missing _count", fam.Name, key)
+		}
+		if st.infCount != st.count {
+			return fmt.Errorf("obs: histogram %s{%s}: +Inf bucket %v != count %v",
+				fam.Name, key, st.infCount, st.count)
+		}
+	}
+	return nil
+}
+
+// seriesKey identifies a histogram series: its labels minus le, in sorted
+// order (the encoder sorts labels, so concatenation is stable).
+func seriesKey(labels map[string]string) string {
+	var parts []string
+	for k, v := range labels {
+		if k == "le" {
+			continue
+		}
+		parts = append(parts, k+"="+v)
+	}
+	// Insertion-order independence: selection-sort the few label pairs.
+	for i := 0; i < len(parts); i++ {
+		for j := i + 1; j < len(parts); j++ {
+			if parts[j] < parts[i] {
+				parts[i], parts[j] = parts[j], parts[i]
+			}
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
+// parseSample parses one sample line: name[{labels}] value.
+func parseSample(line string) (ParsedSample, error) {
+	s := ParsedSample{Labels: map[string]string{}}
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		s.Name = rest[:i]
+		end := strings.IndexByte(rest, '}')
+		if end < i {
+			return s, fmt.Errorf("unclosed label set in %q", line)
+		}
+		if err := parseLabels(rest[i+1:end], s.Labels); err != nil {
+			return s, err
+		}
+		rest = strings.TrimSpace(rest[end+1:])
+	} else {
+		fields := strings.Fields(rest)
+		if len(fields) < 2 {
+			return s, fmt.Errorf("malformed sample %q", line)
+		}
+		s.Name = fields[0]
+		rest = fields[1]
+	}
+	if s.Name == "" || !validMetricName(s.Name) {
+		return s, fmt.Errorf("invalid metric name in %q", line)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 {
+		return s, fmt.Errorf("sample %q has no value", line)
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value in %q: %v", line, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabels parses `a="x",b="y"` into dst. Values may contain the
+// encoder's escapes (\\, \", \n).
+func parseLabels(body string, dst map[string]string) error {
+	i := 0
+	for i < len(body) {
+		eq := strings.IndexByte(body[i:], '=')
+		if eq < 0 {
+			return fmt.Errorf("label without '=' in %q", body)
+		}
+		name := body[i : i+eq]
+		i += eq + 1
+		if i >= len(body) || body[i] != '"' {
+			return fmt.Errorf("label %s value not quoted in %q", name, body)
+		}
+		i++
+		var val strings.Builder
+		for i < len(body) && body[i] != '"' {
+			if body[i] == '\\' && i+1 < len(body) {
+				i++
+				switch body[i] {
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte(body[i])
+				}
+			} else {
+				val.WriteByte(body[i])
+			}
+			i++
+		}
+		if i >= len(body) {
+			return fmt.Errorf("unterminated label value in %q", body)
+		}
+		i++ // closing quote
+		dst[name] = val.String()
+		if i < len(body) {
+			if body[i] != ',' {
+				return fmt.Errorf("expected ',' between labels in %q", body)
+			}
+			i++
+		}
+	}
+	return nil
+}
+
+// validMetricName checks the [a-zA-Z_:][a-zA-Z0-9_:]* rule.
+func validMetricName(s string) bool {
+	for i, r := range s {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return len(s) > 0
+}

@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/hist"
+)
+
+// Write renders the families in the OpenMetrics text exposition format
+// (which Prometheus also accepts): per family a HELP and TYPE line on the
+// base name, then one sample line per series — "<name>_total" for
+// counters, the bare name for gauges, and the cumulative
+// "_bucket{le=...}"/"_sum"/"_count" triple for histograms — terminated by
+// the mandatory "# EOF" line. Output is deterministic: families are
+// written in input order, labels sorted by name.
+func Write(w io.Writer, fams []Family) error {
+	for _, f := range fams {
+		if len(f.Samples) == 0 {
+			continue
+		}
+		if f.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.Name, escapeHelp(f.Help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.Name, f.Kind); err != nil {
+			return err
+		}
+		for _, s := range f.Samples {
+			if err := writeSample(w, f, s); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := io.WriteString(w, "# EOF\n")
+	return err
+}
+
+// writeSample renders one series of f.
+func writeSample(w io.Writer, f Family, s Sample) error {
+	switch f.Kind {
+	case Counter:
+		_, err := fmt.Fprintf(w, "%s_total%s %s\n", f.Name, labelString(s.Labels, "", 0), fmtFloat(s.Value))
+		return err
+	case Gauge:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", f.Name, labelString(s.Labels, "", 0), fmtFloat(s.Value))
+		return err
+	case HistogramKind:
+		if s.Hist == nil {
+			return fmt.Errorf("obs: histogram sample of %s has no snapshot", f.Name)
+		}
+		return writeHist(w, f.Name, s)
+	}
+	return fmt.Errorf("obs: unknown kind %d for %s", f.Kind, f.Name)
+}
+
+// writeHist renders one histogram series: cumulative le buckets up to the
+// highest non-empty one, the +Inf bucket, then _sum and _count. The
+// snapshot's log2 buckets become the le bounds; with Seconds set the
+// nanosecond bounds and sum are converted to seconds.
+func writeHist(w io.Writer, name string, s Sample) error {
+	snap := s.Hist
+	top := -1
+	for i := hist.NumBuckets - 1; i >= 0; i-- {
+		if snap.Buckets[i] != 0 {
+			top = i
+			break
+		}
+	}
+	var cum int64
+	for i := 0; i <= top; i++ {
+		cum += snap.Buckets[i]
+		_, hi := hist.BucketBounds(i)
+		le := float64(hi)
+		if s.Seconds {
+			le /= 1e9
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+			name, labelString(s.Labels, "le", le), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+		name, labelStringInf(s.Labels), snap.Count); err != nil {
+		return err
+	}
+	sum := float64(snap.Sum)
+	if s.Seconds {
+		sum /= 1e9
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, labelString(s.Labels, "", 0), fmtFloat(sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, labelString(s.Labels, "", 0), snap.Count)
+	return err
+}
+
+// labelString renders the sorted label set, with an optional numeric "le"
+// label appended (leName == "le"), as "{a=\"1\",le=\"0.5\"}"; empty sets
+// render as "".
+func labelString(ls []Label, leName string, le float64) string {
+	if len(ls) == 0 && leName == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range sortLabels(ls) {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteString(`"`)
+	}
+	if leName != "" {
+		if len(ls) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(leName)
+		b.WriteString(`="`)
+		b.WriteString(fmtFloat(le))
+		b.WriteString(`"`)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// labelStringInf is labelString with le="+Inf".
+func labelStringInf(ls []Label) string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range sortLabels(ls) {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteString(`"`)
+	}
+	if len(ls) > 0 {
+		b.WriteByte(',')
+	}
+	b.WriteString(`le="+Inf"}`)
+	return b.String()
+}
+
+// fmtFloat renders a sample value the shortest way that round-trips.
+func fmtFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+// escapeHelp escapes help text per the exposition format.
+func escapeHelp(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(s)
+}

@@ -1,0 +1,168 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestLatencyNilSafe(t *testing.T) {
+	var l *Latency
+	l.Record(StageScan, 100) // must not panic
+	if s := l.Snapshot(StageScan); s.Count != 0 {
+		t.Fatalf("nil latency snapshot count = %d, want 0", s.Count)
+	}
+	if st := l.Stats(); st != nil {
+		t.Fatalf("nil latency Stats() = %+v, want nil", st)
+	}
+}
+
+func TestLatencyRecordAndStats(t *testing.T) {
+	l := &Latency{}
+	if st := l.Stats(); st != nil {
+		t.Fatalf("empty latency Stats() = %+v, want nil", st)
+	}
+	l.Record(StageScan, 1000)
+	l.Record(StageScan, 2000)
+	l.Record(StagePrefilter, 500)
+	l.Record(NumStages, 7)   // out of range: dropped
+	l.Record(NumStages+5, 7) // far out of range: dropped
+
+	st := l.Stats()
+	if st == nil || len(st.Stages) != 2 {
+		t.Fatalf("Stats() = %+v, want 2 stages", st)
+	}
+	if st.Stages[0].Stage != "scan" || st.Stages[0].Count != 2 {
+		t.Errorf("stage 0 = %+v, want scan count 2", st.Stages[0])
+	}
+	if st.Stages[1].Stage != "prefilter" || st.Stages[1].Count != 1 {
+		t.Errorf("stage 1 = %+v, want prefilter count 1", st.Stages[1])
+	}
+	if p := st.Stages[0].P99; p < 1000 {
+		t.Errorf("scan p99 = %d, want >= 1000", p)
+	}
+}
+
+// TestStageNames pins every stage's exposition name: these strings are the
+// JSON "stage" values and the OpenMetrics label values, so renames are
+// breaking changes.
+func TestStageNames(t *testing.T) {
+	want := map[Stage]string{
+		StageScan:             "scan",
+		StagePrefilter:        "prefilter",
+		StageStrategyIMFAnt:   "strategy_imfant",
+		StageStrategyLazyDFA:  "strategy_lazydfa",
+		StageStrategyAC:       "strategy_ac",
+		StageStrategyAnchored: "strategy_anchored",
+		StageStrategyDFA:      "strategy_dfa",
+		StageParallel:         "parallel",
+		StageStreamWrite:      "stream_write",
+		StageStreamFlush:      "stream_flush",
+	}
+	if len(want) != int(NumStages) {
+		t.Fatalf("test covers %d stages, NumStages = %d", len(want), NumStages)
+	}
+	for s, name := range want {
+		if got := s.String(); got != name {
+			t.Errorf("Stage(%d).String() = %q, want %q", s, got, name)
+		}
+	}
+	if NumStages.String() != "unknown" {
+		t.Errorf("NumStages.String() = %q, want unknown", NumStages.String())
+	}
+}
+
+// TestStrategyStageOrder pins the contiguity contract StrategyStage relies
+// on: strategy k's stage name is "strategy_" + the root package's
+// Strategy(k).String() value.
+func TestStrategyStageOrder(t *testing.T) {
+	names := []string{"imfant", "lazydfa", "ac", "anchored", "dfa"}
+	for k, n := range names {
+		if got := StrategyStage(k).String(); got != "strategy_"+n {
+			t.Errorf("StrategyStage(%d) = %q, want %q", k, got, "strategy_"+n)
+		}
+	}
+}
+
+func TestCollectorLatencySection(t *testing.T) {
+	c := NewCollector(0)
+	if c.Latency() != nil {
+		t.Fatal("Latency() non-nil before EnableLatency")
+	}
+	if s := c.Snapshot(); s.Latency != nil {
+		t.Fatal("snapshot has latency section before EnableLatency")
+	}
+	l := c.EnableLatency()
+	if l == nil || c.Latency() != l {
+		t.Fatal("EnableLatency/Latency accessor mismatch")
+	}
+	if s := c.Snapshot(); s.Latency != nil {
+		t.Fatal("snapshot has latency section with no observations")
+	}
+	l.Record(StageScan, 4096)
+	s := c.Snapshot()
+	if s.Latency == nil || len(s.Latency.Stages) != 1 || s.Latency.Stages[0].Stage != "scan" {
+		t.Fatalf("snapshot latency = %+v, want one scan stage", s.Latency)
+	}
+	// The expvar JSON must carry the section inline (HistStats embedded).
+	var m map[string]any
+	if err := json.Unmarshal([]byte(c.String()), &m); err != nil {
+		t.Fatalf("collector JSON: %v", err)
+	}
+	lat, ok := m["latency"].(map[string]any)
+	if !ok {
+		t.Fatalf("no latency object in %v", m)
+	}
+	stages, ok := lat["stages"].([]any)
+	if !ok || len(stages) != 1 {
+		t.Fatalf("latency.stages = %v", lat["stages"])
+	}
+	st := stages[0].(map[string]any)
+	for _, key := range []string{"stage", "count", "p50", "p90", "p99", "max", "mean"} {
+		if _, ok := st[key]; !ok {
+			t.Errorf("stage entry missing %q: %v", key, st)
+		}
+	}
+}
+
+func TestLatencyConcurrentRecord(t *testing.T) {
+	l := &Latency{}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				l.Record(StageScan, int64(i+1))
+				l.Record(StageStreamWrite, int64(i+1))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := l.Snapshot(StageScan).Count; got != 8000 {
+		t.Errorf("scan count = %d, want 8000", got)
+	}
+	if got := l.Snapshot(StageStreamWrite).Count; got != 8000 {
+		t.Errorf("stream_write count = %d, want 8000", got)
+	}
+}
+
+// TestTraceKindNames pins the new event kinds' wire names.
+func TestTraceKindNames(t *testing.T) {
+	want := map[EventKind]string{
+		EventScanError:    "scan_error",
+		EventLazyPin:      "lazy_pin",
+		EventRulesetSwap:  "ruleset_swap",
+		EventRulesetDrain: "ruleset_drain",
+	}
+	for k, name := range want {
+		got := k.String()
+		if got != name {
+			t.Errorf("kind %d = %q, want %q", k, got, name)
+		}
+		if strings.Contains(got, " ") {
+			t.Errorf("kind name %q contains a space", got)
+		}
+	}
+}

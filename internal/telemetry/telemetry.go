@@ -50,6 +50,9 @@ type Stats struct {
 	// fallbacks, cache-grow retries, and pinned delegations. Always
 	// present — an all-zero section is the healthy steady state.
 	Degraded *DegradedStats `json:"degraded"`
+	// Latency holds per-stage wall-clock latency distributions; nil when
+	// latency attribution is off or no stage has fired yet.
+	Latency *LatencyStats `json:"latency,omitempty"`
 }
 
 // DegradedStats is the degradation-ladder section of a snapshot: one
@@ -278,6 +281,8 @@ type Collector struct {
 	sweepProbes   atomic.Int64
 	groupsUngated atomic.Int64
 
+	lat *Latency
+
 	timeouts     atomic.Int64
 	shed         atomic.Int64
 	workerPanics atomic.Int64
@@ -336,6 +341,20 @@ func (c *Collector) EnableStrategy(planned bool, names []string, groups []int) {
 	c.stratGroups = groups
 	c.stratBytes = make([]atomic.Int64, len(names))
 }
+
+// EnableLatency turns on the latency section of the snapshot and returns
+// the per-stage histogram set scan paths record into. Must be called
+// before the collector is shared with scanners (build time), like the
+// other Enable methods.
+func (c *Collector) EnableLatency() *Latency {
+	c.lat = &Latency{}
+	return c.lat
+}
+
+// Latency returns the per-stage histogram set, nil when latency
+// attribution is off. The exposition layer uses it to render full bucket
+// distributions rather than the snapshot's percentile summary.
+func (c *Collector) Latency() *Latency { return c.lat }
 
 // AddStrategyBytes attributes n matched-against input bytes to strategy.
 func (c *Collector) AddStrategyBytes(strategy int, n int64) {
@@ -512,6 +531,9 @@ func (c *Collector) Snapshot() Stats {
 	}
 	if fn, ok := c.profileFn.Load().(func() *ProfileStats); ok && fn != nil {
 		s.Profile = fn()
+	}
+	if c.lat != nil {
+		s.Latency = c.lat.Stats()
 	}
 	s.Degraded = &DegradedStats{
 		ScanTimeouts:    c.timeouts.Load(),

@@ -32,6 +32,23 @@ const (
 	// literal-factor prefilter; Automaton identifies it, Value is the
 	// number of input bytes it did not have to scan.
 	EventPrefilterSkip
+	// EventScanError marks a scan (or stream) that completed below full
+	// service; Value is a bitmask of degradation causes (the root
+	// package's causeMask encoding: timeout, shed, canceled, worker
+	// panic), so the span carries the full cause chain of a joined error.
+	EventScanError
+	// EventLazyPin reports a scan delegated whole to the iMFAnt engine
+	// because the degradation ladder bottomed out (thrash at the grown
+	// cache cap); Automaton identifies the pinned group.
+	EventLazyPin
+	// EventRulesetSwap marks a Registry hot-swap; Value is the sequence
+	// number of the version that became current. Recorded into both the
+	// outgoing and the incoming ruleset's rings (when tracing is on), so
+	// either side's tail shows the cutover.
+	EventRulesetSwap
+	// EventRulesetDrain marks a Registry.DrainOld completion; Value is the
+	// number of superseded versions whose last pin was released.
+	EventRulesetDrain
 )
 
 // String returns the snake_case name of the kind (also used in JSON).
@@ -51,6 +68,14 @@ func (k EventKind) String() string {
 		return "stream_end"
 	case EventPrefilterSkip:
 		return "prefilter_skip"
+	case EventScanError:
+		return "scan_error"
+	case EventLazyPin:
+		return "lazy_pin"
+	case EventRulesetSwap:
+		return "ruleset_swap"
+	case EventRulesetDrain:
+		return "ruleset_drain"
 	}
 	return "unknown"
 }

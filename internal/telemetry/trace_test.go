@@ -83,6 +83,91 @@ func TestTraceRingConcurrent(t *testing.T) {
 	}
 }
 
+// TestTraceRingConcurrentSinkSwap replaces the sink while recorders run:
+// every event must reach exactly one of the sinks installed over its
+// lifetime or none (when the swap lands on nil), never two, and the ring's
+// own accounting must stay exact.
+func TestTraceRingConcurrentSinkSwap(t *testing.T) {
+	r := NewTraceRing(32)
+	var mu sync.Mutex
+	seen := make(map[int64]int) // seq -> delivery count across all sinks
+	mkSink := func() func(Event) {
+		return func(ev Event) {
+			mu.Lock()
+			seen[ev.Seq]++
+			mu.Unlock()
+		}
+	}
+	const recorders, perG = 4, 2000
+	var wg sync.WaitGroup
+	for g := 0; g < recorders; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				r.Record(Event{Kind: EventMatch, Value: int64(i)})
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 500; i++ {
+			r.SetSink(mkSink())
+			if i%7 == 0 {
+				r.SetSink(nil)
+			}
+		}
+		r.SetSink(nil)
+	}()
+	wg.Wait()
+	<-done
+	if r.Recorded() != recorders*perG {
+		t.Fatalf("recorded = %d, want %d", r.Recorded(), recorders*perG)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for seq, n := range seen {
+		if n != 1 {
+			t.Fatalf("seq %d delivered %d times across sinks, want exactly once", seq, n)
+		}
+	}
+}
+
+// TestTraceRingStableSinkLosesNothing pins the no-lost-events half of the
+// sink contract: with a single sink installed for the whole run, every
+// recorded event is delivered exactly once even under concurrent writers.
+func TestTraceRingStableSinkLosesNothing(t *testing.T) {
+	r := NewTraceRing(8)
+	var mu sync.Mutex
+	seen := make(map[int64]int)
+	r.SetSink(func(ev Event) {
+		mu.Lock()
+		seen[ev.Seq]++
+		mu.Unlock()
+	})
+	const recorders, perG = 4, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < recorders; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				r.Record(Event{Kind: EventMatch})
+			}
+		}()
+	}
+	wg.Wait()
+	if len(seen) != recorders*perG {
+		t.Fatalf("sink saw %d distinct events, want %d", len(seen), recorders*perG)
+	}
+	for seq, n := range seen {
+		if n != 1 {
+			t.Fatalf("seq %d delivered %d times, want 1", seq, n)
+		}
+	}
+}
+
 func TestEventKindString(t *testing.T) {
 	kinds := map[EventKind]string{
 		EventScanBegin:    "scan_begin",

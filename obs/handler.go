@@ -1,0 +1,209 @@
+// Package obs is the operational observability surface of the matching
+// engine: an http.Handler exposing a hot-swappable Registry's current
+// ruleset as Prometheus/OpenMetrics text (/metrics), a human-readable
+// status page (/statusz), and the trace-ring tail (/tracez). It has no
+// dependencies beyond the standard library.
+//
+// Mount it on any mux:
+//
+//	reg, _ := imfant.NewRegistry(patterns, imfant.Options{Latency: true})
+//	http.ListenAndServe(":9090", obs.Handler(reg))
+//
+// All three endpoints resolve the Registry's current version per request,
+// so a hot swap is reflected by the very next scrape.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+
+	imfant "repro"
+	iobs "repro/internal/obs"
+	"repro/internal/telemetry"
+)
+
+// ContentType is the content type of the /metrics response — the
+// OpenMetrics text media type, which Prometheus negotiates and parses.
+const ContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+// Handler returns the admin surface for reg: GET /metrics, GET /statusz,
+// GET /tracez (?n= tail length, default 64), and an index at /. Safe for
+// concurrent use with scans and hot swaps.
+func Handler(reg *imfant.Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		serveMetrics(w, reg)
+	})
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, r *http.Request) {
+		serveStatusz(w, reg)
+	})
+	mux.HandleFunc("/tracez", func(w http.ResponseWriter, r *http.Request) {
+		serveTracez(w, r, reg)
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "imfant admin surface")
+		fmt.Fprintln(w, "  /metrics  OpenMetrics exposition")
+		fmt.Fprintln(w, "  /statusz  ruleset + runtime status")
+		fmt.Fprintln(w, "  /tracez   trace-ring tail (?n=64)")
+	})
+	return mux
+}
+
+// collectorOf reaches the raw collector behind a ruleset's expvar surface;
+// the type assertion is the package's one coupling to the internal layout.
+func collectorOf(rs *imfant.Ruleset) *telemetry.Collector {
+	c, _ := rs.StatsVar().(*telemetry.Collector)
+	return c
+}
+
+// serveMetrics renders the current version's counters plus the registry's
+// own gauges.
+func serveMetrics(w http.ResponseWriter, reg *imfant.Registry) {
+	rs := reg.Current()
+	c := collectorOf(rs)
+	if c == nil {
+		http.Error(w, "telemetry collector unavailable", http.StatusInternalServerError)
+		return
+	}
+	fams := iobs.StatsFamilies(c.Snapshot(), c.Latency())
+	fams = append(fams,
+		iobs.GaugeFamily("imfant_ruleset_version",
+			"Sequence number of the current ruleset version.", float64(reg.Version())),
+		iobs.GaugeFamily("imfant_ruleset_draining",
+			"Superseded ruleset versions still pinned by in-flight traffic.", float64(reg.Draining())),
+		iobs.GaugeFamily("imfant_ruleset_rules",
+			"Rules compiled into the current version.", float64(rs.NumRules())),
+		iobs.GaugeFamily("imfant_ruleset_automata",
+			"Merged automata in the current version.", float64(rs.NumAutomata())),
+		iobs.GaugeFamily("imfant_ruleset_states",
+			"Total MFSA states in the current version.", float64(rs.States())),
+	)
+	w.Header().Set("Content-Type", ContentType)
+	_ = iobs.Write(w, fams)
+}
+
+// serveStatusz renders a plain-text status page: version identity,
+// per-strategy group assignment, degradation-ladder counters, and
+// prefilter/tracker state.
+func serveStatusz(w http.ResponseWriter, reg *imfant.Registry) {
+	rs := reg.Current()
+	s := rs.Stats()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "ruleset version: %d (draining: %d old)\n", reg.Version(), reg.Draining())
+	fmt.Fprintf(w, "rules: %d  automata: %d  states: %d\n",
+		rs.NumRules(), rs.NumAutomata(), rs.States())
+
+	fmt.Fprintf(w, "\nstrategy assignment:\n")
+	counts := map[string]int{}
+	for _, st := range rs.Strategies() {
+		counts[st.String()]++
+	}
+	names := make([]string, 0, len(counts))
+	for n := range counts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(w, "  %-10s %d groups\n", n, counts[n])
+	}
+	if st := s.Strategy; st != nil {
+		fmt.Fprintf(w, "  planned: %v  sweeps_disabled: %d  sweep_probes: %d  groups_ungated: %d\n",
+			st.Planned, st.SweepsDisabled, st.SweepProbes, st.GroupsUngated)
+	}
+
+	fmt.Fprintf(w, "\nprefilter: active=%v", rs.PrefilterActive())
+	if p := s.Prefilter; p != nil {
+		fmt.Fprintf(w, "  filterable_rules=%d  factors=%d  sweeps=%d  groups_skipped=%d  bytes_saved=%d",
+			p.FilterableRules, p.Factors, p.Sweeps, p.GroupsSkipped, p.BytesSaved)
+	}
+	fmt.Fprintln(w)
+
+	fmt.Fprintf(w, "\ntraffic: scans=%d  bytes=%d  matches=%d\n", s.Scans, s.BytesScanned, s.Matches)
+	if d := s.Degraded; d != nil {
+		fmt.Fprintf(w, "degraded: timeouts=%d  shed=%d  worker_panics=%d  thrash_fallbacks=%d  cache_grows=%d  pinned_scans=%d\n",
+			d.ScanTimeouts, d.Shed, d.WorkerPanics, d.ThrashFallbacks, d.CacheGrows, d.PinnedScans)
+	}
+	if l := s.Lazy; l != nil {
+		fmt.Fprintf(w, "lazy-dfa: automata=%d  cached_states=%d/%d  hit_rate=%.4f  flushes=%d  fallbacks=%d\n",
+			l.Automata, l.CachedStates, int64(l.MaxStates)*int64(l.Automata), l.HitRate(), l.Flushes, l.Fallbacks)
+	}
+	if lat := s.Latency; lat != nil {
+		fmt.Fprintf(w, "\nstage latency (ns):\n")
+		fmt.Fprintf(w, "  %-18s %10s %10s %10s %10s %10s\n", "stage", "count", "p50", "p90", "p99", "max")
+		for _, st := range lat.Stages {
+			fmt.Fprintf(w, "  %-18s %10d %10d %10d %10d %10d\n",
+				st.Stage, st.Count, st.P50, st.P90, st.P99, st.Max)
+		}
+	}
+}
+
+// causeBits decodes the scan_error Value bitmask (see TraceEvent.Value).
+func causeBits(mask int64) []string {
+	var out []string
+	for _, c := range []struct {
+		bit  int64
+		name string
+	}{{1, "timeout"}, {2, "shed"}, {4, "canceled"}, {8, "worker_panic"}} {
+		if mask&c.bit != 0 {
+			out = append(out, c.name)
+		}
+	}
+	if len(out) == 0 {
+		return []string{"unknown"}
+	}
+	return out
+}
+
+// tracezEvent is one /tracez row: the public TraceEvent plus a decoded
+// cause chain for scan_error events and a human timestamp.
+type tracezEvent struct {
+	imfant.TraceEvent
+	Time   string   `json:"time"`
+	Causes []string `json:"causes,omitempty"`
+}
+
+// serveTracez renders the trace-ring tail as JSON lines, newest last.
+// ?n= bounds the tail (default 64); tracing off yields an empty tail with
+// a note.
+func serveTracez(w http.ResponseWriter, r *http.Request, reg *imfant.Registry) {
+	rs := reg.Current()
+	n := 64
+	if q := r.URL.Query().Get("n"); q != "" {
+		if v, err := strconv.Atoi(q); err == nil && v > 0 {
+			n = v
+		}
+	}
+	evs := rs.TraceEvents()
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	if evs == nil {
+		fmt.Fprintln(w, `{"note":"tracing off (compile with Options.TraceCapacity)","events":[]}`)
+		return
+	}
+	if len(evs) > n {
+		evs = evs[len(evs)-n:]
+	}
+	out := struct {
+		Version uint64        `json:"ruleset_version"`
+		Events  []tracezEvent `json:"events"`
+	}{Version: reg.Version(), Events: make([]tracezEvent, len(evs))}
+	for i, ev := range evs {
+		te := tracezEvent{TraceEvent: ev,
+			Time: time.Unix(0, ev.Nanos).UTC().Format(time.RFC3339Nano)}
+		if ev.Kind == "scan_error" {
+			te.Causes = causeBits(ev.Value)
+		}
+		out.Events[i] = te
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(out)
+}

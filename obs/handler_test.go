@@ -1,0 +1,244 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	imfant "repro"
+	iobs "repro/internal/obs"
+)
+
+func testRegistry(t *testing.T, opts imfant.Options) *imfant.Registry {
+	t.Helper()
+	reg, err := imfant.NewRegistry([]string{"needle[0-9]+", "ab+c", "xyz"}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reg
+}
+
+func TestMetricsParsesAsOpenMetrics(t *testing.T) {
+	reg := testRegistry(t, imfant.Options{Latency: true})
+	in := []byte("padding needle42 padding abbbc xyz padding")
+	reg.FindAll(in)
+	if _, err := reg.CountParallel(in, 2); err != nil {
+		t.Fatal(err)
+	}
+	h := Handler(reg)
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("GET /metrics: %d\n%s", rec.Code, rec.Body.String())
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != ContentType {
+		t.Errorf("content type = %q", ct)
+	}
+	fams, err := iobs.Parse(bytes.NewReader(rec.Body.Bytes()))
+	if err != nil {
+		t.Fatalf("/metrics output invalid: %v\n%s", err, rec.Body.String())
+	}
+	for _, want := range []string{
+		"imfant_scans", "imfant_bytes_scanned", "imfant_matches",
+		"imfant_degraded", "imfant_ruleset_version", "imfant_ruleset_draining",
+		"imfant_ruleset_rules", "imfant_stage_latency_seconds",
+	} {
+		if _, ok := fams[want]; !ok {
+			t.Errorf("family %s missing from /metrics:\n%s", want, rec.Body.String())
+		}
+	}
+	if f := fams["imfant_ruleset_version"]; f.Samples[0].Value != 1 {
+		t.Errorf("ruleset_version = %v, want 1", f.Samples[0].Value)
+	}
+	if f := fams["imfant_matches"]; f.Samples[0].Value == 0 {
+		t.Error("matches counter is zero despite matching traffic")
+	}
+	// Latency attribution is on and scans ran: the stage histogram must
+	// carry at least the scan stage.
+	found := false
+	for _, smp := range fams["imfant_stage_latency_seconds"].Samples {
+		if smp.Labels["stage"] == "scan" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("stage_latency_seconds has no scan-stage series")
+	}
+}
+
+func TestStatuszReflectsHotSwap(t *testing.T) {
+	reg := testRegistry(t, imfant.Options{Latency: true})
+	h := Handler(reg)
+
+	// Traffic on version 1, with a stream pinning it across the swap.
+	var matches []imfant.Match
+	sm := reg.NewStreamMatcher(func(m imfant.Match) { matches = append(matches, m) })
+	if _, err := sm.Write([]byte("needle7 ")); err != nil {
+		t.Fatal(err)
+	}
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/statusz", nil))
+	if !strings.Contains(rec.Body.String(), "ruleset version: 1") {
+		t.Fatalf("statusz before swap:\n%s", rec.Body.String())
+	}
+
+	// Hot swap mid-traffic: the very next request must observe version 2
+	// and the still-open stream as a draining old version.
+	rs2, err := imfant.Compile([]string{"swapped[a-z]+"}, imfant.Options{Latency: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg.Swap(rs2)
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/statusz", nil))
+	body := rec.Body.String()
+	if !strings.Contains(body, "ruleset version: 2") {
+		t.Fatalf("statusz after swap does not show version 2:\n%s", body)
+	}
+	if !strings.Contains(body, "draining: 1 old") {
+		t.Fatalf("statusz does not show the pinned old version draining:\n%s", body)
+	}
+	if !strings.Contains(body, "rules: 1") {
+		t.Fatalf("statusz still describes the old ruleset:\n%s", body)
+	}
+
+	// Close the stream: drain completes, and /metrics agrees.
+	if err := sm.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	fams, err := iobs.Parse(bytes.NewReader(rec.Body.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := fams["imfant_ruleset_draining"].Samples[0].Value; v != 0 {
+		t.Errorf("ruleset_draining = %v after stream close, want 0", v)
+	}
+	if v := fams["imfant_ruleset_version"].Samples[0].Value; v != 2 {
+		t.Errorf("ruleset_version = %v, want 2", v)
+	}
+}
+
+func TestTracezTailAndCauses(t *testing.T) {
+	reg := testRegistry(t, imfant.Options{Latency: true, TraceCapacity: 256})
+	h := Handler(reg)
+	reg.FindAll([]byte("abc needle1 abbc"))
+
+	// A swap records a ruleset_swap event in the outgoing ring; the new
+	// ring starts with its own swap event.
+	rs2, err := imfant.Compile([]string{"other"}, imfant.Options{TraceCapacity: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg.Swap(rs2)
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/tracez?n=16", nil))
+	if rec.Code != 200 {
+		t.Fatalf("GET /tracez: %d", rec.Code)
+	}
+	var out struct {
+		Version uint64 `json:"ruleset_version"`
+		Events  []struct {
+			Kind   string   `json:"kind"`
+			Value  int64    `json:"value"`
+			Time   string   `json:"time"`
+			Causes []string `json:"causes"`
+		} `json:"events"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatalf("tracez not JSON: %v\n%s", err, rec.Body.String())
+	}
+	if out.Version != 2 {
+		t.Errorf("tracez version = %d, want 2", out.Version)
+	}
+	sawSwap := false
+	for _, ev := range out.Events {
+		if ev.Kind == "ruleset_swap" {
+			sawSwap = true
+			if ev.Value != 2 {
+				t.Errorf("ruleset_swap value = %d, want 2", ev.Value)
+			}
+		}
+		if ev.Time == "" {
+			t.Error("event missing human timestamp")
+		}
+	}
+	if !sawSwap {
+		t.Errorf("no ruleset_swap event in new ring's tail: %+v", out.Events)
+	}
+}
+
+func TestTracezTracingOff(t *testing.T) {
+	reg := testRegistry(t, imfant.Options{})
+	rec := httptest.NewRecorder()
+	Handler(reg).ServeHTTP(rec, httptest.NewRequest("GET", "/tracez", nil))
+	if rec.Code != 200 {
+		t.Fatalf("GET /tracez: %d", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "tracing off") {
+		t.Errorf("tracez without tracing: %s", rec.Body.String())
+	}
+}
+
+func TestCauseBits(t *testing.T) {
+	cases := []struct {
+		mask int64
+		want string
+	}{
+		{1, "timeout"}, {2, "shed"}, {4, "canceled"}, {8, "worker_panic"},
+		{0, "unknown"},
+		{5, "timeout,canceled"},
+	}
+	for _, c := range cases {
+		if got := strings.Join(causeBits(c.mask), ","); got != c.want {
+			t.Errorf("causeBits(%d) = %q, want %q", c.mask, got, c.want)
+		}
+	}
+}
+
+func TestIndexPage(t *testing.T) {
+	reg := testRegistry(t, imfant.Options{})
+	h := Handler(reg)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	for _, path := range []string{"/metrics", "/statusz", "/tracez"} {
+		if !strings.Contains(rec.Body.String(), path) {
+			t.Errorf("index page missing %s", path)
+		}
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/nope", nil))
+	if rec.Code != 404 {
+		t.Errorf("GET /nope = %d, want 404", rec.Code)
+	}
+}
+
+// TestMetricsUnderConcurrentScrapes hammers /metrics while scans run — the
+// exposition path must be race-clean against live counters.
+func TestMetricsUnderConcurrentScrapes(t *testing.T) {
+	reg := testRegistry(t, imfant.Options{Latency: true, TraceCapacity: 64})
+	h := Handler(reg)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		in := []byte(strings.Repeat("needle9 abbc xyz ", 32))
+		for i := 0; i < 200; i++ {
+			reg.FindAll(in)
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+		if _, err := iobs.Parse(bytes.NewReader(rec.Body.Bytes())); err != nil {
+			t.Fatalf("scrape %d invalid: %v", i, err)
+		}
+	}
+	<-done
+}

@@ -1,0 +1,238 @@
+package imfant
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// obsTestPatterns mix every strategy class so each stage timer fires:
+// literals (AC), anchors (anchored), small regexes (DFA), and an
+// engine-bound rule that stays on the default engine.
+var obsTestPatterns = []string{
+	"/etc/passwd", "cmd\\.exe", "<script>",
+	"^GET /", "/done$",
+	"id=[0-9]+ or ", "%2e%2e[/\\\\]",
+	"x[0-9]{200}y",
+}
+
+// obsTraffic salts HTTP-ish filler with pattern fragments.
+func obsTraffic(n int, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	frags := []string{
+		"Host: example.com\r\n", "User-Agent: Mozilla\r\n",
+		"GET /index.html HTTP/1.1\r\n", "/etc/passwd", "cmd.exe",
+		"<script>alert(1)</script>", "id=7 or 1=1 ", "%2e%2e/etc",
+	}
+	var out []byte
+	for len(out) < n {
+		out = append(out, frags[rng.Intn(len(frags))]...)
+	}
+	return out[:n]
+}
+
+// TestObsConformance checks the observability plane's prime directive:
+// latency attribution and tracing on versus all-off produce byte-identical
+// match results for FindAll, CountParallel, and randomly chunked streams,
+// across engines × prefilter × accel.
+func TestObsConformance(t *testing.T) {
+	input := obsTraffic(96<<10, 41)
+	rng := rand.New(rand.NewSource(43))
+	for _, tc := range []struct {
+		name string
+		opts Options
+	}{
+		{"auto", Options{MergeFactor: 3}},
+		{"auto-pref", Options{MergeFactor: 3, Prefilter: PrefilterOn}},
+		{"imfant", Options{MergeFactor: 3, Engine: EngineIMFAnt, Prefilter: PrefilterOff}},
+		{"imfant-accel", Options{MergeFactor: 3, Engine: EngineIMFAnt, Accel: AccelOn}},
+		{"lazy", Options{MergeFactor: 3, Engine: EngineLazyDFA, KeepOnMatch: true}},
+		{"lazy-accel-pref", Options{MergeFactor: 3, Engine: EngineLazyDFA, Accel: AccelOn, Prefilter: PrefilterOn}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			onOpts, offOpts := tc.opts, tc.opts
+			onOpts.Latency = true
+			onOpts.TraceCapacity = 512
+			on := MustCompile(obsTestPatterns, onOpts)
+			off := MustCompile(obsTestPatterns, offOpts)
+
+			want := off.FindAll(input)
+			got := on.FindAll(input)
+			sortMatches(want)
+			sortMatches(got)
+			if len(want) == 0 {
+				t.Fatal("test traffic produced no matches; conformance vacuous")
+			}
+			if len(got) != len(want) {
+				t.Fatalf("FindAll: %d matches instrumented, %d off", len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("FindAll match %d differs: %+v vs %+v", i, got[i], want[i])
+				}
+			}
+
+			nOn, err := on.CountParallel(input, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			nOff, err := off.CountParallel(input, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if nOn != nOff {
+				t.Fatalf("CountParallel: %d instrumented, %d off", nOn, nOff)
+			}
+
+			var streamed []Match
+			sm := on.NewStreamMatcher(func(m Match) { streamed = append(streamed, m) })
+			for pos := 0; pos < len(input); {
+				end := pos + 1 + rng.Intn(4096)
+				if end > len(input) {
+					end = len(input)
+				}
+				if _, err := sm.Write(input[pos:end]); err != nil {
+					t.Fatal(err)
+				}
+				pos = end
+			}
+			if err := sm.Close(); err != nil {
+				t.Fatal(err)
+			}
+			sortMatches(streamed)
+			if len(streamed) != len(want) {
+				t.Fatalf("stream: %d matches instrumented, %d block off", len(streamed), len(want))
+			}
+			for i := range streamed {
+				if streamed[i] != want[i] {
+					t.Fatalf("stream match %d differs: %+v vs %+v", i, streamed[i], want[i])
+				}
+			}
+
+			// The instrumented ruleset must actually have recorded latency:
+			// at least the whole-scan stage, with block + parallel + stream
+			// traffic all folded in.
+			lat := on.Stats().Latency
+			if lat == nil || len(lat.Stages) == 0 {
+				t.Fatal("latency on: Stats().Latency empty after traffic")
+			}
+			var scanCount int64
+			for _, st := range lat.Stages {
+				if st.Stage == "scan" {
+					scanCount = st.Count
+				}
+			}
+			if scanCount == 0 {
+				t.Fatalf("no scan-stage observations: %+v", lat.Stages)
+			}
+			if off.Stats().Latency != nil {
+				t.Fatal("latency off: Stats().Latency must be nil")
+			}
+		})
+	}
+}
+
+// TestLatencyStageCoverage pins which stages fire on each path: prefilter
+// and per-strategy dispatch on block scans, parallel and strategy stages on
+// CountParallel, stream write/flush on streams.
+func TestLatencyStageCoverage(t *testing.T) {
+	rs := MustCompile(obsTestPatterns, Options{
+		MergeFactor: 3, Prefilter: PrefilterOn, Latency: true,
+	})
+	input := obsTraffic(32<<10, 47)
+	rs.FindAll(input)
+	if _, err := rs.CountParallel(input, 2); err != nil {
+		t.Fatal(err)
+	}
+	sm := rs.NewStreamMatcher(nil)
+	if _, err := sm.Write(input[:8<<10]); err != nil {
+		t.Fatal(err)
+	}
+	if err := sm.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	lat := rs.Stats().Latency
+	if lat == nil {
+		t.Fatal("no latency section")
+	}
+	got := map[string]int64{}
+	for _, st := range lat.Stages {
+		got[st.Stage] = st.Count
+	}
+	for _, stage := range []string{"scan", "parallel", "stream_write", "stream_flush"} {
+		if got[stage] == 0 {
+			t.Errorf("stage %q never recorded; got %v", stage, got)
+		}
+	}
+	// The mixed ruleset has AC, anchored, DFA and default groups — at
+	// least one per-strategy dispatch stage must have fired.
+	var strategyObs int64
+	for stage, n := range got {
+		if len(stage) > 9 && stage[:9] == "strategy_" {
+			strategyObs += n
+		}
+	}
+	if strategyObs == 0 {
+		t.Errorf("no per-strategy dispatch stage recorded; got %v", got)
+	}
+}
+
+// TestConcurrentSetTraceSinkPublic flips the public trace sink while scans
+// run: race-clean under -race, no event delivered to any sink twice, and
+// events that arrive carry monotonically growing sequence numbers per
+// goroutine's observation window.
+func TestConcurrentSetTraceSinkPublic(t *testing.T) {
+	rs := MustCompile([]string{"abc", "xy+z"}, Options{TraceCapacity: 256})
+	input := obsTraffic(4<<10, 53)
+
+	var delivered sync.Map // seq -> *int64 delivery count
+	count := func(ev TraceEvent) {
+		v, _ := delivered.LoadOrStore(ev.Seq, new(int64))
+		atomic.AddInt64(v.(*int64), 1)
+	}
+
+	var scanners, flipper sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		scanners.Add(1)
+		go func() {
+			defer scanners.Done()
+			for i := 0; i < 200; i++ {
+				rs.FindAll(input)
+			}
+		}()
+	}
+	flipper.Add(1)
+	go func() {
+		defer flipper.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if i%3 == 2 {
+				rs.SetTraceSink(nil)
+			} else {
+				rs.SetTraceSink(count)
+			}
+		}
+	}()
+	scanners.Wait()
+	close(stop)
+	flipper.Wait()
+	rs.SetTraceSink(nil)
+
+	dups := 0
+	delivered.Range(func(_, v any) bool {
+		if atomic.LoadInt64(v.(*int64)) != 1 {
+			dups++
+		}
+		return true
+	})
+	if dups != 0 {
+		t.Fatalf("%d events delivered to a sink more than once", dups)
+	}
+}

@@ -257,10 +257,12 @@ func (s *Scanner) prefilterGate(input []byte, check func() error) ([]bool, error
 	} else {
 		s.sweep.Reset()
 	}
+	st0 := rs.stageStart()
 	const block = engine.DefaultCheckpointEvery
 	for off := 0; off < len(input) && !s.sweep.Done(); off += block {
 		if check != nil {
 			if err := check(); err != nil {
+				rs.stageEnd(telemetry.StagePrefilter, st0)
 				return nil, err
 			}
 		}
@@ -270,6 +272,7 @@ func (s *Scanner) prefilterGate(input []byte, check func() error) ([]bool, error
 		}
 		s.sweep.Sweep(input[off:end])
 	}
+	rs.stageEnd(telemetry.StagePrefilter, st0)
 	if s.active == nil {
 		s.active = make([]bool, len(rs.programs))
 	}
@@ -322,10 +325,12 @@ func (rs *Ruleset) prefilterSelect(input []byte, check func() error) ([]bool, er
 	}
 	sw := pf.ac.NewSweeper()
 	sw.SetAccel(rs.opts.accelOn())
+	st0 := rs.stageStart()
 	const block = engine.DefaultCheckpointEvery
 	for off := 0; off < len(input) && !sw.Done(); off += block {
 		if check != nil {
 			if err := check(); err != nil {
+				rs.stageEnd(telemetry.StagePrefilter, st0)
 				return nil, err
 			}
 		}
@@ -335,6 +340,7 @@ func (rs *Ruleset) prefilterSelect(input []byte, check func() error) ([]bool, er
 		}
 		sw.Sweep(input[off:end])
 	}
+	rs.stageEnd(telemetry.StagePrefilter, st0)
 	active := make([]bool, len(rs.programs))
 	var skipped int64
 	for i := range active {

@@ -266,7 +266,8 @@ func histStatsOf(d Distribution) *telemetry.HistStats {
 
 // TraceEvent is one structured runtime event from the trace ring (see
 // Options.TraceCapacity). Kind is the snake_case event name: scan_begin,
-// scan_end, match, lazy_flush, lazy_fallback, stream_end. Fields not
+// scan_end, match, lazy_flush, lazy_fallback, lazy_pin, stream_end,
+// prefilter_skip, scan_error, ruleset_swap, ruleset_drain. Fields not
 // meaningful for a kind are -1.
 type TraceEvent struct {
 	// Seq is the event's global sequence number, starting at 1.
@@ -283,7 +284,11 @@ type TraceEvent struct {
 	Offset int64 `json:"offset"`
 	// Value is kind-specific: input length for scan_begin, match count
 	// for scan_end/stream_end, flush count for lazy_flush, 1 for a
-	// thrash-forced lazy_fallback (0 for pop-mode delegation).
+	// thrash-forced lazy_fallback (0 for pop-mode delegation), the
+	// degradation-cause bitmask for scan_error (bit 0 timeout, bit 1
+	// shed, bit 2 canceled, bit 3 worker panic), the sequence number that
+	// became current for ruleset_swap, and the number of versions drained
+	// for ruleset_drain.
 	Value int64 `json:"value"`
 }
 

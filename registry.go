@@ -4,6 +4,8 @@ import (
 	"context"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/telemetry"
 )
 
 // Registry is a hot-swappable container of Ruleset versions: scans always
@@ -106,7 +108,8 @@ func (r *Registry) release(v *registryVersion) {
 func (r *Registry) Swap(rs *Ruleset) *Ruleset {
 	r.mu.Lock()
 	old := r.cur.Load()
-	r.cur.Store(&registryVersion{rs: rs, seq: old.seq + 1, refs: 1, drained: make(chan struct{})})
+	next := &registryVersion{rs: rs, seq: old.seq + 1, refs: 1, drained: make(chan struct{})}
+	r.cur.Store(next)
 	old.refs-- // release the current-pointer hold
 	if old.refs == 0 {
 		close(old.drained)
@@ -114,7 +117,24 @@ func (r *Registry) Swap(rs *Ruleset) *Ruleset {
 		r.old = append(r.old, old)
 	}
 	r.mu.Unlock()
+	// The swap is observable from both sides of the cutover: the outgoing
+	// ruleset's trace tail shows it was superseded, the incoming one shows
+	// when it took over. Value carries the sequence that became current.
+	traceSwap(old.rs, next.seq)
+	if rs != old.rs {
+		traceSwap(rs, next.seq)
+	}
 	return old.rs
+}
+
+// traceSwap records a ruleset_swap event into rs's trace ring, when it has
+// one.
+func traceSwap(rs *Ruleset, seq uint64) {
+	if rs == nil || rs.trace == nil {
+		return
+	}
+	rs.trace.Record(telemetry.Event{Kind: telemetry.EventRulesetSwap,
+		Automaton: -1, Rule: -1, Offset: -1, Value: int64(seq)})
 }
 
 // Update compiles patterns and, on success, swaps the result in as the new
@@ -168,7 +188,23 @@ func (r *Registry) DrainOld(ctx context.Context) error {
 			return ctx.Err()
 		}
 	}
+	// Drain completed: every superseded version's last pin let go. Recorded
+	// into the CURRENT version's ring — the superseded rings are about to be
+	// torn down with their rulesets.
+	if cur := r.cur.Load().rs; cur != nil && cur.trace != nil {
+		cur.trace.Record(telemetry.Event{Kind: telemetry.EventRulesetDrain,
+			Automaton: -1, Rule: -1, Offset: -1, Value: int64(len(waits))})
+	}
 	return nil
+}
+
+// Draining returns the number of superseded versions still pinned by
+// in-flight scans or open streams — the admin surface's "how much old-rule
+// traffic is left" gauge; 0 once every old version has drained.
+func (r *Registry) Draining() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.old)
 }
 
 // NewStreamMatcher returns a matcher pinned to the current version: the

@@ -58,6 +58,11 @@ type Stats struct {
 	// counted here still returned either exact matches or a typed error;
 	// the section measures lost headroom, never lost correctness.
 	Degraded *DegradedStats `json:"degraded"`
+	// Latency holds the per-stage wall-clock latency distributions
+	// recorded under Options.Latency; nil when attribution is off or no
+	// stage has fired. Ruleset scope only — the histogram set is shared
+	// ruleset-wide, like the profiler.
+	Latency *LatencyStats `json:"latency,omitempty"`
 }
 
 // DegradedStats is the degradation-ladder section of a stats snapshot. The
@@ -303,6 +308,17 @@ func statsFrom(t telemetry.Stats) Stats {
 			})
 		}
 		s.Profile = p
+	}
+	if t.Latency != nil {
+		ls := &LatencyStats{}
+		for _, g := range t.Latency.Stages {
+			ls.Stages = append(ls.Stages, StageLatency{
+				Stage: g.Stage,
+				HistStats: HistStats{Count: g.Count, Mean: g.Mean,
+					P50: g.P50, P90: g.P90, P99: g.P99, Max: g.Max},
+			})
+		}
+		s.Latency = ls
 	}
 	if t.Degraded != nil {
 		s.Degraded = &DegradedStats{

@@ -151,3 +151,72 @@ func TestStatsVarJSON(t *testing.T) {
 		t.Fatalf("expvar lazy %+v, Stats lazy %+v", decoded.Lazy, st.Lazy)
 	}
 }
+
+// jsonKeys returns the key set of a JSON object (one level).
+func jsonKeys(t *testing.T, raw json.RawMessage) map[string]bool {
+	t.Helper()
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatalf("not a JSON object: %v in %s", err, raw)
+	}
+	keys := make(map[string]bool, len(m))
+	for k := range m {
+		keys[k] = true
+	}
+	return keys
+}
+
+// TestStatsVarSchemaSync is the schema-drift guard for the expvar surface:
+// StatsVar's JSON must carry the strategy and degraded sections, and its
+// key sets — top level and within those sections — must equal those of the
+// public Stats marshalling. A field renamed on one side but not the other
+// fails here, before any dashboard notices.
+func TestStatsVarSchemaSync(t *testing.T) {
+	rs := MustCompile([]string{"abc", "^hdr", "lit(eral)?x"}, Options{
+		Latency: true, Prefilter: PrefilterOn,
+	})
+	rs.Count([]byte("xxabcxx literalx hdr"))
+	if _, err := rs.CountParallel([]byte("abc abc literx"), 2); err != nil {
+		t.Fatal(err)
+	}
+
+	var fromVar map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(rs.StatsVar().String()), &fromVar); err != nil {
+		t.Fatalf("StatsVar JSON: %v", err)
+	}
+	pub, err := json.Marshal(rs.Stats())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fromStats map[string]json.RawMessage
+	if err := json.Unmarshal(pub, &fromStats); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, section := range []string{"strategy", "degraded"} {
+		if _, ok := fromVar[section]; !ok {
+			t.Errorf("StatsVar JSON missing %q section", section)
+		}
+	}
+	for key := range fromVar {
+		if _, ok := fromStats[key]; !ok {
+			t.Errorf("StatsVar key %q absent from Stats() JSON", key)
+		}
+	}
+	for key := range fromStats {
+		if _, ok := fromVar[key]; !ok {
+			t.Errorf("Stats() key %q absent from StatsVar JSON", key)
+		}
+	}
+	for _, section := range []string{"strategy", "degraded", "latency"} {
+		v, okV := fromVar[section]
+		s, okS := fromStats[section]
+		if !okV || !okS {
+			continue // absence parity already checked above
+		}
+		vk, sk := jsonKeys(t, v), jsonKeys(t, s)
+		if !reflect.DeepEqual(vk, sk) {
+			t.Errorf("section %q keys drifted: expvar %v vs Stats %v", section, vk, sk)
+		}
+	}
+}

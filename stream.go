@@ -406,6 +406,7 @@ func (sm *StreamMatcher) poll() error {
 			sm.timeouts++
 		}
 		noteDegraded(sm.rs.collector, err)
+		sm.rs.traceScanError(err)
 		sm.flushHeld()
 	}
 	return sm.err
@@ -435,6 +436,11 @@ func (sm *StreamMatcher) Write(p []byte) (int, error) {
 	}
 	if sm.rs.chunkLat != nil {
 		defer func(t0 time.Time) { sm.rs.chunkLat.Record(time.Since(t0).Nanoseconds()) }(time.Now())
+	}
+	if sm.rs.lat != nil {
+		defer func(t0 time.Time) {
+			sm.rs.lat.Record(telemetry.StageStreamWrite, time.Since(t0).Nanoseconds())
+		}(time.Now())
 	}
 	if err := sm.prefilterAdmit(p); err != nil {
 		return 0, err
@@ -479,6 +485,7 @@ func (sm *StreamMatcher) Close() error {
 	}
 	sm.closed = true
 	sm.armDeadline()
+	ft0 := sm.rs.stageStart()
 	if sm.poll() == nil {
 		sm.feed(nil, true)
 	}
@@ -497,6 +504,7 @@ func (sm *StreamMatcher) Close() error {
 			r.End()
 		}
 	}
+	sm.rs.stageEnd(telemetry.StageStreamFlush, ft0)
 	// Automata still gated here are skipped for good: each of their rules
 	// requires a factor that never occurred in the stream.
 	if sm.gatedCount > 0 {
