@@ -1,0 +1,140 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	imfant "repro"
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+)
+
+// The segment study's rules stay on the default engine strategy — general
+// regexes the planner cannot route to AC, anchored, or eager-DFA groups —
+// so the measured speedup is the segment-parallel scan path itself.
+var segmentRules = []string{
+	"needle[0-9]{1,6}x",
+	"fra+gment",
+	"x[qz]{2,8}y",
+	"(alpha|beta)[a-z]{0,4}omega",
+}
+
+// segmentRow is one (workload, workers) cell of the segmentation scaling
+// study: the same ruleset scanned serially (Segment off) and segmented at
+// the given worker count, matches identical in both (checked).
+type segmentRow struct {
+	// Workload is "match-sparse" or "match-dense".
+	Workload string
+	// Workers is the segment count per scan.
+	Workers int
+	// Matches is the per-scan match count.
+	Matches int64
+	// SerialTime and SegTime are whole-ruleset scan latencies with
+	// segmentation off and on; Speedup is their ratio.
+	SerialTime, SegTime time.Duration
+	Speedup             float64
+	// StitchPct is the boundary-stitch re-scan cost as a percentage of the
+	// bytes scanned in segment workers — the overhead the exact stitching
+	// pays for its parallelism.
+	StitchPct float64
+}
+
+// segmentTraffic builds filler with the study's fragments planted about
+// every plantEvery bytes: sparse traffic keeps boundary carries dead (the
+// stitch fast path), dense traffic keeps rules mid-match across boundaries.
+func segmentTraffic(size int, seed int64, plantEvery int) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	plants := []string{"needle42x ", "fraagment ", "xqzqy ", "alphaxomega "}
+	filler := []byte("abcdefghijklmnop qrstuv ")
+	out := make([]byte, 0, size+16)
+	sincePlant := 0
+	for len(out) < size {
+		if plantEvery > 0 && sincePlant >= plantEvery {
+			p := plants[rng.Intn(len(plants))]
+			out = append(out, p...)
+			sincePlant = 0
+			continue
+		}
+		n := 8 + rng.Intn(16)
+		for i := 0; i < n; i++ {
+			out = append(out, filler[rng.Intn(len(filler))])
+		}
+		sincePlant += n
+	}
+	return out[:size]
+}
+
+// runSegment measures segment-parallel scanning on the production parallel
+// scan path: serial (Segment off) versus segmented CountParallel at each
+// worker count, on a match-sparse and a match-dense stream. Speedup above 1
+// requires real cores — on a single-CPU host the study records ~1x plus the
+// stitch overhead, honestly.
+func runSegment(w io.Writer, o experiments.Opts) ([]segmentRow, error) {
+	workloads := []struct {
+		name string
+		in   []byte
+	}{
+		{"match-sparse", segmentTraffic(o.StreamSize, 0x5E61, 4096)},
+		{"match-dense", segmentTraffic(o.StreamSize, 0x5E62, 96)},
+	}
+	serialRS, err := imfant.Compile(segmentRules, imfant.Options{
+		Engine: imfant.EngineIMFAnt, Segment: imfant.SegmentOff,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("segment: serial compile: %w", err)
+	}
+	var rows []segmentRow
+	tb := metrics.NewTable("Segment-parallel scanning — serial vs segmented CountParallel (exact boundary stitching)",
+		"Workload", "Workers", "Matches", "SerialTime", "SegTime", "Speedup", "Stitch%")
+	for _, wl := range workloads {
+		var serialMatches int64
+		start := time.Now()
+		for rep := 0; rep < o.Reps; rep++ {
+			if serialMatches, err = serialRS.CountParallel(wl.in, 1); err != nil {
+				return nil, fmt.Errorf("segment %s: serial scan: %w", wl.name, err)
+			}
+		}
+		serialTime := time.Since(start) / time.Duration(o.Reps)
+
+		for _, workers := range []int{2, 4, 8} {
+			segRS, err := imfant.Compile(segmentRules, imfant.Options{
+				Engine: imfant.EngineIMFAnt, Segment: imfant.SegmentOn,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("segment: segmented compile: %w", err)
+			}
+			var segMatches int64
+			start = time.Now()
+			for rep := 0; rep < o.Reps; rep++ {
+				if segMatches, err = segRS.CountParallel(wl.in, workers); err != nil {
+					return nil, fmt.Errorf("segment %s/%d: segmented scan: %w", wl.name, workers, err)
+				}
+			}
+			segTime := time.Since(start) / time.Duration(o.Reps)
+			if segMatches != serialMatches {
+				return nil, fmt.Errorf("segment %s/%d: %d matches segmented, %d serial",
+					wl.name, workers, segMatches, serialMatches)
+			}
+			st := segRS.Stats().Segment
+			stitchPct := 0.0
+			if st != nil && st.ParallelBytes > 0 {
+				stitchPct = 100 * float64(st.StitchBytes) / float64(st.ParallelBytes)
+			}
+			row := segmentRow{
+				Workload: wl.name, Workers: workers, Matches: segMatches,
+				SerialTime: serialTime, SegTime: segTime,
+				Speedup:   float64(serialTime) / float64(segTime),
+				StitchPct: stitchPct,
+			}
+			rows = append(rows, row)
+			tb.AddRow(row.Workload, row.Workers, row.Matches,
+				row.SerialTime, row.SegTime, row.Speedup, row.StitchPct)
+		}
+	}
+	if w != nil {
+		tb.Render(w)
+	}
+	return rows, nil
+}

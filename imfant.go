@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/ahocorasick"
@@ -37,6 +38,7 @@ import (
 	"repro/internal/mfsa"
 	"repro/internal/nfa"
 	"repro/internal/pipeline"
+	"repro/internal/segment"
 	"repro/internal/strategy"
 	"repro/internal/telemetry"
 )
@@ -184,6 +186,31 @@ type Options struct {
 	// rungs taken are recorded in Stats().Degraded (CacheGrows,
 	// PinnedScans).
 	ThrashRetry RetryMode
+	// Segment selects segment-parallel scanning for whole-buffer ruleset
+	// scans (CountParallel, FindAll): the input is cut into contiguous
+	// segments scanned concurrently, with exact boundary stitching — the
+	// reported events are byte-identical to a serial scan. SegmentAuto (the
+	// zero value) segments inputs of at least SegmentMinBytes; SegmentOn
+	// segments every input large enough to cut; SegmentOff disables the
+	// path. Scanner and StreamMatcher scans are never segmented — their
+	// value is warm per-goroutine state, not intra-input parallelism.
+	Segment SegmentMode
+	// SegmentMinBytes is the minimum input size SegmentAuto segments; 0
+	// selects DefaultSegmentMinBytes. Below it the fan-out overhead
+	// (per-worker runners plus boundary stitching) outweighs the
+	// parallelism.
+	SegmentMinBytes int
+	// SegmentWorkers is the segment count per scan; 0 selects GOMAXPROCS.
+	// CountParallel's explicit threads argument, when positive, takes
+	// precedence.
+	SegmentWorkers int
+	// SegmentMaxFrontier bounds the speculative boundary frontier, in
+	// active MFSA states; 0 selects DefaultSegmentMaxFrontier. A group
+	// whose boundary carry exceeds the budget still finishes the current
+	// scan exactly, but is pinned to the serial path for subsequent scans
+	// (counted in Stats().Segment.Fallbacks) — a group that is almost
+	// always mid-match gains nothing from segmentation.
+	SegmentMaxFrontier int
 }
 
 // Match is one reported match.
@@ -234,6 +261,11 @@ type Ruleset struct {
 	// (see internal/faultpoint). Always nil in production use; set by
 	// in-package tests via setFaultInjector.
 	faults *faultpoint.Injector
+	// segSerial[i], once set, pins group i to the serial path in segmented
+	// scans: its speculative boundary frontier exceeded SegmentMaxFrontier,
+	// so the group is almost always mid-match and segmentation buys nothing
+	// (see segment.go). Sticky for the ruleset's lifetime.
+	segSerial []atomic.Bool
 
 	// Profiling state; all nil/absent when Options.Profile is false.
 	profiles []*engine.Profile // per-program sampled state heat
@@ -273,6 +305,10 @@ func (rs *Ruleset) buildEngines() {
 	if rs.opts.accelOn() {
 		rs.collector.EnableAccel(len(rs.programs))
 	}
+	if rs.opts.Segment != SegmentOff {
+		rs.collector.EnableSegment()
+	}
+	rs.segSerial = make([]atomic.Bool, len(rs.programs))
 	if rs.opts.Profile {
 		rs.profiles = make([]*engine.Profile, len(rs.programs))
 		for i, p := range rs.programs {
@@ -526,6 +562,12 @@ func (rs *Ruleset) FindAll(input []byte) []Match {
 // expiry stops the scan at the next engine checkpoint (about every 4 KiB of
 // input per automaton) and returns the context's error with nil matches.
 func (rs *Ruleset) FindAllContext(ctx context.Context, input []byte) ([]Match, error) {
+	// Large buffers take the segment-parallel path: the input is cut into
+	// per-worker segments with exact boundary stitching, so the result is
+	// byte-identical to the serial scan (see segment.go).
+	if parts := rs.segmentParts(len(input), 0); parts > 1 {
+		return rs.findAllSegmented(ctx, input, parts)
+	}
 	return rs.NewScanner().FindAllContext(ctx, input)
 }
 
@@ -1001,6 +1043,13 @@ func (rs *Ruleset) CountParallel(input []byte, threads int) (int64, error) {
 // call that finds every slot busy and the wait queue full is shed with
 // ErrOverloaded before doing any work.
 func (rs *Ruleset) CountParallelContext(ctx context.Context, input []byte, threads int) (int64, error) {
+	// With segmentation enabled the parallelism is intra-input: every group
+	// gets all the workers over its own segment set, instead of whole
+	// automata being dealt out to the pool. Results are byte-identical
+	// (exact boundary stitching — see segment.go).
+	if parts := rs.segmentParts(len(input), threads); parts > 1 {
+		return rs.scanSegmented(ctx, input, parts, nil)
+	}
 	// The ScanTimeout budget is anchored BEFORE the admission gate, so time
 	// spent queueing for a slot is charged against the same deadline the
 	// scan runs under (it used to re-arm after acquire, letting a saturated
@@ -1048,10 +1097,10 @@ func (rs *Ruleset) CountParallelContext(ctx context.Context, input []byte, threa
 			}
 			total += n
 		case StrategyAnchored:
-			total += rs.countAnchoredGroup(i, input)
+			total += rs.countAnchoredGroup(i, input, nil)
 			rs.stageEnd(telemetry.StageStrategyAnchored, st0)
 		case StrategyDFA:
-			n, err := rs.countDFAGroup(i, input, cfg.Checkpoint)
+			n, err := rs.countDFAGroup(i, input, cfg.Checkpoint, nil)
 			rs.stageEnd(telemetry.StageStrategyDFA, st0)
 			if err != nil {
 				return 0, rs.noteParallelErr(err)
@@ -1061,6 +1110,24 @@ func (rs *Ruleset) CountParallelContext(ctx context.Context, input []byte, threa
 			progs = append(progs, rs.programs[i])
 			idx = append(idx, i)
 		}
+	}
+	if rs.profiles != nil && len(progs) > 1 {
+		// Heat-balanced feeding: hand the hottest automata (by sampled state
+		// visits) to the worker pool first. RunParallel's workers pull from
+		// an atomic queue, so descending-cost order approximates LPT
+		// scheduling — the expensive groups start immediately instead of
+		// landing last on an otherwise-drained pool.
+		heat := make([]int64, len(progs))
+		for j := range idx {
+			heat[j] = rs.groupHeat(idx[j])
+		}
+		order := segment.OrderByHeat(heat)
+		sp := make([]*engine.Program, len(progs))
+		si := make([]int, len(idx))
+		for j, o := range order {
+			sp[j], si[j] = progs[o], idx[o]
+		}
+		progs, idx = sp, si
 	}
 	if rs.profiles != nil {
 		cfg.ProfileFor = func(j int) *engine.Profile { return rs.profileOf(idx[j]) }
@@ -1121,9 +1188,10 @@ func (rs *Ruleset) countACGroup(i int, input []byte, check func() error) (int64,
 	return res.matches, err
 }
 
-// countAnchoredGroup runs anchored-literal group i for CountParallel.
-func (rs *Ruleset) countAnchoredGroup(i int, input []byte) int64 {
-	res := rs.anchScan(i, input, nil)
+// countAnchoredGroup runs anchored-literal group i for CountParallel and
+// segmented scans; onMatch, when non-nil, receives every (fsa, end) event.
+func (rs *Ruleset) countAnchoredGroup(i int, input []byte, onMatch func(fsa, end int)) int64 {
+	res := rs.anchScan(i, input, onMatch)
 	rs.collector.AddScans(1)
 	rs.collector.AddBytes(int64(len(input)))
 	rs.collector.AddMatches(res.matches)
@@ -1132,10 +1200,11 @@ func (rs *Ruleset) countAnchoredGroup(i int, input []byte) int64 {
 	return res.matches
 }
 
-// countDFAGroup runs eager-DFA group i for CountParallel.
-func (rs *Ruleset) countDFAGroup(i int, input []byte, check func() error) (int64, error) {
+// countDFAGroup runs eager-DFA group i for CountParallel and segmented
+// scans; onMatch, when non-nil, receives every (fsa, end) event.
+func (rs *Ruleset) countDFAGroup(i int, input []byte, check func() error, onMatch func(fsa, end int)) (int64, error) {
 	r := dfa.NewRunner(rs.plan.dfas[i])
-	res := r.Run(input, dfa.Config{Checkpoint: check, Faults: rs.faults})
+	res := r.Run(input, dfa.Config{Checkpoint: check, Faults: rs.faults, OnMatch: onMatch})
 	rs.collector.AddScans(1)
 	rs.collector.AddBytes(res.Symbols)
 	rs.collector.AddMatches(res.Matches)

@@ -132,6 +132,21 @@ func (m *Matcher) NumNodes() int { return m.nodes }
 // NumPatterns returns the number of patterns.
 func (m *Matcher) NumPatterns() int { return len(m.patterns) }
 
+// MaxPatternLen returns the length of the longest pattern in bytes — the
+// overlap window a segmented scan needs: a match ending in segment k starts
+// at most MaxPatternLen-1 bytes before k's first byte, so scanning each
+// segment with that much left-context makes per-segment AC scans exact
+// with no boundary stitching.
+func (m *Matcher) MaxPatternLen() int {
+	max := 0
+	for _, p := range m.patterns {
+		if len(p) > max {
+			max = len(p)
+		}
+	}
+	return max
+}
+
 // Scan reports every occurrence of every pattern: fn receives the pattern
 // id and the offset of its last byte. Occurrences of different patterns at
 // the same offset are each reported.

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"runtime/debug"
 	"runtime/pprof"
 	"strconv"
@@ -39,17 +40,25 @@ func (e *WorkerPanicError) Error() string {
 //
 // Fault containment: a panic inside a worker (e.g. from a user-supplied
 // OnMatch callback) is recovered and converted into a *WorkerPanicError
-// instead of aborting the process; the automaton's Result slot is left
-// zero and the remaining automata still execute. Checkpoint cancellations
+// instead of aborting the process; the automaton's Result slot keeps the
+// partial result accumulated before the panic — every match already
+// delivered through OnMatch and every byte already counted stays visible,
+// so aggregate telemetry remains consistent with what callers observed —
+// and the remaining automata still execute. Checkpoint cancellations
 // (Config.Checkpoint) surface the same way, one error per cancelled
 // automaton. All failures are joined into the returned error.
 //
-// threads ≤ 0 selects one worker per program.
+// threads ≤ 0 selects min(len(programs), GOMAXPROCS) workers: one worker
+// per program, capped at the scheduler's parallelism — a 10k-automaton
+// ruleset must not launch 10k goroutines for a CPU-bound scan.
 func RunParallel(programs []*Program, input []byte, threads int, cfg Config) ([]Result, error) {
 	if len(programs) == 0 {
 		return nil, nil
 	}
-	if threads <= 0 || threads > len(programs) {
+	if threads <= 0 {
+		threads = runtime.GOMAXPROCS(0)
+	}
+	if threads > len(programs) {
 		threads = len(programs)
 	}
 	results := make([]Result, len(programs))
@@ -85,20 +94,48 @@ func RunParallel(programs []*Program, input []byte, threads int, cfg Config) ([]
 // runs under a pprof label carrying the automaton index, so CPU profiles of
 // a parallel scan attribute samples to the MFSA that consumed them — the
 // per-automaton view needed to decide which rule groups to reshard.
+//
+// Panic accounting rolls forward: the runner's partial Result at the point
+// of the panic is returned alongside the *WorkerPanicError, because the
+// matches it reports were already delivered through OnMatch and its byte
+// counts were already observable through Totals — zeroing the slot would
+// leave Stats() totals claiming work the returned results deny.
 func runOne(i int, p *Program, input []byte, cfg Config) (res Result, err error) {
+	var r *Runner
 	defer func() {
 		if v := recover(); v != nil {
+			if r != nil {
+				// Completed checkpoint blocks and delivered match events up
+				// to the panic; the interrupted block's bytes were never
+				// folded, so Symbols stays exact.
+				res = r.res
+			}
 			err = &WorkerPanicError{Automaton: i, Value: v, Stack: debug.Stack()}
 		}
 	}()
 	if cfg.ProfileFor != nil {
 		cfg.Profile = cfg.ProfileFor(i)
 	}
-	if cfg.Faults != nil && cfg.Faults.Hit(faultpoint.WorkerPanic) {
-		panic("faultpoint: injected worker panic")
+	if cfg.Faults != nil {
+		if cfg.Faults.Hit(faultpoint.WorkerPanic) {
+			panic("faultpoint: injected worker panic")
+		}
+		// Arm the mid-scan site too: every checkpoint poll consults the
+		// schedule, so a WorkerPanic scheduled past the first hit fires
+		// inside the traversal with partial state to salvage.
+		faults, inner := cfg.Faults, cfg.Checkpoint
+		cfg.Checkpoint = func() error {
+			if faults.Hit(faultpoint.WorkerPanic) {
+				panic("faultpoint: injected worker panic (mid-scan)")
+			}
+			if inner != nil {
+				return inner()
+			}
+			return nil
+		}
 	}
 	pprof.Do(context.Background(), pprof.Labels("mfsa_automaton", strconv.Itoa(i)), func(context.Context) {
-		r := NewRunner(p)
+		r = NewRunner(p)
 		res = r.Run(input, cfg)
 		err = r.Err()
 	})

@@ -117,6 +117,104 @@ func TestRunParallelThreadClamping(t *testing.T) {
 	}
 }
 
+// TestRunParallelDefaultThreadsGoroutineBound pins the threads ≤ 0 clamp:
+// the worker count is min(len(programs), GOMAXPROCS), never one goroutine
+// per program. The regression this guards launched len(programs) workers
+// for a CPU-bound scan — 64 goroutines here, thousands on a real ruleset.
+func TestRunParallelDefaultThreadsGoroutineBound(t *testing.T) {
+	checkNoGoroutineLeak(t)
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+
+	patterns := make([]string, 64)
+	for i := range patterns {
+		patterns[i] = "x" + string(rune('a'+i%26)) + "y+"
+	}
+	ps := buildPrograms(t, 1, patterns)
+	in := make([]byte, 16<<10)
+	for i := range in {
+		in[i] = byte('a' + i%3)
+	}
+
+	before := runtime.NumGoroutine()
+	var peak atomic.Int64
+	cfg := Config{
+		// Every worker polls between 512-byte blocks, so the peak sample
+		// observes the pool at full occupancy.
+		Checkpoint: func() error {
+			g := int64(runtime.NumGoroutine())
+			for {
+				p := peak.Load()
+				if g <= p || peak.CompareAndSwap(p, g) {
+					return nil
+				}
+			}
+		},
+		CheckpointEvery: 512,
+	}
+	for _, threads := range []int{0, -1} {
+		peak.Store(0)
+		if _, err := RunParallel(ps, in, threads, cfg); err != nil {
+			t.Fatal(err)
+		}
+		// The pool adds at most GOMAXPROCS goroutines over the baseline;
+		// allow a little slack for unrelated runtime goroutines, far below
+		// the len(programs) = 64 a regression would launch.
+		if got := peak.Load() - int64(before); got > 4+2 {
+			t.Fatalf("threads=%d: observed %d extra goroutines, want <= GOMAXPROCS(4)", threads, got)
+		}
+	}
+}
+
+// TestRunOnePanicPartialAccounting pins the roll-forward contract of worker
+// panic containment: the Result slot keeps everything accumulated before the
+// panic — matches already delivered through OnMatch, bytes of completed
+// checkpoint blocks — instead of being zeroed, so aggregate telemetry stays
+// consistent with what callers observed.
+func TestRunOnePanicPartialAccounting(t *testing.T) {
+	checkNoGoroutineLeak(t)
+	ps := buildPrograms(t, 1, []string{"ab"})
+	in := make([]byte, 1<<10)
+	for i := range in {
+		if i%2 == 0 {
+			in[i] = 'a'
+		} else {
+			in[i] = 'b'
+		}
+	}
+	// WorkerPanic hit sites: runOne start (hit 1), then every checkpoint
+	// poll — before the block at offset 0 (hit 2) and before the block at
+	// offset 256 (hit 3). Firing on hit 3 panics mid-scan with exactly one
+	// 256-byte block completed.
+	inj := faultpoint.New(faultpoint.OnHit(faultpoint.WorkerPanic, 3))
+	var delivered atomic.Int64
+	cfg := Config{
+		Faults:          inj,
+		CheckpointEvery: 256,
+		OnMatch:         func(fsa, end int) { delivered.Add(1) },
+	}
+	res, err := RunParallel(ps, in, 1, cfg)
+	var wp *WorkerPanicError
+	if !errors.As(err, &wp) {
+		t.Fatalf("want *WorkerPanicError, got %T: %v", err, err)
+	}
+	if wp.Automaton != 0 {
+		t.Fatalf("panic attributed to automaton %d, want 0", wp.Automaton)
+	}
+	if res[0].Symbols != 256 {
+		t.Fatalf("partial Symbols = %d, want 256 (one completed block)", res[0].Symbols)
+	}
+	// "ab" ends at every odd offset: 128 matches in the completed block,
+	// every one already delivered through OnMatch before the panic.
+	if res[0].Matches != 128 || delivered.Load() != res[0].Matches {
+		t.Fatalf("partial Matches = %d (delivered %d), want 128 both",
+			res[0].Matches, delivered.Load())
+	}
+	if inj.Fired(faultpoint.WorkerPanic) != 1 {
+		t.Fatalf("WorkerPanic fired %d times, want 1", inj.Fired(faultpoint.WorkerPanic))
+	}
+}
+
 func TestTotalMatches(t *testing.T) {
 	rs := []Result{{Matches: 3}, {Matches: 4}}
 	if TotalMatches(rs) != 7 {

@@ -8,12 +8,19 @@ func (r *Runner) feedW1(chunk []byte, final bool) {
 	p := r.p
 	cfg := r.cfg
 	res := &r.res
-	res.Symbols += len(chunk)
 	last := len(chunk) - 1
 	endAnchored := p.endAnchored[0]
-	accel := cfg.Accel && p.startAccel
+	noInits := cfg.NoInits
+	accel := cfg.Accel && p.startAccel && !noInits
+	// processed: the whole chunk, unless a NoInits scan's vector dies
+	// mid-chunk (see feedBody).
+	processed := len(chunk)
 
 	for pos := 0; pos < len(chunk); pos++ {
+		if noInits && len(r.cur.dirty) == 0 {
+			processed = pos
+			break
+		}
 		if accel && len(r.cur.dirty) == 0 && r.offset+pos > 0 {
 			// Empty vector mid-stream: jump to the next start byte (see
 			// the W>1 loop). Skipped bytes fire no transitions, so neither
@@ -34,9 +41,12 @@ func (r *Runner) feedW1(chunk []byte, final bool) {
 		// each (FSA, end) pair must be reported exactly once.
 		seen := uint64(0)
 		// Select the init vector once per symbol: the ^-anchored inits
-		// participate only in the stream's first step.
+		// participate only in the stream's first step, and NoInits scans
+		// carry activations without ever restarting.
 		init := p.initAlways
-		if r.offset == 0 && pos == 0 {
+		if noInits {
+			init = r.noInit
+		} else if r.offset == 0 && pos == 0 {
 			init = p.initAll
 		}
 		for _, ti := range p.lists[c] {
@@ -97,5 +107,6 @@ func (r *Runner) feedW1(chunk []byte, final bool) {
 		cur.reset(1)
 		r.cur, r.nxt = nxt, cur
 	}
-	r.offset += len(chunk)
+	res.Symbols += processed
+	r.offset += processed
 }

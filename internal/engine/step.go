@@ -107,11 +107,38 @@ func (s *Stepper) Step(acts []Activation, c byte, streamStart bool) (next []Acti
 	return next, accept, acceptAtEnd
 }
 
+// Frontier returns the runner's current activation vector in canonical form
+// (sorted by state, fresh slices): the complete traversal state after the
+// bytes fed so far, suitable for seeding another runner via Resume. Call
+// FlushHeld first — a held-back byte is not yet reflected in the vector.
+// States whose activation set emptied (Eq. 5 pops) are omitted.
+func (r *Runner) Frontier() []Activation {
+	W := r.p.words
+	dirty := append([]int32(nil), r.cur.dirty...)
+	sort.Slice(dirty, func(i, j int) bool { return dirty[i] < dirty[j] })
+	out := make([]Activation, 0, len(dirty))
+	for _, q := range dirty {
+		base := int(q) * W
+		any := uint64(0)
+		for w := 0; w < W; w++ {
+			any |= r.cur.j[base+w]
+		}
+		if any == 0 {
+			continue
+		}
+		J := make([]uint64, W)
+		copy(J, r.cur.j[base:base+W])
+		out = append(out, Activation{State: q, J: J})
+	}
+	return out
+}
+
 // Resume begins a chunked scan mid-stream: the runner continues from the
 // given activation vector as if it had already consumed offset bytes of the
 // stream, so subsequent Feed calls report absolute offsets and never
 // re-apply the ^-anchored inits. It is the hand-off path of the lazy-DFA
-// engine when it abandons caching for a thrashing input.
+// engine when it abandons caching for a thrashing input, and the seeding
+// path of segmented scanning's speculative workers and stitch runners.
 func (r *Runner) Resume(cfg Config, acts []Activation, offset int) {
 	r.Begin(cfg)
 	r.offset = offset

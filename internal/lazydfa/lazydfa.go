@@ -419,6 +419,54 @@ func (r *Runner) Begin(cfg Config) {
 	}
 }
 
+// BeginAt starts a chunked scan mid-stream: like Begin, but the scan's
+// first byte sits at absolute stream offset. The ^-anchored inits never
+// fire (they belong to offset 0), reported match offsets are absolute, and
+// the cached path keys its first step off the ordinary transition rows
+// instead of the stream-start row — a fresh scan that simply is not at the
+// head of the stream. This is the speculative-worker entry point of
+// segmented scanning. BeginAt(cfg, 0) is identical to Begin(cfg).
+func (r *Runner) BeginAt(cfg Config, offset int) {
+	r.Begin(cfg)
+	if offset == 0 {
+		return
+	}
+	r.offset = offset
+	if r.fb != nil {
+		// Begin started the delegate (pop-mode or ladder-pinned) at offset
+		// 0; re-resume it at the true offset with the same emission wiring
+		// Begin chose. The delegate carries no Checkpoint — this runner's
+		// feedSplit polls it.
+		ecfg := engine.Config{KeepOnMatch: true, OnMatch: r.emitDedup,
+			Profile: cfg.Profile, Accel: cfg.Accel, Faults: cfg.Faults}
+		if !cfg.KeepOnMatch {
+			ecfg = engine.Config{KeepOnMatch: false, OnMatch: r.emitOne,
+				Profile: cfg.Profile, Accel: cfg.Accel, Faults: cfg.Faults}
+		}
+		r.fb.Resume(ecfg, nil, offset)
+	}
+}
+
+// Frontier returns the scan's current activation vector in canonical form
+// (sorted by state, fresh slices): the complete traversal state after the
+// bytes fed so far, suitable for seeding a continuation via
+// engine.Runner.Resume. Call FlushHeld first — a held-back byte is not yet
+// reflected in the vector. On an engine fallback (thrash, pop-mode
+// delegation, or a ladder pin) the fallback runner's vector is returned.
+func (r *Runner) Frontier() []engine.Activation {
+	if r.fb != nil {
+		return r.fb.Frontier()
+	}
+	acts := r.states[r.cur].acts
+	out := make([]engine.Activation, len(acts))
+	for i, a := range acts {
+		J := make([]uint64, len(a.J))
+		copy(J, a.J)
+		out[i] = engine.Activation{State: a.State, J: J}
+	}
+	return out
+}
+
 // Feed consumes the next chunk of the stream. Set final on the last chunk so
 // $-anchored rules can match on the true last byte; splitting a stream into
 // chunks never changes the reported matches.

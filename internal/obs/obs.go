@@ -149,6 +149,27 @@ func StatsFamilies(s telemetry.Stats, lat *telemetry.Latency) []Family {
 			GaugeFamily("imfant_strategy_groups_ungated", "Gated groups whose factor gate is disabled.", float64(st.GroupsUngated)),
 		)
 	}
+	if sg := s.Segment; sg != nil {
+		segBytes := Family{Name: "imfant_segment_bytes", Kind: Counter,
+			Help: "Input bytes by segment-parallel scan path; paths partition imfant_bytes_scanned."}
+		for _, p := range []struct {
+			path string
+			v    int64
+		}{
+			{"parallel", sg.ParallelBytes},
+			{"stitch", sg.StitchBytes},
+			{"serial", sg.SerialBytes},
+		} {
+			segBytes.Samples = append(segBytes.Samples, Sample{
+				Labels: []Label{{Name: "path", Value: p.path}}, Value: float64(p.v)})
+		}
+		fams = append(fams,
+			CounterFamily("imfant_segment_scans", "Automaton-group executions run segment-parallel.", float64(sg.SegmentedScans)),
+			CounterFamily("imfant_segment_segments", "Segments executed across segmented scans.", float64(sg.Segments)),
+			CounterFamily("imfant_segment_fallbacks", "Segmented scans whose boundary frontier exceeded the budget.", float64(sg.Fallbacks)),
+			segBytes,
+		)
+	}
 	if p := s.Profile; p != nil {
 		fams = append(fams,
 			CounterFamily("imfant_profile_samples", "Profiler sampling points taken.", float64(p.Samples)))

@@ -34,6 +34,10 @@ const (
 	// StageStreamFlush brackets the end-of-stream flush inside
 	// StreamMatcher.Close (held-chunk replay, final feed, engine End).
 	StageStreamFlush
+	// StageSegment brackets one segment-parallel group execution: worker
+	// fan-out plus the sequential boundary stitch (wall clock, not the sum
+	// of per-worker time).
+	StageSegment
 	// NumStages is the number of stages; not itself a stage.
 	NumStages
 )
@@ -66,6 +70,8 @@ func (s Stage) String() string {
 		return "stream_write"
 	case StageStreamFlush:
 		return "stream_flush"
+	case StageSegment:
+		return "segment"
 	}
 	return "unknown"
 }

@@ -59,6 +59,7 @@ func TestStageNames(t *testing.T) {
 		StageParallel:         "parallel",
 		StageStreamWrite:      "stream_write",
 		StageStreamFlush:      "stream_flush",
+		StageSegment:          "segment",
 	}
 	if len(want) != int(NumStages) {
 		t.Fatalf("test covers %d stages, NumStages = %d", len(want), NumStages)

@@ -45,6 +45,9 @@ type Stats struct {
 	// effectiveness tracker's sweep-disable counters. nil for rulesets
 	// compiled before the planner existed (none, today).
 	Strategy *StrategyStats `json:"strategy,omitempty"`
+	// Segment holds the segment-parallel scanning counters; nil when
+	// segmented scanning is disabled.
+	Segment *SegmentStats `json:"segment,omitempty"`
 	// Degraded accounts every rung of the degradation ladder the runtime
 	// has taken: timeouts, shed scans, contained panics, thrash
 	// fallbacks, cache-grow retries, and pinned delegations. Always
@@ -117,6 +120,32 @@ type StrategyGroupStats struct {
 	Groups int `json:"groups"`
 	// Bytes counts input bytes this strategy matched against.
 	Bytes int64 `json:"bytes"`
+}
+
+// SegmentStats is the segment-parallel scanning section of a snapshot. Its
+// three byte counters partition BytesScanned exactly: every matched-against
+// byte was scanned either inside a segment worker (ParallelBytes), by a
+// boundary-stitch runner (StitchBytes), or serially (SerialBytes — derived
+// at snapshot time as the remainder, so the partition holds by construction
+// across mixed workloads).
+type SegmentStats struct {
+	// SegmentedScans counts automaton-group executions that ran
+	// segment-parallel.
+	SegmentedScans int64 `json:"segmented_scans"`
+	// Segments counts segments executed across those scans.
+	Segments int64 `json:"segments"`
+	// Fallbacks counts scans whose boundary frontier exceeded the
+	// speculative budget; the scan still completed exactly and the group
+	// was pinned serial for subsequent scans.
+	Fallbacks int64 `json:"fallbacks"`
+	// ParallelBytes counts input bytes scanned inside segment workers.
+	ParallelBytes int64 `json:"parallel_bytes"`
+	// StitchBytes counts bytes re-scanned by boundary stitching (carry
+	// replay plus local recomputation windows).
+	StitchBytes int64 `json:"stitch_bytes"`
+	// SerialBytes counts bytes scanned outside the segment-parallel path:
+	// BytesScanned − ParallelBytes − StitchBytes.
+	SerialBytes int64 `json:"serial_bytes"`
 }
 
 // PrefilterStats aggregates literal-factor prefilter behaviour: how often
@@ -281,6 +310,13 @@ type Collector struct {
 	sweepProbes   atomic.Int64
 	groupsUngated atomic.Int64
 
+	segEnabled   bool
+	segScans     atomic.Int64
+	segSegments  atomic.Int64
+	segFallbacks atomic.Int64
+	segParallel  atomic.Int64
+	segStitch    atomic.Int64
+
 	lat *Latency
 
 	timeouts     atomic.Int64
@@ -340,6 +376,22 @@ func (c *Collector) EnableStrategy(planned bool, names []string, groups []int) {
 	c.stratNames = names
 	c.stratGroups = groups
 	c.stratBytes = make([]atomic.Int64, len(names))
+}
+
+// EnableSegment turns on the segment-parallel section of the snapshot.
+func (c *Collector) EnableSegment() { c.segEnabled = true }
+
+// AddSegmentScan folds one segment-parallel group execution: the number of
+// segments it ran, whether its frontier budget fell back, and its
+// parallel/stitch byte split. parallelBytes + stitchBytes must equal the
+// bytes the same execution folded via AddBytes, so the segment partition of
+// BytesScanned stays exact.
+func (c *Collector) AddSegmentScan(segments, fallbacks, parallelBytes, stitchBytes int64) {
+	c.segScans.Add(1)
+	c.segSegments.Add(segments)
+	c.segFallbacks.Add(fallbacks)
+	c.segParallel.Add(parallelBytes)
+	c.segStitch.Add(stitchBytes)
 }
 
 // EnableLatency turns on the latency section of the snapshot and returns
@@ -528,6 +580,17 @@ func (c *Collector) Snapshot() Stats {
 			})
 		}
 		s.Strategy = st
+	}
+	if c.segEnabled {
+		par, st := c.segParallel.Load(), c.segStitch.Load()
+		s.Segment = &SegmentStats{
+			SegmentedScans: c.segScans.Load(),
+			Segments:       c.segSegments.Load(),
+			Fallbacks:      c.segFallbacks.Load(),
+			ParallelBytes:  par,
+			StitchBytes:    st,
+			SerialBytes:    s.BytesScanned - par - st,
+		}
 	}
 	if fn, ok := c.profileFn.Load().(func() *ProfileStats); ok && fn != nil {
 		s.Profile = fn()

@@ -1,0 +1,329 @@
+package imfant
+
+import (
+	"context"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/lazydfa"
+	"repro/internal/segment"
+	"repro/internal/telemetry"
+)
+
+// SegmentMode selects segment-parallel scanning for whole-buffer scans (see
+// Options.Segment).
+type SegmentMode int
+
+const (
+	// SegmentAuto segments inputs of at least Options.SegmentMinBytes when
+	// more than one worker is available.
+	SegmentAuto SegmentMode = iota
+	// SegmentOn segments every input large enough to cut, regardless of
+	// SegmentMinBytes.
+	SegmentOn
+	// SegmentOff disables segment-parallel scanning.
+	SegmentOff
+)
+
+const (
+	// DefaultSegmentMinBytes is the SegmentAuto threshold: below 1 MiB the
+	// per-worker runner setup and boundary stitching outweigh the
+	// parallelism.
+	DefaultSegmentMinBytes = 1 << 20
+	// DefaultSegmentMaxFrontier is the speculative boundary-frontier budget,
+	// in active MFSA states.
+	DefaultSegmentMaxFrontier = 64
+)
+
+// localSegmentStats builds the Segment stats section for a Scanner or
+// StreamMatcher scope, whose scans are never segmented: the whole byte count
+// is serial. Nil when segmentation is disabled, matching the ruleset scope.
+func (rs *Ruleset) localSegmentStats(bytes int64) *SegmentStats {
+	if rs.opts.Segment == SegmentOff {
+		return nil
+	}
+	return &SegmentStats{SerialBytes: bytes}
+}
+
+// segmentParts resolves the segment count for an n-byte scan: 0 means "do
+// not segment" (mode off, input below the auto threshold, or only one worker
+// available). threads, when positive, is CountParallel's explicit worker
+// count and takes precedence over Options.SegmentWorkers.
+func (rs *Ruleset) segmentParts(n, threads int) int {
+	if rs.opts.Segment == SegmentOff {
+		return 0
+	}
+	if rs.opts.Segment == SegmentAuto {
+		min := rs.opts.SegmentMinBytes
+		if min <= 0 {
+			min = DefaultSegmentMinBytes
+		}
+		if n < min {
+			return 0
+		}
+	}
+	p := threads
+	if p <= 0 {
+		p = rs.opts.SegmentWorkers
+	}
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p > n {
+		p = n
+	}
+	if p < 2 {
+		return 0
+	}
+	return p
+}
+
+// maxFrontier resolves the speculative-frontier budget.
+func (rs *Ruleset) maxFrontier() int {
+	if rs.opts.SegmentMaxFrontier > 0 {
+		return rs.opts.SegmentMaxFrontier
+	}
+	return DefaultSegmentMaxFrontier
+}
+
+// groupHeat is automaton i's total sampled state-visit count — the planner's
+// work estimate for heat-balanced ordering. 0 when profiling is off.
+func (rs *Ruleset) groupHeat(i int) int64 {
+	p := rs.profileOf(i)
+	if p == nil {
+		return 0
+	}
+	var total int64
+	for _, v := range p.Visits() {
+		total += v
+	}
+	return total
+}
+
+// scanSegmented is the segment-parallel ruleset scan behind CountParallel
+// and FindAll on large buffers. It mirrors CountParallelContext's shape —
+// admission gate, deadline, prefilter gating, per-group strategy dispatch —
+// but cuts the input into parts segments and runs each group's default- or
+// AC-strategy scan segment-parallel with exact boundary stitching (package
+// segment). Anchored and eager-DFA groups run serially: their scans are
+// O(1) or a single cache-resident sweep, and segmenting them buys nothing.
+// emit, when non-nil, receives every event; events arrive grouped by
+// automaton, unsorted.
+func (rs *Ruleset) scanSegmented(ctx context.Context, input []byte, parts int,
+	emit func(automaton, fsa, end int)) (int64, error) {
+	deadline := scanDeadline(rs.opts.ScanTimeout)
+	if err := rs.sched.acquire(ctx, deadline); err != nil {
+		return 0, rs.noteParallelErr(err)
+	}
+	defer rs.sched.release()
+	check := deadlineCheckpoint(checkpointOf(ctx), deadline)
+	if rs.profiles != nil {
+		defer func(t0 time.Time) { rs.scanLat.Record(time.Since(t0).Nanoseconds()) }(time.Now())
+	}
+	if rs.lat != nil {
+		defer func(t0 time.Time) {
+			rs.lat.Record(telemetry.StageScan, time.Since(t0).Nanoseconds())
+		}(time.Now())
+	}
+	gate, err := rs.prefilterSelect(input, check)
+	if err != nil {
+		return 0, rs.noteParallelErr(err)
+	}
+	bounds := segment.Boundaries(len(input), parts)
+	var total int64
+	for i := range rs.programs {
+		if gate != nil && !gate[i] {
+			continue
+		}
+		var groupEmit func(fsa, end int)
+		if emit != nil {
+			automaton := i
+			groupEmit = func(fsa, end int) { emit(automaton, fsa, end) }
+		}
+		var n int64
+		var err error
+		st0 := rs.stageStart()
+		switch rs.plan.strat[i] {
+		case StrategyAC:
+			n, err = rs.segmentACGroup(i, input, bounds, check, groupEmit)
+			rs.stageEnd(telemetry.StageSegment, st0)
+		case StrategyAnchored:
+			n = rs.countAnchoredGroup(i, input, groupEmit)
+			rs.stageEnd(telemetry.StageStrategyAnchored, st0)
+		case StrategyDFA:
+			n, err = rs.countDFAGroup(i, input, check, groupEmit)
+			rs.stageEnd(telemetry.StageStrategyDFA, st0)
+		default:
+			if rs.segSerial[i].Load() {
+				n, err = rs.serialDefaultGroup(i, input, check, groupEmit)
+				rs.stageEnd(telemetry.StrategyStage(int(rs.plan.strat[i])), st0)
+			} else {
+				n, err = rs.segmentDefaultGroup(i, input, bounds, check, groupEmit)
+				rs.stageEnd(telemetry.StageSegment, st0)
+			}
+		}
+		if err != nil {
+			return 0, rs.noteParallelErr(err)
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// segmentDefaultGroup runs default-strategy group i segment-parallel: iMFAnt
+// or lazy-DFA workers per segment plus the sequential boundary stitch. A
+// scan whose boundary carry exceeds the frontier budget completes exactly
+// but pins the group serial for subsequent segmented scans.
+func (rs *Ruleset) segmentDefaultGroup(i int, input []byte, bounds []int,
+	check func() error, emit func(fsa, end int)) (int64, error) {
+	g := segment.Group{
+		Automaton: i,
+		Program:   rs.programs[i],
+		Cfg: engine.Config{
+			KeepOnMatch: rs.opts.KeepOnMatch,
+			Checkpoint:  check,
+			Accel:       rs.opts.accelOn(),
+			Profile:     rs.profileOf(i),
+			Faults:      rs.faults,
+		},
+		MaxFrontier: rs.maxFrontier(),
+	}
+	lazy := rs.plan.strat[i] == StrategyLazyDFA
+	if lazy {
+		g.Lazy = rs.lazy[i]
+		g.LazyCfg = lazydfa.Config{
+			KeepOnMatch: rs.opts.KeepOnMatch,
+			MaxStates:   rs.opts.LazyDFAMaxStates,
+			Checkpoint:  check,
+			Accel:       rs.opts.accelOn(),
+			Profile:     rs.profileOf(i),
+			Faults:      rs.faults,
+		}
+	}
+	res, err := segment.Scan(g, input, bounds, emit)
+	n := res.ParallelBytes + res.StitchBytes
+	rs.collector.AddScans(1)
+	rs.collector.AddBytes(n)
+	rs.collector.AddMatches(res.Matches)
+	rs.collector.AddAccelScan(res.AccelBytes)
+	rs.collector.AddStrategyBytes(int(rs.plan.strat[i]), n)
+	var fell int64
+	if res.FellBack {
+		fell = 1
+		rs.segSerial[i].Store(true)
+	}
+	rs.collector.AddSegmentScan(int64(res.Segments), fell, res.ParallelBytes, res.StitchBytes)
+	if lazy {
+		rs.collector.AddLazyScan(res.CacheHits, res.CacheMisses, res.Flushes, res.Thrashes)
+	}
+	if err != nil {
+		return 0, err
+	}
+	rs.foldRuleHits(i, res.PerFSA)
+	return res.Matches, nil
+}
+
+// serialDefaultGroup runs default-strategy group i serially inside a
+// segmented scan — the sticky fallback for groups whose boundary frontier
+// blew the budget. Its bytes carry no AddSegmentScan fold, so they land in
+// the derived SerialBytes bucket of the Segment stats partition.
+func (rs *Ruleset) serialDefaultGroup(i int, input []byte, check func() error,
+	emit func(fsa, end int)) (int64, error) {
+	if rs.plan.strat[i] == StrategyLazyDFA {
+		r := lazydfa.NewRunner(rs.lazy[i])
+		res := r.Run(input, lazydfa.Config{
+			KeepOnMatch: rs.opts.KeepOnMatch,
+			MaxStates:   rs.opts.LazyDFAMaxStates,
+			OnMatch:     emit,
+			Checkpoint:  check,
+			Accel:       rs.opts.accelOn(),
+			Profile:     rs.profileOf(i),
+			Faults:      rs.faults,
+		})
+		rs.collector.AddScans(1)
+		rs.collector.AddBytes(int64(res.Symbols))
+		rs.collector.AddMatches(res.Matches)
+		rs.collector.AddAccelScan(res.AccelBytes)
+		rs.collector.AddStrategyBytes(int(StrategyLazyDFA), int64(res.Symbols))
+		var thrash int64
+		if res.Thrashed {
+			thrash = 1
+		}
+		rs.collector.AddLazyScan(res.CacheHits, res.CacheMisses, int64(res.Flushes), thrash)
+		if err := r.Err(); err != nil {
+			return 0, err
+		}
+		rs.foldRuleHits(i, res.PerFSA)
+		return res.Matches, nil
+	}
+	r := engine.NewRunner(rs.programs[i])
+	res := r.Run(input, engine.Config{
+		KeepOnMatch: rs.opts.KeepOnMatch,
+		OnMatch:     emit,
+		Checkpoint:  check,
+		Accel:       rs.opts.accelOn(),
+		Profile:     rs.profileOf(i),
+		Faults:      rs.faults,
+	})
+	rs.collector.AddScans(1)
+	rs.collector.AddBytes(int64(res.Symbols))
+	rs.collector.AddMatches(res.Matches)
+	rs.collector.AddAccelScan(res.AccelBytes)
+	rs.collector.AddStrategyBytes(int(StrategyIMFAnt), int64(res.Symbols))
+	if err := r.Err(); err != nil {
+		return 0, err
+	}
+	rs.foldRuleHits(i, res.PerFSA)
+	return res.Matches, nil
+}
+
+// segmentACGroup runs pure-AC group i segment-parallel: overlap windows
+// instead of stitching (a match ending in a segment starts at most
+// MaxPatternLen-1 bytes before it), exact by the AC suffix-closure.
+func (rs *Ruleset) segmentACGroup(i int, input []byte, bounds []int,
+	check func() error, emit func(fsa, end int)) (int64, error) {
+	res, err := segment.ScanAC(rs.plan.ac[i].m, input, bounds, rs.opts.accelOn(), check, 0, emit)
+	rs.collector.AddScans(1)
+	rs.collector.AddBytes(res.ScannedBytes)
+	rs.collector.AddMatches(res.Matches)
+	rs.collector.AddStrategyBytes(int(StrategyAC), res.ScannedBytes)
+	rs.collector.AddAccelScan(res.SkippedBytes)
+	rs.collector.AddSegmentScan(int64(len(bounds)-1), 0, res.ScannedBytes, 0)
+	if err != nil {
+		return 0, err
+	}
+	if rs.prefEnabled {
+		var distinct int64
+		for _, n := range res.PerPattern {
+			if n != 0 {
+				distinct++
+			}
+		}
+		rs.collector.AddPrefilterScan(1, distinct, 0, 0)
+	}
+	rs.foldRuleHits(i, res.PerPattern)
+	return res.Matches, nil
+}
+
+// findAllSegmented is FindAll's segment-parallel path: collect every event
+// with rule attribution, then impose the serial report order (end offset,
+// then rule).
+func (rs *Ruleset) findAllSegmented(ctx context.Context, input []byte, parts int) ([]Match, error) {
+	var out []Match
+	_, err := rs.scanSegmented(ctx, input, parts, func(automaton, fsa, end int) {
+		r := rs.programs[automaton].Rules()[fsa]
+		out = append(out, Match{Rule: r.RuleID, Pattern: r.Pattern, End: end})
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].End != out[j].End {
+			return out[i].End < out[j].End
+		}
+		return out[i].Rule < out[j].Rule
+	})
+	return out, nil
+}

@@ -1,0 +1,296 @@
+package imfant
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// segConfPatterns mixes every planner strategy: pure literals (AC group),
+// anchored literals, an eager-DFA shape, and general engine patterns whose
+// boundary carries exercise the stitch.
+var segConfPatterns = []string{
+	"needle",
+	"haystack",
+	"^HDR:",
+	"suffix$",
+	"a[bc]+d",
+	"(foo|bar)baz",
+	"x.{2,5}y",
+	"b+c",
+}
+
+// segConfInputs builds inputs whose matches straddle segment boundaries for
+// every small worker count used by the conformance tests.
+func segConfInputs(t testing.TB) [][]byte {
+	t.Helper()
+	rnd := rand.New(rand.NewSource(77))
+	big := make([]byte, 8192)
+	alpha := []byte("abcdfoxy ")
+	for i := range big {
+		big[i] = alpha[rnd.Intn(len(alpha))]
+	}
+	copy(big[4094:], "needle")    // straddles the 2-way boundary
+	copy(big[2729:], "foobaz")    // straddles a 3-way boundary
+	copy(big[1020:], "xqqy")      // straddles an 8-way boundary
+	copy(big[len(big)-7:], "suffix\n")
+	return [][]byte{
+		nil,
+		[]byte("n"),
+		[]byte("needle"),
+		[]byte("HDR: foobazsuffix"),
+		[]byte(strings.Repeat("abdacd", 300) + "suffix"),
+		big,
+	}
+}
+
+// segRuleset compiles segConfPatterns with segmentation forced on.
+func segRuleset(t testing.TB, opts Options) *Ruleset {
+	t.Helper()
+	rs, err := Compile(segConfPatterns, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rs
+}
+
+// TestSegmentedScanConformance is the tentpole's correctness gate: segmented
+// CountParallel and FindAll are byte-identical to their serial counterparts
+// across engines × prefilter × acceleration × worker counts.
+func TestSegmentedScanConformance(t *testing.T) {
+	inputs := segConfInputs(t)
+	for _, eng := range []EngineMode{EngineIMFAnt, EngineLazyDFA} {
+		for _, keep := range []bool{false, true} {
+			if eng == EngineLazyDFA && !keep {
+				continue // lazy engine runs keep-semantics scans
+			}
+			for _, pf := range []PrefilterMode{PrefilterOff, PrefilterOn} {
+				for _, accel := range []AccelMode{AccelOff, AccelOn} {
+					base := Options{Engine: eng, KeepOnMatch: keep, Prefilter: pf, Accel: accel}
+					serialOpts := base
+					serialOpts.Segment = SegmentOff
+					serial := segRuleset(t, serialOpts)
+					for _, workers := range []int{2, 3, 8} {
+						segOpts := base
+						segOpts.Segment = SegmentOn
+						segOpts.SegmentWorkers = workers
+						seg := segRuleset(t, segOpts)
+						for ii, in := range inputs {
+							wantMatches := serial.FindAll(in)
+							gotMatches, err := seg.FindAllContext(t.Context(), in)
+							if err != nil {
+								t.Fatal(err)
+							}
+							if !reflect.DeepEqual(gotMatches, wantMatches) {
+								t.Fatalf("eng=%v keep=%v pf=%v accel=%v workers=%d input#%d: FindAll\ngot  %v\nwant %v",
+									eng, keep, pf, accel, workers, ii, gotMatches, wantMatches)
+							}
+							want, err := serial.CountParallel(in, 1)
+							if err != nil {
+								t.Fatal(err)
+							}
+							got, err := seg.CountParallel(in, workers)
+							if err != nil {
+								t.Fatal(err)
+							}
+							if got != want {
+								t.Fatalf("eng=%v keep=%v pf=%v accel=%v workers=%d input#%d: CountParallel got %d want %d",
+									eng, keep, pf, accel, workers, ii, got, want)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSegmentAutoThreshold pins the SegmentAuto gate: inputs under
+// SegmentMinBytes stay serial (Segment section all-serial), larger ones
+// segment.
+func TestSegmentAutoThreshold(t *testing.T) {
+	rs := segRuleset(t, Options{SegmentMinBytes: 1024, SegmentWorkers: 4})
+	small := []byte(strings.Repeat("ab", 256)) // 512 B: under the threshold
+	if _, err := rs.CountParallel(small, 0); err != nil {
+		t.Fatal(err)
+	}
+	st := rs.Stats()
+	if st.Segment == nil {
+		t.Fatal("Segment section missing with SegmentAuto")
+	}
+	if st.Segment.SegmentedScans != 0 || st.Segment.ParallelBytes != 0 {
+		t.Fatalf("sub-threshold scan segmented: %+v", st.Segment)
+	}
+	if st.Segment.SerialBytes != st.BytesScanned {
+		t.Fatalf("sub-threshold serial bytes %d, want all %d", st.Segment.SerialBytes, st.BytesScanned)
+	}
+	large := []byte(strings.Repeat("ab", 1024)) // 2 KiB: over it
+	if _, err := rs.CountParallel(large, 0); err != nil {
+		t.Fatal(err)
+	}
+	if st = rs.Stats(); st.Segment.SegmentedScans == 0 {
+		t.Fatalf("above-threshold scan did not segment: %+v", st.Segment)
+	}
+}
+
+// TestSegmentStatsPartition pins the accounting contract: ParallelBytes +
+// StitchBytes + SerialBytes == BytesScanned, exactly, on a workload mixing
+// segmented parallel scans with serial Scanner scans.
+func TestSegmentStatsPartition(t *testing.T) {
+	rs := segRuleset(t, Options{Segment: SegmentOn, SegmentWorkers: 4})
+	inputs := segConfInputs(t)
+	for _, in := range inputs {
+		if _, err := rs.CountParallel(in, 4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rs.Count(inputs[len(inputs)-1]) // a serial Scanner scan in the mix
+	st := rs.Stats()
+	if st.Segment == nil {
+		t.Fatal("Segment section missing with SegmentOn")
+	}
+	s := st.Segment
+	if s.SegmentedScans == 0 || s.Segments <= s.SegmentedScans {
+		t.Fatalf("implausible segmentation counters: %+v", s)
+	}
+	if got := s.ParallelBytes + s.StitchBytes + s.SerialBytes; got != st.BytesScanned {
+		t.Fatalf("partition broken: parallel %d + stitch %d + serial %d = %d, BytesScanned %d",
+			s.ParallelBytes, s.StitchBytes, s.SerialBytes, got, st.BytesScanned)
+	}
+	if s.SerialBytes == 0 {
+		t.Fatal("serial Scanner scan not reflected in SerialBytes")
+	}
+
+	// Scanner scope: every byte serial, and the snapshot matches the
+	// ruleset's shape contract.
+	sc := rs.NewScanner()
+	sc.Count(inputs[len(inputs)-1])
+	scs := sc.Stats()
+	if scs.Segment == nil || scs.Segment.SerialBytes != scs.BytesScanned {
+		t.Fatalf("scanner-scope segment section = %+v, want all-serial of %d", scs.Segment, scs.BytesScanned)
+	}
+}
+
+// TestSegmentFrontierFallbackSticky pins the degradation contract: a group
+// whose boundary carry exceeds SegmentMaxFrontier still reports exact
+// results, records a fallback, and runs serially on subsequent segmented
+// scans.
+func TestSegmentFrontierFallbackSticky(t *testing.T) {
+	// "a.*b" keeps its loop state alive from the first 'a' on, and the
+	// repeated "ax" prefix keeps several overlapping "a[xy]{0,8}b" windows
+	// live at every position — so every boundary carry holds multiple
+	// states, over the minimal budget of 1.
+	// Engine forced so the planner cannot route the groups to the eager-DFA
+	// strategy, which runs serially and never carries a frontier.
+	patterns := []string{"a.*b", "a[xy]{0,8}b"}
+	serial, err := Compile(patterns, Options{Engine: EngineIMFAnt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := Compile(patterns, Options{Engine: EngineIMFAnt,
+		Segment: SegmentOn, SegmentWorkers: 4, SegmentMaxFrontier: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := []byte(strings.Repeat("ax", 2048) + "b" + strings.Repeat("q", 64) + "axb")
+	want := serial.FindAll(in)
+	for round := 0; round < 2; round++ {
+		got, err := rs.FindAllContext(t.Context(), in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("round %d: exactness lost under frontier fallback:\ngot  %v\nwant %v", round, got, want)
+		}
+	}
+	st := rs.Stats()
+	if st.Segment.Fallbacks == 0 {
+		t.Fatalf("no fallback recorded: %+v", st.Segment)
+	}
+	// Sticky: the pinned groups stopped segmenting, so a third scan adds
+	// serial bytes but no fallback growth.
+	fallbacks := st.Segment.Fallbacks
+	serialBytes := st.Segment.SerialBytes
+	if _, err := rs.FindAllContext(t.Context(), in); err != nil {
+		t.Fatal(err)
+	}
+	st = rs.Stats()
+	if st.Segment.Fallbacks != fallbacks {
+		t.Fatalf("fallbacks grew after pinning: %d -> %d", fallbacks, st.Segment.Fallbacks)
+	}
+	if st.Segment.SerialBytes <= serialBytes {
+		t.Fatalf("pinned group did not run serially: serial bytes %d -> %d",
+			serialBytes, st.Segment.SerialBytes)
+	}
+}
+
+// FuzzSegmentStitch is the boundary-stitching conformance fuzzer: random
+// patterns × inputs × segment counts, both engines, prefilter and accel on
+// and off — the segmented match set must be byte-identical to the serial
+// scan every time.
+func FuzzSegmentStitch(f *testing.F) {
+	type seed struct {
+		pattern, input string
+		parts          int
+	}
+	for _, s := range []seed{
+		{"abc", "xxabcxx", 2},
+		{"a.*b", "a" + strings.Repeat("x", 64) + "b", 3},
+		{"^start", "start middle end", 2},
+		{"end$", "the end", 2},
+		{"a[bc]{2,4}d", strings.Repeat("abccd", 20), 7},
+		{"(ab|ba)+", strings.Repeat("ab", 40), 5},
+		{"n+e", "nnnneeee", 4},
+	} {
+		f.Add(s.pattern, s.input, s.parts)
+	}
+	f.Fuzz(func(t *testing.T, pattern, input string, parts int) {
+		if len(input) > 1<<12 || parts < 2 || parts > 32 {
+			return
+		}
+		serial, err := Compile([]string{pattern, "zz9fixed"},
+			Options{Engine: EngineIMFAnt, Prefilter: PrefilterOff, Segment: SegmentOff})
+		if err != nil {
+			return // FuzzCompile owns compile-error typing
+		}
+		in := []byte(input + " zz9fixed")
+		want := serial.FindAll(in)
+		sortMatches(want)
+		for _, eng := range []EngineMode{EngineIMFAnt, EngineLazyDFA} {
+			for _, pf := range []PrefilterMode{PrefilterOff, PrefilterOn} {
+				for _, accel := range []AccelMode{AccelOff, AccelOn} {
+					keep := eng == EngineLazyDFA
+					seg, err := Compile([]string{pattern, "zz9fixed"}, Options{
+						Engine: eng, KeepOnMatch: keep, Prefilter: pf, Accel: accel,
+						Segment: SegmentOn, SegmentWorkers: parts,
+					})
+					if err != nil {
+						t.Fatalf("%.60q: segmented compile failed after serial succeeded: %v", pattern, err)
+					}
+					wantSet := want
+					if keep {
+						// Keep semantics report a superset; compare against a
+						// keep-mode serial oracle instead.
+						oracle, err := Compile([]string{pattern, "zz9fixed"},
+							Options{Engine: eng, KeepOnMatch: true, Segment: SegmentOff})
+						if err != nil {
+							t.Fatal(err)
+						}
+						wantSet = oracle.FindAll(in)
+						sortMatches(wantSet)
+					}
+					got, err := seg.FindAllContext(t.Context(), in)
+					if err != nil {
+						t.Fatal(err)
+					}
+					sortMatches(got)
+					if !reflect.DeepEqual(got, wantSet) {
+						t.Fatalf("%.60q on %.60q (eng=%v pf=%v accel=%v parts=%d): segmented %v, serial %v",
+							pattern, input, eng, pf, accel, parts, got, wantSet)
+					}
+				}
+			}
+		}
+	})
+}

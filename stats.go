@@ -51,6 +51,12 @@ type Stats struct {
 	// Scanner and StreamMatcher snapshots omit it (the profiler is shared
 	// ruleset-wide).
 	Profile *ProfileStats `json:"profile,omitempty"`
+	// Segment holds the segment-parallel scanning counters; nil when
+	// segmented scanning is disabled (Options.Segment == SegmentOff). Its
+	// byte counters partition BytesScanned exactly. At Scanner and
+	// StreamMatcher scope every byte is serial — those owners never run the
+	// segment-parallel path.
+	Segment *SegmentStats `json:"segment,omitempty"`
 	// Degraded accounts every rung of the degradation ladder taken:
 	// timeouts, shed scans, contained worker panics, lazy-DFA thrash
 	// fallbacks, cache-grow retries, and pinned delegations. Always
@@ -94,6 +100,31 @@ type DegradedStats struct {
 	// PinnedScans counts scans delegated whole to the iMFAnt engine
 	// because the ladder bottomed out (thrash at the grown cap too).
 	PinnedScans int64 `json:"pinned_scans"`
+}
+
+// SegmentStats is the segment-parallel scanning section of a stats snapshot
+// (Options.Segment). ParallelBytes + StitchBytes + SerialBytes ==
+// BytesScanned always holds: every matched-against byte was scanned inside a
+// segment worker, by a boundary-stitch runner, or serially. A high
+// StitchBytes share means boundary carries survive deep into segments
+// (match-dense or always-live rules) and segmentation is paying for its
+// parallelism; Fallbacks counts groups whose speculative frontier exceeded
+// Options.SegmentMaxFrontier and were pinned serial.
+type SegmentStats struct {
+	// SegmentedScans counts automaton-group executions that ran
+	// segment-parallel.
+	SegmentedScans int64 `json:"segmented_scans"`
+	// Segments counts segments executed across those scans.
+	Segments int64 `json:"segments"`
+	// Fallbacks counts segmented scans whose boundary frontier exceeded the
+	// budget; results stayed exact and the group runs serially afterwards.
+	Fallbacks int64 `json:"fallbacks"`
+	// ParallelBytes counts input bytes scanned inside segment workers.
+	ParallelBytes int64 `json:"parallel_bytes"`
+	// StitchBytes counts bytes re-scanned by boundary stitching.
+	StitchBytes int64 `json:"stitch_bytes"`
+	// SerialBytes counts bytes scanned outside the segment-parallel path.
+	SerialBytes int64 `json:"serial_bytes"`
 }
 
 // PrefilterStats is the literal-factor prefilter section of a stats
@@ -293,6 +324,16 @@ func statsFrom(t telemetry.Stats) Stats {
 		}
 		s.Strategy = ss
 	}
+	if t.Segment != nil {
+		s.Segment = &SegmentStats{
+			SegmentedScans: t.Segment.SegmentedScans,
+			Segments:       t.Segment.Segments,
+			Fallbacks:      t.Segment.Fallbacks,
+			ParallelBytes:  t.Segment.ParallelBytes,
+			StitchBytes:    t.Segment.StitchBytes,
+			SerialBytes:    t.Segment.SerialBytes,
+		}
+	}
 	if t.Profile != nil {
 		p := &ProfileStats{
 			Stride:         t.Profile.Stride,
@@ -422,6 +463,7 @@ func (s *Scanner) Stats() Stats {
 	st.Strategy = localStrategyStats(rs, s.strat)
 	st.Prefilter = s.pref.stats(rs)
 	st.Accel = accel
+	st.Segment = rs.localSegmentStats(st.BytesScanned)
 	return st
 }
 
@@ -545,5 +587,6 @@ func (sm *StreamMatcher) Stats() Stats {
 	st.Strategy = localStrategyStats(rs, strat)
 	st.Prefilter = sm.pref.stats(rs)
 	st.Accel = accel
+	st.Segment = rs.localSegmentStats(st.BytesScanned)
 	return st
 }
